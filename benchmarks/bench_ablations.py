@@ -1,0 +1,48 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from conftest import show
+
+from repro.analysis.ablations import (
+    run_q3_granularity_ablation,
+    run_retry_budget_ablation,
+    run_sampling_floor_ablation,
+    run_weighting_ablation,
+)
+
+
+def test_weighting_ablation(benchmark, context):
+    result = benchmark(run_weighting_ablation, context)
+    show(result)
+    scalars = result.scalars
+    assert 0.0 <= scalars["weighted_rate"] <= 1.0
+    assert 0.0 <= scalars["unweighted_cbg_rate"] <= 1.0
+
+
+def test_sampling_floor_ablation(benchmark, context):
+    result = benchmark.pedantic(
+        run_sampling_floor_ablation, args=(context,),
+        iterations=1, rounds=1)
+    show(result)
+    sweep = result.tables["floor_sweep"]
+    errors = {row["floor"]: row["abs_error_pp"] for row in sweep.iter_rows()}
+    # The 30-floor estimate should not be worse than the 5-floor one by
+    # a large margin (it queries strictly more addresses).
+    assert errors[30] <= errors[5] + 10.0
+
+
+def test_retry_budget_ablation(benchmark, context):
+    result = benchmark.pedantic(
+        run_retry_budget_ablation, args=(context,),
+        iterations=1, rounds=1)
+    show(result)
+    sweep = result.tables["budget_sweep"]
+    rows = sorted(sweep.iter_rows(), key=lambda r: r["max_attempts"])
+    # More attempts → no more unknowns, and no less virtual time.
+    assert rows[-1]["unknown_fraction"] <= rows[0]["unknown_fraction"] + 1e-9
+    assert rows[-1]["virtual_hours"] >= rows[0]["virtual_hours"] - 1e-9
+
+
+def test_q3_granularity_ablation(benchmark, context):
+    result = benchmark(run_q3_granularity_ablation, context)
+    show(result)
+    assert result.scalars["num_cbgs"] <= result.scalars["num_blocks"]

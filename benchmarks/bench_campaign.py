@@ -1,0 +1,20 @@
+"""Campaign arithmetic — the paper's §1 feasibility claims."""
+
+from repro.bqt.campaign import estimate_duration, plan_full_census, plan_study
+
+
+def test_full_census_duration(benchmark):
+    estimate = benchmark(lambda: estimate_duration(plan_full_census()))
+    print(f"\nfull census: {estimate.wall_clock_months:.1f} months "
+          f"(paper: >6 months), bottleneck {estimate.bottleneck_isp}")
+    assert estimate.wall_clock_months > 6.0
+
+
+def test_study_campaign_duration(benchmark):
+    study = {"att": 233_000, "centurylink": 112_000,
+             "frontier": 170_000, "consolidated": 23_000}
+    estimate = benchmark(lambda: estimate_duration(plan_study(study)))
+    print(f"\nstudy campaign: {estimate.wall_clock_months:.1f} months "
+          "(the paper collected from June 2023 into late fall)")
+    assert estimate.wall_clock_months < \
+        estimate_duration(plan_full_census()).wall_clock_months

@@ -1,0 +1,15 @@
+"""Carriage values — §4.2's rate-leniency argument, quantified."""
+
+from conftest import show
+
+from repro.analysis.carriage import run
+
+
+def test_carriage_values(benchmark, context):
+    result = benchmark(run, context)
+    show(result)
+    scalars = result.scalars
+    # The FCC floor (~0.11 Mbps/$) is far below urban value-for-money.
+    assert scalars["fcc_implied_carriage_10mbps"] < 0.15
+    # Most CAF households sit below the non-competitive urban median.
+    assert scalars["share_below_urban_noncompetitive"] > 0.5

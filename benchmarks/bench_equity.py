@@ -1,0 +1,12 @@
+"""Equity — non-compliance by income quartile (extension)."""
+
+from conftest import show
+
+from repro.analysis.equity import run
+
+
+def test_equity_breakdown(benchmark, context):
+    result = benchmark(run, context)
+    show(result)
+    # Digital-divide shape: richer CBGs fare no worse than poorer ones.
+    assert result.scalars["disparity_ratio_q4_over_q1"] >= 0.8

@@ -1,0 +1,52 @@
+"""Figure 1 — attributes of the public CAF dataset (six panels)."""
+
+from conftest import show
+
+from repro.analysis import figure1
+from repro.stats.ecdf import ECDF
+
+
+def test_fig1a_addresses_by_state(benchmark, context):
+    counts = benchmark(context.national.caf_map.count_by_state)
+    assert sum(counts.values()) == len(context.national.caf_map)
+
+
+def test_fig1b_addresses_by_isp(benchmark, context):
+    counts = benchmark(context.national.caf_map.count_by_isp)
+    top4 = sum(sorted(counts.values(), reverse=True)[:4])
+    assert 0.5 < top4 / len(context.national.caf_map) < 0.75
+
+
+def test_fig1c_addresses_per_cb_cbg(benchmark, context):
+    def build_cdfs():
+        caf_map = context.national.caf_map
+        return (ECDF(list(caf_map.addresses_per_block().values())),
+                ECDF(list(caf_map.addresses_per_block_group().values())))
+
+    cb_cdf, cbg_cdf = benchmark(build_cdfs)
+    assert cbg_cdf.median() >= cb_cdf.median()
+
+
+def test_fig1d_disbursements_by_state(benchmark, context):
+    totals = benchmark(context.national.ledger.by_state)
+    assert all(amount >= 0 for amount in totals.values())
+
+
+def test_fig1e_disbursements_by_isp(benchmark, context):
+    totals = benchmark(context.national.ledger.by_isp)
+    assert max(totals, key=totals.get) == "centurylink"
+
+
+def test_fig1f_certified_speeds(benchmark, context):
+    def certified_cdf():
+        speeds = [r.certified_download_mbps
+                  for r in context.national.caf_map.for_isp("att")]
+        return ECDF(speeds)
+
+    cdf = benchmark(certified_cdf)
+    assert cdf.fraction_at_least(10.0) == 1.0
+
+
+def test_figure1_full_experiment(benchmark, context):
+    result = benchmark(figure1.run, context)
+    show(result)

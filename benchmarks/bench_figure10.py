@@ -1,0 +1,15 @@
+"""Figure 10 — geospatial distribution of AT&T serviceability."""
+
+from conftest import show
+
+from repro.analysis import figure10
+
+
+def test_fig10_geospatial_rows(benchmark, context):
+    result = benchmark(figure10.run, context)
+    show(result)
+    # Paper claim: rates fall away from city centers.
+    for state in ("CA", "GA"):
+        key = f"distance_rate_spearman_{state}"
+        if key in result.scalars:
+            assert result.scalars[key] < 0.3

@@ -1,0 +1,18 @@
+"""Figure 11 — blocks where CAF performs worse."""
+
+from conftest import show
+
+from repro.analysis.monopoly_figures import run_figure11
+
+
+def test_fig11_loser_side_cdfs(benchmark, context):
+    monopoly = context.report.monopoly
+    increase = benchmark(monopoly.pct_increase_cdf, "A", "monopoly", "rival")
+    assert increase.median() > 0
+
+
+def test_figure11_full_experiment(benchmark, context):
+    result = benchmark(run_figure11, context)
+    show(result)
+    assert result.scalars["median_pct_increase_monopoly_wins"] < \
+        result.scalars["paper_median_pct_increase_monopoly_wins"] * 3

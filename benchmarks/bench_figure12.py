@@ -1,0 +1,12 @@
+"""Figure 12 — per-address query times for each ISP."""
+
+from conftest import show
+
+from repro.analysis.collection_figures import run_figure12
+
+
+def test_fig12_query_time_distributions(benchmark, context):
+    result = benchmark(run_figure12, context)
+    show(result)
+    assert result.scalars["median_query_seconds_att"] > \
+        result.scalars["median_query_seconds_consolidated"]

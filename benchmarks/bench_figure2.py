@@ -1,0 +1,28 @@
+"""Figure 2 — serviceability rates by ISP and state."""
+
+from conftest import show
+
+from repro.analysis import figure2
+
+
+def test_fig2a_by_isp(benchmark, context):
+    analysis = context.report.serviceability
+    rates = benchmark(analysis.rate_by_isp)
+    assert rates["centurylink"] > rates["att"]
+
+
+def test_fig2b_by_state(benchmark, context):
+    analysis = context.report.serviceability
+    rates = benchmark(analysis.rate_by_state)
+    assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+
+def test_fig2c_att_states(benchmark, context):
+    analysis = context.report.serviceability
+    distribution = benchmark(analysis.isp_state_distribution, "att")
+    assert distribution
+
+
+def test_figure2_full_experiment(benchmark, context):
+    result = benchmark(figure2.run, context)
+    show(result)

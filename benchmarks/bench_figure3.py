@@ -1,0 +1,22 @@
+"""Figure 3 — population density vs AT&T serviceability."""
+
+from conftest import show
+
+from repro.analysis import figure3
+
+
+def test_fig3_density_correlation(benchmark, context):
+    analysis = context.report.serviceability
+
+    def pooled_correlation():
+        from repro.stats.correlation import spearman
+        rates = analysis.cbg_rates.where_equal(isp_id="att")
+        return spearman(rates["population_density"], rates["rate"])
+
+    result = benchmark(pooled_correlation)
+    assert result.coefficient > 0.0  # density helps AT&T serviceability
+
+
+def test_figure3_full_experiment(benchmark, context):
+    result = benchmark(figure3.run, context)
+    show(result)

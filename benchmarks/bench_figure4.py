@@ -1,0 +1,28 @@
+"""Figure 4 — Type A (CAF + monopoly) comparisons."""
+
+from conftest import show
+
+from repro.analysis.monopoly_figures import run_figure4
+
+
+def test_fig4a_outcome_shares(benchmark, context):
+    monopoly = context.report.monopoly
+    shares = benchmark(monopoly.outcome_shares, "A", "monopoly")
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+def test_fig4b_speed_cdfs(benchmark, context):
+    monopoly = context.report.monopoly
+    caf_cdf, rival_cdf = benchmark(monopoly.speed_cdfs, "A", "monopoly", "caf")
+    assert caf_cdf.median() >= rival_cdf.median()
+
+
+def test_fig4c_pct_increase(benchmark, context):
+    monopoly = context.report.monopoly
+    increase = benchmark(monopoly.pct_increase_cdf, "A", "monopoly", "caf")
+    assert increase.median() > 0
+
+
+def test_figure4_full_experiment(benchmark, context):
+    result = benchmark(run_figure4, context)
+    show(result)

@@ -1,0 +1,16 @@
+"""Figure 5 — Type B (CAF + competition) comparisons."""
+
+from conftest import show
+
+from repro.analysis.monopoly_figures import run_figure5
+
+
+def test_fig5a_outcome_shares(benchmark, context):
+    monopoly = context.report.monopoly
+    shares = benchmark(monopoly.outcome_shares, "B", "competition")
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+def test_figure5_full_experiment(benchmark, context):
+    result = benchmark(run_figure5, context)
+    show(result)

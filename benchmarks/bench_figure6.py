@@ -1,0 +1,16 @@
+"""Figure 6 — CAF speeds in Type A vs Type B blocks."""
+
+from conftest import show
+
+from repro.analysis.monopoly_figures import run_figure6
+
+
+def test_fig6a_caf_speed_by_type(benchmark, context):
+    monopoly = context.report.monopoly
+    cdfs = benchmark(monopoly.caf_speed_cdf_by_type)
+    assert "A" in cdfs
+
+
+def test_figure6_full_experiment(benchmark, context):
+    result = benchmark(run_figure6, context)
+    show(result)

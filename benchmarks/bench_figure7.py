@@ -1,0 +1,11 @@
+"""Figure 7 — CDF of the percentage of addresses queried per CBG."""
+
+from conftest import show
+
+from repro.analysis.collection_figures import run_figure7
+
+
+def test_fig7_queried_fraction_cdfs(benchmark, context):
+    result = benchmark(run_figure7, context)
+    show(result)
+    assert result.series

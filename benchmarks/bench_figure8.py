@@ -1,0 +1,11 @@
+"""Figure 8 — CDF of the percentage of addresses collected per CBG."""
+
+from conftest import show
+
+from repro.analysis.collection_figures import run_figure8
+
+
+def test_fig8_collected_fraction_cdfs(benchmark, context):
+    result = benchmark(run_figure8, context)
+    show(result)
+    assert result.series

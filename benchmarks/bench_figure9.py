@@ -1,0 +1,26 @@
+"""Figure 9 — sampling-rate sensitivity (Appendix 8.2).
+
+The sensitivity protocol re-queries tens of CBGs at several rates, so
+the timed region is the whole replay (it is the experiment).
+"""
+
+from conftest import show
+
+from repro.analysis import figure9
+from repro.core.sensitivity import run_sensitivity_analysis
+
+
+def test_fig9_sensitivity_replay(benchmark, context):
+    result = benchmark.pedantic(
+        run_sensitivity_analysis,
+        args=(context.world,),
+        kwargs={"num_cbgs": 8, "rates": (0.05, 0.15, 0.25)},
+        iterations=1, rounds=1,
+    )
+    assert result.num_cbgs > 0
+
+
+def test_figure9_full_experiment(benchmark, context):
+    _ = context.sensitivity  # materialize outside timing
+    result = benchmark(figure9.run, context)
+    show(result)

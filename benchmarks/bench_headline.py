@@ -1,0 +1,30 @@
+"""Headline — the abstract's numbers end to end.
+
+Also benchmarks the full pipeline (world build + both collections +
+all analyses) as the repository's macro-benchmark.
+"""
+
+from conftest import show
+
+from repro.analysis import headline
+from repro.core.pipeline import run_full_audit
+from repro.synth.scenario import ScenarioConfig
+
+
+def test_headline_numbers(benchmark, context):
+    result = benchmark(headline.run, context)
+    show(result)
+    scalars = result.scalars
+    assert abs(scalars["serviceability_rate"]
+               - scalars["paper_serviceability_rate"]) < 0.10
+    assert abs(scalars["compliance_rate"]
+               - scalars["paper_compliance_rate"]) < 0.12
+
+
+def test_full_pipeline_macro(benchmark):
+    def pipeline():
+        return run_full_audit(scenario=ScenarioConfig.tiny())
+
+    report = benchmark.pedantic(pipeline, iterations=1, rounds=1)
+    print()
+    print("\n".join(report.summary_lines()))

@@ -1,0 +1,16 @@
+"""Oversight comparison — §2.4's critique of USAC reviews, quantified."""
+
+from repro.core.oversight import compare_oversight
+
+
+def test_oversight_comparison(benchmark, context):
+    comparison = benchmark.pedantic(
+        compare_oversight,
+        args=(context.world,),
+        kwargs={"isp_id": "att", "review_fractions": (0.01, 0.05)},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(comparison.render())
+    # The external audit should land close to truth.
+    assert comparison.audit_error_pp < 12.0

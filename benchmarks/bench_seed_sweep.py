@@ -1,0 +1,15 @@
+"""Seed sweep — estimator variance across worlds (extension)."""
+
+from conftest import show
+
+from repro.analysis.seed_sweep import run_seed_sweep
+
+
+def test_seed_sweep(benchmark, context):
+    result = benchmark.pedantic(run_seed_sweep, args=(context,),
+                                kwargs={"seeds": (0, 1, 2)},
+                                iterations=1, rounds=1)
+    show(result)
+    # The estimator is stable across worlds at this scale.
+    assert result.scalars["serviceability_spread_pp"] < 15.0
+    assert 0.3 < result.scalars["serviceability_mean"] < 0.8

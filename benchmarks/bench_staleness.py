@@ -1,0 +1,15 @@
+"""Staleness — §8.1's one-shot-snapshot limitation, measured."""
+
+from conftest import show
+
+from repro.analysis.staleness import run
+
+
+def test_staleness_drift(benchmark, context):
+    result = benchmark.pedantic(run, args=(context,), kwargs={"years": (2,)},
+                                iterations=1, rounds=1)
+    show(result)
+    drift = result.scalars["compliance_drift_pp_at_max_horizon"]
+    # Upgrade-dominated churn should not make the snapshot look
+    # *better* than the future: compliance drifts up or stays flat.
+    assert drift > -8.0

@@ -1,0 +1,22 @@
+"""Table 1 — certified vs advertised speeds, and Q2 compliance."""
+
+from conftest import show
+
+from repro.analysis import table1
+
+
+def test_table1_tier_distributions(benchmark, context):
+    compliance = context.report.compliance
+    table = benchmark(compliance.table1)
+    assert len(table) > 0
+
+
+def test_table1_compliance_rates(benchmark, context):
+    compliance = context.report.compliance
+    rates = benchmark(compliance.rate_by_isp)
+    assert rates["consolidated"] > rates["att"]
+
+
+def test_table1_full_experiment(benchmark, context):
+    result = benchmark(table1.run, context)
+    show(result)

@@ -1,0 +1,16 @@
+"""Table 2 — errors in traceback per ISP."""
+
+from conftest import show
+
+from repro.analysis.collection_figures import run_table2
+
+
+def test_table2_error_taxonomy(benchmark, context):
+    result = benchmark(run_table2, context)
+    show(result)
+    rows = {row["isp"]: row for row in
+            result.tables["table2"].iter_rows()}
+    # The paper's distinctive shape.
+    assert rows["centurylink"]["empty_traceback"] == \
+        rows["centurylink"]["total_unknown"]
+    assert rows["att"]["select_dropdown"] > rows["att"]["empty_traceback"]

@@ -1,0 +1,16 @@
+"""Table 3 — CAF addresses collected per ISP per state."""
+
+from conftest import show
+
+from repro.analysis.tables34 import run_table3
+from repro.synth.calibration import TABLE3_QUERIED_ADDRESSES
+
+
+def test_table3_collection_footprint(benchmark, context):
+    result = benchmark(run_table3, context)
+    show(result)
+    table = result.tables["table3"]
+    cells = {(row["state"], row["isp"]) for row in table.iter_rows()}
+    # Every collected cell exists in the paper's footprint.
+    for state, isp in cells:
+        assert isp in TABLE3_QUERIED_ADDRESSES[state], (state, isp)

@@ -1,0 +1,16 @@
+"""Table 4 — addresses queried for the Q3 analysis."""
+
+from conftest import show
+
+from repro.analysis.tables34 import run_table4
+from repro.geo.fips import Q3_STATES
+
+
+def test_table4_q3_collection(benchmark, context):
+    result = benchmark(run_table4, context)
+    show(result)
+    table = result.tables["table4"]
+    states = {row["state"] for row in table.iter_rows()}
+    assert states <= set(Q3_STATES)
+    assert result.scalars["total_caf_queried"] > \
+        result.scalars["total_non_caf_queried"] * 0.5

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run at the scale named by ``REPRO_SCALE`` (default "tiny").
+The expensive inputs (world build, audit, national dataset) are
+materialized once per session *before* timing starts, so each benchmark
+measures the analysis it names, not world construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    ctx = ExperimentContext.at_scale()
+    # Materialize the memoized inputs outside the timed region.
+    _ = ctx.world
+    _ = ctx.report
+    _ = ctx.national
+    return ctx
+
+
+def show(result) -> None:
+    """Print an experiment result beneath the benchmark output."""
+    print()
+    print(result.render())

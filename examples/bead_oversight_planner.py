@@ -1,0 +1,76 @@
+"""Designing post-hoc oversight for a BEAD-style program.
+
+The paper's closing argument: the $42B BEAD program needs independent
+post-hoc verification of ISP claims, and the paper's framework applies
+directly. This example uses the reproduction as a *planning tool* for
+such an oversight program:
+
+1. How much querying does an audit cost at different sampling floors
+   (the Appendix 8.2 trade-off)?
+2. How small can the sample get before the serviceability estimate
+   drifts (sensitivity analysis)?
+3. How does an external audit compare to USAC-style sampled reviews of
+   self-reported data?
+
+Run with::
+
+    python examples/bead_oversight_planner.py
+"""
+
+from repro.core.audit import AuditDataset
+from repro.core.collection import CollectionCampaign
+from repro.core.sampling import SamplingPolicy
+from repro.core.sensitivity import run_sensitivity_analysis
+from repro.synth import ScenarioConfig, build_world
+
+ISP = "centurylink"
+STATES = ("NC", "OH", "WI")
+
+
+def audit_with_policy(world, policy: SamplingPolicy):
+    campaign = CollectionCampaign(world, policy=policy)
+    collection = campaign.run(isps=(ISP,), states=STATES)
+    audit = AuditDataset(collection.log, collection.cbg_totals, world=world)
+    return audit, collection
+
+
+def main() -> None:
+    world = build_world(ScenarioConfig.tiny(seed=11))
+
+    print("== 1. Audit cost vs sampling floor ==")
+    print(f"   (auditing {ISP} in {', '.join(STATES)})\n")
+    for floor in (10, 30, 60):
+        policy = SamplingPolicy(min_samples=floor, sampling_fraction=0.10)
+        audit, collection = audit_with_policy(world, policy)
+        hours = collection.log.total_virtual_seconds() / 3600.0
+        print(f"  floor {floor:>2}: {len(collection.log):>5} queries, "
+              f"{hours:6.1f} sequential query-hours, "
+              f"serviceability {audit.serviceability_rate():6.1%}")
+
+    print("\n== 2. Sampling-rate sensitivity (Appendix 8.2 protocol) ==\n")
+    sensitivity = run_sensitivity_analysis(
+        world, isp_id=ISP, num_cbgs=8, rates=(0.05, 0.10, 0.25))
+    for rate, (aggregate_err, max_cbg_err) in sorted(
+            sensitivity.deltas_by_rate.items()):
+        print(f"  sample {rate:4.0%} of each CBG → "
+              f"aggregate |Δ| {aggregate_err:4.1f} pp, "
+              f"worst CBG |Δ| {max_cbg_err:4.1f} pp")
+    print(f"  (over {sensitivity.num_cbgs} large CBGs; paper: errors < 5%)")
+
+    print("\n== 3. Self-reported review vs independent audit ==\n")
+    review = world.hubb.run_verification_review(ISP, world.ground_truth,
+                                                sample_fraction=0.02)
+    audit, _ = audit_with_policy(world, SamplingPolicy())
+    print(f"  USAC-style review:  {review.sampled} sampled locations, "
+          f"compliance gap {review.compliance_gap:6.1%}")
+    print(f"  independent audit:  unserved share "
+          f"{1 - audit.serviceability_rate():6.1%}, plus plan-level "
+          "compliance evidence the review never sees")
+    print("\nRecommendation: BEAD oversight should budget for "
+          "address-level external audits with a per-CBG floor of ~30 — "
+          "the estimate is already stable there, and the cost grows "
+          "linearly beyond it.")
+
+
+if __name__ == "__main__":
+    main()

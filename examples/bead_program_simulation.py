@@ -1,0 +1,73 @@
+"""Simulating a BEAD program informed by the CAF audit.
+
+The paper's final recommendation chain, executed end to end:
+
+1. Audit CAF (the paper's study) to learn each ISP's track record.
+2. Allocate BEAD funds across states by unserved locations.
+3. Award state subgrants *weighted by past CAF compliance* — the
+   paper's "officials should consider past compliance … when deciding
+   how to allocate new funds".
+4. Design the oversight program for the awards: review sizes with a
+   detection-power target, an external audit sized by the sampling-
+   floor analysis, and the expected audit duration.
+
+Run with::
+
+    python examples/bead_program_simulation.py
+"""
+
+from repro import ScenarioConfig, run_full_audit
+from repro.bead import BeadProgram, OversightPlanner, allocate_bead_funds
+
+ISPS = ("att", "centurylink", "frontier", "consolidated")
+
+
+def main() -> None:
+    print("Step 1 — audit CAF to establish track records…")
+    report = run_full_audit(scenario=ScenarioConfig.tiny(seed=5))
+    weights = BeadProgram.compliance_weights(report.audit, ISPS)
+    for isp, weight in sorted(weights.items(), key=lambda kv: -kv[1]):
+        print(f"  {isp}: audited serviceability {weight:.1%}")
+
+    print("\nStep 2 — allocate BEAD funds by unserved locations…")
+    audit_table = report.audit.table
+    unserved_by_state = {}
+    for state in report.audit.states():
+        sub = audit_table.where_equal(state=state)
+        unserved_by_state[state] = int(
+            (~sub["served"].astype(bool)).sum())
+    allocation = allocate_bead_funds(unserved_by_state)
+    for state, amount in allocation.top_states(5):
+        print(f"  {state}: ${amount / 1e9:5.2f}B "
+              f"({unserved_by_state[state]} audited-unserved locations)")
+
+    print("\nStep 3 — award one state's subgrants, compliance-weighted…")
+    program = BeadProgram(allocation=allocation)
+    state = max(unserved_by_state, key=unserved_by_state.get)
+    bids = {"att": 1_000, "frontier": 800, "centurylink": 900}
+    awards = program.split_state_fund(state, bids,
+                                      compliance_weights=weights)
+    print(f"  {state} (fund ${allocation.amount_for(state) / 1e9:.2f}B):")
+    for award in sorted(awards, key=lambda a: -a.amount_usd):
+        print(f"    {award.isp_id}: ${award.amount_usd / 1e6:8.1f}M for "
+              f"{award.locations} locations "
+              f"(${award.support_per_location:,.0f}/location)")
+    print("  → an ISP that certified phantom CAF coverage now bids "
+          "with a handicap.")
+
+    print("\nStep 4 — design the oversight program for the awards…")
+    planner = OversightPlanner(suspected_unserved_fraction=0.10,
+                               detection_power_target=0.99)
+    # Use each ISP's audited CBG size profile as the BEAD footprint.
+    cbg_sizes = {
+        isp: [plan.population_size
+              for (i, _cbg), plan in report.collection.plans.items()
+              if i == isp]
+        for isp in bids
+    }
+    plan = planner.plan(cbg_sizes)
+    print(plan.render())
+
+
+if __name__ == "__main__":
+    main()

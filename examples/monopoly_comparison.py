@@ -1,0 +1,65 @@
+"""Q3: do regulated monopolies beat unregulated ones?
+
+Reproduces the paper's Section 4.3 workflow end to end: filter census
+blocks to those served exclusively by BQT-queryable ISPs (Form 477 +
+National Broadband Map), query the incumbent at every CAF and non-CAF
+address, classify each block Type A/B/C, and compare average advertised
+speeds between the incumbent's regulated (CAF), unregulated-monopoly
+and competition modes.
+
+Run with::
+
+    python examples/monopoly_comparison.py
+"""
+
+from repro.core.collection import collect_q3_dataset
+from repro.core.monopoly import analyze_q3
+from repro.synth import ScenarioConfig, build_world
+
+
+def describe_cdf(label: str, cdf) -> None:
+    print(f"  {label}: median {cdf.median():7.1f} Mbps, "
+          f"p80 {cdf.quantile(0.8):7.1f} Mbps (n={cdf.n})")
+
+
+def main() -> None:
+    world = build_world(ScenarioConfig.tiny(seed=3))
+    print("Collecting the Q3 dataset (incumbent + cable competitors)…")
+    collection = collect_q3_dataset(world)
+    print(f"  queried {len(collection.log)} (ISP, address) pairs across "
+          f"{len(collection.analyzed_blocks)} blocks\n")
+
+    analysis = analyze_q3(collection)
+    counts = analysis.type_counts()
+    print(f"Block types: A={counts['A']} (CAF+monopoly), "
+          f"B={counts['B']} (CAF+competition), C={counts['C']} (all three)\n")
+
+    shares = analysis.outcome_shares("A", "monopoly")
+    print("Type A outcomes (paper: 55% tie / 27% CAF / 18% monopoly):")
+    print(f"  tie {shares['tie']:.0%} / CAF better {shares['caf']:.0%} / "
+          f"monopoly better {shares['rival']:.0%}\n")
+
+    print("Where CAF wins (Figure 4b/4c):")
+    caf_cdf, monopoly_cdf = analysis.speed_cdfs("A", "monopoly", "caf")
+    describe_cdf("CAF speeds     ", caf_cdf)
+    describe_cdf("monopoly speeds", monopoly_cdf)
+    increase = analysis.pct_increase_cdf("A", "monopoly", "caf")
+    print(f"  improvement: median {increase.median():.0f}%, "
+          f"p80 {increase.quantile(0.8):.0f}% (paper: 75% / 400%)\n")
+
+    print("Where monopoly wins (Figure 11a/11b):")
+    loss = analysis.pct_increase_cdf("A", "monopoly", "rival")
+    print(f"  monopoly lead: median {loss.median():.0f}%, "
+          f"p80 {loss.quantile(0.8):.0f}% (paper: 45% / 130%)\n")
+
+    cdfs = analysis.caf_speed_cdf_by_type()
+    if "B" in cdfs:
+        print("Competition spillover (Figure 6a):")
+        describe_cdf("CAF speeds in Type A", cdfs["A"])
+        describe_cdf("CAF speeds in Type B", cdfs["B"])
+        print("  → CAF addresses near competition get faster plans; "
+              "regulation alone helps only inconsistently.")
+
+
+if __name__ == "__main__":
+    main()

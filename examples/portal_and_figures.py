@@ -1,0 +1,53 @@
+"""Scripting against the open-data portal and drawing the figures.
+
+Plays the downstream analyst: pull certified deployments from the
+(simulated) USAC open-data portal with filters and pagination, join in
+audited outcomes, and render the paper's key distributions as terminal
+figures.
+
+Run with::
+
+    python examples/portal_and_figures.py
+"""
+
+from repro import ScenarioConfig, run_full_audit
+from repro.analysis.plots import ascii_bars, ascii_cdf
+from repro.stats.ecdf import ECDF
+from repro.usac.portal import OpenDataPortal, PortalQuery
+
+
+def main() -> None:
+    report = run_full_audit(scenario=ScenarioConfig.tiny(seed=2))
+    portal = OpenDataPortal(report.world.caf_map)
+
+    print("== Portal queries (the opendata.usac.org workflow) ==\n")
+    for isp in ("att", "centurylink", "frontier", "consolidated"):
+        print(f"  {isp}: {portal.count(isp_id=isp):,} certified locations")
+    mississippi = PortalQuery(filters={"isp_id": "att",
+                                       "state_abbreviation": "MS"},
+                              limit=500)
+    records = list(portal.fetch_all(mississippi))
+    print(f"\n  AT&T in Mississippi: {len(records)} certified locations, "
+          f"all at {records[0].certified_download_mbps:g} Mbps certified")
+
+    print("\n== Figure 1f as text: certified speeds are a formality ==\n")
+    certified = ECDF([r.certified_download_mbps
+                      for r in portal.fetch_all(
+                          PortalQuery(filters={"isp_id": "consolidated"}))])
+    print(ascii_cdf({"consolidated certified": certified.series()},
+                    log_x=True, height=8))
+
+    print("\n== Serviceability by ISP (Figure 2a summary) ==\n")
+    rates = report.serviceability.rate_by_isp()
+    print(ascii_bars({isp: rate for isp, rate in sorted(rates.items())},
+                     maximum=1.0, value_format=".1%"))
+
+    print("\n== Figure 4b as text: CAF vs monopoly where CAF wins ==\n")
+    caf_cdf, monopoly_cdf = report.monopoly.speed_cdfs("A", "monopoly", "caf")
+    print(ascii_cdf({"CAF": caf_cdf.series(),
+                     "monopoly": monopoly_cdf.series()},
+                    log_x=True, height=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of "The Efficacy of the Connect America Fund in
+Addressing US Internet Access Inequities" (ACM SIGCOMM 2024).
+
+The package rebuilds the paper's entire measurement stack in pure
+Python: the USAC/HUBB certification substrate, the FCC regulatory
+layer, synthetic census geography, calibrated ISP ground-truth models,
+a simulated broadband-plan querying tool (BQT) with the paper's
+documented per-ISP failure modes, and the audit analyses answering the
+paper's three policy questions.
+
+Quickstart::
+
+    from repro import run_full_audit, ScenarioConfig
+
+    report = run_full_audit(scenario=ScenarioConfig.tiny())
+    print("\\n".join(report.summary_lines()))
+
+Every table and figure in the paper has a generator::
+
+    from repro.analysis import ExperimentContext, run_experiment
+
+    context = ExperimentContext.at_scale("tiny")
+    print(run_experiment("figure4", context).render())
+"""
+
+from repro.core.pipeline import AuditReport, run_full_audit
+from repro.synth.scenario import ScenarioConfig
+from repro.synth.world import World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditReport",
+    "ScenarioConfig",
+    "World",
+    "build_world",
+    "run_full_audit",
+    "__version__",
+]

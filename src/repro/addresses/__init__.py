@@ -1,0 +1,16 @@
+"""Street-address substrate.
+
+The paper's datasets are keyed by residential street addresses: the
+USAC CAF Map lists certified deployment addresses, and a Zillow feed
+(obtained under a data-use agreement) supplies the *non-CAF* neighbor
+addresses needed for the Q3 monopoly comparison. This package models
+addresses, synthesizes realistic ones inside census blocks, and exposes
+a :class:`~repro.addresses.zillow.ZillowFeed` that plays the role of
+the paper's private Zillow dataset.
+"""
+
+from repro.addresses.models import StreetAddress
+from repro.addresses.generator import AddressGenerator
+from repro.addresses.zillow import ZillowFeed
+
+__all__ = ["AddressGenerator", "StreetAddress", "ZillowFeed"]

@@ -1,0 +1,55 @@
+"""The street-address record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.geometry import Point
+
+__all__ = ["StreetAddress"]
+
+
+@dataclass(frozen=True)
+class StreetAddress:
+    """A residential street address anchored to a census block.
+
+    ``address_id`` is a stable opaque identifier unique within a world;
+    ground truth (which ISP actually serves the address, at what plans)
+    and query results are keyed by it. No PII is modeled — like the
+    paper, the pipeline never needs occupant identity.
+    """
+
+    address_id: str
+    house_number: int
+    street_name: str
+    city: str
+    state_abbreviation: str
+    zip_code: str
+    block_geoid: str
+    location: Point
+    is_caf: bool
+
+    def __post_init__(self) -> None:
+        if self.house_number <= 0:
+            raise ValueError(f"house number must be positive, got {self.house_number}")
+        if len(self.block_geoid) != 15 or not self.block_geoid.isdigit():
+            raise ValueError(f"bad block GEOID {self.block_geoid!r}")
+        if len(self.zip_code) != 5 or not self.zip_code.isdigit():
+            raise ValueError(f"bad ZIP code {self.zip_code!r}")
+
+    @property
+    def block_group_geoid(self) -> str:
+        """GEOID of the containing census block group."""
+        return self.block_geoid[:12]
+
+    @property
+    def state_fips(self) -> str:
+        """FIPS code of the containing state."""
+        return self.block_geoid[:2]
+
+    @property
+    def single_line(self) -> str:
+        """The address formatted the way a user would type it into an
+        ISP's storefront (the input BQT feeds the website form)."""
+        return (f"{self.house_number} {self.street_name}, "
+                f"{self.city}, {self.state_abbreviation} {self.zip_code}")

@@ -1,0 +1,74 @@
+"""The Zillow-like residential address feed.
+
+The paper obtains non-CAF residential addresses from a private Zillow
+dataset under a data-use agreement (Section 3.3). This class is the
+synthetic stand-in: given a world's census blocks it can enumerate the
+residential addresses in a block that are *not* CAF-certified — exactly
+the lookup the Q3 collection performs ("we enumerate all CAF addresses
+from the USAC dataset and non-CAF addresses from a dataset of
+residential addresses provided by Zillow").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.addresses.models import StreetAddress
+
+__all__ = ["ZillowFeed"]
+
+
+class ZillowFeed:
+    """An indexed collection of residential addresses."""
+
+    def __init__(self, addresses: Iterable[StreetAddress]):
+        self._by_block: dict[str, list[StreetAddress]] = {}
+        self._by_id: dict[str, StreetAddress] = {}
+        for address in addresses:
+            if address.address_id in self._by_id:
+                raise ValueError(f"duplicate address id {address.address_id!r}")
+            self._by_id[address.address_id] = address
+            self._by_block.setdefault(address.block_geoid, []).append(address)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, address_id: str) -> bool:
+        return address_id in self._by_id
+
+    def lookup(self, address_id: str) -> StreetAddress:
+        """Return the address with ``address_id``."""
+        try:
+            return self._by_id[address_id]
+        except KeyError:
+            raise KeyError(f"unknown address id {address_id!r}") from None
+
+    def in_block(self, block_geoid: str) -> list[StreetAddress]:
+        """All feed addresses in a census block (empty list if none)."""
+        return list(self._by_block.get(block_geoid, []))
+
+    def non_caf_in_block(self, block_geoid: str) -> list[StreetAddress]:
+        """Non-CAF feed addresses in a census block."""
+        return [a for a in self.in_block(block_geoid) if not a.is_caf]
+
+    def blocks(self) -> list[str]:
+        """Block GEOIDs with at least one address, sorted."""
+        return sorted(self._by_block)
+
+    @staticmethod
+    def merge(feeds: Iterable["ZillowFeed"]) -> "ZillowFeed":
+        """Combine several per-state feeds into one."""
+        combined: list[StreetAddress] = []
+        for feed in feeds:
+            combined.extend(feed._by_id.values())
+        return ZillowFeed(combined)
+
+    def summary(self) -> Mapping[str, int]:
+        """Counts useful for logging: addresses, blocks, CAF/non-CAF."""
+        caf = sum(1 for a in self._by_id.values() if a.is_caf)
+        return {
+            "addresses": len(self._by_id),
+            "blocks": len(self._by_block),
+            "caf": caf,
+            "non_caf": len(self._by_id) - caf,
+        }

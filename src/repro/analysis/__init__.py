@@ -1,0 +1,14 @@
+"""Experiment registry: one generator per paper table/figure.
+
+Each experiment module exposes a ``run(context) -> ExperimentResult``;
+the registry maps experiment ids ("figure1", "table2", …) to those
+callables. The benchmark harness and the CLI both drive this registry,
+so ``python -m repro figure4`` and ``pytest benchmarks/bench_figure4.py``
+print the same rows.
+"""
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.registry import EXPERIMENTS, run_experiment
+from repro.analysis.result import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "ExperimentContext", "ExperimentResult", "run_experiment"]

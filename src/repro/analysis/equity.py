@@ -1,0 +1,39 @@
+"""Equity experiment: non-compliance by income and rurality.
+
+An extension answering §2.4's open question ("whether [the compliance
+gap] disproportionately affects certain populations") with the audit
+framework the paper built.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.result import ExperimentResult
+from repro.core.equity import EquityAnalysis
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Disaggregate the audit by CBG income quartile and rurality."""
+    analysis = EquityAnalysis(context.report.audit, context.report.world)
+    correlation = analysis.income_serviceability_correlation()
+    gap = analysis.rural_urban_gap()
+    scalars = {
+        "income_serviceability_spearman": correlation.coefficient,
+        "disparity_ratio_q4_over_q1": analysis.disparity_ratio(),
+    }
+    if "rural" in gap:
+        scalars["rural_serviceability"] = gap["rural"]
+    if "urban" in gap:
+        scalars["urban_serviceability"] = gap["urban"]
+    return ExperimentResult(
+        experiment_id="equity",
+        title="Non-compliance by income quartile and rurality",
+        scalars=scalars,
+        tables={"income_quartiles": analysis.quartile_table()},
+        notes=[
+            "extension: the paper's §2.4 notes USAC's compliance gap "
+            "cannot be disaggregated by population; the audit dataset can",
+        ],
+    )

@@ -1,0 +1,60 @@
+"""Figure 10 — geospatial distribution of AT&T serviceability.
+
+The paper maps CBG serviceability over California and Georgia and
+observes rates falling with distance from major city centers. Without
+a plotting stack, the reproduction emits the map's underlying rows
+(CBG centroid, serviceability, distance to the nearest city) and
+quantifies the visual claim as a correlation between distance and rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.result import ExperimentResult
+from repro.stats.correlation import spearman
+from repro.tabular import Table
+
+__all__ = ["run"]
+
+MAP_STATES = ("CA", "GA")
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Emit per-CBG map rows and the distance-vs-rate correlation."""
+    analysis = context.report.serviceability
+    world = context.report.world
+    scalars = {}
+    tables = {}
+    for state in MAP_STATES:
+        sub = analysis.cbg_rates.where_equal(isp_id="att", state=state)
+        rows = []
+        for row in sub.iter_rows():
+            block_group = world.block_groups.get(row["cbg"])
+            if block_group is None:
+                continue
+            rows.append({
+                "cbg": row["cbg"],
+                "longitude": block_group.centroid.longitude,
+                "latitude": block_group.centroid.latitude,
+                "serviceability": row["rate"],
+                "distance_to_city_miles": block_group.distance_to_city_miles,
+            })
+        if len(rows) < 3:
+            continue
+        table = Table.from_rows(rows)
+        tables[f"fig10_map_{state}"] = table
+        correlation = spearman(table["distance_to_city_miles"],
+                               table["serviceability"])
+        scalars[f"distance_rate_spearman_{state}"] = correlation.coefficient
+    return ExperimentResult(
+        experiment_id="figure10",
+        title="Geospatial distribution of AT&T serviceability (CA, GA)",
+        scalars=scalars,
+        tables=tables,
+        notes=[
+            "paper: areas distant from major city centers exhibit lower "
+            "rates — expect a negative distance↔rate correlation",
+        ],
+    )

@@ -1,0 +1,52 @@
+"""Figure 2 — serviceability rates by ISP and state."""
+
+from __future__ import annotations
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.result import ExperimentResult
+from repro.synth.calibration import (
+    PAPER_AGGREGATE_SERVICEABILITY,
+    PAPER_SERVICEABILITY_BY_ISP,
+)
+from repro.tabular import Table
+
+__all__ = ["run"]
+
+
+def _box_table(stats: dict[str, object]) -> Table:
+    rows = []
+    for key, box in sorted(stats.items()):
+        row = {"group": key}
+        row.update(box.row())
+        rows.append(row)
+    return Table.from_rows(rows)
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Reproduce Figures 2a/2b/2c from the audit."""
+    analysis = context.report.serviceability
+
+    scalars = {
+        "aggregate_serviceability": analysis.aggregate_rate(),
+        "paper_aggregate_serviceability": PAPER_AGGREGATE_SERVICEABILITY,
+    }
+    for isp, rate in analysis.rate_by_isp().items():
+        scalars[f"serviceability_{isp}"] = rate
+        paper = PAPER_SERVICEABILITY_BY_ISP.get(isp)
+        if paper is not None:
+            scalars[f"paper_serviceability_{isp}"] = paper
+
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="Serviceability rates by ISP and state",
+        scalars=scalars,
+        tables={
+            "fig2a_cbg_rate_distribution_by_isp": _box_table(
+                analysis.cbg_rate_distribution_by_isp()),
+            "fig2b_cbg_rate_distribution_by_state": _box_table(
+                analysis.cbg_rate_distribution_by_state()),
+            "fig2c_att_distribution_by_state": _box_table(
+                analysis.isp_state_distribution("att")),
+            "state_isp_rates": analysis.rate_by_state_isp(),
+        },
+    )

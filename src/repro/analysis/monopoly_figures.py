@@ -1,0 +1,131 @@
+"""Figures 4, 5, 6 and 11 — the Q3 monopoly/competition comparisons."""
+
+from __future__ import annotations
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.result import ExperimentResult
+from repro.synth.calibration import TYPE_A_SHARES, TYPE_B_SHARES
+
+__all__ = ["run_figure4", "run_figure5", "run_figure6", "run_figure11"]
+
+
+def _shares_scalars(prefix: str, measured: dict[str, float],
+                    paper) -> dict[str, float]:
+    paper_map = paper.as_mapping()
+    out = {}
+    for outcome in ("tie", "caf", "rival"):
+        out[f"{prefix}_{outcome}_share"] = measured[outcome]
+        out[f"paper_{prefix}_{outcome}_share"] = paper_map[outcome]
+    return out
+
+
+def run_figure4(context: ExperimentContext) -> ExperimentResult:
+    """Type A blocks: outcome shares, speed CDFs, pct-increase CDF."""
+    monopoly = context.report.monopoly
+    shares = monopoly.outcome_shares("A", "monopoly")
+    caf_cdf, rival_cdf = monopoly.speed_cdfs("A", "monopoly", winner="caf")
+    increase = monopoly.pct_increase_cdf("A", "monopoly", winner="caf")
+    return ExperimentResult(
+        experiment_id="figure4",
+        title="Regulated monopolies (CAF) in Type A blocks",
+        scalars={
+            **_shares_scalars("type_a", shares, TYPE_A_SHARES),
+            "median_pct_increase_caf_wins": increase.median(),
+            "paper_median_pct_increase_caf_wins": 75.0,
+            "p80_pct_increase_caf_wins": increase.quantile(0.8),
+            "paper_p80_pct_increase_caf_wins": 400.0,
+            "num_type_a_blocks": float(len(monopoly.of_type("A"))),
+        },
+        series={
+            "fig4b_caf_speeds": caf_cdf.series(),
+            "fig4b_monopoly_speeds": rival_cdf.series(),
+            "fig4c_pct_increase": increase.series(),
+        },
+    )
+
+
+def run_figure5(context: ExperimentContext) -> ExperimentResult:
+    """Type B blocks: outcome shares, speed CDFs, pct-increase CDF."""
+    monopoly = context.report.monopoly
+    shares = monopoly.outcome_shares("B", "competition")
+    scalars = {
+        **_shares_scalars("type_b", shares, TYPE_B_SHARES),
+        "num_type_b_blocks": float(len(monopoly.of_type("B"))),
+    }
+    series = {}
+    try:
+        caf_cdf, rival_cdf = monopoly.speed_cdfs("B", "competition", winner="caf")
+        increase = monopoly.pct_increase_cdf("B", "competition", winner="caf")
+        series = {
+            "fig5b_caf_speeds": caf_cdf.series(),
+            "fig5b_competition_speeds": rival_cdf.series(),
+            "fig5c_pct_increase": increase.series(),
+        }
+        scalars["median_pct_increase_caf_wins"] = increase.median()
+    except ValueError:
+        # Tiny worlds can have no Type B block where CAF wins.
+        pass
+    return ExperimentResult(
+        experiment_id="figure5",
+        title="Regulated monopolies (CAF) in Type B blocks",
+        scalars=scalars,
+        series=series,
+    )
+
+
+def run_figure6(context: ExperimentContext) -> ExperimentResult:
+    """CAF speeds in Type A vs Type B blocks."""
+    monopoly = context.report.monopoly
+    cdfs = monopoly.caf_speed_cdf_by_type()
+    scalars = {}
+    series = {}
+    if "A" in cdfs:
+        scalars["type_a_caf_median_mbps"] = cdfs["A"].median()
+        series["fig6a_type_a_caf_speeds"] = cdfs["A"].series()
+    if "B" in cdfs:
+        scalars["type_b_caf_median_mbps"] = cdfs["B"].median()
+        series["fig6a_type_b_caf_speeds"] = cdfs["B"].series()
+    if "A" in cdfs and "B" in cdfs:
+        gap = cdfs["B"].quantile(0.8) - cdfs["A"].quantile(0.8)
+        scalars["p80_speed_gap_b_minus_a_mbps"] = gap
+    return ExperimentResult(
+        experiment_id="figure6",
+        title="CAF speeds across Type A and Type B blocks",
+        scalars=scalars,
+        series=series,
+        notes=[
+            "paper: in 20% of blocks, Type B CAF speeds exceed Type A "
+            "by over 90 Mbps (competition spillover)",
+        ],
+    )
+
+
+def run_figure11(context: ExperimentContext) -> ExperimentResult:
+    """The loser-side CDFs: blocks where CAF performs worse."""
+    monopoly = context.report.monopoly
+    scalars = {}
+    series = {}
+    caf_cdf, rival_cdf = monopoly.speed_cdfs("A", "monopoly", winner="rival")
+    increase = monopoly.pct_increase_cdf("A", "monopoly", winner="rival")
+    series["fig11a_caf_speeds"] = caf_cdf.series()
+    series["fig11a_monopoly_speeds"] = rival_cdf.series()
+    series["fig11b_pct_increase"] = increase.series()
+    scalars["median_pct_increase_monopoly_wins"] = increase.median()
+    scalars["paper_median_pct_increase_monopoly_wins"] = 45.0
+    scalars["p80_pct_increase_monopoly_wins"] = increase.quantile(0.8)
+    scalars["paper_p80_pct_increase_monopoly_wins"] = 130.0
+    try:
+        caf_b, rival_b = monopoly.speed_cdfs("B", "competition", winner="rival")
+        increase_b = monopoly.pct_increase_cdf("B", "competition", winner="rival")
+        series["fig11c_caf_speeds"] = caf_b.series()
+        series["fig11c_competition_speeds"] = rival_b.series()
+        series["fig11d_pct_increase"] = increase_b.series()
+        scalars["median_pct_increase_competition_wins"] = increase_b.median()
+    except ValueError:
+        pass
+    return ExperimentResult(
+        experiment_id="figure11",
+        title="Blocks where CAF performs worse than its counterpart",
+        scalars=scalars,
+        series=series,
+    )

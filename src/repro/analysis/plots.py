@@ -1,0 +1,99 @@
+"""ASCII rendering of CDFs and bars for terminal-first reporting.
+
+The repository has no plotting stack, but the paper's figures are
+mostly CDFs and grouped bars — both legible as text. These renderers
+back `caf-audit experiment --plot` style output and give the examples
+something better than raw quantiles to show.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_cdf", "ascii_bars"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def ascii_cdf(
+    series: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render one or more CDF traces on a shared text canvas.
+
+    Each named series is an ``(x, y)`` pair as produced by
+    :meth:`repro.stats.ecdf.ECDF.series`; up to nine series are drawn
+    with the markers 1–9 (overlaps show the later series).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if len(series) > 9:
+        raise ValueError("at most 9 series per canvas")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+
+    all_x = np.concatenate([xs for xs, _ in series.values()])
+    if log_x:
+        all_x = all_x[all_x > 0]
+        if all_x.size == 0:
+            raise ValueError("log_x with no positive values")
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    if log_x:
+        x_low, x_high = np.log10(x_low), np.log10(x_high)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items(), start=1):
+        marker = str(index)
+        values = np.log10(np.maximum(xs, 1e-12)) if log_x else xs
+        for x, y in zip(values, ys):
+            column = int((x - x_low) / (x_high - x_low) * (width - 1))
+            row = int((1.0 - y) * (height - 1))
+            canvas[row][min(max(column, 0), width - 1)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.1f} |" + "".join(row))
+    axis_label = "log10(x)" if log_x else "x"
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_low:<10.3g}{axis_label:^{width - 20}}{x_high:>10.3g}")
+    legend = "  ".join(f"{i}={name}"
+                       for i, name in enumerate(series, start=1))
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 40,
+    maximum: float | None = None,
+    value_format: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render a labelled horizontal bar chart."""
+    if not values:
+        raise ValueError("no bars to plot")
+    top = maximum if maximum is not None else max(values.values())
+    if top <= 0:
+        raise ValueError("maximum must be positive")
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        fraction = min(max(value / top, 0.0), 1.0)
+        whole = int(fraction * width)
+        remainder = int((fraction * width - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole
+        if whole < width and remainder > 0:
+            bar += _BLOCKS[remainder]
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)}| "
+                     f"{format(value, value_format)}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""The experiment registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.analysis import (
+    carriage,
+    collection_figures,
+    equity,
+    staleness,
+    figure1,
+    figure2,
+    figure3,
+    figure9,
+    figure10,
+    headline,
+    monopoly_figures,
+    table1,
+    tables34,
+)
+from repro.analysis.context import ExperimentContext
+from repro.analysis.result import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: Mapping[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": monopoly_figures.run_figure4,
+    "figure5": monopoly_figures.run_figure5,
+    "figure6": monopoly_figures.run_figure6,
+    "figure7": collection_figures.run_figure7,
+    "figure8": collection_figures.run_figure8,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "figure11": monopoly_figures.run_figure11,
+    "figure12": collection_figures.run_figure12,
+    "table1": table1.run,
+    "table2": collection_figures.run_table2,
+    "table3": tables34.run_table3,
+    "table4": tables34.run_table4,
+    "headline": headline.run,
+    # Extensions beyond the paper's figures: §4.2's carriage-value
+    # argument and §2.4's open equity question, quantified.
+    "carriage": carriage.run,
+    "equity": equity.run,
+    "staleness": staleness.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, context: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment by id, building a context if not supplied."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(context or ExperimentContext.at_scale())

@@ -1,0 +1,102 @@
+"""Markdown reproduction report generator.
+
+``caf-audit report --out report.md`` regenerates a paper-vs-measured
+record (the hand-curated EXPERIMENTS.md's machine-written sibling) from
+a live run: every registered experiment executes, and every scalar that
+has a ``paper_``-prefixed twin is emitted as a comparison row with the
+relative deviation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.registry import EXPERIMENTS, run_experiment
+from repro.analysis.result import ExperimentResult
+
+__all__ = ["comparison_rows", "generate_report", "write_report"]
+
+
+def comparison_rows(result: ExperimentResult) -> list[dict[str, float | str]]:
+    """Extract (metric, paper, measured, deviation) rows from scalars."""
+    rows = []
+    for key, paper_value in result.scalars.items():
+        if not key.startswith("paper_"):
+            continue
+        metric = key[len("paper_"):]
+        measured = result.scalars.get(metric)
+        if measured is None:
+            continue
+        if paper_value:
+            deviation = f"{(measured - paper_value) / abs(paper_value):+.1%}"
+        else:
+            deviation = "n/a"
+        rows.append({
+            "metric": metric,
+            "paper": paper_value,
+            "measured": measured,
+            "relative_deviation": deviation,
+        })
+    return rows
+
+
+def generate_report(
+    context: ExperimentContext,
+    experiment_ids: tuple[str, ...] | None = None,
+) -> str:
+    """Run experiments and render the markdown report."""
+    ids = sorted(experiment_ids or EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    lines = [
+        "# Reproduction report (auto-generated)",
+        "",
+        f"Scenario: seed {context.scenario.seed}, "
+        f"address_scale {context.scenario.address_scale}, "
+        f"{len(context.scenario.states)} states.",
+        "",
+        "Measured values come from a live pipeline run; `paper` values "
+        "are the published numbers carried in the experiment "
+        "definitions. Shape, not point equality, is the reproduction "
+        "claim (see EXPERIMENTS.md).",
+        "",
+    ]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, context)
+        lines.append(f"## {experiment_id} — {result.title}")
+        lines.append("")
+        rows = comparison_rows(result)
+        if rows:
+            lines.append("| metric | paper | measured | rel. deviation |")
+            lines.append("|---|---|---|---|")
+            for row in rows:
+                lines.append(
+                    f"| {row['metric']} | {row['paper']:.4g} | "
+                    f"{row['measured']:.4g} | {row['relative_deviation']} |")
+        else:
+            interesting = {k: v for k, v in result.scalars.items()
+                           if not k.startswith("paper_")}
+            if interesting:
+                lines.append("| metric | measured |")
+                lines.append("|---|---|")
+                for key, value in interesting.items():
+                    lines.append(f"| {key} | {value:.4g} |")
+        for note in result.notes:
+            lines.append(f"- note: {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    context: ExperimentContext,
+    path: str | Path,
+    experiment_ids: tuple[str, ...] | None = None,
+) -> Path:
+    """Generate and write the report; returns the path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(generate_report(context, experiment_ids),
+                           encoding="utf-8")
+    return destination

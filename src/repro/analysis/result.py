@@ -1,0 +1,58 @@
+"""The uniform experiment output shape."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tabular import Table, render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """What one table/figure reproduction produced.
+
+    ``scalars`` carries headline numbers (with ``paper_``-prefixed keys
+    for the published values where the paper states them), ``tables``
+    carries row sets, and ``series`` carries CDF traces as ``(x, y)``
+    arrays.
+    """
+
+    experiment_id: str
+    title: str
+    scalars: dict[str, float] = field(default_factory=dict)
+    tables: dict[str, Table] = field(default_factory=dict)
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self, max_rows: int = 30) -> str:
+        """Human-readable report for the CLI / bench output."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.scalars:
+            width = max(len(k) for k in self.scalars)
+            for key, value in self.scalars.items():
+                parts.append(f"  {key.ljust(width)} = {value:.4g}")
+        for name, table in self.tables.items():
+            parts.append("")
+            parts.append(render_table(table, title=f"-- {name} --",
+                                      max_rows=max_rows))
+        for name, (xs, ys) in self.series.items():
+            quantiles = [0.1, 0.25, 0.5, 0.75, 0.9]
+            points = ", ".join(
+                f"p{int(q * 100)}={_series_quantile(xs, ys, q):.3g}"
+                for q in quantiles
+            )
+            parts.append(f"  series {name} (n={xs.size}): {points}")
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+
+def _series_quantile(xs: np.ndarray, ys: np.ndarray, q: float) -> float:
+    """Invert a CDF series at ``q``."""
+    index = int(np.searchsorted(ys, q, side="left"))
+    index = min(index, xs.size - 1)
+    return float(xs[index])

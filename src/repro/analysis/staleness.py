@@ -1,0 +1,73 @@
+"""Staleness experiment (Appendix 8.1's limitation, measured).
+
+The paper queried each address once and argues its non-compliance
+findings remain representative because the CAF II deadline had long
+passed. This experiment measures the staleness bias directly: evolve
+the world by N years of plan churn, re-run the audit, and report how
+the headline metrics drift.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.result import ExperimentResult
+from repro.core.audit import AuditDataset, ComplianceStandard
+from repro.core.collection import CollectionCampaign
+from repro.fcc.urban_rate_survey import generate_urban_rate_survey
+from repro.synth.churn import ChurnModel, churned_world
+from repro.tabular import Table
+
+__all__ = ["run"]
+
+
+def _audit_rates(world) -> tuple[float, float]:
+    campaign = CollectionCampaign(world)
+    collection = campaign.run()
+    survey = generate_urban_rate_survey(seed=world.config.seed)
+    audit = AuditDataset(collection.log, collection.cbg_totals, world=world,
+                         standard=ComplianceStandard(survey=survey))
+    return audit.serviceability_rate(), audit.compliance_rate()
+
+
+def run(context: ExperimentContext,
+        years: tuple[int, ...] = (1, 3)) -> ExperimentResult:
+    """Audit the same world at snapshot time and after churn."""
+    base_serviceability = context.report.serviceability.aggregate_rate()
+    base_compliance = context.report.compliance.aggregate_rate()
+    rows = [{
+        "years_after_snapshot": 0,
+        "serviceability": base_serviceability,
+        "compliance": base_compliance,
+        "serviceability_drift_pp": 0.0,
+        "compliance_drift_pp": 0.0,
+    }]
+    model = ChurnModel()
+    for horizon in years:
+        evolved = churned_world(context.world, years=horizon, model=model)
+        serviceability, compliance = _audit_rates(evolved)
+        rows.append({
+            "years_after_snapshot": horizon,
+            "serviceability": serviceability,
+            "compliance": compliance,
+            "serviceability_drift_pp":
+                (serviceability - base_serviceability) * 100.0,
+            "compliance_drift_pp": (compliance - base_compliance) * 100.0,
+        })
+    last = rows[-1]
+    return ExperimentResult(
+        experiment_id="staleness",
+        title="Staleness of a one-shot audit under plan churn",
+        scalars={
+            "serviceability_drift_pp_at_max_horizon":
+                last["serviceability_drift_pp"],
+            "compliance_drift_pp_at_max_horizon":
+                last["compliance_drift_pp"],
+        },
+        tables={"drift_by_horizon": Table.from_rows(rows)},
+        notes=[
+            "under upgrade-dominated churn the one-shot audit is a "
+            "conservative (slightly pessimistic) estimate of later "
+            "compliance — consistent with the paper's §8.1 argument "
+            "that its non-compliance findings are representative",
+        ],
+    )

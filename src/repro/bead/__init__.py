@@ -1,0 +1,31 @@
+"""BEAD: applying the paper's framework to the next program.
+
+The paper's conclusion (Section 6) argues its post-hoc evaluation
+framework "could be readily applied to the BEAD program, which is
+poised to spend over $42 billion". This package is that application —
+the paper's stated future work, built out:
+
+* :mod:`repro.bead.allocation` — the BEAD allocation mechanism:
+  a statutory minimum per state plus a share proportional to each
+  state's unserved locations.
+* :mod:`repro.bead.program` — a BEAD-style program instance over a
+  synthetic world: subgrants with service obligations (BEAD's floor is
+  100/20 Mbps, not CAF's 10/1) and certified deployments.
+* :mod:`repro.bead.planner` — the oversight planner: given an audit
+  budget, choose review sample sizes (detection power), CBG sampling
+  floors (sensitivity), and BQT worker allocations (campaign
+  arithmetic), and report the expected audit duration and coverage.
+"""
+
+from repro.bead.allocation import BeadAllocation, allocate_bead_funds
+from repro.bead.planner import AuditPlan, OversightPlanner
+from repro.bead.program import BeadProgram, BeadSubgrant
+
+__all__ = [
+    "AuditPlan",
+    "BeadAllocation",
+    "BeadProgram",
+    "BeadSubgrant",
+    "OversightPlanner",
+    "allocate_bead_funds",
+]

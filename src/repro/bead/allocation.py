@@ -1,0 +1,91 @@
+"""The BEAD allocation mechanism.
+
+BEAD allocates $42.45B: every state receives a $100M statutory minimum,
+and the remainder is distributed proportionally to each state's share
+of unserved broadband-serviceable locations. The unserved counts here
+come from any location source with a served/unserved flag — in this
+repository, the ground truth of a synthetic world or the certified
+national CAF Map (treating non-compliant locations as unserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.stats.distributions import allocate_counts
+
+__all__ = ["BeadAllocation", "allocate_bead_funds",
+           "BEAD_TOTAL_USD", "BEAD_STATE_MINIMUM_USD"]
+
+BEAD_TOTAL_USD = 42_450_000_000.0
+BEAD_STATE_MINIMUM_USD = 100_000_000.0
+
+
+@dataclass(frozen=True)
+class BeadAllocation:
+    """A complete BEAD fund allocation across states."""
+
+    amounts_by_state: Mapping[str, float]
+    total_usd: float
+    minimum_usd: float
+
+    def __post_init__(self) -> None:
+        allocated = sum(self.amounts_by_state.values())
+        if abs(allocated - self.total_usd) > 1.0:
+            raise ValueError(
+                f"allocation sums to {allocated}, expected {self.total_usd}")
+
+    def amount_for(self, state: str) -> float:
+        """Allocated dollars for one state."""
+        try:
+            return self.amounts_by_state[state]
+        except KeyError:
+            raise KeyError(f"no allocation for state {state!r}") from None
+
+    def top_states(self, n: int) -> list[tuple[str, float]]:
+        """The ``n`` largest allocations, descending."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return sorted(self.amounts_by_state.items(),
+                      key=lambda kv: -kv[1])[:n]
+
+
+def allocate_bead_funds(
+    unserved_by_state: Mapping[str, int],
+    total_usd: float = BEAD_TOTAL_USD,
+    minimum_usd: float = BEAD_STATE_MINIMUM_USD,
+) -> BeadAllocation:
+    """Allocate ``total_usd`` across states.
+
+    Each state gets ``minimum_usd``; the remainder is split by unserved
+    shares (largest-remainder at dollar granularity). States with zero
+    unserved locations still receive the minimum, as under the statute.
+    """
+    if not unserved_by_state:
+        raise ValueError("need at least one state")
+    if any(count < 0 for count in unserved_by_state.values()):
+        raise ValueError("unserved counts must be non-negative")
+    states = sorted(unserved_by_state)
+    floor_total = minimum_usd * len(states)
+    if floor_total > total_usd:
+        raise ValueError(
+            f"minimums (${floor_total:,.0f}) exceed the fund "
+            f"(${total_usd:,.0f})")
+    remainder = total_usd - floor_total
+    total_unserved = sum(unserved_by_state.values())
+    if total_unserved == 0:
+        shares = {state: minimum_usd + remainder / len(states)
+                  for state in states}
+    else:
+        proportional = allocate_counts(
+            round(remainder),
+            [unserved_by_state[state] for state in states],
+        )
+        shares = {state: minimum_usd + float(amount)
+                  for state, amount in zip(states, proportional)}
+    return BeadAllocation(
+        amounts_by_state=shares,
+        total_usd=float(sum(shares.values())),
+        minimum_usd=minimum_usd,
+    )

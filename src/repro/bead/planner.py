@@ -1,0 +1,107 @@
+"""The BEAD oversight planner.
+
+Combines the repository's three measurement-design tools into one
+planning object:
+
+* *detection power* (:mod:`repro.core.oversight`) sizes the certified-
+  location reviews a state must run to catch false certifications;
+* the *sampling floor* result (Appendix 8.2 / Figure 9) sets the
+  per-CBG external-audit sample;
+* the *campaign arithmetic* (:mod:`repro.bqt.campaign`) converts the
+  resulting query counts into wall-clock, respecting the politeness cap
+  on per-ISP concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bqt.campaign import (
+    MAX_POLITE_WORKERS_PER_ISP,
+    estimate_duration,
+    plan_study,
+)
+from repro.core.oversight import required_sample_for_power
+from repro.core.sampling import SamplingPolicy
+
+__all__ = ["AuditPlan", "OversightPlanner"]
+
+
+@dataclass(frozen=True)
+class AuditPlan:
+    """A concrete oversight plan for one program year."""
+
+    review_sample_by_isp: Mapping[str, int]
+    audit_policy: SamplingPolicy
+    audit_queries_by_isp: Mapping[str, int]
+    audit_wall_clock_days: float
+    bottleneck_isp: str
+
+    def render(self) -> str:
+        """Human-readable plan."""
+        lines = ["Oversight plan:"]
+        lines.append("  certification reviews (detection-power sized):")
+        for isp, sample in sorted(self.review_sample_by_isp.items()):
+            lines.append(f"    {isp}: review {sample} certified locations")
+        lines.append(
+            f"  external audit: floor {self.audit_policy.min_samples} / "
+            f"{self.audit_policy.sampling_fraction:.0%} per CBG")
+        for isp, queries in sorted(self.audit_queries_by_isp.items()):
+            lines.append(f"    {isp}: ~{queries} queries")
+        lines.append(
+            f"  expected wall clock: {self.audit_wall_clock_days:.1f} days "
+            f"(bottleneck: {self.bottleneck_isp})")
+        return "\n".join(lines)
+
+
+class OversightPlanner:
+    """Designs reviews and audits for a set of funded ISPs."""
+
+    def __init__(
+        self,
+        suspected_unserved_fraction: float = 0.10,
+        detection_power_target: float = 0.99,
+        sampling_policy: SamplingPolicy | None = None,
+    ):
+        if not 0.0 < suspected_unserved_fraction < 1.0:
+            raise ValueError("suspected fraction must be in (0, 1)")
+        self._suspected = suspected_unserved_fraction
+        self._power = detection_power_target
+        self._policy = sampling_policy or SamplingPolicy()
+
+    @property
+    def policy(self) -> SamplingPolicy:
+        """The external-audit sampling policy."""
+        return self._policy
+
+    def review_sample_size(self) -> int:
+        """Certified locations per ISP review for the power target."""
+        return required_sample_for_power(self._suspected, self._power)
+
+    def audit_queries_for(self, cbg_sizes: list[int]) -> int:
+        """Total queries the external audit needs over given CBGs."""
+        return sum(self._policy.target_for(size) for size in cbg_sizes)
+
+    def plan(
+        self,
+        cbg_sizes_by_isp: Mapping[str, list[int]],
+        workers_per_isp: int = MAX_POLITE_WORKERS_PER_ISP,
+    ) -> AuditPlan:
+        """Produce the full plan for the funded ISPs."""
+        if not cbg_sizes_by_isp:
+            raise ValueError("no funded ISPs to oversee")
+        review_sample = self.review_sample_size()
+        queries = {
+            isp: self.audit_queries_for(sizes)
+            for isp, sizes in cbg_sizes_by_isp.items()
+        }
+        estimate = estimate_duration(
+            plan_study(queries, workers_per_isp=workers_per_isp))
+        return AuditPlan(
+            review_sample_by_isp={isp: review_sample for isp in queries},
+            audit_policy=self._policy,
+            audit_queries_by_isp=queries,
+            audit_wall_clock_days=estimate.wall_clock_days,
+            bottleneck_isp=estimate.bottleneck_isp,
+        )

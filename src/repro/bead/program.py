@@ -1,0 +1,134 @@
+"""A BEAD-style program instance over a synthetic world.
+
+BEAD differs from CAF in the dimensions the paper highlights: a higher
+service floor (100/20 Mbps vs 10/1), state-administered subgrants
+rather than FCC-assigned support, and — if the paper's recommendation
+is followed — funding conditioned on *past compliance*. The program
+model here supports exactly those levers so the oversight planner has
+something real to plan against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.bead.allocation import BeadAllocation
+from repro.core.audit import AuditDataset
+
+__all__ = ["BeadSubgrant", "BeadProgram",
+           "BEAD_MIN_DOWNLOAD_MBPS", "BEAD_MIN_UPLOAD_MBPS"]
+
+BEAD_MIN_DOWNLOAD_MBPS = 100.0
+BEAD_MIN_UPLOAD_MBPS = 20.0
+
+
+@dataclass(frozen=True)
+class BeadSubgrant:
+    """One state subgrant to one ISP."""
+
+    state: str
+    isp_id: str
+    amount_usd: float
+    locations: int
+    min_download_mbps: float = BEAD_MIN_DOWNLOAD_MBPS
+    min_upload_mbps: float = BEAD_MIN_UPLOAD_MBPS
+
+    def __post_init__(self) -> None:
+        if self.amount_usd <= 0:
+            raise ValueError("subgrant amount must be positive")
+        if self.locations <= 0:
+            raise ValueError("subgrant must cover at least one location")
+
+    @property
+    def support_per_location(self) -> float:
+        """Dollars per covered location."""
+        return self.amount_usd / self.locations
+
+
+@dataclass
+class BeadProgram:
+    """A state-administered BEAD program."""
+
+    allocation: BeadAllocation
+    subgrants: list[BeadSubgrant] = field(default_factory=list)
+
+    def award(self, subgrant: BeadSubgrant) -> None:
+        """Record a subgrant; rejects over-allocation of a state fund."""
+        committed = self.committed_for(subgrant.state) + subgrant.amount_usd
+        available = self.allocation.amount_for(subgrant.state)
+        if committed > available + 1e-6:
+            raise ValueError(
+                f"{subgrant.state} over-allocated: committed "
+                f"${committed:,.0f} of ${available:,.0f}")
+        self.subgrants.append(subgrant)
+
+    def committed_for(self, state: str) -> float:
+        """Dollars already awarded in one state."""
+        return sum(s.amount_usd for s in self.subgrants
+                   if s.state == state)
+
+    def locations_by_isp(self) -> Mapping[str, int]:
+        """Covered locations per ISP across all states."""
+        totals: dict[str, int] = {}
+        for subgrant in self.subgrants:
+            totals[subgrant.isp_id] = totals.get(subgrant.isp_id, 0) \
+                + subgrant.locations
+        return totals
+
+    # ------------------------------------------------------------------
+    # The paper's §6 recommendation: weight awards by past compliance.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def compliance_weights(
+        audit: AuditDataset, isps: Iterable[str]
+    ) -> dict[str, float]:
+        """Award weights from a CAF audit's per-ISP serviceability.
+
+        "Federal and state officials should consider past compliance
+        with funding programs such as CAF when deciding how to allocate
+        new funds" — here, an ISP's weight is simply its audited
+        serviceability rate, so a provider that certified phantom
+        coverage bids with a handicap.
+        """
+        weights = {}
+        for isp in isps:
+            try:
+                weights[isp] = audit.serviceability_rate(isp_id=isp)
+            except ValueError:
+                weights[isp] = 1.0  # never audited → no track record
+        return weights
+
+    def split_state_fund(
+        self,
+        state: str,
+        locations_by_isp: Mapping[str, int],
+        compliance_weights: Mapping[str, float] | None = None,
+    ) -> list[BeadSubgrant]:
+        """Split a state's fund across bidding ISPs.
+
+        Shares are proportional to locations covered, optionally scaled
+        by compliance weights; awards are recorded on the program.
+        """
+        if not locations_by_isp:
+            raise ValueError("no bidders")
+        available = self.allocation.amount_for(state) \
+            - self.committed_for(state)
+        if available <= 0:
+            raise ValueError(f"{state} fund is exhausted")
+        scores = {}
+        for isp, locations in locations_by_isp.items():
+            if locations <= 0:
+                raise ValueError(f"bidder {isp} covers no locations")
+            weight = (compliance_weights or {}).get(isp, 1.0)
+            scores[isp] = locations * max(weight, 1e-6)
+        total_score = sum(scores.values())
+        awards = []
+        for isp in sorted(scores):
+            amount = available * scores[isp] / total_score
+            subgrant = BeadSubgrant(
+                state=state, isp_id=isp, amount_usd=amount,
+                locations=locations_by_isp[isp])
+            self.award(subgrant)
+            awards.append(subgrant)
+        return awards

@@ -1,0 +1,55 @@
+"""BQT — the broadband-plan querying tool, simulated.
+
+The real BQT [40] drives ISP web storefronts with a browser automation
+stack behind a residential-proxy pool, types a street address into the
+availability form, and scrapes the advertised plans. This package
+reproduces that system against simulated ISP websites:
+
+* :mod:`repro.bqt.responses` — the response taxonomy the paper's
+  appendix documents per ISP (plans page, no-service page, call to
+  order, human verification, dropdown miss, Brightspeed/Fidium
+  redirects, unknown-plan page).
+* :mod:`repro.bqt.errors` — the Table 2 error taxonomy (select
+  drop-down, analyzing result, empty traceback, clicking button, other).
+* :mod:`repro.bqt.websites` — per-ISP website state machines that
+  consult ground truth and inject the failure modes each real site
+  exhibited.
+* :mod:`repro.bqt.proxy` — the rotating proxy pool.
+* :mod:`repro.bqt.engine` — the query engine with retries, proxy
+  rotation, and the per-ISP query-time model (Figure 12).
+* :mod:`repro.bqt.logbook` — the query log every analysis consumes.
+"""
+
+from repro.bqt.campaign import (
+    CampaignEstimate,
+    CampaignPlan,
+    estimate_duration,
+    plan_full_census,
+    plan_study,
+)
+from repro.bqt.engine import BqtEngine, EngineConfig
+from repro.bqt.errors import ErrorCategory
+from repro.bqt.logbook import QueryLog, QueryRecord
+from repro.bqt.proxy import ProxyEndpoint, ProxyPool
+from repro.bqt.responses import PageKind, QueryStatus, WebsiteResponse
+from repro.bqt.websites import build_website, IspWebsite
+
+__all__ = [
+    "BqtEngine",
+    "CampaignEstimate",
+    "CampaignPlan",
+    "EngineConfig",
+    "estimate_duration",
+    "plan_full_census",
+    "plan_study",
+    "ErrorCategory",
+    "IspWebsite",
+    "PageKind",
+    "ProxyEndpoint",
+    "ProxyPool",
+    "QueryLog",
+    "QueryRecord",
+    "QueryStatus",
+    "WebsiteResponse",
+    "build_website",
+]

@@ -1,0 +1,153 @@
+"""Campaign planning: how long would a querying campaign take?
+
+Section 1 of the paper motivates its sampling strategy with campaign
+arithmetic: "ethically querying addresses at that scale … would take
+more than 6 months (calculated using the median query time for each
+ISP)", and "scaling up our data collection to increase the number of
+consecutive queries was found to overload the website". This module
+makes that arithmetic a first-class, testable object:
+
+* :class:`CampaignPlan` — addresses per ISP, parallel workers per ISP
+  (BQT ran many Docker containers), and a politeness cap on concurrent
+  queries per ISP so the plan never exceeds what the storefront
+  tolerates.
+* :func:`estimate_duration` — expected wall-clock for a plan from the
+  per-ISP lognormal query-time model (the Figure 12 calibration).
+* :func:`plan_full_census` / :func:`plan_study` — the two campaigns the
+  paper contrasts: all 6.13M CAF addresses vs the stratified sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.isp.registry import isp_by_id
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignEstimate",
+    "estimate_duration",
+    "plan_full_census",
+    "plan_study",
+    "MAX_POLITE_WORKERS_PER_ISP",
+]
+
+# Beyond a handful of concurrent sessions the paper found storefronts
+# degrading ("scaling up … was found to overload the website").
+MAX_POLITE_WORKERS_PER_ISP = 8
+
+SECONDS_PER_DAY = 86_400.0
+DAYS_PER_MONTH = 30.44
+
+# The real CAF address counts for the paper's full-census thought
+# experiment (Section 3.1): the top-3 ISPs' 54% of 6.13M plus
+# Consolidated's 138k.
+REAL_ADDRESSES_BY_ISP: Mapping[str, int] = {
+    "att": 1_960_000,
+    "centurylink": 740_000,
+    "frontier": 610_000,
+    "consolidated": 138_000,
+}
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A querying campaign: per-ISP address counts and workers."""
+
+    addresses_by_isp: Mapping[str, int]
+    workers_by_isp: Mapping[str, int]
+    retry_overhead: float = 1.15  # extra attempts per address, average
+
+    def __post_init__(self) -> None:
+        if not self.addresses_by_isp:
+            raise ValueError("a campaign needs at least one ISP")
+        for isp_id, count in self.addresses_by_isp.items():
+            if count < 0:
+                raise ValueError(f"negative address count for {isp_id}")
+            workers = self.workers_by_isp.get(isp_id, 1)
+            if workers < 1:
+                raise ValueError(f"{isp_id} needs at least one worker")
+            if workers > MAX_POLITE_WORKERS_PER_ISP:
+                raise ValueError(
+                    f"{workers} workers against {isp_id} exceeds the "
+                    f"politeness cap of {MAX_POLITE_WORKERS_PER_ISP} "
+                    "(the paper found higher concurrency overloads the "
+                    "storefront)"
+                )
+        if self.retry_overhead < 1.0:
+            raise ValueError("retry overhead cannot be below 1")
+
+    @property
+    def total_addresses(self) -> int:
+        """All addresses across ISPs."""
+        return sum(self.addresses_by_isp.values())
+
+
+@dataclass(frozen=True)
+class CampaignEstimate:
+    """Duration estimate for one campaign plan."""
+
+    per_isp_days: Mapping[str, float]
+    bottleneck_isp: str
+
+    @property
+    def wall_clock_days(self) -> float:
+        """Campaign duration: ISPs run in parallel, so the slowest
+        (usually AT&T) sets the wall clock."""
+        return max(self.per_isp_days.values())
+
+    @property
+    def wall_clock_months(self) -> float:
+        """Duration in months (the unit of the paper's claim)."""
+        return self.wall_clock_days / DAYS_PER_MONTH
+
+    @property
+    def sequential_days(self) -> float:
+        """Single-worker-single-ISP equivalent (upper bound)."""
+        return sum(self.per_isp_days.values())
+
+
+def _mean_query_seconds(isp_id: str) -> float:
+    """Mean of the ISP's lognormal query-time model.
+
+    mean = median * exp(sigma^2 / 2) for a lognormal parameterized by
+    its median.
+    """
+    info = isp_by_id(isp_id)
+    return info.median_query_seconds * math.exp(info.query_time_sigma**2 / 2)
+
+
+def estimate_duration(plan: CampaignPlan) -> CampaignEstimate:
+    """Expected wall-clock for a plan under the Figure 12 time model."""
+    per_isp_days = {}
+    for isp_id, count in plan.addresses_by_isp.items():
+        workers = plan.workers_by_isp.get(isp_id, 1)
+        seconds = count * plan.retry_overhead * _mean_query_seconds(isp_id)
+        per_isp_days[isp_id] = seconds / workers / SECONDS_PER_DAY
+    bottleneck = max(per_isp_days, key=per_isp_days.get)
+    return CampaignEstimate(per_isp_days=per_isp_days,
+                            bottleneck_isp=bottleneck)
+
+
+def plan_full_census(
+    workers_per_isp: int = MAX_POLITE_WORKERS_PER_ISP,
+) -> CampaignPlan:
+    """The paper's rejected option: query every CAF address of the four
+    study ISPs."""
+    return CampaignPlan(
+        addresses_by_isp=dict(REAL_ADDRESSES_BY_ISP),
+        workers_by_isp={isp: workers_per_isp for isp in REAL_ADDRESSES_BY_ISP},
+    )
+
+
+def plan_study(
+    addresses_by_isp: Mapping[str, int],
+    workers_per_isp: int = MAX_POLITE_WORKERS_PER_ISP,
+) -> CampaignPlan:
+    """The stratified-sample campaign actually run."""
+    return CampaignPlan(
+        addresses_by_isp=dict(addresses_by_isp),
+        workers_by_isp={isp: workers_per_isp for isp in addresses_by_isp},
+    )

@@ -1,0 +1,166 @@
+"""The BQT query engine.
+
+Drives website simulators the way the real BQT drives browsers: issue
+an attempt through the current proxy endpoint, interpret the page,
+retry transient failures with IP rotation, and log a final
+:class:`~repro.bqt.logbook.QueryRecord`. Query times follow a per-ISP
+lognormal calibrated to Figure 12 (AT&T slowest and widest because of
+its bot-detection friction). Time is *virtual* — accumulated, never
+slept — so a 537k-address campaign that took the authors months runs
+here in seconds while preserving the duration arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.addresses.models import StreetAddress
+from repro.bqt.errors import ErrorCategory, sample_error_category
+from repro.bqt.logbook import QueryRecord
+from repro.bqt.proxy import ProxyPool
+from repro.bqt.responses import PageKind, QueryStatus, WebsiteResponse
+from repro.bqt.websites import CenturyLinkWebsite, IspWebsite
+from repro.isp.registry import isp_by_id
+from repro.stats.distributions import stable_rng
+
+__all__ = ["EngineConfig", "BqtEngine"]
+
+# Page kinds that terminate the retry loop immediately.
+_CONCLUSIVE_PAGES = {
+    PageKind.PLANS_PAGE,
+    PageKind.EXISTING_SUBSCRIBER_PAGE,
+    PageKind.UNKNOWN_PLAN_PAGE,
+    PageKind.REDIRECT_FIDIUM,
+    PageKind.NO_SERVICE_PAGE,
+    PageKind.ADDRESS_NOT_FOUND,
+    PageKind.CALL_TO_ORDER,
+}
+
+# Error category to report when retries exhaust on a given page kind.
+_PAGE_ERROR_CATEGORY = {
+    PageKind.DROPDOWN_MISS: ErrorCategory.SELECT_DROPDOWN,
+    PageKind.HUMAN_VERIFICATION: ErrorCategory.EMPTY_TRACEBACK,
+    PageKind.CALL_TO_ORDER: ErrorCategory.ANALYZING_RESULT,
+}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Retry and pacing policy for a collection campaign."""
+
+    max_attempts: int = 3
+    rotate_proxy_on_failure: bool = True
+    # Seconds of back-off added per retry (virtual time).
+    retry_backoff_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("backoff must be non-negative")
+
+
+class BqtEngine:
+    """Queries one ISP's website for street addresses."""
+
+    def __init__(
+        self,
+        website: IspWebsite,
+        proxy_pool: ProxyPool | None = None,
+        config: EngineConfig | None = None,
+        seed: int = 0,
+    ):
+        self._website = website
+        self._pool = proxy_pool or ProxyPool(seed=seed)
+        self._config = config or EngineConfig()
+        self._seed = seed
+        self._info = isp_by_id(website.isp_id)
+
+    @property
+    def isp_id(self) -> str:
+        """The ISP this engine queries."""
+        return self._website.isp_id
+
+    @property
+    def proxy_pool(self) -> ProxyPool:
+        """The proxy pool in use."""
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def _draw_query_seconds(self, rng: np.random.Generator) -> float:
+        """One attempt's duration from the per-ISP Figure 12 model."""
+        median = self._info.median_query_seconds
+        sigma = self._info.query_time_sigma
+        return float(rng.lognormal(mean=np.log(median), sigma=sigma))
+
+    def query(self, address: StreetAddress) -> QueryRecord:
+        """Query one address to a final status."""
+        rng = stable_rng(self._seed, "engine", self.isp_id, address.address_id)
+        elapsed = 0.0
+        last_response: WebsiteResponse | None = None
+        for attempt in range(1, self._config.max_attempts + 1):
+            endpoint = self._pool.current
+            endpoint.record_query(self._website.bot_hostility)
+            elapsed += self._draw_query_seconds(rng)
+            response = self._website.respond(
+                address, rng, extra_error_probability=endpoint.extra_error_probability
+            )
+            if response.page_kind is PageKind.REDIRECT_BRIGHTSPEED:
+                # Second storefront: query brightspeed.com with the
+                # same address (Appendix 8.3).
+                assert isinstance(self._website, CenturyLinkWebsite)
+                elapsed += self._draw_query_seconds(rng)
+                response = self._website.respond_brightspeed(address, rng)
+            last_response = response
+            if response.page_kind in _CONCLUSIVE_PAGES:
+                return self._finalize(address, response, attempt, elapsed)
+            # Transient failure: rotate the exit IP and back off.
+            if self._config.rotate_proxy_on_failure:
+                self._pool.rotate()
+            elapsed += self._config.retry_backoff_seconds
+        assert last_response is not None
+        return self._finalize(
+            address, last_response, self._config.max_attempts, elapsed
+        )
+
+    def query_many(self, addresses: list[StreetAddress]) -> list[QueryRecord]:
+        """Query a batch sequentially."""
+        return [self.query(address) for address in addresses]
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        address: StreetAddress,
+        response: WebsiteResponse,
+        attempts: int,
+        elapsed: float,
+    ) -> QueryRecord:
+        base = dict(
+            isp_id=self.isp_id,
+            address_id=address.address_id,
+            block_geoid=address.block_geoid,
+            state_abbreviation=address.state_abbreviation,
+            attempts=attempts,
+            elapsed_seconds=elapsed,
+        )
+        if response.indicates_service:
+            return QueryRecord(
+                status=QueryStatus.SERVICEABLE, plans=response.plans, **base
+            )
+        if response.page_kind is PageKind.NO_SERVICE_PAGE:
+            return QueryRecord(status=QueryStatus.NO_SERVICE, **base)
+        if response.page_kind is PageKind.ADDRESS_NOT_FOUND:
+            return QueryRecord(status=QueryStatus.ADDRESS_NOT_FOUND, **base)
+        category = _PAGE_ERROR_CATEGORY.get(response.page_kind)
+        if category is None:
+            # ERROR_PAGE: attribute per the ISP's Table 2 traceback mix,
+            # excluding categories that carry their own page kinds.
+            rng = stable_rng(self._seed, "errcat", self.isp_id, address.address_id)
+            category = sample_error_category(
+                self.isp_id, rng,
+                exclude=(ErrorCategory.SELECT_DROPDOWN,
+                         ErrorCategory.ANALYZING_RESULT),
+            )
+        return QueryRecord(status=QueryStatus.UNKNOWN, error_category=category, **base)

@@ -1,0 +1,188 @@
+"""Page-flow traces: what BQT navigated to reach its answer.
+
+The paper's Appendix 8.3 documents each ISP's query workflow as a
+sequence of pages (type address → dropdown → availability page →
+possible redirect → plans). The website simulators return only the
+*final* page; this module reconstructs the full navigation trace for a
+query — the real BQT's debugging telemetry — so error forensics like
+Table 2's "where in the flow did it break" attribution can be tested,
+and so campaign step counts (dropdown interactions, redirects
+followed) can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bqt.logbook import QueryLog, QueryRecord
+from repro.bqt.responses import PageKind, QueryStatus
+
+__all__ = ["FlowStep", "FlowTrace", "trace_for_record", "FlowStats"]
+
+
+@dataclass(frozen=True)
+class FlowStep:
+    """One navigation step in a query flow."""
+
+    action: str   # "enter_address", "select_dropdown", "read_result", …
+    page: str     # what the site showed after the action
+
+    def __str__(self) -> str:
+        return f"{self.action} → {self.page}"
+
+
+@dataclass(frozen=True)
+class FlowTrace:
+    """The navigation sequence of one (possibly retried) query."""
+
+    isp_id: str
+    address_id: str
+    steps: tuple[FlowStep, ...]
+    final_status: QueryStatus
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a trace needs at least one step")
+
+    @property
+    def num_steps(self) -> int:
+        """Navigation steps taken."""
+        return len(self.steps)
+
+    @property
+    def followed_redirect(self) -> bool:
+        """Whether a second storefront was consulted."""
+        return any("redirect" in step.page for step in self.steps)
+
+    def render(self) -> str:
+        """One line per step."""
+        lines = [f"{self.isp_id} / {self.address_id} "
+                 f"→ {self.final_status.value}"]
+        lines.extend(f"  {i}. {step}" for i, step in enumerate(self.steps, 1))
+        return "\n".join(lines)
+
+
+# How each final outcome decomposes into the appendix's flow steps.
+_COMMON_PREFIX = (
+    FlowStep("open_storefront", "availability form"),
+    FlowStep("enter_address", "dropdown suggestions"),
+)
+
+_OUTCOME_STEPS: dict[PageKind | str, tuple[FlowStep, ...]] = {
+    "serviceable_plans": (
+        FlowStep("select_dropdown", "address resolved"),
+        FlowStep("read_result", "plans page"),
+    ),
+    "serviceable_subscriber": (
+        FlowStep("select_dropdown", "address resolved"),
+        FlowStep("read_result", "existing-subscriber page"),
+        FlowStep("click_new_plan", "plans page"),
+    ),
+    "serviceable_unknown_plan": (
+        FlowStep("select_dropdown", "address resolved"),
+        FlowStep("read_result", "subscriber page without tiers"),
+    ),
+    "no_service": (
+        FlowStep("select_dropdown", "address resolved"),
+        FlowStep("read_result", "no-service page"),
+    ),
+    "address_not_found": (
+        FlowStep("select_dropdown", "address resolved"),
+        FlowStep("read_result", "address-not-found page"),
+    ),
+    "dropdown_miss": (
+        FlowStep("select_dropdown", "no suggestion offered"),
+    ),
+    "call_to_order": (
+        FlowStep("select_dropdown", "address resolved"),
+        FlowStep("read_result", "call-to-order page"),
+    ),
+    "human_verification": (
+        FlowStep("select_dropdown", "human-verification wall"),
+    ),
+    "error": (
+        FlowStep("select_dropdown", "address resolved"),
+        FlowStep("read_result", "error page"),
+    ),
+}
+
+_REDIRECT_STEP = {
+    "centurylink": FlowStep("follow_redirect", "redirect to brightspeed"),
+    "consolidated": FlowStep("follow_redirect", "redirect to fidium"),
+}
+
+
+def _outcome_key(record: QueryRecord) -> str:
+    if record.status is QueryStatus.SERVICEABLE:
+        if not record.plans:
+            return "serviceable_unknown_plan"
+        return "serviceable_plans"
+    if record.status is QueryStatus.NO_SERVICE:
+        return "no_service"
+    if record.status is QueryStatus.ADDRESS_NOT_FOUND:
+        return "address_not_found"
+    assert record.error_category is not None
+    category = record.error_category.value
+    if category == "select_dropdown":
+        return "dropdown_miss"
+    if category == "analyzing_result" and record.isp_id == "att":
+        return "call_to_order"
+    if category == "empty_traceback" and record.isp_id == "centurylink":
+        return "human_verification"
+    return "error"
+
+
+def trace_for_record(record: QueryRecord) -> FlowTrace:
+    """Reconstruct the navigation trace behind one query record.
+
+    Retries repeat the prefix; the recorded ``attempts`` count drives
+    how many times the form was re-entered.
+    """
+    outcome = _outcome_key(record)
+    steps: list[FlowStep] = []
+    for attempt in range(record.attempts - 1):
+        steps.extend(_COMMON_PREFIX)
+        steps.append(FlowStep("retry", "rotate exit IP and re-enter"))
+    steps.extend(_COMMON_PREFIX)
+    if outcome == "serviceable_plans" and record.isp_id in _REDIRECT_STEP \
+            and record.max_download_mbps >= 1000 \
+            and record.isp_id == "consolidated":
+        steps.append(_REDIRECT_STEP["consolidated"])
+    steps.extend(_OUTCOME_STEPS[outcome])
+    return FlowTrace(
+        isp_id=record.isp_id,
+        address_id=record.address_id,
+        steps=tuple(steps),
+        final_status=record.status,
+    )
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Aggregate navigation statistics for a campaign."""
+
+    total_steps: int
+    mean_steps_per_query: float
+    retry_share: float
+    redirect_share: float
+
+
+def campaign_flow_stats(log: QueryLog) -> FlowStats:
+    """Navigation statistics over a whole query log."""
+    if len(log) == 0:
+        raise ValueError("empty query log")
+    total_steps = 0
+    retried = 0
+    redirected = 0
+    for record in log:
+        trace = trace_for_record(record)
+        total_steps += trace.num_steps
+        retried += record.attempts > 1
+        redirected += trace.followed_redirect
+    n = len(log)
+    return FlowStats(
+        total_steps=total_steps,
+        mean_steps_per_query=total_steps / n,
+        retry_share=retried / n,
+        redirect_share=redirected / n,
+    )

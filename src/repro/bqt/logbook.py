@@ -1,0 +1,155 @@
+"""The BQT query log.
+
+Every analysis in the paper consumes the query log, not the websites:
+serviceability and compliance read final statuses and plans, Table 2
+reads the error taxonomy of unknown addresses, Figure 12 reads query
+times, Figures 7/8 read per-CBG query and collection counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.bqt.errors import ErrorCategory
+from repro.bqt.responses import QueryStatus
+from repro.isp.plans import BroadbandPlan
+from repro.tabular import Table
+
+__all__ = ["QueryRecord", "QueryLog"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """The final outcome of querying one (ISP, address) pair."""
+
+    isp_id: str
+    address_id: str
+    block_geoid: str
+    state_abbreviation: str
+    status: QueryStatus
+    plans: tuple[BroadbandPlan, ...] = ()
+    error_category: ErrorCategory | None = None
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+    # Set when this address was queried as a replacement for another
+    # address whose queries kept failing.
+    replacement_for: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.elapsed_seconds < 0:
+            raise ValueError("elapsed time must be non-negative")
+        if self.status is QueryStatus.UNKNOWN and self.error_category is None:
+            raise ValueError("unknown status requires an error category")
+        if self.plans and self.status is not QueryStatus.SERVICEABLE:
+            raise ValueError("only serviceable records carry plans")
+
+    @property
+    def block_group_geoid(self) -> str:
+        """GEOID of the containing block group."""
+        return self.block_geoid[:12]
+
+    @property
+    def max_download_mbps(self) -> float:
+        """Highest guaranteed advertised download speed (0 if none)."""
+        guaranteed = [p.download_mbps for p in self.plans if p.is_speed_guaranteed]
+        return max(guaranteed, default=0.0)
+
+    @property
+    def best_plan(self) -> BroadbandPlan | None:
+        """The fastest advertised plan, if any."""
+        if not self.plans:
+            return None
+        return max(self.plans, key=lambda plan: plan.download_mbps)
+
+    @property
+    def tier_label(self) -> str:
+        """Table 1 bucket for this record's advertised service."""
+        if self.status is not QueryStatus.SERVICEABLE:
+            return "0"
+        if not self.plans:
+            return "Unknown Plan"
+        best = max(self.plans, key=lambda plan: plan.download_mbps)
+        return best.tier_label
+
+
+class QueryLog:
+    """Append-only collection of query records with indexes."""
+
+    def __init__(self, records: Iterable[QueryRecord] = ()):
+        self._records: list[QueryRecord] = []
+        self._by_isp: dict[str, list[QueryRecord]] = {}
+        for record in records:
+            self.append(record)
+
+    def append(self, record: QueryRecord) -> None:
+        """Add one record."""
+        self._records.append(record)
+        self._by_isp.setdefault(record.isp_id, []).append(record)
+
+    def extend(self, records: Iterable[QueryRecord]) -> None:
+        """Add many records."""
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self._records)
+
+    def for_isp(self, isp_id: str) -> list[QueryRecord]:
+        """Records for one ISP."""
+        return list(self._by_isp.get(isp_id, []))
+
+    def isps(self) -> list[str]:
+        """ISPs present in the log, sorted."""
+        return sorted(self._by_isp)
+
+    def conclusive(self) -> list[QueryRecord]:
+        """Records whose status answers the serviceability question."""
+        return [r for r in self._records if r.status.is_conclusive]
+
+    def unknown_counts_by_category(self, isp_id: str) -> dict[ErrorCategory, int]:
+        """Table 2 row: unknown addresses per error category."""
+        counts: dict[ErrorCategory, int] = {}
+        for record in self._by_isp.get(isp_id, []):
+            if record.status is QueryStatus.UNKNOWN:
+                assert record.error_category is not None
+                counts[record.error_category] = counts.get(record.error_category, 0) + 1
+        return counts
+
+    def query_times(self, isp_id: str) -> list[float]:
+        """Per-address elapsed query times for one ISP (Figure 12)."""
+        return [r.elapsed_seconds for r in self._by_isp.get(isp_id, [])]
+
+    def total_virtual_seconds(self) -> float:
+        """Sum of all query times — the sequential campaign duration the
+        paper reasons about when it says querying every CAF address
+        would take more than six months."""
+        return sum(r.elapsed_seconds for r in self._records)
+
+    def to_table(self) -> Table:
+        """Flatten to a table (plans reduced to the analysis columns)."""
+        rows = []
+        for r in self._records:
+            best = r.best_plan
+            rows.append({
+                "isp_id": r.isp_id,
+                "address_id": r.address_id,
+                "block_geoid": r.block_geoid,
+                "block_group_geoid": r.block_group_geoid,
+                "state_abbreviation": r.state_abbreviation,
+                "status": r.status.value,
+                "error_category": r.error_category.value if r.error_category else "",
+                "attempts": r.attempts,
+                "elapsed_seconds": r.elapsed_seconds,
+                "max_download_mbps": r.max_download_mbps,
+                "tier_label": r.tier_label,
+                "best_plan_price_usd": best.monthly_price_usd if best else float("nan"),
+                "num_plans": len(r.plans),
+                "is_replacement": r.replacement_for is not None,
+            })
+        return Table.from_rows(rows)

@@ -1,0 +1,81 @@
+"""The BQT response taxonomy.
+
+Appendix 8.3 of the paper walks through every page each ISP's website
+can return. :class:`PageKind` enumerates those pages;
+:class:`QueryStatus` is the classification BQT logs after interpreting
+them ("Serviceable", "No Service", "Address Not Found", "Unknown").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isp.plans import BroadbandPlan
+
+__all__ = ["PageKind", "QueryStatus", "WebsiteResponse"]
+
+
+class PageKind(enum.Enum):
+    """What the ISP website displayed for one query attempt."""
+
+    PLANS_PAGE = "plans_page"                        # e.g. Fig 13a/14b/15b/16c
+    EXISTING_SUBSCRIBER_PAGE = "existing_subscriber"  # Fig 15a/16b
+    UNKNOWN_PLAN_PAGE = "unknown_plan"               # Frontier: subscriber, no tiers
+    NO_SERVICE_PAGE = "no_service"                   # Fig 13e/14c/15c
+    CALL_TO_ORDER = "call_to_order"                  # AT&T, Fig 15d
+    HUMAN_VERIFICATION = "human_verification"        # CenturyLink, Fig 13c
+    DROPDOWN_MISS = "dropdown_miss"                  # address absent from dropdown
+    ADDRESS_NOT_FOUND = "address_not_found"          # resolved then rejected, Fig 16e
+    REDIRECT_BRIGHTSPEED = "redirect_brightspeed"    # Fig 13b
+    REDIRECT_FIDIUM = "redirect_fidium"              # Fig 16g
+    ERROR_PAGE = "error_page"                        # transient site failure
+
+
+class QueryStatus(enum.Enum):
+    """BQT's final classification of a query."""
+
+    SERVICEABLE = "serviceable"
+    NO_SERVICE = "no_service"
+    ADDRESS_NOT_FOUND = "address_not_found"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_conclusive(self) -> bool:
+        """Whether the status answers the serviceability question.
+
+        ``ADDRESS_NOT_FOUND`` is conclusive: the paper treats it "as if
+        it was not serviceable" (Appendix 8.3, Consolidated).
+        """
+        return self is not QueryStatus.UNKNOWN
+
+
+@dataclass(frozen=True)
+class WebsiteResponse:
+    """One page returned by a website simulator."""
+
+    page_kind: PageKind
+    plans: tuple[BroadbandPlan, ...] = ()
+    # A second storefront to consult (CenturyLink → Brightspeed).
+    follow_up_site: str | None = None
+
+    def __post_init__(self) -> None:
+        plan_pages = (PageKind.PLANS_PAGE, PageKind.EXISTING_SUBSCRIBER_PAGE,
+                      PageKind.REDIRECT_FIDIUM)
+        if self.plans and self.page_kind not in plan_pages:
+            raise ValueError(f"{self.page_kind} cannot carry plans")
+
+    @property
+    def indicates_service(self) -> bool:
+        """Pages that confirm the address is served."""
+        return self.page_kind in (
+            PageKind.PLANS_PAGE,
+            PageKind.EXISTING_SUBSCRIBER_PAGE,
+            PageKind.UNKNOWN_PLAN_PAGE,
+            PageKind.REDIRECT_FIDIUM,
+        )
+
+    @property
+    def indicates_no_service(self) -> bool:
+        """Pages that conclusively deny service."""
+        return self.page_kind is PageKind.NO_SERVICE_PAGE

@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+Usage::
+
+    caf-audit run [--scale tiny|small|paper] [--seed N]
+    caf-audit experiment <id>... [--scale ...]
+    caf-audit list
+    caf-audit export --out DIR [--scale ...]
+
+``run`` prints the headline audit summary; ``experiment`` renders one
+or more paper tables/figures; ``export`` writes the audit datasets to
+CSV for downstream use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.bqt.campaign import estimate_duration, plan_full_census, plan_study
+from repro.core.oversight import compare_oversight
+from repro.core.pipeline import run_full_audit
+from repro.persist import StudyStore
+from repro.synth.scenario import ScenarioConfig
+
+__all__ = ["main", "build_parser"]
+
+_SCALE_CHOICES = ("tiny", "small", "paper")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="caf-audit",
+        description="Reproduction of the SIGCOMM'24 CAF efficacy study",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run the full audit")
+    run_parser.add_argument("--scale", choices=_SCALE_CHOICES, default="tiny")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="reproduce paper tables/figures")
+    experiment_parser.add_argument("ids", nargs="+", metavar="ID")
+    experiment_parser.add_argument("--scale", choices=_SCALE_CHOICES,
+                                   default="tiny")
+    experiment_parser.add_argument(
+        "--plot", action="store_true",
+        help="render CDF series as ASCII plots")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    export_parser = subparsers.add_parser(
+        "export", help="export audit datasets + manifest to a directory")
+    export_parser.add_argument("--out", required=True)
+    export_parser.add_argument("--scale", choices=_SCALE_CHOICES, default="tiny")
+    export_parser.add_argument("--seed", type=int, default=0)
+
+    oversight_parser = subparsers.add_parser(
+        "oversight", help="compare USAC-style reviews with an external audit")
+    oversight_parser.add_argument("--isp", default="att")
+    oversight_parser.add_argument("--scale", choices=_SCALE_CHOICES,
+                                  default="tiny")
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="campaign-duration arithmetic (the §1 claim)")
+    campaign_parser.add_argument("--workers", type=int, default=8)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="run the world/report consistency suite")
+    validate_parser.add_argument("--scale", choices=_SCALE_CHOICES,
+                                 default="tiny")
+
+    report_parser = subparsers.add_parser(
+        "report", help="write the auto-generated reproduction report")
+    report_parser.add_argument("--out", required=True)
+    report_parser.add_argument("--scale", choices=_SCALE_CHOICES,
+                               default="tiny")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    context = ExperimentContext.at_scale(args.scale)
+    scenario = context.scenario
+    if args.seed != scenario.seed:
+        scenario = ScenarioConfig(
+            seed=args.seed,
+            address_scale=scenario.address_scale,
+            cbg_size_median=scenario.cbg_size_median,
+            cbg_size_sigma=scenario.cbg_size_sigma,
+            max_cbg_size=scenario.max_cbg_size,
+        )
+    report = run_full_audit(scenario=scenario)
+    print("\n".join(report.summary_lines()))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    unknown = [i for i in args.ids if i not in EXPERIMENTS and i != "all"]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    ids = sorted(EXPERIMENTS) if "all" in args.ids else args.ids
+    context = ExperimentContext.at_scale(args.scale)
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, context)
+        print(result.render())
+        if getattr(args, "plot", False) and result.series:
+            from repro.analysis.plots import ascii_cdf
+
+            positive = all(
+                (xs > 0).all() for xs, _ in result.series.values())
+            print()
+            print(ascii_cdf(result.series, log_x=positive,
+                            title=f"[{experiment_id}] CDFs"))
+        print()
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    for experiment_id in sorted(EXPERIMENTS):
+        print(experiment_id)
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    context = ExperimentContext.at_scale(args.scale)
+    store = StudyStore(Path(args.out))
+    manifest = store.save(context.report)
+    print(f"wrote {len(manifest.checksums)} datasets + manifest "
+          f"under {store.directory}")
+    return 0
+
+
+def _command_oversight(args: argparse.Namespace) -> int:
+    context = ExperimentContext.at_scale(args.scale)
+    comparison = compare_oversight(context.world, isp_id=args.isp)
+    print(comparison.render())
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    census = estimate_duration(plan_full_census(workers_per_isp=args.workers))
+    study = estimate_duration(plan_study(
+        {"att": 233_000, "centurylink": 112_000,
+         "frontier": 170_000, "consolidated": 23_000},
+        workers_per_isp=args.workers))
+    print(f"full census of the 4 study ISPs ({args.workers} workers/ISP):")
+    print(f"  {census.wall_clock_months:.1f} months "
+          f"(bottleneck: {census.bottleneck_isp}) — the paper's '>6 months'")
+    print("the paper's stratified sample (537k addresses):")
+    print(f"  {study.wall_clock_months:.1f} months")
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_report
+
+    context = ExperimentContext.at_scale(args.scale)
+    findings = validate_report(context.report)
+    if findings:
+        for finding in findings:
+            print(finding, file=sys.stderr)
+        print(f"{len(findings)} consistency findings", file=sys.stderr)
+        return 1
+    print("world and report are consistent (0 findings)")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report_md import write_report
+
+    context = ExperimentContext.at_scale(args.scale)
+    path = write_report(context, args.out)
+    print(f"wrote reproduction report to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "experiment": _command_experiment,
+    "list": _command_list,
+    "export": _command_export,
+    "oversight": _command_oversight,
+    "campaign": _command_campaign,
+    "validate": _command_validate,
+    "report": _command_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The paper's analysis pipeline (the primary contribution).
+
+* :mod:`repro.core.sampling` — the CBG-stratified address sampling
+  strategy (max(30, 10%) per block group; all when fewer than 30).
+* :mod:`repro.core.collection` — the data-collection campaign: query
+  sampled addresses through BQT, retry, and re-sample replacement
+  addresses from the same CBG when queries keep failing.
+* :mod:`repro.core.audit` — the audit dataset joining query outcomes
+  with CBG metadata, and the weighted serviceability/compliance rates.
+* :mod:`repro.core.serviceability` — Q1: serviceability analysis by
+  ISP, state, state × ISP, and population density.
+* :mod:`repro.core.compliance` — Q2: compliance analysis and the
+  certified-vs-advertised Table 1.
+* :mod:`repro.core.monopoly` — Q3: regulated vs unregulated monopoly
+  and competition comparisons at census-block granularity.
+* :mod:`repro.core.sensitivity` — the Appendix 8.2 sampling-rate
+  sensitivity analysis.
+* :mod:`repro.core.pipeline` — one call that runs everything.
+"""
+
+from repro.core.audit import AuditDataset, ComplianceStandard
+from repro.core.collection import (
+    CollectionCampaign,
+    CollectionResult,
+    Q3Collection,
+    collect_q3_dataset,
+)
+from repro.core.compliance import ComplianceAnalysis, advertised_tier_table
+from repro.core.monopoly import (
+    BlockComparison,
+    MonopolyAnalysis,
+    analyze_q3,
+)
+from repro.core.oversight import (
+    OversightComparison,
+    compare_oversight,
+    detection_power,
+    required_sample_for_power,
+)
+from repro.core.pipeline import AuditReport, run_full_audit
+from repro.core.validation import Finding, validate_report, validate_world
+from repro.core.sampling import SamplePlan, SamplingPolicy, plan_cbg_sample
+from repro.core.sensitivity import SensitivityResult, run_sensitivity_analysis
+from repro.core.serviceability import ServiceabilityAnalysis
+
+__all__ = [
+    "AuditDataset",
+    "AuditReport",
+    "BlockComparison",
+    "CollectionCampaign",
+    "CollectionResult",
+    "ComplianceAnalysis",
+    "ComplianceStandard",
+    "Finding",
+    "validate_report",
+    "validate_world",
+    "MonopolyAnalysis",
+    "OversightComparison",
+    "Q3Collection",
+    "compare_oversight",
+    "detection_power",
+    "required_sample_for_power",
+    "SamplePlan",
+    "SamplingPolicy",
+    "SensitivityResult",
+    "ServiceabilityAnalysis",
+    "advertised_tier_table",
+    "analyze_q3",
+    "collect_q3_dataset",
+    "plan_cbg_sample",
+    "run_full_audit",
+    "run_sensitivity_analysis",
+]

@@ -1,0 +1,183 @@
+"""The audit dataset and the paper's weighted rate metrics.
+
+An :class:`AuditDataset` joins the Q1/Q2 query log with CBG metadata
+and computes the two headline metrics exactly as Section 4 defines
+them:
+
+* *serviceability rate* — per CBG, served / conclusive-queried; rolled
+  up to states/ISPs/overall as the CAF-address-count-weighted mean of
+  CBG rates;
+* *compliance rate* — identical weighting, with the numerator counting
+  addresses that are served **and** advertise a guaranteed >= 10/1 Mbps
+  plan at a rate within the FCC benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bqt.logbook import QueryLog, QueryRecord
+from repro.bqt.responses import QueryStatus
+from repro.fcc.regulations import CAF_MIN_DOWNLOAD_MBPS, CAF_MIN_UPLOAD_MBPS
+from repro.fcc.urban_rate_survey import UrbanRateSurvey
+from repro.isp.plans import BroadbandPlan
+from repro.stats.weighted import weighted_mean
+from repro.synth.world import World
+from repro.tabular import Table
+
+__all__ = ["ComplianceStandard", "AuditDataset"]
+
+
+@dataclass(frozen=True)
+class ComplianceStandard:
+    """The rate-and-service test applied to an advertised plan set."""
+
+    min_download_mbps: float = CAF_MIN_DOWNLOAD_MBPS
+    min_upload_mbps: float = CAF_MIN_UPLOAD_MBPS
+    flat_rate_cap_usd: float = 89.0
+    survey: UrbanRateSurvey | None = None
+
+    def rate_cap_for(self, download_mbps: float) -> float:
+        """The benchmark rate for a plan's speed tier."""
+        if self.survey is not None:
+            return self.survey.benchmark(download_mbps)
+        return self.flat_rate_cap_usd
+
+    def plan_complies(self, plan: BroadbandPlan) -> bool:
+        """Whether one plan satisfies both conditions."""
+        if not plan.is_speed_guaranteed:
+            return False
+        if plan.download_mbps < self.min_download_mbps:
+            return False
+        if plan.upload_mbps < self.min_upload_mbps:
+            return False
+        return plan.monthly_price_usd <= self.rate_cap_for(plan.download_mbps)
+
+    def record_complies(self, record: QueryRecord) -> bool:
+        """Whether a served address has at least one compliant plan."""
+        if record.status is not QueryStatus.SERVICEABLE:
+            return False
+        return any(self.plan_complies(plan) for plan in record.plans)
+
+
+class AuditDataset:
+    """Per-address audit rows with CBG weights and metadata."""
+
+    def __init__(
+        self,
+        log: QueryLog,
+        cbg_totals: Mapping[tuple[str, str], int],
+        world: World | None = None,
+        standard: ComplianceStandard | None = None,
+    ):
+        self._standard = standard or ComplianceStandard()
+        rows = []
+        for record in log:
+            if not record.status.is_conclusive:
+                continue
+            cbg = record.block_group_geoid
+            weight = cbg_totals.get((record.isp_id, cbg))
+            if weight is None:
+                raise KeyError(
+                    f"no CBG total for ({record.isp_id}, {cbg}); the "
+                    "collection result must supply totals for every "
+                    "queried CBG"
+                )
+            served = record.status is QueryStatus.SERVICEABLE
+            best = record.best_plan
+            density = np.nan
+            rural = True
+            if world is not None:
+                block_group = world.block_groups.get(cbg)
+                if block_group is not None:
+                    density = block_group.population_density
+                    rural = block_group.is_rural
+            rows.append({
+                "isp_id": record.isp_id,
+                "state": record.state_abbreviation,
+                "cbg": cbg,
+                "block": record.block_geoid,
+                "address_id": record.address_id,
+                "served": served,
+                "compliant": self._standard.record_complies(record),
+                "max_download_mbps": record.max_download_mbps,
+                "advertised_download_mbps": (best.download_mbps if best else 0.0),
+                "best_price_usd": (best.monthly_price_usd if best else np.nan),
+                "tier_label": record.tier_label,
+                "cbg_caf_total": int(weight),
+                "population_density": density,
+                "is_rural": rural,
+            })
+        if not rows:
+            raise ValueError("audit dataset is empty — no conclusive records")
+        self._table = Table.from_rows(rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        """The underlying per-address table."""
+        return self._table
+
+    @property
+    def standard(self) -> ComplianceStandard:
+        """The compliance standard in force."""
+        return self._standard
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    def cbg_rates(self, flag_column: str, extra_keys: Sequence[str] = ()) -> Table:
+        """Per-CBG rate of ``flag_column`` with CBG weights attached."""
+        keys = ["isp_id", "state", "cbg", *extra_keys]
+        return self._table.group_by(keys).apply(lambda sub: {
+            "rate": float(np.mean(sub[flag_column].astype(float))),
+            "queried": len(sub),
+            "weight": int(sub["cbg_caf_total"][0]),
+            "population_density": float(sub["population_density"][0]),
+        })
+
+    def _weighted_rate(self, flag_column: str, **conditions: str) -> float:
+        rates = self.cbg_rates(flag_column)
+        for column, value in conditions.items():
+            rates = rates.where_equal(**{column: value})
+        if len(rates) == 0:
+            raise ValueError(f"no CBGs match {conditions!r}")
+        return weighted_mean(rates["rate"], rates["weight"])
+
+    def serviceability_rate(self, isp_id: str | None = None,
+                            state: str | None = None) -> float:
+        """The weighted serviceability rate, optionally restricted."""
+        conditions = {}
+        if isp_id is not None:
+            conditions["isp_id"] = isp_id
+        if state is not None:
+            conditions["state"] = state
+        return self._weighted_rate("served", **conditions)
+
+    def compliance_rate(self, isp_id: str | None = None,
+                        state: str | None = None) -> float:
+        """The weighted compliance rate, optionally restricted."""
+        conditions = {}
+        if isp_id is not None:
+            conditions["isp_id"] = isp_id
+        if state is not None:
+            conditions["state"] = state
+        return self._weighted_rate("compliant", **conditions)
+
+    # ------------------------------------------------------------------
+    def isps(self) -> list[str]:
+        """ISPs present in the audit."""
+        return [str(v) for v in self._table.unique("isp_id")]
+
+    def states(self) -> list[str]:
+        """States present in the audit."""
+        return [str(v) for v in self._table.unique("state")]
+
+    def states_for_isp(self, isp_id: str) -> list[str]:
+        """States where one ISP was audited."""
+        sub = self._table.where_equal(isp_id=isp_id)
+        return [str(v) for v in sub.unique("state")]

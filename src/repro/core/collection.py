@@ -1,0 +1,207 @@
+"""Data-collection campaigns.
+
+Two campaigns mirror the paper's two collections:
+
+* :class:`CollectionCampaign` — the Q1/Q2 campaign: for every
+  (ISP, state) cell, sample each CBG per the policy, query through BQT,
+  and when an address ends ``UNKNOWN`` draw a replacement address from
+  the same CBG's reserve (up to ``max_replacements`` per failure).
+* :func:`collect_q3_dataset` — the Q3 campaign: in analyzed blocks,
+  query the incumbent at *every* CAF and non-CAF address, and the
+  overlapping cable ISP at non-CAF addresses, then assign each non-CAF
+  address its mode (monopoly vs competition) from the cable outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.addresses.models import StreetAddress
+from repro.bqt.engine import BqtEngine, EngineConfig
+from repro.bqt.logbook import QueryLog, QueryRecord
+from repro.bqt.responses import QueryStatus
+from repro.core.sampling import SamplePlan, SamplingPolicy, plan_cbg_sample
+from repro.synth.world import World
+
+__all__ = [
+    "CollectionResult",
+    "CollectionCampaign",
+    "Q3Collection",
+    "collect_q3_dataset",
+]
+
+
+@dataclass
+class CollectionResult:
+    """Everything the Q1/Q2 campaign produced."""
+
+    log: QueryLog
+    # (isp_id, cbg) → the sample plan used.
+    plans: dict[tuple[str, str], SamplePlan] = field(default_factory=dict)
+    # (isp_id, cbg) → number of CAF addresses in the CBG (the weights).
+    cbg_totals: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def queried_fraction(self, isp_id: str, cbg: str) -> float:
+        """Fraction of the CBG's addresses attempted (Figure 7)."""
+        plan = self.plans[(isp_id, cbg)]
+        attempted = {r.address_id for r in self.log.for_isp(isp_id)
+                     if r.block_group_geoid == cbg}
+        if plan.population_size == 0:
+            return 0.0
+        return len(attempted) / plan.population_size
+
+    def collected_fraction(self, isp_id: str, cbg: str) -> float:
+        """Fraction of the CBG's addresses with conclusive results
+        (Figure 8)."""
+        plan = self.plans[(isp_id, cbg)]
+        conclusive = {r.address_id for r in self.log.for_isp(isp_id)
+                      if r.block_group_geoid == cbg and r.status.is_conclusive}
+        if plan.population_size == 0:
+            return 0.0
+        return len(conclusive) / plan.population_size
+
+
+class CollectionCampaign:
+    """The Q1/Q2 stratified-sample querying campaign."""
+
+    def __init__(
+        self,
+        world: World,
+        policy: SamplingPolicy | None = None,
+        engine_config: EngineConfig | None = None,
+        max_replacements: int = 2,
+    ):
+        if max_replacements < 0:
+            raise ValueError("max_replacements must be non-negative")
+        self._world = world
+        self._policy = policy or SamplingPolicy()
+        self._engine_config = engine_config
+        self._max_replacements = max_replacements
+
+    def run(
+        self,
+        isps: tuple[str, ...] = ("att", "centurylink", "frontier", "consolidated"),
+        states: tuple[str, ...] | None = None,
+    ) -> CollectionResult:
+        """Collect for every (ISP, state) cell with a CAF footprint."""
+        result = CollectionResult(log=QueryLog())
+        states = states or self._world.config.states
+        for isp_id in isps:
+            engine = self._world.engine_for(isp_id, self._engine_config)
+            for state in states:
+                by_cbg = self._world.caf_addresses_by_cbg(isp_id, state)
+                for cbg, addresses in sorted(by_cbg.items()):
+                    plan = plan_cbg_sample(
+                        cbg, addresses, self._policy, seed=self._world.config.seed
+                    )
+                    result.plans[(isp_id, cbg)] = plan
+                    result.cbg_totals[(isp_id, cbg)] = plan.population_size
+                    self._query_cbg(engine, plan, result.log)
+        return result
+
+    def _query_cbg(self, engine: BqtEngine, plan: SamplePlan, log: QueryLog) -> None:
+        reserve = list(plan.reserve)
+        for address in plan.selected:
+            record = engine.query(address)
+            log.append(record)
+            failed = address
+            replacements_used = 0
+            while (record.status is QueryStatus.UNKNOWN
+                   and replacements_used < self._max_replacements
+                   and reserve):
+                replacement = reserve.pop(0)
+                record = self._as_replacement(engine.query(replacement), failed)
+                log.append(record)
+                failed = replacement
+                replacements_used += 1
+
+    @staticmethod
+    def _as_replacement(record: QueryRecord, failed: StreetAddress) -> QueryRecord:
+        return QueryRecord(
+            isp_id=record.isp_id,
+            address_id=record.address_id,
+            block_geoid=record.block_geoid,
+            state_abbreviation=record.state_abbreviation,
+            status=record.status,
+            plans=record.plans,
+            error_category=record.error_category,
+            attempts=record.attempts,
+            elapsed_seconds=record.elapsed_seconds,
+            replacement_for=failed.address_id,
+        )
+
+
+@dataclass
+class Q3Collection:
+    """Everything the Q3 campaign produced."""
+
+    log: QueryLog
+    # address_id → incumbent mode: "caf", "monopoly", or "competition".
+    modes: dict[str, str] = field(default_factory=dict)
+    # block geoid → incumbent ISP.
+    incumbents: dict[str, str] = field(default_factory=dict)
+    # Blocks that passed the exclusivity filter and were queried.
+    analyzed_blocks: tuple[str, ...] = ()
+
+
+def collect_q3_dataset(
+    world: World,
+    engine_config: EngineConfig | None = None,
+    states: tuple[str, ...] | None = None,
+) -> Q3Collection:
+    """Run the Q3 campaign over the world's analyzed blocks.
+
+    Census blocks are pre-filtered with Form 477 + the National
+    Broadband Map to those served exclusively by BQT-supported ISPs
+    (Section 4.3), then every CAF and non-CAF address in them is
+    queried against the incumbent; non-CAF addresses in cable-overlap
+    blocks are additionally queried against the cable ISP, and their
+    mode is *competition* exactly when the cable query returned
+    serviceable.
+    """
+    states = states or world.config.q3_states
+    state_fips = {  # abbreviations → FIPS prefixes for block filtering
+        abbr: world.geographies[abbr].state_fips for abbr in states
+    }
+    bqt_ids = set(world.websites)
+    eligible = set(world.form477.blocks_served_exclusively_by(bqt_ids))
+    eligible &= set(world.broadband_map.blocks_served_exclusively_by(bqt_ids))
+
+    engines: dict[str, BqtEngine] = {}
+
+    def engine_for(isp_id: str) -> BqtEngine:
+        if isp_id not in engines:
+            engines[isp_id] = world.engine_for(isp_id, engine_config)
+        return engines[isp_id]
+
+    collection = Q3Collection(log=QueryLog())
+    analyzed: list[str] = []
+    for block_geoid in sorted(eligible):
+        if block_geoid[:2] not in set(state_fips.values()):
+            continue
+        competition = world.block_competition[block_geoid]
+        incumbent = competition.incumbent_isp_id
+        caf_addresses = world.caf_addresses_in_block(incumbent, block_geoid)
+        non_caf = world.zillow.non_caf_in_block(block_geoid)
+        if not caf_addresses or not non_caf:
+            continue
+        analyzed.append(block_geoid)
+        collection.incumbents[block_geoid] = incumbent
+
+        incumbent_engine = engine_for(incumbent)
+        for address in caf_addresses:
+            collection.log.append(incumbent_engine.query(address))
+            collection.modes[address.address_id] = "caf"
+        cable_engine = (engine_for(competition.cable_isp_id)
+                        if competition.cable_isp_id else None)
+        for address in non_caf:
+            collection.log.append(incumbent_engine.query(address))
+            mode = "monopoly"
+            if cable_engine is not None:
+                cable_record = cable_engine.query(address)
+                collection.log.append(cable_record)
+                if cable_record.status is QueryStatus.SERVICEABLE:
+                    mode = "competition"
+            collection.modes[address.address_id] = mode
+    collection.analyzed_blocks = tuple(analyzed)
+    return collection

@@ -1,0 +1,158 @@
+"""Q2 — compliance analysis (Section 4.2).
+
+Computes the weighted compliance rate and reproduces Table 1: for each
+ISP, the distribution of *certified* download speeds (from the USAC CAF
+Map) against the distribution of *advertised* maximum speeds (from the
+BQT audit), with unserved addresses counted in the advertised "0"
+bucket. Also checks rate (price) compliance against the urban-rate
+benchmark, which the paper found ISPs always satisfy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.audit import AuditDataset
+from repro.isp.plans import SPEED_TIER_LABELS, tier_label_for_speed
+from repro.tabular import Table
+from repro.usac.dataset import CafMapDataset
+
+__all__ = ["ComplianceAnalysis", "advertised_tier_table", "certified_tier_table"]
+
+
+def advertised_tier_table(audit: AuditDataset, isp_id: str) -> dict[str, float]:
+    """Advertised-tier distribution for one ISP (Table 1 right columns).
+
+    Percentages over all conclusive addresses; unserved addresses land
+    in the "0" bucket, as in the paper ("we mark the advertised speed
+    as 0 for the unserved addresses").
+    """
+    sub = audit.table.where_equal(isp_id=isp_id)
+    if len(sub) == 0:
+        raise ValueError(f"no audit rows for ISP {isp_id!r}")
+    counts = sub.value_counts("tier_label")
+    total = len(sub)
+    return {label: 100.0 * counts.get(label, 0) / total
+            for label in SPEED_TIER_LABELS if counts.get(label)}
+
+
+def certified_tier_table(caf_map: CafMapDataset, isp_id: str) -> dict[str, float]:
+    """Certified-speed distribution for one ISP (Table 1 left columns)."""
+    records = caf_map.for_isp(isp_id)
+    if not records:
+        raise ValueError(f"no CAF Map records for ISP {isp_id!r}")
+    counts: dict[str, int] = {}
+    for record in records:
+        label = tier_label_for_speed(record.certified_download_mbps)
+        counts[label] = counts.get(label, 0) + 1
+    total = len(records)
+    return {label: 100.0 * count / total
+            for label, count in sorted(counts.items())}
+
+
+class ComplianceAnalysis:
+    """All Q2 views over one audit dataset."""
+
+    def __init__(self, audit: AuditDataset, caf_map: CafMapDataset | None = None):
+        self._audit = audit
+        self._caf_map = caf_map
+
+    def aggregate_rate(self) -> float:
+        """The headline weighted compliance rate (paper: 33.03%)."""
+        return self._audit.compliance_rate()
+
+    def rate_by_isp(self) -> dict[str, float]:
+        """Weighted compliance per ISP (paper: AT&T 16.58% …)."""
+        return {isp: self._audit.compliance_rate(isp_id=isp)
+                for isp in self._audit.isps()}
+
+    def rate_by_state(self) -> dict[str, float]:
+        """Weighted compliance per state."""
+        return {state: self._audit.compliance_rate(state=state)
+                for state in self._audit.states()}
+
+    def table1(self) -> Table:
+        """The full certified-vs-advertised table across ISPs."""
+        rows = []
+        for isp in self._audit.isps():
+            advertised = advertised_tier_table(self._audit, isp)
+            certified = (certified_tier_table(self._caf_map, isp)
+                         if self._caf_map is not None else {})
+            labels = sorted(set(advertised) | set(certified),
+                            key=_tier_sort_key)
+            for label in labels:
+                rows.append({
+                    "isp_id": isp,
+                    "tier": label,
+                    "certified_pct": certified.get(label, 0.0),
+                    "advertised_pct": advertised.get(label, 0.0),
+                })
+        return Table.from_rows(rows)
+
+    def table1_wide(self) -> Table:
+        """Table 1 in the paper's wide layout: one row per tier, one
+        certified/advertised column pair per ISP."""
+        from repro.tabular import pivot
+
+        wide = pivot(self.table1(), index="tier", columns="isp_id",
+                     values=["certified_pct", "advertised_pct"], fill=0.0)
+        order = sorted(range(len(wide)),
+                       key=lambda i: _tier_sort_key(wide["tier"][i]))
+        return wide.take(order)
+
+    # ------------------------------------------------------------------
+    # Rate (price) compliance
+    # ------------------------------------------------------------------
+    def price_range_for_tier(self, download_mbps: float,
+                             tolerance: float = 2.5) -> tuple[float, float]:
+        """Observed price range for served plans near one speed tier."""
+        table = self._audit.table
+        mask = (np.abs(table["advertised_download_mbps"] - download_mbps)
+                <= tolerance) & table["served"].astype(bool)
+        prices = table.mask(mask)["best_price_usd"]
+        prices = prices[~np.isnan(prices)]
+        if prices.size == 0:
+            raise ValueError(f"no served plans near {download_mbps} Mbps")
+        return float(prices.min()), float(prices.max())
+
+    def rate_compliance_fraction(self) -> float:
+        """Fraction of served addresses whose best plan is within the
+        tier benchmark (the paper found this to be ~1.0)."""
+        table = self._audit.table
+        served = table.mask(table["served"].astype(bool))
+        compliant = 0
+        checked = 0
+        standard = self._audit.standard
+        for row in served.iter_rows():
+            price = row["best_price_usd"]
+            speed = row["advertised_download_mbps"]
+            if np.isnan(price) or speed <= 0:
+                continue
+            checked += 1
+            compliant += price <= standard.rate_cap_for(max(speed, 10.0))
+        if checked == 0:
+            raise ValueError("no priced plans to check")
+        return compliant / checked
+
+    def non_compliant_served_fraction(self) -> float:
+        """Among served addresses, the unweighted fraction failing the
+        service-quality standard (the '66.97% of CAF addresses' angle
+        uses the weighted complement; this is the diagnostic view)."""
+        table = self._audit.table
+        served = table.mask(table["served"].astype(bool))
+        if len(served) == 0:
+            raise ValueError("no served addresses")
+        return 1.0 - float(np.mean(served["compliant"].astype(float)))
+
+
+def _tier_sort_key(label: str) -> tuple[int, float, str]:
+    """Sort tiers numerically with named plans grouped after '0'."""
+    try:
+        return (0, float(label), label)
+    except ValueError:
+        pass
+    if label.endswith("+"):
+        return (0, float(label[:-1]), label)
+    if "-" in label and label[0].isdigit():
+        return (0, float(label.split("-")[0]), label)
+    return (1, 0.0, label)

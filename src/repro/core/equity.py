@@ -1,0 +1,147 @@
+"""Equity analysis: who is (not) receiving service through CAF?
+
+Section 2.4 of the paper lists questions USAC's opaque "compliance
+gap" cannot answer, including "whether it disproportionately affects
+certain populations". The audit dataset can: every audited address
+carries its CBG's demographics, so serviceability and compliance can
+be disaggregated by income and rurality, and disparities quantified.
+
+Related measurement literature the paper cites ([1], [8], [33], [42])
+consistently finds better service in higher-income areas; this module
+produces the same views for the CAF audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.audit import AuditDataset
+from repro.stats.correlation import CorrelationResult, spearman
+from repro.stats.weighted import weighted_mean
+from repro.synth.world import World
+from repro.tabular import Table
+
+__all__ = ["EquityAnalysis", "QuartileRow"]
+
+
+@dataclass(frozen=True)
+class QuartileRow:
+    """One income-quartile's audited outcomes."""
+
+    quartile: int
+    income_low_usd: float
+    income_high_usd: float
+    num_cbgs: int
+    serviceability: float
+    compliance: float
+
+
+class EquityAnalysis:
+    """Demographic disaggregation of the audit."""
+
+    def __init__(self, audit: AuditDataset, world: World):
+        self._audit = audit
+        self._world = world
+        self._rates = self._build_rates()
+
+    def _build_rates(self) -> Table:
+        served = self._audit.cbg_rates("served").rename({"rate": "serviceability"})
+        compliant = self._audit.cbg_rates("compliant").rename({"rate": "compliance"})
+        rows = []
+        compliance_by_key = {
+            (row["isp_id"], row["cbg"]): row["compliance"]
+            for row in compliant.iter_rows()
+        }
+        for row in served.iter_rows():
+            block_group = self._world.block_groups.get(row["cbg"])
+            if block_group is None:
+                continue
+            rows.append({
+                "isp_id": row["isp_id"],
+                "state": row["state"],
+                "cbg": row["cbg"],
+                "serviceability": row["serviceability"],
+                "compliance": compliance_by_key[(row["isp_id"], row["cbg"])],
+                "weight": row["weight"],
+                "median_income_usd": block_group.median_income_usd,
+                "is_rural": block_group.is_rural,
+            })
+        if not rows:
+            raise ValueError("no CBGs with demographic metadata")
+        return Table.from_rows(rows)
+
+    @property
+    def cbg_table(self) -> Table:
+        """Per-CBG outcomes with demographics attached."""
+        return self._rates
+
+    # ------------------------------------------------------------------
+    def by_income_quartile(self) -> list[QuartileRow]:
+        """Weighted outcomes per CBG-income quartile (1 = poorest)."""
+        incomes = self._rates["median_income_usd"]
+        edges = np.percentile(incomes, [0, 25, 50, 75, 100])
+        rows = []
+        for quartile in range(1, 5):
+            low, high = edges[quartile - 1], edges[quartile]
+            if quartile < 4:
+                mask = (incomes >= low) & (incomes < high)
+            else:
+                mask = (incomes >= low) & (incomes <= high)
+            sub = self._rates.mask(mask)
+            if len(sub) == 0:
+                continue
+            rows.append(QuartileRow(
+                quartile=quartile,
+                income_low_usd=float(low),
+                income_high_usd=float(high),
+                num_cbgs=len(sub),
+                serviceability=weighted_mean(sub["serviceability"],
+                                             sub["weight"]),
+                compliance=weighted_mean(sub["compliance"], sub["weight"]),
+            ))
+        return rows
+
+    def income_serviceability_correlation(self) -> CorrelationResult:
+        """Spearman correlation of CBG income vs serviceability."""
+        return spearman(self._rates["median_income_usd"],
+                        self._rates["serviceability"])
+
+    def rural_urban_gap(self) -> dict[str, float]:
+        """Weighted serviceability for rural vs urban CBGs."""
+        out = {}
+        for label, flag in (("rural", True), ("urban", False)):
+            sub = self._rates.mask(self._rates["is_rural"].astype(bool) == flag)
+            if len(sub):
+                out[label] = weighted_mean(sub["serviceability"],
+                                           sub["weight"])
+        return out
+
+    def disparity_ratio(self) -> float:
+        """Top-quartile over bottom-quartile weighted serviceability.
+
+        1.0 means equitable outcomes; the digital-divide literature the
+        paper cites predicts a ratio above 1.
+        """
+        quartiles = {row.quartile: row for row in self.by_income_quartile()}
+        if 1 not in quartiles or 4 not in quartiles:
+            raise ValueError("need both extreme quartiles")
+        bottom = quartiles[1].serviceability
+        if bottom == 0:
+            raise ValueError("bottom quartile has zero serviceability")
+        return quartiles[4].serviceability / bottom
+
+    def quartile_table(self) -> Table:
+        """The quartile breakdown as a table."""
+        return Table.from_rows([
+            {
+                "quartile": row.quartile,
+                "income_low_usd": row.income_low_usd,
+                "income_high_usd": row.income_high_usd,
+                "num_cbgs": row.num_cbgs,
+                "serviceability": row.serviceability,
+                "compliance": row.compliance,
+            }
+            for row in self.by_income_quartile()
+        ])

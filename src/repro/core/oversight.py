@@ -1,0 +1,147 @@
+"""Oversight comparison: USAC's sampled reviews vs an external audit.
+
+Section 2.4 of the paper argues USAC's oversight is structurally weak:
+it samples few locations, relies on ISP-supplied evidence, reports a
+single opaque "compliance gap", and some tests only reach active
+subscribers. This module quantifies that critique on a synthetic world
+where ground truth is known:
+
+* run USAC-style reviews at several sample sizes and measure how far
+  their gap estimate sits from truth;
+* run the paper's external audit on the same world and measure the
+  same distance;
+* compute the *detection power* of a sampled review — the probability
+  it observes at least one unserved location when a fraction of
+  certifications are false.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.audit import AuditDataset
+from repro.core.collection import CollectionCampaign
+from repro.isp.deployment import GroundTruth
+from repro.synth.world import World
+from repro.tabular import Table
+
+__all__ = ["OversightComparison", "compare_oversight", "detection_power"]
+
+
+def detection_power(sample_size: int, unserved_fraction: float) -> float:
+    """Probability a random review of ``sample_size`` certified
+    locations observes at least one unserved location."""
+    if sample_size < 0:
+        raise ValueError("sample size must be non-negative")
+    if not 0.0 <= unserved_fraction <= 1.0:
+        raise ValueError("unserved fraction must be a probability")
+    return 1.0 - (1.0 - unserved_fraction) ** sample_size
+
+
+@dataclass(frozen=True)
+class OversightComparison:
+    """Truth vs USAC review vs external audit for one ISP."""
+
+    isp_id: str
+    truth_unserved_fraction: float
+    review_rows: Table
+    audit_unserved_fraction: float
+    audit_addresses: int
+
+    @property
+    def audit_error_pp(self) -> float:
+        """External audit's distance from truth in percentage points."""
+        return abs(self.audit_unserved_fraction
+                   - self.truth_unserved_fraction) * 100.0
+
+    def best_review_error_pp(self) -> float:
+        """The *best* sampled review's distance from truth."""
+        return min(
+            abs(row["estimated_gap"] - self.truth_unserved_fraction) * 100.0
+            for row in self.review_rows.iter_rows()
+        )
+
+    def render(self) -> str:
+        """Human-readable comparison."""
+        lines = [
+            f"Oversight comparison for {self.isp_id}:",
+            f"  ground-truth unserved fraction: "
+            f"{self.truth_unserved_fraction:.1%}",
+            f"  external audit estimate:        "
+            f"{self.audit_unserved_fraction:.1%} "
+            f"({self.audit_addresses} addresses, "
+            f"error {self.audit_error_pp:.1f} pp)",
+            "  USAC-style sampled reviews:",
+        ]
+        for row in self.review_rows.iter_rows():
+            lines.append(
+                f"    n={row['sample_size']:>5}: gap "
+                f"{row['estimated_gap']:.1%}, detection power "
+                f"{row['detection_power']:.1%}"
+            )
+        return "\n".join(lines)
+
+
+def _truth_unserved(world: World, isp_id: str) -> float:
+    truth: GroundTruth = world.ground_truth
+    served = total = 0
+    for (isp, _state), addresses in world.caf_by_isp_state.items():
+        if isp != isp_id:
+            continue
+        for address in addresses:
+            total += 1
+            served += truth.serves(isp_id, address.address_id)
+    if total == 0:
+        raise ValueError(f"no certified addresses for {isp_id!r}")
+    return 1.0 - served / total
+
+
+def compare_oversight(
+    world: World,
+    isp_id: str = "att",
+    review_fractions: tuple[float, ...] = (0.001, 0.01, 0.05),
+) -> OversightComparison:
+    """Run both oversight styles against the same world."""
+    if not review_fractions:
+        raise ValueError("need at least one review fraction")
+    truth_unserved = _truth_unserved(world, isp_id)
+
+    rows = []
+    for fraction in review_fractions:
+        review = world.hubb.run_verification_review(
+            isp_id, world.ground_truth, sample_fraction=fraction)
+        rows.append({
+            "sample_fraction": fraction,
+            "sample_size": review.sampled,
+            "estimated_gap": review.compliance_gap,
+            "detection_power": detection_power(review.sampled,
+                                               truth_unserved),
+        })
+
+    campaign = CollectionCampaign(world)
+    collection = campaign.run(isps=(isp_id,))
+    audit = AuditDataset(collection.log, collection.cbg_totals, world=world)
+    return OversightComparison(
+        isp_id=isp_id,
+        truth_unserved_fraction=truth_unserved,
+        review_rows=Table.from_rows(rows),
+        audit_unserved_fraction=1.0 - audit.serviceability_rate(isp_id=isp_id),
+        audit_addresses=len(audit.table),
+    )
+
+
+def required_sample_for_power(
+    unserved_fraction: float, power: float = 0.95
+) -> int:
+    """Smallest review sample achieving the target detection power.
+
+    Useful for oversight design: how many certified locations must a
+    regulator check to have ``power`` probability of catching an ISP
+    whose certifications are false at ``unserved_fraction``.
+    """
+    if not 0.0 < unserved_fraction < 1.0:
+        raise ValueError("unserved fraction must be in (0, 1)")
+    if not 0.0 < power < 1.0:
+        raise ValueError("power must be in (0, 1)")
+    return math.ceil(math.log(1.0 - power) / math.log(1.0 - unserved_fraction))

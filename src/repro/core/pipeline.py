@@ -1,0 +1,107 @@
+"""The end-to-end audit pipeline.
+
+``run_full_audit`` is the one-call reproduction of the paper's study:
+build (or accept) a world, run the Q1/Q2 stratified collection, run the
+Q3 block collection, and wrap every analysis object into an
+:class:`AuditReport` with the headline numbers the abstract reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.audit import AuditDataset, ComplianceStandard
+from repro.core.collection import (
+    CollectionCampaign,
+    CollectionResult,
+    Q3Collection,
+    collect_q3_dataset,
+)
+from repro.core.compliance import ComplianceAnalysis
+from repro.core.monopoly import MonopolyAnalysis, analyze_q3
+from repro.core.sampling import SamplingPolicy
+from repro.core.serviceability import ServiceabilityAnalysis
+from repro.fcc.urban_rate_survey import generate_urban_rate_survey
+from repro.synth.world import World, build_world
+from repro.synth.scenario import ScenarioConfig
+
+__all__ = ["AuditReport", "run_full_audit"]
+
+CAF_STUDY_ISP_IDS = ("att", "centurylink", "frontier", "consolidated")
+
+
+@dataclass
+class AuditReport:
+    """The full study output."""
+
+    world: World
+    collection: CollectionResult
+    audit: AuditDataset
+    serviceability: ServiceabilityAnalysis
+    compliance: ComplianceAnalysis
+    q3_collection: Q3Collection
+    monopoly: MonopolyAnalysis
+
+    def headline(self) -> dict[str, float]:
+        """The abstract's headline numbers, as measured on this world."""
+        type_a = self.monopoly.outcome_shares("A", "monopoly")
+        return {
+            "serviceability_rate": self.serviceability.aggregate_rate(),
+            "compliance_rate": self.compliance.aggregate_rate(),
+            "type_a_caf_better_share": type_a["caf"],
+            "type_a_tie_share": type_a["tie"],
+            "type_a_monopoly_better_share": type_a["rival"],
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary for the CLI and examples."""
+        numbers = self.headline()
+        lines = [
+            f"Queried {len(self.collection.log)} Q1/Q2 records, "
+            f"{len(self.q3_collection.log)} Q3 records",
+            f"Serviceability rate: {numbers['serviceability_rate']:.2%} "
+            f"(paper: 55.45%)",
+            f"Compliance rate:     {numbers['compliance_rate']:.2%} "
+            f"(paper: 33.03%)",
+        ]
+        for isp, rate in sorted(self.serviceability.rate_by_isp().items()):
+            lines.append(f"  serviceability[{isp}] = {rate:.2%}")
+        for isp, rate in sorted(self.compliance.rate_by_isp().items()):
+            lines.append(f"  compliance[{isp}] = {rate:.2%}")
+        lines.append(
+            "Type A outcomes (tie/CAF/monopoly): "
+            f"{numbers['type_a_tie_share']:.0%}/"
+            f"{numbers['type_a_caf_better_share']:.0%}/"
+            f"{numbers['type_a_monopoly_better_share']:.0%} "
+            "(paper: 55%/27%/18%)"
+        )
+        return lines
+
+
+def run_full_audit(
+    world: World | None = None,
+    scenario: ScenarioConfig | None = None,
+    policy: SamplingPolicy | None = None,
+    use_urban_survey: bool = True,
+) -> AuditReport:
+    """Run the complete study and return every analysis object."""
+    if world is None:
+        world = build_world(scenario)
+    campaign = CollectionCampaign(world, policy=policy)
+    collection = campaign.run(isps=CAF_STUDY_ISP_IDS)
+    survey = (generate_urban_rate_survey(seed=world.config.seed)
+              if use_urban_survey else None)
+    standard = ComplianceStandard(survey=survey)
+    audit = AuditDataset(
+        collection.log, collection.cbg_totals, world=world, standard=standard
+    )
+    q3_collection = collect_q3_dataset(world)
+    return AuditReport(
+        world=world,
+        collection=collection,
+        audit=audit,
+        serviceability=ServiceabilityAnalysis(audit),
+        compliance=ComplianceAnalysis(audit, caf_map=world.caf_map),
+        q3_collection=q3_collection,
+        monopoly=analyze_q3(q3_collection),
+    )

@@ -1,0 +1,93 @@
+"""The paper's CBG-stratified sampling strategy.
+
+Section 3.1: within each census block group, sample all CAF addresses
+when there are at most 30; otherwise sample the greater of 30 and 10%
+of the CBG's addresses. The remaining addresses form a *reserve* used
+to replace addresses whose queries repeatedly fail (Section 3.2: "if a
+query fails multiple times for a specific address, we select a new
+address from the same census block group").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.addresses.models import StreetAddress
+from repro.stats.distributions import stable_rng
+
+__all__ = ["SamplingPolicy", "SamplePlan", "plan_cbg_sample"]
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Parameters of the stratified sampling rule."""
+
+    min_samples: int = 30
+    sampling_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        if not 0.0 < self.sampling_fraction <= 1.0:
+            raise ValueError("sampling_fraction must be in (0, 1]")
+
+    def target_for(self, cbg_address_count: int) -> int:
+        """How many addresses to query in a CBG of the given size."""
+        if cbg_address_count < 0:
+            raise ValueError("address count must be non-negative")
+        if cbg_address_count <= self.min_samples:
+            return cbg_address_count
+        return max(self.min_samples, ceil(self.sampling_fraction * cbg_address_count))
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """The sample and replacement reserve for one CBG."""
+
+    block_group_geoid: str
+    selected: tuple[StreetAddress, ...]
+    reserve: tuple[StreetAddress, ...]
+    population_size: int
+
+    def __post_init__(self) -> None:
+        if len(self.selected) + len(self.reserve) > self.population_size:
+            raise ValueError("sample plus reserve exceeds the population")
+
+    @property
+    def sampling_rate(self) -> float:
+        """Fraction of the CBG's addresses selected for querying."""
+        if self.population_size == 0:
+            return 0.0
+        return len(self.selected) / self.population_size
+
+
+def plan_cbg_sample(
+    block_group_geoid: str,
+    addresses: list[StreetAddress],
+    policy: SamplingPolicy,
+    seed: int = 0,
+) -> SamplePlan:
+    """Draw the stratified sample for one CBG.
+
+    Selection is a uniform draw without replacement, deterministic per
+    (seed, CBG): the paper's robustness claim (Appendix 8.2) is about
+    *rates*, and a stable draw makes every experiment repeatable.
+    """
+    wrong = [a.address_id for a in addresses
+             if a.block_group_geoid != block_group_geoid]
+    if wrong:
+        raise ValueError(
+            f"addresses outside CBG {block_group_geoid}: {wrong[:3]}"
+        )
+    rng = stable_rng(seed, "sample", block_group_geoid)
+    target = policy.target_for(len(addresses))
+    order = rng.permutation(len(addresses))
+    selected = tuple(addresses[int(i)] for i in order[:target])
+    reserve = tuple(addresses[int(i)] for i in order[target:])
+    return SamplePlan(
+        block_group_geoid=block_group_geoid,
+        selected=selected,
+        reserve=reserve,
+        population_size=len(addresses),
+    )

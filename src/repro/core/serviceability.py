@@ -1,0 +1,106 @@
+"""Q1 — serviceability analysis (Section 4.1).
+
+Produces every view Figure 2, Figure 3, and Figure 10 plot: the
+aggregate weighted rate, per-ISP and per-state CBG-rate distributions
+(boxplot statistics), per state × ISP rates, the population-density
+correlation, and per-CBG geospatial rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.audit import AuditDataset
+from repro.stats.correlation import CorrelationResult, spearman
+from repro.stats.summary import BoxStats, box_stats
+from repro.tabular import Table
+
+__all__ = ["ServiceabilityAnalysis"]
+
+
+class ServiceabilityAnalysis:
+    """All Q1 views over one audit dataset."""
+
+    def __init__(self, audit: AuditDataset):
+        self._audit = audit
+        self._cbg_rates = audit.cbg_rates("served")
+
+    @property
+    def cbg_rates(self) -> Table:
+        """Per-(ISP, state, CBG) serviceability rates with weights."""
+        return self._cbg_rates
+
+    def aggregate_rate(self) -> float:
+        """The headline weighted serviceability rate (paper: 55.45%)."""
+        return self._audit.serviceability_rate()
+
+    def rate_by_isp(self) -> dict[str, float]:
+        """Weighted rate per ISP (paper: AT&T 31.53% … CenturyLink 90.42%)."""
+        return {isp: self._audit.serviceability_rate(isp_id=isp)
+                for isp in self._audit.isps()}
+
+    def rate_by_state(self) -> dict[str, float]:
+        """Weighted rate per state."""
+        return {state: self._audit.serviceability_rate(state=state)
+                for state in self._audit.states()}
+
+    def rate_by_state_isp(self) -> Table:
+        """Weighted rate per (state, ISP) pair."""
+        rows = []
+        for isp in self._audit.isps():
+            for state in self._audit.states_for_isp(isp):
+                rows.append({
+                    "isp_id": isp,
+                    "state": state,
+                    "rate": self._audit.serviceability_rate(isp_id=isp, state=state),
+                })
+        return Table.from_rows(rows)
+
+    # ------------------------------------------------------------------
+    # Distribution views (the boxplots of Figure 2)
+    # ------------------------------------------------------------------
+    def cbg_rate_distribution_by_isp(self) -> dict[str, BoxStats]:
+        """Boxplot statistics of CBG rates per ISP (Figure 2a)."""
+        out = {}
+        for isp in self._audit.isps():
+            rates = self._cbg_rates.where_equal(isp_id=isp)["rate"]
+            out[isp] = box_stats(rates)
+        return out
+
+    def cbg_rate_distribution_by_state(self) -> dict[str, BoxStats]:
+        """Boxplot statistics of CBG rates per state (Figure 2b)."""
+        out = {}
+        for state in self._audit.states():
+            rates = self._cbg_rates.where_equal(state=state)["rate"]
+            out[state] = box_stats(rates)
+        return out
+
+    def isp_state_distribution(self, isp_id: str) -> dict[str, BoxStats]:
+        """Boxplot statistics of one ISP's CBG rates per state
+        (Figure 2c for AT&T)."""
+        sub = self._cbg_rates.where_equal(isp_id=isp_id)
+        out = {}
+        for state in sorted(set(sub["state"])):
+            out[str(state)] = box_stats(sub.where_equal(state=state)["rate"])
+        return out
+
+    # ------------------------------------------------------------------
+    # Density analysis (Figure 3) and geospatial rows (Figure 10)
+    # ------------------------------------------------------------------
+    def density_correlation(self, isp_id: str, state: str) -> CorrelationResult:
+        """Spearman correlation of CBG serviceability vs population
+        density for one (ISP, state)."""
+        sub = self._cbg_rates.where_equal(isp_id=isp_id, state=state)
+        densities = sub["population_density"]
+        rates = sub["rate"]
+        mask = ~np.isnan(densities)
+        return spearman(densities[mask], rates[mask])
+
+    def density_scatter(self, isp_id: str, state: str) -> Table:
+        """The (serviceability, density) scatter behind Figure 3."""
+        sub = self._cbg_rates.where_equal(isp_id=isp_id, state=state)
+        return sub.select(["cbg", "rate", "population_density", "weight"])
+
+    def unserved_fraction(self) -> float:
+        """1 − aggregate serviceability (the paper's 44.55% headline)."""
+        return 1.0 - self.aggregate_rate()

@@ -1,0 +1,145 @@
+"""Cross-dataset consistency validation.
+
+A world is assembled from half a dozen generators; before trusting an
+audit built on top of it, a release-quality pipeline checks that the
+pieces agree. ``validate_world`` runs the invariant suite and returns
+findings (empty = consistent); ``validate_report`` extends it to the
+audit outputs. The checks mirror the referential-integrity properties
+the real datasets are supposed to have (and, per the paper, sometimes
+don't — which is rather the point of auditing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bqt.responses import QueryStatus
+from repro.core.pipeline import AuditReport
+from repro.synth.world import World
+
+__all__ = ["Finding", "validate_world", "validate_report"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One failed consistency check."""
+
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.detail}"
+
+
+def _check(findings: list[Finding], check: str, ok: bool, detail: str) -> None:
+    if not ok:
+        findings.append(Finding(check=check, detail=detail))
+
+
+def validate_world(world: World, sample_limit: int = 2000) -> list[Finding]:
+    """Run the world-invariant suite; returns failed checks."""
+    findings: list[Finding] = []
+
+    # Every CAF Map record references a generated address in the same
+    # block, certified by an ISP with a Table 3 footprint in that state.
+    records = list(world.caf_map)
+    _check(findings, "caf_map_nonempty", bool(records), "CAF Map is empty")
+    for record in records[:sample_limit]:
+        address = world.caf_addresses.get(record.address_id)
+        if address is None:
+            _check(findings, "caf_map_address_exists", False,
+                   f"record {record.address_id} has no address")
+            continue
+        _check(findings, "caf_map_block_matches",
+               address.block_geoid == record.block_geoid,
+               f"{record.address_id}: block mismatch")
+        _check(findings, "caf_map_state_matches",
+               address.state_abbreviation == record.state_abbreviation,
+               f"{record.address_id}: state mismatch")
+
+    # Certified speeds always satisfy the CAF floor (Figure 1f).
+    bad_certs = [r.address_id for r in records if not r.meets_caf_speed_floor]
+    _check(findings, "certified_meets_floor", not bad_certs,
+           f"{len(bad_certs)} certifications below 10/1")
+
+    # Geography indexes cover every referenced CBG and block.
+    for record in records[:sample_limit]:
+        _check(findings, "cbg_indexed",
+               record.block_group_geoid in world.block_groups,
+               f"CBG {record.block_group_geoid} missing from geography")
+        _check(findings, "block_indexed",
+               record.block_geoid in world.blocks,
+               f"block {record.block_geoid} missing from geography")
+
+    # Ground truth: every unserved truth has no plans, every served
+    # truth with plans has positive speeds.
+    for (isp_id, address_id) in list(world.ground_truth.pairs())[:sample_limit]:
+        truth = world.ground_truth.truth_for(isp_id, address_id)
+        if truth.serves:
+            for plan in truth.plans:
+                _check(findings, "plan_speeds_positive",
+                       plan.download_mbps > 0,
+                       f"({isp_id}, {address_id}): zero-speed plan")
+        else:
+            _check(findings, "unserved_has_no_plans", not truth.plans,
+                   f"({isp_id}, {address_id}): unserved with plans")
+
+    # Q3 structures: Form 477 and the NBM agree; every competition
+    # classification references its incumbent's availability.
+    disagreements = world.broadband_map.consistent_with_form477(world.form477)
+    _check(findings, "nbm_matches_form477", not disagreements,
+           f"{len(disagreements)} blocks disagree")
+    for block_geoid, competition in list(world.block_competition.items())[:sample_limit]:
+        providers = world.form477.providers_in_block(block_geoid)
+        _check(findings, "incumbent_declared",
+               competition.incumbent_isp_id in providers,
+               f"{block_geoid}: incumbent not in Form 477")
+
+    # Zillow feed is disjoint from CAF addresses.
+    overlap = [a for a in list(world.caf_addresses)[:sample_limit]
+               if a in world.zillow]
+    _check(findings, "zillow_disjoint", not overlap,
+           f"{len(overlap)} CAF addresses in the Zillow feed")
+
+    # The ledger funds exactly the certifying (ISP, state) cells.
+    for (isp_id, state) in world.caf_by_isp_state:
+        _check(findings, "ledger_covers_cells",
+               world.ledger.amount_for(isp_id, state) > 0,
+               f"({isp_id}, {state}) certified but unfunded")
+    return findings
+
+
+def validate_report(report: AuditReport,
+                    sample_limit: int = 2000) -> list[Finding]:
+    """World checks plus audit-output invariants."""
+    findings = validate_world(report.world, sample_limit=sample_limit)
+
+    # Every audited row references a queried CBG with a weight, and
+    # rates are probabilities with compliance <= serviceability.
+    audit = report.audit
+    _check(findings, "audit_nonempty", len(audit) > 0, "audit is empty")
+    serviceability = audit.serviceability_rate()
+    compliance = audit.compliance_rate()
+    _check(findings, "rates_are_probabilities",
+           0.0 <= compliance <= serviceability <= 1.0,
+           f"serviceability={serviceability}, compliance={compliance}")
+
+    # Log statuses: conclusive records only in the audit; unknowns all
+    # carry an error category.
+    for record in list(report.collection.log)[:sample_limit]:
+        if record.status is QueryStatus.UNKNOWN:
+            _check(findings, "unknowns_categorized",
+                   record.error_category is not None,
+                   f"{record.address_id}: unknown without category")
+
+    # Q3: every analyzed block has an incumbent and a mode for every
+    # logged address.
+    q3 = report.q3_collection
+    for block in q3.analyzed_blocks[:sample_limit]:
+        _check(findings, "q3_incumbent_known", block in q3.incumbents,
+               f"{block}: no incumbent")
+    missing_modes = [r.address_id for r in list(q3.log)[:sample_limit]
+                     if r.address_id not in q3.modes]
+    _check(findings, "q3_modes_assigned", not missing_modes,
+           f"{len(missing_modes)} Q3 records without a mode")
+    return findings

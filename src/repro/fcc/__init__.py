@@ -1,0 +1,45 @@
+"""FCC regulatory substrate.
+
+Models the regulatory machinery the paper's analysis runs against:
+
+* :mod:`repro.fcc.regulations` — the CAF II obligations: the 10/1 Mbps
+  service floor, the "reasonably comparable rate" price test, and the
+  ten-business-day deployment rule.
+* :mod:`repro.fcc.urban_rate_survey` — the FCC's annual urban rate
+  survey, from which the two-standard-deviation price benchmark (the
+  ~$89/month cap for 10/1 Mbps in 2024) is derived.
+* :mod:`repro.fcc.form477` — Form 477-style provider availability
+  records at census-block granularity.
+* :mod:`repro.fcc.broadband_map` — the National Broadband Map fabric;
+  together with Form 477 it drives the paper's Q3 filter for census
+  blocks served exclusively by the six BQT-supported ISPs.
+"""
+
+from repro.fcc.broadband_map import BroadbandMap, FabricRecord
+from repro.fcc.form477 import AvailabilityRecord, Form477
+from repro.fcc.regulations import (
+    CAF_MAX_RATE_USD,
+    CAF_MIN_DOWNLOAD_MBPS,
+    CAF_MIN_UPLOAD_MBPS,
+    DEPLOYMENT_WINDOW_BUSINESS_DAYS,
+    CafObligations,
+    plan_is_rate_compliant,
+    plan_is_service_compliant,
+)
+from repro.fcc.urban_rate_survey import UrbanRateSurvey, generate_urban_rate_survey
+
+__all__ = [
+    "AvailabilityRecord",
+    "BroadbandMap",
+    "CAF_MAX_RATE_USD",
+    "CAF_MIN_DOWNLOAD_MBPS",
+    "CAF_MIN_UPLOAD_MBPS",
+    "CafObligations",
+    "DEPLOYMENT_WINDOW_BUSINESS_DAYS",
+    "FabricRecord",
+    "Form477",
+    "UrbanRateSurvey",
+    "generate_urban_rate_survey",
+    "plan_is_rate_compliant",
+    "plan_is_service_compliant",
+]

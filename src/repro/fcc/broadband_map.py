@@ -1,0 +1,86 @@
+"""National Broadband Map fabric.
+
+The National Broadband Map (NBM) is the FCC's address-level successor
+to Form 477: a location "fabric" joined with provider availability
+claims. The paper consults it alongside Form 477 when selecting Q3
+census blocks. Here the fabric is derived from the same ground-truth
+world the Form 477 records come from, and the two sources can be
+cross-checked with :meth:`BroadbandMap.consistent_with_form477` — a
+useful integrity test since real-world discrepancies between the two
+datasets are themselves a known data-quality issue ([34] in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.fcc.form477 import Form477
+
+__all__ = ["FabricRecord", "BroadbandMap"]
+
+
+@dataclass(frozen=True)
+class FabricRecord:
+    """One serviceable location in the map fabric."""
+
+    location_id: str
+    block_geoid: str
+    provider_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.block_geoid) != 15 or not self.block_geoid.isdigit():
+            raise ValueError(f"bad block GEOID {self.block_geoid!r}")
+
+
+class BroadbandMap:
+    """Address-level availability fabric with block rollups."""
+
+    def __init__(self, records: Iterable[FabricRecord] = ()):
+        self._records: list[FabricRecord] = []
+        self._by_block: dict[str, list[FabricRecord]] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: FabricRecord) -> None:
+        """Append one fabric location."""
+        self._records.append(record)
+        self._by_block.setdefault(record.block_geoid, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def providers_in_block(self, block_geoid: str) -> set[str]:
+        """Union of providers over all fabric locations in a block."""
+        providers: set[str] = set()
+        for record in self._by_block.get(block_geoid, []):
+            providers.update(record.provider_ids)
+        return providers
+
+    def locations_in_block(self, block_geoid: str) -> list[FabricRecord]:
+        """All fabric locations in a block."""
+        return list(self._by_block.get(block_geoid, []))
+
+    def blocks(self) -> list[str]:
+        """All fabric block GEOIDs, sorted."""
+        return sorted(self._by_block)
+
+    def blocks_served_exclusively_by(self, isp_ids: set[str]) -> list[str]:
+        """Blocks whose fabric providers are all in ``isp_ids``."""
+        if not isp_ids:
+            raise ValueError("isp_ids must be non-empty")
+        return sorted(
+            block
+            for block in self._by_block
+            if self.providers_in_block(block)
+            and self.providers_in_block(block) <= isp_ids
+        )
+
+    def consistent_with_form477(self, form477: Form477) -> list[str]:
+        """Return blocks where the two datasets *disagree* on the
+        provider set (empty means fully consistent)."""
+        disagreements = []
+        for block in set(self._by_block) | set(form477.blocks()):
+            if self.providers_in_block(block) != form477.providers_in_block(block):
+                disagreements.append(block)
+        return sorted(disagreements)

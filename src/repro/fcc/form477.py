@@ -1,0 +1,84 @@
+"""FCC Form 477-style availability records.
+
+Form 477 (and its successor, the Broadband Data Collection) has ISPs
+declare, per census block, the technologies and maximum speeds they
+offer. The paper uses Form 477 together with the National Broadband Map
+to find census blocks "served exclusively by the six ISPs … currently
+supported by BQT" (Section 4.3). :class:`Form477` stores the records
+and implements that exclusivity filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["AvailabilityRecord", "Form477"]
+
+
+@dataclass(frozen=True)
+class AvailabilityRecord:
+    """One (ISP, census block) availability declaration."""
+
+    isp_id: str
+    block_geoid: str
+    technology: str
+    max_download_mbps: float
+    max_upload_mbps: float
+
+    def __post_init__(self) -> None:
+        if len(self.block_geoid) != 15 or not self.block_geoid.isdigit():
+            raise ValueError(f"bad block GEOID {self.block_geoid!r}")
+        if self.max_download_mbps < 0 or self.max_upload_mbps < 0:
+            raise ValueError("speeds must be non-negative")
+
+
+class Form477:
+    """An indexed collection of availability records."""
+
+    def __init__(self, records: Iterable[AvailabilityRecord] = ()):
+        self._records: list[AvailabilityRecord] = []
+        self._by_block: dict[str, list[AvailabilityRecord]] = {}
+        self._by_isp: dict[str, list[AvailabilityRecord]] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: AvailabilityRecord) -> None:
+        """Append one declaration."""
+        self._records.append(record)
+        self._by_block.setdefault(record.block_geoid, []).append(record)
+        self._by_isp.setdefault(record.isp_id, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def blocks(self) -> list[str]:
+        """All declared block GEOIDs, sorted."""
+        return sorted(self._by_block)
+
+    def providers_in_block(self, block_geoid: str) -> set[str]:
+        """The set of ISP ids declaring availability in a block."""
+        return {rec.isp_id for rec in self._by_block.get(block_geoid, [])}
+
+    def records_in_block(self, block_geoid: str) -> list[AvailabilityRecord]:
+        """All declarations for a block."""
+        return list(self._by_block.get(block_geoid, []))
+
+    def blocks_for_isp(self, isp_id: str) -> list[str]:
+        """Sorted blocks where ``isp_id`` declares availability."""
+        return sorted({rec.block_geoid for rec in self._by_isp.get(isp_id, [])})
+
+    def blocks_served_exclusively_by(self, isp_ids: set[str]) -> list[str]:
+        """Blocks where every declaring provider is in ``isp_ids``.
+
+        This is the Q3 pre-filter: restrict the study to blocks where
+        BQT can query *every* provider present, so competition analysis
+        never misses an un-queryable competitor.
+        """
+        if not isp_ids:
+            raise ValueError("isp_ids must be non-empty")
+        return sorted(
+            block
+            for block, records in self._by_block.items()
+            if records and {rec.isp_id for rec in records} <= isp_ids
+        )

@@ -1,0 +1,88 @@
+"""CAF II regulatory obligations.
+
+Section 2.2 of the paper summarizes the rules a CAF-subsidized ISP must
+meet at every certified location:
+
+* offer download >= 10 Mbps and upload >= 1 Mbps ([29] in the paper);
+* charge no more than a rate "reasonably comparable" to urban rates —
+  within two standard deviations of the average urban rate for similar
+  service (the FCC set ~$89/month for 10/1 Mbps service in 2024);
+* have service deployed, or deployable within ten business days of a
+  request.
+
+These constants and predicates are the single source of truth the
+compliance analysis (Q2) evaluates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.isp.plans import BroadbandPlan
+
+__all__ = [
+    "CAF_MIN_DOWNLOAD_MBPS",
+    "CAF_MIN_UPLOAD_MBPS",
+    "CAF_MAX_RATE_USD",
+    "DEPLOYMENT_WINDOW_BUSINESS_DAYS",
+    "CafObligations",
+    "plan_is_service_compliant",
+    "plan_is_rate_compliant",
+]
+
+CAF_MIN_DOWNLOAD_MBPS = 10.0
+CAF_MIN_UPLOAD_MBPS = 1.0
+# The FCC's 2024 urban-rate-survey benchmark for 10/1 Mbps service.
+CAF_MAX_RATE_USD = 89.0
+DEPLOYMENT_WINDOW_BUSINESS_DAYS = 10
+
+
+@dataclass(frozen=True)
+class CafObligations:
+    """The rate and service conditions attached to a CAF subsidy."""
+
+    min_download_mbps: float = CAF_MIN_DOWNLOAD_MBPS
+    min_upload_mbps: float = CAF_MIN_UPLOAD_MBPS
+    max_rate_usd: float = CAF_MAX_RATE_USD
+
+    def __post_init__(self) -> None:
+        if self.min_download_mbps <= 0 or self.min_upload_mbps <= 0:
+            raise ValueError("service floors must be positive")
+        if self.max_rate_usd <= 0:
+            raise ValueError("rate cap must be positive")
+
+    def service_compliant(self, plan: "BroadbandPlan") -> bool:
+        """True when ``plan`` satisfies the speed floor.
+
+        Plans without a guaranteed minimum speed (AT&T "Internet Air",
+        "Frontier Internet") are non-compliant regardless of nominal
+        speed — the paper classifies them that way because "neither ISP
+        offers minimum speed guarantees for these plans" (Section 4.2).
+        """
+        if not plan.is_speed_guaranteed:
+            return False
+        return (plan.download_mbps >= self.min_download_mbps
+                and plan.upload_mbps >= self.min_upload_mbps)
+
+    def rate_compliant(self, plan: "BroadbandPlan") -> bool:
+        """True when ``plan`` is at or below the benchmark rate."""
+        return plan.monthly_price_usd <= self.max_rate_usd
+
+    def fully_compliant(self, plan: "BroadbandPlan") -> bool:
+        """Both rate and service conditions hold."""
+        return self.service_compliant(plan) and self.rate_compliant(plan)
+
+
+_DEFAULT = CafObligations()
+
+
+def plan_is_service_compliant(plan: "BroadbandPlan") -> bool:
+    """Module-level shortcut using the FCC's default obligations."""
+    return _DEFAULT.service_compliant(plan)
+
+
+def plan_is_rate_compliant(plan: "BroadbandPlan") -> bool:
+    """Module-level shortcut using the FCC's default obligations."""
+    return _DEFAULT.rate_compliant(plan)

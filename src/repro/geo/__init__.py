@@ -1,0 +1,52 @@
+"""Census geography substrate.
+
+The paper's unit of analysis is US census geography: street addresses
+live in census *blocks* (CBs), blocks nest in *block groups* (CBGs,
+600–3000 people, the paper's sampling and aggregation unit), block
+groups nest in *tracts*, tracts in *counties*, counties in *states*.
+This package models that hierarchy, the FIPS/GEOID naming scheme, and a
+synthetic geography generator that produces states with urban cores and
+rural peripheries so that population density — central to the paper's
+Figure 3 analysis — is a first-class attribute of every block group.
+"""
+
+from repro.geo.entities import BlockGroup, CensusBlock, County, StateGeography, Tract
+from repro.geo.fips import (
+    ALL_STATES,
+    STUDY_STATES,
+    StateInfo,
+    state_by_abbreviation,
+    state_by_fips,
+)
+from repro.geo.geoid import (
+    block_geoid,
+    block_group_geoid,
+    county_geoid,
+    parse_geoid,
+    tract_geoid,
+)
+from repro.geo.geometry import BoundingBox, Point, haversine_miles
+from repro.geo.generator import GeographyConfig, generate_state_geography
+
+__all__ = [
+    "ALL_STATES",
+    "BlockGroup",
+    "BoundingBox",
+    "CensusBlock",
+    "County",
+    "GeographyConfig",
+    "Point",
+    "STUDY_STATES",
+    "StateGeography",
+    "StateInfo",
+    "Tract",
+    "block_geoid",
+    "block_group_geoid",
+    "county_geoid",
+    "generate_state_geography",
+    "haversine_miles",
+    "parse_geoid",
+    "state_by_abbreviation",
+    "state_by_fips",
+    "tract_geoid",
+]

@@ -1,0 +1,64 @@
+"""Synthetic population-density surface.
+
+The paper's Figure 3 correlates AT&T serviceability with population
+density (people per square mile, log-scaled axis spanning roughly 0.1
+to 10,000), and Figure 10 shows serviceability falling with distance
+from major city centers. The density surface here produces exactly that
+structure: a handful of urban kernels per state whose density decays
+exponentially with distance, on top of a rural floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.geometry import Point, haversine_miles
+
+__all__ = ["DensitySurface", "URBAN_DENSITY_THRESHOLD"]
+
+# The census loosely treats ~500 people/sq-mile as an urbanized-area
+# cutoff; we use it to classify synthetic block groups as urban/rural.
+URBAN_DENSITY_THRESHOLD = 500.0
+
+
+@dataclass(frozen=True)
+class DensitySurface:
+    """Sum-of-kernels density field over a state.
+
+    Each city contributes ``peak * exp(-distance / scale)`` people per
+    square mile; a rural floor keeps remote areas positive (the paper's
+    Figure 3 shows rural CBGs down to ~0.1 people/sq-mile).
+    """
+
+    city_centers: tuple[Point, ...]
+    city_peaks: tuple[float, ...]
+    decay_scale_miles: float
+    rural_floor: float
+
+    def __post_init__(self) -> None:
+        if len(self.city_centers) != len(self.city_peaks):
+            raise ValueError("city_centers and city_peaks must align")
+        if not self.city_centers:
+            raise ValueError("need at least one city center")
+        if self.decay_scale_miles <= 0:
+            raise ValueError("decay scale must be positive")
+        if self.rural_floor <= 0:
+            raise ValueError("rural floor must be positive")
+
+    def density_at(self, point: Point) -> float:
+        """Population density (people / sq mile) at ``point``."""
+        total = self.rural_floor
+        for center, peak in zip(self.city_centers, self.city_peaks):
+            distance = haversine_miles(point, center)
+            total += peak * np.exp(-distance / self.decay_scale_miles)
+        return float(total)
+
+    def distance_to_nearest_city(self, point: Point) -> float:
+        """Miles to the closest urban kernel center."""
+        return min(haversine_miles(point, center) for center in self.city_centers)
+
+    def is_rural(self, point: Point) -> bool:
+        """Classify ``point`` by the urban density threshold."""
+        return self.density_at(point) < URBAN_DENSITY_THRESHOLD

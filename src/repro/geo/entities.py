@@ -1,0 +1,151 @@
+"""Census geography entities.
+
+Plain dataclasses for the hierarchy the pipeline traverses. Each level
+carries its GEOID plus the attributes the analyses consume: centroid
+coordinates (geospatial figures), population and density (Figure 3),
+and the rural/urban flag (CAF targets rural blocks; 96.7% of CAF census
+blocks are rural per Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.geometry import Point
+
+__all__ = ["CensusBlock", "BlockGroup", "Tract", "County", "StateGeography"]
+
+
+@dataclass(frozen=True)
+class CensusBlock:
+    """A census block — the smallest census unit, keys USAC deployments."""
+
+    geoid: str
+    centroid: Point
+    is_rural: bool
+
+    def __post_init__(self) -> None:
+        if len(self.geoid) != 15:
+            raise ValueError(f"block GEOID must be 15 digits, got {self.geoid!r}")
+
+    @property
+    def block_group_geoid(self) -> str:
+        """GEOID of the containing block group."""
+        return self.geoid[:12]
+
+    @property
+    def state_fips(self) -> str:
+        """FIPS of the containing state."""
+        return self.geoid[:2]
+
+
+@dataclass(frozen=True)
+class BlockGroup:
+    """A census block group — the paper's sampling/aggregation unit."""
+
+    geoid: str
+    centroid: Point
+    population: int
+    population_density: float
+    is_rural: bool
+    distance_to_city_miles: float
+    blocks: tuple[CensusBlock, ...] = field(repr=False)
+    # ACS-style demographics, synthesized by the generator. The paper's
+    # §2.4 notes existing oversight cannot say "whether non-compliance
+    # disproportionately affects certain populations"; carrying income
+    # here lets the equity analysis answer that on synthetic worlds.
+    median_income_usd: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        if len(self.geoid) != 12:
+            raise ValueError(f"block-group GEOID must be 12 digits, got {self.geoid!r}")
+        if self.population < 0:
+            raise ValueError("population must be non-negative")
+        if self.population_density < 0:
+            raise ValueError("population density must be non-negative")
+        if self.median_income_usd <= 0:
+            raise ValueError("median income must be positive")
+        for block in self.blocks:
+            if block.block_group_geoid != self.geoid:
+                raise ValueError(
+                    f"block {block.geoid} does not belong to block group {self.geoid}"
+                )
+
+    @property
+    def tract_geoid(self) -> str:
+        """GEOID of the containing tract."""
+        return self.geoid[:11]
+
+    @property
+    def state_fips(self) -> str:
+        """FIPS of the containing state."""
+        return self.geoid[:2]
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of census blocks in the group."""
+        return len(self.blocks)
+
+
+@dataclass(frozen=True)
+class Tract:
+    """A census tract (container of block groups)."""
+
+    geoid: str
+    block_groups: tuple[BlockGroup, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.geoid) != 11:
+            raise ValueError(f"tract GEOID must be 11 digits, got {self.geoid!r}")
+
+    @property
+    def population(self) -> int:
+        """Total tract population."""
+        return sum(bg.population for bg in self.block_groups)
+
+
+@dataclass(frozen=True)
+class County:
+    """A county (container of tracts)."""
+
+    geoid: str
+    name: str
+    seat: Point
+    tracts: tuple[Tract, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.geoid) != 5:
+            raise ValueError(f"county GEOID must be 5 digits, got {self.geoid!r}")
+
+    @property
+    def block_groups(self) -> tuple[BlockGroup, ...]:
+        """All block groups in the county."""
+        return tuple(bg for tract in self.tracts for bg in tract.block_groups)
+
+
+@dataclass(frozen=True)
+class StateGeography:
+    """A full synthetic state: counties, cities, and flattened indexes."""
+
+    state_fips: str
+    abbreviation: str
+    counties: tuple[County, ...] = field(repr=False)
+    city_centers: tuple[Point, ...] = field(repr=False)
+
+    @property
+    def block_groups(self) -> tuple[BlockGroup, ...]:
+        """All block groups in the state."""
+        return tuple(bg for county in self.counties for bg in county.block_groups)
+
+    @property
+    def blocks(self) -> tuple[CensusBlock, ...]:
+        """All census blocks in the state."""
+        return tuple(block for bg in self.block_groups for block in bg.blocks)
+
+    def block_group_index(self) -> dict[str, BlockGroup]:
+        """Map block-group GEOID → entity."""
+        return {bg.geoid: bg for bg in self.block_groups}
+
+    def block_index(self) -> dict[str, CensusBlock]:
+        """Map block GEOID → entity."""
+        return {block.geoid: block for block in self.blocks}

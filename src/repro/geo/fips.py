@@ -1,0 +1,151 @@
+"""FIPS state registry.
+
+Federal Information Processing Standard (FIPS) codes identify states
+(2 digits) and nest into the GEOIDs used by every census product. This
+module carries the full 50-state + DC registry with the attributes the
+reproduction needs: postal abbreviation, name, a coarse geographic
+region (the paper's state selection "spans major US geographic
+regions"), an approximate relative population scale (California is the
+most populous study state, Vermont among the least), and a nominal
+bounding box used by the synthetic geography generator to place
+plausible coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.geometry import BoundingBox
+
+__all__ = [
+    "StateInfo",
+    "ALL_STATES",
+    "STUDY_STATES",
+    "Q3_STATES",
+    "state_by_fips",
+    "state_by_abbreviation",
+]
+
+
+@dataclass(frozen=True)
+class StateInfo:
+    """Static facts about one US state."""
+
+    fips: str
+    abbreviation: str
+    name: str
+    region: str
+    population_millions: float
+    bounds: BoundingBox
+
+    def __post_init__(self) -> None:
+        if len(self.fips) != 2 or not self.fips.isdigit():
+            raise ValueError(f"state FIPS must be 2 digits, got {self.fips!r}")
+        if len(self.abbreviation) != 2:
+            raise ValueError(f"bad postal abbreviation {self.abbreviation!r}")
+
+
+def _state(
+    fips: str,
+    abbreviation: str,
+    name: str,
+    region: str,
+    population_millions: float,
+    west: float,
+    south: float,
+    east: float,
+    north: float,
+) -> StateInfo:
+    return StateInfo(
+        fips=fips,
+        abbreviation=abbreviation,
+        name=name,
+        region=region,
+        population_millions=population_millions,
+        bounds=BoundingBox(west=west, south=south, east=east, north=north),
+    )
+
+
+# 50 states + DC. Population is the 2020 census in millions (rounded);
+# bounding boxes are coarse (they only anchor synthetic coordinates).
+ALL_STATES: tuple[StateInfo, ...] = (
+    _state("01", "AL", "Alabama", "South", 5.0, -88.5, 30.2, -84.9, 35.0),
+    _state("02", "AK", "Alaska", "West", 0.7, -170.0, 54.0, -130.0, 71.0),
+    _state("04", "AZ", "Arizona", "West", 7.2, -114.8, 31.3, -109.0, 37.0),
+    _state("05", "AR", "Arkansas", "South", 3.0, -94.6, 33.0, -89.6, 36.5),
+    _state("06", "CA", "California", "West", 39.5, -124.4, 32.5, -114.1, 42.0),
+    _state("08", "CO", "Colorado", "West", 5.8, -109.1, 37.0, -102.0, 41.0),
+    _state("09", "CT", "Connecticut", "Northeast", 3.6, -73.7, 41.0, -71.8, 42.1),
+    _state("10", "DE", "Delaware", "South", 1.0, -75.8, 38.5, -75.0, 39.8),
+    _state("11", "DC", "District of Columbia", "South", 0.7, -77.1, 38.8, -76.9, 39.0),
+    _state("12", "FL", "Florida", "South", 21.5, -87.6, 24.5, -80.0, 31.0),
+    _state("13", "GA", "Georgia", "South", 10.7, -85.6, 30.4, -80.8, 35.0),
+    _state("15", "HI", "Hawaii", "West", 1.5, -160.3, 18.9, -154.8, 22.2),
+    _state("16", "ID", "Idaho", "West", 1.8, -117.2, 42.0, -111.0, 49.0),
+    _state("17", "IL", "Illinois", "Midwest", 12.8, -91.5, 37.0, -87.5, 42.5),
+    _state("18", "IN", "Indiana", "Midwest", 6.8, -88.1, 37.8, -84.8, 41.8),
+    _state("19", "IA", "Iowa", "Midwest", 3.2, -96.6, 40.4, -90.1, 43.5),
+    _state("20", "KS", "Kansas", "Midwest", 2.9, -102.1, 37.0, -94.6, 40.0),
+    _state("21", "KY", "Kentucky", "South", 4.5, -89.6, 36.5, -81.9, 39.1),
+    _state("22", "LA", "Louisiana", "South", 4.7, -94.0, 29.0, -89.0, 33.0),
+    _state("23", "ME", "Maine", "Northeast", 1.4, -71.1, 43.1, -66.9, 47.5),
+    _state("24", "MD", "Maryland", "South", 6.2, -79.5, 37.9, -75.0, 39.7),
+    _state("25", "MA", "Massachusetts", "Northeast", 7.0, -73.5, 41.2, -69.9, 42.9),
+    _state("26", "MI", "Michigan", "Midwest", 10.1, -90.4, 41.7, -82.4, 48.2),
+    _state("27", "MN", "Minnesota", "Midwest", 5.7, -97.2, 43.5, -89.5, 49.4),
+    _state("28", "MS", "Mississippi", "South", 3.0, -91.7, 30.2, -88.1, 35.0),
+    _state("29", "MO", "Missouri", "Midwest", 6.2, -95.8, 36.0, -89.1, 40.6),
+    _state("30", "MT", "Montana", "West", 1.1, -116.1, 44.4, -104.0, 49.0),
+    _state("31", "NE", "Nebraska", "Midwest", 2.0, -104.1, 40.0, -95.3, 43.0),
+    _state("32", "NV", "Nevada", "West", 3.1, -120.0, 35.0, -114.0, 42.0),
+    _state("33", "NH", "New Hampshire", "Northeast", 1.4, -72.6, 42.7, -70.6, 45.3),
+    _state("34", "NJ", "New Jersey", "Northeast", 9.3, -75.6, 38.9, -73.9, 41.4),
+    _state("35", "NM", "New Mexico", "West", 2.1, -109.1, 31.3, -103.0, 37.0),
+    _state("36", "NY", "New York", "Northeast", 20.2, -79.8, 40.5, -71.9, 45.0),
+    _state("37", "NC", "North Carolina", "South", 10.4, -84.3, 33.8, -75.5, 36.6),
+    _state("38", "ND", "North Dakota", "Midwest", 0.8, -104.1, 45.9, -96.6, 49.0),
+    _state("39", "OH", "Ohio", "Midwest", 11.8, -84.8, 38.4, -80.5, 42.0),
+    _state("40", "OK", "Oklahoma", "South", 4.0, -103.0, 33.6, -94.4, 37.0),
+    _state("41", "OR", "Oregon", "West", 4.2, -124.6, 42.0, -116.5, 46.3),
+    _state("42", "PA", "Pennsylvania", "Northeast", 13.0, -80.5, 39.7, -74.7, 42.3),
+    _state("44", "RI", "Rhode Island", "Northeast", 1.1, -71.9, 41.1, -71.1, 42.0),
+    _state("45", "SC", "South Carolina", "South", 5.1, -83.4, 32.0, -78.5, 35.2),
+    _state("46", "SD", "South Dakota", "Midwest", 0.9, -104.1, 42.5, -96.4, 45.9),
+    _state("47", "TN", "Tennessee", "South", 6.9, -90.3, 35.0, -81.6, 36.7),
+    _state("48", "TX", "Texas", "South", 29.1, -106.6, 25.8, -93.5, 36.5),
+    _state("49", "UT", "Utah", "West", 3.3, -114.1, 37.0, -109.0, 42.0),
+    _state("50", "VT", "Vermont", "Northeast", 0.6, -73.4, 42.7, -71.5, 45.0),
+    _state("51", "VA", "Virginia", "South", 8.6, -83.7, 36.5, -75.2, 39.5),
+    _state("53", "WA", "Washington", "West", 7.7, -124.8, 45.5, -116.9, 49.0),
+    _state("54", "WV", "West Virginia", "South", 1.8, -82.6, 37.2, -77.7, 40.6),
+    _state("55", "WI", "Wisconsin", "Midwest", 5.9, -92.9, 42.5, -86.8, 47.1),
+    _state("56", "WY", "Wyoming", "West", 0.6, -111.1, 41.0, -104.1, 45.0),
+)
+
+_BY_FIPS = {state.fips: state for state in ALL_STATES}
+_BY_ABBREVIATION = {state.abbreviation: state for state in ALL_STATES}
+
+# The 15 states the paper samples for Q1/Q2 (Section 3.1, Table 3).
+STUDY_STATES: tuple[str, ...] = (
+    "AL", "CA", "FL", "GA", "IA", "IL", "MS", "NC",
+    "NE", "NH", "NJ", "OH", "UT", "VT", "WI",
+)
+
+# The reduced 7-state subset used for Q3 (Section 4.3, Table 4).
+Q3_STATES: tuple[str, ...] = ("CA", "GA", "IL", "NC", "NH", "OH", "UT")
+
+
+def state_by_fips(fips: str) -> StateInfo:
+    """Look up a state by its 2-digit FIPS code."""
+    try:
+        return _BY_FIPS[fips]
+    except KeyError:
+        raise KeyError(f"unknown state FIPS {fips!r}") from None
+
+
+def state_by_abbreviation(abbreviation: str) -> StateInfo:
+    """Look up a state by its postal abbreviation (case-insensitive)."""
+    try:
+        return _BY_ABBREVIATION[abbreviation.upper()]
+    except KeyError:
+        raise KeyError(f"unknown state abbreviation {abbreviation!r}") from None

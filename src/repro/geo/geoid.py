@@ -1,0 +1,133 @@
+"""GEOID construction and parsing.
+
+Census GEOIDs are fixed-width digit strings that concatenate the FIPS
+hierarchy:
+
+* county: ``SSCCC`` (5 digits)
+* tract: ``SSCCCTTTTTT`` (11 digits)
+* block group: ``SSCCCTTTTTTB`` (12 digits; B is the block-group digit)
+* block: ``SSCCCTTTTTTBBBB`` (15 digits; first block digit *is* the
+  block-group digit)
+
+The USAC CAF Map keys deployments by census block; the paper aggregates
+by block group. Keeping the encoding in one module guarantees the two
+join consistently everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GeoidParts",
+    "county_geoid",
+    "tract_geoid",
+    "block_group_geoid",
+    "block_geoid",
+    "parse_geoid",
+]
+
+
+def _check_digits(value: str, width: int, label: str) -> str:
+    if len(value) != width or not value.isdigit():
+        raise ValueError(f"{label} must be {width} digits, got {value!r}")
+    return value
+
+
+def county_geoid(state_fips: str, county: int) -> str:
+    """Return the 5-digit county GEOID."""
+    _check_digits(state_fips, 2, "state FIPS")
+    if not 0 <= county <= 999:
+        raise ValueError(f"county code out of range: {county}")
+    return f"{state_fips}{county:03d}"
+
+
+def tract_geoid(county_geoid_: str, tract: int) -> str:
+    """Return the 11-digit tract GEOID."""
+    _check_digits(county_geoid_, 5, "county GEOID")
+    if not 0 <= tract <= 999_999:
+        raise ValueError(f"tract code out of range: {tract}")
+    return f"{county_geoid_}{tract:06d}"
+
+
+def block_group_geoid(tract_geoid_: str, block_group: int) -> str:
+    """Return the 12-digit block-group GEOID."""
+    _check_digits(tract_geoid_, 11, "tract GEOID")
+    if not 0 <= block_group <= 9:
+        raise ValueError(f"block-group digit out of range: {block_group}")
+    return f"{tract_geoid_}{block_group:d}"
+
+
+def block_geoid(block_group_geoid_: str, block: int) -> str:
+    """Return the 15-digit block GEOID.
+
+    ``block`` is the 3-digit suffix within the block group; the census
+    convention that a block's 4-digit code starts with its block-group
+    digit is preserved by construction.
+    """
+    _check_digits(block_group_geoid_, 12, "block-group GEOID")
+    if not 0 <= block <= 999:
+        raise ValueError(f"block suffix out of range: {block}")
+    return f"{block_group_geoid_}{block:03d}"
+
+
+@dataclass(frozen=True)
+class GeoidParts:
+    """The decomposition of a GEOID into hierarchy levels."""
+
+    level: str
+    state_fips: str
+    county: str | None = None
+    tract: str | None = None
+    block_group: str | None = None
+    block: str | None = None
+
+    @property
+    def county_geoid(self) -> str | None:
+        """5-digit county GEOID, when present."""
+        if self.county is None:
+            return None
+        return f"{self.state_fips}{self.county}"
+
+    @property
+    def tract_geoid(self) -> str | None:
+        """11-digit tract GEOID, when present."""
+        if self.tract is None:
+            return None
+        return f"{self.county_geoid}{self.tract}"
+
+    @property
+    def block_group_geoid(self) -> str | None:
+        """12-digit block-group GEOID, when present."""
+        if self.block_group is None:
+            return None
+        return f"{self.tract_geoid}{self.block_group}"
+
+    @property
+    def block_geoid(self) -> str | None:
+        """15-digit block GEOID, when present."""
+        if self.block is None:
+            return None
+        return f"{self.block_group_geoid}{self.block}"
+
+
+_LEVEL_BY_WIDTH = {2: "state", 5: "county", 11: "tract", 12: "block_group", 15: "block"}
+
+
+def parse_geoid(geoid: str) -> GeoidParts:
+    """Parse a GEOID of any supported width into its parts."""
+    if not geoid.isdigit():
+        raise ValueError(f"GEOID must be all digits, got {geoid!r}")
+    level = _LEVEL_BY_WIDTH.get(len(geoid))
+    if level is None:
+        raise ValueError(
+            f"GEOID width {len(geoid)} not one of {sorted(_LEVEL_BY_WIDTH)}: {geoid!r}"
+        )
+    return GeoidParts(
+        level=level,
+        state_fips=geoid[:2],
+        county=geoid[2:5] if len(geoid) >= 5 else None,
+        tract=geoid[5:11] if len(geoid) >= 11 else None,
+        block_group=geoid[11:12] if len(geoid) >= 12 else None,
+        block=geoid[12:15] if len(geoid) >= 15 else None,
+    )

@@ -1,0 +1,93 @@
+"""Plane-and-sphere geometry primitives.
+
+The synthetic geography places census entities at lon/lat coordinates
+inside coarse state bounding boxes. Distances use the haversine formula
+in miles because the paper's density unit is people per square mile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point", "BoundingBox", "haversine_miles", "EARTH_RADIUS_MILES"]
+
+EARTH_RADIUS_MILES = 3958.8
+
+
+@dataclass(frozen=True)
+class Point:
+    """A geographic point (longitude, latitude in degrees)."""
+
+    longitude: float
+    latitude: float
+
+    def __post_init__(self) -> None:
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+
+    def distance_miles(self, other: "Point") -> float:
+        """Great-circle distance to ``other`` in miles."""
+        return haversine_miles(self, other)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned lon/lat box (west < east, south < north)."""
+
+    west: float
+    south: float
+    east: float
+    north: float
+
+    def __post_init__(self) -> None:
+        if self.west >= self.east:
+            raise ValueError(f"west {self.west} must be < east {self.east}")
+        if self.south >= self.north:
+            raise ValueError(f"south {self.south} must be < north {self.north}")
+
+    @property
+    def center(self) -> Point:
+        """The box midpoint."""
+        return Point((self.west + self.east) / 2, (self.south + self.north) / 2)
+
+    @property
+    def width_degrees(self) -> float:
+        """Longitudinal extent in degrees."""
+        return self.east - self.west
+
+    @property
+    def height_degrees(self) -> float:
+        """Latitudinal extent in degrees."""
+        return self.north - self.south
+
+    def contains(self, point: Point) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        return (self.west <= point.longitude <= self.east
+                and self.south <= point.latitude <= self.north)
+
+    def interpolate(self, fx: float, fy: float) -> Point:
+        """Return the point at fractional position ``(fx, fy)`` in [0,1]²."""
+        if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+            raise ValueError(f"fractions must be in [0, 1], got ({fx}, {fy})")
+        return Point(self.west + fx * self.width_degrees,
+                     self.south + fy * self.height_degrees)
+
+    def area_square_miles(self) -> float:
+        """Approximate area using a spherical rectangle."""
+        lat_mid = math.radians((self.south + self.north) / 2)
+        miles_per_degree_lat = 2 * math.pi * EARTH_RADIUS_MILES / 360
+        miles_per_degree_lon = miles_per_degree_lat * math.cos(lat_mid)
+        return (self.height_degrees * miles_per_degree_lat
+                * self.width_degrees * miles_per_degree_lon)
+
+
+def haversine_miles(a: Point, b: Point) -> float:
+    """Great-circle distance between two points in miles."""
+    lon1, lat1 = math.radians(a.longitude), math.radians(a.latitude)
+    lon2, lat2 = math.radians(b.longitude), math.radians(b.latitude)
+    dlon, dlat = lon2 - lon1, lat2 - lat1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_MILES * math.asin(math.sqrt(h))

@@ -1,0 +1,48 @@
+"""ISP models: plans, identities, and ground-truth serving behaviour.
+
+The reproduction needs two distinct views of an ISP:
+
+* the *public* view — the identity and plan catalog a consumer (and
+  BQT) can observe on the ISP's website (:mod:`repro.isp.registry`,
+  :mod:`repro.isp.plans`);
+* the *ground truth* — which addresses the ISP actually serves and at
+  what maximum tier (:mod:`repro.isp.profiles`,
+  :mod:`repro.isp.deployment`). The paper can only estimate this; the
+  synthetic world generates it from profiles calibrated to the paper's
+  estimates, which lets the test suite verify the measurement pipeline
+  recovers the truth it was pointed at.
+"""
+
+from repro.isp.plans import (
+    BroadbandPlan,
+    SPEED_TIER_LABELS,
+    carriage_value,
+    tier_label_for_speed,
+)
+from repro.isp.registry import (
+    ALL_ISPS,
+    BQT_SUPPORTED_ISPS,
+    CAF_STUDY_ISPS,
+    IspInfo,
+    isp_by_id,
+)
+from repro.isp.profiles import IspProfile, PROFILES, profile_for
+from repro.isp.deployment import GroundTruth, ServiceTruth, build_ground_truth
+
+__all__ = [
+    "ALL_ISPS",
+    "BQT_SUPPORTED_ISPS",
+    "BroadbandPlan",
+    "CAF_STUDY_ISPS",
+    "GroundTruth",
+    "IspInfo",
+    "IspProfile",
+    "PROFILES",
+    "SPEED_TIER_LABELS",
+    "ServiceTruth",
+    "build_ground_truth",
+    "carriage_value",
+    "isp_by_id",
+    "profile_for",
+    "tier_label_for_speed",
+]

@@ -1,0 +1,116 @@
+"""Broadband plans and the paper's speed-tier taxonomy.
+
+Table 1 of the paper buckets advertised maximum download speeds into a
+mix of exact values (0.768, 1, 3, 5, 10 …), coarse bands ("11-99",
+"100-999", "1000+"), and *named* plans without speed guarantees ("AT&T
+Internet Air", "Frontier Internet", "Unknown Plan"). This module owns
+that taxonomy plus the plan record and the carriage-value metric
+(advertised Mbps per dollar per month, [36, 40] in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BroadbandPlan",
+    "SPEED_TIER_LABELS",
+    "UNSERVED_LABEL",
+    "NO_GUARANTEE_LABELS",
+    "tier_label_for_speed",
+    "carriage_value",
+]
+
+# Bucket labels in the order Table 1 lists them.
+UNSERVED_LABEL = "0"
+NO_GUARANTEE_LABELS = ("AT&T Internet Air", "Frontier Internet", "Unknown Plan")
+SPEED_TIER_LABELS: tuple[str, ...] = (
+    UNSERVED_LABEL,
+    *NO_GUARANTEE_LABELS,
+    "0.5", "0.768", "1", "1.5", "3", "5", "6", "7", "10",
+    "11-99", "100-999", "1000+",
+)
+
+
+@dataclass(frozen=True)
+class BroadbandPlan:
+    """One advertised broadband plan.
+
+    ``is_speed_guaranteed`` is False for best-effort offerings (AT&T
+    "Internet Air", "Frontier Internet") where the ISP explicitly does
+    not commit to a minimum speed; the paper counts such plans as
+    non-compliant with CAF's 10 Mbps floor regardless of the nominal
+    ``download_mbps`` marketing number.
+    """
+
+    name: str
+    download_mbps: float
+    upload_mbps: float
+    monthly_price_usd: float
+    technology: str = "dsl"
+    is_speed_guaranteed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.download_mbps < 0 or self.upload_mbps < 0:
+            raise ValueError("speeds must be non-negative")
+        if self.monthly_price_usd <= 0:
+            raise ValueError("price must be positive")
+
+    @property
+    def carriage_value(self) -> float:
+        """Advertised download Mbps per dollar per month."""
+        return carriage_value(self.download_mbps, self.monthly_price_usd)
+
+    @property
+    def tier_label(self) -> str:
+        """Table 1 bucket for this plan."""
+        if not self.is_speed_guaranteed:
+            if self.name in NO_GUARANTEE_LABELS:
+                return self.name
+            return "Unknown Plan"
+        return tier_label_for_speed(self.download_mbps)
+
+
+def tier_label_for_speed(download_mbps: float) -> str:
+    """Bucket a guaranteed download speed the way Table 1 does.
+
+    Exact sub-10 values keep their own label; 10 is its own bucket (it
+    is the compliance threshold); faster speeds fall into the coarse
+    bands. Unrecognized sub-10 values are floored to the nearest listed
+    label below them so synthetic variation cannot invent new buckets.
+    """
+    if download_mbps < 0:
+        raise ValueError(f"negative speed {download_mbps}")
+    if download_mbps == 0:
+        return UNSERVED_LABEL
+    if download_mbps >= 1000:
+        return "1000+"
+    if download_mbps >= 100:
+        return "100-999"
+    if download_mbps > 10:
+        return "11-99"
+    exact = {0.5: "0.5", 0.768: "0.768", 1.0: "1", 1.5: "1.5",
+             3.0: "3", 5.0: "5", 6.0: "6", 7.0: "7", 10.0: "10"}
+    if download_mbps in exact:
+        return exact[download_mbps]
+    # Floor to the nearest exact label below the value.
+    floors = sorted(exact)
+    best = floors[0]
+    for value in floors:
+        if value <= download_mbps:
+            best = value
+    return exact[best]
+
+
+def carriage_value(download_mbps: float, monthly_price_usd: float) -> float:
+    """Mbps of advertised download per dollar per month.
+
+    The FCC's lenient rate benchmark implies a carriage value of only
+    ~0.1 for 10 Mbps plans (10 Mbps / $89), versus medians of 15 in
+    competitive urban markets (Section 4.2).
+    """
+    if monthly_price_usd <= 0:
+        raise ValueError("price must be positive")
+    if download_mbps < 0:
+        raise ValueError("download speed must be non-negative")
+    return download_mbps / monthly_price_usd

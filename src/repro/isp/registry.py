@@ -1,0 +1,148 @@
+"""The ISP registry.
+
+The paper studies four CAF-funded ISPs (AT&T, CenturyLink, Frontier,
+Consolidated Communications — Section 3.1) and additionally queries two
+unsubsidized cable ISPs (Comcast Xfinity and Charter Spectrum) that BQT
+supports, for the Q3 competition analysis. The national synthetic USAC
+dataset also needs the long tail of small CAF recipients (819 ISPs in
+the real data); those are generated on demand with ``small_isp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "IspInfo",
+    "ALL_ISPS",
+    "CAF_STUDY_ISPS",
+    "BQT_SUPPORTED_ISPS",
+    "isp_by_id",
+    "small_isp",
+]
+
+
+@dataclass(frozen=True)
+class IspInfo:
+    """Identity and static attributes of one ISP."""
+
+    isp_id: str
+    name: str
+    is_caf_recipient: bool
+    bqt_supported: bool
+    primary_technology: str
+    # Median seconds for one BQT query against this ISP's website; the
+    # paper's Figure 12 shows wide per-ISP differences (AT&T slowest
+    # because of bot detection).
+    median_query_seconds: float
+    query_time_sigma: float
+
+    def __post_init__(self) -> None:
+        if not self.isp_id:
+            raise ValueError("isp_id must be non-empty")
+        if self.median_query_seconds <= 0 or self.query_time_sigma < 0:
+            raise ValueError("query time parameters must be positive")
+
+
+ATT = IspInfo(
+    isp_id="att",
+    name="AT&T",
+    is_caf_recipient=True,
+    bqt_supported=True,
+    primary_technology="dsl",
+    median_query_seconds=95.0,
+    query_time_sigma=0.75,
+)
+CENTURYLINK = IspInfo(
+    isp_id="centurylink",
+    name="CenturyLink",
+    is_caf_recipient=True,
+    bqt_supported=True,
+    primary_technology="dsl",
+    median_query_seconds=45.0,
+    query_time_sigma=0.45,
+)
+FRONTIER = IspInfo(
+    isp_id="frontier",
+    name="Frontier",
+    is_caf_recipient=True,
+    bqt_supported=True,
+    primary_technology="dsl",
+    median_query_seconds=55.0,
+    query_time_sigma=0.5,
+)
+CONSOLIDATED = IspInfo(
+    isp_id="consolidated",
+    name="Consolidated",
+    is_caf_recipient=True,
+    bqt_supported=True,
+    primary_technology="dsl",
+    median_query_seconds=40.0,
+    query_time_sigma=0.4,
+)
+XFINITY = IspInfo(
+    isp_id="xfinity",
+    name="Comcast Xfinity",
+    is_caf_recipient=False,
+    bqt_supported=True,
+    primary_technology="cable",
+    median_query_seconds=30.0,
+    query_time_sigma=0.35,
+)
+SPECTRUM = IspInfo(
+    isp_id="spectrum",
+    name="Charter Spectrum",
+    is_caf_recipient=False,
+    bqt_supported=True,
+    primary_technology="cable",
+    median_query_seconds=32.0,
+    query_time_sigma=0.35,
+)
+WINDSTREAM = IspInfo(
+    isp_id="windstream",
+    name="Windstream",
+    is_caf_recipient=True,
+    bqt_supported=False,
+    primary_technology="dsl",
+    median_query_seconds=50.0,
+    query_time_sigma=0.5,
+)
+
+ALL_ISPS: tuple[IspInfo, ...] = (
+    ATT, CENTURYLINK, FRONTIER, CONSOLIDATED, XFINITY, SPECTRUM, WINDSTREAM,
+)
+
+# The four CAF-funded ISPs whose certifications the paper audits.
+CAF_STUDY_ISPS: tuple[IspInfo, ...] = (ATT, CENTURYLINK, FRONTIER, CONSOLIDATED)
+
+# The six ISPs BQT can query (Section 4.3's exclusivity filter).
+BQT_SUPPORTED_ISPS: tuple[IspInfo, ...] = (
+    ATT, CENTURYLINK, FRONTIER, CONSOLIDATED, XFINITY, SPECTRUM,
+)
+
+_BY_ID = {isp.isp_id: isp for isp in ALL_ISPS}
+
+
+def isp_by_id(isp_id: str) -> IspInfo:
+    """Look up a registered ISP; synthesizes small CAF recipients with
+    ids like ``smallisp-017`` so national-dataset codepaths work."""
+    if isp_id in _BY_ID:
+        return _BY_ID[isp_id]
+    if isp_id.startswith("smallisp-"):
+        return small_isp(int(isp_id.split("-", 1)[1]))
+    raise KeyError(f"unknown ISP id {isp_id!r}")
+
+
+def small_isp(index: int) -> IspInfo:
+    """Return the synthetic small CAF recipient number ``index``."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return IspInfo(
+        isp_id=f"smallisp-{index:03d}",
+        name=f"Rural Cooperative {index:03d}",
+        is_caf_recipient=True,
+        bqt_supported=False,
+        primary_technology="fixed_wireless" if index % 3 == 0 else "dsl",
+        median_query_seconds=40.0,
+        query_time_sigma=0.4,
+    )

@@ -1,0 +1,12 @@
+"""Persistence of study artifacts.
+
+A completed audit is a set of datasets a downstream user (a regulator,
+a journalist, another researcher) should be able to consume without
+running the pipeline. :class:`~repro.persist.store.StudyStore` writes
+them as CSV plus a JSON manifest with provenance (scenario parameters,
+seed, headline numbers) and content checksums, and loads them back.
+"""
+
+from repro.persist.store import StudyManifest, StudyStore
+
+__all__ = ["StudyManifest", "StudyStore"]

@@ -1,0 +1,54 @@
+"""Statistics toolkit used throughout the reproduction.
+
+This package is a small, dependency-light statistics layer built on
+numpy/scipy. It provides:
+
+* :mod:`repro.stats.weighted` — weighted means, fractions and quantiles
+  (the paper weights census-block-group level rates by CAF address
+  counts when aggregating to states or ISPs).
+* :mod:`repro.stats.ecdf` — empirical CDFs, which back every CDF figure
+  in the paper (Figures 1c, 1f, 4b/c, 5b/c, 6a, 7, 8, 11).
+* :mod:`repro.stats.distributions` — deterministic samplers for the
+  skewed distributions the synthetic world is calibrated to (Zipf-like
+  fund/address concentration, lognormal block sizes, categorical plan
+  mixes).
+* :mod:`repro.stats.summary` — five-number/boxplot summaries used by the
+  box-and-whisker figures (Figure 2).
+* :mod:`repro.stats.correlation` — Pearson/Spearman helpers used for the
+  population-density analysis (Figure 3).
+"""
+
+from repro.stats.bootstrap import BootstrapInterval, bootstrap_weighted_rate
+from repro.stats.correlation import CorrelationResult, pearson, spearman
+from repro.stats.distributions import (
+    bounded_zipf_shares,
+    categorical_sample,
+    lognormal_sizes,
+    stable_rng,
+)
+from repro.stats.ecdf import ECDF
+from repro.stats.summary import BoxStats, box_stats, five_number_summary
+from repro.stats.weighted import (
+    weighted_fraction,
+    weighted_mean,
+    weighted_quantile,
+)
+
+__all__ = [
+    "BootstrapInterval",
+    "BoxStats",
+    "CorrelationResult",
+    "bootstrap_weighted_rate",
+    "ECDF",
+    "bounded_zipf_shares",
+    "box_stats",
+    "categorical_sample",
+    "five_number_summary",
+    "lognormal_sizes",
+    "pearson",
+    "spearman",
+    "stable_rng",
+    "weighted_fraction",
+    "weighted_mean",
+    "weighted_quantile",
+]

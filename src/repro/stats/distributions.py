@@ -1,0 +1,135 @@
+"""Deterministic samplers for the synthetic world.
+
+The public CAF dataset that the paper characterizes in Figure 1 is
+heavily skewed: a handful of states and ISPs hold most addresses and
+funds, and addresses-per-census-block spans four orders of magnitude.
+These helpers generate samples with those shapes from an explicit
+:class:`numpy.random.Generator`, so every dataset in this repository is
+reproducible from a scenario seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "stable_rng",
+    "bounded_zipf_shares",
+    "lognormal_sizes",
+    "categorical_sample",
+    "allocate_counts",
+]
+
+T = TypeVar("T")
+
+
+def stable_rng(*parts: object) -> np.random.Generator:
+    """Return a Generator seeded from a stable hash of ``parts``.
+
+    Child components of the world builder derive independent streams by
+    mixing the scenario seed with a component label, e.g.
+    ``stable_rng(seed, "usac", state_fips)``. Using BLAKE2 rather than
+    Python's ``hash`` keeps streams stable across interpreter runs.
+    """
+    digest = hashlib.blake2b(
+        "\x1f".join(str(part) for part in parts).encode("utf-8"), digest_size=8
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest, "big"))
+
+
+def bounded_zipf_shares(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Return ``n`` shares following a Zipf law, normalized to sum to 1.
+
+    ``share[k] ∝ 1 / (k+1)**exponent``. With ``exponent≈1`` the top few
+    ranks dominate, matching the ISP-level concentration in Figures
+    1b/1e (top-4 of 819 ISPs hold 62% of addresses).
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive number of shares, got {n}")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=float)
+    raw = ranks**-exponent
+    return raw / raw.sum()
+
+
+def lognormal_sizes(
+    rng: np.random.Generator,
+    n: int,
+    median: float,
+    sigma: float,
+    minimum: int = 1,
+    maximum: int | None = None,
+) -> np.ndarray:
+    """Return ``n`` integer sizes from a clipped lognormal.
+
+    Parameterized by the distribution *median* (``exp(mu)``) because the
+    paper reports medians (e.g. 64 CAF addresses per CBG). Values are
+    rounded and clipped to ``[minimum, maximum]``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if median <= 0:
+        raise ValueError("median must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    draws = rng.lognormal(mean=np.log(median), sigma=sigma, size=n)
+    sizes = np.rint(draws).astype(np.int64)
+    sizes = np.maximum(sizes, minimum)
+    if maximum is not None:
+        sizes = np.minimum(sizes, maximum)
+    return sizes
+
+
+def categorical_sample(
+    rng: np.random.Generator, outcomes: Mapping[T, float], size: int
+) -> list[T]:
+    """Draw ``size`` outcomes from a categorical distribution.
+
+    ``outcomes`` maps each outcome to a non-negative weight; weights are
+    normalized internally. Iteration order of the mapping defines the
+    category order, so pass an ordered mapping for reproducibility.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if not outcomes:
+        raise ValueError("outcomes must be non-empty")
+    labels = list(outcomes.keys())
+    weights = np.asarray([outcomes[label] for label in labels], dtype=float)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero")
+    indices = rng.choice(len(labels), size=size, p=weights / total)
+    return [labels[i] for i in indices]
+
+
+def allocate_counts(total: int, shares: Sequence[float]) -> np.ndarray:
+    """Split ``total`` integer units across ``shares`` proportionally.
+
+    Uses the largest-remainder method so the result sums exactly to
+    ``total`` — the world builder relies on this when distributing a
+    national address count across states and then ISPs.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    share_array = np.asarray(shares, dtype=float)
+    if share_array.size == 0:
+        raise ValueError("shares must be non-empty")
+    if np.any(share_array < 0):
+        raise ValueError("shares must be non-negative")
+    denom = share_array.sum()
+    if denom <= 0:
+        raise ValueError("shares sum to zero")
+    exact = share_array / denom * total
+    floors = np.floor(exact).astype(np.int64)
+    shortfall = total - int(floors.sum())
+    if shortfall:
+        remainders = exact - floors
+        top_up = np.argsort(-remainders, kind="stable")[:shortfall]
+        floors[top_up] += 1
+    return floors

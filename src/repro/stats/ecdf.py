@@ -1,0 +1,87 @@
+"""Empirical cumulative distribution functions.
+
+Most of the paper's figures are CDFs (download-speed distributions,
+addresses per census block, percentage-queried per CBG, query times).
+:class:`ECDF` is the single representation those figures are built
+from: it evaluates the step function, inverts it for quantiles, and
+exports plot-ready ``(x, y)`` series for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ECDF"]
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """Empirical CDF over a fixed sample.
+
+    Construction sorts and retains the sample. Evaluation follows the
+    right-continuous convention ``F(x) = P[X <= x]``.
+    """
+
+    sorted_values: np.ndarray = field(repr=False)
+
+    def __init__(self, values: Iterable[float]):
+        array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                           dtype=float)
+        if array.ndim != 1:
+            raise ValueError(f"ECDF sample must be one-dimensional, got {array.shape}")
+        if array.size == 0:
+            raise ValueError("ECDF of an empty sample")
+        if np.any(np.isnan(array)):
+            raise ValueError("ECDF sample contains NaN")
+        object.__setattr__(self, "sorted_values", np.sort(array))
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return int(self.sorted_values.size)
+
+    def __call__(self, x: float) -> float:
+        """Return ``P[X <= x]``."""
+        rank = np.searchsorted(self.sorted_values, x, side="right")
+        return float(rank) / self.n
+
+    def evaluate(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`__call__`."""
+        ranks = np.searchsorted(self.sorted_values, np.asarray(xs, dtype=float),
+                                side="right")
+        return ranks / self.n
+
+    def quantile(self, q: float) -> float:
+        """Return the smallest sample value ``v`` with ``F(v) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return float(self.sorted_values[0])
+        index = int(np.ceil(q * self.n)) - 1
+        return float(self.sorted_values[index])
+
+    def median(self) -> float:
+        """Return the 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, y)`` arrays tracing the CDF steps.
+
+        ``x`` is the sorted sample; ``y[i]`` is the cumulative fraction
+        at and below ``x[i]``. This matches how the paper's CDF figures
+        are drawn.
+        """
+        ys = np.arange(1, self.n + 1, dtype=float) / self.n
+        return self.sorted_values.copy(), ys
+
+    def fraction_below(self, threshold: float) -> float:
+        """Return ``P[X < threshold]`` (strict)."""
+        rank = np.searchsorted(self.sorted_values, threshold, side="left")
+        return float(rank) / self.n
+
+    def fraction_at_least(self, threshold: float) -> float:
+        """Return ``P[X >= threshold]``."""
+        return 1.0 - self.fraction_below(threshold)

@@ -1,0 +1,87 @@
+"""Distribution summaries for box-and-whisker style reporting.
+
+Figure 2 of the paper shows serviceability-rate distributions over
+census block groups as boxplots. :func:`box_stats` computes the exact
+statistics a Tukey boxplot displays so the benchmark harness can print
+the same rows the figure encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats", "five_number_summary"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Tukey boxplot statistics for one group."""
+
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    def row(self) -> dict[str, float]:
+        """Return the summary as a flat dict for tabular output."""
+        return {
+            "n": self.n,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "whisker_low": self.whisker_low,
+            "whisker_high": self.whisker_high,
+            "n_outliers": len(self.outliers),
+        }
+
+
+def five_number_summary(values: Sequence[float]) -> tuple[float, float, float, float, float]:
+    """Return ``(min, q1, median, q3, max)``."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("five_number_summary of empty input")
+    q1, median, q3 = np.percentile(array, [25, 50, 75])
+    return (float(array.min()), float(q1), float(median), float(q3), float(array.max()))
+
+
+def box_stats(values: Sequence[float], whisker: float = 1.5) -> BoxStats:
+    """Return Tukey boxplot statistics with ``whisker``×IQR fences."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("box_stats of empty input")
+    if whisker < 0:
+        raise ValueError("whisker multiplier must be non-negative")
+    minimum, q1, median, q3, maximum = five_number_summary(array)
+    iqr = q3 - q1
+    low_fence = q1 - whisker * iqr
+    high_fence = q3 + whisker * iqr
+    inside = array[(array >= low_fence) & (array <= high_fence)]
+    outliers = array[(array < low_fence) | (array > high_fence)]
+    whisker_low = float(inside.min()) if inside.size else q1
+    whisker_high = float(inside.max()) if inside.size else q3
+    return BoxStats(
+        n=int(array.size),
+        minimum=minimum,
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=maximum,
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=tuple(float(v) for v in np.sort(outliers)),
+    )

@@ -1,0 +1,102 @@
+"""Weighted aggregation primitives.
+
+The paper's headline metrics are *weighted* rates: serviceability and
+compliance are computed per census block group (CBG) and then weighted
+by the number of CAF addresses in that CBG when rolled up to a state,
+an ISP, or the full study ("we weight the serviceability rate at the
+block group level with the total number of CAF addresses for the CBG",
+Section 4.1). These helpers implement that aggregation exactly once so
+every analysis shares the same semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["weighted_mean", "weighted_fraction", "weighted_quantile"]
+
+
+def _as_float_array(values: Sequence[float], name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    return array
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Return the weighted arithmetic mean of ``values``.
+
+    Raises ``ValueError`` on empty input, mismatched lengths, negative
+    weights, or an all-zero weight vector — every one of those cases is
+    a caller bug in this codebase, not a degenerate-but-valid input.
+    """
+    vals = _as_float_array(values, "values")
+    wts = _as_float_array(weights, "weights")
+    if vals.size == 0:
+        raise ValueError("weighted_mean of empty input")
+    if vals.shape != wts.shape:
+        raise ValueError(
+            f"values and weights differ in length: {vals.size} vs {wts.size}"
+        )
+    if np.any(wts < 0):
+        raise ValueError("weights must be non-negative")
+    total = wts.sum()
+    if total == 0:
+        raise ValueError("weights sum to zero")
+    return float(np.dot(vals, wts) / total)
+
+
+def weighted_fraction(
+    numerators: Sequence[float],
+    denominators: Sequence[float],
+    weights: Sequence[float],
+) -> float:
+    """Return the weighted mean of per-group fractions.
+
+    Each group contributes ``numerators[i] / denominators[i]`` weighted
+    by ``weights[i]``. Groups whose denominator is zero (a CBG where no
+    query succeeded) are dropped, mirroring the paper's treatment of
+    CBGs with no resolvable addresses.
+    """
+    nums = _as_float_array(numerators, "numerators")
+    dens = _as_float_array(denominators, "denominators")
+    wts = _as_float_array(weights, "weights")
+    if not (nums.shape == dens.shape == wts.shape):
+        raise ValueError("numerators, denominators and weights must align")
+    mask = dens > 0
+    if not np.any(mask):
+        raise ValueError("no group has a positive denominator")
+    fractions = nums[mask] / dens[mask]
+    return weighted_mean(fractions, wts[mask])
+
+
+def weighted_quantile(
+    values: Sequence[float], weights: Sequence[float], q: float
+) -> float:
+    """Return the ``q``-quantile of ``values`` under ``weights``.
+
+    Uses the standard inverse-CDF definition over the weighted empirical
+    distribution: sort values, accumulate normalized weights, and return
+    the first value whose cumulative weight reaches ``q``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    vals = _as_float_array(values, "values")
+    wts = _as_float_array(weights, "weights")
+    if vals.size == 0:
+        raise ValueError("weighted_quantile of empty input")
+    if vals.shape != wts.shape:
+        raise ValueError("values and weights must align")
+    if np.any(wts < 0):
+        raise ValueError("weights must be non-negative")
+    total = wts.sum()
+    if total == 0:
+        raise ValueError("weights sum to zero")
+    order = np.argsort(vals, kind="stable")
+    sorted_vals = vals[order]
+    cumulative = np.cumsum(wts[order]) / total
+    index = int(np.searchsorted(cumulative, q, side="left"))
+    index = min(index, vals.size - 1)
+    return float(sorted_vals[index])

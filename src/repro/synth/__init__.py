@@ -1,0 +1,36 @@
+"""World builder: one coherent synthetic study universe.
+
+A :class:`~repro.synth.world.World` contains everything the paper's
+data collection ran against, generated from a single seed:
+
+* synthetic geographies for the study states;
+* the CAF certifications the four ISPs filed with USAC (Table 3's
+  state × ISP footprint);
+* per-address ground truth drawn from the calibrated ISP profiles, with
+  block-coherent Q3 structure in the seven Q3 states;
+* the Zillow-like non-CAF address feed, Form 477, and National
+  Broadband Map;
+* the six BQT website simulators wired to the ground truth.
+
+:mod:`repro.synth.calibration` holds every constant taken from the
+paper, with the section/figure it came from.
+"""
+
+from repro.synth.calibration import (
+    Q3OutcomeShares,
+    TABLE3_QUERIED_ADDRESSES,
+    TYPE_A_SHARES,
+    TYPE_B_SHARES,
+)
+from repro.synth.scenario import ScenarioConfig
+from repro.synth.world import World, build_world
+
+__all__ = [
+    "Q3OutcomeShares",
+    "ScenarioConfig",
+    "TABLE3_QUERIED_ADDRESSES",
+    "TYPE_A_SHARES",
+    "TYPE_B_SHARES",
+    "World",
+    "build_world",
+]

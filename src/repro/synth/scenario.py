@@ -1,0 +1,69 @@
+"""Scenario configuration for the world builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.fips import Q3_STATES, STUDY_STATES
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Size, scope and seed of one synthetic study universe.
+
+    ``address_scale`` multiplies the Table 3 footprint: 1.0 would build
+    a world whose *certified* population is ≈ 2.5× the paper's queried
+    counts (the paper sampled ≥10%/≥30 per CBG from a larger certified
+    pool). The default 0.02 yields a laptop-scale world of ~27k
+    certified CAF addresses that preserves every distributional shape.
+    """
+
+    seed: int = 0
+    address_scale: float = 0.02
+    states: tuple[str, ...] = STUDY_STATES
+    q3_states: tuple[str, ...] = Q3_STATES
+    # Ratio of certified addresses to the Table 3 queried counts.
+    certified_multiplier: float = 2.5
+    # Census block-group sizing (addresses per CBG; Figure 1c median 64).
+    cbg_size_median: float = 64.0
+    cbg_size_sigma: float = 1.0
+    max_cbg_size: int = 2000
+    blocks_per_cbg: int = 8
+    # Non-CAF (Zillow) neighbor density in Q3 blocks, as a fraction of
+    # the block's CAF count.
+    non_caf_fraction_range: tuple[float, float] = (0.4, 0.9)
+    min_non_caf_per_block: int = 2
+    # CAF II support per certified location (≈ $10B / 6.13M locations).
+    support_per_location_usd: float = 1630.0
+
+    def __post_init__(self) -> None:
+        if self.address_scale <= 0:
+            raise ValueError("address_scale must be positive")
+        if self.certified_multiplier < 1.0:
+            raise ValueError("certified_multiplier must be >= 1")
+        if not self.states:
+            raise ValueError("need at least one study state")
+        unknown_q3 = set(self.q3_states) - set(self.states)
+        if unknown_q3:
+            raise ValueError(f"q3_states not in study states: {sorted(unknown_q3)}")
+        low, high = self.non_caf_fraction_range
+        if not 0 < low <= high:
+            raise ValueError("bad non_caf_fraction_range")
+
+    def certified_count(self, state: str, table3_count: int) -> int:
+        """Certified addresses to generate for one (state, ISP) cell."""
+        scaled = table3_count * self.certified_multiplier * self.address_scale
+        return max(1, round(scaled))
+
+    @classmethod
+    def tiny(cls, seed: int = 0) -> "ScenarioConfig":
+        """A minimal world for fast unit/integration tests."""
+        return cls(
+            seed=seed,
+            address_scale=0.004,
+            cbg_size_median=40.0,
+            cbg_size_sigma=0.8,
+            max_cbg_size=400,
+        )

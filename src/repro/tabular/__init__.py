@@ -1,0 +1,41 @@
+"""A small column-oriented table library (the repository's pandas substitute).
+
+The reproduction environment ships numpy but not pandas/geopandas, so
+this package provides the minimal relational layer the analysis
+pipeline needs:
+
+* :class:`repro.tabular.Table` — an immutable-ish column store with
+  filtering, projection, sorting, derived columns and vectorized access.
+* :mod:`repro.tabular.groupby` — split/apply/combine with named
+  aggregations (the paper's per-CBG → per-state/ISP rollups).
+* :mod:`repro.tabular.join` — inner/left hash joins (CBG metadata joins,
+  USAC ↔ BQT merges).
+* :mod:`repro.tabular.tableio` — CSV and JSON-lines persistence.
+* :mod:`repro.tabular.render` — fixed-width text rendering used by the
+  benchmark harness to print the paper's tables.
+"""
+
+from repro.tabular.frame import Column, Table
+from repro.tabular.groupby import GroupBy
+from repro.tabular.join import join
+from repro.tabular.pivot import pivot
+from repro.tabular.render import render_table
+from repro.tabular.tableio import (
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+
+__all__ = [
+    "Column",
+    "GroupBy",
+    "Table",
+    "join",
+    "pivot",
+    "read_csv",
+    "read_jsonl",
+    "render_table",
+    "write_csv",
+    "write_jsonl",
+]

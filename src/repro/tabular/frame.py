@@ -1,0 +1,302 @@
+"""The :class:`Table` column store.
+
+Design notes
+------------
+Columns are numpy arrays. Numeric and boolean columns use native
+dtypes; everything else (strings, enums, tuples) is stored as
+``dtype=object``. A :class:`Table` never shares column arrays with its
+callers: construction copies, and accessors return copies or read-only
+views. Transformations (``filter``, ``select``, ``sort_by``,
+``with_column``) return new tables, keeping analysis code free of
+aliasing bugs — the style the project guides recommend ("it's safer to
+create a new list object and leave the original alone").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Column", "Table"]
+
+Column = np.ndarray
+
+
+def _normalize_column(name: str, values: Any, length: int | None) -> np.ndarray:
+    """Coerce ``values`` into a 1-D column array of a sensible dtype."""
+    if isinstance(values, np.ndarray):
+        array = values
+    else:
+        materialized = list(values)
+        array = np.asarray(materialized)
+        if array.dtype.kind in ("U", "S"):
+            array = np.asarray(materialized, dtype=object)
+        elif array.dtype.kind == "O":
+            array = np.asarray(materialized, dtype=object)
+    if array.ndim != 1:
+        # Sequences of tuples land here; keep them as object cells.
+        if isinstance(values, np.ndarray):
+            raise ValueError(f"column {name!r} must be 1-D, got shape {array.shape}")
+        cells = np.empty(len(values), dtype=object)
+        for i, cell in enumerate(values):
+            cells[i] = cell
+        array = cells
+    if length is not None and array.size != length:
+        raise ValueError(
+            f"column {name!r} has {array.size} rows, expected {length}"
+        )
+    if array.dtype.kind in ("U", "S"):
+        array = array.astype(object)
+    return array.copy()
+
+
+class Table:
+    """An ordered mapping of named columns with equal row counts."""
+
+    __slots__ = ("_columns", "_length")
+
+    def __init__(self, columns: Mapping[str, Any] | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        self._length = 0
+        if columns:
+            length: int | None = None
+            normalized: dict[str, np.ndarray] = {}
+            for name, values in columns.items():
+                array = _normalize_column(name, values, length)
+                length = array.size
+                normalized[name] = array
+            self._columns = normalized
+            self._length = length or 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "Table":
+        """Build a table from an iterable of row dicts.
+
+        When ``columns`` is omitted, the first row defines the schema and
+        every subsequent row must match it exactly.
+        """
+        materialized = list(rows)
+        if not materialized:
+            return cls({name: [] for name in columns} if columns else None)
+        names = list(columns) if columns is not None else list(materialized[0].keys())
+        buffers: dict[str, list[Any]] = {name: [] for name in names}
+        for index, row in enumerate(materialized):
+            if set(row.keys()) != set(names):
+                raise ValueError(
+                    f"row {index} keys {sorted(row)} do not match schema {sorted(names)}"
+                )
+            for name in names:
+                buffers[name].append(row[name])
+        return cls(buffers)
+
+    @classmethod
+    def from_records(cls, records: Iterable[Any], fields: Sequence[str]) -> "Table":
+        """Build a table from attribute access on objects (dataclasses)."""
+        buffers: dict[str, list[Any]] = {name: [] for name in fields}
+        for record in records:
+            for name in fields:
+                buffers[name].append(getattr(record, name))
+        return cls(buffers)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._length
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in insertion order."""
+        return tuple(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return a read-only view of a column."""
+        try:
+            column = self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {sorted(self._columns)}"
+            ) from None
+        view = column.view()
+        view.flags.writeable = False
+        return view
+
+    def column(self, name: str) -> np.ndarray:
+        """Alias of :meth:`__getitem__` for readability at call sites."""
+        return self[name]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a plain dict."""
+        if not -self._length <= index < self._length:
+            raise IndexError(f"row {index} out of range for {self._length} rows")
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts (convenient, not fast — prefer columns)."""
+        for index in range(self._length):
+            yield {name: col[index] for name, col in self._columns.items()}
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Materialize all rows as dicts."""
+        return list(self.iter_rows())
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self._columns)
+        return f"Table({self._length} rows: {cols})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names or len(self) != len(other):
+            return False
+        for name in self.column_names:
+            left, right = self._columns[name], other._columns[name]
+            if left.dtype.kind == "f" and right.dtype.kind == "f":
+                if not np.allclose(left, right, equal_nan=True):
+                    return False
+            elif not np.array_equal(left, right):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new tables)
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project onto ``names`` in the given order."""
+        missing = [name for name in names if name not in self._columns]
+        if missing:
+            raise KeyError(f"no such columns: {missing}")
+        return Table({name: self._columns[name] for name in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns according to ``mapping``."""
+        missing = [name for name in mapping if name not in self._columns]
+        if missing:
+            raise KeyError(f"no such columns: {missing}")
+        return Table(
+            {mapping.get(name, name): col for name, col in self._columns.items()}
+        )
+
+    def with_column(self, name: str, values: Any) -> "Table":
+        """Return a table with ``name`` added or replaced.
+
+        ``values`` may be a sequence/array of row length, a scalar to
+        broadcast, or a callable receiving this table and returning the
+        column values.
+        """
+        if callable(values) and not isinstance(values, np.ndarray):
+            values = values(self)
+        if np.isscalar(values) or values is None:
+            values = [values] * self._length
+        columns = dict(self._columns)
+        columns[name] = _normalize_column(name, values, self._length or None)
+        return Table(columns)
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Return a table without ``names``."""
+        missing = [name for name in names if name not in self._columns]
+        if missing:
+            raise KeyError(f"no such columns: {missing}")
+        dropped = set(names)
+        return Table(
+            {name: col for name, col in self._columns.items() if name not in dropped}
+        )
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        """Return the rows at ``indices`` (gather)."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        return Table({name: col[index_array] for name, col in self._columns.items()})
+
+    def mask(self, predicate: np.ndarray) -> "Table":
+        """Return the rows where boolean ``predicate`` is True."""
+        mask_array = np.asarray(predicate)
+        if mask_array.dtype != bool:
+            raise TypeError(f"mask must be boolean, got dtype {mask_array.dtype}")
+        if mask_array.size != self._length:
+            raise ValueError(
+                f"mask has {mask_array.size} entries for {self._length} rows"
+            )
+        return Table({name: col[mask_array] for name, col in self._columns.items()})
+
+    def filter(self, predicate: Callable[["Table"], np.ndarray]) -> "Table":
+        """Return rows where ``predicate(table)`` is True."""
+        return self.mask(predicate(self))
+
+    def where_equal(self, **conditions: Any) -> "Table":
+        """Return rows where every named column equals the given value."""
+        if not conditions:
+            return self.take(np.arange(self._length))
+        mask = np.ones(self._length, dtype=bool)
+        for name, value in conditions.items():
+            mask &= self[name] == value
+        return self.mask(mask)
+
+    def sort_by(self, names: str | Sequence[str], descending: bool = False) -> "Table":
+        """Stable sort by one or more columns."""
+        keys = [names] if isinstance(names, str) else list(names)
+        if not keys:
+            raise ValueError("sort_by needs at least one column")
+        order = np.arange(self._length)
+        # np.lexsort sorts by the *last* key first; apply keys in reverse.
+        for name in reversed(keys):
+            column = self[name][order]
+            order = order[np.argsort(column, kind="stable")]
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._length)))
+
+    def concat(self, other: "Table") -> "Table":
+        """Stack ``other`` beneath this table (schemas must match)."""
+        if self.column_names != other.column_names:
+            raise ValueError(
+                f"schemas differ: {self.column_names} vs {other.column_names}"
+            )
+        if len(self) == 0:
+            return other.take(np.arange(len(other)))
+        if len(other) == 0:
+            return self.take(np.arange(len(self)))
+        merged = {}
+        for name in self.column_names:
+            left, right = self._columns[name], other._columns[name]
+            if left.dtype.kind == "O" or right.dtype.kind == "O":
+                merged[name] = np.concatenate(
+                    [left.astype(object), right.astype(object)]
+                )
+            else:
+                merged[name] = np.concatenate([left, right])
+        return Table(merged)
+
+    def unique(self, name: str) -> np.ndarray:
+        """Sorted unique values of a column."""
+        return np.unique(self[name])
+
+    def value_counts(self, name: str) -> dict[Any, int]:
+        """Return ``{value: count}`` for a column, descending by count."""
+        values, counts = np.unique(self[name], return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        return {values[i]: int(counts[i]) for i in order}
+
+    def group_by(self, names: str | Sequence[str]) -> "GroupBy":
+        """Start a split/apply/combine over ``names``."""
+        from repro.tabular.groupby import GroupBy
+
+        keys = [names] if isinstance(names, str) else list(names)
+        return GroupBy(self, keys)

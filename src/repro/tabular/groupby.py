@@ -1,0 +1,118 @@
+"""Split/apply/combine over :class:`~repro.tabular.Table`.
+
+The analysis pipeline's dominant access pattern is "group the audit
+rows by census block group, compute a rate per group, then roll the
+groups up by state or ISP". :class:`GroupBy` supports both steps:
+named-aggregation via :meth:`agg` and arbitrary per-group reduction via
+:meth:`apply`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.tabular.frame import Table
+
+__all__ = ["GroupBy"]
+
+Aggregation = tuple[str, Callable[[np.ndarray], Any]]
+
+
+class GroupBy:
+    """Lazy grouping of a table by one or more key columns."""
+
+    def __init__(self, table: Table, keys: Sequence[str]):
+        if not keys:
+            raise ValueError("group_by needs at least one key column")
+        for key in keys:
+            if key not in table:
+                raise KeyError(f"no column {key!r} to group by")
+        self._table = table
+        self._keys = list(keys)
+        self._index = self._build_index()
+
+    def _build_index(self) -> dict[tuple[Any, ...], np.ndarray]:
+        """Map each key tuple to the row indices holding it."""
+        columns = [self._table[key] for key in self._keys]
+        buckets: dict[tuple[Any, ...], list[int]] = {}
+        for row_index in range(len(self._table)):
+            key = tuple(column[row_index] for column in columns)
+            buckets.setdefault(key, []).append(row_index)
+        return {
+            key: np.asarray(indices, dtype=np.intp)
+            for key, indices in buckets.items()
+        }
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """The grouping column names."""
+        return tuple(self._keys)
+
+    def groups(self) -> Iterator[tuple[tuple[Any, ...], Table]]:
+        """Iterate ``(key_tuple, sub_table)`` pairs in first-seen order."""
+        for key, indices in self._index.items():
+            yield key, self._table.take(indices)
+
+    def group(self, *key: Any) -> Table:
+        """Return the sub-table for one key tuple."""
+        lookup = tuple(key)
+        if lookup not in self._index:
+            raise KeyError(f"no group {lookup!r}")
+        return self._table.take(self._index[lookup])
+
+    def size(self) -> Table:
+        """Return a table of group sizes (columns: keys + ``count``)."""
+        rows = []
+        for key, indices in self._index.items():
+            row = dict(zip(self._keys, key))
+            row["count"] = int(indices.size)
+            rows.append(row)
+        return Table.from_rows(rows, columns=[*self._keys, "count"])
+
+    def agg(self, **aggregations: Aggregation) -> Table:
+        """Aggregate columns per group.
+
+        Each keyword is an output column name mapped to a
+        ``(source_column, reducer)`` pair::
+
+            table.group_by("state").agg(
+                served=("is_served", np.sum),
+                queried=("is_served", len),
+            )
+        """
+        if not aggregations:
+            raise ValueError("agg needs at least one aggregation")
+        for name, (source, _) in aggregations.items():
+            if source not in self._table:
+                raise KeyError(f"aggregation {name!r} reads missing column {source!r}")
+        rows = []
+        for key, indices in self._index.items():
+            row: dict[str, Any] = dict(zip(self._keys, key))
+            for name, (source, reducer) in aggregations.items():
+                row[name] = reducer(self._table[source][indices])
+            rows.append(row)
+        return Table.from_rows(rows, columns=[*self._keys, *aggregations])
+
+    def apply(self, func: Callable[[Table], Mapping[str, Any]]) -> Table:
+        """Reduce each group with ``func`` returning a dict of outputs."""
+        rows = []
+        output_names: list[str] | None = None
+        for key, indices in self._index.items():
+            result = dict(func(self._table.take(indices)))
+            overlap = set(result) & set(self._keys)
+            if overlap:
+                raise ValueError(f"apply result overwrites key columns {sorted(overlap)}")
+            if output_names is None:
+                output_names = list(result)
+            row: dict[str, Any] = dict(zip(self._keys, key))
+            row.update(result)
+            rows.append(row)
+        if output_names is None:
+            return Table({key: [] for key in self._keys})
+        return Table.from_rows(rows, columns=[*self._keys, *output_names])

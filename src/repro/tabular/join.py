@@ -1,0 +1,89 @@
+"""Hash joins between tables.
+
+Used to attach census-block-group metadata (population density, rural
+flag, state) to per-address audit rows, and to merge USAC certification
+records with BQT query results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.tabular.frame import Table
+
+__all__ = ["join"]
+
+
+def join(
+    left: Table,
+    right: Table,
+    on: str | Sequence[str],
+    how: str = "inner",
+    suffix: str = "_right",
+) -> Table:
+    """Join ``left`` and ``right`` on equal key columns.
+
+    ``how`` is ``"inner"`` or ``"left"``. Non-key columns of ``right``
+    that collide with ``left`` names are suffixed. For a left join with
+    no match, numeric right columns become NaN and object columns become
+    ``None``. Right rows matching multiple left rows fan out as in SQL.
+    """
+    keys = [on] if isinstance(on, str) else list(on)
+    if how not in ("inner", "left"):
+        raise ValueError(f"unsupported join type {how!r}")
+    for key in keys:
+        if key not in left:
+            raise KeyError(f"left table lacks join key {key!r}")
+        if key not in right:
+            raise KeyError(f"right table lacks join key {key!r}")
+
+    right_index: dict[tuple[Any, ...], list[int]] = {}
+    right_key_columns = [right[key] for key in keys]
+    for row_index in range(len(right)):
+        key = tuple(column[row_index] for column in right_key_columns)
+        right_index.setdefault(key, []).append(row_index)
+
+    left_key_columns = [left[key] for key in keys]
+    left_rows: list[int] = []
+    right_rows: list[int] = []  # -1 encodes "no match" for left joins
+    for row_index in range(len(left)):
+        key = tuple(column[row_index] for column in left_key_columns)
+        matches = right_index.get(key)
+        if matches:
+            for match in matches:
+                left_rows.append(row_index)
+                right_rows.append(match)
+        elif how == "left":
+            left_rows.append(row_index)
+            right_rows.append(-1)
+
+    left_take = np.asarray(left_rows, dtype=np.intp)
+    right_take = np.asarray(right_rows, dtype=np.intp)
+    matched = right_take >= 0
+
+    columns: dict[str, np.ndarray] = {}
+    for name in left.column_names:
+        columns[name] = left[name][left_take] if left_take.size else left[name][:0]
+
+    key_set = set(keys)
+    for name in right.column_names:
+        if name in key_set:
+            continue
+        out_name = name if name not in columns else f"{name}{suffix}"
+        source = right[name]
+        if right_take.size == 0:
+            columns[out_name] = source[:0]
+            continue
+        if matched.all():
+            columns[out_name] = source[right_take]
+        else:
+            if source.dtype.kind in ("f", "i", "u", "b"):
+                filled = np.full(right_take.size, np.nan, dtype=float)
+                filled[matched] = source[right_take[matched]].astype(float)
+            else:
+                filled = np.full(right_take.size, None, dtype=object)
+                filled[matched] = source[right_take[matched]]
+            columns[out_name] = filled
+    return Table(columns)

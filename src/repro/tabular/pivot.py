@@ -1,0 +1,62 @@
+"""Pivoting long tables into wide layouts.
+
+The paper's Table 1 is a *wide* layout — one column pair per ISP, one
+row per speed tier — while the analysis produces the same data long
+(one row per (ISP, tier)). ``pivot`` performs that reshape generically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.tabular.frame import Table
+
+__all__ = ["pivot"]
+
+
+def pivot(
+    table: Table,
+    index: str,
+    columns: str,
+    values: str | list[str],
+    fill: Any = 0.0,
+) -> Table:
+    """Reshape ``table`` so each ``columns`` value becomes a column set.
+
+    Output columns are named ``{column_value}_{value_name}`` (or just
+    ``{column_value}`` for a single value column). Duplicate
+    (index, column) cells are an error — pivoting is for tidy inputs.
+    """
+    value_names = [values] if isinstance(values, str) else list(values)
+    for name in (index, columns, *value_names):
+        if name not in table:
+            raise KeyError(f"no column {name!r} to pivot on")
+
+    column_values = sorted(set(table[columns]))
+    index_values: list[Any] = []
+    seen_index: set[Any] = set()
+    cells: dict[tuple[Any, Any, str], Any] = {}
+    for row in table.iter_rows():
+        idx, col = row[index], row[columns]
+        if idx not in seen_index:
+            seen_index.add(idx)
+            index_values.append(idx)
+        for name in value_names:
+            key = (idx, col, name)
+            if key in cells:
+                raise ValueError(
+                    f"duplicate cell for ({idx!r}, {col!r}, {name!r})")
+            cells[key] = row[name]
+
+    def out_name(col: Any, name: str) -> str:
+        if len(value_names) == 1:
+            return str(col)
+        return f"{col}_{name}"
+
+    data: dict[str, list[Any]] = {index: index_values}
+    for col in column_values:
+        for name in value_names:
+            data[out_name(col, name)] = [
+                cells.get((idx, col, name), fill) for idx in index_values
+            ]
+    return Table(data)

@@ -1,0 +1,55 @@
+"""Fixed-width text rendering of tables.
+
+The benchmark harness prints the same rows the paper's tables report;
+this renderer keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.tabular.frame import Table
+
+__all__ = ["render_table"]
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "-"
+        return format(float(value), float_format)
+    if isinstance(value, (bool, np.bool_)):
+        return "yes" if value else "no"
+    if isinstance(value, (int, np.integer)):
+        return f"{int(value):,}"
+    return str(value)
+
+
+def render_table(
+    table: Table,
+    title: str | None = None,
+    float_format: str = ".2f",
+    max_rows: int | None = None,
+) -> str:
+    """Render ``table`` as an aligned text block."""
+    shown = table if max_rows is None else table.head(max_rows)
+    names = list(shown.column_names)
+    grid = [names]
+    for row in shown.iter_rows():
+        grid.append([_format_cell(row[name], float_format) for name in names])
+    widths = [max(len(line[i]) for line in grid) for i in range(len(names))]
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(grid[0]))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(cells) for cells in grid[1:])
+    if max_rows is not None and len(table) > max_rows:
+        parts.append(f"… {len(table) - max_rows} more rows")
+    return "\n".join(parts)

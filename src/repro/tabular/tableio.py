@@ -1,0 +1,103 @@
+"""CSV and JSON-lines persistence for tables.
+
+The pipeline checkpoints its datasets (the sampled addresses, the BQT
+query log, the audit table) so experiments can be re-run without
+rebuilding the world. CSV is the interchange format the real USAC open
+data portal uses; JSONL round-trips types exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.tabular.frame import Table
+
+__all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
+
+
+def _plain(value: Any) -> Any:
+    """Convert numpy scalars to built-in types for serialization."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as UTF-8 CSV with a header row."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        columns = [table[name] for name in table.column_names]
+        for row_index in range(len(table)):
+            writer.writerow([_plain(column[row_index]) for column in columns])
+
+
+def _coerce_csv_column(raw: list[str]) -> list[Any]:
+    """Parse a CSV column as int, then float, then bool, else string."""
+    def try_parse(parser: Any) -> list[Any] | None:
+        parsed = []
+        for cell in raw:
+            try:
+                parsed.append(parser(cell))
+            except (ValueError, KeyError):
+                return None
+        return parsed
+
+    for parser in (int, float, {"True": True, "False": False}.__getitem__):
+        parsed = try_parse(parser)
+        if parsed is not None:
+            return parsed
+    return list(raw)
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a CSV written by :func:`write_csv`, inferring column types."""
+    with Path(path).open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV file") from None
+        buffers: list[list[str]] = [[] for _ in header]
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} cells, got {len(row)}"
+                )
+            for buffer, cell in zip(buffers, row):
+                buffer.append(cell)
+    return Table(
+        {name: _coerce_csv_column(buffer) for name, buffer in zip(header, buffers)}
+    )
+
+
+def write_jsonl(table: Table, path: str | Path) -> None:
+    """Write one JSON object per row."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", encoding="utf-8") as handle:
+        for row in table.iter_rows():
+            handle.write(json.dumps({k: _plain(v) for k, v in row.items()}))
+            handle.write("\n")
+
+
+def read_jsonl(path: str | Path) -> Table:
+    """Read a JSONL file written by :func:`write_jsonl`."""
+    rows = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {error}") from None
+    return Table.from_rows(rows)

@@ -1,0 +1,35 @@
+"""USAC substrate: the CAF Map dataset and its supporting machinery.
+
+The Universal Service Administrative Company (USAC) administers CAF
+funds and publishes the CAF Map — ISP-certified deployment locations
+reported through the High-Cost Universal Broadband (HUBB) portal. The
+paper's Section 2.3 characterizes that dataset (Figure 1); this package
+reproduces it:
+
+* :mod:`repro.usac.schema` — the deployment-record schema.
+* :mod:`repro.usac.dataset` — an indexed container with the filters the
+  analyses need.
+* :mod:`repro.usac.disbursements` — the state/ISP funding ledger.
+* :mod:`repro.usac.hubb` — the HUBB certification portal workflow,
+  including USAC's random verification reviews.
+* :mod:`repro.usac.generator` — a national synthetic CAF Map calibrated
+  to every marginal the paper reports.
+"""
+
+from repro.usac.dataset import CafMapDataset
+from repro.usac.disbursements import DisbursementLedger, Disbursement
+from repro.usac.generator import NationalDatasetConfig, generate_national_dataset
+from repro.usac.hubb import CertificationBatch, HubbPortal, VerificationReview
+from repro.usac.schema import DeploymentRecord
+
+__all__ = [
+    "CafMapDataset",
+    "CertificationBatch",
+    "Disbursement",
+    "DisbursementLedger",
+    "DeploymentRecord",
+    "HubbPortal",
+    "NationalDatasetConfig",
+    "VerificationReview",
+    "generate_national_dataset",
+]

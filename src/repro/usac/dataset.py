@@ -1,0 +1,116 @@
+"""The indexed CAF Map dataset container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.tabular import Table
+from repro.usac.schema import DeploymentRecord
+
+__all__ = ["CafMapDataset"]
+
+_TABLE_FIELDS = (
+    "address_id", "isp_id", "state_abbreviation", "block_geoid",
+    "longitude", "latitude", "households", "technology",
+    "certified_download_mbps", "certified_upload_mbps",
+    "certified_latency_ms", "funding_program",
+)
+
+
+class CafMapDataset:
+    """All certified CAF deployment locations, with lookup indexes."""
+
+    def __init__(self, records: Iterable[DeploymentRecord] = ()):
+        self._records: list[DeploymentRecord] = []
+        self._by_address: dict[str, DeploymentRecord] = {}
+        self._by_isp: dict[str, list[DeploymentRecord]] = {}
+        self._by_state: dict[str, list[DeploymentRecord]] = {}
+        self._by_block: dict[str, list[DeploymentRecord]] = {}
+        self._by_block_group: dict[str, list[DeploymentRecord]] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: DeploymentRecord) -> None:
+        """Append one record (address ids must be unique)."""
+        if record.address_id in self._by_address:
+            raise ValueError(f"duplicate CAF address id {record.address_id!r}")
+        self._records.append(record)
+        self._by_address[record.address_id] = record
+        self._by_isp.setdefault(record.isp_id, []).append(record)
+        self._by_state.setdefault(record.state_abbreviation, []).append(record)
+        self._by_block.setdefault(record.block_geoid, []).append(record)
+        self._by_block_group.setdefault(record.block_group_geoid, []).append(record)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DeploymentRecord]:
+        return iter(self._records)
+
+    def __contains__(self, address_id: str) -> bool:
+        return address_id in self._by_address
+
+    def record_for(self, address_id: str) -> DeploymentRecord:
+        """Return the record certifying ``address_id``."""
+        try:
+            return self._by_address[address_id]
+        except KeyError:
+            raise KeyError(f"no CAF record for address {address_id!r}") from None
+
+    def isps(self) -> list[str]:
+        """Certifying ISP ids, sorted."""
+        return sorted(self._by_isp)
+
+    def states(self) -> list[str]:
+        """States with certified locations, sorted."""
+        return sorted(self._by_state)
+
+    def blocks(self) -> list[str]:
+        """Census blocks with certified locations, sorted."""
+        return sorted(self._by_block)
+
+    def block_groups(self) -> list[str]:
+        """Census block groups with certified locations, sorted."""
+        return sorted(self._by_block_group)
+
+    def for_isp(self, isp_id: str) -> list[DeploymentRecord]:
+        """Records certified by one ISP."""
+        return list(self._by_isp.get(isp_id, []))
+
+    def for_state(self, state_abbreviation: str) -> list[DeploymentRecord]:
+        """Records in one state."""
+        return list(self._by_state.get(state_abbreviation, []))
+
+    def for_isp_state(self, isp_id: str, state_abbreviation: str) -> list[DeploymentRecord]:
+        """Records for an (ISP, state) pair."""
+        return [r for r in self._by_isp.get(isp_id, [])
+                if r.state_abbreviation == state_abbreviation]
+
+    def in_block(self, block_geoid: str) -> list[DeploymentRecord]:
+        """Records in one census block."""
+        return list(self._by_block.get(block_geoid, []))
+
+    def in_block_group(self, block_group_geoid: str) -> list[DeploymentRecord]:
+        """Records in one census block group."""
+        return list(self._by_block_group.get(block_group_geoid, []))
+
+    def addresses_per_block(self) -> dict[str, int]:
+        """CAF address count per census block (Figure 1c)."""
+        return {block: len(records) for block, records in self._by_block.items()}
+
+    def addresses_per_block_group(self) -> dict[str, int]:
+        """CAF address count per census block group (Figure 1c)."""
+        return {bg: len(records) for bg, records in self._by_block_group.items()}
+
+    def count_by_state(self) -> dict[str, int]:
+        """Certified locations per state (Figure 1a)."""
+        return {state: len(records) for state, records in self._by_state.items()}
+
+    def count_by_isp(self) -> dict[str, int]:
+        """Certified locations per ISP (Figure 1b)."""
+        return {isp: len(records) for isp, records in self._by_isp.items()}
+
+    def to_table(self) -> Table:
+        """Flatten to a :class:`~repro.tabular.Table`."""
+        return Table.from_records(self._records, _TABLE_FIELDS)

@@ -1,0 +1,82 @@
+"""CAF II disbursement ledger.
+
+Figures 1d/1e of the paper show state-wise and ISP-wise disbursed
+funds: roughly $10 billion total, with the top-4 ISPs receiving 37.5%
+and state totals topping out near $500M. The ledger stores per
+(ISP, state) disbursements and provides the rollups those figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Disbursement", "DisbursementLedger"]
+
+
+@dataclass(frozen=True)
+class Disbursement:
+    """Cumulative CAF II support paid to one ISP in one state."""
+
+    isp_id: str
+    state_abbreviation: str
+    amount_usd: float
+
+    def __post_init__(self) -> None:
+        if self.amount_usd < 0:
+            raise ValueError("disbursement amount must be non-negative")
+
+
+class DisbursementLedger:
+    """Indexed collection of disbursements."""
+
+    def __init__(self, disbursements: Iterable[Disbursement] = ()):
+        self._entries: list[Disbursement] = []
+        self._by_pair: dict[tuple[str, str], float] = {}
+        for entry in disbursements:
+            self.add(entry)
+
+    def add(self, entry: Disbursement) -> None:
+        """Record a disbursement; repeated (ISP, state) pairs accumulate."""
+        self._entries.append(entry)
+        key = (entry.isp_id, entry.state_abbreviation)
+        self._by_pair[key] = self._by_pair.get(key, 0.0) + entry.amount_usd
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def total_usd(self) -> float:
+        """Program-wide total."""
+        return sum(self._by_pair.values())
+
+    def amount_for(self, isp_id: str, state_abbreviation: str) -> float:
+        """Cumulative amount for one (ISP, state) pair."""
+        return self._by_pair.get((isp_id, state_abbreviation), 0.0)
+
+    def by_state(self) -> dict[str, float]:
+        """State totals (Figure 1d)."""
+        totals: dict[str, float] = {}
+        for (_, state), amount in self._by_pair.items():
+            totals[state] = totals.get(state, 0.0) + amount
+        return totals
+
+    def by_isp(self) -> dict[str, float]:
+        """ISP totals (Figure 1e)."""
+        totals: dict[str, float] = {}
+        for (isp, _), amount in self._by_pair.items():
+            totals[isp] = totals.get(isp, 0.0) + amount
+        return totals
+
+    def top_isps(self, n: int) -> list[tuple[str, float]]:
+        """The ``n`` largest recipients, descending."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return sorted(self.by_isp().items(), key=lambda kv: -kv[1])[:n]
+
+    def share_of_top_isps(self, n: int) -> float:
+        """Fraction of all funds held by the top ``n`` ISPs (the paper:
+        top-4 received 37.5%)."""
+        total = self.total_usd()
+        if total == 0:
+            raise ValueError("ledger is empty")
+        return sum(amount for _, amount in self.top_isps(n)) / total

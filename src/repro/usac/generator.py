@@ -1,0 +1,304 @@
+"""National synthetic CAF Map generator.
+
+Reproduces the public-dataset characterization of Section 2.3 / Figure
+1 at a configurable scale. Calibration targets (real dataset → ours,
+before scaling):
+
+* 6.13M deployment locations, ~819 ISPs, ~$10B disbursed;
+* top-4 ISPs (AT&T, CenturyLink, Frontier, Windstream) certify 62% of
+  addresses and receive 37.5% of funds; CenturyLink is the single
+  largest recipient ($1.84B); Consolidated ranks 5th by addresses;
+* top states by addresses: Texas, Wisconsin, Minnesota; by funds:
+  Texas, Minnesota, Arkansas; the top-20 states hold >73% of addresses;
+* addresses per census block range 1 → ~5k; per block group min 1,
+  median 64, max ~5.2k;
+* 96.7% of CAF census blocks are rural;
+* certified download speeds sit almost entirely at 10 Mbps (Figure 1f),
+  with Consolidated certifying a visible 25/100/1000 Mbps tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.fips import ALL_STATES, StateInfo
+from repro.stats.distributions import (
+    allocate_counts,
+    bounded_zipf_shares,
+    lognormal_sizes,
+    stable_rng,
+)
+from repro.usac.dataset import CafMapDataset
+from repro.usac.disbursements import Disbursement, DisbursementLedger
+from repro.usac.schema import DeploymentRecord
+
+__all__ = ["NationalDatasetConfig", "NationalDataset", "generate_national_dataset"]
+
+REAL_TOTAL_LOCATIONS = 6_130_000
+REAL_TOTAL_FUNDS_USD = 10_000_000_000.0
+REAL_NUM_ISPS = 819
+
+# National address shares for the named ISPs (top-4 = 62%, paper §2.3;
+# Consolidated 138k/6.13M ≈ 2.3%, ranked 5th).
+_NAMED_ISP_ADDRESS_SHARES = {
+    "att": 0.22,
+    "centurylink": 0.16,
+    "frontier": 0.13,
+    "windstream": 0.11,
+    "consolidated": 0.023,
+}
+
+# Fund shares (top-4 = 37.5%; CenturyLink the largest at ~18.4%).
+_NAMED_ISP_FUND_SHARES = {
+    "centurylink": 0.184,
+    "att": 0.10,
+    "frontier": 0.06,
+    "windstream": 0.031,
+    "consolidated": 0.0193,
+}
+
+# Address-share boosts for the paper's top states (TX, WI, MN lead);
+# urbanized coastal states punch far below population (CAF targets
+# rural, high-cost areas).
+_STATE_ADDRESS_BOOSTS = {
+    "TX": 3.2, "WI": 2.6, "MN": 2.5, "AR": 2.2, "MO": 1.6,
+    "CA": 0.45, "NY": 0.5, "FL": 0.6, "NJ": 0.35, "MA": 0.4,
+}
+# Fund-per-address tilts so the fund ranking becomes TX, MN, AR.
+_STATE_FUND_TILTS = {"MN": 1.25, "AR": 1.6, "TX": 1.05, "WI": 0.75}
+
+
+@dataclass(frozen=True)
+class NationalDatasetConfig:
+    """Scale and shape knobs for the synthetic national CAF Map."""
+
+    scale: float = 0.01
+    seed: int = 0
+    num_small_isps: int = 80
+    cbg_size_median: float = 64.0
+    cbg_size_sigma: float = 1.45
+    max_cbg_size: int = 5200
+    rural_block_fraction: float = 0.967
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        if self.num_small_isps < 1:
+            raise ValueError("need at least one small ISP")
+        if not 0 <= self.rural_block_fraction <= 1:
+            raise ValueError("rural fraction must be a probability")
+
+    @property
+    def total_locations(self) -> int:
+        """Scaled national location count."""
+        return max(1, round(REAL_TOTAL_LOCATIONS * self.scale))
+
+    @property
+    def total_funds_usd(self) -> float:
+        """Scaled national disbursement total."""
+        return REAL_TOTAL_FUNDS_USD * self.scale
+
+
+@dataclass(frozen=True)
+class NationalDataset:
+    """The generated CAF Map plus its funding ledger and metadata."""
+
+    caf_map: CafMapDataset
+    ledger: DisbursementLedger
+    rural_blocks: frozenset[str] = field(repr=False)
+
+    @property
+    def rural_block_share(self) -> float:
+        """Fraction of CAF census blocks that are rural."""
+        blocks = self.caf_map.blocks()
+        if not blocks:
+            return 0.0
+        return sum(1 for b in blocks if b in self.rural_blocks) / len(blocks)
+
+
+def _state_address_shares() -> dict[str, float]:
+    weights = {}
+    for state in ALL_STATES:
+        base = state.population_millions**0.62
+        weights[state.abbreviation] = base * _STATE_ADDRESS_BOOSTS.get(
+            state.abbreviation, 1.0
+        )
+    total = sum(weights.values())
+    return {abbr: weight / total for abbr, weight in weights.items()}
+
+
+def _isp_address_shares(config: NationalDatasetConfig) -> dict[str, float]:
+    shares = dict(_NAMED_ISP_ADDRESS_SHARES)
+    remainder = 1.0 - sum(shares.values())
+    small = bounded_zipf_shares(config.num_small_isps, exponent=0.85) * remainder
+    for index, share in enumerate(small):
+        shares[f"smallisp-{index:03d}"] = float(share)
+    return shares
+
+
+def _isp_fund_shares(config: NationalDatasetConfig) -> dict[str, float]:
+    shares = dict(_NAMED_ISP_FUND_SHARES)
+    remainder = 1.0 - sum(shares.values())
+    small = bounded_zipf_shares(config.num_small_isps, exponent=0.75) * remainder
+    for index, share in enumerate(small):
+        shares[f"smallisp-{index:03d}"] = float(share)
+    return shares
+
+
+def certified_speed_for(isp_id: str, rng: np.random.Generator) -> tuple[float, float]:
+    """Certified (download, upload) speeds: the Figure 1f distribution.
+
+    Nearly every ISP certifies exactly the 10/1 Mbps floor; Consolidated
+    certifies a visible 25/100/1000 tail and Frontier a sliver of 100s.
+    """
+    if isp_id == "consolidated":
+        roll = rng.random()
+        if roll < 0.8602:
+            return 10.0, 1.0
+        if roll < 0.8602 + 0.1287:
+            return 25.0, 3.0
+        if roll < 0.8602 + 0.1287 + 0.0077:
+            return 100.0, 10.0
+        return 1000.0, 100.0
+    if isp_id == "frontier" and rng.random() < 0.0002:
+        return 100.0, 10.0
+    if isp_id.startswith("smallisp-") and rng.random() < 0.03:
+        return 25.0, 3.0
+    return 10.0, 1.0
+
+
+def _synthetic_block_geoids(
+    state: StateInfo, cbg_serial: int, num_blocks: int
+) -> list[str]:
+    """Fabricate nested GEOIDs for one synthetic CBG."""
+    county = (cbg_serial // 396) % 999 + 1
+    tract = (cbg_serial // 9) % 9999 + 1
+    bg_digit = cbg_serial % 9 + 1
+    prefix = f"{state.fips}{county:03d}{tract:06d}{bg_digit}"
+    return [f"{prefix}{block:03d}" for block in range(1, num_blocks + 1)]
+
+
+def generate_national_dataset(
+    config: NationalDatasetConfig | None = None,
+) -> NationalDataset:
+    """Generate the scaled national CAF Map, ledger, and rural flags."""
+    config = config or NationalDatasetConfig()
+    rng = stable_rng(config.seed, "usac-national")
+    state_shares = _state_address_shares()
+    isp_shares = _isp_address_shares(config)
+    fund_shares = _isp_fund_shares(config)
+
+    state_abbrs = list(state_shares)
+    state_counts = allocate_counts(
+        config.total_locations, [state_shares[s] for s in state_abbrs]
+    )
+
+    isp_ids = list(isp_shares)
+    isp_probabilities = np.asarray([isp_shares[isp] for isp in isp_ids])
+    isp_probabilities = isp_probabilities / isp_probabilities.sum()
+
+    caf_map = CafMapDataset()
+    rural_blocks: set[str] = set()
+    state_by_abbr = {state.abbreviation: state for state in ALL_STATES}
+    isp_state_addresses: dict[tuple[str, str], int] = {}
+
+    serial = 0
+    for abbr, state_total in zip(state_abbrs, state_counts):
+        if state_total == 0:
+            continue
+        state = state_by_abbr[abbr]
+        state_rng = stable_rng(config.seed, "usac-national", abbr)
+        remaining = int(state_total)
+        while remaining > 0:
+            cbg_size = int(lognormal_sizes(
+                state_rng, 1, config.cbg_size_median, config.cbg_size_sigma,
+                minimum=1, maximum=config.max_cbg_size,
+            )[0])
+            cbg_size = min(cbg_size, remaining)
+            remaining -= cbg_size
+            serial += 1
+            # One certifying ISP per CBG: CAF support areas are granted
+            # to a single provider (the subsidized monopolist).
+            isp_id = isp_ids[int(state_rng.choice(len(isp_ids), p=isp_probabilities))]
+            num_blocks = int(min(max(1, round(cbg_size / 25) + int(state_rng.integers(0, 4))), 99))
+            block_geoids = _synthetic_block_geoids(state, serial, num_blocks)
+            block_split = allocate_counts(
+                cbg_size, state_rng.dirichlet(np.full(num_blocks, 0.6))
+            )
+            isp_state_addresses[(isp_id, abbr)] = (
+                isp_state_addresses.get((isp_id, abbr), 0) + cbg_size
+            )
+            for block_geoid, block_count in zip(block_geoids, block_split):
+                if block_count == 0:
+                    continue
+                if state_rng.random() < config.rural_block_fraction:
+                    rural_blocks.add(block_geoid)
+                fx, fy = state_rng.uniform(0.02, 0.98, size=2)
+                anchor = state.bounds.interpolate(float(fx), float(fy))
+                for index in range(int(block_count)):
+                    download, upload = certified_speed_for(isp_id, state_rng)
+                    caf_map.add(DeploymentRecord(
+                        address_id=f"nat-{block_geoid}-{index:05d}",
+                        isp_id=isp_id,
+                        state_abbreviation=abbr,
+                        block_geoid=block_geoid,
+                        longitude=anchor.longitude,
+                        latitude=anchor.latitude,
+                        households=1 + (int(state_rng.integers(0, 10)) == 0),
+                        technology="fiber" if download >= 100 else "dsl",
+                        certified_download_mbps=download,
+                        certified_upload_mbps=upload,
+                        certified_latency_ms=float(state_rng.uniform(20.0, 95.0)),
+                    ))
+
+    ledger = _build_ledger(config, fund_shares, isp_state_addresses, rng)
+    return NationalDataset(
+        caf_map=caf_map,
+        ledger=ledger,
+        rural_blocks=frozenset(rural_blocks),
+    )
+
+
+def _build_ledger(
+    config: NationalDatasetConfig,
+    fund_shares: dict[str, float],
+    isp_state_addresses: dict[tuple[str, str], int],
+    rng: np.random.Generator,
+) -> DisbursementLedger:
+    """Distribute each ISP's fund share across its states.
+
+    Within an ISP, state amounts follow its address footprint with
+    per-state cost tilts (deploying in Arkansas hills costs more per
+    location than in Texas plains) so the fund ranking differs from the
+    address ranking the way Figures 1a/1d differ.
+    """
+    ledger = DisbursementLedger()
+    addresses_by_isp: dict[str, dict[str, int]] = {}
+    for (isp_id, abbr), count in isp_state_addresses.items():
+        addresses_by_isp.setdefault(isp_id, {})[abbr] = count
+    fallback_states = ("TX", "MN", "AR", "WI", "IA", "MO", "GA", "NC")
+    for isp_id, share in fund_shares.items():
+        isp_total = share * config.total_funds_usd
+        if isp_total <= 0:
+            continue
+        state_counts = addresses_by_isp.get(isp_id)
+        if not state_counts:
+            # At small scales a tail ISP may draw zero addresses; its
+            # funding still exists, so spread it over typical CAF states.
+            chosen = rng.choice(len(fallback_states), size=3, replace=False)
+            state_counts = {fallback_states[int(i)]: 1 for i in chosen}
+        weights = {
+            abbr: count * _STATE_FUND_TILTS.get(abbr, 1.0)
+            * float(rng.uniform(0.92, 1.08))
+            for abbr, count in state_counts.items()
+        }
+        weight_total = sum(weights.values())
+        for abbr, weight in weights.items():
+            ledger.add(Disbursement(
+                isp_id=isp_id,
+                state_abbreviation=abbr,
+                amount_usd=isp_total * weight / weight_total,
+            ))
+    return ledger

@@ -1,0 +1,140 @@
+"""The HUBB certification portal and USAC verification reviews.
+
+ISPs report deployment progress to USAC annually through the High-Cost
+Universal Broadband (HUBB) portal, attaching documentary evidence; USAC
+then verifies a random sample of certified locations (Section 2.2,
+"Regulatory oversight"). This module simulates that workflow so the
+repository can contrast USAC's sampled, ISP-cooperative oversight with
+the paper's independent external audit:
+
+* :class:`HubbPortal` accepts :class:`CertificationBatch` submissions
+  and accumulates the CAF Map.
+* :meth:`HubbPortal.run_verification_review` draws a random sample of
+  certified locations, checks them against ground truth, and reports a
+  compliance gap — the metric USAC publishes with "scarce" detail
+  (Section 2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isp.deployment import GroundTruth
+from repro.stats.distributions import stable_rng
+from repro.usac.dataset import CafMapDataset
+from repro.usac.schema import DeploymentRecord
+
+__all__ = ["CertificationBatch", "VerificationReview", "HubbPortal"]
+
+ACCEPTED_EVIDENCE = (
+    "website_screenshot",   # public-facing availability tool
+    "subscriber_bill",
+    "engineering_email",    # release of locations to sales/marketing
+)
+
+
+@dataclass(frozen=True)
+class CertificationBatch:
+    """One ISP's annual HUBB filing."""
+
+    isp_id: str
+    filing_year: int
+    records: tuple[DeploymentRecord, ...]
+    evidence_kind: str = "website_screenshot"
+
+    def __post_init__(self) -> None:
+        if self.evidence_kind not in ACCEPTED_EVIDENCE:
+            raise ValueError(
+                f"evidence {self.evidence_kind!r} not in {ACCEPTED_EVIDENCE}"
+            )
+        if not self.records:
+            raise ValueError("a certification batch cannot be empty")
+        wrong = [r.address_id for r in self.records if r.isp_id != self.isp_id]
+        if wrong:
+            raise ValueError(
+                f"batch for {self.isp_id!r} contains records certified by "
+                f"other ISPs: {wrong[:3]}"
+            )
+
+
+@dataclass(frozen=True)
+class VerificationReview:
+    """Outcome of one USAC fund-verification review."""
+
+    isp_id: str
+    sampled: int
+    confirmed_served: int
+    compliance_gap: float
+
+    @property
+    def pass_rate(self) -> float:
+        """Fraction of the sample confirmed served."""
+        if self.sampled == 0:
+            return 1.0
+        return self.confirmed_served / self.sampled
+
+
+class HubbPortal:
+    """Accumulates certification filings into the public CAF Map."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._dataset = CafMapDataset()
+        self._filings: list[CertificationBatch] = []
+
+    @property
+    def caf_map(self) -> CafMapDataset:
+        """The public dataset assembled from filings so far."""
+        return self._dataset
+
+    @property
+    def filings(self) -> list[CertificationBatch]:
+        """All accepted filings."""
+        return list(self._filings)
+
+    def submit(self, batch: CertificationBatch) -> int:
+        """Accept a filing; returns the number of records added.
+
+        HUBB performs only structural validation — the paper's core
+        criticism is that self-reported data is accepted essentially at
+        face value, with verification limited to later sampled reviews.
+        """
+        for record in batch.records:
+            self._dataset.add(record)
+        self._filings.append(batch)
+        return len(batch.records)
+
+    def run_verification_review(
+        self,
+        isp_id: str,
+        ground_truth: GroundTruth,
+        sample_fraction: float = 0.01,
+        minimum_sample: int = 10,
+    ) -> VerificationReview:
+        """Simulate USAC's random verification of one ISP's filings.
+
+        Samples ``sample_fraction`` of the ISP's certified locations
+        (at least ``minimum_sample``) and checks each against ground
+        truth. The returned ``compliance_gap`` is the unserved fraction
+        of the sample — the single number USAC reports publicly.
+        """
+        if not 0 < sample_fraction <= 1:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        records = self._dataset.for_isp(isp_id)
+        if not records:
+            raise ValueError(f"no certified locations for {isp_id!r}")
+        rng = stable_rng(self._seed, "usac-review", isp_id)
+        sample_size = min(
+            len(records), max(minimum_sample, round(sample_fraction * len(records)))
+        )
+        indices = rng.choice(len(records), size=sample_size, replace=False)
+        confirmed = sum(
+            1 for i in indices
+            if ground_truth.serves(isp_id, records[int(i)].address_id)
+        )
+        return VerificationReview(
+            isp_id=isp_id,
+            sampled=sample_size,
+            confirmed_served=confirmed,
+            compliance_gap=1.0 - confirmed / sample_size,
+        )

@@ -1,0 +1,130 @@
+"""The USAC open-data portal, simulated.
+
+The paper pulls the CAF Map from USAC's Socrata-style open-data portal
+(opendata.usac.org). This module provides the equivalent read API over
+a :class:`~repro.usac.dataset.CafMapDataset`: field filters, ordering,
+and offset/limit pagination — the access pattern a downstream analyst
+scripting against the portal actually uses (and the access pattern the
+examples use, so the repository exercises its own "public" interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator
+
+from repro.tabular import Table
+from repro.usac.dataset import CafMapDataset
+from repro.usac.schema import DeploymentRecord
+
+__all__ = ["PortalQuery", "PortalPage", "OpenDataPortal"]
+
+_FILTERABLE_FIELDS = (
+    "isp_id", "state_abbreviation", "block_geoid", "technology",
+    "funding_program",
+)
+_ORDERABLE_FIELDS = _FILTERABLE_FIELDS + (
+    "address_id", "certified_download_mbps", "certified_latency_ms",
+)
+
+MAX_PAGE_SIZE = 10_000
+
+
+@dataclass(frozen=True)
+class PortalQuery:
+    """A portal query: filters + ordering + pagination."""
+
+    filters: dict[str, Any] = field(default_factory=dict)
+    order_by: str = "address_id"
+    descending: bool = False
+    offset: int = 0
+    limit: int = 1000
+
+    def __post_init__(self) -> None:
+        for name in self.filters:
+            if name not in _FILTERABLE_FIELDS:
+                raise ValueError(
+                    f"cannot filter on {name!r}; filterable fields: "
+                    f"{_FILTERABLE_FIELDS}")
+        if self.order_by not in _ORDERABLE_FIELDS:
+            raise ValueError(
+                f"cannot order by {self.order_by!r}; orderable fields: "
+                f"{_ORDERABLE_FIELDS}")
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+        if not 1 <= self.limit <= MAX_PAGE_SIZE:
+            raise ValueError(f"limit must be in [1, {MAX_PAGE_SIZE}]")
+
+    def where(self, **filters: Any) -> "PortalQuery":
+        """Return a query with additional filters."""
+        return replace(self, filters={**self.filters, **filters})
+
+    def next_page(self) -> "PortalQuery":
+        """The query for the following page."""
+        return replace(self, offset=self.offset + self.limit)
+
+
+@dataclass(frozen=True)
+class PortalPage:
+    """One page of results."""
+
+    records: tuple[DeploymentRecord, ...]
+    offset: int
+    total_matching: int
+
+    @property
+    def has_more(self) -> bool:
+        """Whether later pages exist."""
+        return self.offset + len(self.records) < self.total_matching
+
+
+class OpenDataPortal:
+    """Read-only query API over the CAF Map."""
+
+    def __init__(self, dataset: CafMapDataset):
+        self._dataset = dataset
+
+    def fetch(self, query: PortalQuery) -> PortalPage:
+        """Execute one query page."""
+        matching = [record for record in self._dataset
+                    if self._matches(record, query.filters)]
+        key: Callable[[DeploymentRecord], Any] = (
+            lambda record: getattr(record, query.order_by))
+        matching.sort(key=key, reverse=query.descending)
+        window = matching[query.offset:query.offset + query.limit]
+        return PortalPage(
+            records=tuple(window),
+            offset=query.offset,
+            total_matching=len(matching),
+        )
+
+    def fetch_all(self, query: PortalQuery) -> Iterator[DeploymentRecord]:
+        """Iterate every matching record, paginating internally."""
+        page_query = query
+        while True:
+            page = self.fetch(page_query)
+            yield from page.records
+            if not page.has_more:
+                return
+            page_query = page_query.next_page()
+
+    def count(self, **filters: Any) -> int:
+        """Number of records matching the filters."""
+        query = PortalQuery(filters=dict(filters), limit=1)
+        return self.fetch(query).total_matching
+
+    def to_table(self, query: PortalQuery) -> Table:
+        """Materialize all matching records as a table."""
+        records = list(self.fetch_all(query))
+        if not records:
+            return Table()
+        return Table.from_records(records, (
+            "address_id", "isp_id", "state_abbreviation", "block_geoid",
+            "technology", "certified_download_mbps",
+            "certified_upload_mbps", "certified_latency_ms",
+        ))
+
+    @staticmethod
+    def _matches(record: DeploymentRecord, filters: dict[str, Any]) -> bool:
+        return all(getattr(record, name) == value
+                   for name, value in filters.items())

@@ -1,0 +1,58 @@
+"""The CAF Map deployment-record schema.
+
+Mirrors the fields the paper lists for USAC's public dataset (Section
+2.3): street address identifiers, geographic coordinates, census block,
+state, household count, certifying ISP, last-mile technology, and the
+certified service quality (download/upload speed, latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeploymentRecord"]
+
+
+@dataclass(frozen=True)
+class DeploymentRecord:
+    """One ISP-certified CAF deployment location."""
+
+    address_id: str
+    isp_id: str
+    state_abbreviation: str
+    block_geoid: str
+    longitude: float
+    latitude: float
+    households: int
+    technology: str
+    certified_download_mbps: float
+    certified_upload_mbps: float
+    certified_latency_ms: float
+    funding_program: str = "CAF II Model"
+
+    def __post_init__(self) -> None:
+        if len(self.block_geoid) != 15 or not self.block_geoid.isdigit():
+            raise ValueError(f"bad block GEOID {self.block_geoid!r}")
+        if self.households <= 0:
+            raise ValueError("households must be positive")
+        if self.certified_download_mbps <= 0 or self.certified_upload_mbps <= 0:
+            raise ValueError("certified speeds must be positive")
+        if self.certified_latency_ms <= 0:
+            raise ValueError("latency must be positive")
+
+    @property
+    def block_group_geoid(self) -> str:
+        """GEOID of the containing block group."""
+        return self.block_geoid[:12]
+
+    @property
+    def state_fips(self) -> str:
+        """FIPS code of the containing state."""
+        return self.block_geoid[:2]
+
+    @property
+    def meets_caf_speed_floor(self) -> bool:
+        """Whether the *certified* speeds meet the 10/1 Mbps floor
+        (nearly all certifications do — Figure 1f)."""
+        return (self.certified_download_mbps >= 10.0
+                and self.certified_upload_mbps >= 1.0)

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+World construction and the full audit are the expensive steps, so they
+are session-scoped: the whole suite shares one tiny world and one audit
+report. Tests that need different scenario parameters build their own
+(see the ``build_world`` calls in test_synth_world.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+from repro.core.pipeline import AuditReport, run_full_audit
+from repro.synth.scenario import ScenarioConfig
+from repro.synth.world import World, build_world
+from repro.usac.generator import (
+    NationalDataset,
+    NationalDatasetConfig,
+    generate_national_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ScenarioConfig:
+    """The standard tiny scenario."""
+    return ScenarioConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def world(tiny_config: ScenarioConfig) -> World:
+    """One tiny world shared across the suite."""
+    return build_world(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def report(world: World) -> AuditReport:
+    """The full audit over the shared world."""
+    return run_full_audit(world=world)
+
+
+@pytest.fixture(scope="session")
+def national() -> NationalDataset:
+    """A small national CAF Map dataset."""
+    return generate_national_dataset(NationalDatasetConfig(scale=0.002))
+
+
+@pytest.fixture(scope="session")
+def context(world: World, report: AuditReport,
+            national: NationalDataset) -> ExperimentContext:
+    """An experiment context pre-populated with the shared objects."""
+    ctx = ExperimentContext.at_scale("tiny")
+    ctx._world = world
+    ctx._report = report
+    ctx._national = national
+    return ctx

@@ -1,0 +1,125 @@
+"""Unit tests for repro.addresses."""
+
+import pytest
+
+from repro.addresses import AddressGenerator, StreetAddress, ZillowFeed
+from repro.geo.entities import CensusBlock
+from repro.geo.geometry import Point
+
+
+@pytest.fixture
+def block() -> CensusBlock:
+    return CensusBlock(geoid="060371234561001",
+                       centroid=Point(-118.0, 34.0), is_rural=True)
+
+
+class TestStreetAddress:
+    def test_single_line_format(self):
+        address = StreetAddress(
+            address_id="x-1",
+            house_number=123,
+            street_name="Cedar Ridge Rd",
+            city="Alabaster Township 5",
+            state_abbreviation="AL",
+            zip_code="35007",
+            block_geoid="010019876541002",
+            location=Point(-86.8, 33.2),
+            is_caf=True,
+        )
+        assert address.single_line == \
+            "123 Cedar Ridge Rd, Alabaster Township 5, AL 35007"
+        assert address.block_group_geoid == "010019876541"
+        assert address.state_fips == "01"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreetAddress("x", 0, "A St", "C", "AL", "35007",
+                          "010019876541002", Point(0, 0), True)
+        with pytest.raises(ValueError):
+            StreetAddress("x", 1, "A St", "C", "AL", "bad",
+                          "010019876541002", Point(0, 0), True)
+        with pytest.raises(ValueError):
+            StreetAddress("x", 1, "A St", "C", "AL", "35007",
+                          "123", Point(0, 0), True)
+
+
+class TestAddressGenerator:
+    def test_count_and_block_assignment(self, block: CensusBlock):
+        addresses = AddressGenerator(seed=1).generate_for_block(
+            block, 25, is_caf=True, namespace="caf")
+        assert len(addresses) == 25
+        assert all(a.block_geoid == block.geoid for a in addresses)
+        assert all(a.is_caf for a in addresses)
+        assert all(a.state_abbreviation == "CA" for a in addresses)
+
+    def test_ids_unique_and_stable(self, block: CensusBlock):
+        first = AddressGenerator(seed=1).generate_for_block(
+            block, 40, is_caf=True, namespace="caf")
+        second = AddressGenerator(seed=1).generate_for_block(
+            block, 40, is_caf=True, namespace="caf")
+        ids = [a.address_id for a in first]
+        assert len(set(ids)) == 40
+        assert ids == [a.address_id for a in second]
+        assert [a.house_number for a in first] == [a.house_number for a in second]
+
+    def test_namespaces_are_independent(self, block: CensusBlock):
+        generator = AddressGenerator(seed=1)
+        caf = generator.generate_for_block(block, 10, True, "caf")
+        zillow = generator.generate_for_block(block, 10, False, "zillow")
+        assert not {a.address_id for a in caf} & {a.address_id for a in zillow}
+
+    def test_locations_near_block_centroid(self, block: CensusBlock):
+        addresses = AddressGenerator(seed=2).generate_for_block(
+            block, 30, True, "caf")
+        for address in addresses:
+            assert address.location.distance_miles(block.centroid) < 5.0
+
+    def test_zero_count(self, block: CensusBlock):
+        assert AddressGenerator().generate_for_block(block, 0, True, "caf") == []
+
+    def test_negative_count_raises(self, block: CensusBlock):
+        with pytest.raises(ValueError):
+            AddressGenerator().generate_for_block(block, -1, True, "caf")
+
+
+class TestZillowFeed:
+    def _addresses(self, block: CensusBlock, n: int, is_caf: bool, ns: str):
+        return AddressGenerator(seed=3).generate_for_block(block, n, is_caf, ns)
+
+    def test_lookup_and_membership(self, block: CensusBlock):
+        addresses = self._addresses(block, 5, False, "zillow")
+        feed = ZillowFeed(addresses)
+        assert len(feed) == 5
+        assert addresses[0].address_id in feed
+        assert feed.lookup(addresses[0].address_id) == addresses[0]
+
+    def test_lookup_unknown_raises(self, block: CensusBlock):
+        feed = ZillowFeed([])
+        with pytest.raises(KeyError):
+            feed.lookup("nope")
+
+    def test_duplicate_ids_rejected(self, block: CensusBlock):
+        addresses = self._addresses(block, 3, False, "zillow")
+        with pytest.raises(ValueError, match="duplicate"):
+            ZillowFeed(addresses + addresses[:1])
+
+    def test_block_queries(self, block: CensusBlock):
+        non_caf = self._addresses(block, 4, False, "zillow")
+        caf = self._addresses(block, 3, True, "caf")
+        feed = ZillowFeed(non_caf + caf)
+        assert len(feed.in_block(block.geoid)) == 7
+        assert len(feed.non_caf_in_block(block.geoid)) == 4
+        assert feed.in_block("999999999999999") == []
+
+    def test_merge(self, block: CensusBlock):
+        feed_a = ZillowFeed(self._addresses(block, 2, False, "a"))
+        feed_b = ZillowFeed(self._addresses(block, 3, False, "b"))
+        merged = ZillowFeed.merge([feed_a, feed_b])
+        assert len(merged) == 5
+
+    def test_summary(self, block: CensusBlock):
+        feed = ZillowFeed(self._addresses(block, 4, False, "zillow"))
+        summary = feed.summary()
+        assert summary["addresses"] == 4
+        assert summary["non_caf"] == 4
+        assert summary["blocks"] == 1

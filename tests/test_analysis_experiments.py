@@ -1,0 +1,169 @@
+"""Tests for the experiment registry — every table/figure generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EXPERIMENTS, run_experiment
+from repro.analysis.result import ExperimentResult
+
+ALL_IDS = sorted(EXPERIMENTS)
+
+
+@pytest.fixture(scope="module")
+def results(context):
+    return {exp_id: run_experiment(exp_id, context) for exp_id in ALL_IDS}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        expected = {f"figure{i}" for i in range(1, 13)} | {
+            "table1", "table2", "table3", "table4", "headline",
+            "carriage", "equity", "staleness"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self, context):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("figure99", context)
+
+    def test_all_results_render(self, results):
+        for exp_id, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            text = result.render()
+            assert exp_id in text
+            assert result.title in text
+
+    def test_series_are_valid_cdfs(self, results):
+        for result in results.values():
+            for name, (xs, ys) in result.series.items():
+                assert xs.size == ys.size > 0, name
+                assert np.all(np.diff(ys) >= 0), name
+                assert ys[-1] == pytest.approx(1.0), name
+
+    def test_paper_scalars_paired_with_measured(self, results):
+        for result in results.values():
+            for key in result.scalars:
+                if key.startswith("paper_"):
+                    assert key[len("paper_"):] in result.scalars, key
+
+
+class TestFigure1:
+    def test_concentration_scalars(self, results):
+        scalars = results["figure1"].scalars
+        assert scalars["top4_isp_address_share"] == pytest.approx(
+            0.62, abs=0.07)
+        assert scalars["top20_state_address_share"] > 0.6
+        assert scalars["rural_block_share"] == pytest.approx(0.967, abs=0.03)
+
+    def test_tables_ranked_descending(self, results):
+        table = results["figure1"].tables["fig1a_addresses_by_state"]
+        counts = list(table["addresses"])
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestFigure2:
+    def test_isp_rates_ordered(self, results):
+        scalars = results["figure2"].scalars
+        assert scalars["serviceability_centurylink"] > \
+            scalars["serviceability_att"]
+
+    def test_box_tables_have_all_isps(self, results):
+        table = results["figure2"].tables["fig2a_cbg_rate_distribution_by_isp"]
+        assert set(table["group"]) == {"att", "centurylink", "frontier",
+                                       "consolidated"}
+
+
+class TestFigure3:
+    def test_correlations_positive_outside_mississippi(self, results):
+        table = results["figure3"].tables["att_density_correlation_by_state"]
+        for row in table.iter_rows():
+            if row["state"] != "MS" and row["n_cbgs"] >= 10:
+                assert row["spearman_r"] > -0.2, row["state"]
+
+
+class TestMonopolyFigures:
+    def test_figure4_shares(self, results):
+        scalars = results["figure4"].scalars
+        total = (scalars["type_a_tie_share"] + scalars["type_a_caf_share"]
+                 + scalars["type_a_rival_share"])
+        assert total == pytest.approx(1.0)
+        assert scalars["median_pct_increase_caf_wins"] > 0
+
+    def test_figure6_spillover(self, results):
+        scalars = results["figure6"].scalars
+        if {"type_a_caf_median_mbps", "type_b_caf_median_mbps"} <= set(scalars):
+            assert scalars["type_b_caf_median_mbps"] >= \
+                scalars["type_a_caf_median_mbps"] * 0.5
+
+    def test_figure11_loss_margins_smaller(self, results):
+        f4 = results["figure4"].scalars
+        f11 = results["figure11"].scalars
+        assert f11["median_pct_increase_monopoly_wins"] < \
+            f4["median_pct_increase_caf_wins"]
+
+
+class TestCollectionFigures:
+    def test_figure7_medians_above_10pct(self, results):
+        scalars = results["figure7"].scalars
+        for isp in ("att", "centurylink"):
+            assert scalars[f"queried_pct_median_{isp}"] >= 10.0
+
+    def test_figure8_not_above_figure7(self, results):
+        queried = results["figure7"].scalars
+        collected = results["figure8"].scalars
+        for isp in ("att", "frontier"):
+            assert collected[f"collected_pct_median_{isp}"] <= \
+                queried[f"queried_pct_median_{isp}"] + 1e-9
+
+    def test_figure12_att_slowest(self, results):
+        scalars = results["figure12"].scalars
+        assert scalars["median_query_seconds_att"] > \
+            scalars["median_query_seconds_centurylink"]
+
+    def test_table2_shape(self, results):
+        table = results["table2"].tables["table2"]
+        rows = {row["isp"]: row for row in table.iter_rows()}
+        assert rows["att"]["select_dropdown"] > 0
+        assert rows["att"]["analyzing_result"] > 0   # call-to-order
+        assert rows["centurylink"]["select_dropdown"] == 0
+        assert rows["centurylink"]["empty_traceback"] == \
+            rows["centurylink"]["total_unknown"]
+        assert rows["consolidated"]["select_dropdown"] >= \
+            0.9 * rows["consolidated"]["total_unknown"]
+
+
+class TestTables34:
+    def test_table3_cells_match_world_footprint(self, results, world):
+        table = results["table3"].tables["table3"]
+        cells = {(row["state"], row["isp"]) for row in table.iter_rows()}
+        assert ("CA", "att") in cells
+        assert ("VT", "consolidated") in cells
+        assert ("VT", "att") not in cells
+
+    def test_table3_counts_positive(self, results):
+        table = results["table3"].tables["table3"]
+        assert all(row["street_addresses"] > 0 for row in table.iter_rows())
+        assert all(row["cbgs"] <= row["census_blocks"]
+                   for row in table.iter_rows())
+
+    def test_table4_totals(self, results):
+        scalars = results["table4"].scalars
+        assert scalars["total_caf_queried"] > 0
+        assert scalars["total_non_caf_queried"] > 0
+        assert scalars["analyzed_blocks"] > 0
+
+
+class TestFigure9:
+    def test_sensitivity_bounded(self, results):
+        scalars = results["figure9"].scalars
+        assert scalars["max_error_pct"] < 35.0  # tiny worlds are noisy
+        table = results["figure9"].tables["fig9_deltas"]
+        assert len(table) == 5
+
+
+class TestHeadline:
+    def test_measured_close_to_paper(self, results):
+        scalars = results["headline"].scalars
+        assert scalars["serviceability_rate"] == pytest.approx(
+            scalars["paper_serviceability_rate"], abs=0.08)
+        assert scalars["compliance_rate"] == pytest.approx(
+            scalars["paper_compliance_rate"], abs=0.10)

@@ -1,0 +1,155 @@
+"""Tests for ExperimentResult rendering, context scales, ablations,
+carriage, equity experiment, and staleness experiment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ablations import (
+    run_q3_granularity_ablation,
+    run_retry_budget_ablation,
+    run_sampling_floor_ablation,
+    run_weighting_ablation,
+)
+from repro.analysis.carriage import run as run_carriage
+from repro.analysis.context import ExperimentContext, scale_from_environment
+from repro.analysis.equity import run as run_equity
+from repro.analysis.result import ExperimentResult, _series_quantile
+from repro.analysis.staleness import run as run_staleness
+from repro.stats.ecdf import ECDF
+from repro.tabular import Table
+
+
+class TestExperimentResult:
+    def test_render_sections(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="Demo experiment",
+            scalars={"rate": 0.5545, "paper_rate": 0.5545},
+            tables={"rows": Table({"a": [1, 2]})},
+            series={"cdf": ECDF([1.0, 2.0, 3.0]).series()},
+            notes=["a note"],
+        )
+        text = result.render()
+        assert "demo: Demo experiment" in text
+        assert "rate" in text
+        assert "-- rows --" in text
+        assert "p50=" in text
+        assert "note: a note" in text
+
+    def test_series_quantile_inverts(self):
+        xs, ys = ECDF([10.0, 20.0, 30.0, 40.0]).series()
+        assert _series_quantile(xs, ys, 0.5) == pytest.approx(20.0)
+        assert _series_quantile(xs, ys, 1.0) == pytest.approx(40.0)
+
+    def test_render_respects_max_rows(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="t",
+            tables={"rows": Table({"a": list(range(100))})})
+        text = result.render(max_rows=5)
+        assert "more rows" in text
+
+
+class TestContext:
+    def test_scale_from_environment_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_environment() == "tiny"
+
+    def test_scale_from_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "SMALL")
+        assert scale_from_environment() == "small"
+
+    def test_scale_from_environment_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            scale_from_environment()
+
+    def test_at_scale_builds_lazily(self):
+        context = ExperimentContext.at_scale("tiny")
+        assert context._world is None
+        assert context._report is None
+
+    def test_prebuilt_context_reuses_objects(self, context, world, report):
+        assert context.world is world
+        assert context.report is report
+
+
+class TestAblations:
+    def test_weighting(self, context):
+        result = run_weighting_ablation(context)
+        scalars = result.scalars
+        assert 0.0 <= scalars["per_address_rate"] <= 1.0
+        assert scalars["weighting_shift_pp"] == pytest.approx(
+            100 * (scalars["weighted_rate"] - scalars["unweighted_cbg_rate"]))
+
+    def test_sampling_floor(self, context):
+        result = run_sampling_floor_ablation(context, floors=(10, 30))
+        sweep = result.tables["floor_sweep"]
+        assert len(sweep) == 2
+        assert all(row["abs_error_pp"] >= 0 for row in sweep.iter_rows())
+
+    def test_retry_budget_monotone(self, context):
+        result = run_retry_budget_ablation(context, budgets=(1, 3))
+        rows = sorted(result.tables["budget_sweep"].iter_rows(),
+                      key=lambda r: r["max_attempts"])
+        assert rows[1]["unknown_fraction"] <= \
+            rows[0]["unknown_fraction"] + 1e-9
+        assert rows[1]["virtual_hours"] >= rows[0]["virtual_hours"] - 1e-9
+
+    def test_q3_granularity(self, context):
+        result = run_q3_granularity_ablation(context)
+        assert result.scalars["num_cbgs"] <= result.scalars["num_blocks"]
+        # Pooling erodes exact ties.
+        assert result.scalars["cbg_tie_share"] <= \
+            result.scalars["block_tie_share"] + 0.05
+
+
+class TestCarriage:
+    def test_shape(self, context):
+        result = run_carriage(context)
+        scalars = result.scalars
+        assert scalars["fcc_implied_carriage_10mbps"] == pytest.approx(
+            10.0 / 89.0)
+        assert scalars["caf_median_carriage"] > 0
+        assert 0.0 <= scalars["share_below_urban_noncompetitive"] <= 1.0
+        table = result.tables["carriage_by_isp"]
+        assert set(table["isp"]) <= {"att", "centurylink", "frontier",
+                                     "consolidated"}
+
+    def test_fcc_floor_is_far_below_urban(self, context):
+        result = run_carriage(context)
+        assert result.scalars["fcc_implied_carriage_10mbps"] < \
+            result.scalars["urban_noncompetitive_median"] / 50
+
+
+class TestEquityExperiment:
+    def test_runs_and_reports(self, context):
+        result = run_equity(context)
+        assert "income_serviceability_spearman" in result.scalars
+        assert len(result.tables["income_quartiles"]) == 4
+
+
+class TestSeedSweep:
+    def test_two_seed_sweep(self, context):
+        from repro.analysis.seed_sweep import run_seed_sweep
+
+        result = run_seed_sweep(context, seeds=(0, 1))
+        table = result.tables["per_seed"]
+        assert list(table["seed"]) == [0, 1]
+        assert result.scalars["serviceability_spread_pp"] >= 0.0
+
+    def test_empty_seeds_raise(self, context):
+        from repro.analysis.seed_sweep import run_seed_sweep
+
+        with pytest.raises(ValueError):
+            run_seed_sweep(context, seeds=())
+
+
+class TestStalenessExperiment:
+    def test_drift_table(self, context):
+        result = run_staleness(context, years=(1,))
+        table = result.tables["drift_by_horizon"]
+        assert len(table) == 2
+        assert table.row(0)["years_after_snapshot"] == 0
+        assert table.row(0)["serviceability_drift_pp"] == 0.0
+        drift = result.scalars["compliance_drift_pp_at_max_horizon"]
+        assert -20.0 < drift < 30.0

@@ -1,0 +1,73 @@
+"""Unit tests for repro.analysis.plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_bars, ascii_cdf
+from repro.stats.ecdf import ECDF
+
+
+class TestAsciiCdf:
+    def _series(self):
+        return {"speeds": ECDF([1.0, 10.0, 100.0, 1000.0]).series()}
+
+    def test_renders_markers_and_axes(self):
+        text = ascii_cdf(self._series())
+        assert "1" in text
+        assert "1=speeds" in text
+        assert "+" in text
+
+    def test_title(self):
+        assert ascii_cdf(self._series(), title="Fig").startswith("Fig")
+
+    def test_log_axis(self):
+        text = ascii_cdf(self._series(), log_x=True)
+        assert "log10(x)" in text
+
+    def test_multiple_series_legend(self):
+        series = {
+            "caf": ECDF([10.0, 20.0]).series(),
+            "monopoly": ECDF([5.0, 15.0]).series(),
+        }
+        text = ascii_cdf(series)
+        assert "1=caf" in text
+        assert "2=monopoly" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_cdf({"flat": ECDF([5.0, 5.0, 5.0]).series()})
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+        with pytest.raises(ValueError):
+            ascii_cdf(self._series(), width=5)
+        too_many = {f"s{i}": ECDF([1.0]).series() for i in range(10)}
+        with pytest.raises(ValueError):
+            ascii_cdf(too_many)
+        with pytest.raises(ValueError):
+            ascii_cdf({"neg": (np.array([-1.0]), np.array([1.0]))},
+                      log_x=True)
+
+
+class TestAsciiBars:
+    def test_proportional_lengths(self):
+        text = ascii_bars({"att": 0.25, "centurylink": 1.0}, width=20,
+                          maximum=1.0)
+        att_line, cl_line = text.splitlines()
+        assert att_line.count("█") < cl_line.count("█")
+        assert cl_line.count("█") == 20
+
+    def test_values_printed(self):
+        text = ascii_bars({"x": 0.5}, value_format=".0%")
+        assert "50%" in text
+
+    def test_clipping_above_maximum(self):
+        text = ascii_bars({"x": 5.0}, width=10, maximum=1.0)
+        assert text.count("█") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_bars({"x": 1.0}, maximum=0.0)

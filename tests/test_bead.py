@@ -1,0 +1,148 @@
+"""Unit tests for the repro.bead package."""
+
+import pytest
+
+from repro.bead import (
+    AuditPlan,
+    BeadProgram,
+    BeadSubgrant,
+    OversightPlanner,
+    allocate_bead_funds,
+)
+from repro.bead.allocation import BEAD_STATE_MINIMUM_USD, BEAD_TOTAL_USD
+from repro.core.sampling import SamplingPolicy
+
+
+class TestAllocation:
+    def test_total_conserved(self):
+        allocation = allocate_bead_funds({"TX": 500_000, "VT": 20_000,
+                                          "CA": 200_000})
+        assert sum(allocation.amounts_by_state.values()) == pytest.approx(
+            BEAD_TOTAL_USD, rel=1e-9)
+
+    def test_minimum_respected(self):
+        allocation = allocate_bead_funds({"TX": 1_000_000, "VT": 0})
+        assert allocation.amount_for("VT") == pytest.approx(
+            BEAD_STATE_MINIMUM_USD)
+
+    def test_proportional_above_minimum(self):
+        allocation = allocate_bead_funds({"A": 300, "B": 100},
+                                         total_usd=1_000.0, minimum_usd=100.0)
+        # Remainder 800 split 3:1.
+        assert allocation.amount_for("A") == pytest.approx(700.0)
+        assert allocation.amount_for("B") == pytest.approx(300.0)
+
+    def test_all_zero_unserved_splits_evenly(self):
+        allocation = allocate_bead_funds({"A": 0, "B": 0},
+                                         total_usd=1_000.0, minimum_usd=100.0)
+        assert allocation.amount_for("A") == pytest.approx(500.0)
+
+    def test_top_states(self):
+        allocation = allocate_bead_funds({"TX": 500, "VT": 10, "CA": 400},
+                                         total_usd=10_000.0,
+                                         minimum_usd=100.0)
+        assert allocation.top_states(1)[0][0] == "TX"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocate_bead_funds({})
+        with pytest.raises(ValueError):
+            allocate_bead_funds({"A": -1})
+        with pytest.raises(ValueError, match="exceed"):
+            allocate_bead_funds({"A": 1, "B": 1},
+                                total_usd=100.0, minimum_usd=100.0)
+        with pytest.raises(KeyError):
+            allocate_bead_funds({"A": 1}, total_usd=200.0,
+                                minimum_usd=10.0).amount_for("ZZ")
+
+
+class TestProgram:
+    def _program(self):
+        allocation = allocate_bead_funds({"OH": 300, "UT": 100},
+                                         total_usd=4_000.0,
+                                         minimum_usd=500.0)
+        return BeadProgram(allocation=allocation)
+
+    def test_award_and_commitment(self):
+        program = self._program()
+        program.award(BeadSubgrant("OH", "frontier", 1_000.0, 50))
+        assert program.committed_for("OH") == pytest.approx(1_000.0)
+        assert program.locations_by_isp() == {"frontier": 50}
+
+    def test_over_allocation_rejected(self):
+        program = self._program()
+        available = program.allocation.amount_for("UT")
+        with pytest.raises(ValueError, match="over-allocated"):
+            program.award(BeadSubgrant("UT", "att", available + 1.0, 10))
+
+    def test_split_state_fund_proportional(self):
+        program = self._program()
+        awards = program.split_state_fund(
+            "OH", {"att": 100, "frontier": 300})
+        amounts = {a.isp_id: a.amount_usd for a in awards}
+        assert amounts["frontier"] == pytest.approx(3 * amounts["att"])
+
+    def test_compliance_weights_penalize_bad_track_record(self):
+        program = self._program()
+        awards = program.split_state_fund(
+            "OH", {"att": 100, "frontier": 100},
+            compliance_weights={"att": 0.3, "frontier": 0.9})
+        amounts = {a.isp_id: a.amount_usd for a in awards}
+        assert amounts["frontier"] == pytest.approx(3 * amounts["att"])
+
+    def test_compliance_weights_from_audit(self, report):
+        weights = BeadProgram.compliance_weights(
+            report.audit, ["att", "centurylink", "never-audited"])
+        assert weights["centurylink"] > weights["att"]
+        assert weights["never-audited"] == 1.0
+
+    def test_exhausted_fund_raises(self):
+        program = self._program()
+        program.split_state_fund("UT", {"att": 10})
+        with pytest.raises(ValueError, match="exhausted"):
+            program.split_state_fund("UT", {"att": 10})
+
+    def test_subgrant_validation(self):
+        with pytest.raises(ValueError):
+            BeadSubgrant("OH", "att", 0.0, 10)
+        with pytest.raises(ValueError):
+            BeadSubgrant("OH", "att", 100.0, 0)
+        grant = BeadSubgrant("OH", "att", 100.0, 4)
+        assert grant.support_per_location == pytest.approx(25.0)
+
+
+class TestPlanner:
+    def test_plan_shape(self):
+        planner = OversightPlanner(suspected_unserved_fraction=0.10,
+                                   detection_power_target=0.95)
+        plan = planner.plan({"att": [50, 200, 10], "frontier": [40, 40]})
+        assert isinstance(plan, AuditPlan)
+        # Detection-power sizing: n with (1-0.1)^n <= 0.05 → 29.
+        assert plan.review_sample_by_isp["att"] == 29
+        # Audit queries follow the max(30, 10%) rule.
+        assert plan.audit_queries_by_isp["att"] == 30 + 30 + 10
+        assert plan.audit_queries_by_isp["frontier"] == 60  # 30-floor × 2
+        assert plan.audit_wall_clock_days > 0
+        assert plan.bottleneck_isp in ("att", "frontier")
+
+    def test_render(self):
+        planner = OversightPlanner()
+        plan = planner.plan({"att": [100]})
+        text = plan.render()
+        assert "certification reviews" in text
+        assert "wall clock" in text
+
+    def test_custom_policy_changes_queries(self):
+        lax = OversightPlanner(sampling_policy=SamplingPolicy(
+            min_samples=10, sampling_fraction=0.05))
+        strict = OversightPlanner(sampling_policy=SamplingPolicy(
+            min_samples=60, sampling_fraction=0.20))
+        sizes = {"att": [500, 500]}
+        assert strict.plan(sizes).audit_queries_by_isp["att"] > \
+            lax.plan(sizes).audit_queries_by_isp["att"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OversightPlanner(suspected_unserved_fraction=0.0)
+        with pytest.raises(ValueError):
+            OversightPlanner().plan({})

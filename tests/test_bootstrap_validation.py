@@ -1,0 +1,99 @@
+"""Tests for repro.stats.bootstrap and repro.core.validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import Finding, validate_report, validate_world
+from repro.stats.bootstrap import BootstrapInterval, bootstrap_weighted_rate
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        rates = rng.uniform(0, 1, size=60)
+        weights = rng.uniform(1, 100, size=60)
+        interval = bootstrap_weighted_rate(rates, weights)
+        assert interval.low <= interval.estimate <= interval.high
+
+    def test_wider_with_more_confidence(self):
+        rng = np.random.default_rng(1)
+        rates = rng.uniform(0, 1, size=40)
+        weights = np.ones(40)
+        narrow = bootstrap_weighted_rate(rates, weights, confidence=0.80)
+        wide = bootstrap_weighted_rate(rates, weights, confidence=0.99)
+        assert wide.width >= narrow.width
+
+    def test_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = rng.uniform(0.4, 0.6, size=10)
+        large = rng.uniform(0.4, 0.6, size=500)
+        small_ci = bootstrap_weighted_rate(small, np.ones(10))
+        large_ci = bootstrap_weighted_rate(large, np.ones(500))
+        assert large_ci.width < small_ci.width
+
+    def test_degenerate_single_group(self):
+        interval = bootstrap_weighted_rate([0.5], [10.0])
+        assert interval.estimate == pytest.approx(0.5)
+        assert interval.width == pytest.approx(0.0)
+
+    def test_deterministic(self):
+        rates = [0.2, 0.5, 0.9]
+        weights = [1.0, 2.0, 3.0]
+        a = bootstrap_weighted_rate(rates, weights, seed=7)
+        b = bootstrap_weighted_rate(rates, weights, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_contains_and_describe(self):
+        interval = BootstrapInterval(estimate=0.5, low=0.4, high=0.6,
+                                     confidence=0.95, replicates=100)
+        assert interval.contains(0.45)
+        assert not interval.contains(0.7)
+        assert "95% CI" in interval.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_weighted_rate([], [])
+        with pytest.raises(ValueError):
+            bootstrap_weighted_rate([0.5], [1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_weighted_rate([0.5], [1.0], replicates=1)
+        with pytest.raises(ValueError):
+            BootstrapInterval(estimate=0.9, low=0.4, high=0.6,
+                              confidence=0.95, replicates=100)
+
+    def test_serviceability_ci_brackets_paper_band(self, report):
+        rates_table = report.serviceability.cbg_rates
+        interval = bootstrap_weighted_rate(
+            rates_table["rate"], rates_table["weight"])
+        assert interval.contains(report.serviceability.aggregate_rate())
+        assert interval.width < 0.25
+
+
+class TestValidation:
+    def test_world_is_consistent(self, world):
+        findings = validate_world(world)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_report_is_consistent(self, report):
+        findings = validate_report(report)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_detects_tampered_truth(self, tiny_config):
+        from repro.isp.deployment import ServiceTruth
+        from repro.isp.plans import BroadbandPlan
+        from repro.synth.world import build_world
+
+        tampered = build_world(tiny_config)
+        # Break an invariant: a served truth with a zero-speed plan is
+        # impossible (plans validate > 0), so corrupt differently — an
+        # unserved-with-plans state is blocked by ServiceTruth itself.
+        # Instead drop a funded cell from the ledger view by removing
+        # the address from caf_addresses (dangling CAF Map reference).
+        victim = next(iter(tampered.caf_addresses))
+        del tampered.caf_addresses[victim]
+        findings = validate_world(tampered)
+        assert any(f.check == "caf_map_address_exists" for f in findings)
+
+    def test_finding_str(self):
+        finding = Finding(check="x", detail="boom")
+        assert str(finding) == "[x] boom"

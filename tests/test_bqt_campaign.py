@@ -1,0 +1,78 @@
+"""Unit tests for repro.bqt.campaign."""
+
+import pytest
+
+from repro.bqt.campaign import (
+    MAX_POLITE_WORKERS_PER_ISP,
+    CampaignPlan,
+    estimate_duration,
+    plan_full_census,
+    plan_study,
+)
+
+
+class TestCampaignPlan:
+    def test_politeness_cap_enforced(self):
+        with pytest.raises(ValueError, match="politeness"):
+            CampaignPlan(
+                addresses_by_isp={"att": 100},
+                workers_by_isp={"att": MAX_POLITE_WORKERS_PER_ISP + 1},
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignPlan(addresses_by_isp={}, workers_by_isp={})
+        with pytest.raises(ValueError):
+            CampaignPlan(addresses_by_isp={"att": -1},
+                         workers_by_isp={"att": 1})
+        with pytest.raises(ValueError):
+            CampaignPlan(addresses_by_isp={"att": 1},
+                         workers_by_isp={"att": 0})
+        with pytest.raises(ValueError):
+            CampaignPlan(addresses_by_isp={"att": 1},
+                         workers_by_isp={"att": 1}, retry_overhead=0.9)
+
+    def test_total_addresses(self):
+        plan = plan_study({"att": 100, "frontier": 50})
+        assert plan.total_addresses == 150
+
+
+class TestEstimateDuration:
+    def test_full_census_exceeds_six_months(self):
+        # The paper's motivating claim (Section 1): querying all 6M+
+        # addresses would take more than 6 months even with maximum
+        # polite parallelism.
+        estimate = estimate_duration(plan_full_census())
+        assert estimate.wall_clock_months > 6.0
+
+    def test_att_is_the_bottleneck(self):
+        estimate = estimate_duration(plan_full_census())
+        assert estimate.bottleneck_isp == "att"
+
+    def test_study_campaign_is_months_not_years(self):
+        # The paper's actual campaign: ~537k addresses, run mid-2023
+        # onwards. Should land in the months range, far below census.
+        study = plan_study({"att": 233_000, "centurylink": 112_000,
+                            "frontier": 170_000, "consolidated": 23_000})
+        estimate = estimate_duration(study)
+        census = estimate_duration(plan_full_census())
+        assert estimate.wall_clock_days < census.wall_clock_days / 5
+        assert 1.0 < estimate.wall_clock_months < 12.0
+
+    def test_more_workers_scale_linearly(self):
+        one = estimate_duration(plan_study({"att": 10_000},
+                                           workers_per_isp=1))
+        four = estimate_duration(plan_study({"att": 10_000},
+                                            workers_per_isp=4))
+        assert one.wall_clock_days == pytest.approx(
+            4 * four.wall_clock_days)
+
+    def test_sequential_upper_bounds_wall_clock(self):
+        estimate = estimate_duration(plan_full_census())
+        assert estimate.sequential_days >= estimate.wall_clock_days
+
+    def test_retry_overhead_increases_duration(self):
+        base = CampaignPlan({"att": 1000}, {"att": 2}, retry_overhead=1.0)
+        heavy = CampaignPlan({"att": 1000}, {"att": 2}, retry_overhead=1.5)
+        assert estimate_duration(heavy).wall_clock_days == pytest.approx(
+            1.5 * estimate_duration(base).wall_clock_days)

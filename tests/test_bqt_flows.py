@@ -1,0 +1,90 @@
+"""Unit tests for repro.bqt.flows."""
+
+import pytest
+
+from repro.bqt.errors import ErrorCategory
+from repro.bqt.flows import FlowTrace, campaign_flow_stats, trace_for_record
+from repro.bqt.logbook import QueryLog, QueryRecord
+from repro.bqt.responses import QueryStatus
+from repro.isp.plans import BroadbandPlan
+
+
+def record(status=QueryStatus.SERVICEABLE, isp="att", attempts=1,
+           plans=None, error=None, speed=25.0):
+    if status is QueryStatus.SERVICEABLE and plans is None:
+        plans = (BroadbandPlan("p", speed, speed / 10, 50.0),)
+    return QueryRecord(
+        isp_id=isp, address_id="a-1", block_geoid="060371234561001",
+        state_abbreviation="CA", status=status, plans=plans or (),
+        error_category=error, attempts=attempts)
+
+
+class TestTraceForRecord:
+    def test_serviceable_flow(self):
+        trace = trace_for_record(record())
+        assert trace.final_status is QueryStatus.SERVICEABLE
+        assert trace.steps[0].action == "open_storefront"
+        assert trace.steps[-1].page == "plans page"
+
+    def test_no_service_flow(self):
+        trace = trace_for_record(record(status=QueryStatus.NO_SERVICE))
+        assert trace.steps[-1].page == "no-service page"
+
+    def test_unknown_plan_flow(self):
+        trace = trace_for_record(record(isp="frontier", plans=()))
+        assert trace.steps[-1].page == "subscriber page without tiers"
+
+    def test_dropdown_miss_flow(self):
+        trace = trace_for_record(record(
+            status=QueryStatus.UNKNOWN,
+            error=ErrorCategory.SELECT_DROPDOWN))
+        assert trace.steps[-1].page == "no suggestion offered"
+
+    def test_att_call_to_order_flow(self):
+        trace = trace_for_record(record(
+            status=QueryStatus.UNKNOWN, isp="att",
+            error=ErrorCategory.ANALYZING_RESULT))
+        assert trace.steps[-1].page == "call-to-order page"
+
+    def test_centurylink_human_verification_flow(self):
+        trace = trace_for_record(record(
+            status=QueryStatus.UNKNOWN, isp="centurylink",
+            error=ErrorCategory.EMPTY_TRACEBACK))
+        assert trace.steps[-1].page == "human-verification wall"
+
+    def test_consolidated_gigabit_redirects_to_fidium(self):
+        trace = trace_for_record(record(isp="consolidated", speed=1000.0))
+        assert trace.followed_redirect
+        non_gigabit = trace_for_record(record(isp="consolidated",
+                                              speed=50.0))
+        assert not non_gigabit.followed_redirect
+
+    def test_retries_repeat_the_prefix(self):
+        single = trace_for_record(record(attempts=1))
+        triple = trace_for_record(record(attempts=3))
+        assert triple.num_steps > single.num_steps
+        retry_steps = [s for s in triple.steps if s.action == "retry"]
+        assert len(retry_steps) == 2
+
+    def test_render(self):
+        text = trace_for_record(record()).render()
+        assert "open_storefront" in text
+        assert "serviceable" in text
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTrace(isp_id="att", address_id="a", steps=(),
+                      final_status=QueryStatus.NO_SERVICE)
+
+
+class TestCampaignFlowStats:
+    def test_stats_shape(self, report):
+        stats = campaign_flow_stats(report.collection.log)
+        assert stats.total_steps > len(report.collection.log)
+        assert stats.mean_steps_per_query >= 3.0
+        assert 0.0 <= stats.retry_share <= 1.0
+        assert 0.0 <= stats.redirect_share <= 1.0
+
+    def test_empty_log_raises(self):
+        with pytest.raises(ValueError):
+            campaign_flow_stats(QueryLog())

@@ -1,0 +1,173 @@
+"""Unit tests for repro.bqt.websites and repro.bqt.responses."""
+
+import pytest
+
+from repro.addresses.generator import AddressGenerator
+from repro.bqt.responses import PageKind, QueryStatus, WebsiteResponse
+from repro.bqt.websites import build_website
+from repro.geo.entities import CensusBlock
+from repro.geo.geometry import Point
+from repro.isp.deployment import GroundTruth, ServiceTruth
+from repro.isp.plans import BroadbandPlan
+from repro.stats.distributions import stable_rng
+
+
+@pytest.fixture
+def block() -> CensusBlock:
+    return CensusBlock(geoid="060371234561001",
+                       centroid=Point(-118.0, 34.0), is_rural=True)
+
+
+def make_addresses(block, n, namespace="caf"):
+    return AddressGenerator(seed=0).generate_for_block(block, n, True, namespace)
+
+
+def served_truth(isp_id, addresses, speed=50.0, existing=False):
+    truth = GroundTruth()
+    plan = BroadbandPlan(f"{isp_id} plan", speed, speed / 10, 55.0)
+    for address in addresses:
+        truth.set_truth(isp_id, address.address_id, ServiceTruth(
+            serves=True, plans=(plan,), existing_subscriber=existing,
+            tier_label=plan.tier_label))
+    return truth
+
+
+class TestWebsiteResponse:
+    def test_plans_only_on_plan_pages(self):
+        plan = BroadbandPlan("x", 10.0, 1.0, 40.0)
+        with pytest.raises(ValueError):
+            WebsiteResponse(PageKind.NO_SERVICE_PAGE, plans=(plan,))
+
+    def test_service_indicators(self):
+        assert WebsiteResponse(PageKind.PLANS_PAGE).indicates_service
+        assert WebsiteResponse(PageKind.UNKNOWN_PLAN_PAGE).indicates_service
+        assert WebsiteResponse(PageKind.NO_SERVICE_PAGE).indicates_no_service
+        assert not WebsiteResponse(PageKind.CALL_TO_ORDER).indicates_service
+
+    def test_status_conclusiveness(self):
+        assert QueryStatus.SERVICEABLE.is_conclusive
+        assert QueryStatus.NO_SERVICE.is_conclusive
+        assert QueryStatus.ADDRESS_NOT_FOUND.is_conclusive
+        assert not QueryStatus.UNKNOWN.is_conclusive
+
+
+class TestWebsiteBehaviour:
+    def test_served_address_gets_plans(self, block):
+        addresses = make_addresses(block, 50)
+        truth = served_truth("centurylink", addresses)
+        site = build_website("centurylink", truth, seed=0)
+        rng = stable_rng(0, "t")
+        pages = [site.respond(a, rng).page_kind for a in addresses]
+        assert PageKind.PLANS_PAGE in pages or \
+            PageKind.REDIRECT_BRIGHTSPEED in pages
+
+    def test_unserved_address_gets_no_service(self, block):
+        addresses = make_addresses(block, 60)
+        site = build_website("centurylink", GroundTruth(), seed=0)
+        rng = stable_rng(1, "t")
+        pages = {site.respond(a, rng).page_kind for a in addresses}
+        assert PageKind.NO_SERVICE_PAGE in pages
+        assert PageKind.PLANS_PAGE not in pages
+
+    def test_att_dropdown_misses_are_persistent(self, block):
+        addresses = make_addresses(block, 200)
+        truth = served_truth("att", addresses)
+        site = build_website("att", truth, seed=0)
+        rng = stable_rng(2, "t")
+        missing = [a for a in addresses if site.has_persistent_dropdown_miss(a)]
+        assert missing  # ~13% of 200
+        for address in missing[:5]:
+            for _ in range(3):
+                assert site.respond(address, rng).page_kind is \
+                    PageKind.DROPDOWN_MISS
+
+    def test_frontier_wisconsin_dropdown_worse(self, block):
+        wi_block = CensusBlock(geoid="550371234561001",
+                               centroid=Point(-89.5, 44.5), is_rural=True)
+        ca_addresses = make_addresses(block, 400)
+        wi_addresses = make_addresses(wi_block, 400)
+        site = build_website("frontier", GroundTruth(), seed=0)
+        ca_rate = sum(site.has_persistent_dropdown_miss(a)
+                      for a in ca_addresses) / 400
+        wi_rate = sum(site.has_persistent_dropdown_miss(a)
+                      for a in wi_addresses) / 400
+        assert wi_rate > ca_rate
+
+    def test_att_call_to_order_only_when_served(self, block):
+        addresses = make_addresses(block, 300)
+        truth = served_truth("att", addresses)
+        site = build_website("att", truth, seed=0)
+        unserved_site = build_website("att", GroundTruth(), seed=0)
+        served_truths = truth.truth_for("att", addresses[0].address_id)
+        cto_served = sum(site.is_call_to_order(
+            a, truth.truth_for("att", a.address_id)) for a in addresses)
+        cto_unserved = sum(unserved_site.is_call_to_order(
+            a, GroundTruth().truth_for("att", a.address_id))
+            for a in addresses)
+        assert cto_served > 0
+        assert cto_unserved == 0
+        assert served_truths.serves
+
+    def test_frontier_unknown_plan_page(self, block):
+        addresses = make_addresses(block, 5)
+        truth = GroundTruth()
+        for address in addresses:
+            truth.set_truth("frontier", address.address_id, ServiceTruth(
+                serves=True, plans=(), existing_subscriber=True,
+                tier_label="Unknown Plan"))
+        site = build_website("frontier", truth, seed=0)
+        rng = stable_rng(3, "t")
+        pages = [site.respond(a, rng).page_kind for a in addresses
+                 if not site.has_persistent_dropdown_miss(a)]
+        assert pages
+        assert set(pages) <= {PageKind.UNKNOWN_PLAN_PAGE, PageKind.ERROR_PAGE}
+
+    def test_centurylink_brightspeed_redirect_and_followup(self, block):
+        addresses = make_addresses(block, 200)
+        truth = served_truth("centurylink", addresses)
+        site = build_website("centurylink", truth, seed=0)
+        rng = stable_rng(4, "t")
+        redirected = []
+        for address in addresses:
+            response = site.respond(address, rng)
+            if response.page_kind is PageKind.REDIRECT_BRIGHTSPEED:
+                assert response.follow_up_site == "brightspeed"
+                redirected.append(address)
+        assert redirected  # ~35% of served
+        followup = site.respond_brightspeed(redirected[0], rng)
+        assert followup.page_kind in (PageKind.PLANS_PAGE, PageKind.ERROR_PAGE)
+
+    def test_consolidated_fidium_redirect_for_gigabit(self, block):
+        addresses = make_addresses(block, 40)
+        truth = served_truth("consolidated", addresses, speed=1000.0)
+        site = build_website("consolidated", truth, seed=0)
+        rng = stable_rng(5, "t")
+        pages = [site.respond(a, rng).page_kind for a in addresses
+                 if not site.has_persistent_dropdown_miss(a)]
+        assert PageKind.REDIRECT_FIDIUM in pages
+
+    def test_consolidated_address_not_found_for_unserved(self, block):
+        addresses = make_addresses(block, 300)
+        site = build_website("consolidated", GroundTruth(), seed=0)
+        rng = stable_rng(6, "t")
+        pages = [site.respond(a, rng).page_kind for a in addresses]
+        assert PageKind.ADDRESS_NOT_FOUND in pages
+        assert PageKind.NO_SERVICE_PAGE in pages
+
+    def test_unknown_isp_raises(self):
+        with pytest.raises(KeyError):
+            build_website("verizon", GroundTruth())
+
+    def test_extra_error_probability_increases_failures(self, block):
+        addresses = make_addresses(block, 300)
+        truth = served_truth("frontier", addresses)
+        site = build_website("frontier", truth, seed=0)
+        clean_rng = stable_rng(7, "t")
+        dirty_rng = stable_rng(7, "t")
+        clean_errors = sum(
+            site.respond(a, clean_rng).page_kind is PageKind.ERROR_PAGE
+            for a in addresses)
+        dirty_errors = sum(
+            site.respond(a, dirty_rng, extra_error_probability=0.4).page_kind
+            is PageKind.ERROR_PAGE for a in addresses)
+        assert dirty_errors > clean_errors

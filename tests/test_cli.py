@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == "tiny"
+        assert args.seed == 0
+
+    def test_experiment_ids(self):
+        args = build_parser().parse_args(["experiment", "figure1", "table2"])
+        assert args.ids == ["figure1", "table2"]
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "headline" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["experiment", "figure99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_tiny(self, capsys):
+        assert main(["run", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Serviceability rate" in out
+        assert "paper: 55.45%" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path), "--scale",
+                     "tiny"]) == 0
+        for name in ("audit.csv", "query_log.csv", "q3_query_log.csv",
+                     "q3_blocks.csv", "caf_map.csv", "table1.csv",
+                     "manifest.json"):
+            assert (tmp_path / name).exists(), name
+
+    def test_experiment_with_plot(self, capsys):
+        assert main(["experiment", "figure6", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "CDFs" in out
+        assert "log10(x)" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "months" in out
+        assert "bottleneck" in out
+
+    def test_report(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--scale", "tiny"]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_oversight(self, capsys):
+        assert main(["oversight", "--isp", "frontier"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out
+        assert "detection power" in out

@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.audit (weighted metrics semantics)."""
+
+import pytest
+
+from repro.bqt.errors import ErrorCategory
+from repro.bqt.logbook import QueryLog, QueryRecord
+from repro.bqt.responses import QueryStatus
+from repro.core.audit import AuditDataset, ComplianceStandard
+from repro.fcc.urban_rate_survey import generate_urban_rate_survey
+from repro.isp.plans import BroadbandPlan
+
+
+def record(address_id, cbg_suffix="1", served=True, speed=25.0, price=50.0,
+           isp="att", state="CA", guaranteed=True, unknown=False):
+    block_geoid = f"06037123455{cbg_suffix}" + "001"
+    assert len(block_geoid) == 15
+    if unknown:
+        return QueryRecord(
+            isp_id=isp, address_id=address_id, block_geoid=block_geoid,
+            state_abbreviation=state, status=QueryStatus.UNKNOWN,
+            error_category=ErrorCategory.SELECT_DROPDOWN)
+    if not served:
+        return QueryRecord(
+            isp_id=isp, address_id=address_id, block_geoid=block_geoid,
+            state_abbreviation=state, status=QueryStatus.NO_SERVICE)
+    plan = BroadbandPlan("p", speed, speed / 10, price,
+                         is_speed_guaranteed=guaranteed)
+    return QueryRecord(
+        isp_id=isp, address_id=address_id, block_geoid=block_geoid,
+        state_abbreviation=state, status=QueryStatus.SERVICEABLE,
+        plans=(plan,))
+
+
+def totals_for(log: QueryLog, weight=100):
+    return {(r.isp_id, r.block_group_geoid): weight for r in log}
+
+
+class TestComplianceStandard:
+    def test_flat_cap(self):
+        standard = ComplianceStandard()
+        assert standard.rate_cap_for(10.0) == 89.0
+        assert standard.rate_cap_for(1000.0) == 89.0
+
+    def test_survey_cap_varies_by_tier(self):
+        standard = ComplianceStandard(survey=generate_urban_rate_survey())
+        assert standard.rate_cap_for(10.0) == pytest.approx(89.0, abs=0.5)
+        assert standard.rate_cap_for(1000.0) > standard.rate_cap_for(10.0)
+
+    def test_plan_compliance(self):
+        standard = ComplianceStandard()
+        good = BroadbandPlan("p", 10.0, 1.0, 50.0)
+        slow = BroadbandPlan("p", 9.0, 1.0, 50.0)
+        pricey = BroadbandPlan("p", 10.0, 1.0, 95.0)
+        unguaranteed = BroadbandPlan("p", 100.0, 10.0, 50.0,
+                                     is_speed_guaranteed=False)
+        assert standard.plan_complies(good)
+        assert not standard.plan_complies(slow)
+        assert not standard.plan_complies(pricey)
+        assert not standard.plan_complies(unguaranteed)
+
+    def test_record_compliance_needs_service(self):
+        standard = ComplianceStandard()
+        assert not standard.record_complies(record("a", served=False))
+        assert standard.record_complies(record("a"))
+
+
+class TestAuditDataset:
+    def test_unknowns_excluded(self):
+        log = QueryLog([record("a-1"), record("a-2", unknown=True)])
+        audit = AuditDataset(log, totals_for(log))
+        assert len(audit) == 1
+
+    def test_unweighted_equal_cbgs(self):
+        # Two CBGs, rates 1.0 and 0.0, equal weights → 50%.
+        log = QueryLog([
+            record("a-1", cbg_suffix="1", served=True),
+            record("a-2", cbg_suffix="2", served=False),
+        ])
+        audit = AuditDataset(log, totals_for(log))
+        assert audit.serviceability_rate() == pytest.approx(0.5)
+
+    def test_weighting_shifts_aggregate(self):
+        # Served CBG has 9× the CAF addresses of the unserved one.
+        log = QueryLog([
+            record("a-1", cbg_suffix="1", served=True),
+            record("a-2", cbg_suffix="2", served=False),
+        ])
+        totals = {("att", "060371234551"): 900, ("att", "060371234552"): 100}
+        audit = AuditDataset(log, totals)
+        assert audit.serviceability_rate() == pytest.approx(0.9)
+
+    def test_weighted_vs_per_cbg_rates(self):
+        log = QueryLog([
+            record("a-1", cbg_suffix="1", served=True),
+            record("a-2", cbg_suffix="1", served=False),
+            record("a-3", cbg_suffix="2", served=True),
+        ])
+        audit = AuditDataset(log, totals_for(log))
+        rates = audit.cbg_rates("served")
+        assert sorted(rates["rate"]) == [0.5, 1.0]
+        assert audit.serviceability_rate() == pytest.approx(0.75)
+
+    def test_compliance_below_serviceability(self):
+        log = QueryLog([
+            record("a-1", speed=25.0),          # served & compliant
+            record("a-2", speed=5.0),           # served, too slow
+            record("a-3", served=False),        # unserved
+        ])
+        audit = AuditDataset(log, totals_for(log))
+        assert audit.serviceability_rate() == pytest.approx(2 / 3)
+        assert audit.compliance_rate() == pytest.approx(1 / 3)
+
+    def test_no_guarantee_plans_non_compliant(self):
+        log = QueryLog([record("a-1", speed=100.0, guaranteed=False)])
+        audit = AuditDataset(log, totals_for(log))
+        assert audit.serviceability_rate() == pytest.approx(1.0)
+        assert audit.compliance_rate() == pytest.approx(0.0)
+
+    def test_filters_by_isp_and_state(self):
+        log = QueryLog([
+            record("a-1", isp="att", state="CA", served=True),
+            record("a-2", isp="frontier", state="OH", served=False,
+                   cbg_suffix="2"),
+        ])
+        audit = AuditDataset(log, totals_for(log))
+        assert audit.serviceability_rate(isp_id="att") == 1.0
+        assert audit.serviceability_rate(state="OH") == 0.0
+        assert audit.isps() == ["att", "frontier"]
+        assert audit.states_for_isp("frontier") == ["OH"]
+
+    def test_no_matching_group_raises(self):
+        log = QueryLog([record("a-1")])
+        audit = AuditDataset(log, totals_for(log))
+        with pytest.raises(ValueError):
+            audit.serviceability_rate(isp_id="frontier")
+
+    def test_missing_cbg_total_raises(self):
+        log = QueryLog([record("a-1")])
+        with pytest.raises(KeyError, match="CBG total"):
+            AuditDataset(log, {})
+
+    def test_empty_audit_raises(self):
+        log = QueryLog([record("a-1", unknown=True)])
+        with pytest.raises(ValueError, match="empty"):
+            AuditDataset(log, totals_for(log))

@@ -1,0 +1,194 @@
+"""Integration tests: collection campaigns and the full pipeline.
+
+These run against the shared session-scoped world/report fixtures and
+check the paper-shaped properties end to end.
+"""
+
+import pytest
+
+from repro.bqt.responses import QueryStatus
+from repro.core.collection import CollectionCampaign, collect_q3_dataset
+from repro.core.sampling import SamplingPolicy
+from repro.synth.calibration import (
+    PAPER_COMPLIANCE_BY_ISP,
+    PAPER_SERVICEABILITY_BY_ISP,
+    TYPE_A_SHARES,
+)
+
+
+class TestCollectionCampaign:
+    def test_sampling_policy_respected(self, report):
+        collection = report.collection
+        for (isp, cbg), plan in collection.plans.items():
+            policy_target = SamplingPolicy().target_for(plan.population_size)
+            assert len(plan.selected) == policy_target
+
+    def test_replacements_only_after_unknowns(self, report):
+        log = report.collection.log
+        replaced_ids = {r.replacement_for for r in log
+                        if r.replacement_for is not None}
+        unknown_ids = {r.address_id for r in log
+                       if r.status is QueryStatus.UNKNOWN}
+        assert replaced_ids <= unknown_ids
+
+    def test_replacements_stay_in_cbg(self, report):
+        log = report.collection.log
+        by_id = {}
+        for record in log:
+            by_id.setdefault(record.address_id, record)
+        for record in log:
+            if record.replacement_for is not None:
+                failed = by_id[record.replacement_for]
+                assert failed.block_group_geoid == record.block_group_geoid
+                assert failed.isp_id == record.isp_id
+
+    def test_queried_fraction_at_least_collected(self, report):
+        collection = report.collection
+        for (isp, cbg) in list(collection.plans)[:50]:
+            assert collection.queried_fraction(isp, cbg) >= \
+                collection.collected_fraction(isp, cbg)
+
+    def test_all_study_isps_collected(self, report):
+        assert set(report.collection.log.isps()) == {
+            "att", "centurylink", "frontier", "consolidated"}
+
+
+class TestAuditResults:
+    def test_aggregate_serviceability_near_paper(self, report):
+        rate = report.serviceability.aggregate_rate()
+        assert rate == pytest.approx(0.5545, abs=0.08)
+
+    def test_isp_ordering_matches_paper(self, report):
+        rates = report.serviceability.rate_by_isp()
+        # CenturyLink > Consolidated > Frontier > AT&T, as in §4.1.
+        assert rates["centurylink"] > rates["consolidated"] > \
+            rates["frontier"] > rates["att"]
+
+    def test_isp_rates_within_band(self, report):
+        rates = report.serviceability.rate_by_isp()
+        for isp, target in PAPER_SERVICEABILITY_BY_ISP.items():
+            assert rates[isp] == pytest.approx(target, abs=0.12), isp
+
+    def test_compliance_below_serviceability_everywhere(self, report):
+        serviceability = report.serviceability.rate_by_isp()
+        compliance = report.compliance.rate_by_isp()
+        for isp in serviceability:
+            assert compliance[isp] <= serviceability[isp] + 1e-9
+
+    def test_compliance_shape(self, report):
+        compliance = report.compliance.rate_by_isp()
+        # Consolidated and CenturyLink high; AT&T and Frontier very low.
+        assert compliance["consolidated"] > 0.6
+        assert compliance["centurylink"] > 0.5
+        assert compliance["att"] < 0.35
+        assert compliance["frontier"] < 0.25
+        assert compliance["att"] == pytest.approx(
+            PAPER_COMPLIANCE_BY_ISP["att"], abs=0.12)
+
+    def test_rate_compliance_universal(self, report):
+        # §4.2: prices always comply with the FCC benchmark.
+        assert report.compliance.rate_compliance_fraction() > 0.97
+
+    def test_price_range_for_10mbps(self, report):
+        low, high = report.compliance.price_range_for_tier(10.0)
+        assert 20.0 <= low <= high <= 120.0
+
+    def test_centurylink_nj_measured_zero(self, report):
+        rate = report.audit.serviceability_rate(
+            isp_id="centurylink", state="NJ")
+        assert rate == 0.0
+
+    def test_unserved_fraction_complements_serviceability(self, report):
+        analysis = report.serviceability
+        assert analysis.unserved_fraction() == pytest.approx(
+            1.0 - analysis.aggregate_rate())
+
+    def test_non_compliant_served_fraction(self, report):
+        fraction = report.compliance.non_compliant_served_fraction()
+        # The paper: ~67% of CAF addresses (weighted) fail the quality
+        # floor; among *served* addresses the unweighted gap is smaller
+        # but still substantial.
+        assert 0.2 < fraction < 0.8
+
+    def test_table1_certified_all_at_floor(self, report):
+        table1 = report.compliance.table1()
+        att_10 = table1.where_equal(isp_id="att", tier="10")
+        assert att_10.row(0)["certified_pct"] == pytest.approx(100.0)
+
+    def test_table1_advertised_includes_unserved_bucket(self, report):
+        table1 = report.compliance.table1()
+        att_0 = table1.where_equal(isp_id="att", tier="0")
+        assert att_0.row(0)["advertised_pct"] > 50.0  # most AT&T unserved
+
+    def test_density_correlation_positive_for_att(self, report):
+        # Pool all AT&T CBGs (single states can be sparse at tiny scale).
+        rates = report.serviceability.cbg_rates.where_equal(isp_id="att")
+        from repro.stats.correlation import spearman
+        result = spearman(rates["population_density"], rates["rate"])
+        assert result.coefficient > 0.2
+
+
+class TestQ3Results:
+    def test_analyzed_blocks_filtered(self, report, world):
+        for block_geoid in report.q3_collection.analyzed_blocks:
+            competition = world.block_competition[block_geoid]
+            assert competition.kind != "non_bqt"
+
+    def test_modes_cover_all_queried_addresses(self, report):
+        collection = report.q3_collection
+        for record in collection.log:
+            assert record.address_id in collection.modes
+
+    def test_type_a_dominates(self, report):
+        counts = report.monopoly.type_counts()
+        assert counts["A"] > 10 * max(counts["B"], 1)
+
+    def test_type_a_outcome_shares_near_paper(self, report):
+        shares = report.monopoly.outcome_shares("A", "monopoly")
+        assert shares["tie"] == pytest.approx(TYPE_A_SHARES.tie, abs=0.12)
+        assert shares["caf"] == pytest.approx(
+            TYPE_A_SHARES.caf_better, abs=0.12)
+
+    def test_caf_win_margin_larger_than_loss_margin(self, report):
+        # §4.3: where CAF wins the median improvement (75%) dwarfs the
+        # median where monopoly wins (45%).
+        win = report.monopoly.pct_increase_cdf("A", "monopoly", "caf")
+        loss = report.monopoly.pct_increase_cdf("A", "monopoly", "rival")
+        assert win.median() > loss.median()
+
+    def test_pct_increase_medians_near_paper(self, report):
+        win = report.monopoly.pct_increase_cdf("A", "monopoly", "caf")
+        assert win.median() == pytest.approx(75.0, abs=40.0)
+        loss = report.monopoly.pct_increase_cdf("A", "monopoly", "rival")
+        assert loss.median() == pytest.approx(45.0, abs=30.0)
+
+    def test_headline_keys(self, report):
+        headline = report.headline()
+        assert set(headline) == {
+            "serviceability_rate", "compliance_rate",
+            "type_a_caf_better_share", "type_a_tie_share",
+            "type_a_monopoly_better_share"}
+        shares = (headline["type_a_caf_better_share"]
+                  + headline["type_a_tie_share"]
+                  + headline["type_a_monopoly_better_share"])
+        assert shares == pytest.approx(1.0)
+
+    def test_summary_lines_render(self, report):
+        lines = report.summary_lines()
+        assert any("Serviceability" in line for line in lines)
+        assert any("paper" in line for line in lines)
+
+
+class TestStandaloneCampaign:
+    def test_subset_collection(self, world):
+        campaign = CollectionCampaign(world, max_replacements=0)
+        result = campaign.run(isps=("consolidated",), states=("VT", "NH"))
+        assert set(result.log.isps()) == {"consolidated"}
+        states = {r.state_abbreviation for r in result.log}
+        assert states <= {"VT", "NH"}
+        assert not any(r.replacement_for for r in result.log)
+
+    def test_q3_subset(self, world):
+        collection = collect_q3_dataset(world, states=("UT",))
+        fips = world.geographies["UT"].state_fips
+        assert all(b[:2] == fips for b in collection.analyzed_blocks)

@@ -1,0 +1,58 @@
+"""Unit tests for repro.core.equity."""
+
+import pytest
+
+from repro.core.equity import EquityAnalysis
+
+
+@pytest.fixture(scope="module")
+def equity(report, world) -> EquityAnalysis:
+    return EquityAnalysis(report.audit, world)
+
+
+class TestEquityAnalysis:
+    def test_cbg_table_carries_demographics(self, equity):
+        table = equity.cbg_table
+        assert "median_income_usd" in table.column_names
+        assert "is_rural" in table.column_names
+        assert all(income > 0 for income in table["median_income_usd"])
+
+    def test_quartiles_partition_cbgs(self, equity):
+        rows = equity.by_income_quartile()
+        assert [row.quartile for row in rows] == [1, 2, 3, 4]
+        total = sum(row.num_cbgs for row in rows)
+        assert total == len(equity.cbg_table)
+
+    def test_quartile_edges_ordered(self, equity):
+        rows = equity.by_income_quartile()
+        for row in rows:
+            assert row.income_low_usd <= row.income_high_usd
+        for earlier, later in zip(rows, rows[1:]):
+            assert earlier.income_high_usd <= later.income_low_usd + 1e-9
+
+    def test_rates_are_probabilities(self, equity):
+        for row in equity.by_income_quartile():
+            assert 0.0 <= row.serviceability <= 1.0
+            assert 0.0 <= row.compliance <= 1.0
+            assert row.compliance <= row.serviceability + 1e-9
+
+    def test_income_correlation_positive(self, equity):
+        # Income tracks density, density drives AT&T serviceability, so
+        # the audit should show the digital-divide correlation the
+        # literature reports.
+        result = equity.income_serviceability_correlation()
+        assert result.coefficient > 0.0
+
+    def test_rural_urban_gap(self, equity):
+        gap = equity.rural_urban_gap()
+        assert "rural" in gap
+        if "urban" in gap:
+            assert gap["urban"] >= gap["rural"] - 0.15
+
+    def test_disparity_ratio_at_least_parity(self, equity):
+        assert equity.disparity_ratio() >= 0.8
+
+    def test_quartile_table_shape(self, equity):
+        table = equity.quartile_table()
+        assert len(table) == 4
+        assert "serviceability" in table.column_names

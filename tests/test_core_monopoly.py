@@ -1,0 +1,228 @@
+"""Unit tests for repro.core.monopoly."""
+
+import pytest
+
+from repro.bqt.logbook import QueryLog, QueryRecord
+from repro.bqt.responses import QueryStatus
+from repro.core.collection import Q3Collection
+from repro.core.monopoly import BlockComparison, MonopolyAnalysis, analyze_q3
+from repro.isp.plans import BroadbandPlan
+
+
+def comparison(block="060371234561001", caf=20.0, monopoly=None,
+               competition=None) -> BlockComparison:
+    return BlockComparison(
+        block_geoid=block, incumbent_isp_id="att", caf_avg_mbps=caf,
+        monopoly_avg_mbps=monopoly, competition_avg_mbps=competition,
+        n_caf_served=3,
+        n_monopoly_served=2 if monopoly is not None else 0,
+        n_competition_served=2 if competition is not None else 0,
+    )
+
+
+class TestBlockComparison:
+    def test_typing(self):
+        assert comparison(monopoly=10.0).block_type == "A"
+        assert comparison(competition=10.0).block_type == "B"
+        assert comparison(monopoly=10.0, competition=10.0).block_type == "C"
+
+    def test_outcomes_with_tolerance(self):
+        block = comparison(caf=100.0, monopoly=100.0)
+        assert block.outcome_vs(100.0, 0.02) == "tie"
+        assert block.outcome_vs(99.0, 0.02) == "tie"   # within 2%
+        assert block.outcome_vs(50.0, 0.02) == "caf"
+        assert block.outcome_vs(200.0, 0.02) == "rival"
+
+    def test_pct_increase(self):
+        block = comparison(caf=175.0, monopoly=100.0)
+        assert block.pct_increase(100.0) == pytest.approx(75.0)
+        # Symmetric: winner over loser regardless of direction.
+        losing = comparison(caf=100.0, monopoly=175.0)
+        assert losing.pct_increase(175.0) == pytest.approx(75.0)
+
+    def test_pct_increase_from_zero_raises(self):
+        block = comparison(caf=10.0, monopoly=0.0)
+        with pytest.raises(ValueError):
+            block.pct_increase(0.0)
+
+    def test_invariants(self):
+        with pytest.raises(ValueError, match="non-CAF"):
+            BlockComparison("060371234561001", "att", 10.0, None, None,
+                            n_caf_served=1, n_monopoly_served=0,
+                            n_competition_served=0)
+        with pytest.raises(ValueError, match="served CAF"):
+            BlockComparison("060371234561001", "att", 10.0, 5.0, None,
+                            n_caf_served=0, n_monopoly_served=1,
+                            n_competition_served=0)
+
+
+class TestMonopolyAnalysis:
+    @pytest.fixture
+    def analysis(self) -> MonopolyAnalysis:
+        blocks = [
+            comparison("060371234561001", caf=20.0, monopoly=20.0),   # tie
+            comparison("060371234561002", caf=35.0, monopoly=20.0),   # caf
+            comparison("060371234561003", caf=10.0, monopoly=14.5),   # rival
+            comparison("060371234561004", caf=100.0, competition=50.0),  # B caf
+            comparison("060371234561005", caf=40.0, monopoly=40.0,
+                       competition=45.0),                             # C
+        ]
+        return MonopolyAnalysis(blocks)
+
+    def test_type_counts(self, analysis: MonopolyAnalysis):
+        assert analysis.type_counts() == {"A": 3, "B": 1, "C": 1}
+
+    def test_outcome_shares(self, analysis: MonopolyAnalysis):
+        shares = analysis.outcome_shares("A", "monopoly")
+        assert shares == pytest.approx(
+            {"tie": 1 / 3, "caf": 1 / 3, "rival": 1 / 3})
+
+    def test_outcome_shares_sum_to_one(self, analysis: MonopolyAnalysis):
+        shares = analysis.outcome_shares("A", "monopoly")
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_speed_cdfs(self, analysis: MonopolyAnalysis):
+        caf_cdf, rival_cdf = analysis.speed_cdfs("A", "monopoly", "caf")
+        assert caf_cdf.n == 1
+        assert caf_cdf.median() == pytest.approx(35.0)
+        assert rival_cdf.median() == pytest.approx(20.0)
+
+    def test_pct_increase_cdf(self, analysis: MonopolyAnalysis):
+        increase = analysis.pct_increase_cdf("A", "monopoly", "caf")
+        assert increase.median() == pytest.approx(75.0)
+        rival_increase = analysis.pct_increase_cdf("A", "monopoly", "rival")
+        assert rival_increase.median() == pytest.approx(45.0)
+
+    def test_caf_speed_cdf_by_type(self, analysis: MonopolyAnalysis):
+        cdfs = analysis.caf_speed_cdf_by_type()
+        assert cdfs["A"].n == 3
+        assert cdfs["B"].n == 1
+
+    def test_no_matching_winner_raises(self, analysis: MonopolyAnalysis):
+        with pytest.raises(ValueError):
+            analysis.speed_cdfs("B", "competition", "rival")
+
+    def test_bad_arguments_raise(self, analysis: MonopolyAnalysis):
+        with pytest.raises(ValueError):
+            analysis.of_type("D")
+        with pytest.raises(ValueError):
+            analysis.outcome_shares("A", "nope")
+
+    def test_to_table(self, analysis: MonopolyAnalysis):
+        table = analysis.to_table()
+        assert len(table) == 5
+        assert "caf_avg_mbps" in table.column_names
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MonopolyAnalysis([])
+
+
+class TestAnalyzeQ3:
+    def _record(self, address_id, isp="att", served=True, speed=25.0,
+                block="060371234561001"):
+        if not served:
+            return QueryRecord(isp_id=isp, address_id=address_id,
+                               block_geoid=block, state_abbreviation="CA",
+                               status=QueryStatus.NO_SERVICE)
+        plan = BroadbandPlan("p", speed, speed / 10, 50.0)
+        return QueryRecord(isp_id=isp, address_id=address_id,
+                           block_geoid=block, state_abbreviation="CA",
+                           status=QueryStatus.SERVICEABLE, plans=(plan,))
+
+    def test_builds_comparison_from_log(self):
+        block = "060371234561001"
+        log = QueryLog([
+            self._record("caf-1", speed=40.0),
+            self._record("caf-2", speed=40.0),
+            self._record("non-1", speed=20.0),
+            self._record("non-2", served=False),
+        ])
+        collection = Q3Collection(
+            log=log,
+            modes={"caf-1": "caf", "caf-2": "caf",
+                   "non-1": "monopoly", "non-2": "monopoly"},
+            incumbents={block: "att"},
+            analyzed_blocks=(block,),
+        )
+        analysis = analyze_q3(collection)
+        assert analysis.type_counts()["A"] == 1
+        result = analysis.blocks[0]
+        assert result.caf_avg_mbps == pytest.approx(40.0)
+        assert result.monopoly_avg_mbps == pytest.approx(20.0)
+        assert result.n_monopoly_served == 1
+
+    def test_cable_records_do_not_pollute_averages(self):
+        block = "060371234561001"
+        log = QueryLog([
+            self._record("caf-1", speed=10.0),
+            self._record("non-1", speed=10.0),
+            # Cable at the same non-CAF address: used for mode
+            # assignment only, never averaged into incumbent speeds.
+            self._record("non-1x", isp="xfinity", speed=1000.0),
+        ])
+        collection = Q3Collection(
+            log=log,
+            modes={"caf-1": "caf", "non-1": "competition",
+                   "non-1x": "competition"},
+            incumbents={block: "att"},
+            analyzed_blocks=(block,),
+        )
+        analysis = analyze_q3(collection)
+        result = analysis.blocks[0]
+        assert result.competition_avg_mbps == pytest.approx(10.0)
+
+    def test_blocks_without_served_caf_dropped(self):
+        block = "060371234561001"
+        log = QueryLog([
+            self._record("caf-1", served=False),
+            self._record("non-1", speed=20.0),
+        ])
+        collection = Q3Collection(
+            log=log,
+            modes={"caf-1": "caf", "non-1": "monopoly"},
+            incumbents={block: "att"},
+            analyzed_blocks=(block,),
+        )
+        with pytest.raises(ValueError, match="no comparison blocks"):
+            analyze_q3(collection)
+
+    def test_bad_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            analyze_q3(Q3Collection(log=QueryLog()), tie_tolerance=1.5)
+
+    def test_bad_metric_raises(self):
+        with pytest.raises(ValueError, match="metric"):
+            analyze_q3(Q3Collection(log=QueryLog()), metric="latency")
+
+    def test_carriage_metric_changes_values(self):
+        block = "060371234561001"
+        log = QueryLog([
+            self._record("caf-1", speed=40.0),
+            self._record("non-1", speed=20.0),
+        ])
+        collection = Q3Collection(
+            log=log,
+            modes={"caf-1": "caf", "non-1": "monopoly"},
+            incumbents={block: "att"},
+            analyzed_blocks=(block,),
+        )
+        speed_view = analyze_q3(collection, metric="speed").blocks[0]
+        carriage_view = analyze_q3(collection, metric="carriage").blocks[0]
+        assert speed_view.caf_avg_mbps == pytest.approx(40.0)
+        # All test plans cost $50, so carriage = speed / 50.
+        assert carriage_view.caf_avg_mbps == pytest.approx(40.0 / 50.0)
+        assert carriage_view.monopoly_avg_mbps == pytest.approx(20.0 / 50.0)
+
+
+class TestCarriageTrendsMatchSpeedTrends:
+    def test_similar_trends_on_real_world(self, report):
+        """§4.3: carriage-based outcomes show the same qualitative
+        structure as speed-based ones."""
+        speed_shares = report.monopoly.outcome_shares("A", "monopoly")
+        carriage = analyze_q3(report.q3_collection, metric="carriage")
+        carriage_shares = carriage.outcome_shares("A", "monopoly")
+        # Same modal outcome ordering: ties dominate, CAF-better beats
+        # monopoly-better.
+        assert carriage_shares["tie"] == max(carriage_shares.values())
+        assert abs(carriage_shares["caf"] - speed_shares["caf"]) < 0.25

@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.oversight."""
+
+import pytest
+
+from repro.core.oversight import (
+    compare_oversight,
+    detection_power,
+    required_sample_for_power,
+)
+
+
+class TestDetectionPower:
+    def test_zero_sample_never_detects(self):
+        assert detection_power(0, 0.5) == 0.0
+
+    def test_zero_violation_never_detected(self):
+        assert detection_power(1000, 0.0) == 0.0
+
+    def test_monotone_in_sample_size(self):
+        powers = [detection_power(n, 0.05) for n in (1, 10, 50, 200)]
+        assert powers == sorted(powers)
+
+    def test_known_value(self):
+        # P(at least one bad in 10 draws at 10%) = 1 - 0.9^10.
+        assert detection_power(10, 0.1) == pytest.approx(1 - 0.9**10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_power(-1, 0.5)
+        with pytest.raises(ValueError):
+            detection_power(10, 1.5)
+
+
+class TestRequiredSample:
+    def test_round_trip_with_power(self):
+        n = required_sample_for_power(0.1, power=0.95)
+        assert detection_power(n, 0.1) >= 0.95
+        assert detection_power(n - 1, 0.1) < 0.95
+
+    def test_rarer_violations_need_bigger_samples(self):
+        assert required_sample_for_power(0.01) > \
+            required_sample_for_power(0.30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sample_for_power(0.0)
+        with pytest.raises(ValueError):
+            required_sample_for_power(0.1, power=1.0)
+
+
+class TestCompareOversight:
+    @pytest.fixture(scope="class")
+    def comparison(self, world):
+        return compare_oversight(world, isp_id="att",
+                                 review_fractions=(0.01, 0.05))
+
+    def test_truth_in_plausible_band(self, comparison):
+        # AT&T's calibrated unserved fraction sits near 1 - 0.315.
+        assert 0.45 < comparison.truth_unserved_fraction < 0.85
+
+    def test_external_audit_close_to_truth(self, comparison):
+        assert comparison.audit_error_pp < 12.0
+
+    def test_reviews_have_detection_power_column(self, comparison):
+        for row in comparison.review_rows.iter_rows():
+            assert 0.0 <= row["detection_power"] <= 1.0
+            assert row["sample_size"] > 0
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "att" in text
+        assert "detection power" in text
+
+    def test_empty_fractions_raise(self, world):
+        with pytest.raises(ValueError):
+            compare_oversight(world, review_fractions=())

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.sampling."""
+
+import pytest
+
+from repro.addresses.generator import AddressGenerator
+from repro.core.sampling import SamplingPolicy, SamplePlan, plan_cbg_sample
+from repro.geo.entities import CensusBlock
+from repro.geo.geometry import Point
+
+
+def make_addresses(n, block_suffix="001"):
+    block = CensusBlock(geoid=f"060371234561{block_suffix}",
+                        centroid=Point(-118.0, 34.0), is_rural=True)
+    return AddressGenerator(seed=0).generate_for_block(block, n, True, "caf")
+
+
+class TestSamplingPolicy:
+    def test_small_cbg_takes_all(self):
+        policy = SamplingPolicy()
+        assert policy.target_for(12) == 12
+        assert policy.target_for(30) == 30
+
+    def test_medium_cbg_takes_the_floor_of_30(self):
+        # 31..300 addresses: 10% is below 30, so the floor wins.
+        policy = SamplingPolicy()
+        assert policy.target_for(31) == 30
+        assert policy.target_for(300) == 30
+
+    def test_large_cbg_takes_ten_percent(self):
+        policy = SamplingPolicy()
+        assert policy.target_for(301) == 31
+        assert policy.target_for(1000) == 100
+
+    def test_zero(self):
+        assert SamplingPolicy().target_for(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(min_samples=0)
+        with pytest.raises(ValueError):
+            SamplingPolicy(sampling_fraction=0.0)
+        with pytest.raises(ValueError):
+            SamplingPolicy(sampling_fraction=1.5)
+        with pytest.raises(ValueError):
+            SamplingPolicy().target_for(-1)
+
+
+class TestPlanCbgSample:
+    def test_partition_into_sample_and_reserve(self):
+        addresses = make_addresses(100)
+        plan = plan_cbg_sample("060371234561", addresses, SamplingPolicy())
+        assert len(plan.selected) == 30
+        assert len(plan.reserve) == 70
+        selected_ids = {a.address_id for a in plan.selected}
+        reserve_ids = {a.address_id for a in plan.reserve}
+        assert not selected_ids & reserve_ids
+        assert plan.sampling_rate == pytest.approx(0.30)
+
+    def test_small_population_all_selected(self):
+        addresses = make_addresses(10)
+        plan = plan_cbg_sample("060371234561", addresses, SamplingPolicy())
+        assert len(plan.selected) == 10
+        assert plan.reserve == ()
+
+    def test_deterministic_per_seed(self):
+        addresses = make_addresses(80)
+        first = plan_cbg_sample("060371234561", addresses,
+                                SamplingPolicy(), seed=5)
+        second = plan_cbg_sample("060371234561", addresses,
+                                 SamplingPolicy(), seed=5)
+        assert [a.address_id for a in first.selected] == \
+               [a.address_id for a in second.selected]
+
+    def test_different_seeds_differ(self):
+        addresses = make_addresses(80)
+        first = plan_cbg_sample("060371234561", addresses,
+                                SamplingPolicy(), seed=1)
+        second = plan_cbg_sample("060371234561", addresses,
+                                 SamplingPolicy(), seed=2)
+        assert [a.address_id for a in first.selected] != \
+               [a.address_id for a in second.selected]
+
+    def test_foreign_addresses_rejected(self):
+        addresses = make_addresses(5)
+        with pytest.raises(ValueError, match="outside CBG"):
+            plan_cbg_sample("999999999999", addresses, SamplingPolicy())
+
+    def test_plan_invariant(self):
+        addresses = make_addresses(3)
+        with pytest.raises(ValueError, match="exceeds"):
+            SamplePlan(block_group_geoid="060371234561",
+                       selected=tuple(addresses),
+                       reserve=tuple(addresses),
+                       population_size=3)

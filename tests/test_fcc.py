@@ -1,0 +1,162 @@
+"""Unit tests for the repro.fcc package."""
+
+import pytest
+
+from repro.fcc import (
+    AvailabilityRecord,
+    BroadbandMap,
+    CAF_MAX_RATE_USD,
+    CafObligations,
+    FabricRecord,
+    Form477,
+    generate_urban_rate_survey,
+    plan_is_rate_compliant,
+    plan_is_service_compliant,
+)
+from repro.fcc.urban_rate_survey import SURVEY_TIERS, UrbanRateSurvey
+from repro.isp.plans import BroadbandPlan
+
+
+def plan(download=10.0, upload=1.0, price=50.0, guaranteed=True):
+    return BroadbandPlan(
+        name="test",
+        download_mbps=download,
+        upload_mbps=upload,
+        monthly_price_usd=price,
+        is_speed_guaranteed=guaranteed,
+    )
+
+
+class TestCafObligations:
+    def test_compliant_plan(self):
+        obligations = CafObligations()
+        assert obligations.fully_compliant(plan())
+
+    def test_slow_download_fails(self):
+        assert not CafObligations().service_compliant(plan(download=5.0))
+
+    def test_slow_upload_fails(self):
+        assert not CafObligations().service_compliant(plan(upload=0.5))
+
+    def test_no_guarantee_fails_regardless_of_speed(self):
+        fast_but_unguaranteed = plan(download=100.0, upload=10.0,
+                                     guaranteed=False)
+        assert not CafObligations().service_compliant(fast_but_unguaranteed)
+
+    def test_rate_cap(self):
+        assert CafObligations().rate_compliant(plan(price=89.0))
+        assert not CafObligations().rate_compliant(plan(price=89.01))
+
+    def test_module_level_shortcuts(self):
+        assert plan_is_service_compliant(plan())
+        assert plan_is_rate_compliant(plan(price=CAF_MAX_RATE_USD))
+
+    def test_invalid_obligations_raise(self):
+        with pytest.raises(ValueError):
+            CafObligations(min_download_mbps=0.0)
+        with pytest.raises(ValueError):
+            CafObligations(max_rate_usd=-1.0)
+
+
+class TestUrbanRateSurvey:
+    @pytest.fixture(scope="class")
+    def survey(self) -> UrbanRateSurvey:
+        return generate_urban_rate_survey(seed=0)
+
+    def test_benchmark_matches_fcc_2024_cap(self, survey: UrbanRateSurvey):
+        # Calibrated: mean $60 + 2 × $14.5 = $89.
+        assert survey.benchmark(10.0) == pytest.approx(89.0, abs=0.5)
+
+    def test_benchmark_is_mean_plus_two_sigma(self, survey: UrbanRateSurvey):
+        import numpy as np
+        prices = np.asarray(survey.tier_prices(10.0))
+        expected = prices.mean() + 2 * prices.std(ddof=0)
+        assert survey.benchmark(10.0) == pytest.approx(expected)
+
+    def test_tier_mapping(self):
+        assert UrbanRateSurvey.tier_for(10.0) == 10.0
+        assert UrbanRateSurvey.tier_for(24.0) == 10.0
+        assert UrbanRateSurvey.tier_for(25.0) == 25.0
+        assert UrbanRateSurvey.tier_for(5000.0) == 1000.0
+        assert UrbanRateSurvey.tier_for(1.0) == 10.0  # clamped to lowest
+
+    def test_tier_for_invalid_raises(self):
+        with pytest.raises(ValueError):
+            UrbanRateSurvey.tier_for(0.0)
+
+    def test_benchmarks_grow_with_tier(self, survey: UrbanRateSurvey):
+        benchmarks = [survey.benchmark(t) for t in SURVEY_TIERS]
+        assert benchmarks == sorted(benchmarks)
+
+    def test_average_price_below_benchmark(self, survey: UrbanRateSurvey):
+        for tier in SURVEY_TIERS:
+            assert survey.average_price(tier) < survey.benchmark(tier)
+
+    def test_deterministic(self):
+        a = generate_urban_rate_survey(seed=5)
+        b = generate_urban_rate_survey(seed=5)
+        assert a.benchmark(100.0) == b.benchmark(100.0)
+
+    def test_too_few_observations_raise(self):
+        with pytest.raises(ValueError):
+            generate_urban_rate_survey(observations_per_tier=1)
+
+
+def _availability(isp, block="060371234561001"):
+    return AvailabilityRecord(isp_id=isp, block_geoid=block,
+                              technology="dsl", max_download_mbps=25.0,
+                              max_upload_mbps=3.0)
+
+
+class TestForm477:
+    def test_indexing(self):
+        form = Form477([_availability("att"), _availability("frontier"),
+                        _availability("att", block="060371234561002")])
+        assert len(form) == 3
+        assert form.providers_in_block("060371234561001") == {"att", "frontier"}
+        assert form.blocks_for_isp("att") == [
+            "060371234561001", "060371234561002"]
+
+    def test_exclusivity_filter(self):
+        form = Form477([
+            _availability("att", "060371234561001"),
+            _availability("xfinity", "060371234561001"),
+            _availability("att", "060371234561002"),
+            _availability("smallisp-001", "060371234561002"),
+        ])
+        exclusive = form.blocks_served_exclusively_by({"att", "xfinity"})
+        assert exclusive == ["060371234561001"]
+
+    def test_exclusivity_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            Form477().blocks_served_exclusively_by(set())
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            _availability("att", block="123")
+
+
+class TestBroadbandMap:
+    def test_provider_rollup(self):
+        nbm = BroadbandMap([
+            FabricRecord("loc-1", "060371234561001", ("att",)),
+            FabricRecord("loc-2", "060371234561001", ("xfinity", "att")),
+        ])
+        assert nbm.providers_in_block("060371234561001") == {"att", "xfinity"}
+        assert len(nbm.locations_in_block("060371234561001")) == 2
+
+    def test_exclusivity_filter(self):
+        nbm = BroadbandMap([
+            FabricRecord("loc-1", "060371234561001", ("att",)),
+            FabricRecord("loc-2", "060371234561002", ("att", "smallisp-002")),
+        ])
+        assert nbm.blocks_served_exclusively_by({"att"}) == ["060371234561001"]
+
+    def test_consistency_check(self):
+        form = Form477([_availability("att")])
+        consistent = BroadbandMap(
+            [FabricRecord("loc-1", "060371234561001", ("att",))])
+        assert consistent.consistent_with_form477(form) == []
+        inconsistent = BroadbandMap(
+            [FabricRecord("loc-1", "060371234561001", ("frontier",))])
+        assert inconsistent.consistent_with_form477(form) == ["060371234561001"]

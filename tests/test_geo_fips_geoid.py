@@ -1,0 +1,119 @@
+"""Unit tests for repro.geo.fips and repro.geo.geoid."""
+
+import pytest
+
+from repro.geo.fips import (
+    ALL_STATES,
+    Q3_STATES,
+    STUDY_STATES,
+    state_by_abbreviation,
+    state_by_fips,
+)
+from repro.geo.geoid import (
+    block_geoid,
+    block_group_geoid,
+    county_geoid,
+    parse_geoid,
+    tract_geoid,
+)
+
+
+class TestFips:
+    def test_fifty_one_jurisdictions(self):
+        assert len(ALL_STATES) == 51
+
+    def test_fips_codes_unique(self):
+        assert len({s.fips for s in ALL_STATES}) == len(ALL_STATES)
+
+    def test_abbreviations_unique(self):
+        assert len({s.abbreviation for s in ALL_STATES}) == len(ALL_STATES)
+
+    def test_lookup_by_fips(self):
+        assert state_by_fips("06").abbreviation == "CA"
+        assert state_by_fips("50").name == "Vermont"
+
+    def test_lookup_by_abbreviation_case_insensitive(self):
+        assert state_by_abbreviation("ca").fips == "06"
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(KeyError):
+            state_by_fips("99")
+        with pytest.raises(KeyError):
+            state_by_abbreviation("XX")
+
+    def test_study_states_are_the_papers_fifteen(self):
+        assert len(STUDY_STATES) == 15
+        assert set(Q3_STATES) <= set(STUDY_STATES)
+        assert len(Q3_STATES) == 7
+
+    def test_study_states_span_regions(self):
+        regions = {state_by_abbreviation(s).region for s in STUDY_STATES}
+        assert {"West", "South", "Midwest", "Northeast"} <= regions
+
+    def test_population_extremes_present(self):
+        # Paper: most populous (CA) to one of the least (VT).
+        populations = {s: state_by_abbreviation(s).population_millions
+                       for s in STUDY_STATES}
+        assert max(populations, key=populations.get) == "CA"
+        assert min(populations, key=populations.get) == "VT"
+
+    def test_bounds_are_sane(self):
+        for state in ALL_STATES:
+            assert state.bounds.west < state.bounds.east
+            assert state.bounds.south < state.bounds.north
+
+
+class TestGeoid:
+    def test_nesting_round_trip(self):
+        county = county_geoid("06", 37)
+        tract = tract_geoid(county, 123_456)
+        block_group = block_group_geoid(tract, 4)
+        block = block_geoid(block_group, 7)
+        assert county == "06037"
+        assert tract == "06037123456"
+        assert block_group == "060371234564"
+        assert block == "060371234564007"
+
+        parts = parse_geoid(block)
+        assert parts.level == "block"
+        assert parts.state_fips == "06"
+        assert parts.county_geoid == county
+        assert parts.tract_geoid == tract
+        assert parts.block_group_geoid == block_group
+        assert parts.block_geoid == block
+
+    def test_parse_each_level(self):
+        assert parse_geoid("06").level == "state"
+        assert parse_geoid("06037").level == "county"
+        assert parse_geoid("06037123456").level == "tract"
+        assert parse_geoid("060371234561").level == "block_group"
+        assert parse_geoid("060371234561001").level == "block"
+
+    def test_parse_partial_levels_have_none_below(self):
+        parts = parse_geoid("06037")
+        assert parts.tract is None
+        assert parts.block_group_geoid is None
+
+    def test_bad_widths_raise(self):
+        with pytest.raises(ValueError, match="width"):
+            parse_geoid("0603")
+
+    def test_non_digit_raises(self):
+        with pytest.raises(ValueError, match="digits"):
+            parse_geoid("06abc")
+
+    def test_out_of_range_components_raise(self):
+        with pytest.raises(ValueError):
+            county_geoid("06", 1000)
+        with pytest.raises(ValueError):
+            tract_geoid("06037", 1_000_000)
+        with pytest.raises(ValueError):
+            block_group_geoid("06037123456", 10)
+        with pytest.raises(ValueError):
+            block_geoid("060371234561", 1000)
+
+    def test_bad_prefixes_raise(self):
+        with pytest.raises(ValueError):
+            tract_geoid("0603", 1)
+        with pytest.raises(ValueError):
+            block_group_geoid("06037", 1)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.geo.generator and repro.geo.entities."""
+
+import pytest
+
+from repro.geo.entities import BlockGroup, CensusBlock
+from repro.geo.fips import state_by_abbreviation
+from repro.geo.generator import GeographyConfig, generate_state_geography
+from repro.geo.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def california():
+    return generate_state_geography(
+        state_by_abbreviation("CA"), GeographyConfig(num_counties=6), seed=7)
+
+
+class TestGeneratedStructure:
+    def test_counts_match_config(self, california):
+        config = GeographyConfig(num_counties=6)
+        assert len(california.counties) == 6
+        expected_bgs = 6 * config.tracts_per_county * config.block_groups_per_tract
+        assert len(california.block_groups) == expected_bgs
+        assert len(california.blocks) == expected_bgs * config.blocks_per_block_group
+
+    def test_geoids_nest_correctly(self, california):
+        for block_group in california.block_groups:
+            assert block_group.geoid.startswith("06")
+            for block in block_group.blocks:
+                assert block.geoid[:12] == block_group.geoid
+
+    def test_geoids_unique(self, california):
+        geoids = [bg.geoid for bg in california.block_groups]
+        assert len(set(geoids)) == len(geoids)
+        block_geoids = [b.geoid for b in california.blocks]
+        assert len(set(block_geoids)) == len(block_geoids)
+
+    def test_coordinates_inside_state_box(self, california):
+        bounds = state_by_abbreviation("CA").bounds
+        for block_group in california.block_groups:
+            assert bounds.contains(block_group.centroid)
+
+    def test_blocks_near_their_block_group(self, california):
+        for block_group in california.block_groups:
+            for block in block_group.blocks:
+                distance = block.centroid.distance_miles(block_group.centroid)
+                assert distance < 100.0
+
+    def test_population_in_census_range(self, california):
+        for block_group in california.block_groups:
+            assert 600 <= block_group.population <= 3000
+
+    def test_mostly_rural(self, california):
+        # CAF-like geographies are rural-dominated.
+        rural = sum(bg.is_rural for bg in california.block_groups)
+        assert rural / len(california.block_groups) > 0.5
+
+    def test_density_positive_everywhere(self, california):
+        assert all(bg.population_density > 0 for bg in california.block_groups)
+
+    def test_determinism(self):
+        state = state_by_abbreviation("GA")
+        first = generate_state_geography(state, seed=3)
+        second = generate_state_geography(state, seed=3)
+        assert [bg.geoid for bg in first.block_groups] == \
+               [bg.geoid for bg in second.block_groups]
+        assert [bg.population for bg in first.block_groups] == \
+               [bg.population for bg in second.block_groups]
+
+    def test_different_seeds_differ(self):
+        state = state_by_abbreviation("GA")
+        first = generate_state_geography(state, seed=1)
+        second = generate_state_geography(state, seed=2)
+        populations_differ = any(
+            a.population != b.population
+            for a, b in zip(first.block_groups, second.block_groups))
+        assert populations_differ
+
+    def test_indexes(self, california):
+        bg_index = california.block_group_index()
+        block_index = california.block_index()
+        sample_bg = california.block_groups[0]
+        assert bg_index[sample_bg.geoid] is sample_bg
+        assert block_index[sample_bg.blocks[0].geoid] is sample_bg.blocks[0]
+
+    def test_scaled_config(self):
+        config = GeographyConfig(num_counties=10)
+        assert config.scaled(0.5).num_counties == 5
+        assert config.scaled(0.01).num_counties == 1
+        with pytest.raises(ValueError):
+            config.scaled(0.0)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            GeographyConfig(num_counties=0)
+        with pytest.raises(ValueError):
+            GeographyConfig(min_block_group_population=5000,
+                            max_block_group_population=1000)
+
+
+class TestEntities:
+    def test_block_validation(self):
+        with pytest.raises(ValueError, match="15 digits"):
+            CensusBlock(geoid="123", centroid=Point(0, 0), is_rural=True)
+
+    def test_block_derived_geoids(self):
+        block = CensusBlock(geoid="060371234561001",
+                            centroid=Point(0, 0), is_rural=True)
+        assert block.block_group_geoid == "060371234561"
+        assert block.state_fips == "06"
+
+    def test_block_group_rejects_foreign_blocks(self):
+        foreign = CensusBlock(geoid="130371234561001",
+                              centroid=Point(0, 0), is_rural=True)
+        with pytest.raises(ValueError, match="belong"):
+            BlockGroup(
+                geoid="060371234561",
+                centroid=Point(0, 0),
+                population=1000,
+                population_density=5.0,
+                is_rural=True,
+                distance_to_city_miles=10.0,
+                blocks=(foreign,),
+            )
+
+    def test_block_group_validation(self):
+        with pytest.raises(ValueError):
+            BlockGroup(geoid="060371234561", centroid=Point(0, 0),
+                       population=-1, population_density=5.0, is_rural=True,
+                       distance_to_city_miles=1.0, blocks=())

@@ -1,0 +1,119 @@
+"""Unit tests for repro.geo.geometry and repro.geo.density."""
+
+import pytest
+
+from repro.geo.density import DensitySurface, URBAN_DENSITY_THRESHOLD
+from repro.geo.geometry import BoundingBox, Point, haversine_miles
+
+
+class TestPoint:
+    def test_valid_construction(self):
+        point = Point(-120.0, 38.0)
+        assert point.longitude == -120.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Point(-190.0, 0.0)
+        with pytest.raises(ValueError):
+            Point(0.0, 95.0)
+
+    def test_distance_zero_to_self(self):
+        point = Point(-100.0, 40.0)
+        assert point.distance_miles(point) == 0.0
+
+    def test_known_distance(self):
+        # One degree of latitude ≈ 69 miles.
+        a = Point(-100.0, 40.0)
+        b = Point(-100.0, 41.0)
+        assert haversine_miles(a, b) == pytest.approx(69.0, rel=0.02)
+
+    def test_symmetry(self):
+        a = Point(-100.0, 40.0)
+        b = Point(-95.0, 42.0)
+        assert haversine_miles(a, b) == pytest.approx(haversine_miles(b, a))
+
+
+class TestBoundingBox:
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            BoundingBox(west=0.0, south=0.0, east=-1.0, north=1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(west=0.0, south=1.0, east=1.0, north=0.0)
+
+    def test_center(self):
+        box = BoundingBox(west=-10.0, south=0.0, east=10.0, north=20.0)
+        assert box.center == Point(0.0, 10.0)
+
+    def test_contains(self):
+        box = BoundingBox(west=-10.0, south=0.0, east=10.0, north=20.0)
+        assert box.contains(Point(0.0, 10.0))
+        assert box.contains(Point(-10.0, 0.0))  # boundary
+        assert not box.contains(Point(11.0, 10.0))
+
+    def test_interpolate_corners(self):
+        box = BoundingBox(west=-10.0, south=0.0, east=10.0, north=20.0)
+        assert box.interpolate(0.0, 0.0) == Point(-10.0, 0.0)
+        assert box.interpolate(1.0, 1.0) == Point(10.0, 20.0)
+
+    def test_interpolate_out_of_range_raises(self):
+        box = BoundingBox(west=-10.0, south=0.0, east=10.0, north=20.0)
+        with pytest.raises(ValueError):
+            box.interpolate(1.1, 0.5)
+
+    def test_area_positive_and_latitude_dependent(self):
+        equatorial = BoundingBox(west=0.0, south=-1.0, east=1.0, north=1.0)
+        polar = BoundingBox(west=0.0, south=69.0, east=1.0, north=71.0)
+        assert equatorial.area_square_miles() > polar.area_square_miles() > 0
+
+
+class TestDensitySurface:
+    @pytest.fixture
+    def surface(self) -> DensitySurface:
+        return DensitySurface(
+            city_centers=(Point(-100.0, 40.0),),
+            city_peaks=(10_000.0,),
+            decay_scale_miles=15.0,
+            rural_floor=3.0,
+        )
+
+    def test_density_peaks_at_city(self, surface: DensitySurface):
+        at_city = surface.density_at(Point(-100.0, 40.0))
+        far = surface.density_at(Point(-95.0, 40.0))
+        assert at_city == pytest.approx(10_003.0)
+        assert far < at_city
+
+    def test_density_never_below_floor(self, surface: DensitySurface):
+        assert surface.density_at(Point(-80.0, 30.0)) >= 3.0
+
+    def test_monotone_decay_with_distance(self, surface: DensitySurface):
+        densities = [surface.density_at(Point(-100.0 + dx, 40.0))
+                     for dx in (0.0, 0.5, 1.0, 2.0)]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_rural_classification(self, surface: DensitySurface):
+        assert not surface.is_rural(Point(-100.0, 40.0))
+        assert surface.is_rural(Point(-90.0, 40.0))
+
+    def test_urban_threshold_value(self):
+        assert URBAN_DENSITY_THRESHOLD == 500.0
+
+    def test_distance_to_nearest_city(self):
+        surface = DensitySurface(
+            city_centers=(Point(-100.0, 40.0), Point(-90.0, 40.0)),
+            city_peaks=(5_000.0, 2_000.0),
+            decay_scale_miles=10.0,
+            rural_floor=1.0,
+        )
+        near_second = Point(-90.5, 40.0)
+        assert surface.distance_to_nearest_city(near_second) < 40.0
+
+    def test_invalid_construction_raises(self):
+        with pytest.raises(ValueError):
+            DensitySurface(city_centers=(), city_peaks=(),
+                           decay_scale_miles=1.0, rural_floor=1.0)
+        with pytest.raises(ValueError):
+            DensitySurface(city_centers=(Point(0, 0),), city_peaks=(1.0, 2.0),
+                           decay_scale_miles=1.0, rural_floor=1.0)
+        with pytest.raises(ValueError):
+            DensitySurface(city_centers=(Point(0, 0),), city_peaks=(1.0,),
+                           decay_scale_miles=0.0, rural_floor=1.0)

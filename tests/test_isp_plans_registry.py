@@ -1,0 +1,128 @@
+"""Unit tests for repro.isp.plans and repro.isp.registry."""
+
+import pytest
+
+from repro.isp.plans import (
+    BroadbandPlan,
+    NO_GUARANTEE_LABELS,
+    SPEED_TIER_LABELS,
+    carriage_value,
+    tier_label_for_speed,
+)
+from repro.isp.registry import (
+    ALL_ISPS,
+    BQT_SUPPORTED_ISPS,
+    CAF_STUDY_ISPS,
+    isp_by_id,
+    small_isp,
+)
+
+
+class TestBroadbandPlan:
+    def test_carriage_value(self):
+        plan = BroadbandPlan("x", 100.0, 10.0, 50.0)
+        assert plan.carriage_value == pytest.approx(2.0)
+
+    def test_tier_label_guaranteed(self):
+        assert BroadbandPlan("x", 10.0, 1.0, 40.0).tier_label == "10"
+        assert BroadbandPlan("x", 50.0, 5.0, 60.0).tier_label == "11-99"
+
+    def test_tier_label_named_no_guarantee(self):
+        plan = BroadbandPlan("AT&T Internet Air", 75.0, 10.0, 55.0,
+                             is_speed_guaranteed=False)
+        assert plan.tier_label == "AT&T Internet Air"
+
+    def test_tier_label_unnamed_no_guarantee_is_unknown(self):
+        plan = BroadbandPlan("Mystery", 75.0, 10.0, 55.0,
+                             is_speed_guaranteed=False)
+        assert plan.tier_label == "Unknown Plan"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BroadbandPlan("x", -1.0, 1.0, 50.0)
+        with pytest.raises(ValueError):
+            BroadbandPlan("x", 10.0, 1.0, 0.0)
+
+
+class TestTierLabels:
+    def test_taxonomy_covers_paper_buckets(self):
+        for label in ("0", "AT&T Internet Air", "Frontier Internet",
+                      "Unknown Plan", "0.768", "10", "11-99", "100-999",
+                      "1000+"):
+            assert label in SPEED_TIER_LABELS
+
+    @pytest.mark.parametrize("speed,label", [
+        (0.0, "0"),
+        (0.5, "0.5"),
+        (0.768, "0.768"),
+        (1.0, "1"),
+        (1.5, "1.5"),
+        (3.0, "3"),
+        (5.0, "5"),
+        (6.0, "6"),
+        (7.0, "7"),
+        (10.0, "10"),
+        (10.5, "11-99"),    # anything above the 10 Mbps floor banded up
+        (11.0, "11-99"),
+        (99.9, "11-99"),
+        (100.0, "100-999"),
+        (999.0, "100-999"),
+        (1000.0, "1000+"),
+        (5000.0, "1000+"),
+        (2.0, "1.5"),       # unknown sub-10 value floors down
+    ])
+    def test_bucketing(self, speed, label):
+        assert tier_label_for_speed(speed) == label
+
+    def test_negative_speed_raises(self):
+        with pytest.raises(ValueError):
+            tier_label_for_speed(-1.0)
+
+    def test_carriage_value_function(self):
+        # The FCC's benchmark implies ~0.11 for 10 Mbps at $89.
+        assert carriage_value(10.0, 89.0) == pytest.approx(0.112, abs=0.01)
+        with pytest.raises(ValueError):
+            carriage_value(10.0, 0.0)
+        with pytest.raises(ValueError):
+            carriage_value(-1.0, 10.0)
+
+
+class TestRegistry:
+    def test_study_isps_are_the_papers_four(self):
+        assert {isp.isp_id for isp in CAF_STUDY_ISPS} == {
+            "att", "centurylink", "frontier", "consolidated"}
+
+    def test_bqt_supports_six(self):
+        assert len(BQT_SUPPORTED_ISPS) == 6
+        assert {isp.isp_id for isp in BQT_SUPPORTED_ISPS} >= {
+            "xfinity", "spectrum"}
+
+    def test_cable_isps_not_caf_recipients(self):
+        assert not isp_by_id("xfinity").is_caf_recipient
+        assert not isp_by_id("spectrum").is_caf_recipient
+
+    def test_att_has_slowest_queries(self):
+        # Figure 12: AT&T's bot detection makes it slowest and widest.
+        att = isp_by_id("att")
+        others = [isp for isp in ALL_ISPS if isp.isp_id != "att"]
+        assert att.median_query_seconds > max(
+            isp.median_query_seconds for isp in others)
+        assert att.query_time_sigma > max(
+            isp.query_time_sigma for isp in others)
+
+    def test_small_isp_synthesis(self):
+        isp = small_isp(17)
+        assert isp.isp_id == "smallisp-017"
+        assert isp.is_caf_recipient
+        assert not isp.bqt_supported
+
+    def test_lookup_small_isp_by_id(self):
+        assert isp_by_id("smallisp-042").isp_id == "smallisp-042"
+
+    def test_unknown_isp_raises(self):
+        with pytest.raises(KeyError):
+            isp_by_id("verizon")
+
+    def test_negative_small_isp_raises(self):
+        with pytest.raises(ValueError):
+            small_isp(-1)

@@ -1,0 +1,198 @@
+"""Unit tests for repro.isp.profiles and repro.isp.deployment."""
+
+import numpy as np
+import pytest
+
+from repro.geo.entities import BlockGroup, CensusBlock
+from repro.geo.geometry import Point
+from repro.isp.deployment import (
+    GroundTruth,
+    ServiceTruth,
+    UNSERVED,
+    build_ground_truth,
+    sample_service_truth,
+)
+from repro.isp.plans import BroadbandPlan
+from repro.isp.profiles import PROFILES, profile_for
+from repro.stats.distributions import stable_rng
+from repro.addresses.generator import AddressGenerator
+
+
+def make_block_group(density: float = 10.0) -> BlockGroup:
+    geoid = "060371234561"
+    blocks = tuple(
+        CensusBlock(geoid=f"{geoid}{i:03d}", centroid=Point(-118.0, 34.0),
+                    is_rural=density < 500)
+        for i in range(1, 3)
+    )
+    return BlockGroup(
+        geoid=geoid, centroid=Point(-118.0, 34.0), population=1000,
+        population_density=density, is_rural=density < 500,
+        distance_to_city_miles=30.0, blocks=blocks,
+    )
+
+
+class TestProfiles:
+    def test_all_bqt_isps_have_profiles(self):
+        for isp_id in ("att", "centurylink", "frontier", "consolidated",
+                       "xfinity", "spectrum"):
+            assert profile_for(isp_id).isp_id == isp_id
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile_for("windstream")
+
+    def test_att_serviceability_rises_with_density(self):
+        att = profile_for("att")
+        rural = att.serviceability_probability("CA", 5.0)
+        urban = att.serviceability_probability("CA", 50_000.0)
+        assert urban > rural
+        assert urban > 0.6
+        assert rural < 0.3
+
+    def test_att_mississippi_is_density_flat(self):
+        att = profile_for("att")
+        assert att.serviceability_probability("MS", 5.0) == \
+            att.serviceability_probability("MS", 5000.0)
+
+    def test_centurylink_new_jersey_is_zero(self):
+        # The paper observed 0% serviceability for 980 NJ addresses.
+        assert profile_for("centurylink").serviceability_probability(
+            "NJ", 100.0) == 0.0
+
+    def test_frontier_florida_depressed(self):
+        frontier = profile_for("frontier")
+        assert frontier.serviceability_probability("FL", 100.0) < \
+            frontier.serviceability_probability("OH", 100.0)
+
+    def test_probabilities_bounded(self):
+        for profile in PROFILES.values():
+            for density in (0.1, 10.0, 1000.0, 100000.0):
+                p = profile.serviceability_probability("OH", density)
+                assert 0.0 <= p <= 1.0
+
+    def test_negative_density_raises(self):
+        with pytest.raises(ValueError):
+            profile_for("att").serviceability_probability("CA", -1.0)
+
+    def test_tier_mix_sampling_matches_weights(self):
+        profile = profile_for("centurylink")
+        rng = stable_rng(0, "mix")
+        draws = [profile.sample_tier_label(rng) for _ in range(4000)]
+        share_10 = draws.count("10") / len(draws)
+        expected = profile.served_tier_mix["10"] / sum(
+            profile.served_tier_mix.values())
+        assert share_10 == pytest.approx(expected, abs=0.04)
+
+    def test_speed_for_label(self):
+        profile = profile_for("att")
+        rng = stable_rng(1, "speed")
+        assert profile.speed_for_label("10", rng) == 10.0
+        assert 11.0 <= profile.speed_for_label("11-99", rng) <= 99.0
+        assert profile.speed_for_label("1000+", rng) >= 1000.0
+        assert profile.speed_for_label("Unknown Plan", rng) == 0.0
+        with pytest.raises(ValueError):
+            profile.speed_for_label("nope", rng)
+
+    def test_price_in_paper_range_for_10mbps(self):
+        # Section 4.2: 10 Mbps tier priced $30-55.
+        rng = stable_rng(2, "price")
+        prices = [profile_for(isp).price_for_speed(10.0, rng)
+                  for isp in ("att", "centurylink", "frontier", "consolidated")
+                  for _ in range(200)]
+        assert np.median(prices) == pytest.approx(50.0, abs=10.0)
+        assert min(prices) >= 20.0
+        assert max(prices) <= 120.0
+
+    def test_make_plan_unknown_returns_none(self):
+        rng = stable_rng(3, "plan")
+        assert profile_for("frontier").make_plan("Unknown Plan", rng) is None
+
+    def test_make_plan_no_guarantee(self):
+        rng = stable_rng(4, "plan")
+        plan = profile_for("att").make_plan("AT&T Internet Air", rng)
+        assert plan is not None
+        assert not plan.is_speed_guaranteed
+
+    def test_lower_tier_plans_below_top(self):
+        rng = stable_rng(5, "lower")
+        profile = profile_for("consolidated")
+        top = profile.make_plan("1000+", rng)
+        lower = profile.lower_tier_plans(top, rng)
+        assert all(p.download_mbps < top.download_mbps for p in lower)
+
+
+class TestServiceTruth:
+    def test_unserved_invariants(self):
+        with pytest.raises(ValueError):
+            ServiceTruth(serves=False,
+                         plans=(BroadbandPlan("x", 10.0, 1.0, 40.0),))
+        with pytest.raises(ValueError):
+            ServiceTruth(serves=False, existing_subscriber=True)
+
+    def test_max_download_only_counts_guaranteed(self):
+        truth = ServiceTruth(serves=True, plans=(
+            BroadbandPlan("a", 10.0, 1.0, 40.0),
+            BroadbandPlan("b", 100.0, 10.0, 60.0, is_speed_guaranteed=False),
+        ))
+        assert truth.max_download_mbps == 10.0
+        assert truth.best_plan.download_mbps == 100.0
+
+    def test_unserved_default(self):
+        assert not UNSERVED.serves
+        assert UNSERVED.max_download_mbps == 0.0
+        assert UNSERVED.best_plan is None
+
+
+class TestGroundTruth:
+    def test_default_is_unserved(self):
+        truth = GroundTruth()
+        assert not truth.serves("att", "nope")
+        assert truth.truth_for("att", "nope") is UNSERVED
+
+    def test_set_and_get(self):
+        truth = GroundTruth()
+        state = ServiceTruth(serves=True,
+                             plans=(BroadbandPlan("x", 10.0, 1.0, 40.0),),
+                             tier_label="10")
+        truth.set_truth("att", "a-1", state)
+        assert truth.serves("att", "a-1")
+        assert not truth.serves("frontier", "a-1")
+        assert len(truth) == 1
+
+    def test_sample_service_truth_deterministic(self):
+        block_group = make_block_group()
+        address = AddressGenerator(seed=0).generate_for_block(
+            block_group.blocks[0], 1, True, "caf")[0]
+        profile = profile_for("centurylink")
+        first = sample_service_truth(profile, address, block_group, seed=9)
+        second = sample_service_truth(profile, address, block_group, seed=9)
+        assert first == second
+
+    def test_build_ground_truth_covers_all_addresses(self):
+        block_group = make_block_group()
+        addresses = AddressGenerator(seed=0).generate_for_block(
+            block_group.blocks[0], 50, True, "caf")
+        truth = build_ground_truth(
+            certified={"centurylink": addresses},
+            block_groups={block_group.geoid: block_group},
+            profiles=PROFILES,
+            seed=0,
+        )
+        assert len(truth) == 50
+        served = sum(truth.serves("centurylink", a.address_id)
+                     for a in addresses)
+        assert served > 30  # base probability is 0.904
+
+    def test_build_ground_truth_unknown_cbg_raises(self):
+        block_group = make_block_group()
+        foreign_block = CensusBlock(geoid="130371234561001",
+                                    centroid=Point(-84.0, 33.0), is_rural=True)
+        addresses = AddressGenerator(seed=0).generate_for_block(
+            foreign_block, 1, True, "caf")
+        with pytest.raises(KeyError, match="unknown CBG"):
+            build_ground_truth(
+                certified={"att": addresses},
+                block_groups={block_group.geoid: block_group},
+                profiles=PROFILES,
+            )

@@ -1,0 +1,77 @@
+"""Unit tests for repro.persist."""
+
+import pytest
+
+from repro.persist import StudyManifest, StudyStore
+
+
+@pytest.fixture(scope="module")
+def saved_store(report, tmp_path_factory):
+    store = StudyStore(tmp_path_factory.mktemp("study"))
+    manifest = store.save(report)
+    return store, manifest
+
+
+class TestStudyStore:
+    def test_save_writes_all_datasets(self, saved_store):
+        store, manifest = saved_store
+        for name in store.dataset_names():
+            assert store.dataset_path(name).exists(), name
+            assert name in manifest.checksums
+
+    def test_manifest_round_trip(self, saved_store):
+        store, manifest = saved_store
+        loaded = store.load_manifest()
+        assert loaded == manifest
+
+    def test_manifest_records_provenance(self, saved_store, world):
+        _, manifest = saved_store
+        assert manifest.seed == world.config.seed
+        assert manifest.states == world.config.states
+        assert "serviceability_rate" in manifest.headline
+
+    def test_verify_clean_store(self, saved_store):
+        store, _ = saved_store
+        assert store.verify() == []
+
+    def test_verify_detects_tampering(self, report, tmp_path):
+        store = StudyStore(tmp_path / "tampered")
+        store.save(report)
+        path = store.dataset_path("audit")
+        path.write_text(path.read_text().replace("True", "False", 1))
+        assert store.verify() == ["audit"]
+
+    def test_load_round_trips_row_counts(self, saved_store, report):
+        store, _ = saved_store
+        audit = store.load("audit")
+        assert len(audit) == len(report.audit.table)
+        q3_blocks = store.load("q3_blocks")
+        assert len(q3_blocks) == len(report.monopoly.blocks)
+
+    def test_loaded_audit_reproduces_rates(self, saved_store, report):
+        import numpy as np
+        store, _ = saved_store
+        audit = store.load("audit")
+        per_address = float(np.mean(audit["served"].astype(float)))
+        original = float(np.mean(
+            report.audit.table["served"].astype(float)))
+        assert per_address == pytest.approx(original)
+
+    def test_unknown_dataset_raises(self, saved_store):
+        store, _ = saved_store
+        with pytest.raises(KeyError, match="datasets"):
+            store.dataset_path("nope")
+
+    def test_load_missing_raises(self, tmp_path):
+        store = StudyStore(tmp_path / "empty")
+        with pytest.raises(FileNotFoundError):
+            store.load("audit")
+        with pytest.raises(FileNotFoundError):
+            store.load_manifest()
+
+    def test_manifest_json_stable(self):
+        manifest = StudyManifest(
+            seed=1, address_scale=0.01, states=("CA",),
+            headline={"serviceability_rate": 0.55},
+            checksums={"audit": "ab" * 32})
+        assert StudyManifest.from_json(manifest.to_json()) == manifest

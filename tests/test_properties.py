@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on core data structures and metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.geoid import block_geoid, block_group_geoid, county_geoid, \
+    parse_geoid, tract_geoid
+from repro.isp.plans import tier_label_for_speed
+from repro.stats.distributions import allocate_counts, bounded_zipf_shares
+from repro.stats.ecdf import ECDF
+from repro.stats.summary import box_stats
+from repro.stats.weighted import weighted_mean, weighted_quantile
+from repro.tabular import Table
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+positive_weights = st.floats(min_value=1e-6, max_value=1e6,
+                             allow_nan=False, allow_infinity=False)
+
+
+class TestWeightedProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.data())
+    def test_weighted_mean_within_range(self, values, data):
+        weights = data.draw(st.lists(positive_weights,
+                                     min_size=len(values),
+                                     max_size=len(values)))
+        mean = weighted_mean(values, weights)
+        assert min(values) - 1e-6 <= mean <= max(values) + 1e-6
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_uniform_weights_match_numpy(self, values):
+        mean = weighted_mean(values, [1.0] * len(values))
+        assert np.isclose(mean, np.mean(values), rtol=1e-9, atol=1e-6)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_weighted_quantile_is_a_sample_value(self, values, q):
+        result = weighted_quantile(values, [1.0] * len(values), q)
+        assert result in values
+
+
+class TestEcdfProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_monotone_and_bounded(self, values):
+        cdf = ECDF(values)
+        xs = sorted(values)
+        evaluations = cdf.evaluate(xs)
+        assert np.all(np.diff(evaluations) >= 0)
+        assert np.all((evaluations >= 0) & (evaluations <= 1))
+        assert cdf(max(values)) == 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100),
+           st.floats(min_value=0.001, max_value=1.0))
+    def test_quantile_inverse_consistency(self, values, q):
+        cdf = ECDF(values)
+        value = cdf.quantile(q)
+        assert cdf(value) >= q - 1e-9
+
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    def test_box_stats_ordering(self, values):
+        box = box_stats(values)
+        assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+        assert box.whisker_low >= box.minimum
+        assert box.whisker_high <= box.maximum
+
+
+class TestAllocationProperties:
+    @given(st.integers(min_value=0, max_value=100_000),
+           st.lists(positive_weights, min_size=1, max_size=40))
+    def test_allocate_counts_exact_total(self, total, shares):
+        counts = allocate_counts(total, shares)
+        assert counts.sum() == total
+        assert np.all(counts >= 0)
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.floats(min_value=0.0, max_value=3.0))
+    def test_zipf_shares_normalized(self, n, exponent):
+        shares = bounded_zipf_shares(n, exponent)
+        assert np.isclose(shares.sum(), 1.0)
+        assert np.all(shares > 0)
+
+
+class TestGeoidProperties:
+    @given(st.integers(min_value=0, max_value=999),
+           st.integers(min_value=0, max_value=999_999),
+           st.integers(min_value=0, max_value=9),
+           st.integers(min_value=0, max_value=999))
+    def test_round_trip(self, county, tract, bg_digit, block):
+        geoid = block_geoid(
+            block_group_geoid(tract_geoid(county_geoid("06", county), tract),
+                              bg_digit),
+            block)
+        parts = parse_geoid(geoid)
+        assert parts.block_geoid == geoid
+        assert parts.state_fips == "06"
+        assert int(parts.county) == county
+        assert int(parts.tract) == tract
+        assert int(parts.block_group) == bg_digit
+
+
+class TestTierLabelProperties:
+    @given(st.floats(min_value=0.0, max_value=100_000.0,
+                     allow_nan=False, allow_infinity=False))
+    def test_every_speed_has_a_label(self, speed):
+        label = tier_label_for_speed(speed)
+        assert isinstance(label, str) and label
+
+    @given(st.floats(min_value=0.01, max_value=100_000.0,
+                     allow_nan=False))
+    def test_banding_monotone_in_thresholds(self, speed):
+        label = tier_label_for_speed(speed)
+        if speed >= 1000:
+            assert label == "1000+"
+        elif speed >= 100:
+            assert label == "100-999"
+        elif speed > 10:
+            assert label == "11-99"
+        else:
+            assert label not in ("11-99", "100-999", "1000+")
+
+
+class TestTableProperties:
+    @settings(max_examples=50)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), finite_floats),
+        min_size=1, max_size=60))
+    def test_groupby_partition(self, pairs):
+        table = Table({
+            "key": [k for k, _ in pairs],
+            "value": [v for _, v in pairs],
+        })
+        grouped = table.group_by("key")
+        total = sum(len(sub) for _, sub in grouped.groups())
+        assert total == len(table)
+        sizes = grouped.size()
+        assert sum(sizes["count"]) == len(table)
+
+    @settings(max_examples=50)
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_sort_then_values_sorted(self, values):
+        table = Table({"x": values})
+        ordered = table.sort_by("x")
+        assert list(ordered["x"]) == sorted(values)
+
+    @settings(max_examples=30)
+    @given(st.lists(finite_floats, min_size=1, max_size=40))
+    def test_csv_round_trip(self, values):
+        import tempfile
+        from pathlib import Path
+
+        from repro.tabular import read_csv, write_csv
+        table = Table({"x": values})
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.csv"
+            write_csv(table, path)
+            loaded = read_csv(path)
+        np.testing.assert_allclose(
+            loaded["x"].astype(float), table["x"], rtol=1e-12)

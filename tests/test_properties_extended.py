@@ -1,0 +1,88 @@
+"""Additional property-based tests on pipeline invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampling import SamplingPolicy
+from repro.fcc.urban_rate_survey import UrbanRateSurvey
+from repro.stats.bootstrap import bootstrap_weighted_rate
+from repro.stats.weighted import weighted_fraction, weighted_mean
+
+
+class TestSamplingPolicyProperties:
+    @given(st.integers(min_value=0, max_value=100_000),
+           st.integers(min_value=1, max_value=100),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_target_never_exceeds_population(self, population, floor, rate):
+        policy = SamplingPolicy(min_samples=floor, sampling_fraction=rate)
+        target = policy.target_for(population)
+        assert 0 <= target <= population
+
+    @given(st.integers(min_value=0, max_value=100_000),
+           st.integers(min_value=1, max_value=100),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_target_at_least_fraction(self, population, floor, rate):
+        policy = SamplingPolicy(min_samples=floor, sampling_fraction=rate)
+        target = policy.target_for(population)
+        assert target >= min(population, int(np.floor(rate * population)))
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=100))
+    def test_target_monotone_in_population(self, population, floor):
+        policy = SamplingPolicy(min_samples=floor, sampling_fraction=0.1)
+        assert policy.target_for(population + 1) >= \
+            policy.target_for(population) - 1  # floor transitions allowed
+        # And the floor rule: small populations are fully sampled.
+        if population <= floor:
+            assert policy.target_for(population) == population
+
+
+class TestUrbanRateSurveyProperties:
+    @given(st.floats(min_value=0.1, max_value=10_000.0,
+                     allow_nan=False))
+    def test_tier_for_total(self, speed):
+        tier = UrbanRateSurvey.tier_for(speed)
+        assert tier in (10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+        assert tier <= max(speed, 10.0)
+
+    @given(st.floats(min_value=0.1, max_value=9_999.0, allow_nan=False),
+           st.floats(min_value=1.0, max_value=1.5))
+    def test_tier_monotone(self, speed, factor):
+        assert UrbanRateSurvey.tier_for(speed * factor) >= \
+            UrbanRateSurvey.tier_for(speed)
+
+
+class TestWeightedFractionProperties:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    ), min_size=1, max_size=30))
+    def test_fraction_bounded(self, groups):
+        numerators = [min(n, d) for n, d, _ in groups]
+        denominators = [d for _, d, _ in groups]
+        weights = [w for _, _, w in groups]
+        result = weighted_fraction(numerators, denominators, weights)
+        assert -1e-9 <= result <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False),
+                    min_size=1, max_size=30))
+    def test_equal_weights_match_mean_of_rates(self, rates):
+        result = weighted_mean(rates, [1.0] * len(rates))
+        assert np.isclose(result, np.mean(rates))
+
+
+class TestBootstrapProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False),
+                    min_size=2, max_size=30),
+           st.integers(min_value=0, max_value=100))
+    def test_interval_brackets_estimate_and_stays_in_unit(self, rates, seed):
+        weights = [1.0] * len(rates)
+        interval = bootstrap_weighted_rate(rates, weights,
+                                           replicates=100, seed=seed)
+        assert interval.low <= interval.estimate <= interval.high
+        assert -1e-9 <= interval.low
+        assert interval.high <= 1.0 + 1e-9

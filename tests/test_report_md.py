@@ -1,0 +1,56 @@
+"""Tests for the auto-generated reproduction report."""
+
+import pytest
+
+from repro.analysis.report_md import (
+    comparison_rows,
+    generate_report,
+    write_report,
+)
+from repro.analysis.result import ExperimentResult
+
+
+class TestComparisonRows:
+    def test_pairs_paper_and_measured(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t",
+            scalars={"rate": 0.5, "paper_rate": 0.55, "extra": 1.0})
+        rows = comparison_rows(result)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["metric"] == "rate"
+        assert row["paper"] == 0.55
+        assert row["measured"] == 0.5
+        assert row["relative_deviation"] == "-9.1%"
+
+    def test_zero_paper_value(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t",
+            scalars={"rate": 0.1, "paper_rate": 0.0})
+        assert comparison_rows(result)[0]["relative_deviation"] == "n/a"
+
+    def test_orphan_paper_key_skipped(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", scalars={"paper_only": 1.0})
+        assert comparison_rows(result) == []
+
+
+class TestGenerateReport:
+    def test_small_subset(self, context):
+        text = generate_report(context, experiment_ids=("headline",
+                                                        "figure9"))
+        assert "# Reproduction report" in text
+        assert "## figure9" in text
+        assert "## headline" in text
+        assert "| serviceability_rate |" in text
+        assert "rel. deviation" in text
+
+    def test_unknown_id_raises(self, context):
+        with pytest.raises(KeyError):
+            generate_report(context, experiment_ids=("figure99",))
+
+    def test_write_report(self, context, tmp_path):
+        path = write_report(context, tmp_path / "sub" / "report.md",
+                            experiment_ids=("headline",))
+        assert path.exists()
+        assert "Reproduction report" in path.read_text()

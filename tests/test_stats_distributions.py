@@ -1,0 +1,142 @@
+"""Unit tests for repro.stats.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import (
+    allocate_counts,
+    bounded_zipf_shares,
+    categorical_sample,
+    lognormal_sizes,
+    stable_rng,
+)
+
+
+class TestStableRng:
+    def test_same_parts_same_stream(self):
+        a = stable_rng(1, "x").random(5)
+        b = stable_rng(1, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_parts_different_stream(self):
+        a = stable_rng(1, "x").random(5)
+        b = stable_rng(1, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_part_order_matters(self):
+        assert stable_rng("a", "b").random() != stable_rng("b", "a").random()
+
+    def test_numeric_and_string_parts_mix(self):
+        # Must not raise and must be deterministic.
+        assert stable_rng(7, "geo", 3.5).random() == stable_rng(7, "geo", 3.5).random()
+
+
+class TestBoundedZipfShares:
+    def test_sums_to_one(self):
+        assert bounded_zipf_shares(10).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        shares = bounded_zipf_shares(20, exponent=1.1)
+        assert np.all(np.diff(shares) < 0)
+
+    def test_zero_exponent_is_uniform(self):
+        shares = bounded_zipf_shares(4, exponent=0.0)
+        np.testing.assert_allclose(shares, 0.25)
+
+    def test_higher_exponent_more_concentrated(self):
+        low = bounded_zipf_shares(50, exponent=0.5)
+        high = bounded_zipf_shares(50, exponent=1.5)
+        assert high[0] > low[0]
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            bounded_zipf_shares(0)
+        with pytest.raises(ValueError):
+            bounded_zipf_shares(5, exponent=-1.0)
+
+
+class TestLognormalSizes:
+    def test_median_roughly_on_target(self):
+        rng = stable_rng(0, "test")
+        sizes = lognormal_sizes(rng, 20_000, median=64.0, sigma=1.0)
+        assert np.median(sizes) == pytest.approx(64.0, rel=0.1)
+
+    def test_respects_bounds(self):
+        rng = stable_rng(1, "test")
+        sizes = lognormal_sizes(rng, 5_000, median=50.0, sigma=2.0,
+                                minimum=1, maximum=300)
+        assert sizes.min() >= 1
+        assert sizes.max() <= 300
+
+    def test_integer_output(self):
+        rng = stable_rng(2, "test")
+        assert lognormal_sizes(rng, 10, 10.0, 0.5).dtype == np.int64
+
+    def test_invalid_parameters_raise(self):
+        rng = stable_rng(3, "test")
+        with pytest.raises(ValueError):
+            lognormal_sizes(rng, -1, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            lognormal_sizes(rng, 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            lognormal_sizes(rng, 1, 10.0, -0.5)
+
+
+class TestCategoricalSample:
+    def test_respects_weights(self):
+        rng = stable_rng(0, "cat")
+        draws = categorical_sample(rng, {"a": 0.9, "b": 0.1}, 5_000)
+        share_a = draws.count("a") / len(draws)
+        assert share_a == pytest.approx(0.9, abs=0.03)
+
+    def test_zero_weight_never_drawn(self):
+        rng = stable_rng(1, "cat")
+        draws = categorical_sample(rng, {"a": 1.0, "b": 0.0}, 500)
+        assert set(draws) == {"a"}
+
+    def test_size_zero_is_empty(self):
+        rng = stable_rng(2, "cat")
+        assert categorical_sample(rng, {"a": 1.0}, 0) == []
+
+    def test_invalid_inputs_raise(self):
+        rng = stable_rng(3, "cat")
+        with pytest.raises(ValueError):
+            categorical_sample(rng, {}, 1)
+        with pytest.raises(ValueError):
+            categorical_sample(rng, {"a": -1.0}, 1)
+        with pytest.raises(ValueError):
+            categorical_sample(rng, {"a": 0.0}, 1)
+        with pytest.raises(ValueError):
+            categorical_sample(rng, {"a": 1.0}, -1)
+
+
+class TestAllocateCounts:
+    def test_sums_exactly_to_total(self):
+        counts = allocate_counts(1_000, [0.1, 0.2, 0.3, 0.4])
+        assert counts.sum() == 1_000
+
+    def test_proportionality(self):
+        counts = allocate_counts(100, [1, 1, 2])
+        assert list(counts) == [25, 25, 50]
+
+    def test_largest_remainder_rounding(self):
+        counts = allocate_counts(10, [1, 1, 1])
+        assert counts.sum() == 10
+        assert sorted(counts) == [3, 3, 4]
+
+    def test_zero_total(self):
+        assert allocate_counts(0, [0.5, 0.5]).sum() == 0
+
+    def test_unnormalized_shares_accepted(self):
+        np.testing.assert_array_equal(
+            allocate_counts(10, [3, 7]), allocate_counts(10, [0.3, 0.7]))
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            allocate_counts(-1, [1.0])
+        with pytest.raises(ValueError):
+            allocate_counts(1, [])
+        with pytest.raises(ValueError):
+            allocate_counts(1, [-0.5, 1.5])
+        with pytest.raises(ValueError):
+            allocate_counts(1, [0.0, 0.0])

@@ -1,0 +1,77 @@
+"""Unit tests for repro.stats.ecdf."""
+
+import numpy as np
+import pytest
+
+from repro.stats.ecdf import ECDF
+
+
+class TestECDF:
+    def test_basic_evaluation(self):
+        cdf = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == pytest.approx(0.25)
+        assert cdf(2.5) == pytest.approx(0.5)
+        assert cdf(4.0) == pytest.approx(1.0)
+        assert cdf(100.0) == pytest.approx(1.0)
+
+    def test_right_continuity_at_sample_points(self):
+        cdf = ECDF([1.0, 1.0, 2.0])
+        assert cdf(1.0) == pytest.approx(2 / 3)
+
+    def test_vectorized_evaluate_matches_scalar(self):
+        sample = [3.0, 1.0, 4.0, 1.0, 5.0]
+        cdf = ECDF(sample)
+        xs = [0.0, 1.0, 3.5, 10.0]
+        np.testing.assert_allclose(cdf.evaluate(xs), [cdf(x) for x in xs])
+
+    def test_quantile_inverts_cdf(self):
+        cdf = ECDF(list(range(1, 101)))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        assert cdf.quantile(0.8) == pytest.approx(80.0)
+        assert cdf.quantile(0.0) == pytest.approx(1.0)
+        assert cdf.quantile(1.0) == pytest.approx(100.0)
+
+    def test_median_shortcut(self):
+        cdf = ECDF([1.0, 2.0, 3.0])
+        assert cdf.median() == pytest.approx(2.0)
+
+    def test_series_traces_steps(self):
+        cdf = ECDF([2.0, 1.0, 3.0])
+        xs, ys = cdf.series()
+        np.testing.assert_allclose(xs, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(ys, [1 / 3, 2 / 3, 1.0])
+
+    def test_series_returns_copies(self):
+        cdf = ECDF([1.0, 2.0])
+        xs, _ = cdf.series()
+        xs[0] = 99.0
+        assert cdf.sorted_values[0] == 1.0
+
+    def test_fraction_below_is_strict(self):
+        cdf = ECDF([10.0, 10.0, 20.0, 30.0])
+        assert cdf.fraction_below(10.0) == 0.0
+        assert cdf.fraction_below(10.1) == pytest.approx(0.5)
+
+    def test_fraction_at_least(self):
+        cdf = ECDF([5.0, 10.0, 15.0, 20.0])
+        assert cdf.fraction_at_least(10.0) == pytest.approx(0.75)
+
+    def test_n_property(self):
+        assert ECDF([1.0, 2.0, 3.0]).n == 3
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ECDF([])
+
+    def test_nan_sample_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ECDF([1.0, float("nan")])
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            ECDF([1.0]).quantile(-0.1)
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            ECDF(np.ones((2, 2)))

@@ -1,0 +1,97 @@
+"""Unit tests for repro.stats.summary and repro.stats.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import pearson, spearman
+from repro.stats.summary import box_stats, five_number_summary
+
+
+class TestFiveNumberSummary:
+    def test_known_values(self):
+        summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary == (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def test_single_value(self):
+        assert five_number_summary([7.0]) == (7.0, 7.0, 7.0, 7.0, 7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            five_number_summary([])
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        box = box_stats(list(range(1, 101)))
+        assert box.q1 == pytest.approx(25.75)
+        assert box.median == pytest.approx(50.5)
+        assert box.q3 == pytest.approx(75.25)
+        assert box.iqr == pytest.approx(49.5)
+
+    def test_outlier_detection(self):
+        values = [10.0] * 20 + [11.0] * 20 + [500.0]
+        box = box_stats(values)
+        assert 500.0 in box.outliers
+        assert box.whisker_high <= 11.0
+
+    def test_no_outliers_whiskers_are_extremes(self):
+        box = box_stats([1.0, 2.0, 3.0, 4.0])
+        assert box.whisker_low == 1.0
+        assert box.whisker_high == 4.0
+        assert box.outliers == ()
+
+    def test_row_shape(self):
+        row = box_stats([1.0, 2.0]).row()
+        assert set(row) == {"n", "min", "q1", "median", "q3", "max",
+                            "whisker_low", "whisker_high", "n_outliers"}
+
+    def test_negative_whisker_raises(self):
+        with pytest.raises(ValueError):
+            box_stats([1.0], whisker=-1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        xs = np.arange(10.0)
+        result = pearson(xs, 2 * xs + 1)
+        assert result.coefficient == pytest.approx(1.0)
+        assert result.significant
+
+    def test_perfect_negative_spearman(self):
+        xs = np.arange(10.0)
+        result = spearman(xs, -(xs**3))
+        assert result.coefficient == pytest.approx(-1.0)
+
+    def test_spearman_rank_invariance(self):
+        xs = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        linear = spearman(xs, xs).coefficient
+        monotone = spearman(xs, np.exp(xs)).coefficient
+        assert linear == pytest.approx(monotone)
+
+    def test_no_correlation_not_significant(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=100)
+        ys = rng.normal(size=100)
+        result = pearson(xs, ys)
+        assert abs(result.coefficient) < 0.3
+
+    def test_n_recorded(self):
+        result = pearson([1.0, 2.0, 3.0], [1.0, 2.5, 2.0])
+        assert result.n == 3
+
+    def test_describe_mentions_strength(self):
+        result = pearson(np.arange(10.0), np.arange(10.0))
+        assert "strong" in result.describe()
+        assert "positive" in result.describe()
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            pearson([1.0, 2.0], [1.0, 2.0])
+
+    def test_misaligned_raise(self):
+        with pytest.raises(ValueError, match="align"):
+            spearman([1.0, 2.0, 3.0], [1.0, 2.0])

@@ -1,0 +1,90 @@
+"""Unit tests for repro.stats.weighted."""
+
+import numpy as np
+import pytest
+
+from repro.stats.weighted import weighted_fraction, weighted_mean, weighted_quantile
+
+
+class TestWeightedMean:
+    def test_equal_weights_match_plain_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert weighted_mean(values, [1, 1, 1, 1]) == pytest.approx(2.5)
+
+    def test_weights_shift_the_mean(self):
+        assert weighted_mean([0.0, 1.0], [1, 3]) == pytest.approx(0.75)
+
+    def test_zero_weight_entries_are_ignored(self):
+        assert weighted_mean([5.0, 100.0], [1, 0]) == pytest.approx(5.0)
+
+    def test_scaling_weights_is_invariant(self):
+        values = [0.3, 0.6, 0.9]
+        weights = [2, 5, 7]
+        scaled = [w * 13 for w in weights]
+        assert weighted_mean(values, weights) == pytest.approx(
+            weighted_mean(values, scaled))
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            weighted_mean([], [])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            weighted_mean([1.0, 2.0], [1.0])
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_mean([1.0], [-1.0])
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(ValueError, match="zero"):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_two_dimensional_input_raises(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            weighted_mean(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestWeightedFraction:
+    def test_per_group_fractions_weighted(self):
+        # Two CBGs: 50% and 100% served, weighted 1:3.
+        result = weighted_fraction([1, 4], [2, 4], [1, 3])
+        assert result == pytest.approx(0.875)
+
+    def test_zero_denominator_groups_dropped(self):
+        result = weighted_fraction([1, 0], [2, 0], [1, 100])
+        assert result == pytest.approx(0.5)
+
+    def test_all_zero_denominators_raise(self):
+        with pytest.raises(ValueError, match="denominator"):
+            weighted_fraction([0, 0], [0, 0], [1, 1])
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError, match="align"):
+            weighted_fraction([1], [1, 2], [1, 2])
+
+
+class TestWeightedQuantile:
+    def test_median_of_uniform_weights(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert weighted_quantile(values, [1] * 5, 0.5) == pytest.approx(3.0)
+
+    def test_heavy_weight_dominates(self):
+        assert weighted_quantile([1.0, 10.0], [1, 99], 0.5) == pytest.approx(10.0)
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        weights = [1, 1, 1]
+        assert weighted_quantile(values, weights, 0.0) == pytest.approx(1.0)
+        assert weighted_quantile(values, weights, 1.0) == pytest.approx(3.0)
+
+    def test_unsorted_input_handled(self):
+        assert weighted_quantile([5.0, 1.0, 3.0], [1, 1, 1], 0.5) == pytest.approx(3.0)
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            weighted_quantile([1.0], [1.0], 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            weighted_quantile([], [], 0.5)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.synth.churn."""
+
+import pytest
+
+from repro.bqt.responses import QueryStatus
+from repro.core.audit import AuditDataset
+from repro.core.collection import CollectionCampaign
+from repro.synth.churn import ChurnModel, churned_world
+
+
+class TestChurnModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnModel(upgrade_rate=1.5)
+        with pytest.raises(ValueError):
+            ChurnModel(upgrade_speed_multiplier=0.5)
+        with pytest.raises(ValueError):
+            ChurnModel(upgrade_price_multiplier=0.0)
+
+
+class TestChurnedWorld:
+    def test_zero_years_preserves_truth(self, world):
+        evolved = churned_world(world, years=0)
+        for (isp, address_id) in list(world.ground_truth.pairs())[:200]:
+            assert evolved.ground_truth.truth_for(isp, address_id) == \
+                world.ground_truth.truth_for(isp, address_id)
+
+    def test_shares_static_structure(self, world):
+        evolved = churned_world(world, years=2)
+        assert evolved.caf_map is world.caf_map
+        assert evolved.block_competition is world.block_competition
+        assert evolved.ground_truth is not world.ground_truth
+        assert evolved.websites is not world.websites
+
+    def test_original_world_untouched(self, world):
+        before = {
+            pair: world.ground_truth.truth_for(*pair)
+            for pair in list(world.ground_truth.pairs())[:100]
+        }
+        churned_world(world, years=3)
+        for pair, truth in before.items():
+            assert world.ground_truth.truth_for(*pair) == truth
+
+    def test_speeds_mostly_rise(self, world):
+        evolved = churned_world(
+            world, years=3,
+            model=ChurnModel(upgrade_rate=0.3, retirement_rate=0.0,
+                             new_deployment_rate=0.0))
+        upgrades = downgrades = 0
+        for pair in world.ground_truth.pairs():
+            old = world.ground_truth.truth_for(*pair)
+            new = evolved.ground_truth.truth_for(*pair)
+            if old.best_plan and new.best_plan:
+                if new.best_plan.download_mbps > old.best_plan.download_mbps:
+                    upgrades += 1
+                elif new.best_plan.download_mbps < old.best_plan.download_mbps:
+                    downgrades += 1
+        assert upgrades > 0
+        assert downgrades == 0
+
+    def test_new_deployment_only_increases_serves(self, world):
+        evolved = churned_world(
+            world, years=2,
+            model=ChurnModel(upgrade_rate=0.0, retirement_rate=0.0,
+                             new_deployment_rate=0.2))
+        lost = sum(
+            1 for pair in world.ground_truth.pairs()
+            if world.ground_truth.truth_for(*pair).serves
+            and not evolved.ground_truth.truth_for(*pair).serves)
+        gained = sum(
+            1 for pair in world.ground_truth.pairs()
+            if not world.ground_truth.truth_for(*pair).serves
+            and evolved.ground_truth.truth_for(*pair).serves)
+        assert lost == 0
+        assert gained > 0
+
+    def test_determinism(self, world):
+        first = churned_world(world, years=2)
+        second = churned_world(world, years=2)
+        for pair in list(world.ground_truth.pairs())[:200]:
+            assert first.ground_truth.truth_for(*pair) == \
+                second.ground_truth.truth_for(*pair)
+
+    def test_negative_years_raise(self, world):
+        with pytest.raises(ValueError):
+            churned_world(world, years=-1)
+
+    def test_staleness_bias_measurable(self, world):
+        """The §8.1 staleness experiment: a one-shot audit understates
+        serviceability measured after years of net deployment."""
+        evolved = churned_world(
+            world, years=3,
+            model=ChurnModel(new_deployment_rate=0.10,
+                             retirement_rate=0.0))
+
+        def audited_rate(target_world):
+            campaign = CollectionCampaign(target_world)
+            result = campaign.run(isps=("centurylink",), states=("NC",))
+            audit = AuditDataset(result.log, result.cbg_totals,
+                                 world=target_world)
+            return audit.serviceability_rate()
+
+        assert audited_rate(evolved) >= audited_rate(world) - 0.02

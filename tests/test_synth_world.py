@@ -1,0 +1,154 @@
+"""Unit tests for repro.synth (scenario, calibration, world builder)."""
+
+import pytest
+
+from repro.bqt.engine import BqtEngine
+from repro.geo.fips import Q3_STATES, STUDY_STATES
+from repro.synth import ScenarioConfig, build_world
+from repro.synth.calibration import (
+    PAPER_SERVICEABILITY_BY_ISP,
+    Q3OutcomeShares,
+    TABLE3_QUERIED_ADDRESSES,
+    TYPE_A_SHARES,
+    TYPE_B_SHARES,
+)
+
+
+class TestScenarioConfig:
+    def test_defaults_cover_study_scope(self):
+        config = ScenarioConfig()
+        assert config.states == STUDY_STATES
+        assert config.q3_states == Q3_STATES
+
+    def test_certified_count_scaling(self):
+        config = ScenarioConfig(address_scale=0.1, certified_multiplier=2.0)
+        assert config.certified_count("CA", 1000) == 200
+        assert config.certified_count("CA", 1) == 1  # floor at 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(address_scale=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(certified_multiplier=0.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(states=())
+        with pytest.raises(ValueError, match="q3_states"):
+            ScenarioConfig(states=("CA",), q3_states=("OH",))
+        with pytest.raises(ValueError):
+            ScenarioConfig(non_caf_fraction_range=(0.9, 0.4))
+
+
+class TestCalibration:
+    def test_table3_footprint_matches_paper_structure(self):
+        assert len(TABLE3_QUERIED_ADDRESSES) == 15
+        # Spot-check distinctive cells from the paper's Table 3.
+        assert TABLE3_QUERIED_ADDRESSES["CA"]["att"] == 69_711
+        assert TABLE3_QUERIED_ADDRESSES["MS"]["centurylink"] == 2
+        assert TABLE3_QUERIED_ADDRESSES["NJ"] == {"centurylink": 980}
+        assert TABLE3_QUERIED_ADDRESSES["VT"] == {"consolidated": 9_940}
+        assert "att" not in TABLE3_QUERIED_ADDRESSES["IA"]
+
+    def test_outcome_shares_sum_to_one(self):
+        for shares in (TYPE_A_SHARES, TYPE_B_SHARES):
+            assert sum(shares.as_mapping().values()) == pytest.approx(1.0)
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValueError):
+            Q3OutcomeShares(tie=0.5, caf_better=0.5, rival_better=0.5)
+
+
+class TestWorldBuilder:
+    def test_footprint_respected(self, world):
+        for state, footprint in TABLE3_QUERIED_ADDRESSES.items():
+            for isp in footprint:
+                addresses = world.caf_by_isp_state.get((isp, state))
+                assert addresses, f"missing ({isp}, {state})"
+        # ISPs never certify outside their Table 3 states.
+        assert ("att", "VT") not in world.caf_by_isp_state
+        assert ("consolidated", "CA") not in world.caf_by_isp_state
+
+    def test_caf_map_matches_addresses(self, world):
+        assert len(world.caf_map) == len(world.caf_addresses)
+        for record in world.caf_map.for_isp("consolidated")[:20]:
+            address = world.caf_addresses[record.address_id]
+            assert address.block_geoid == record.block_geoid
+
+    def test_certified_speeds_meet_floor(self, world):
+        # Figure 1f: certifications (not reality) always satisfy 10/1.
+        violating = [r for r in world.caf_map if not r.meets_caf_speed_floor]
+        assert not violating
+
+    def test_ground_truth_rates_near_calibration(self, world):
+        for isp, target in PAPER_SERVICEABILITY_BY_ISP.items():
+            served = total = 0
+            for (isp_id, _state), addresses in world.caf_by_isp_state.items():
+                if isp_id != isp:
+                    continue
+                for address in addresses:
+                    total += 1
+                    served += world.ground_truth.serves(isp, address.address_id)
+            assert served / total == pytest.approx(target, abs=0.12), isp
+
+    def test_centurylink_nj_truth_is_zero(self, world):
+        addresses = world.caf_by_isp_state.get(("centurylink", "NJ"), [])
+        assert addresses
+        assert not any(world.ground_truth.serves("centurylink", a.address_id)
+                       for a in addresses)
+
+    def test_zillow_only_in_q3_states(self, world):
+        q3_fips = {world.geographies[s].state_fips
+                   for s in world.config.q3_states}
+        for block_geoid in world.zillow.blocks():
+            assert block_geoid[:2] in q3_fips
+
+    def test_form477_incumbent_everywhere(self, world):
+        for block_geoid, competition in world.block_competition.items():
+            providers = world.form477.providers_in_block(block_geoid)
+            assert competition.incumbent_isp_id in providers
+            if competition.kind == "non_bqt":
+                assert "smallisp-000" in providers
+            if competition.cable_isp_id:
+                assert competition.cable_isp_id in providers
+
+    def test_nbm_consistent_with_form477(self, world):
+        assert world.broadband_map.consistent_with_form477(world.form477) == []
+
+    def test_block_competition_mix(self, world):
+        kinds = [c.kind for c in world.block_competition.values()]
+        monopoly_share = kinds.count("monopoly") / len(kinds)
+        assert monopoly_share > 0.7  # rural CAF blocks rarely see overlap
+        assert kinds.count("overlap_full") > 0
+
+    def test_ledger_covers_every_cell(self, world):
+        for (isp, state) in world.caf_by_isp_state:
+            assert world.ledger.amount_for(isp, state) > 0
+
+    def test_engine_factory(self, world):
+        engine = world.engine_for("att")
+        assert isinstance(engine, BqtEngine)
+        assert engine.isp_id == "att"
+        with pytest.raises(KeyError):
+            world.engine_for("verizon")
+
+    def test_determinism(self):
+        config = ScenarioConfig(
+            seed=3, address_scale=0.002, states=("UT", "NH"),
+            q3_states=("UT",))
+        first = build_world(config)
+        second = build_world(config)
+        assert set(first.caf_addresses) == set(second.caf_addresses)
+        sample = next(iter(first.caf_addresses))
+        for isp in ("centurylink", "frontier"):
+            assert first.ground_truth.truth_for(isp, sample) == \
+                second.ground_truth.truth_for(isp, sample)
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(ValueError, match="footprint"):
+            build_world(ScenarioConfig(states=("TX",), q3_states=()))
+
+    def test_caf_addresses_by_cbg_partition(self, world):
+        grouped = world.caf_addresses_by_cbg("frontier", "OH")
+        total = sum(len(addresses) for addresses in grouped.values())
+        assert total == len(world.caf_by_isp_state[("frontier", "OH")])
+        for cbg, addresses in grouped.items():
+            assert all(a.block_group_geoid == cbg for a in addresses)

@@ -1,0 +1,198 @@
+"""Unit tests for repro.tabular.frame."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Table
+
+
+@pytest.fixture
+def sample() -> Table:
+    return Table({
+        "isp": ["att", "frontier", "att", "centurylink"],
+        "speed": [10.0, 25.0, 100.0, 10.0],
+        "served": [True, True, False, True],
+    })
+
+
+class TestConstruction:
+    def test_column_names_ordered(self, sample: Table):
+        assert sample.column_names == ("isp", "speed", "served")
+
+    def test_length(self, sample: Table):
+        assert len(sample) == 4
+        assert sample.num_rows == 4
+
+    def test_empty_table(self):
+        table = Table()
+        assert len(table) == 0
+        assert table.column_names == ()
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_strings_stored_as_objects(self, sample: Table):
+        assert sample["isp"].dtype.kind == "O"
+
+    def test_from_rows(self):
+        table = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert len(table) == 2
+        assert list(table["a"]) == [1, 2]
+
+    def test_from_rows_schema_mismatch_raises(self):
+        with pytest.raises(ValueError, match="schema"):
+            Table.from_rows([{"a": 1}, {"b": 2}])
+
+    def test_from_rows_empty_with_columns(self):
+        table = Table.from_rows([], columns=["a", "b"])
+        assert table.column_names == ("a", "b")
+        assert len(table) == 0
+
+    def test_from_records(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            x: int
+            y: int
+
+        table = Table.from_records([Point(1, 2), Point(3, 4)], ["x", "y"])
+        assert list(table["y"]) == [2, 4]
+
+    def test_tuple_cells_kept_as_objects(self):
+        table = Table({"pair": [(1, 2), (3, 4)]})
+        assert table["pair"][0] == (1, 2)
+
+
+class TestAccess:
+    def test_column_is_read_only(self, sample: Table):
+        with pytest.raises(ValueError):
+            sample["speed"][0] = 999.0
+
+    def test_missing_column_raises_with_hint(self, sample: Table):
+        with pytest.raises(KeyError, match="available"):
+            sample["nope"]
+
+    def test_row(self, sample: Table):
+        assert sample.row(1) == {"isp": "frontier", "speed": 25.0, "served": True}
+
+    def test_row_negative_index(self, sample: Table):
+        assert sample.row(-1)["isp"] == "centurylink"
+
+    def test_row_out_of_range(self, sample: Table):
+        with pytest.raises(IndexError):
+            sample.row(10)
+
+    def test_iter_rows_round_trip(self, sample: Table):
+        rebuilt = Table.from_rows(sample.to_rows())
+        assert rebuilt == sample
+
+    def test_contains(self, sample: Table):
+        assert "isp" in sample
+        assert "nope" not in sample
+
+    def test_construction_copies_input(self):
+        source = np.array([1.0, 2.0])
+        table = Table({"a": source})
+        source[0] = 99.0
+        assert table["a"][0] == 1.0
+
+
+class TestTransformations:
+    def test_select_projects_and_orders(self, sample: Table):
+        projected = sample.select(["served", "isp"])
+        assert projected.column_names == ("served", "isp")
+
+    def test_select_missing_raises(self, sample: Table):
+        with pytest.raises(KeyError):
+            sample.select(["nope"])
+
+    def test_rename(self, sample: Table):
+        renamed = sample.rename({"isp": "provider"})
+        assert "provider" in renamed
+        assert "isp" not in renamed
+
+    def test_with_column_from_values(self, sample: Table):
+        extended = sample.with_column("price", [50.0, 60.0, 70.0, 80.0])
+        assert list(extended["price"]) == [50.0, 60.0, 70.0, 80.0]
+        assert "price" not in sample  # original untouched
+
+    def test_with_column_broadcast_scalar(self, sample: Table):
+        extended = sample.with_column("state", "CA")
+        assert set(extended["state"]) == {"CA"}
+
+    def test_with_column_callable(self, sample: Table):
+        extended = sample.with_column("fast", lambda t: t["speed"] >= 25.0)
+        assert list(extended["fast"]) == [False, True, True, False]
+
+    def test_drop(self, sample: Table):
+        assert sample.drop(["served"]).column_names == ("isp", "speed")
+
+    def test_take_gathers(self, sample: Table):
+        taken = sample.take([2, 0])
+        assert list(taken["speed"]) == [100.0, 10.0]
+
+    def test_mask_filters(self, sample: Table):
+        served = sample.mask(sample["served"].astype(bool))
+        assert len(served) == 3
+
+    def test_mask_requires_boolean(self, sample: Table):
+        with pytest.raises(TypeError):
+            sample.mask(np.array([1, 0, 1, 0]))
+
+    def test_mask_length_checked(self, sample: Table):
+        with pytest.raises(ValueError):
+            sample.mask(np.array([True]))
+
+    def test_filter_predicate(self, sample: Table):
+        fast = sample.filter(lambda t: t["speed"] > 10.0)
+        assert len(fast) == 2
+
+    def test_where_equal(self, sample: Table):
+        att = sample.where_equal(isp="att")
+        assert len(att) == 2
+        att_served = sample.where_equal(isp="att", served=True)
+        assert len(att_served) == 1
+
+    def test_sort_by_single(self, sample: Table):
+        ordered = sample.sort_by("speed")
+        assert list(ordered["speed"]) == [10.0, 10.0, 25.0, 100.0]
+
+    def test_sort_by_descending(self, sample: Table):
+        ordered = sample.sort_by("speed", descending=True)
+        assert list(ordered["speed"])[0] == 100.0
+
+    def test_sort_by_multiple_is_stable(self):
+        table = Table({"a": [2, 1, 2, 1], "b": ["x", "y", "w", "z"]})
+        ordered = table.sort_by(["a", "b"])
+        assert list(ordered["a"]) == [1, 1, 2, 2]
+        assert list(ordered["b"]) == ["y", "z", "w", "x"]
+
+    def test_head(self, sample: Table):
+        assert len(sample.head(2)) == 2
+        assert len(sample.head(100)) == 4
+
+    def test_concat(self, sample: Table):
+        doubled = sample.concat(sample)
+        assert len(doubled) == 8
+
+    def test_concat_schema_mismatch_raises(self, sample: Table):
+        with pytest.raises(ValueError, match="schemas"):
+            sample.concat(sample.drop(["served"]))
+
+    def test_concat_with_empty(self, sample: Table):
+        empty = sample.mask(np.zeros(4, dtype=bool))
+        assert sample.concat(empty) == sample
+
+    def test_unique(self, sample: Table):
+        assert list(sample.unique("isp")) == ["att", "centurylink", "frontier"]
+
+    def test_value_counts_descending(self, sample: Table):
+        counts = sample.value_counts("isp")
+        assert counts["att"] == 2
+        assert list(counts)[0] == "att"
+
+    def test_equality(self, sample: Table):
+        assert sample == sample.take(range(4))
+        assert sample != sample.head(2)

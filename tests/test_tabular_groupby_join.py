@@ -1,0 +1,133 @@
+"""Unit tests for repro.tabular.groupby and repro.tabular.join."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Table, join
+
+
+@pytest.fixture
+def audit_like() -> Table:
+    return Table({
+        "isp": ["att", "att", "att", "cl", "cl"],
+        "cbg": ["c1", "c1", "c2", "c1", "c3"],
+        "served": [1.0, 0.0, 1.0, 1.0, 1.0],
+    })
+
+
+class TestGroupBy:
+    def test_group_count(self, audit_like: Table):
+        grouped = audit_like.group_by(["isp", "cbg"])
+        assert len(grouped) == 4
+
+    def test_size_table(self, audit_like: Table):
+        sizes = audit_like.group_by("isp").size()
+        counts = dict(zip(sizes["isp"], sizes["count"]))
+        assert counts == {"att": 3, "cl": 2}
+
+    def test_agg_named_aggregations(self, audit_like: Table):
+        result = audit_like.group_by("isp").agg(
+            served=("served", np.sum),
+            total=("served", len),
+        )
+        row = result.where_equal(isp="att").row(0)
+        assert row["served"] == 2.0
+        assert row["total"] == 3
+
+    def test_agg_missing_source_raises(self, audit_like: Table):
+        with pytest.raises(KeyError):
+            audit_like.group_by("isp").agg(x=("nope", np.sum))
+
+    def test_agg_without_aggregations_raises(self, audit_like: Table):
+        with pytest.raises(ValueError):
+            audit_like.group_by("isp").agg()
+
+    def test_apply(self, audit_like: Table):
+        rates = audit_like.group_by(["isp", "cbg"]).apply(
+            lambda sub: {"rate": float(np.mean(sub["served"]))})
+        att_c1 = rates.where_equal(isp="att", cbg="c1").row(0)
+        assert att_c1["rate"] == pytest.approx(0.5)
+
+    def test_apply_cannot_overwrite_keys(self, audit_like: Table):
+        with pytest.raises(ValueError, match="key"):
+            audit_like.group_by("isp").apply(lambda sub: {"isp": "x"})
+
+    def test_groups_iteration_preserves_first_seen_order(self, audit_like: Table):
+        keys = [key for key, _ in audit_like.group_by("isp").groups()]
+        assert keys == [("att",), ("cl",)]
+
+    def test_group_lookup(self, audit_like: Table):
+        sub = audit_like.group_by("isp").group("cl")
+        assert len(sub) == 2
+
+    def test_group_lookup_missing_raises(self, audit_like: Table):
+        with pytest.raises(KeyError):
+            audit_like.group_by("isp").group("nope")
+
+    def test_missing_key_column_raises(self, audit_like: Table):
+        with pytest.raises(KeyError):
+            audit_like.group_by("nope")
+
+    def test_empty_keys_raise(self, audit_like: Table):
+        with pytest.raises(ValueError):
+            audit_like.group_by([])
+
+
+class TestJoin:
+    def test_inner_join(self):
+        left = Table({"cbg": ["a", "b", "c"], "rate": [0.1, 0.2, 0.3]})
+        right = Table({"cbg": ["a", "c"], "density": [10.0, 30.0]})
+        result = join(left, right, on="cbg")
+        assert len(result) == 2
+        assert list(result["density"]) == [10.0, 30.0]
+
+    def test_left_join_fills_missing_numeric_with_nan(self):
+        left = Table({"cbg": ["a", "b"], "rate": [0.1, 0.2]})
+        right = Table({"cbg": ["a"], "density": [10.0]})
+        result = join(left, right, on="cbg", how="left")
+        assert len(result) == 2
+        assert np.isnan(result["density"][1])
+
+    def test_left_join_fills_missing_objects_with_none(self):
+        left = Table({"k": [1, 2]})
+        right = Table({"k": [1], "label": ["x"]})
+        result = join(left, right, on="k", how="left")
+        assert result["label"][1] is None
+
+    def test_multi_key_join(self):
+        left = Table({"isp": ["att", "att"], "state": ["CA", "GA"],
+                      "rate": [0.3, 0.4]})
+        right = Table({"isp": ["att"], "state": ["GA"], "funds": [5.0]})
+        result = join(left, right, on=["isp", "state"])
+        assert len(result) == 1
+        assert result.row(0)["rate"] == pytest.approx(0.4)
+
+    def test_fan_out_on_duplicate_right_keys(self):
+        left = Table({"k": [1]})
+        right = Table({"k": [1, 1], "v": [10, 20]})
+        result = join(left, right, on="k")
+        assert sorted(result["v"]) == [10, 20]
+
+    def test_name_collision_suffixed(self):
+        left = Table({"k": [1], "v": [1.0]})
+        right = Table({"k": [1], "v": [2.0]})
+        result = join(left, right, on="k")
+        assert "v_right" in result.column_names
+
+    def test_unknown_how_raises(self):
+        table = Table({"k": [1]})
+        with pytest.raises(ValueError):
+            join(table, table, on="k", how="outer")
+
+    def test_missing_key_raises(self):
+        left = Table({"k": [1]})
+        right = Table({"j": [1]})
+        with pytest.raises(KeyError):
+            join(left, right, on="k")
+
+    def test_empty_result_keeps_schema(self):
+        left = Table({"k": [1], "a": [1.0]})
+        right = Table({"k": [2], "b": [2.0]})
+        result = join(left, right, on="k")
+        assert len(result) == 0
+        assert result.column_names == ("k", "a", "b")

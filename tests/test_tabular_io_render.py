@@ -1,0 +1,108 @@
+"""Unit tests for repro.tabular.tableio and repro.tabular.render."""
+
+import pytest
+
+from repro.tabular import (
+    Table,
+    read_csv,
+    read_jsonl,
+    render_table,
+    write_csv,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def sample() -> Table:
+    return Table({
+        "isp": ["att", "frontier"],
+        "speed": [10.5, 25.0],
+        "count": [3, 7],
+        "served": [True, False],
+    })
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values(self, sample: Table, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(sample, path)
+        assert read_csv(path) == sample
+
+    def test_type_inference(self, sample: Table, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(sample, path)
+        loaded = read_csv(path)
+        assert loaded["count"].dtype.kind == "i"
+        assert loaded["speed"].dtype.kind == "f"
+        assert loaded["served"].dtype.kind == "b"
+        assert loaded["isp"].dtype.kind == "O"
+
+    def test_creates_parent_directories(self, sample: Table, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.csv"
+        write_csv(sample, path)
+        assert path.exists()
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(path)
+
+    def test_ragged_row_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match=":3"):
+            read_csv(path)
+
+    def test_empty_table_round_trip(self, tmp_path):
+        table = Table({"a": [], "b": []})
+        path = tmp_path / "empty_table.csv"
+        write_csv(table, path)
+        assert read_csv(path).column_names == ("a", "b")
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, sample: Table, tmp_path):
+        path = tmp_path / "out.jsonl"
+        write_jsonl(sample, path)
+        assert read_jsonl(path) == sample
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert len(read_jsonl(path)) == 2
+
+    def test_invalid_json_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            read_jsonl(path)
+
+
+class TestRender:
+    def test_contains_headers_and_values(self, sample: Table):
+        text = render_table(sample)
+        assert "isp" in text
+        assert "frontier" in text
+        assert "10.50" in text
+
+    def test_title_rendered(self, sample: Table):
+        assert render_table(sample, title="My Table").startswith("My Table")
+
+    def test_max_rows_truncates(self, sample: Table):
+        text = render_table(sample, max_rows=1)
+        assert "1 more rows" in text
+        assert "frontier" not in text
+
+    def test_booleans_rendered_as_yes_no(self, sample: Table):
+        text = render_table(sample)
+        assert "yes" in text
+        assert "no" in text
+
+    def test_nan_rendered_as_dash(self):
+        table = Table({"x": [float("nan")]})
+        assert "-" in render_table(table)
+
+    def test_integers_have_thousand_separators(self):
+        table = Table({"n": [1_234_567]})
+        assert "1,234,567" in render_table(table)

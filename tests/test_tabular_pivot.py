@@ -1,0 +1,76 @@
+"""Unit tests for repro.tabular.pivot."""
+
+import pytest
+
+from repro.tabular import Table, pivot
+
+
+@pytest.fixture
+def long_table() -> Table:
+    return Table({
+        "tier": ["0", "0", "10", "10"],
+        "isp": ["att", "frontier", "att", "frontier"],
+        "pct": [67.7, 30.6, 3.1, 0.0],
+    })
+
+
+class TestPivot:
+    def test_single_value_column_names(self, long_table):
+        wide = pivot(long_table, index="tier", columns="isp", values="pct")
+        assert wide.column_names == ("tier", "att", "frontier")
+        assert len(wide) == 2
+
+    def test_values_routed_correctly(self, long_table):
+        wide = pivot(long_table, index="tier", columns="isp", values="pct")
+        row = wide.where_equal(tier="0").row(0)
+        assert row["att"] == pytest.approx(67.7)
+        assert row["frontier"] == pytest.approx(30.6)
+
+    def test_missing_cells_filled(self):
+        table = Table({
+            "tier": ["0", "10"],
+            "isp": ["att", "frontier"],
+            "pct": [67.7, 0.1],
+        })
+        wide = pivot(table, index="tier", columns="isp", values="pct",
+                     fill=-1.0)
+        assert wide.where_equal(tier="0").row(0)["frontier"] == -1.0
+
+    def test_multi_value_suffixing(self):
+        table = Table({
+            "tier": ["10"],
+            "isp": ["att"],
+            "certified_pct": [100.0],
+            "advertised_pct": [3.1],
+        })
+        wide = pivot(table, index="tier", columns="isp",
+                     values=["certified_pct", "advertised_pct"])
+        assert "att_certified_pct" in wide.column_names
+        assert "att_advertised_pct" in wide.column_names
+
+    def test_index_order_preserved(self, long_table):
+        wide = pivot(long_table, index="tier", columns="isp", values="pct")
+        assert list(wide["tier"]) == ["0", "10"]
+
+    def test_duplicate_cells_rejected(self):
+        table = Table({
+            "tier": ["0", "0"],
+            "isp": ["att", "att"],
+            "pct": [1.0, 2.0],
+        })
+        with pytest.raises(ValueError, match="duplicate"):
+            pivot(table, index="tier", columns="isp", values="pct")
+
+    def test_missing_column_raises(self, long_table):
+        with pytest.raises(KeyError):
+            pivot(long_table, index="nope", columns="isp", values="pct")
+
+    def test_table1_wide_integration(self, report):
+        wide = report.compliance.table1_wide()
+        assert "tier" in wide.column_names
+        assert "att_certified_pct" in wide.column_names
+        # AT&T certifies 100% at the 10 Mbps tier (Figure 1f / Table 1).
+        row = wide.where_equal(tier="10").row(0)
+        assert row["att_certified_pct"] == pytest.approx(100.0)
+        tiers = list(wide["tier"])
+        assert tiers[0] == "0"  # numeric tiers sorted first

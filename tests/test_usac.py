@@ -1,0 +1,214 @@
+"""Unit tests for the repro.usac package."""
+
+import numpy as np
+import pytest
+
+from repro.isp.deployment import GroundTruth, ServiceTruth
+from repro.isp.plans import BroadbandPlan
+from repro.usac import (
+    CafMapDataset,
+    CertificationBatch,
+    Disbursement,
+    DisbursementLedger,
+    DeploymentRecord,
+    HubbPortal,
+)
+from repro.usac.generator import NationalDatasetConfig, certified_speed_for
+from repro.stats.distributions import stable_rng
+
+
+def record(address_id="a-1", isp="att", state="CA",
+           block="060371234561001", download=10.0) -> DeploymentRecord:
+    return DeploymentRecord(
+        address_id=address_id, isp_id=isp, state_abbreviation=state,
+        block_geoid=block, longitude=-118.0, latitude=34.0, households=1,
+        technology="dsl", certified_download_mbps=download,
+        certified_upload_mbps=1.0, certified_latency_ms=40.0,
+    )
+
+
+class TestDeploymentRecord:
+    def test_derived_geoids(self):
+        rec = record()
+        assert rec.block_group_geoid == "060371234561"
+        assert rec.state_fips == "06"
+
+    def test_speed_floor_check(self):
+        assert record(download=10.0).meets_caf_speed_floor
+        assert not record(download=9.0).meets_caf_speed_floor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            record(block="bad")
+        with pytest.raises(ValueError):
+            record(download=0.0)
+
+
+class TestCafMapDataset:
+    def test_indexes(self):
+        dataset = CafMapDataset([
+            record("a-1"), record("a-2", isp="frontier", state="OH",
+                                  block="390371234561001"),
+        ])
+        assert len(dataset) == 2
+        assert dataset.isps() == ["att", "frontier"]
+        assert dataset.states() == ["CA", "OH"]
+        assert len(dataset.for_isp_state("att", "CA")) == 1
+        assert dataset.record_for("a-1").isp_id == "att"
+        assert "a-1" in dataset
+
+    def test_duplicate_address_rejected(self):
+        dataset = CafMapDataset([record("a-1")])
+        with pytest.raises(ValueError, match="duplicate"):
+            dataset.add(record("a-1"))
+
+    def test_unknown_address_raises(self):
+        with pytest.raises(KeyError):
+            CafMapDataset().record_for("nope")
+
+    def test_per_block_counts(self):
+        dataset = CafMapDataset([
+            record("a-1"), record("a-2"),
+            record("a-3", block="060371234561002"),
+        ])
+        per_block = dataset.addresses_per_block()
+        assert per_block["060371234561001"] == 2
+        per_cbg = dataset.addresses_per_block_group()
+        assert per_cbg["060371234561"] == 3
+
+    def test_to_table(self):
+        table = CafMapDataset([record()]).to_table()
+        assert "certified_download_mbps" in table.column_names
+        assert len(table) == 1
+
+
+class TestDisbursementLedger:
+    def test_accumulation(self):
+        ledger = DisbursementLedger([
+            Disbursement("att", "CA", 100.0),
+            Disbursement("att", "CA", 50.0),
+            Disbursement("frontier", "OH", 30.0),
+        ])
+        assert ledger.amount_for("att", "CA") == pytest.approx(150.0)
+        assert ledger.total_usd() == pytest.approx(180.0)
+        assert ledger.by_state()["CA"] == pytest.approx(150.0)
+        assert ledger.by_isp()["frontier"] == pytest.approx(30.0)
+
+    def test_top_isps(self):
+        ledger = DisbursementLedger([
+            Disbursement("a", "CA", 10.0),
+            Disbursement("b", "CA", 30.0),
+            Disbursement("c", "CA", 20.0),
+        ])
+        assert ledger.top_isps(2) == [("b", 30.0), ("c", 20.0)]
+        assert ledger.share_of_top_isps(1) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Disbursement("a", "CA", -1.0)
+        with pytest.raises(ValueError):
+            DisbursementLedger().top_isps(0)
+        with pytest.raises(ValueError):
+            DisbursementLedger().share_of_top_isps(1)
+
+
+class TestHubbPortal:
+    def test_submit_accumulates(self):
+        portal = HubbPortal()
+        added = portal.submit(CertificationBatch(
+            isp_id="att", filing_year=2021,
+            records=(record("a-1"), record("a-2"))))
+        assert added == 2
+        assert len(portal.caf_map) == 2
+        assert len(portal.filings) == 1
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError, match="other ISPs"):
+            CertificationBatch(isp_id="frontier", filing_year=2021,
+                               records=(record("a-1", isp="att"),))
+        with pytest.raises(ValueError, match="empty"):
+            CertificationBatch(isp_id="att", filing_year=2021, records=())
+        with pytest.raises(ValueError, match="evidence"):
+            CertificationBatch(isp_id="att", filing_year=2021,
+                               records=(record(),), evidence_kind="rumor")
+
+    def test_verification_review_detects_gap(self):
+        portal = HubbPortal(seed=1)
+        records = tuple(record(f"a-{i}") for i in range(100))
+        portal.submit(CertificationBatch("att", 2021, records))
+        truth = GroundTruth()
+        plan = BroadbandPlan("x", 10.0, 1.0, 40.0)
+        # Only the first half is actually served.
+        for i, rec in enumerate(records):
+            if i < 50:
+                truth.set_truth("att", rec.address_id,
+                                ServiceTruth(serves=True, plans=(plan,),
+                                             tier_label="10"))
+        review = portal.run_verification_review("att", truth,
+                                                sample_fraction=0.5)
+        assert review.sampled == 50
+        assert 0.2 < review.compliance_gap < 0.8
+        assert review.pass_rate == pytest.approx(1 - review.compliance_gap)
+
+    def test_review_without_filings_raises(self):
+        with pytest.raises(ValueError):
+            HubbPortal().run_verification_review("att", GroundTruth())
+
+    def test_review_bad_fraction_raises(self):
+        portal = HubbPortal()
+        portal.submit(CertificationBatch("att", 2021, (record(),)))
+        with pytest.raises(ValueError):
+            portal.run_verification_review("att", GroundTruth(),
+                                           sample_fraction=0.0)
+
+
+class TestNationalGenerator:
+    def test_marginals(self, national):
+        caf_map = national.caf_map
+        counts = caf_map.count_by_isp()
+        top4 = sum(sorted(counts.values(), reverse=True)[:4]) / len(caf_map)
+        assert top4 == pytest.approx(0.62, abs=0.06)
+        assert national.rural_block_share == pytest.approx(0.967, abs=0.03)
+        cbg_sizes = list(caf_map.addresses_per_block_group().values())
+        assert np.median(cbg_sizes) == pytest.approx(64, rel=0.35)
+
+    def test_top_states(self, national):
+        ranked = sorted(national.caf_map.count_by_state().items(),
+                        key=lambda kv: -kv[1])
+        assert ranked[0][0] == "TX"
+        assert {"WI", "MN"} <= {state for state, _ in ranked[:4]}
+
+    def test_funds_scale(self, national):
+        expected = 10e9 * 0.002
+        assert national.ledger.total_usd() == pytest.approx(expected, rel=0.01)
+
+    def test_certified_speeds_mass_at_10(self, national):
+        speeds = [r.certified_download_mbps for r in national.caf_map
+                  if r.isp_id == "att"]
+        assert all(s == 10.0 for s in speeds)
+
+    def test_consolidated_certifies_a_tail(self):
+        rng = stable_rng(0, "speeds")
+        draws = [certified_speed_for("consolidated", rng)[0]
+                 for _ in range(2000)]
+        share_10 = draws.count(10.0) / len(draws)
+        assert share_10 == pytest.approx(0.86, abs=0.04)
+        assert 25.0 in draws
+        assert any(speed >= 1000.0 for speed in draws)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NationalDatasetConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            NationalDatasetConfig(num_small_isps=0)
+        with pytest.raises(ValueError):
+            NationalDatasetConfig(rural_block_fraction=1.5)
+
+    def test_determinism(self):
+        from repro.usac.generator import generate_national_dataset
+        config = NationalDatasetConfig(scale=0.0005, seed=11)
+        first = generate_national_dataset(config)
+        second = generate_national_dataset(config)
+        assert len(first.caf_map) == len(second.caf_map)
+        assert first.ledger.total_usd() == pytest.approx(
+            second.ledger.total_usd())

@@ -1,0 +1,82 @@
+"""Unit tests for repro.usac.portal."""
+
+import pytest
+
+from repro.usac.portal import OpenDataPortal, PortalQuery
+
+
+@pytest.fixture(scope="module")
+def portal(world) -> OpenDataPortal:
+    return OpenDataPortal(world.caf_map)
+
+
+class TestPortalQuery:
+    def test_where_accumulates(self):
+        query = PortalQuery().where(isp_id="att").where(
+            state_abbreviation="CA")
+        assert query.filters == {"isp_id": "att",
+                                 "state_abbreviation": "CA"}
+
+    def test_next_page_advances_offset(self):
+        query = PortalQuery(limit=100)
+        assert query.next_page().offset == 100
+        assert query.next_page().next_page().offset == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="filterable"):
+            PortalQuery(filters={"latitude": 1.0})
+        with pytest.raises(ValueError, match="orderable"):
+            PortalQuery(order_by="nope")
+        with pytest.raises(ValueError):
+            PortalQuery(offset=-1)
+        with pytest.raises(ValueError):
+            PortalQuery(limit=0)
+
+
+class TestOpenDataPortal:
+    def test_filters_match_dataset_indexes(self, portal, world):
+        count = portal.count(isp_id="frontier")
+        assert count == len(world.caf_map.for_isp("frontier"))
+
+    def test_combined_filters(self, portal, world):
+        count = portal.count(isp_id="att", state_abbreviation="MS")
+        assert count == len(world.caf_map.for_isp_state("att", "MS"))
+        assert count > 0
+
+    def test_pagination_covers_everything_once(self, portal):
+        query = PortalQuery(filters={"isp_id": "consolidated"}, limit=17)
+        ids = [record.address_id for record in portal.fetch_all(query)]
+        assert len(ids) == len(set(ids))
+        assert len(ids) == portal.count(isp_id="consolidated")
+
+    def test_page_metadata(self, portal):
+        total = portal.count(isp_id="att")
+        page = portal.fetch(PortalQuery(filters={"isp_id": "att"},
+                                        limit=min(10, total)))
+        assert page.total_matching == total
+        assert page.has_more == (total > 10)
+
+    def test_ordering(self, portal):
+        query = PortalQuery(filters={"isp_id": "centurylink"},
+                            order_by="certified_download_mbps",
+                            descending=True, limit=50)
+        speeds = [r.certified_download_mbps
+                  for r in portal.fetch(query).records]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_stable_default_order(self, portal):
+        query = PortalQuery(filters={"isp_id": "att"}, limit=20)
+        first = [r.address_id for r in portal.fetch(query).records]
+        second = [r.address_id for r in portal.fetch(query).records]
+        assert first == second == sorted(first)
+
+    def test_to_table(self, portal):
+        query = PortalQuery(filters={"isp_id": "consolidated"})
+        table = portal.to_table(query)
+        assert len(table) == portal.count(isp_id="consolidated")
+        assert "certified_download_mbps" in table.column_names
+
+    def test_empty_result_table(self, portal):
+        table = portal.to_table(PortalQuery(
+            filters={"state_abbreviation": "AK"}))
+        assert len(table) == 0

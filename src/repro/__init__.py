@@ -24,13 +24,15 @@ Every table and figure in the paper has a generator::
 """
 
 from repro.core.pipeline import AuditReport, run_full_audit
+from repro.runtime.executor import RuntimeConfig
 from repro.synth.scenario import ScenarioConfig
 from repro.synth.world import World, build_world
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AuditReport",
+    "RuntimeConfig",
     "ScenarioConfig",
     "World",
     "build_world",

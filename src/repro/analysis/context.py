@@ -6,7 +6,11 @@ build + one audit + one national-dataset generation.
 
 The scale knob reads ``REPRO_SCALE`` from the environment ("tiny",
 "small", "paper") so the same benchmarks run fast in CI and at study
-scale on demand.
+scale on demand. Setting ``REPRO_CACHE_DIR`` (or passing
+``cache_dir``) additionally persists the audit in a content-addressed
+cache (:mod:`repro.runtime.cache`), so *separate* script invocations
+at the same scale — e.g. the 20+ benchmark scripts — share one audit
+instead of each rebuilding it.
 """
 
 from __future__ import annotations
@@ -49,16 +53,25 @@ class ExperimentContext:
 
     scenario: ScenarioConfig
     national_config: NationalDatasetConfig
+    cache_dir: str | None = None
     _world: World | None = None
     _report: AuditReport | None = None
     _national: NationalDataset | None = None
     _sensitivity: SensitivityResult | None = None
 
     @classmethod
-    def at_scale(cls, scale: str | None = None) -> "ExperimentContext":
-        """Build a context at a named scale (or the environment's)."""
+    def at_scale(
+        cls, scale: str | None = None, cache_dir: str | None = None
+    ) -> "ExperimentContext":
+        """Build a context at a named scale (or the environment's).
+
+        ``cache_dir`` defaults to ``REPRO_CACHE_DIR`` when set.
+        """
+        from repro.runtime.cache import cache_dir_from_environment
+
         scenario, national = _SCALES[scale or scale_from_environment()]
-        return cls(scenario=scenario, national_config=national)
+        return cls(scenario=scenario, national_config=national,
+                   cache_dir=cache_dir or cache_dir_from_environment())
 
     @property
     def world(self) -> World:
@@ -69,10 +82,30 @@ class ExperimentContext:
 
     @property
     def report(self) -> AuditReport:
-        """The full audit report (run on first use)."""
+        """The full audit report (run, or loaded from the cache, on
+        first use)."""
         if self._report is None:
-            self._report = run_full_audit(world=self.world)
+            if self.cache_dir is not None:
+                self._report = self._cached_report()
+            else:
+                self._report = run_full_audit(world=self.world)
         return self._report
+
+    def _cached_report(self) -> AuditReport:
+        from repro.core.pipeline import CAF_STUDY_ISP_IDS
+        from repro.runtime.cache import AuditCache, audit_digest
+
+        cache = AuditCache(self.cache_dir)
+        digest = audit_digest(self.scenario, None, CAF_STUDY_ISP_IDS)
+        report = cache.get(digest)
+        if report is None:
+            report = run_full_audit(world=self.world)
+            cache.put(digest, report)
+        else:
+            # Reuse the cached world too: analyses compare report and
+            # world objects, which must be one coherent universe.
+            self._world = report.world
+        return report
 
     @property
     def national(self) -> NationalDataset:

@@ -3,13 +3,18 @@
 Usage::
 
     caf-audit run [--scale tiny|small|paper] [--seed N]
+                  [--shards N] [--workers N] [--resume]
+                  [--checkpoint-dir DIR] [--cache-dir DIR]
     caf-audit experiment <id>... [--scale ...]
     caf-audit list
     caf-audit export --out DIR [--scale ...]
+    caf-audit --version
 
-``run`` prints the headline audit summary; ``experiment`` renders one
-or more paper tables/figures; ``export`` writes the audit datasets to
-CSV for downstream use.
+``run`` prints the headline audit summary — sharded across worker
+processes, resumable from checkpoints, and served from the
+content-addressed audit cache when the runtime flags are given;
+``experiment`` renders one or more paper tables/figures; ``export``
+writes the audit datasets to CSV for downstream use.
 """
 
 from __future__ import annotations
@@ -36,11 +41,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="caf-audit",
         description="Reproduction of the SIGCOMM'24 CAF efficacy study",
     )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run the full audit")
     run_parser.add_argument("--scale", choices=_SCALE_CHOICES, default="tiny")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="shard the campaign into N pieces (0 = sequential path)")
+    run_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (clamped to the per-ISP politeness cap)")
+    run_parser.add_argument(
+        "--backend", choices=("auto", "serial", "process"), default="auto",
+        help="shard execution backend (auto: process iff workers > 1)")
+    run_parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write per-shard checkpoints under DIR")
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="reload completed shards from --checkpoint-dir")
+    run_parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed audit cache directory")
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="reproduce paper tables/figures")
@@ -93,7 +120,26 @@ def _command_run(args: argparse.Namespace) -> int:
             cbg_size_sigma=scenario.cbg_size_sigma,
             max_cbg_size=scenario.max_cbg_size,
         )
-    report = run_full_audit(scenario=scenario)
+    parallel = None
+    wants_runtime = (args.shards or args.workers != 1 or args.resume
+                     or args.backend != "auto"
+                     or args.checkpoint_dir or args.cache_dir)
+    if wants_runtime:
+        from repro.runtime import RuntimeConfig
+
+        try:
+            parallel = RuntimeConfig(
+                shards=args.shards or max(args.workers, 1),
+                workers=args.workers,
+                backend=args.backend,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                cache_dir=args.cache_dir,
+            )
+        except ValueError as error:
+            print(f"caf-audit run: {error}", file=sys.stderr)
+            return 2
+    report = run_full_audit(scenario=scenario, parallel=parallel)
     print("\n".join(report.summary_lines()))
     return 0
 

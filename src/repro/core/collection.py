@@ -10,6 +10,15 @@ Two campaigns mirror the paper's two collections:
   query the incumbent at *every* CAF and non-CAF address, and the
   overlapping cable ISP at non-CAF addresses, then assign each non-CAF
   address its mode (monopoly vs competition) from the cable outcome.
+
+Both campaigns decompose into *cells* — one (ISP, CBG) sample for
+Q1/Q2 (:func:`run_q12_cell`), one census block for Q3
+(:func:`run_q3_block`) — each queried through a fresh engine so a
+cell's records depend only on the world seed and the cell's own
+addresses, never on which other cells ran before it. That independence
+is what lets :mod:`repro.runtime` shard a campaign across processes and
+merge the shard logs back into a result bit-identical to this module's
+sequential loops.
 """
 
 from __future__ import annotations
@@ -17,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.addresses.models import StreetAddress
-from repro.bqt.engine import BqtEngine, EngineConfig
+from repro.bqt.engine import EngineConfig
 from repro.bqt.logbook import QueryLog, QueryRecord
 from repro.bqt.responses import QueryStatus
 from repro.core.sampling import SamplePlan, SamplingPolicy, plan_cbg_sample
@@ -27,7 +36,11 @@ __all__ = [
     "CollectionResult",
     "CollectionCampaign",
     "Q3Collection",
+    "Q3BlockOutcome",
     "collect_q3_dataset",
+    "q3_block_candidates",
+    "run_q12_cell",
+    "run_q3_block",
 ]
 
 
@@ -61,6 +74,60 @@ class CollectionResult:
         return len(conclusive) / plan.population_size
 
 
+def _as_replacement(record: QueryRecord, failed: StreetAddress) -> QueryRecord:
+    return QueryRecord(
+        isp_id=record.isp_id,
+        address_id=record.address_id,
+        block_geoid=record.block_geoid,
+        state_abbreviation=record.state_abbreviation,
+        status=record.status,
+        plans=record.plans,
+        error_category=record.error_category,
+        attempts=record.attempts,
+        elapsed_seconds=record.elapsed_seconds,
+        replacement_for=failed.address_id,
+    )
+
+
+def run_q12_cell(
+    world: World,
+    isp_id: str,
+    cbg: str,
+    addresses: list[StreetAddress],
+    policy: SamplingPolicy | None = None,
+    engine_config: EngineConfig | None = None,
+    max_replacements: int = 2,
+) -> tuple[SamplePlan, list[QueryRecord]]:
+    """Query one (ISP, CBG) cell against a fresh engine.
+
+    The cell is the atomic unit of the Q1/Q2 campaign: the sample plan
+    is deterministic in (world seed, CBG, addresses), and the fresh
+    engine (with its fresh proxy pool) makes the record stream
+    deterministic in the same inputs — independent of every other cell.
+    """
+    if max_replacements < 0:
+        raise ValueError("max_replacements must be non-negative")
+    policy = policy or SamplingPolicy()
+    engine = world.engine_for(isp_id, engine_config)
+    plan = plan_cbg_sample(cbg, addresses, policy, seed=world.config.seed)
+    records: list[QueryRecord] = []
+    reserve = list(plan.reserve)
+    for address in plan.selected:
+        record = engine.query(address)
+        records.append(record)
+        failed = address
+        replacements_used = 0
+        while (record.status is QueryStatus.UNKNOWN
+               and replacements_used < max_replacements
+               and reserve):
+            replacement = reserve.pop(0)
+            record = _as_replacement(engine.query(replacement), failed)
+            records.append(record)
+            failed = replacement
+            replacements_used += 1
+    return plan, records
+
+
 class CollectionCampaign:
     """The Q1/Q2 stratified-sample querying campaign."""
 
@@ -87,48 +154,19 @@ class CollectionCampaign:
         result = CollectionResult(log=QueryLog())
         states = states or self._world.config.states
         for isp_id in isps:
-            engine = self._world.engine_for(isp_id, self._engine_config)
             for state in states:
                 by_cbg = self._world.caf_addresses_by_cbg(isp_id, state)
                 for cbg, addresses in sorted(by_cbg.items()):
-                    plan = plan_cbg_sample(
-                        cbg, addresses, self._policy, seed=self._world.config.seed
+                    plan, records = run_q12_cell(
+                        self._world, isp_id, cbg, addresses,
+                        policy=self._policy,
+                        engine_config=self._engine_config,
+                        max_replacements=self._max_replacements,
                     )
                     result.plans[(isp_id, cbg)] = plan
                     result.cbg_totals[(isp_id, cbg)] = plan.population_size
-                    self._query_cbg(engine, plan, result.log)
+                    result.log.extend(records)
         return result
-
-    def _query_cbg(self, engine: BqtEngine, plan: SamplePlan, log: QueryLog) -> None:
-        reserve = list(plan.reserve)
-        for address in plan.selected:
-            record = engine.query(address)
-            log.append(record)
-            failed = address
-            replacements_used = 0
-            while (record.status is QueryStatus.UNKNOWN
-                   and replacements_used < self._max_replacements
-                   and reserve):
-                replacement = reserve.pop(0)
-                record = self._as_replacement(engine.query(replacement), failed)
-                log.append(record)
-                failed = replacement
-                replacements_used += 1
-
-    @staticmethod
-    def _as_replacement(record: QueryRecord, failed: StreetAddress) -> QueryRecord:
-        return QueryRecord(
-            isp_id=record.isp_id,
-            address_id=record.address_id,
-            block_geoid=record.block_geoid,
-            state_abbreviation=record.state_abbreviation,
-            status=record.status,
-            plans=record.plans,
-            error_category=record.error_category,
-            attempts=record.attempts,
-            elapsed_seconds=record.elapsed_seconds,
-            replacement_for=failed.address_id,
-        )
 
 
 @dataclass
@@ -144,64 +182,94 @@ class Q3Collection:
     analyzed_blocks: tuple[str, ...] = ()
 
 
+@dataclass
+class Q3BlockOutcome:
+    """One analyzed block's contribution to the Q3 campaign."""
+
+    block_geoid: str
+    incumbent_isp_id: str
+    records: tuple[QueryRecord, ...]
+    # address_id → incumbent mode ("caf", "monopoly", "competition").
+    modes: dict[str, str] = field(default_factory=dict)
+
+
+def q3_block_candidates(
+    world: World, states: tuple[str, ...] | None = None
+) -> list[str]:
+    """The sorted census blocks the Q3 campaign will consider.
+
+    Blocks are pre-filtered with Form 477 + the National Broadband Map
+    to those served exclusively by BQT-supported ISPs (Section 4.3) and
+    restricted to the requested states. Some candidates are still
+    dropped at query time (:func:`run_q3_block` returns ``None`` when a
+    block has no CAF or no non-CAF addresses); this list is the stable
+    iteration order both the sequential and the sharded campaigns use.
+    """
+    states = states or world.config.q3_states
+    fips = {world.geographies[abbr].state_fips for abbr in states}
+    bqt_ids = set(world.websites)
+    eligible = set(world.form477.blocks_served_exclusively_by(bqt_ids))
+    eligible &= set(world.broadband_map.blocks_served_exclusively_by(bqt_ids))
+    return [b for b in sorted(eligible) if b[:2] in fips]
+
+
+def run_q3_block(
+    world: World,
+    block_geoid: str,
+    engine_config: EngineConfig | None = None,
+) -> Q3BlockOutcome | None:
+    """Query one Q3 census block against fresh engines.
+
+    Every CAF and non-CAF address is queried against the incumbent;
+    non-CAF addresses in cable-overlap blocks are additionally queried
+    against the cable ISP, and their mode is *competition* exactly when
+    the cable query returned serviceable. Returns ``None`` when the
+    block has no CAF or no non-CAF addresses (it is not analyzed).
+    """
+    competition = world.block_competition[block_geoid]
+    incumbent = competition.incumbent_isp_id
+    caf_addresses = world.caf_addresses_in_block(incumbent, block_geoid)
+    non_caf = world.zillow.non_caf_in_block(block_geoid)
+    if not caf_addresses or not non_caf:
+        return None
+
+    outcome = Q3BlockOutcome(
+        block_geoid=block_geoid, incumbent_isp_id=incumbent, records=())
+    records: list[QueryRecord] = []
+    incumbent_engine = world.engine_for(incumbent, engine_config)
+    for address in caf_addresses:
+        records.append(incumbent_engine.query(address))
+        outcome.modes[address.address_id] = "caf"
+    cable_engine = (world.engine_for(competition.cable_isp_id, engine_config)
+                    if competition.cable_isp_id else None)
+    for address in non_caf:
+        records.append(incumbent_engine.query(address))
+        mode = "monopoly"
+        if cable_engine is not None:
+            cable_record = cable_engine.query(address)
+            records.append(cable_record)
+            if cable_record.status is QueryStatus.SERVICEABLE:
+                mode = "competition"
+        outcome.modes[address.address_id] = mode
+    outcome.records = tuple(records)
+    return outcome
+
+
 def collect_q3_dataset(
     world: World,
     engine_config: EngineConfig | None = None,
     states: tuple[str, ...] | None = None,
 ) -> Q3Collection:
-    """Run the Q3 campaign over the world's analyzed blocks.
-
-    Census blocks are pre-filtered with Form 477 + the National
-    Broadband Map to those served exclusively by BQT-supported ISPs
-    (Section 4.3), then every CAF and non-CAF address in them is
-    queried against the incumbent; non-CAF addresses in cable-overlap
-    blocks are additionally queried against the cable ISP, and their
-    mode is *competition* exactly when the cable query returned
-    serviceable.
-    """
-    states = states or world.config.q3_states
-    state_fips = {  # abbreviations → FIPS prefixes for block filtering
-        abbr: world.geographies[abbr].state_fips for abbr in states
-    }
-    bqt_ids = set(world.websites)
-    eligible = set(world.form477.blocks_served_exclusively_by(bqt_ids))
-    eligible &= set(world.broadband_map.blocks_served_exclusively_by(bqt_ids))
-
-    engines: dict[str, BqtEngine] = {}
-
-    def engine_for(isp_id: str) -> BqtEngine:
-        if isp_id not in engines:
-            engines[isp_id] = world.engine_for(isp_id, engine_config)
-        return engines[isp_id]
-
+    """Run the Q3 campaign over the world's analyzed blocks."""
     collection = Q3Collection(log=QueryLog())
     analyzed: list[str] = []
-    for block_geoid in sorted(eligible):
-        if block_geoid[:2] not in set(state_fips.values()):
-            continue
-        competition = world.block_competition[block_geoid]
-        incumbent = competition.incumbent_isp_id
-        caf_addresses = world.caf_addresses_in_block(incumbent, block_geoid)
-        non_caf = world.zillow.non_caf_in_block(block_geoid)
-        if not caf_addresses or not non_caf:
+    for block_geoid in q3_block_candidates(world, states):
+        outcome = run_q3_block(world, block_geoid, engine_config)
+        if outcome is None:
             continue
         analyzed.append(block_geoid)
-        collection.incumbents[block_geoid] = incumbent
-
-        incumbent_engine = engine_for(incumbent)
-        for address in caf_addresses:
-            collection.log.append(incumbent_engine.query(address))
-            collection.modes[address.address_id] = "caf"
-        cable_engine = (engine_for(competition.cable_isp_id)
-                        if competition.cable_isp_id else None)
-        for address in non_caf:
-            collection.log.append(incumbent_engine.query(address))
-            mode = "monopoly"
-            if cable_engine is not None:
-                cable_record = cable_engine.query(address)
-                collection.log.append(cable_record)
-                if cable_record.status is QueryStatus.SERVICEABLE:
-                    mode = "competition"
-            collection.modes[address.address_id] = mode
+        collection.incumbents[block_geoid] = outcome.incumbent_isp_id
+        collection.log.extend(outcome.records)
+        collection.modes.update(outcome.modes)
     collection.analyzed_blocks = tuple(analyzed)
     return collection

@@ -4,11 +4,17 @@
 build (or accept) a world, run the Q1/Q2 stratified collection, run the
 Q3 block collection, and wrap every analysis object into an
 :class:`AuditReport` with the headline numbers the abstract reports.
+
+Passing ``parallel=RuntimeConfig(...)`` routes the two collections
+through :mod:`repro.runtime` — sharded (optionally multi-process,
+checkpointed, cached) execution whose merged results are bit-identical
+to the sequential path for the same seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.audit import AuditDataset, ComplianceStandard
 from repro.core.collection import (
@@ -24,6 +30,9 @@ from repro.core.serviceability import ServiceabilityAnalysis
 from repro.fcc.urban_rate_survey import generate_urban_rate_survey
 from repro.synth.world import World, build_world
 from repro.synth.scenario import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.executor import RuntimeConfig
 
 __all__ = ["AuditReport", "run_full_audit"]
 
@@ -83,20 +92,45 @@ def run_full_audit(
     scenario: ScenarioConfig | None = None,
     policy: SamplingPolicy | None = None,
     use_urban_survey: bool = True,
+    parallel: "RuntimeConfig | None" = None,
 ) -> AuditReport:
-    """Run the complete study and return every analysis object."""
+    """Run the complete study and return every analysis object.
+
+    ``parallel`` selects the sharded runtime for the two collection
+    campaigns; its ``cache_dir`` short-circuits the whole call with a
+    content-addressed hit when the same (scenario, policy, ISP set)
+    audit has already been computed.
+    """
+    cache = digest = None
+    if parallel is not None and parallel.cache_dir is not None:
+        from repro.runtime.cache import AuditCache, audit_digest
+
+        cache = AuditCache(parallel.cache_dir)
+        digest = audit_digest(
+            world.config if world is not None else (scenario or ScenarioConfig()),
+            policy, CAF_STUDY_ISP_IDS, use_urban_survey=use_urban_survey,
+        )
+        cached = cache.get(digest)
+        if cached is not None:
+            return cached
     if world is None:
         world = build_world(scenario)
-    campaign = CollectionCampaign(world, policy=policy)
-    collection = campaign.run(isps=CAF_STUDY_ISP_IDS)
+    if parallel is not None:
+        from repro.runtime.executor import execute_campaign
+
+        collection, q3_collection = execute_campaign(
+            world, parallel, policy=policy, isps=CAF_STUDY_ISP_IDS)
+    else:
+        campaign = CollectionCampaign(world, policy=policy)
+        collection = campaign.run(isps=CAF_STUDY_ISP_IDS)
+        q3_collection = collect_q3_dataset(world)
     survey = (generate_urban_rate_survey(seed=world.config.seed)
               if use_urban_survey else None)
     standard = ComplianceStandard(survey=survey)
     audit = AuditDataset(
         collection.log, collection.cbg_totals, world=world, standard=standard
     )
-    q3_collection = collect_q3_dataset(world)
-    return AuditReport(
+    report = AuditReport(
         world=world,
         collection=collection,
         audit=audit,
@@ -105,3 +139,6 @@ def run_full_audit(
         q3_collection=q3_collection,
         monopoly=analyze_q3(q3_collection),
     )
+    if cache is not None and digest is not None:
+        cache.put(digest, report)
+    return report

@@ -1,0 +1,54 @@
+"""repro.runtime — sharded, resumable, cached campaign execution.
+
+The paper's measurement campaign ran a fleet of containerized BQT
+workers for weeks; this subsystem gives the reproduction the same
+shape. It partitions a :class:`~repro.synth.world.World` into
+deterministic shards of independent cells (:mod:`~repro.runtime
+.shards`), runs them sequentially or on a process pool under the
+per-storefront politeness cap (:mod:`~repro.runtime.executor`), merges
+shard logs back into results bit-identical to the sequential campaign
+(:mod:`~repro.runtime.merge`), checkpoints completed shards so an
+interrupted run resumes without recomputation (:mod:`~repro.runtime
+.checkpoint`), and content-addresses finished audits so repeated
+``ExperimentContext`` builds reuse one run (:mod:`~repro.runtime
+.cache`).
+
+Entry points::
+
+    from repro import run_full_audit
+    from repro.runtime import RuntimeConfig
+
+    report = run_full_audit(parallel=RuntimeConfig(shards=8, workers=4))
+"""
+
+from repro.runtime.cache import (
+    AuditCache,
+    audit_digest,
+    cache_dir_from_environment,
+)
+from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
+from repro.runtime.executor import (
+    RuntimeConfig,
+    ShardResult,
+    execute_campaign,
+    run_shard,
+)
+from repro.runtime.merge import merge_shard_results
+from repro.runtime.shards import Q12Cell, ShardSpec, enumerate_q12_cells, plan_shards
+
+__all__ = [
+    "AuditCache",
+    "CheckpointStore",
+    "Q12Cell",
+    "RuntimeConfig",
+    "ShardResult",
+    "ShardSpec",
+    "audit_digest",
+    "cache_dir_from_environment",
+    "campaign_fingerprint",
+    "enumerate_q12_cells",
+    "execute_campaign",
+    "merge_shard_results",
+    "plan_shards",
+    "run_shard",
+]

@@ -1,0 +1,123 @@
+"""Content-addressed audit result cache.
+
+Twenty-odd benchmark and example scripts each call
+``ExperimentContext.at_scale(...)`` and rebuild the same audit from
+scratch. The cache keys a completed :class:`~repro.core.pipeline
+.AuditReport` by the content digest of everything that determines it —
+the scenario (seed included), the sampling policy, and the ISP set —
+so the second script at a given scale loads the first one's audit
+instead of recomputing it.
+
+Entries are stored as ``<digest>.pkl`` (the pickled report) plus a
+``<digest>.json`` sidecar with the scenario parameters and headline
+numbers for human inspection. Pickle implies the usual trust caveat:
+only point ``cache_dir`` (or ``REPRO_CACHE_DIR``) at directories you
+write yourself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.sampling import SamplingPolicy
+from repro.synth.scenario import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import AuditReport
+
+__all__ = ["AuditCache", "audit_digest", "cache_dir_from_environment"]
+
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+# Bump when a change anywhere in the pipeline invalidates old entries.
+CACHE_FORMAT_VERSION = 1
+
+
+def audit_digest(
+    scenario: ScenarioConfig,
+    policy: SamplingPolicy | None,
+    isps: tuple[str, ...],
+    use_urban_survey: bool = True,
+) -> str:
+    """Content address of one audit: every input that determines it —
+    scenario, policy, ISP set, and the urban-survey toggle."""
+    policy = policy or SamplingPolicy()
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "scenario": asdict(scenario),
+        "policy": asdict(policy),
+        "isps": sorted(isps),
+        "use_urban_survey": use_urban_survey,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def cache_dir_from_environment() -> str | None:
+    """The cache directory named by ``REPRO_CACHE_DIR`` (if any)."""
+    value = os.environ.get(CACHE_ENV_VAR, "").strip()
+    return value or None
+
+
+class AuditCache:
+    """A directory of content-addressed audit reports."""
+
+    def __init__(self, directory: str | Path):
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        """The cache's root directory."""
+        return self._directory
+
+    def path_for(self, digest: str) -> Path:
+        """Path of the pickled report for one digest."""
+        return self._directory / f"{digest}.pkl"
+
+    def get(self, digest: str) -> "AuditReport | None":
+        """Load the cached report for a digest (None on miss).
+
+        A corrupted entry (e.g. from a writer killed mid-publish on a
+        filesystem without atomic rename) counts as a miss, not a
+        crash — the caller recomputes and overwrites it.
+        """
+        path = self.path_for(digest)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+            return None
+
+    def put(self, digest: str, report: "AuditReport") -> Path:
+        """Store a report under its digest; returns the pickle path."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(digest)
+        # Per-process temp name: concurrent scripts warming the same
+        # cold cache must not interleave writes into one temp file.
+        tmp = path.with_suffix(f".pkl.tmp-{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(report, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)  # atomic publish: readers never see half a pickle
+        sidecar = {
+            "digest": digest,
+            "scenario": asdict(report.world.config),
+            "headline": report.headline(),
+            "q12_records": len(report.collection.log),
+            "q3_records": len(report.q3_collection.log),
+        }
+        path.with_suffix(".json").write_text(
+            json.dumps(sidecar, indent=2, sort_keys=True), encoding="utf-8")
+        return path
+
+    def entries(self) -> list[str]:
+        """Digests currently stored, sorted."""
+        if not self._directory.exists():
+            return []
+        return sorted(p.stem for p in self._directory.glob("*.pkl"))

@@ -1,0 +1,265 @@
+"""Shard checkpoints: interrupted campaigns resume, not restart.
+
+Each completed shard is written as one JSON file the moment it
+finishes, alongside a manifest that fingerprints the campaign
+(scenario, sampling policy, ISP set, shard count). On resume the store
+reloads every shard whose fingerprint matches and the executor runs
+only the remainder; because shard records round-trip exactly (JSON
+floats use shortest-round-trip ``repr``), the resumed merge is
+bit-identical to an uninterrupted run.
+
+The on-disk layout is an extension of the
+:class:`~repro.persist.store.StudyStore` directory format — shard
+files live in a ``shards/`` subdirectory and reuse the store's SHA-256
+content checksums — so ``StudyStore(path).checkpoints(fingerprint)``
+opens the same data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.bqt.errors import ErrorCategory
+from repro.bqt.logbook import QueryRecord
+from repro.bqt.responses import QueryStatus
+from repro.core.collection import Q3BlockOutcome
+from repro.core.sampling import SamplingPolicy
+from repro.isp.plans import BroadbandPlan
+from repro.persist.store import _sha256
+from repro.runtime.shards import Q12Cell
+from repro.synth.scenario import ScenarioConfig
+
+__all__ = ["CheckpointStore", "campaign_fingerprint"]
+
+MANIFEST_NAME = "checkpoint.json"
+FORMAT_VERSION = 1
+
+
+def campaign_fingerprint(
+    scenario: ScenarioConfig,
+    policy: SamplingPolicy | None,
+    isps: tuple[str, ...],
+    shard_count: int,
+    states: tuple[str, ...] | None = None,
+    q3_states: tuple[str, ...] | None = None,
+    max_replacements: int = 2,
+) -> str:
+    """Content digest identifying one campaign's checkpointable work.
+
+    Everything that changes the shard partition or any shard's records
+    must feed the digest, or resume could adopt another campaign's
+    checkpoints: the scenario (seed included), sampling policy, ISP
+    set, state subsets, replacement budget, and shard count.
+    """
+    policy = policy or SamplingPolicy()
+    payload = {
+        "format": FORMAT_VERSION,
+        "scenario": asdict(scenario),
+        "policy": asdict(policy),
+        "isps": list(isps),
+        "states": list(states or scenario.states),
+        "q3_states": list(q3_states or scenario.q3_states),
+        "max_replacements": max_replacements,
+        "shard_count": shard_count,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# JSON codecs (exact round-trip: enums by value, floats via repr)
+# ----------------------------------------------------------------------
+
+def _plan_to_json(plan: BroadbandPlan) -> dict:
+    return {
+        "name": plan.name,
+        "download_mbps": plan.download_mbps,
+        "upload_mbps": plan.upload_mbps,
+        "monthly_price_usd": plan.monthly_price_usd,
+        "technology": plan.technology,
+        "is_speed_guaranteed": plan.is_speed_guaranteed,
+    }
+
+
+def _plan_from_json(data: dict) -> BroadbandPlan:
+    return BroadbandPlan(**data)
+
+
+def _record_to_json(record: QueryRecord) -> dict:
+    return {
+        "isp_id": record.isp_id,
+        "address_id": record.address_id,
+        "block_geoid": record.block_geoid,
+        "state_abbreviation": record.state_abbreviation,
+        "status": record.status.value,
+        "plans": [_plan_to_json(plan) for plan in record.plans],
+        "error_category": (record.error_category.value
+                           if record.error_category else None),
+        "attempts": record.attempts,
+        "elapsed_seconds": record.elapsed_seconds,
+        "replacement_for": record.replacement_for,
+    }
+
+
+def _record_from_json(data: dict) -> QueryRecord:
+    return QueryRecord(
+        isp_id=data["isp_id"],
+        address_id=data["address_id"],
+        block_geoid=data["block_geoid"],
+        state_abbreviation=data["state_abbreviation"],
+        status=QueryStatus(data["status"]),
+        plans=tuple(_plan_from_json(p) for p in data["plans"]),
+        error_category=(ErrorCategory(data["error_category"])
+                        if data["error_category"] else None),
+        attempts=data["attempts"],
+        elapsed_seconds=data["elapsed_seconds"],
+        replacement_for=data["replacement_for"],
+    )
+
+
+def _shard_to_json(result: "ShardResult") -> dict:
+    return {
+        "index": result.index,
+        "count": result.count,
+        "q12": [
+            {
+                "isp_id": cell.isp_id,
+                "state": cell.state,
+                "cbg": cell.cbg,
+                "records": [_record_to_json(r) for r in records],
+            }
+            for cell, records in result.q12_records.items()
+        ],
+        "q3": [
+            {
+                "block_geoid": block,
+                "outcome": None if outcome is None else {
+                    "incumbent_isp_id": outcome.incumbent_isp_id,
+                    "records": [_record_to_json(r) for r in outcome.records],
+                    "modes": outcome.modes,
+                },
+            }
+            for block, outcome in result.q3_outcomes.items()
+        ],
+    }
+
+
+def _shard_from_json(data: dict) -> "ShardResult":
+    from repro.runtime.executor import ShardResult
+
+    result = ShardResult(index=data["index"], count=data["count"])
+    for entry in data["q12"]:
+        cell = Q12Cell(isp_id=entry["isp_id"], state=entry["state"],
+                       cbg=entry["cbg"])
+        result.q12_records[cell] = tuple(
+            _record_from_json(r) for r in entry["records"])
+    for entry in data["q3"]:
+        block = entry["block_geoid"]
+        outcome = entry["outcome"]
+        if outcome is None:
+            result.q3_outcomes[block] = None
+        else:
+            result.q3_outcomes[block] = Q3BlockOutcome(
+                block_geoid=block,
+                incumbent_isp_id=outcome["incumbent_isp_id"],
+                records=tuple(_record_from_json(r)
+                              for r in outcome["records"]),
+                modes=dict(outcome["modes"]),
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+class CheckpointStore:
+    """One campaign's shard checkpoints under a directory."""
+
+    def __init__(self, directory: str | Path, fingerprint: str):
+        self._directory = Path(directory)
+        self._fingerprint = fingerprint
+
+    @property
+    def directory(self) -> Path:
+        """The checkpoint directory."""
+        return self._directory
+
+    @property
+    def fingerprint(self) -> str:
+        """The campaign fingerprint these checkpoints belong to."""
+        return self._fingerprint
+
+    def shard_path(self, index: int) -> Path:
+        """Path of one shard's checkpoint file."""
+        return self._directory / f"shard-{index:04d}.json"
+
+    def _manifest_path(self) -> Path:
+        return self._directory / MANIFEST_NAME
+
+    def _load_manifest(self) -> dict | None:
+        path = self._manifest_path()
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            # A kill mid-write can truncate the manifest; treat it the
+            # same as a corrupted shard file — recompute, don't crash.
+            return None
+
+    def _write_manifest(self, checksums: dict[str, str]) -> None:
+        payload = {
+            "format": FORMAT_VERSION,
+            "fingerprint": self._fingerprint,
+            "checksums": checksums,
+        }
+        self._manifest_path().write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+
+    def save_shard(self, result: "ShardResult") -> Path:
+        """Persist one completed shard; updates the manifest."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        manifest = self._load_manifest()
+        if manifest is not None and manifest.get("fingerprint") != self._fingerprint:
+            self.clear()
+            manifest = None
+        path = self.shard_path(result.index)
+        path.write_text(json.dumps(_shard_to_json(result), sort_keys=True),
+                        encoding="utf-8")
+        checksums = dict(manifest["checksums"]) if manifest else {}
+        checksums[path.name] = _sha256(path)
+        self._write_manifest(checksums)
+        return path
+
+    def load_completed(self) -> dict[int, "ShardResult"]:
+        """Reload every intact checkpointed shard of this campaign.
+
+        Checkpoints from a different campaign (fingerprint mismatch) or
+        with corrupted shard files are ignored.
+        """
+        manifest = self._load_manifest()
+        if manifest is None or manifest.get("fingerprint") != self._fingerprint:
+            return {}
+        completed: dict[int, "ShardResult"] = {}
+        for name, expected in manifest.get("checksums", {}).items():
+            path = self._directory / name
+            if not path.exists() or _sha256(path) != expected:
+                continue
+            result = _shard_from_json(
+                json.loads(path.read_text(encoding="utf-8")))
+            completed[result.index] = result
+        return completed
+
+    def clear(self) -> None:
+        """Delete all checkpoint files (manifest included)."""
+        if not self._directory.exists():
+            return
+        for path in self._directory.glob("shard-*.json"):
+            path.unlink()
+        manifest = self._manifest_path()
+        if manifest.exists():
+            manifest.unlink()

@@ -1,0 +1,241 @@
+"""Sharded campaign execution.
+
+:func:`execute_campaign` turns the audit's two collections into a
+sharded job: plan the shards, run each shard's cells (in process, or on
+a ``concurrent.futures.ProcessPoolExecutor``), checkpoint completed
+shards, and merge the shard logs back into campaign results that are
+bit-identical to the sequential loops in :mod:`repro.core.collection`.
+
+Politeness is enforced the way the paper's fleet enforced it: a shard
+drives at most one browser session per ISP at a time (its cells run
+sequentially, grouped per ISP in canonical order), so the number of
+concurrent sessions against any storefront is bounded by the number of
+in-flight shards — which :class:`RuntimeConfig` clamps to
+``MAX_POLITE_WORKERS_PER_ISP``.
+
+Worker processes do not receive the (multi-megabyte) world over the
+pipe; they rebuild it from the :class:`~repro.synth.scenario
+.ScenarioConfig`, which is deterministic in the seed, and cache it per
+process so an N-shard run builds the world at most once per worker.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
+from repro.bqt.engine import EngineConfig
+from repro.bqt.logbook import QueryRecord
+from repro.core.collection import (
+    CollectionResult,
+    Q3BlockOutcome,
+    Q3Collection,
+    run_q12_cell,
+    run_q3_block,
+)
+from repro.core.sampling import SamplingPolicy
+from repro.runtime.shards import DEFAULT_ISPS, Q12Cell, ShardSpec, plan_shards
+from repro.synth.scenario import ScenarioConfig
+from repro.synth.world import World, build_world
+
+__all__ = ["RuntimeConfig", "ShardResult", "execute_campaign", "run_shard"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How to run a campaign: sharding, parallelism, durability.
+
+    ``backend`` is ``"serial"`` (run shards in this process — the
+    deterministic default tests rely on), ``"process"`` (a process
+    pool), or ``"auto"`` (process pool exactly when ``workers > 1``).
+    """
+
+    shards: int = 1
+    workers: int = 1
+    backend: str = "auto"
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.backend not in ("auto", "serial", "process"):
+            raise ValueError("backend must be auto, serial, or process")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires a checkpoint_dir")
+
+    @property
+    def effective_workers(self) -> int:
+        """Concurrent shard processes, clamped by politeness.
+
+        Each in-flight shard holds at most one session per storefront,
+        so the politeness cap on concurrent sessions per ISP bounds the
+        number of shards allowed to run at once.
+        """
+        return min(self.workers, self.shards, MAX_POLITE_WORKERS_PER_ISP)
+
+    @property
+    def effective_backend(self) -> str:
+        """The backend actually used (resolves ``"auto"``)."""
+        if self.backend == "auto":
+            return "process" if self.effective_workers > 1 else "serial"
+        return self.backend
+
+
+@dataclass
+class ShardResult:
+    """One shard's completed work, keyed for canonical-order merging."""
+
+    index: int
+    count: int
+    # Q1/Q2 cell → the cell's record stream (replacements inline).
+    q12_records: dict[Q12Cell, tuple[QueryRecord, ...]] = field(
+        default_factory=dict)
+    # Q3 candidate block → its outcome (None when not analyzed).
+    q3_outcomes: dict[str, Q3BlockOutcome | None] = field(default_factory=dict)
+
+
+# Per-process world cache for pool workers: rebuilding the world is the
+# expensive part of a shard, and every shard of one campaign shares it.
+_WORLD_CACHE: dict[ScenarioConfig, World] = {}
+
+
+def _world_for(scenario: ScenarioConfig) -> World:
+    if scenario not in _WORLD_CACHE:
+        _WORLD_CACHE.clear()  # one campaign's world at a time per worker
+        _WORLD_CACHE[scenario] = build_world(scenario)
+    return _WORLD_CACHE[scenario]
+
+
+def run_shard(
+    scenario: ScenarioConfig,
+    spec: ShardSpec,
+    policy: SamplingPolicy | None = None,
+    engine_config: EngineConfig | None = None,
+    max_replacements: int = 2,
+    world: World | None = None,
+) -> ShardResult:
+    """Run one shard's cells to completion.
+
+    Top-level (picklable) so it can be submitted to a process pool;
+    the serial backend calls it directly with the already-built
+    ``world`` to skip the rebuild.
+    """
+    world = world if world is not None else _world_for(scenario)
+    result = ShardResult(index=spec.index, count=spec.count)
+    # caf_addresses_by_cbg regroups a whole (ISP, state) footprint per
+    # call; cache the grouping across this shard's cells.
+    grouped: dict[tuple[str, str], dict] = {}
+    for cell in spec.q12_cells:
+        key = (cell.isp_id, cell.state)
+        if key not in grouped:
+            grouped[key] = world.caf_addresses_by_cbg(*key)
+        addresses = grouped[key][cell.cbg]
+        _plan, records = run_q12_cell(
+            world, cell.isp_id, cell.cbg, addresses,
+            policy=policy, engine_config=engine_config,
+            max_replacements=max_replacements,
+        )
+        result.q12_records[cell] = tuple(records)
+    for block_geoid in spec.q3_blocks:
+        result.q3_outcomes[block_geoid] = run_q3_block(
+            world, block_geoid, engine_config)
+    return result
+
+
+def _run_shards_serial(
+    world: World,
+    pending: list[ShardSpec],
+    policy: SamplingPolicy | None,
+    engine_config: EngineConfig | None,
+    max_replacements: int,
+    on_complete,
+) -> None:
+    for spec in pending:
+        on_complete(run_shard(
+            world.config, spec, policy=policy, engine_config=engine_config,
+            max_replacements=max_replacements, world=world,
+        ))
+
+
+def _run_shards_process(
+    world: World,
+    pending: list[ShardSpec],
+    policy: SamplingPolicy | None,
+    engine_config: EngineConfig | None,
+    max_replacements: int,
+    workers: int,
+    on_complete,
+) -> None:
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(run_shard, world.config, spec, policy,
+                        engine_config, max_replacements)
+            for spec in pending
+        ]
+        for future in as_completed(futures):
+            on_complete(future.result())
+
+
+def execute_campaign(
+    world: World,
+    config: RuntimeConfig,
+    policy: SamplingPolicy | None = None,
+    engine_config: EngineConfig | None = None,
+    max_replacements: int = 2,
+    isps: tuple[str, ...] = DEFAULT_ISPS,
+    states: tuple[str, ...] | None = None,
+    q3_states: tuple[str, ...] | None = None,
+) -> tuple[CollectionResult, Q3Collection]:
+    """Run the full campaign under a runtime configuration.
+
+    Plans the shard partition, restores any checkpointed shards when
+    ``config.resume`` is set, runs the remainder on the configured
+    backend (checkpointing each shard as it completes), and merges the
+    shard results in canonical order. For a fixed world seed the merged
+    results are bit-identical to the sequential
+    :class:`~repro.core.collection.CollectionCampaign` /
+    :func:`~repro.core.collection.collect_q3_dataset` path, for any
+    shard count and either backend.
+    """
+    from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
+    from repro.runtime.merge import merge_shard_results
+
+    specs = plan_shards(world, config.shards, isps=isps, states=states,
+                        q3_states=q3_states)
+    completed: dict[int, ShardResult] = {}
+
+    store: CheckpointStore | None = None
+    if config.checkpoint_dir is not None:
+        fingerprint = campaign_fingerprint(
+            world.config, policy, isps, config.shards,
+            states=states, q3_states=q3_states,
+            max_replacements=max_replacements)
+        store = CheckpointStore(config.checkpoint_dir, fingerprint)
+        if config.resume:
+            completed = store.load_completed()
+        else:
+            store.clear()
+
+    def on_complete(result: ShardResult) -> None:
+        completed[result.index] = result
+        if store is not None:
+            store.save_shard(result)
+
+    pending = [spec for spec in specs if spec.index not in completed]
+    if config.effective_backend == "process" and len(pending) > 1:
+        _run_shards_process(world, pending, policy, engine_config,
+                            max_replacements, config.effective_workers,
+                            on_complete)
+    else:
+        _run_shards_serial(world, pending, policy, engine_config,
+                           max_replacements, on_complete)
+
+    return merge_shard_results(
+        world, specs, completed, policy=policy,
+        isps=isps, states=states, q3_states=q3_states,
+    )

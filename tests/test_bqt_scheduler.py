@@ -96,6 +96,41 @@ class TestScheduleCampaign:
         assert "wall clock" in text
         assert "att" in text
 
+    def test_more_workers_than_queries(self):
+        # 3 queries against 8 workers: makespan is the longest single
+        # query; the extra workers sit idle but never go negative.
+        log = QueryLog()
+        for i, seconds in enumerate((30.0, 20.0, 10.0)):
+            log.append(record("att", f"a-{i}", seconds))
+        schedule = schedule_campaign(
+            log, workers_per_isp=MAX_POLITE_WORKERS_PER_ISP)
+        assert schedule.per_isp_makespan_days["att"] == \
+            pytest.approx(30.0 / 86_400.0)
+        assert 0.0 < schedule.utilization <= 1.0
+
+    def test_single_worker_makespan_is_sum_of_durations(self):
+        log = QueryLog()
+        for i, seconds in enumerate((7.0, 11.0, 13.0)):
+            log.append(record("att", f"a-{i}", seconds))
+        schedule = schedule_campaign(log, workers_per_isp=1)
+        assert schedule.per_isp_makespan_days["att"] == \
+            pytest.approx(31.0 / 86_400.0)
+        # One worker is always perfectly packed.
+        assert schedule.utilization == pytest.approx(1.0)
+
+    def test_utilization_bounds_across_fleet_sizes(self):
+        log = self._log()
+        for workers in range(1, MAX_POLITE_WORKERS_PER_ISP + 1):
+            schedule = schedule_campaign(log, workers_per_isp=workers)
+            assert 0.0 < schedule.utilization <= 1.0, workers
+
+    def test_single_record_fleet(self):
+        log = QueryLog()
+        log.append(record("att", "a-0", 5.0))
+        schedule = schedule_campaign(log, workers_per_isp=4)
+        assert schedule.wall_clock_days == pytest.approx(5.0 / 86_400.0)
+        assert 0.0 < schedule.utilization <= 1.0
+
     def test_on_real_collection(self, report):
         schedule = schedule_campaign(report.collection.log)
         assert isinstance(schedule, WorkerSchedule)

@@ -41,6 +41,40 @@ class TestCommands:
         assert "Serviceability rate" in out
         assert "paper: 55.45%" in out
 
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_run_sharded_matches_sequential(self, capsys):
+        assert main(["run", "--scale", "tiny"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["run", "--scale", "tiny", "--shards", "3"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_run_bad_runtime_flags_exit_2(self, capsys):
+        assert main(["run", "--resume"]) == 2
+        assert "checkpoint_dir" in capsys.readouterr().err
+        assert main(["run", "--shards", "-1"]) == 2
+        assert "shards must be positive" in capsys.readouterr().err
+        assert main(["run", "--workers", "0"]) == 2
+        assert "workers must be positive" in capsys.readouterr().err
+
+    def test_run_with_cache_and_checkpoints(self, tmp_path, capsys):
+        args = ["run", "--scale", "tiny", "--shards", "2",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert list((tmp_path / "ckpt").glob("shard-*.json"))
+        assert list((tmp_path / "cache").glob("*.pkl"))
+        # Second run is a cache hit with identical output.
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
     def test_export(self, tmp_path, capsys):
         assert main(["export", "--out", str(tmp_path), "--scale",
                      "tiny"]) == 0

@@ -1,0 +1,322 @@
+"""Tests for repro.runtime: sharding, equivalence, resume, cache.
+
+The load-bearing property is *bit-identical equivalence*: for a fixed
+seed, the sharded campaign (any shard count, either backend) must
+reproduce the sequential campaign's logs record for record. Checkpoint
+resume and the audit cache are then tested against that same baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
+from repro.core.collection import CollectionCampaign, collect_q3_dataset
+from repro.core.pipeline import run_full_audit
+from repro.persist import StudyStore
+from repro.runtime import (
+    AuditCache,
+    CheckpointStore,
+    RuntimeConfig,
+    audit_digest,
+    campaign_fingerprint,
+    enumerate_q12_cells,
+    execute_campaign,
+    plan_shards,
+    run_shard,
+)
+from repro.runtime.shards import ShardSpec
+
+# A deliberately small slice of the campaign for the tests that rerun
+# it several times (resume, process backend).
+SUBSET = dict(isps=("consolidated",), states=("VT", "NH"),
+              q3_states=("UT",))
+
+
+def record_key(record):
+    return (record.isp_id, record.address_id, record.block_geoid,
+            record.status, record.plans, record.error_category,
+            record.attempts, record.elapsed_seconds, record.replacement_for)
+
+
+def log_keys(log):
+    return [record_key(r) for r in log]
+
+
+@pytest.fixture(scope="module")
+def subset_baseline(world):
+    campaign = CollectionCampaign(world)
+    collection = campaign.run(isps=SUBSET["isps"], states=SUBSET["states"])
+    q3 = collect_q3_dataset(world, states=SUBSET["q3_states"])
+    return collection, q3
+
+
+class TestShardPlanning:
+    def test_partition_covers_all_cells_once(self, world):
+        cells = enumerate_q12_cells(world)
+        for count in (1, 2, 5, 16):
+            specs = plan_shards(world, count)
+            dealt = [c for spec in specs for c in spec.q12_cells]
+            assert sorted(map(repr, dealt)) == sorted(map(repr, cells))
+
+    def test_partition_q3_blocks_disjoint_and_complete(self, world):
+        specs = plan_shards(world, 4)
+        blocks = [b for spec in specs for b in spec.q3_blocks]
+        assert len(blocks) == len(set(blocks))
+        assert set(blocks) == set(plan_shards(world, 1)[0].q3_blocks)
+
+    def test_partition_deterministic(self, world):
+        assert plan_shards(world, 3) == plan_shards(world, 3)
+
+    def test_more_shards_than_cells(self, world):
+        cells = enumerate_q12_cells(world, isps=("consolidated",),
+                                    states=("VT",))
+        specs = plan_shards(world, len(cells) + 50,
+                            isps=("consolidated",), states=("VT",),
+                            q3_states=("UT",))
+        assert sum(len(s.q12_cells) for s in specs) == len(cells)
+        assert any(s.num_units == 0 for s in specs)
+
+    def test_balance(self, world):
+        specs = plan_shards(world, 4)
+        sizes = [len(s.q12_cells) for s in specs]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ShardSpec(index=2, count=2, q12_cells=(), q3_blocks=())
+        with pytest.raises(ValueError):
+            ShardSpec(index=0, count=0, q12_cells=(), q3_blocks=())
+        with pytest.raises(ValueError):
+            plan_shards(None, 0)
+
+
+class TestRuntimeConfig:
+    def test_politeness_clamp(self):
+        config = RuntimeConfig(shards=64, workers=64)
+        assert config.effective_workers == MAX_POLITE_WORKERS_PER_ISP
+
+    def test_workers_clamped_to_shards(self):
+        assert RuntimeConfig(shards=2, workers=4).effective_workers == 2
+
+    def test_auto_backend(self):
+        assert RuntimeConfig().effective_backend == "serial"
+        assert RuntimeConfig(shards=4, workers=2).effective_backend == "process"
+        assert RuntimeConfig(shards=4, workers=2,
+                             backend="serial").effective_backend == "serial"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(shards=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(workers=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(backend="threads")
+        with pytest.raises(ValueError):
+            RuntimeConfig(resume=True)  # resume needs a checkpoint_dir
+
+
+class TestEquivalence:
+    """The acceptance property: sharded == sequential, exactly."""
+
+    def test_full_audit_headline_exact(self, world, report):
+        sharded = run_full_audit(
+            world=world, parallel=RuntimeConfig(shards=4, backend="serial"))
+        assert sharded.headline() == report.headline()
+
+    def test_full_audit_logs_bit_identical(self, world, report):
+        sharded = run_full_audit(
+            world=world, parallel=RuntimeConfig(shards=4, backend="serial"))
+        assert log_keys(sharded.collection.log) == log_keys(
+            report.collection.log)
+        assert log_keys(sharded.q3_collection.log) == log_keys(
+            report.q3_collection.log)
+        assert sharded.q3_collection.modes == report.q3_collection.modes
+        assert (sharded.q3_collection.analyzed_blocks
+                == report.q3_collection.analyzed_blocks)
+        assert sharded.collection.cbg_totals == report.collection.cbg_totals
+
+    @pytest.mark.parametrize("shards", [1, 3, 7])
+    def test_any_shard_count(self, world, subset_baseline, shards):
+        collection, q3 = execute_campaign(
+            world, RuntimeConfig(shards=shards, backend="serial"), **SUBSET)
+        baseline_collection, baseline_q3 = subset_baseline
+        assert log_keys(collection.log) == log_keys(baseline_collection.log)
+        assert log_keys(q3.log) == log_keys(baseline_q3.log)
+
+    def test_process_backend(self, world, subset_baseline):
+        collection, q3 = execute_campaign(
+            world, RuntimeConfig(shards=2, workers=2, backend="process"),
+            **SUBSET)
+        baseline_collection, baseline_q3 = subset_baseline
+        assert log_keys(collection.log) == log_keys(baseline_collection.log)
+        assert log_keys(q3.log) == log_keys(baseline_q3.log)
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_without_recomputation(
+            self, world, subset_baseline, tmp_path, monkeypatch):
+        shard_dir = str(tmp_path / "ckpt")
+        executed: list[int] = []
+
+        def counting_run_shard(scenario, spec, *args, **kwargs):
+            if len(executed) == 2:  # simulate a crash after 2 shards
+                raise KeyboardInterrupt
+            executed.append(spec.index)
+            return run_shard(scenario, spec, *args, **kwargs)
+
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "run_shard", counting_run_shard)
+        with pytest.raises(KeyboardInterrupt):
+            execute_campaign(
+                world,
+                RuntimeConfig(shards=4, backend="serial",
+                              checkpoint_dir=shard_dir),
+                **SUBSET)
+        assert len(executed) == 2
+        monkeypatch.setattr(executor_module, "run_shard", run_shard)
+
+        # Resume: only the two missing shards run.
+        resumed_indices: list[int] = []
+
+        def tracking_run_shard(scenario, spec, *args, **kwargs):
+            resumed_indices.append(spec.index)
+            return run_shard(scenario, spec, *args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "run_shard", tracking_run_shard)
+        collection, q3 = execute_campaign(
+            world,
+            RuntimeConfig(shards=4, backend="serial",
+                          checkpoint_dir=shard_dir, resume=True),
+            **SUBSET)
+        assert sorted(resumed_indices + executed) == [0, 1, 2, 3]
+        baseline_collection, baseline_q3 = subset_baseline
+        assert log_keys(collection.log) == log_keys(baseline_collection.log)
+        assert log_keys(q3.log) == log_keys(baseline_q3.log)
+
+    def test_fingerprint_covers_campaign_scope(self, tiny_config):
+        base = campaign_fingerprint(tiny_config, None, ("att",), 4)
+        assert base != campaign_fingerprint(tiny_config, None, ("att",), 8)
+        assert base != campaign_fingerprint(
+            tiny_config, None, ("att",), 4, states=("VT",))
+        assert base != campaign_fingerprint(
+            tiny_config, None, ("att",), 4, q3_states=("UT",))
+        assert base != campaign_fingerprint(
+            tiny_config, None, ("att",), 4, max_replacements=0)
+
+    def test_truncated_manifest_recomputes(self, world, tmp_path):
+        specs = plan_shards(world, 2, **SUBSET)
+        fingerprint = campaign_fingerprint(world.config, None,
+                                           SUBSET["isps"], 2)
+        store = CheckpointStore(tmp_path, fingerprint)
+        store.save_shard(run_shard(world.config, specs[0], world=world))
+        (tmp_path / "checkpoint.json").write_text("{trunc", encoding="utf-8")
+        assert store.load_completed() == {}
+        # And saving over the wreckage works.
+        store.save_shard(run_shard(world.config, specs[1], world=world))
+        assert set(store.load_completed()) == {1}
+
+    def test_fingerprint_mismatch_discards_checkpoints(self, world, tmp_path):
+        specs = plan_shards(world, 2, **SUBSET)
+        result = run_shard(world.config, specs[0], world=world)
+        fingerprint = campaign_fingerprint(world.config, None,
+                                           SUBSET["isps"], 2)
+        store = CheckpointStore(tmp_path, fingerprint)
+        store.save_shard(result)
+        assert set(store.load_completed()) == {0}
+        other = CheckpointStore(tmp_path, "deadbeef")
+        assert other.load_completed() == {}
+
+    def test_corrupted_shard_ignored(self, world, tmp_path):
+        specs = plan_shards(world, 2, **SUBSET)
+        fingerprint = campaign_fingerprint(world.config, None,
+                                           SUBSET["isps"], 2)
+        store = CheckpointStore(tmp_path, fingerprint)
+        store.save_shard(run_shard(world.config, specs[0], world=world))
+        store.save_shard(run_shard(world.config, specs[1], world=world))
+        store.shard_path(1).write_text("{corrupted", encoding="utf-8")
+        assert set(store.load_completed()) == {0}
+
+    def test_checkpoint_roundtrip_exact(self, world, tmp_path):
+        specs = plan_shards(world, 2, **SUBSET)
+        original = run_shard(world.config, specs[0], world=world)
+        fingerprint = campaign_fingerprint(world.config, None,
+                                           SUBSET["isps"], 2)
+        store = CheckpointStore(tmp_path, fingerprint)
+        store.save_shard(original)
+        restored = store.load_completed()[0]
+        assert restored.q12_records.keys() == original.q12_records.keys()
+        for cell, records in original.q12_records.items():
+            assert list(map(record_key, restored.q12_records[cell])) == \
+                list(map(record_key, records))
+        assert restored.q3_outcomes.keys() == original.q3_outcomes.keys()
+
+    def test_study_store_checkpoint_area(self, world, tmp_path):
+        study = StudyStore(tmp_path)
+        store = study.checkpoints("abc123")
+        assert store.directory == study.directory / "shards"
+        assert store.fingerprint == "abc123"
+
+
+class TestAuditCache:
+    def test_digest_sensitivity(self, tiny_config):
+        base = audit_digest(tiny_config, None, ("att",))
+        assert base == audit_digest(tiny_config, None, ("att",))
+        assert base != audit_digest(tiny_config, None, ("att", "frontier"))
+        assert base != audit_digest(tiny_config, None, ("att",),
+                                    use_urban_survey=False)
+        reseeded = type(tiny_config)(seed=99)
+        assert base != audit_digest(reseeded, None, ("att",))
+
+    def test_run_full_audit_cache_hit_skips_rebuild(
+            self, world, report, tmp_path, monkeypatch):
+        config = RuntimeConfig(shards=2, backend="serial",
+                               cache_dir=str(tmp_path))
+        first = run_full_audit(world=world, parallel=config)
+        assert first.headline() == report.headline()
+
+        # A second call must come from the cache: building a world or
+        # querying a website would blow up.
+        import repro.core.pipeline as pipeline_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("cache miss: pipeline recomputed")
+
+        monkeypatch.setattr(pipeline_module, "build_world", forbidden)
+        monkeypatch.setattr(pipeline_module, "CollectionCampaign", forbidden)
+        second = run_full_audit(scenario=world.config, parallel=config)
+        assert second.headline() == report.headline()
+
+    def test_context_uses_cache(self, tmp_path, world, report):
+        from repro.analysis.context import ExperimentContext
+
+        cache = AuditCache(tmp_path)
+        digest = audit_digest(world.config, None,
+                              ("att", "centurylink", "frontier",
+                               "consolidated"))
+        cache.put(digest, report)
+        context = ExperimentContext.at_scale("tiny",
+                                             cache_dir=str(tmp_path))
+        assert context.report.headline() == report.headline()
+        # The cached world rides along so report and world agree.
+        assert context.world is context.report.world
+
+    def test_entries_and_sidecar(self, report, tmp_path):
+        cache = AuditCache(tmp_path)
+        digest = audit_digest(report.world.config, None, ("att",))
+        path = cache.put(digest, report)
+        assert cache.entries() == [digest]
+        assert path.with_suffix(".json").exists()
+        assert cache.get("0" * 64) is None
+
+    def test_environment_wiring(self, monkeypatch, tmp_path):
+        from repro.analysis.context import ExperimentContext
+        from repro.runtime.cache import cache_dir_from_environment
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cache_dir_from_environment() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert cache_dir_from_environment() == str(tmp_path)
+        context = ExperimentContext.at_scale("tiny")
+        assert context.cache_dir == str(tmp_path)

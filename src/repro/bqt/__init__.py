@@ -16,7 +16,13 @@ reproduces that system against simulated ISP websites:
   exhibited.
 * :mod:`repro.bqt.proxy` — the rotating proxy pool.
 * :mod:`repro.bqt.engine` — the query engine with retries, proxy
-  rotation, and the per-ISP query-time model (Figure 12).
+  rotation, and the per-ISP query-time model (Figure 12); each query
+  is a resumable :class:`~repro.bqt.engine.QuerySession` state
+  machine.
+* :mod:`repro.bqt.aio` — the asyncio session engine: one event loop
+  interleaves sessions against different storefronts under a per-ISP
+  politeness token bucket (imported directly, not re-exported here, to
+  keep ``repro.bqt`` import-light).
 * :mod:`repro.bqt.logbook` — the query log every analysis consumes.
 """
 
@@ -27,7 +33,7 @@ from repro.bqt.campaign import (
     plan_full_census,
     plan_study,
 )
-from repro.bqt.engine import BqtEngine, EngineConfig
+from repro.bqt.engine import BqtEngine, EngineConfig, QuerySession
 from repro.bqt.errors import ErrorCategory
 from repro.bqt.logbook import QueryLog, QueryRecord
 from repro.bqt.proxy import ProxyEndpoint, ProxyPool
@@ -49,6 +55,7 @@ __all__ = [
     "ProxyPool",
     "QueryLog",
     "QueryRecord",
+    "QuerySession",
     "QueryStatus",
     "WebsiteResponse",
     "build_website",

@@ -8,6 +8,15 @@ lognormal calibrated to Figure 12 (AT&T slowest and widest because of
 its bot-detection friction). Time is *virtual* — accumulated, never
 slept — so a 537k-address campaign that took the authors months runs
 here in seconds while preserving the duration arithmetic.
+
+One query is a resumable state machine, :class:`QuerySession`: each
+:meth:`~QuerySession.step` performs one attempt (page load, optional
+Brightspeed follow-up, rotation and back-off on transient failure) and
+pauses. The synchronous :meth:`BqtEngine.query` steps a session to
+completion in a tight loop; the asyncio driver in :mod:`repro.bqt.aio`
+steps many sessions against *different* storefronts from one event
+loop, yielding between attempts. Both drivers consume the same RNG
+stream in the same order, so the final record is identical either way.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from repro.bqt.websites import CenturyLinkWebsite, IspWebsite
 from repro.isp.registry import isp_by_id
 from repro.stats.distributions import stable_rng
 
-__all__ = ["EngineConfig", "BqtEngine"]
+__all__ = ["EngineConfig", "BqtEngine", "QuerySession"]
 
 # Page kinds that terminate the retry loop immediately.
 _CONCLUSIVE_PAGES = {
@@ -62,6 +71,106 @@ class EngineConfig:
             raise ValueError("backoff must be non-negative")
 
 
+class QuerySession:
+    """One address's query, as a resumable state machine.
+
+    The session owns the per-address RNG stream (derived from the world
+    seed, never from wall clock or execution order) and the accumulated
+    virtual elapsed time. Each :meth:`step` runs exactly one attempt —
+    the unit the real BQT pauses at between page loads — and either
+    finishes the session (:attr:`done` becomes true, :attr:`record`
+    holds the final :class:`~repro.bqt.logbook.QueryRecord`) or leaves
+    it resumable. Because every random draw happens inside ``step`` in
+    a fixed order, interleaving steps of sessions against *different*
+    engines cannot change any session's outcome; sessions sharing one
+    engine still hand state to each other through the proxy pool and
+    must run in order.
+    """
+
+    def __init__(self, engine: "BqtEngine", address: StreetAddress):
+        self._engine = engine
+        self._address = address
+        self._rng = stable_rng(
+            engine._seed, "engine", engine.isp_id, address.address_id)
+        self._attempt = 0
+        self._elapsed = 0.0
+        self._record: QueryRecord | None = None
+
+    @property
+    def address(self) -> StreetAddress:
+        """The address this session queries."""
+        return self._address
+
+    @property
+    def isp_id(self) -> str:
+        """The storefront this session runs against."""
+        return self._engine.isp_id
+
+    @property
+    def done(self) -> bool:
+        """Whether the session reached a final record."""
+        return self._record is not None
+
+    @property
+    def record(self) -> QueryRecord:
+        """The final record (only after :attr:`done`)."""
+        if self._record is None:
+            raise RuntimeError("session still in flight; step it to done")
+        return self._record
+
+    @property
+    def attempts(self) -> int:
+        """Attempts issued so far."""
+        return self._attempt
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Virtual seconds accumulated so far."""
+        return self._elapsed
+
+    def step(self) -> float:
+        """Run the next attempt; returns the virtual seconds it took.
+
+        Reproduces one iteration of the classic blocking retry loop:
+        account the query on the current exit IP, load the page,
+        follow a Brightspeed redirect on the same attempt, then either
+        finalize (conclusive page, or retries exhausted) or rotate the
+        proxy and back off.
+        """
+        if self.done:
+            raise RuntimeError("session already finished")
+        engine = self._engine
+        config = engine._config
+        before = self._elapsed
+        self._attempt += 1
+        endpoint = engine._pool.current
+        endpoint.record_query(engine._website.bot_hostility)
+        self._elapsed += engine._draw_query_seconds(self._rng)
+        response = engine._website.respond(
+            self._address, self._rng,
+            extra_error_probability=endpoint.extra_error_probability,
+        )
+        if response.page_kind is PageKind.REDIRECT_BRIGHTSPEED:
+            # Second storefront: query brightspeed.com with the
+            # same address (Appendix 8.3).
+            assert isinstance(engine._website, CenturyLinkWebsite)
+            self._elapsed += engine._draw_query_seconds(self._rng)
+            response = engine._website.respond_brightspeed(
+                self._address, self._rng)
+        if response.page_kind in _CONCLUSIVE_PAGES:
+            self._record = engine._finalize(
+                self._address, response, self._attempt, self._elapsed)
+            return self._elapsed - before
+        # Transient failure: rotate the exit IP and back off.
+        if config.rotate_proxy_on_failure:
+            engine._pool.rotate()
+        self._elapsed += config.retry_backoff_seconds
+        if self._attempt >= config.max_attempts:
+            self._record = engine._finalize(
+                self._address, response, config.max_attempts, self._elapsed)
+        return self._elapsed - before
+
+
 class BqtEngine:
     """Queries one ISP's website for street addresses."""
 
@@ -95,35 +204,16 @@ class BqtEngine:
         sigma = self._info.query_time_sigma
         return float(rng.lognormal(mean=np.log(median), sigma=sigma))
 
+    def begin(self, address: StreetAddress) -> QuerySession:
+        """Open a resumable session for one address."""
+        return QuerySession(self, address)
+
     def query(self, address: StreetAddress) -> QueryRecord:
         """Query one address to a final status."""
-        rng = stable_rng(self._seed, "engine", self.isp_id, address.address_id)
-        elapsed = 0.0
-        last_response: WebsiteResponse | None = None
-        for attempt in range(1, self._config.max_attempts + 1):
-            endpoint = self._pool.current
-            endpoint.record_query(self._website.bot_hostility)
-            elapsed += self._draw_query_seconds(rng)
-            response = self._website.respond(
-                address, rng, extra_error_probability=endpoint.extra_error_probability
-            )
-            if response.page_kind is PageKind.REDIRECT_BRIGHTSPEED:
-                # Second storefront: query brightspeed.com with the
-                # same address (Appendix 8.3).
-                assert isinstance(self._website, CenturyLinkWebsite)
-                elapsed += self._draw_query_seconds(rng)
-                response = self._website.respond_brightspeed(address, rng)
-            last_response = response
-            if response.page_kind in _CONCLUSIVE_PAGES:
-                return self._finalize(address, response, attempt, elapsed)
-            # Transient failure: rotate the exit IP and back off.
-            if self._config.rotate_proxy_on_failure:
-                self._pool.rotate()
-            elapsed += self._config.retry_backoff_seconds
-        assert last_response is not None
-        return self._finalize(
-            address, last_response, self._config.max_attempts, elapsed
-        )
+        session = self.begin(address)
+        while not session.done:
+            session.step()
+        return session.record
 
     def query_many(self, addresses: list[StreetAddress]) -> list[QueryRecord]:
         """Query a batch sequentially."""

@@ -3,7 +3,8 @@
 Usage::
 
     caf-audit run [--scale tiny|small|paper] [--seed N]
-                  [--shards N] [--workers N] [--resume]
+                  [--shards N] [--workers N] [--backend B]
+                  [--max-inflight N] [--resume]
                   [--checkpoint-dir DIR] [--cache-dir DIR]
     caf-audit experiment <id>... [--scale ...]
     caf-audit list
@@ -57,8 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes (clamped to the per-ISP politeness cap)")
     run_parser.add_argument(
-        "--backend", choices=("auto", "serial", "process"), default="auto",
-        help="shard execution backend (auto: process iff workers > 1)")
+        "--backend",
+        choices=("auto", "serial", "process", "async", "process+async"),
+        default="auto",
+        help="shard execution backend (auto: process iff workers > 1; "
+             "async backends interleave storefront sessions per shard)")
+    run_parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="concurrent sessions per async event loop (default 8; "
+             "politeness is still capped per ISP; implies an async "
+             "backend when --backend is auto)")
     run_parser.add_argument(
         "--checkpoint-dir", metavar="DIR",
         help="write per-shard checkpoints under DIR")
@@ -123,15 +132,20 @@ def _command_run(args: argparse.Namespace) -> int:
     parallel = None
     wants_runtime = (args.shards or args.workers != 1 or args.resume
                      or args.backend != "auto"
+                     or args.max_inflight is not None
                      or args.checkpoint_dir or args.cache_dir)
     if wants_runtime:
         from repro.runtime import RuntimeConfig
 
         try:
+            # RuntimeConfig resolves the backend: an explicit
+            # --max-inflight promotes "auto" to an async backend, and
+            # async with workers composes to process+async.
             parallel = RuntimeConfig(
                 shards=args.shards or max(args.workers, 1),
                 workers=args.workers,
                 backend=args.backend,
+                max_inflight=args.max_inflight,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 cache_dir=args.cache_dir,
@@ -139,9 +153,50 @@ def _command_run(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"caf-audit run: {error}", file=sys.stderr)
             return 2
-    report = run_full_audit(scenario=scenario, parallel=parallel)
+    on_progress = _shard_progress_printer() if parallel is not None else None
+    report = run_full_audit(scenario=scenario, parallel=parallel,
+                            on_progress=on_progress)
     print("\n".join(report.summary_lines()))
     return 0
+
+
+def _shard_progress_printer(stream=None):
+    """A per-shard progress callback printing status + ETA lines.
+
+    The ETA rate is measured between shard completions of *this run* —
+    the clock starts at the first completed shard, so neither the
+    world build nor instantly restored checkpoints inflate the
+    per-shard rate. The first line (no rate observed yet) reports the
+    ETA as pending. Rough, but it turns a previously silent
+    ``--shards`` run into a live progress feed on stderr.
+    """
+    import time
+
+    stream = stream if stream is not None else sys.stderr
+    started = time.monotonic()
+    first_done_at: float | None = None
+    ran_since_first = 0
+
+    def on_progress(completed: int, total: int, result) -> None:
+        nonlocal first_done_at, ran_since_first
+        now = time.monotonic()
+        if first_done_at is None:
+            first_done_at = now
+        else:
+            ran_since_first += 1
+        remaining = total - completed
+        if ran_since_first:
+            eta = (now - first_done_at) / ran_since_first * remaining
+            eta_text = f"ETA {eta:.1f}s"
+        else:
+            eta_text = "ETA pending"
+        units = len(result.q12_records) + len(result.q3_outcomes)
+        print(
+            f"[shard {result.index}] done ({units} units) — "
+            f"{completed}/{total} shards in {now - started:.1f}s, "
+            f"{eta_text}", file=stream)
+
+    return on_progress
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -241,6 +296,19 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    from repro.runtime import cache_dir_from_environment
+
+    if getattr(args, "cache_dir", None) or cache_dir_from_environment():
+        # A cache will (or may, via ExperimentContext) be constructed:
+        # surface a malformed REPRO_CACHE_MAX_BYTES as a handled
+        # config error up front, not a traceback mid-audit.
+        try:
+            from repro.runtime import cache_max_bytes_from_environment
+
+            cache_max_bytes_from_environment()
+        except ValueError as error:
+            print(f"caf-audit: {error}", file=sys.stderr)
+            return 2
     return _COMMANDS[args.command](args)
 
 

@@ -39,8 +39,14 @@ __all__ = [
     "Q3BlockOutcome",
     "collect_q3_dataset",
     "q3_block_candidates",
+    "q12_cell_setup",
+    "q12_query_sequence",
+    "q3_block_setup",
+    "q3_query_sequence",
     "run_q12_cell",
     "run_q3_block",
+    "settle_q12_record",
+    "settle_q3_mode",
 ]
 
 
@@ -89,6 +95,80 @@ def _as_replacement(record: QueryRecord, failed: StreetAddress) -> QueryRecord:
     )
 
 
+def settle_q12_record(
+    record: QueryRecord, replacement_for: StreetAddress | None
+) -> QueryRecord:
+    """Settle one Q1/Q2 query's record: mark reserve draws.
+
+    Single-sourced so the blocking and asyncio drivers log — and feed
+    back into :func:`q12_query_sequence` — the exact same record.
+    """
+    if replacement_for is None:
+        return record
+    return _as_replacement(record, replacement_for)
+
+
+def settle_q3_mode(step_mode: str | None, record: QueryRecord) -> str | None:
+    """Settle one Q3 step's incumbent mode (``None`` = no change).
+
+    Incumbent steps carry their mode in the sequence; a cable probe
+    upgrades the address to ``"competition"`` exactly when it returned
+    serviceable. Single-sourced for the same reason as
+    :func:`settle_q12_record`.
+    """
+    if step_mode is not None:
+        return step_mode
+    if record.status is QueryStatus.SERVICEABLE:
+        return "competition"
+    return None
+
+
+def q12_query_sequence(plan: SamplePlan, max_replacements: int):
+    """The Q1/Q2 cell's query schedule, as a driver-agnostic coroutine.
+
+    Yields ``(address, replacement_for)`` pairs — ``replacement_for``
+    is the failed :class:`StreetAddress` when this query is a reserve
+    draw, else ``None`` — and expects the driver to ``send`` back the
+    (already replacement-marked) :class:`QueryRecord` it produced. The
+    replacement policy (draw from the reserve while the latest record
+    is ``UNKNOWN``, up to ``max_replacements`` per failure) lives only
+    here, so the blocking driver (:func:`run_q12_cell`) and the asyncio
+    driver (:mod:`repro.bqt.aio`) cannot drift apart.
+    """
+    reserve = list(plan.reserve)
+    for address in plan.selected:
+        record = yield (address, None)
+        failed = address
+        replacements_used = 0
+        while (record.status is QueryStatus.UNKNOWN
+               and replacements_used < max_replacements
+               and reserve):
+            replacement = reserve.pop(0)
+            record = yield (replacement, failed)
+            failed = replacement
+            replacements_used += 1
+
+
+def q12_cell_setup(
+    world: World,
+    isp_id: str,
+    cbg: str,
+    addresses: list[StreetAddress],
+    policy: SamplingPolicy | None = None,
+    engine_config: EngineConfig | None = None,
+):
+    """The Q1/Q2 cell drivers' shared prologue: fresh engine + plan.
+
+    Single-sourced (like :func:`q12_query_sequence`) so the blocking
+    and asyncio drivers cannot drift in how a cell's engine is seeded
+    or its sample planned.
+    """
+    policy = policy or SamplingPolicy()
+    engine = world.engine_for(isp_id, engine_config)
+    plan = plan_cbg_sample(cbg, addresses, policy, seed=world.config.seed)
+    return engine, plan
+
+
 def run_q12_cell(
     world: World,
     isp_id: str,
@@ -107,24 +187,18 @@ def run_q12_cell(
     """
     if max_replacements < 0:
         raise ValueError("max_replacements must be non-negative")
-    policy = policy or SamplingPolicy()
-    engine = world.engine_for(isp_id, engine_config)
-    plan = plan_cbg_sample(cbg, addresses, policy, seed=world.config.seed)
+    engine, plan = q12_cell_setup(world, isp_id, cbg, addresses,
+                                  policy=policy, engine_config=engine_config)
     records: list[QueryRecord] = []
-    reserve = list(plan.reserve)
-    for address in plan.selected:
-        record = engine.query(address)
-        records.append(record)
-        failed = address
-        replacements_used = 0
-        while (record.status is QueryStatus.UNKNOWN
-               and replacements_used < max_replacements
-               and reserve):
-            replacement = reserve.pop(0)
-            record = _as_replacement(engine.query(replacement), failed)
+    sequence = q12_query_sequence(plan, max_replacements)
+    try:
+        address, failed = next(sequence)
+        while True:
+            record = settle_q12_record(engine.query(address), failed)
             records.append(record)
-            failed = replacement
-            replacements_used += 1
+            address, failed = sequence.send(record)
+    except StopIteration:
+        pass
     return plan, records
 
 
@@ -213,6 +287,59 @@ def q3_block_candidates(
     return [b for b in sorted(eligible) if b[:2] in fips]
 
 
+def q3_query_sequence(
+    caf_addresses: list[StreetAddress],
+    non_caf: list[StreetAddress],
+    cable_available: bool,
+):
+    """The Q3 block's query schedule, as a driver-agnostic coroutine.
+
+    Yields ``(role, address, mode)`` steps: ``role`` selects the
+    incumbent or cable engine, and ``mode`` is the address's incumbent
+    mode as this step settles it (``"caf"`` for CAF addresses,
+    ``"monopoly"`` for non-CAF, ``None`` for the cable probe — the
+    driver upgrades the address to ``"competition"`` when the cable
+    record is serviceable). Shared by :func:`run_q3_block` and the
+    asyncio driver so the query order is identical under every backend.
+    """
+    for address in caf_addresses:
+        yield ("incumbent", address, "caf")
+    for address in non_caf:
+        yield ("incumbent", address, "monopoly")
+        if cable_available:
+            yield ("cable", address, None)
+
+
+def q3_block_setup(
+    world: World,
+    block_geoid: str,
+    engine_config: EngineConfig | None = None,
+):
+    """The Q3 block drivers' shared prologue.
+
+    Returns ``(outcome, engines, caf_addresses, non_caf)`` — a fresh
+    :class:`Q3BlockOutcome` skeleton, the ``{"incumbent", "cable"}``
+    engine map (cable ``None`` without overlap), and the two address
+    lists — or ``None`` when the block is not analyzed (no CAF or no
+    non-CAF addresses). Single-sourced so the blocking and asyncio
+    drivers cannot drift in block eligibility or engine seeding.
+    """
+    competition = world.block_competition[block_geoid]
+    incumbent = competition.incumbent_isp_id
+    caf_addresses = world.caf_addresses_in_block(incumbent, block_geoid)
+    non_caf = world.zillow.non_caf_in_block(block_geoid)
+    if not caf_addresses or not non_caf:
+        return None
+    outcome = Q3BlockOutcome(
+        block_geoid=block_geoid, incumbent_isp_id=incumbent, records=())
+    engines = {
+        "incumbent": world.engine_for(incumbent, engine_config),
+        "cable": (world.engine_for(competition.cable_isp_id, engine_config)
+                  if competition.cable_isp_id else None),
+    }
+    return outcome, engines, caf_addresses, non_caf
+
+
 def run_q3_block(
     world: World,
     block_geoid: str,
@@ -226,31 +353,18 @@ def run_q3_block(
     the cable query returned serviceable. Returns ``None`` when the
     block has no CAF or no non-CAF addresses (it is not analyzed).
     """
-    competition = world.block_competition[block_geoid]
-    incumbent = competition.incumbent_isp_id
-    caf_addresses = world.caf_addresses_in_block(incumbent, block_geoid)
-    non_caf = world.zillow.non_caf_in_block(block_geoid)
-    if not caf_addresses or not non_caf:
+    setup = q3_block_setup(world, block_geoid, engine_config)
+    if setup is None:
         return None
-
-    outcome = Q3BlockOutcome(
-        block_geoid=block_geoid, incumbent_isp_id=incumbent, records=())
+    outcome, engines, caf_addresses, non_caf = setup
     records: list[QueryRecord] = []
-    incumbent_engine = world.engine_for(incumbent, engine_config)
-    for address in caf_addresses:
-        records.append(incumbent_engine.query(address))
-        outcome.modes[address.address_id] = "caf"
-    cable_engine = (world.engine_for(competition.cable_isp_id, engine_config)
-                    if competition.cable_isp_id else None)
-    for address in non_caf:
-        records.append(incumbent_engine.query(address))
-        mode = "monopoly"
-        if cable_engine is not None:
-            cable_record = cable_engine.query(address)
-            records.append(cable_record)
-            if cable_record.status is QueryStatus.SERVICEABLE:
-                mode = "competition"
-        outcome.modes[address.address_id] = mode
+    for role, address, mode in q3_query_sequence(
+            caf_addresses, non_caf, engines["cable"] is not None):
+        record = engines[role].query(address)
+        records.append(record)
+        settled = settle_q3_mode(mode, record)
+        if settled is not None:
+            outcome.modes[address.address_id] = settled
     outcome.records = tuple(records)
     return outcome
 

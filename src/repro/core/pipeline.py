@@ -93,13 +93,19 @@ def run_full_audit(
     policy: SamplingPolicy | None = None,
     use_urban_survey: bool = True,
     parallel: "RuntimeConfig | None" = None,
+    on_progress=None,
 ) -> AuditReport:
     """Run the complete study and return every analysis object.
 
     ``parallel`` selects the sharded runtime for the two collection
-    campaigns; its ``cache_dir`` short-circuits the whole call with a
-    content-addressed hit when the same (scenario, policy, ISP set)
-    audit has already been computed.
+    campaigns (``backend="async"`` interleaves each shard's storefront
+    sessions on an event loop); its ``cache_dir`` short-circuits the
+    whole call with a content-addressed hit when the same (scenario,
+    policy, ISP set) audit has already been computed. On an audit miss
+    the world build is still served from the cache's scenario-keyed
+    world store, so e.g. policy sweeps rebuild only the campaigns.
+    ``on_progress`` (sharded runs only) fires per completed shard with
+    ``(completed, total, shard_result)``.
     """
     cache = digest = None
     if parallel is not None and parallel.cache_dir is not None:
@@ -114,12 +120,23 @@ def run_full_audit(
         if cached is not None:
             return cached
     if world is None:
-        world = build_world(scenario)
+        if cache is not None:
+            from repro.runtime.cache import world_digest
+
+            scenario = scenario or ScenarioConfig()
+            scenario_key = world_digest(scenario)
+            world = cache.get_world(scenario_key)
+            if world is None:
+                world = build_world(scenario)
+                cache.put_world(scenario_key, world)
+        else:
+            world = build_world(scenario)
     if parallel is not None:
         from repro.runtime.executor import execute_campaign
 
         collection, q3_collection = execute_campaign(
-            world, parallel, policy=policy, isps=CAF_STUDY_ISP_IDS)
+            world, parallel, policy=policy, isps=CAF_STUDY_ISP_IDS,
+            on_progress=on_progress)
     else:
         campaign = CollectionCampaign(world, policy=policy)
         collection = campaign.run(isps=CAF_STUDY_ISP_IDS)

@@ -4,27 +4,33 @@ The paper's measurement campaign ran a fleet of containerized BQT
 workers for weeks; this subsystem gives the reproduction the same
 shape. It partitions a :class:`~repro.synth.world.World` into
 deterministic shards of independent cells (:mod:`~repro.runtime
-.shards`), runs them sequentially or on a process pool under the
-per-storefront politeness cap (:mod:`~repro.runtime.executor`), merges
+.shards`), runs them sequentially, on a process pool, and/or on
+per-shard asyncio event loops that interleave sessions against
+different storefronts — always under the per-storefront politeness cap
+(:mod:`~repro.runtime.executor`, :mod:`repro.bqt.aio`) — merges
 shard logs back into results bit-identical to the sequential campaign
 (:mod:`~repro.runtime.merge`), checkpoints completed shards so an
 interrupted run resumes without recomputation (:mod:`~repro.runtime
 .checkpoint`), and content-addresses finished audits so repeated
 ``ExperimentContext`` builds reuse one run (:mod:`~repro.runtime
-.cache`).
+.cache`, which also caches world builds by scenario and evicts
+least-recently-used entries past ``REPRO_CACHE_MAX_BYTES``).
 
 Entry points::
 
     from repro import run_full_audit
     from repro.runtime import RuntimeConfig
 
-    report = run_full_audit(parallel=RuntimeConfig(shards=8, workers=4))
+    report = run_full_audit(parallel=RuntimeConfig(
+        shards=8, workers=4, backend="process+async", max_inflight=8))
 """
 
 from repro.runtime.cache import (
     AuditCache,
     audit_digest,
     cache_dir_from_environment,
+    cache_max_bytes_from_environment,
+    world_digest,
 )
 from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
 from repro.runtime.executor import (
@@ -45,6 +51,8 @@ __all__ = [
     "ShardSpec",
     "audit_digest",
     "cache_dir_from_environment",
+    "cache_max_bytes_from_environment",
+    "world_digest",
     "campaign_fingerprint",
     "enumerate_q12_cells",
     "execute_campaign",

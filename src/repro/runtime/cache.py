@@ -1,4 +1,4 @@
-"""Content-addressed audit result cache.
+"""Content-addressed result cache: audits, and the worlds under them.
 
 Twenty-odd benchmark and example scripts each call
 ``ExperimentContext.at_scale(...)`` and rebuild the same audit from
@@ -8,11 +8,19 @@ the scenario (seed included), the sampling policy, and the ISP set —
 so the second script at a given scale loads the first one's audit
 instead of recomputing it.
 
-Entries are stored as ``<digest>.pkl`` (the pickled report) plus a
-``<digest>.json`` sidecar with the scenario parameters and headline
-numbers for human inspection. Pickle implies the usual trust caveat:
-only point ``cache_dir`` (or ``REPRO_CACHE_DIR``) at directories you
-write yourself.
+The *world* is cached separately, under the digest of the scenario
+alone (:func:`world_digest`, entries in a ``worlds/`` subdirectory).
+A policy sweep — same scenario, different sampling policies — misses
+the audit cache on every variant but shares one cached world build,
+which is the expensive half of a small audit.
+
+The cache is size-bounded: give the constructor ``max_bytes`` or set
+``REPRO_CACHE_MAX_BYTES`` and, after each store, the least-recently-
+*used* entries (hits refresh an entry's clock) are evicted until the
+directory fits. Entries are stored as ``<digest>.pkl`` plus a
+``<digest>.json`` sidecar with headline numbers for human inspection.
+Pickle implies the usual trust caveat: only point ``cache_dir`` (or
+``REPRO_CACHE_DIR``) at directories you write yourself.
 """
 
 from __future__ import annotations
@@ -30,12 +38,26 @@ from repro.synth.scenario import ScenarioConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import AuditReport
+    from repro.synth.world import World
 
-__all__ = ["AuditCache", "audit_digest", "cache_dir_from_environment"]
+__all__ = [
+    "AuditCache",
+    "audit_digest",
+    "world_digest",
+    "cache_dir_from_environment",
+    "cache_max_bytes_from_environment",
+]
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+CACHE_MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
 # Bump when a change anywhere in the pipeline invalidates old entries.
 CACHE_FORMAT_VERSION = 1
+
+_WORLDS_SUBDIR = "worlds"
+# ImportError covers entries pickled by an older code version whose
+# classes have since moved — stale, so a miss, not a crash.
+_PICKLE_LOAD_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
+                       ImportError, OSError)
 
 
 def audit_digest(
@@ -58,27 +80,79 @@ def audit_digest(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def world_digest(scenario: ScenarioConfig) -> str:
+    """Content address of one world build: the scenario alone.
+
+    Deliberately independent of sampling policy and ISP set — the
+    world is fully determined by the scenario's seed and shape, which
+    is what lets audits with different policies share one build.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "scenario": asdict(scenario),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def cache_dir_from_environment() -> str | None:
     """The cache directory named by ``REPRO_CACHE_DIR`` (if any)."""
     value = os.environ.get(CACHE_ENV_VAR, "").strip()
     return value or None
 
 
-class AuditCache:
-    """A directory of content-addressed audit reports."""
+def cache_max_bytes_from_environment() -> int | None:
+    """The eviction bound named by ``REPRO_CACHE_MAX_BYTES`` (if any)."""
+    value = os.environ.get(CACHE_MAX_BYTES_ENV_VAR, "").strip()
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_MAX_BYTES_ENV_VAR} must be an integer byte count, "
+            f"got {value!r}") from None
+    if parsed <= 0:
+        raise ValueError(f"{CACHE_MAX_BYTES_ENV_VAR} must be positive")
+    return parsed
 
-    def __init__(self, directory: str | Path):
+
+class AuditCache:
+    """A directory of content-addressed audit reports and world builds.
+
+    ``max_bytes`` (default: ``REPRO_CACHE_MAX_BYTES``) bounds the
+    total size of pickles and sidecars; stores evict least-recently-
+    used entries — audit or world, whichever is coldest — to fit.
+    """
+
+    def __init__(self, directory: str | Path, max_bytes: int | None = None):
         self._directory = Path(directory)
+        self._max_bytes = (max_bytes if max_bytes is not None
+                           else cache_max_bytes_from_environment())
+        if self._max_bytes is not None and self._max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
 
     @property
     def directory(self) -> Path:
         """The cache's root directory."""
         return self._directory
 
+    @property
+    def max_bytes(self) -> int | None:
+        """The eviction bound (None = unbounded)."""
+        return self._max_bytes
+
     def path_for(self, digest: str) -> Path:
         """Path of the pickled report for one digest."""
         return self._directory / f"{digest}.pkl"
 
+    def world_path_for(self, digest: str) -> Path:
+        """Path of the pickled world for one digest."""
+        return self._directory / _WORLDS_SUBDIR / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------
+    # audits
+    # ------------------------------------------------------------------
     def get(self, digest: str) -> "AuditReport | None":
         """Load the cached report for a digest (None on miss).
 
@@ -86,25 +160,11 @@ class AuditCache:
         filesystem without atomic rename) counts as a miss, not a
         crash — the caller recomputes and overwrites it.
         """
-        path = self.path_for(digest)
-        if not path.exists():
-            return None
-        try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
-            return None
+        return self._load_pickle(self.path_for(digest))
 
     def put(self, digest: str, report: "AuditReport") -> Path:
         """Store a report under its digest; returns the pickle path."""
-        self._directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(digest)
-        # Per-process temp name: concurrent scripts warming the same
-        # cold cache must not interleave writes into one temp file.
-        tmp = path.with_suffix(f".pkl.tmp-{os.getpid()}")
-        with tmp.open("wb") as handle:
-            pickle.dump(report, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)  # atomic publish: readers never see half a pickle
+        path = self._store_pickle(self.path_for(digest), report)
         sidecar = {
             "digest": digest,
             "scenario": asdict(report.world.config),
@@ -114,10 +174,132 @@ class AuditCache:
         }
         path.with_suffix(".json").write_text(
             json.dumps(sidecar, indent=2, sort_keys=True), encoding="utf-8")
+        self._evict(keep=path)
         return path
 
     def entries(self) -> list[str]:
-        """Digests currently stored, sorted."""
+        """Audit digests currently stored, sorted."""
         if not self._directory.exists():
             return []
         return sorted(p.stem for p in self._directory.glob("*.pkl"))
+
+    # ------------------------------------------------------------------
+    # worlds
+    # ------------------------------------------------------------------
+    def get_world(self, digest: str) -> "World | None":
+        """Load the cached world for a scenario digest (None on miss)."""
+        return self._load_pickle(self.world_path_for(digest))
+
+    def put_world(self, digest: str, world: "World") -> Path:
+        """Store a world build under its scenario digest."""
+        path = self._store_pickle(self.world_path_for(digest), world)
+        self._evict(keep=path)
+        return path
+
+    def world_entries(self) -> list[str]:
+        """World digests currently stored, sorted."""
+        worlds = self._directory / _WORLDS_SUBDIR
+        if not worlds.exists():
+            return []
+        return sorted(p.stem for p in worlds.glob("*.pkl"))
+
+    # ------------------------------------------------------------------
+    # storage and eviction
+    # ------------------------------------------------------------------
+    def _load_pickle(self, path: Path):
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                loaded = pickle.load(handle)
+        except _PICKLE_LOAD_ERRORS:
+            return None
+        # A hit refreshes the entry's LRU clock. The loaded object is
+        # good regardless, so a refresh that cannot happen — entry
+        # evicted by a concurrent process, or a read-only shared cache
+        # (where eviction never runs either) — is fine to skip.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return loaded
+
+    def _store_pickle(self, path: Path, payload) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Per-process temp name: concurrent scripts warming the same
+        # cold cache must not interleave writes into one temp file.
+        tmp = path.with_suffix(f".pkl.tmp-{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)  # atomic publish: readers never see half a pickle
+        return path
+
+    def _entry_paths(self) -> list[Path]:
+        pickles = list(self._directory.glob("*.pkl"))
+        worlds = self._directory / _WORLDS_SUBDIR
+        if worlds.exists():
+            pickles.extend(worlds.glob("*.pkl"))
+        return pickles
+
+    @staticmethod
+    def _stat_or_none(path: Path):
+        # Concurrent processes evict from the same directory; any
+        # entry may vanish between listing and stat'ing it.
+        try:
+            return path.stat()
+        except FileNotFoundError:
+            return None
+
+    @classmethod
+    def _entry_bytes(cls, path: Path) -> int:
+        total = 0
+        for part in (path, path.with_suffix(".json")):
+            stat = cls._stat_or_none(part)
+            if stat is not None:
+                total += stat.st_size
+        return total
+
+    def total_bytes(self) -> int:
+        """Total size of all entries (pickles plus sidecars)."""
+        if not self._directory.exists():
+            return 0
+        return sum(self._entry_bytes(p) for p in self._entry_paths())
+
+    def _sweep_stale_tmp_files(self) -> None:
+        """Delete orphaned ``*.pkl.tmp-<pid>`` files from crashed puts.
+
+        Live writers publish within seconds, so anything older than an
+        hour is a leak that ``_evict`` (which only sees ``*.pkl``)
+        would otherwise never reclaim — while deleting live tmp files
+        would crash their writer's atomic rename.
+        """
+        import time
+
+        cutoff = time.time() - 3600.0
+        for directory in (self._directory, self._directory / _WORLDS_SUBDIR):
+            if not directory.exists():
+                continue
+            for tmp in directory.glob("*.tmp-*"):
+                stat = self._stat_or_none(tmp)
+                if stat is not None and stat.st_mtime < cutoff:
+                    tmp.unlink(missing_ok=True)
+
+    def _evict(self, keep: Path) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        The just-written ``keep`` entry is never evicted: the bound
+        governs what accumulates, not what the caller stored last.
+        """
+        if self._max_bytes is None:
+            return
+        self._sweep_stale_tmp_files()
+        entries = [p for p in self._entry_paths() if p != keep]
+        entries.sort(key=lambda p: getattr(self._stat_or_none(p),
+                                           "st_mtime", 0.0))
+        total = self.total_bytes()
+        for path in entries:
+            if total <= self._max_bytes:
+                break
+            total -= self._entry_bytes(path)
+            path.unlink(missing_ok=True)
+            path.with_suffix(".json").unlink(missing_ok=True)

@@ -1,17 +1,26 @@
 """Sharded campaign execution.
 
 :func:`execute_campaign` turns the audit's two collections into a
-sharded job: plan the shards, run each shard's cells (in process, or on
-a ``concurrent.futures.ProcessPoolExecutor``), checkpoint completed
-shards, and merge the shard logs back into campaign results that are
-bit-identical to the sequential loops in :mod:`repro.core.collection`.
+sharded job: plan the shards, run each shard's cells (in process, on a
+``concurrent.futures.ProcessPoolExecutor``, and/or on a per-shard
+asyncio event loop), checkpoint completed shards, and merge the shard
+logs back into campaign results that are bit-identical to the
+sequential loops in :mod:`repro.core.collection`.
 
-Politeness is enforced the way the paper's fleet enforced it: a shard
-drives at most one browser session per ISP at a time (its cells run
-sequentially, grouped per ISP in canonical order), so the number of
-concurrent sessions against any storefront is bounded by the number of
-in-flight shards — which :class:`RuntimeConfig` clamps to
-``MAX_POLITE_WORKERS_PER_ISP``.
+Politeness is enforced the way the paper's fleet enforced it, whatever
+the backend:
+
+* a *serial* or *process* shard drives at most one browser session per
+  ISP at a time (its cells run sequentially), so concurrent sessions
+  per storefront are bounded by the number of in-flight shards — which
+  :class:`RuntimeConfig` clamps to ``MAX_POLITE_WORKERS_PER_ISP``;
+* an *async* shard interleaves up to ``max_inflight`` sessions against
+  different storefronts on one event loop, with a
+  :class:`~repro.bqt.aio.PolitenessGate` token bucket holding each
+  storefront to :attr:`RuntimeConfig.per_shard_isp_cap` — the global
+  cap divided across however many shards run concurrently, so the
+  fleet-wide per-ISP concurrency never exceeds the cap *exactly as in
+  the serial case*.
 
 Worker processes do not receive the (multi-megabyte) world over the
 pipe; they rebuild it from the :class:`~repro.synth.scenario
@@ -21,8 +30,10 @@ process so an N-shard run builds the world at most once per worker.
 
 from __future__ import annotations
 
+import asyncio
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
 from repro.bqt.engine import EngineConfig
@@ -41,6 +52,14 @@ from repro.synth.world import World, build_world
 
 __all__ = ["RuntimeConfig", "ShardResult", "execute_campaign", "run_shard"]
 
+_BACKENDS = ("auto", "serial", "process", "async", "process+async")
+
+# One event loop's default concurrent-session bound (async backends).
+DEFAULT_MAX_INFLIGHT = 8
+
+# on_progress callback: (completed shards, total shards, newest result).
+ProgressCallback = Callable[[int, int, "ShardResult"], None]
+
 
 @dataclass(frozen=True)
 class RuntimeConfig:
@@ -48,12 +67,22 @@ class RuntimeConfig:
 
     ``backend`` is ``"serial"`` (run shards in this process — the
     deterministic default tests rely on), ``"process"`` (a process
-    pool), or ``"auto"`` (process pool exactly when ``workers > 1``).
+    pool), ``"async"`` (shards run one at a time, but each shard's
+    cells interleave on an asyncio event loop), ``"process+async"``
+    (a process pool whose workers each run an event loop), or
+    ``"auto"`` (process pool exactly when ``workers > 1``).
+
+    ``max_inflight`` bounds one event loop's total concurrent sessions
+    across all storefronts. Setting it is a request for the async
+    engine: under ``backend="auto"`` it selects an async backend
+    (``None``, the default, leaves "auto" resolving to serial/process
+    and async backends on ``DEFAULT_MAX_INFLIGHT``).
     """
 
     shards: int = 1
     workers: int = 1
     backend: str = "auto"
+    max_inflight: int | None = None
     checkpoint_dir: str | None = None
     resume: bool = False
     cache_dir: str | None = None
@@ -63,8 +92,16 @@ class RuntimeConfig:
             raise ValueError("shards must be positive")
         if self.workers < 1:
             raise ValueError("workers must be positive")
-        if self.backend not in ("auto", "serial", "process"):
-            raise ValueError("backend must be auto, serial, or process")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {', '.join(_BACKENDS)}")
+        if self.max_inflight is not None:
+            if self.max_inflight < 1:
+                raise ValueError("max_inflight must be positive")
+            if self.backend in ("serial", "process"):
+                # An in-flight budget must never be silently ignored.
+                raise ValueError(
+                    f"max_inflight requires an async backend, "
+                    f"not {self.backend!r}")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume requires a checkpoint_dir")
 
@@ -72,18 +109,72 @@ class RuntimeConfig:
     def effective_workers(self) -> int:
         """Concurrent shard processes, clamped by politeness.
 
-        Each in-flight shard holds at most one session per storefront,
-        so the politeness cap on concurrent sessions per ISP bounds the
+        Each in-flight shard holds at most
+        :attr:`per_shard_isp_cap` sessions per storefront, so the
+        politeness cap on concurrent sessions per ISP bounds the
         number of shards allowed to run at once.
         """
         return min(self.workers, self.shards, MAX_POLITE_WORKERS_PER_ISP)
 
     @property
     def effective_backend(self) -> str:
-        """The backend actually used (resolves ``"auto"``)."""
+        """The backend actually used.
+
+        Resolves ``"auto"`` (async when ``max_inflight`` was set —
+        an in-flight budget must not be silently ignored — else
+        process iff parallel), and promotes ``"async"`` with multiple
+        workers to ``"process+async"`` — silently dropping requested
+        parallelism would be a multiple-of-workers slowdown with no
+        diagnostic.
+        """
         if self.backend == "auto":
+            if self.max_inflight is not None:
+                return ("process+async" if self.effective_workers > 1
+                        else "async")
             return "process" if self.effective_workers > 1 else "serial"
+        if self.backend == "async" and self.effective_workers > 1:
+            return "process+async"
         return self.backend
+
+    @property
+    def effective_max_inflight(self) -> int:
+        """The event-loop session bound actually used."""
+        return (DEFAULT_MAX_INFLIGHT if self.max_inflight is None
+                else self.max_inflight)
+
+    @property
+    def uses_async(self) -> bool:
+        """Whether shards run their cells on an asyncio event loop."""
+        return self.effective_backend in ("async", "process+async")
+
+    @property
+    def concurrent_shards(self) -> int:
+        """Shards in flight at once under the effective backend."""
+        if self.effective_backend in ("process", "process+async"):
+            return self.effective_workers
+        return 1
+
+    def per_shard_isp_cap_for(self, pending: int) -> int:
+        """Each shard's per-ISP session budget, ``pending`` shards out.
+
+        The global politeness cap is floor-divided across the shards
+        that can actually run concurrently — no more than ``pending``
+        remain, so a resumed tail is not throttled to a budget sized
+        for a full fleet. The sum over in-flight shards is a hard
+        upper bound at ``MAX_POLITE_WORKERS_PER_ISP``; it can never be
+        exceeded, though non-divisor counts strand part of the budget
+        (8 // 3 = 2 leaves two sessions unused). Non-async shards
+        drive one session at a time by construction.
+        """
+        if not self.uses_async:
+            return 1
+        inflight = min(self.concurrent_shards, max(1, pending))
+        return max(1, MAX_POLITE_WORKERS_PER_ISP // inflight)
+
+    @property
+    def per_shard_isp_cap(self) -> int:
+        """Each shard's per-ISP budget with the full partition pending."""
+        return self.per_shard_isp_cap_for(self.shards)
 
 
 @dataclass
@@ -97,6 +188,9 @@ class ShardResult:
         default_factory=dict)
     # Q3 candidate block → its outcome (None when not analyzed).
     q3_outcomes: dict[str, Q3BlockOutcome | None] = field(default_factory=dict)
+    # ISP → max concurrent in-flight sessions this shard held against
+    # it (politeness evidence; diagnostic, not checkpointed).
+    politeness: dict[str, int] = field(default_factory=dict)
 
 
 # Per-process world cache for pool workers: rebuilding the world is the
@@ -118,14 +212,37 @@ def run_shard(
     engine_config: EngineConfig | None = None,
     max_replacements: int = 2,
     world: World | None = None,
+    use_async: bool = False,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    per_isp_cap: int = MAX_POLITE_WORKERS_PER_ISP,
 ) -> ShardResult:
     """Run one shard's cells to completion.
 
     Top-level (picklable) so it can be submitted to a process pool;
     the serial backend calls it directly with the already-built
-    ``world`` to skip the rebuild.
+    ``world`` to skip the rebuild. With ``use_async`` the shard's
+    cells interleave on a fresh event loop (bounded by
+    ``max_inflight`` total and ``per_isp_cap`` per storefront) —
+    producing the same records, reassembled in canonical cell order.
     """
     world = world if world is not None else _world_for(scenario)
+    if use_async:
+        from repro.bqt.aio import run_cells_async
+
+        q12_records, q3_outcomes, watermarks = asyncio.run(run_cells_async(
+            world, spec.q12_cells, spec.q3_blocks,
+            policy=policy, engine_config=engine_config,
+            max_replacements=max_replacements,
+            max_inflight=max_inflight, per_isp_cap=per_isp_cap,
+        ))
+        result = ShardResult(index=spec.index, count=spec.count,
+                             politeness=watermarks)
+        # Completion order is nondeterministic; store canonically.
+        for cell in spec.q12_cells:
+            result.q12_records[cell] = q12_records[cell]
+        for block_geoid in spec.q3_blocks:
+            result.q3_outcomes[block_geoid] = q3_outcomes[block_geoid]
+        return result
     result = ShardResult(index=spec.index, count=spec.count)
     # caf_addresses_by_cbg regroups a whole (ISP, state) footprint per
     # call; cache the grouping across this shard's cells.
@@ -141,9 +258,13 @@ def run_shard(
             max_replacements=max_replacements,
         )
         result.q12_records[cell] = tuple(records)
+        result.politeness[cell.isp_id] = 1
     for block_geoid in spec.q3_blocks:
-        result.q3_outcomes[block_geoid] = run_q3_block(
-            world, block_geoid, engine_config)
+        outcome = run_q3_block(world, block_geoid, engine_config)
+        result.q3_outcomes[block_geoid] = outcome
+        if outcome is not None:
+            for record in outcome.records:
+                result.politeness[record.isp_id] = 1
     return result
 
 
@@ -153,12 +274,17 @@ def _run_shards_serial(
     policy: SamplingPolicy | None,
     engine_config: EngineConfig | None,
     max_replacements: int,
+    config: RuntimeConfig,
+    per_isp_cap: int,
     on_complete,
 ) -> None:
     for spec in pending:
         on_complete(run_shard(
             world.config, spec, policy=policy, engine_config=engine_config,
             max_replacements=max_replacements, world=world,
+            use_async=config.uses_async,
+            max_inflight=config.effective_max_inflight,
+            per_isp_cap=per_isp_cap,
         ))
 
 
@@ -168,13 +294,17 @@ def _run_shards_process(
     policy: SamplingPolicy | None,
     engine_config: EngineConfig | None,
     max_replacements: int,
-    workers: int,
+    config: RuntimeConfig,
+    per_isp_cap: int,
     on_complete,
 ) -> None:
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=config.effective_workers) as pool:
         futures = [
             pool.submit(run_shard, world.config, spec, policy,
-                        engine_config, max_replacements)
+                        engine_config, max_replacements,
+                        use_async=config.uses_async,
+                        max_inflight=config.effective_max_inflight,
+                        per_isp_cap=per_isp_cap)
             for spec in pending
         ]
         for future in as_completed(futures):
@@ -190,6 +320,7 @@ def execute_campaign(
     isps: tuple[str, ...] = DEFAULT_ISPS,
     states: tuple[str, ...] | None = None,
     q3_states: tuple[str, ...] | None = None,
+    on_progress: ProgressCallback | None = None,
 ) -> tuple[CollectionResult, Q3Collection]:
     """Run the full campaign under a runtime configuration.
 
@@ -200,7 +331,11 @@ def execute_campaign(
     results are bit-identical to the sequential
     :class:`~repro.core.collection.CollectionCampaign` /
     :func:`~repro.core.collection.collect_q3_dataset` path, for any
-    shard count and either backend.
+    shard count and every backend.
+
+    ``on_progress`` (when given) fires after each newly completed
+    shard with ``(completed, total, result)`` — the CLI uses it for
+    per-shard progress and ETA lines.
     """
     from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
     from repro.runtime.merge import merge_shard_results
@@ -225,15 +360,22 @@ def execute_campaign(
         completed[result.index] = result
         if store is not None:
             store.save_shard(result)
+        if on_progress is not None:
+            on_progress(len(completed), len(specs), result)
 
     pending = [spec for spec in specs if spec.index not in completed]
-    if config.effective_backend == "process" and len(pending) > 1:
+    # Budget for the shards actually left to run: a resumed tail gets
+    # the politeness headroom its smaller in-flight count allows.
+    per_isp_cap = config.per_shard_isp_cap_for(len(pending))
+    if (config.effective_backend in ("process", "process+async")
+            and len(pending) > 1):
         _run_shards_process(world, pending, policy, engine_config,
-                            max_replacements, config.effective_workers,
+                            max_replacements, config, per_isp_cap,
                             on_complete)
     else:
         _run_shards_serial(world, pending, policy, engine_config,
-                           max_replacements, on_complete)
+                           max_replacements, config, per_isp_cap,
+                           on_complete)
 
     return merge_shard_results(
         world, specs, completed, policy=policy,

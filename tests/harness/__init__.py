@@ -1,0 +1,1 @@
+"""Test harnesses shared across test modules (not themselves tests)."""

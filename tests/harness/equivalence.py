@@ -1,0 +1,168 @@
+"""Differential-equivalence harness for the campaign backends.
+
+"Bit-identical under every backend" is a load-bearing invariant: the
+analyses trust that sharding, process pools, and asyncio interleaving
+are pure execution details that cannot perturb a single record. This
+harness makes the invariant checkable as a black box: run the *same*
+campaign under several :class:`~repro.runtime.executor.RuntimeConfig`
+backends, serialize each run's merged logbooks to canonical bytes, and
+assert
+
+* **byte equality** — every backend's merged logbook is byte-for-byte
+  the reference (serial) logbook;
+* **cell-count conservation** — each run visits exactly the canonical
+  cell list, and the per-shard record counts sum to the merged count
+  (nothing dropped, nothing duplicated in the merge);
+* **politeness** — each shard's per-ISP concurrency high-water mark
+  stays within its budget, and the fleet-wide product never exceeds
+  ``MAX_POLITE_WORKERS_PER_ISP``.
+
+The serialization reuses the checkpoint codec, which round-trips
+floats by shortest ``repr`` — so byte equality here really is record
+equality, elapsed-seconds included.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
+from repro.runtime import RuntimeConfig, execute_campaign, enumerate_q12_cells
+from repro.runtime.checkpoint import _record_to_json
+from repro.runtime.shards import DEFAULT_ISPS
+from repro.synth.world import World
+
+__all__ = [
+    "BackendRun",
+    "backend_matrix",
+    "canonical_logbook_bytes",
+    "run_backend",
+    "assert_backends_equivalent",
+]
+
+
+def backend_matrix(
+    shards: int = 3,
+    workers: int = 2,
+    max_inflight: int = 16,
+) -> tuple[RuntimeConfig, ...]:
+    """One config per execution mode, same shard partition throughout.
+
+    ``max_inflight`` deliberately defaults *above* the politeness cap
+    so the async runs only stay polite if the gate actually works.
+    """
+    return (
+        RuntimeConfig(shards=shards, backend="serial"),
+        RuntimeConfig(shards=shards, workers=workers, backend="process"),
+        RuntimeConfig(shards=shards, backend="async",
+                      max_inflight=max_inflight),
+        RuntimeConfig(shards=shards, workers=workers,
+                      backend="process+async", max_inflight=max_inflight),
+    )
+
+
+def canonical_logbook_bytes(collection, q3) -> bytes:
+    """Canonical byte serialization of one campaign's merged output.
+
+    Covers both logbooks in merge order, the Q3 mode map, the analyzed
+    blocks, and the CBG weights — everything downstream analyses read.
+    """
+    payload = {
+        "q12": [_record_to_json(r) for r in collection.log],
+        "cbg_totals": {f"{isp}:{cbg}": total
+                       for (isp, cbg), total in collection.cbg_totals.items()},
+        "q3": [_record_to_json(r) for r in q3.log],
+        "q3_modes": q3.modes,
+        "q3_analyzed_blocks": list(q3.analyzed_blocks),
+        "q3_incumbents": q3.incumbents,
+    }
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+@dataclass
+class BackendRun:
+    """One backend's observable outcome, reduced for comparison."""
+
+    config: RuntimeConfig
+    logbook: bytes
+    q12_cells: int
+    q12_records: int
+    q3_records: int
+    shard_record_total: int
+    # ISP → max over shards of the shard's concurrency high-water mark.
+    politeness: dict[str, int]
+
+    @property
+    def label(self) -> str:
+        return self.config.effective_backend
+
+
+def run_backend(world: World, config: RuntimeConfig, **subset) -> BackendRun:
+    """Run the campaign under one backend and capture the evidence."""
+    shard_results = []
+    collection, q3 = execute_campaign(
+        world, config,
+        on_progress=lambda done, total, result: shard_results.append(result),
+        **subset)
+    politeness: dict[str, int] = {}
+    shard_record_total = 0
+    for result in shard_results:
+        for isp, peak in result.politeness.items():
+            politeness[isp] = max(politeness.get(isp, 0), peak)
+        shard_record_total += sum(
+            len(records) for records in result.q12_records.values())
+        shard_record_total += sum(
+            len(outcome.records) for outcome in result.q3_outcomes.values()
+            if outcome is not None)
+    return BackendRun(
+        config=config,
+        logbook=canonical_logbook_bytes(collection, q3),
+        q12_cells=len(collection.plans),
+        q12_records=len(collection.log),
+        q3_records=len(q3.log),
+        shard_record_total=shard_record_total,
+        politeness=politeness,
+    )
+
+
+def assert_backends_equivalent(
+    world: World,
+    configs=None,
+    **subset,
+) -> list[BackendRun]:
+    """Run every config and assert the differential invariants.
+
+    Returns the runs so callers can make scenario-specific assertions
+    on top (e.g. that interleaving actually happened).
+    """
+    configs = configs if configs is not None else backend_matrix()
+    runs = [run_backend(world, config, **subset) for config in configs]
+    reference = runs[0]
+    expected_cells = len(enumerate_q12_cells(
+        world, isps=subset.get("isps", DEFAULT_ISPS),
+        states=subset.get("states")))
+
+    for run in runs:
+        # Byte-identical merged logbooks against the reference backend.
+        assert run.logbook == reference.logbook, (
+            f"{run.label} logbook diverged from {reference.label}")
+        # Cell-count conservation: canonical cell list, exactly once...
+        assert run.q12_cells == expected_cells, (
+            f"{run.label} visited {run.q12_cells} cells, "
+            f"expected {expected_cells}")
+        # ...and shard records are conserved through the merge.
+        assert run.shard_record_total == run.q12_records + run.q3_records, (
+            f"{run.label} lost records in the merge")
+        # Politeness: every shard within its budget, fleet within cap.
+        for isp, peak in run.politeness.items():
+            assert peak <= run.config.per_shard_isp_cap, (
+                f"{run.label} drove {peak} concurrent sessions against "
+                f"{isp}, above the shard budget "
+                f"{run.config.per_shard_isp_cap}")
+            assert (peak * run.config.concurrent_shards
+                    <= MAX_POLITE_WORKERS_PER_ISP), (
+                f"{run.label} fleet-wide {isp} concurrency could reach "
+                f"{peak * run.config.concurrent_shards}")
+    return runs

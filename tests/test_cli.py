@@ -110,3 +110,98 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "frontier" in out
         assert "detection power" in out
+
+
+class TestAsyncBackendFlags:
+    def test_parser_accepts_async_backends(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "process+async", "--max-inflight", "12"])
+        assert args.backend == "process+async"
+        assert args.max_inflight == 12
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "threads"])
+
+    def test_run_async_matches_sequential(self, capsys):
+        assert main(["run", "--scale", "tiny"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["run", "--scale", "tiny", "--shards", "3",
+                     "--backend", "async", "--max-inflight", "16"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_bad_max_inflight_exits_2(self, capsys):
+        assert main(["run", "--max-inflight", "0"]) == 2
+        assert "max_inflight must be positive" in capsys.readouterr().err
+
+    def test_shard_progress_lines_on_stderr(self, capsys):
+        assert main(["run", "--scale", "tiny", "--shards", "3",
+                     "--backend", "async"]) == 0
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if l.startswith("[shard ")]
+        assert len(lines) == 3
+        assert "3/3 shards" in lines[-1]
+        assert "ETA" in lines[0]
+
+    def test_progress_printer_eta_math(self):
+        from io import StringIO
+
+        from repro.cli import _shard_progress_printer
+        from repro.runtime import ShardResult
+
+        stream = StringIO()
+        on_progress = _shard_progress_printer(stream)
+        on_progress(1, 4, ShardResult(index=2, count=4))
+        on_progress(2, 4, ShardResult(index=0, count=4))
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[shard 2] done")
+        assert "1/4 shards" in lines[0]
+        assert "2/4 shards" in lines[1]
+
+    def test_max_inflight_promotes_auto_to_async(self, capsys):
+        """An explicit --max-inflight must not be silently ignored:
+        auto promotes to an async backend; an explicit serial backend
+        is a rejected contradiction."""
+        assert main(["run", "--scale", "tiny", "--shards", "2",
+                     "--max-inflight", "4"]) == 0
+        err = capsys.readouterr().err
+        assert err.count("[shard ") == 2  # sharded progress ran
+        assert main(["run", "--scale", "tiny", "--shards", "2",
+                     "--backend", "serial", "--max-inflight", "4"]) == 2
+        assert "max_inflight requires an async backend" in \
+            capsys.readouterr().err
+
+    def test_explicit_default_max_inflight_still_promotes(self, capsys):
+        """--max-inflight 8 (the documented default, given explicitly)
+        must behave like any other explicit value, not like an absent
+        flag."""
+        assert main(["run", "--scale", "tiny", "--shards", "2",
+                     "--max-inflight", "8"]) == 0
+        err = capsys.readouterr().err
+        assert "no effect" not in err
+        assert err.count("[shard ") == 2
+
+    def test_async_with_workers_composes_to_process_async(self, capsys):
+        """--backend async --workers N>1 must not silently drop the
+        parallelism; it runs the composed process+async backend."""
+        assert main(["run", "--scale", "tiny"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["run", "--scale", "tiny", "--shards", "2",
+                     "--workers", "2", "--backend", "async"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == sequential
+        assert captured.err.count("[shard ") == 2
+
+    def test_malformed_cache_max_bytes_exits_2(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1G")
+        assert main(["run", "--scale", "tiny",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "REPRO_CACHE_MAX_BYTES" in capsys.readouterr().err
+
+    def test_list_ignores_malformed_cache_bound_without_cache(
+            self, capsys, monkeypatch):
+        """Commands that construct no cache must not trip over an env
+        var they never read."""
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1G")
+        assert main(["list"]) == 0
+        assert "figure1" in capsys.readouterr().out

@@ -105,6 +105,52 @@ class TestRuntimeConfig:
         assert RuntimeConfig(shards=4, workers=2,
                              backend="serial").effective_backend == "serial"
 
+    def test_async_backends(self):
+        config = RuntimeConfig(shards=4, backend="async", max_inflight=16)
+        assert config.uses_async
+        assert config.concurrent_shards == 1
+        assert config.per_shard_isp_cap == MAX_POLITE_WORKERS_PER_ISP
+        assert not RuntimeConfig(shards=4, workers=2).uses_async
+
+    def test_max_inflight_promotes_auto_to_async(self):
+        """An explicit in-flight budget is a request for the async
+        engine at the config layer too — not just via the CLI flag."""
+        assert RuntimeConfig(shards=4, max_inflight=16).effective_backend \
+            == "async"
+        assert RuntimeConfig(shards=4, workers=2,
+                             max_inflight=16).effective_backend \
+            == "process+async"
+        # Unset leaves auto resolving to the non-async backends, with
+        # the documented default bound for explicit async backends.
+        assert RuntimeConfig(shards=4).effective_backend == "serial"
+        assert RuntimeConfig(backend="async").effective_max_inflight == 8
+
+    def test_async_with_workers_promotes_to_composed_backend(self):
+        """Requested parallelism must never be silently dropped: async
+        plus workers resolves to process+async at the config layer, so
+        the library and CLI entry points agree."""
+        config = RuntimeConfig(shards=8, workers=4, backend="async")
+        assert config.effective_backend == "process+async"
+        assert config.concurrent_shards == 4
+        # A single worker keeps the plain in-process event loop.
+        assert RuntimeConfig(shards=8, backend="async").effective_backend \
+            == "async"
+
+    def test_politeness_budget_divided_across_workers(self):
+        config = RuntimeConfig(shards=8, workers=4, backend="process+async")
+        assert config.concurrent_shards == 4
+        assert config.per_shard_isp_cap == MAX_POLITE_WORKERS_PER_ISP // 4
+        assert (config.per_shard_isp_cap * config.concurrent_shards
+                <= MAX_POLITE_WORKERS_PER_ISP)
+        # Even more workers than cap tokens: everyone still gets one.
+        crowded = RuntimeConfig(shards=64, workers=64,
+                                backend="process+async")
+        assert crowded.per_shard_isp_cap == 1
+
+    def test_non_async_shards_drive_one_session(self):
+        assert RuntimeConfig(shards=4, workers=2).per_shard_isp_cap == 1
+        assert RuntimeConfig(shards=4, backend="serial").per_shard_isp_cap == 1
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RuntimeConfig(shards=0)
@@ -112,6 +158,11 @@ class TestRuntimeConfig:
             RuntimeConfig(workers=0)
         with pytest.raises(ValueError):
             RuntimeConfig(backend="threads")
+        with pytest.raises(ValueError):
+            RuntimeConfig(max_inflight=0)
+        with pytest.raises(ValueError):
+            # An in-flight budget contradicts a non-async backend.
+            RuntimeConfig(backend="process", max_inflight=4)
         with pytest.raises(ValueError):
             RuntimeConfig(resume=True)  # resume needs a checkpoint_dir
 
@@ -152,6 +203,25 @@ class TestEquivalence:
         assert log_keys(collection.log) == log_keys(baseline_collection.log)
         assert log_keys(q3.log) == log_keys(baseline_q3.log)
 
+    def test_async_backend(self, world, subset_baseline):
+        collection, q3 = execute_campaign(
+            world, RuntimeConfig(shards=3, backend="async", max_inflight=16),
+            **SUBSET)
+        baseline_collection, baseline_q3 = subset_baseline
+        assert log_keys(collection.log) == log_keys(baseline_collection.log)
+        assert log_keys(q3.log) == log_keys(baseline_q3.log)
+
+    def test_on_progress_reports_every_shard(self, world):
+        seen: list[tuple[int, int, int]] = []
+        execute_campaign(
+            world, RuntimeConfig(shards=3, backend="async"),
+            on_progress=lambda done, total, r: seen.append(
+                (done, total, r.index)),
+            **SUBSET)
+        assert [(done, total) for done, total, _ in seen] == \
+            [(1, 3), (2, 3), (3, 3)]
+        assert sorted(index for _, _, index in seen) == [0, 1, 2]
+
 
 class TestCheckpointResume:
     def test_interrupted_run_resumes_without_recomputation(
@@ -191,6 +261,36 @@ class TestCheckpointResume:
                           checkpoint_dir=shard_dir, resume=True),
             **SUBSET)
         assert sorted(resumed_indices + executed) == [0, 1, 2, 3]
+        baseline_collection, baseline_q3 = subset_baseline
+        assert log_keys(collection.log) == log_keys(baseline_collection.log)
+        assert log_keys(q3.log) == log_keys(baseline_q3.log)
+
+    def test_async_backend_killed_and_resumed_matches_uninterrupted(
+            self, world, subset_baseline, tmp_path, monkeypatch):
+        """The PR-2 satellite: kill an async run after N shards, resume
+        it, and the merged output must equal an uninterrupted run."""
+        shard_dir = str(tmp_path / "ckpt-async")
+        config = RuntimeConfig(shards=4, backend="async", max_inflight=12,
+                               checkpoint_dir=shard_dir)
+        executed: list[int] = []
+
+        def dying_run_shard(scenario, spec, *args, **kwargs):
+            if len(executed) == 2:  # kill after 2 shards complete
+                raise KeyboardInterrupt
+            executed.append(spec.index)
+            return run_shard(scenario, spec, *args, **kwargs)
+
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "run_shard", dying_run_shard)
+        with pytest.raises(KeyboardInterrupt):
+            execute_campaign(world, config, **SUBSET)
+        assert len(executed) == 2
+        monkeypatch.setattr(executor_module, "run_shard", run_shard)
+
+        resumed = RuntimeConfig(shards=4, backend="async", max_inflight=12,
+                                checkpoint_dir=shard_dir, resume=True)
+        collection, q3 = execute_campaign(world, resumed, **SUBSET)
         baseline_collection, baseline_q3 = subset_baseline
         assert log_keys(collection.log) == log_keys(baseline_collection.log)
         assert log_keys(q3.log) == log_keys(baseline_q3.log)
@@ -320,3 +420,149 @@ class TestAuditCache:
         assert cache_dir_from_environment() == str(tmp_path)
         context = ExperimentContext.at_scale("tiny")
         assert context.cache_dir == str(tmp_path)
+
+
+class TestWorldCacheSplit:
+    """The world build is content-addressed separately from the audit."""
+
+    def test_world_digest_ignores_policy(self, tiny_config):
+        from repro.core.sampling import SamplingPolicy
+        from repro.runtime import world_digest
+
+        assert world_digest(tiny_config) == world_digest(tiny_config)
+        assert world_digest(tiny_config) != world_digest(
+            type(tiny_config)(seed=99))
+        # audit digests differ across policies; the world digest is
+        # policy-blind by design.
+        a = audit_digest(tiny_config, SamplingPolicy(min_samples=30), ("att",))
+        b = audit_digest(tiny_config, SamplingPolicy(min_samples=10), ("att",))
+        assert a != b
+
+    def test_world_roundtrip(self, world, tmp_path):
+        from repro.runtime import world_digest
+
+        cache = AuditCache(tmp_path)
+        digest = world_digest(world.config)
+        assert cache.get_world(digest) is None
+        cache.put_world(digest, world)
+        assert cache.world_entries() == [digest]
+        restored = cache.get_world(digest)
+        assert restored.config == world.config
+        assert len(restored.caf_addresses) == len(world.caf_addresses)
+
+    def test_policy_sweep_shares_one_world_build(
+            self, world, tmp_path, monkeypatch):
+        from repro.core.sampling import SamplingPolicy
+
+        config = RuntimeConfig(shards=2, backend="serial",
+                               cache_dir=str(tmp_path))
+        run_full_audit(scenario=world.config, parallel=config,
+                       policy=SamplingPolicy(min_samples=30))
+
+        # Second policy: audit cache misses, but the world must come
+        # from the cache — building one again would blow up.
+        import repro.core.pipeline as pipeline_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("world rebuilt despite cached build")
+
+        monkeypatch.setattr(pipeline_module, "build_world", forbidden)
+        report = run_full_audit(scenario=world.config, parallel=config,
+                                policy=SamplingPolicy(min_samples=10))
+        assert report.collection.log
+        cache = AuditCache(tmp_path)
+        assert len(cache.world_entries()) == 1
+        assert len(cache.entries()) == 2  # one audit per policy
+
+
+class TestCacheEviction:
+    def _put(self, cache, report, tag):
+        digest = audit_digest(report.world.config, None, (tag,))
+        cache.put(digest, report)
+        return digest
+
+    def test_lru_eviction_respects_bound(self, report, tmp_path):
+        import time
+
+        unbounded = AuditCache(tmp_path)
+        first = self._put(unbounded, report, "att")
+        entry_bytes = unbounded.total_bytes()
+
+        # Bound: room for roughly two entries; the third put evicts
+        # the least-recently-used one.
+        cache = AuditCache(tmp_path, max_bytes=int(entry_bytes * 2.5))
+        time.sleep(0.02)
+        second = self._put(cache, report, "frontier")
+        time.sleep(0.02)
+        assert cache.get(first) is not None  # refresh first's clock
+        time.sleep(0.02)
+        third = self._put(cache, report, "centurylink")
+        assert cache.total_bytes() <= cache.max_bytes
+        # `second` was coldest; `first` survived because the hit
+        # refreshed it, and the just-written entry is never evicted.
+        assert set(cache.entries()) == {first, third}
+        assert cache.get(second) is None
+
+    def test_eviction_spans_worlds_and_audits(self, world, report, tmp_path):
+        import time
+
+        from repro.runtime import world_digest
+
+        probe = AuditCache(tmp_path)
+        self._put(probe, report, "att")
+        audit_bytes = probe.total_bytes()
+
+        cache = AuditCache(tmp_path, max_bytes=audit_bytes)
+        time.sleep(0.02)
+        cache.put_world(world_digest(world.config), world)
+        # The world write pushed the total over the bound, so the
+        # older audit entry was evicted to make room.
+        assert cache.entries() == []
+        assert len(cache.world_entries()) == 1
+
+    def test_stale_tmp_files_swept_on_eviction(self, report, tmp_path):
+        import os
+        import time
+
+        cache = AuditCache(tmp_path, max_bytes=10**9)
+        stale = tmp_path / "deadbeef.pkl.tmp-99999"
+        stale.write_bytes(b"orphaned by a crashed writer")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        fresh = tmp_path / "cafe.pkl.tmp-11111"
+        fresh.write_bytes(b"a live writer's in-progress file")
+        self._put(cache, report, "att")
+        assert not stale.exists()  # crash leak reclaimed
+        assert fresh.exists()      # live writer untouched
+
+    def test_max_bytes_environment(self, monkeypatch, tmp_path):
+        from repro.runtime import cache_max_bytes_from_environment
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert cache_max_bytes_from_environment() is None
+        assert AuditCache(tmp_path).max_bytes is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1048576")
+        assert cache_max_bytes_from_environment() == 1048576
+        assert AuditCache(tmp_path).max_bytes == 1048576
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "zero")
+        with pytest.raises(ValueError):
+            cache_max_bytes_from_environment()
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "-5")
+        with pytest.raises(ValueError):
+            cache_max_bytes_from_environment()
+
+
+class TestPendingAwareBudget:
+    def test_resumed_tail_gets_full_headroom(self):
+        """A process+async tail with one shard left runs alone, so it
+        may use the whole politeness cap instead of a fleet-divided
+        slice."""
+        config = RuntimeConfig(shards=8, workers=4, backend="process+async")
+        assert config.per_shard_isp_cap == MAX_POLITE_WORKERS_PER_ISP // 4
+        assert config.per_shard_isp_cap_for(8) == config.per_shard_isp_cap
+        assert config.per_shard_isp_cap_for(2) == MAX_POLITE_WORKERS_PER_ISP // 2
+        assert config.per_shard_isp_cap_for(1) == MAX_POLITE_WORKERS_PER_ISP
+        # Never exceeds the global cap, whatever remains.
+        for pending in range(9):
+            cap = config.per_shard_isp_cap_for(pending)
+            assert cap * min(config.concurrent_shards, max(1, pending)) \
+                <= MAX_POLITE_WORKERS_PER_ISP

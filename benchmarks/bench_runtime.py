@@ -7,8 +7,10 @@ Two speedups matter and both are reported:
   merged query log (LPT schedule per ISP), at 1 vs N workers. This is
   deterministic in the world seed and must exceed 1 at 4 workers.
 * **Host speedup** — process-pool wall time vs the serial backend on
-  this machine. Reported only when the host has the cores to show it
-  (a single-core CI box runs the pool at a slowdown, not a speedup).
+  this machine, and the distributed fleet (leased subprocess workers
+  over local sockets) vs both — the overhead of fault tolerance.
+  Reported only when the host has the cores to show it (a single-core
+  CI box runs the pool at a slowdown, not a speedup).
 
 Run at study scale with ``REPRO_SCALE=small`` (the acceptance
 configuration) or ``paper``.
@@ -80,6 +82,19 @@ def test_shard_speedup_curve(benchmark, context):
         pool_seconds = time.perf_counter() - start
         print(f"process pool (8 shards, 4 workers): {pool_seconds:.2f}s "
               f"(host speedup x{host_seconds[1] / pool_seconds:.2f})")
+
+        # The distributed backend pays per-worker interpreter startup
+        # and socket framing on top of the pool's fork cost; the gap
+        # between these two lines is the price of machine-failure
+        # tolerance (leases, checksummed frames, reassignment).
+        start = time.perf_counter()
+        execute_campaign(world, RuntimeConfig(shards=8, workers=4,
+                                              backend="distributed"))
+        distributed_seconds = time.perf_counter() - start
+        print(f"distributed fleet (8 shards, 4 workers): "
+              f"{distributed_seconds:.2f}s "
+              f"(host speedup x{host_seconds[1] / distributed_seconds:.2f}, "
+              f"x{pool_seconds / distributed_seconds:.2f} vs process pool)")
 
 
 def test_cache_hit_speedup(benchmark, context, tmp_path):

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP, SECONDS_PER_DAY
 from repro.bqt.logbook import QueryLog
@@ -33,6 +33,7 @@ from repro.bqt.logbook import QueryLog
 __all__ = [
     "InterleavedSchedule",
     "WorkerSchedule",
+    "plan_to_target",
     "schedule_campaign",
     "schedule_interleaved_campaign",
 ]
@@ -213,3 +214,60 @@ def schedule_interleaved_campaign(
         per_isp_makespan_days=makespans,
         total_query_seconds=total_seconds,
     )
+
+
+def plan_to_target(
+    log: QueryLog,
+    target_seconds: float,
+    max_loops: int = MAX_POLITE_WORKERS_PER_ISP,
+    max_inflight_ceiling: int = 32,
+    per_isp_cap: int = MAX_POLITE_WORKERS_PER_ISP,
+    cap_for_loops: "Callable[[int], int] | None" = None,
+) -> InterleavedSchedule:
+    """Smallest interleaving fleet predicted to meet a wall-clock target.
+
+    Enumerates candidate ``(loops, max_inflight)`` fleets (in-flight
+    bounds grow in powers of two up to ``max_inflight_ceiling``),
+    prices each with :func:`schedule_interleaved_campaign`, and returns
+    the cheapest schedule — fewest total session slots, then fewest
+    loops — whose predicted wall clock is at most ``target_seconds``.
+    When no candidate meets the target (the politeness cap bounds how
+    fast any fleet can go), the fastest schedule is returned instead;
+    callers can compare ``wall_clock_days`` against the target to see
+    which case they got.
+
+    ``cap_for_loops`` (when given) maps a candidate's loop count to
+    the fleet-wide per-ISP concurrency that fleet can actually
+    achieve, overriding ``per_isp_cap``. The distributed executor
+    floor-divides the politeness cap across workers, so a 3-worker
+    fleet reaches only ``3 * (cap // 3)`` concurrent sessions per
+    storefront — pricing candidates with the undivided cap would
+    overpromise.
+    """
+    if target_seconds <= 0:
+        raise ValueError("target_seconds must be positive")
+    if max_loops < 1:
+        raise ValueError("need at least one event loop")
+    if max_inflight_ceiling < 1:
+        raise ValueError("max_inflight_ceiling must be at least 1")
+    inflight_options = []
+    bound = 1
+    while bound <= max_inflight_ceiling:
+        inflight_options.append(bound)
+        bound *= 2
+    candidates = [
+        schedule_interleaved_campaign(
+            log, loops=loops, max_inflight=max_inflight,
+            per_isp_cap=(per_isp_cap if cap_for_loops is None
+                         else cap_for_loops(loops)))
+        for loops in range(1, max_loops + 1)
+        for max_inflight in inflight_options
+    ]
+    feasible = [
+        schedule for schedule in candidates
+        if schedule.wall_clock_days * SECONDS_PER_DAY <= target_seconds
+    ]
+    if feasible:
+        return min(feasible, key=lambda s: (s.slots, s.loops, s.max_inflight))
+    return min(candidates,
+               key=lambda s: (s.wall_clock_days, s.slots, s.loops))

@@ -4,8 +4,9 @@ Usage::
 
     caf-audit run [--scale tiny|small|paper] [--seed N]
                   [--shards N] [--workers N] [--backend B]
-                  [--max-inflight N] [--resume]
+                  [--max-inflight N] [--target-seconds S] [--resume]
                   [--checkpoint-dir DIR] [--cache-dir DIR]
+    caf-audit worker --connect ADDRESS [--die-after N]
     caf-audit experiment <id>... [--scale ...]
     caf-audit list
     caf-audit export --out DIR [--scale ...]
@@ -14,8 +15,11 @@ Usage::
 ``run`` prints the headline audit summary — sharded across worker
 processes, resumable from checkpoints, and served from the
 content-addressed audit cache when the runtime flags are given;
-``experiment`` renders one or more paper tables/figures; ``export``
-writes the audit datasets to CSV for downstream use.
+``worker`` joins a distributed coordinator as one leased shard worker
+(the ``--backend distributed`` coordinator spawns these itself for the
+local reference transport); ``experiment`` renders one or more paper
+tables/figures; ``export`` writes the audit datasets to CSV for
+downstream use.
 """
 
 from __future__ import annotations
@@ -59,15 +63,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (clamped to the per-ISP politeness cap)")
     run_parser.add_argument(
         "--backend",
-        choices=("auto", "serial", "process", "async", "process+async"),
+        choices=("auto", "serial", "process", "async", "process+async",
+                 "distributed"),
         default="auto",
         help="shard execution backend (auto: process iff workers > 1; "
-             "async backends interleave storefront sessions per shard)")
+             "async backends interleave storefront sessions per shard; "
+             "distributed leases shards to worker subprocesses over "
+             "local sockets)")
     run_parser.add_argument(
         "--max-inflight", type=int, default=None, metavar="N",
         help="concurrent sessions per async event loop (default 8; "
              "politeness is still capped per ISP; implies an async "
              "backend when --backend is auto)")
+    run_parser.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="S",
+        help="distributed backend: seconds the coordinator waits for a "
+             "worker's result before re-leasing its shard (default "
+             "120; must exceed the slowest shard's compute time)")
+    run_parser.add_argument(
+        "--target-seconds", type=float, default=None, metavar="S",
+        help="autotune the distributed fleet (workers, max-inflight, "
+             "shards) to meet a virtual campaign wall-clock of S "
+             "seconds; implies --backend distributed and overrides "
+             "--shards/--workers/--max-inflight")
     run_parser.add_argument(
         "--checkpoint-dir", metavar="DIR",
         help="write per-shard checkpoints under DIR")
@@ -88,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="render CDF series as ASCII plots")
 
     subparsers.add_parser("list", help="list available experiments")
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="join a distributed coordinator as a shard worker")
+    worker_parser.add_argument(
+        "--connect", required=True, metavar="ADDRESS",
+        help="coordinator address: a Unix socket path or HOST:PORT")
+    worker_parser.add_argument(
+        "--die-after", type=int, default=None, metavar="N",
+        help="chaos testing: die abruptly (no goodbye frame) when the "
+             "next lease arrives after completing N shards")
 
     export_parser = subparsers.add_parser(
         "export", help="export audit datasets + manifest to a directory")
@@ -129,10 +157,13 @@ def _command_run(args: argparse.Namespace) -> int:
             cbg_size_sigma=scenario.cbg_size_sigma,
             max_cbg_size=scenario.max_cbg_size,
         )
+    if args.target_seconds is not None:
+        return _run_autotuned(args, scenario)
     parallel = None
     wants_runtime = (args.shards or args.workers != 1 or args.resume
                      or args.backend != "auto"
                      or args.max_inflight is not None
+                     or args.lease_timeout is not None
                      or args.checkpoint_dir or args.cache_dir)
     if wants_runtime:
         from repro.runtime import RuntimeConfig
@@ -149,6 +180,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 cache_dir=args.cache_dir,
+                lease_timeout=args.lease_timeout,
             )
         except ValueError as error:
             print(f"caf-audit run: {error}", file=sys.stderr)
@@ -160,15 +192,67 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_autotuned(args: argparse.Namespace, scenario) -> int:
+    """``run --target-seconds``: size the distributed fleet, then run."""
+    if args.backend not in ("auto", "distributed"):
+        print(f"caf-audit run: --target-seconds autotunes the distributed "
+              f"backend; it cannot be combined with "
+              f"--backend {args.backend}", file=sys.stderr)
+        return 2
+    if args.target_seconds <= 0:
+        print("caf-audit run: --target-seconds must be positive",
+              file=sys.stderr)
+        return 2
+    from repro.runtime.distributed import autotune_runtime_config
+    from repro.synth.world import build_world
+
+    if args.cache_dir:
+        # The cache short-circuit must come before the pilot shard
+        # and world build, or a warm cache still pays minutes of
+        # autotuning work it is about to throw away. Both lookups are
+        # the exact ones run_full_audit performs (shared helpers).
+        from repro.core.pipeline import cached_audit_report, cached_world
+
+        cached = cached_audit_report(args.cache_dir, scenario)
+        if cached is not None:
+            print("audit served from cache; autotuning skipped",
+                  file=sys.stderr)
+            print("\n".join(cached.summary_lines()))
+            return 0
+        # Audit miss: the scenario-keyed world store can still spare
+        # the build (and a fresh build warms it for the next run).
+        world = cached_world(args.cache_dir, scenario)
+    else:
+        world = build_world(scenario)
+    plan = autotune_runtime_config(world, args.target_seconds)
+    print(plan.render(), file=sys.stderr)
+    try:
+        parallel = plan.runtime_config(
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            cache_dir=args.cache_dir,
+            lease_timeout=args.lease_timeout,
+        )
+    except ValueError as error:
+        print(f"caf-audit run: {error}", file=sys.stderr)
+        return 2
+    report = run_full_audit(world=world, parallel=parallel,
+                            on_progress=_shard_progress_printer())
+    print("\n".join(report.summary_lines()))
+    return 0
+
+
 def _shard_progress_printer(stream=None):
     """A per-shard progress callback printing status + ETA lines.
 
-    The ETA rate is measured between shard completions of *this run* —
-    the clock starts at the first completed shard, so neither the
-    world build nor instantly restored checkpoints inflate the
-    per-shard rate. The first line (no rate observed yet) reports the
-    ETA as pending. Rough, but it turns a previously silent
-    ``--shards`` run into a live progress feed on stderr.
+    The ETA rate is measured between *executed* shard completions of
+    this run: the clock starts at the first executed shard, and shards
+    restored from a checkpoint (``restored=True``) are reported but
+    excluded from the rate entirely — a restored shard arrives in
+    microseconds, and counting it would make a resumed run's ETA
+    wildly optimistic. The first executed line (no rate observed yet)
+    reports the ETA as pending. Rough, but it turns a previously
+    silent ``--shards`` run into a live progress feed on stderr.
     """
     import time
 
@@ -177,9 +261,17 @@ def _shard_progress_printer(stream=None):
     first_done_at: float | None = None
     ran_since_first = 0
 
-    def on_progress(completed: int, total: int, result) -> None:
+    def on_progress(completed: int, total: int, result,
+                    restored: bool = False) -> None:
         nonlocal first_done_at, ran_since_first
         now = time.monotonic()
+        units = len(result.q12_records) + len(result.q3_outcomes)
+        if restored:
+            print(
+                f"[shard {result.index}] restored from checkpoint "
+                f"({units} units) — {completed}/{total} shards",
+                file=stream)
+            return
         if first_done_at is None:
             first_done_at = now
         else:
@@ -190,7 +282,6 @@ def _shard_progress_printer(stream=None):
             eta_text = f"ETA {eta:.1f}s"
         else:
             eta_text = "ETA pending"
-        units = len(result.q12_records) + len(result.q3_outcomes)
         print(
             f"[shard {result.index}] done ({units} units) — "
             f"{completed}/{total} shards in {now - started:.1f}s, "
@@ -220,6 +311,23 @@ def _command_experiment(args: argparse.Namespace) -> int:
                             title=f"[{experiment_id}] CDFs"))
         print()
     return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.distributed import FrameError, run_worker
+
+    if args.die_after is not None and args.die_after < 0:
+        print("caf-audit worker: --die-after must be non-negative",
+              file=sys.stderr)
+        return 2
+    try:
+        return run_worker(args.connect, die_after=args.die_after)
+    except (OSError, ValueError, FrameError) as error:
+        # OSError covers the whole connect-failure family (refused
+        # connections, missing socket paths, DNS failures, timeouts);
+        # FrameError is a damaged or unexpected coordinator frame.
+        print(f"caf-audit worker: {error}", file=sys.stderr)
+        return 1
 
 
 def _command_list(_args: argparse.Namespace) -> int:
@@ -283,6 +391,7 @@ def _command_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _command_run,
+    "worker": _command_worker,
     "experiment": _command_experiment,
     "list": _command_list,
     "export": _command_export,

@@ -9,7 +9,11 @@ per-shard asyncio event loops that interleave sessions against
 different storefronts — always under the per-storefront politeness cap
 (:mod:`~repro.runtime.executor`, :mod:`repro.bqt.aio`) — merges
 shard logs back into results bit-identical to the sequential campaign
-(:mod:`~repro.runtime.merge`), checkpoints completed shards so an
+(:mod:`~repro.runtime.merge`), leases shards to a fleet of worker
+processes that stream checksummed results back over sockets
+(:mod:`~repro.runtime.distributed`, ``backend="distributed"``, with a
+coordinator-side autotuner that sizes the fleet for a target
+wall-clock), checkpoints completed shards crash-safely so an
 interrupted run resumes without recomputation (:mod:`~repro.runtime
 .checkpoint`), and content-addresses finished audits so repeated
 ``ExperimentContext`` builds reuse one run (:mod:`~repro.runtime
@@ -33,6 +37,11 @@ from repro.runtime.cache import (
     world_digest,
 )
 from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
+from repro.runtime.distributed import (
+    AutotunePlan,
+    autotune_runtime_config,
+    run_worker,
+)
 from repro.runtime.executor import (
     RuntimeConfig,
     ShardResult,
@@ -44,12 +53,14 @@ from repro.runtime.shards import Q12Cell, ShardSpec, enumerate_q12_cells, plan_s
 
 __all__ = [
     "AuditCache",
+    "AutotunePlan",
     "CheckpointStore",
     "Q12Cell",
     "RuntimeConfig",
     "ShardResult",
     "ShardSpec",
     "audit_digest",
+    "autotune_runtime_config",
     "cache_dir_from_environment",
     "cache_max_bytes_from_environment",
     "world_digest",
@@ -59,4 +70,5 @@ __all__ = [
     "merge_shard_results",
     "plan_shards",
     "run_shard",
+    "run_worker",
 ]

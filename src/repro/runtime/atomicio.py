@@ -1,0 +1,90 @@
+"""Atomic publish-and-sweep primitives shared by the durable stores.
+
+Both on-disk stores (:mod:`repro.runtime.checkpoint` and
+:mod:`repro.runtime.cache`) need the same two guarantees, so the logic
+lives once here:
+
+* **atomic publish** — write to a per-process ``*.tmp-<pid>`` sibling,
+  ``fsync`` it, then ``rename`` over the target (and best-effort
+  ``fsync`` the directory), so a writer killed at any instruction —
+  or a machine losing power — leaves either the old file or the new
+  one, never a truncated hybrid;
+* **stale-tmp sweep** — tmp files orphaned by crashed writers are
+  reclaimed once they are old enough that no live writer can still
+  own them (deleting a *young* tmp file would crash a concurrent
+  writer's rename).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_stream",
+           "atomic_write_text", "sweep_stale_tmp_files"]
+
+# Live writers publish within seconds; anything older is a crash leak.
+STALE_TMP_SECONDS = 3600.0
+
+
+def _fsync_directory(directory: Path) -> None:
+    # Makes the rename itself durable. Best-effort: some filesystems
+    # refuse to fsync a directory fd, and the data file is already
+    # synced either way.
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_write_stream(path: Path):
+    """Stream into a tmp file, then publish it atomically and durably.
+
+    Yields the open binary handle; on clean exit the file is fsynced
+    and renamed over ``path``. For large payloads (pickled worlds)
+    this avoids materializing the whole serialization in memory.
+    """
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    with tmp.open("wb") as handle:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+    _fsync_directory(path.parent)
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> Path:
+    """Publish ``payload`` at ``path`` atomically and durably."""
+    with atomic_write_stream(path) as handle:
+        handle.write(payload)
+    return path
+
+
+def atomic_write_text(path: Path, text: str) -> Path:
+    """Publish UTF-8 ``text`` at ``path`` atomically and durably."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def sweep_stale_tmp_files(
+    directory: Path,
+    max_age_seconds: float = STALE_TMP_SECONDS,
+) -> None:
+    """Reclaim ``*.tmp-*`` files orphaned by crashed writers."""
+    if not directory.exists():
+        return
+    cutoff = time.time() - max_age_seconds
+    for tmp in directory.glob("*.tmp-*"):
+        try:
+            if tmp.stat().st_mtime < cutoff:
+                tmp.unlink(missing_ok=True)
+        except FileNotFoundError:
+            pass

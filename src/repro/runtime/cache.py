@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.sampling import SamplingPolicy
+from repro.runtime.atomicio import atomic_write_stream, sweep_stale_tmp_files
 from repro.synth.scenario import ScenarioConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -226,12 +227,13 @@ class AuditCache:
 
     def _store_pickle(self, path: Path, payload) -> Path:
         path.parent.mkdir(parents=True, exist_ok=True)
-        # Per-process temp name: concurrent scripts warming the same
-        # cold cache must not interleave writes into one temp file.
-        tmp = path.with_suffix(f".pkl.tmp-{os.getpid()}")
-        with tmp.open("wb") as handle:
+        # Shared atomic publish (per-process temp name + fsync +
+        # rename): concurrent scripts warming the same cold cache
+        # cannot interleave writes, and readers never see half a
+        # pickle — even across a power failure. Streamed, so a
+        # multi-megabyte world is never duplicated in memory.
+        with atomic_write_stream(path) as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)  # atomic publish: readers never see half a pickle
         return path
 
     def _entry_paths(self) -> list[Path]:
@@ -268,21 +270,11 @@ class AuditCache:
     def _sweep_stale_tmp_files(self) -> None:
         """Delete orphaned ``*.pkl.tmp-<pid>`` files from crashed puts.
 
-        Live writers publish within seconds, so anything older than an
-        hour is a leak that ``_evict`` (which only sees ``*.pkl``)
-        would otherwise never reclaim — while deleting live tmp files
-        would crash their writer's atomic rename.
+        ``_evict`` only sees ``*.pkl``, so without the sweep a crash
+        leak would never be reclaimed.
         """
-        import time
-
-        cutoff = time.time() - 3600.0
         for directory in (self._directory, self._directory / _WORLDS_SUBDIR):
-            if not directory.exists():
-                continue
-            for tmp in directory.glob("*.tmp-*"):
-                stat = self._stat_or_none(tmp)
-                if stat is not None and stat.st_mtime < cutoff:
-                    tmp.unlink(missing_ok=True)
+            sweep_stale_tmp_files(directory)
 
     def _evict(self, keep: Path) -> None:
         """Drop least-recently-used entries until under ``max_bytes``.

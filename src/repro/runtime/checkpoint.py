@@ -8,6 +8,20 @@ only the remainder; because shard records round-trip exactly (JSON
 floats use shortest-round-trip ``repr``), the resumed merge is
 bit-identical to an uninterrupted run.
 
+Crash safety is load-bearing here — with the distributed backend a
+checkpoint directory survives machine failures, so every write must
+leave the store readable no matter where the writer dies:
+
+* every file (shard and manifest) is published with the
+  tmp-then-``rename`` pattern, so readers never observe a half-written
+  JSON document;
+* each campaign's files live in a subdirectory named by a prefix of
+  its fingerprint, so two campaigns sharing a checkpoint root can
+  never clobber each other's work;
+* the manifest is a cache, not the source of truth — when it is
+  corrupt, missing, or stale, :meth:`CheckpointStore.load_completed`
+  rebuilds it from the intact shard files and heals it on disk.
+
 The on-disk layout is an extension of the
 :class:`~repro.persist.store.StudyStore` directory format — shard
 files live in a ``shards/`` subdirectory and reuse the store's SHA-256
@@ -19,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 
@@ -29,6 +44,7 @@ from repro.core.collection import Q3BlockOutcome
 from repro.core.sampling import SamplingPolicy
 from repro.isp.plans import BroadbandPlan
 from repro.persist.store import _sha256
+from repro.runtime.atomicio import atomic_write_text, sweep_stale_tmp_files
 from repro.runtime.shards import Q12Cell
 from repro.synth.scenario import ScenarioConfig
 
@@ -177,7 +193,18 @@ def _shard_from_json(data: dict) -> "ShardResult":
 # ----------------------------------------------------------------------
 
 class CheckpointStore:
-    """One campaign's shard checkpoints under a directory."""
+    """One campaign's shard checkpoints under a directory.
+
+    ``directory`` is the shared checkpoint *root*; this campaign's
+    files live in :attr:`campaign_directory`, a subdirectory named by
+    a prefix of the fingerprint. Namespacing (rather than a
+    fingerprint check that deletes on mismatch) means campaigns that
+    share a root can never destroy each other's checkpoints.
+    """
+
+    # Enough hex digits that distinct campaigns practically never
+    # collide, short enough to keep paths readable.
+    _NAMESPACE_DIGITS = 16
 
     def __init__(self, directory: str | Path, fingerprint: str):
         self._directory = Path(directory)
@@ -185,8 +212,13 @@ class CheckpointStore:
 
     @property
     def directory(self) -> Path:
-        """The checkpoint directory."""
+        """The checkpoint root (shared across campaigns)."""
         return self._directory
+
+    @property
+    def campaign_directory(self) -> Path:
+        """This campaign's namespaced subdirectory under the root."""
+        return self._directory / self._fingerprint[:self._NAMESPACE_DIGITS]
 
     @property
     def fingerprint(self) -> str:
@@ -195,21 +227,25 @@ class CheckpointStore:
 
     def shard_path(self, index: int) -> Path:
         """Path of one shard's checkpoint file."""
-        return self._directory / f"shard-{index:04d}.json"
+        return self.campaign_directory / f"shard-{index:04d}.json"
 
     def _manifest_path(self) -> Path:
-        return self._directory / MANIFEST_NAME
+        return self.campaign_directory / MANIFEST_NAME
 
     def _load_manifest(self) -> dict | None:
         path = self._manifest_path()
         if not path.exists():
             return None
         try:
-            return json.loads(path.read_text(encoding="utf-8"))
+            manifest = json.loads(path.read_text(encoding="utf-8"))
         except (json.JSONDecodeError, OSError):
-            # A kill mid-write can truncate the manifest; treat it the
-            # same as a corrupted shard file — recompute, don't crash.
+            # A kill mid-write cannot truncate the manifest any more
+            # (writes are atomic), but a manifest written by older code
+            # or damaged externally is still recoverable: rebuild from
+            # the shard files instead of crashing.
             return None
+        # Valid JSON that is not an object is damage too.
+        return manifest if isinstance(manifest, dict) else None
 
     def _write_manifest(self, checksums: dict[str, str]) -> None:
         payload = {
@@ -217,49 +253,166 @@ class CheckpointStore:
             "fingerprint": self._fingerprint,
             "checksums": checksums,
         }
-        self._manifest_path().write_text(
-            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+        atomic_write_text(
+            self._manifest_path(),
+            json.dumps(payload, indent=2, sort_keys=True))
 
     def save_shard(self, result: "ShardResult") -> Path:
         """Persist one completed shard; updates the manifest."""
-        self._directory.mkdir(parents=True, exist_ok=True)
+        self.campaign_directory.mkdir(parents=True, exist_ok=True)
         manifest = self._load_manifest()
-        if manifest is not None and manifest.get("fingerprint") != self._fingerprint:
-            self.clear()
+        if (manifest is not None
+                and manifest.get("fingerprint") != self._fingerprint):
+            # The namespaced directory should only ever hold this
+            # campaign's manifest; a foreign one means external
+            # tampering. Never delete data over it — warn, and let the
+            # rebuilt manifest supersede it.
+            warnings.warn(
+                f"checkpoint manifest under {self.campaign_directory} "
+                f"claims fingerprint {manifest.get('fingerprint')!r}, "
+                f"expected {self._fingerprint!r}; rebuilding the "
+                f"manifest without deleting any shard files",
+                stacklevel=2)
             manifest = None
+        if manifest is not None:
+            checksums = dict(manifest["checksums"])
+        else:
+            # Torn or foreign manifest: re-list the shard files already
+            # on disk (parseable ones, hashed as they stand) instead of
+            # starting from nothing — leaving them unlisted would
+            # disable their integrity checks on every later load.
+            checksums = {
+                path.name: _sha256(path)
+                for path in sorted(
+                    self.campaign_directory.glob("shard-*.json"))
+                if self._load_shard_file(path) is not None
+            }
         path = self.shard_path(result.index)
-        path.write_text(json.dumps(_shard_to_json(result), sort_keys=True),
-                        encoding="utf-8")
-        checksums = dict(manifest["checksums"]) if manifest else {}
-        checksums[path.name] = _sha256(path)
+        payload = json.dumps(_shard_to_json(result), sort_keys=True)
+        atomic_write_text(path, payload)
+        # Digest the in-memory payload: re-reading a multi-megabyte
+        # file just written, on the serialized on_complete path, would
+        # double checkpoint I/O.
+        checksums[path.name] = hashlib.sha256(
+            payload.encode("utf-8")).hexdigest()
         self._write_manifest(checksums)
+        sweep_stale_tmp_files(self.campaign_directory)
         return path
+
+    def _load_shard_file(self, path: Path) -> "ShardResult | None":
+        """Parse one shard file, or None if it is corrupt/unreadable."""
+        try:
+            return _shard_from_json(
+                json.loads(path.read_text(encoding="utf-8")))
+        except (json.JSONDecodeError, OSError, KeyError, TypeError,
+                ValueError):
+            return None
+
+    def _adopt_legacy_layout(self) -> None:
+        """Migrate pre-namespacing checkpoints into the campaign dir.
+
+        Before 1.3 a campaign's shard files and manifest lived at the
+        checkpoint *root*. If a root manifest carries this campaign's
+        fingerprint, its intact shard files — checksum-verified
+        against the legacy manifest, with the same authority rule as
+        :meth:`load_completed` — are copied into the namespaced
+        directory (atomically) and the legacy files are removed, so
+        ``--resume`` keeps working across the upgrade. A root manifest
+        with a different fingerprint is another campaign's legacy data
+        and is left untouched.
+        """
+        legacy_manifest = self._directory / MANIFEST_NAME
+        if not legacy_manifest.exists():
+            return
+        try:
+            legacy = json.loads(legacy_manifest.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return  # unrecognizable: not ours to clean up
+        if (not isinstance(legacy, dict)
+                or legacy.get("fingerprint") != self._fingerprint):
+            return
+        self.campaign_directory.mkdir(parents=True, exist_ok=True)
+        for name, expected in legacy.get("checksums", {}).items():
+            source = self._directory / name
+            target = self.campaign_directory / name
+            if not source.exists() or source == target:
+                continue
+            if (not target.exists()
+                    and _sha256(source) == expected
+                    and self._load_shard_file(source)):
+                atomic_write_text(target,
+                                  source.read_text(encoding="utf-8"))
+            # Failed the checksum or the parse: bit rot — drop it and
+            # let the shard recompute, exactly as load_completed does.
+            source.unlink(missing_ok=True)
+        legacy_manifest.unlink(missing_ok=True)
 
     def load_completed(self) -> dict[int, "ShardResult"]:
         """Reload every intact checkpointed shard of this campaign.
 
-        Checkpoints from a different campaign (fingerprint mismatch) or
-        with corrupted shard files are ignored.
+        The manifest is never trusted to be *complete*: shard files it
+        does not list (a writer died between publishing the shard and
+        updating the manifest, or the manifest itself was torn and
+        parsed as nothing) are recovered by parsing them directly, and
+        the healed manifest is written back. But for files the
+        manifest *does* list, its SHA-256 checksum is authoritative: a
+        mismatching file is skipped and recomputed, because damage
+        that happens to stay parseable (bit rot on flaky storage)
+        must not silently break the bit-identical-merge guarantee.
+        The skip is self-correcting — the shard reruns, is re-saved,
+        and the manifest entry is refreshed. Pre-1.3 root-level
+        layouts are migrated into the campaign directory first.
         """
-        manifest = self._load_manifest()
-        if manifest is None or manifest.get("fingerprint") != self._fingerprint:
+        self._adopt_legacy_layout()
+        directory = self.campaign_directory
+        if not directory.exists():
             return {}
+        manifest = self._load_manifest()
+        if manifest is not None and manifest.get("fingerprint") != self._fingerprint:
+            manifest = None
+        known = manifest.get("checksums", {}) if manifest else {}
+
         completed: dict[int, "ShardResult"] = {}
-        for name, expected in manifest.get("checksums", {}).items():
-            path = self._directory / name
-            if not path.exists() or _sha256(path) != expected:
+        checksums: dict[str, str] = {}
+        for path in sorted(directory.glob("shard-*.json")):
+            digest = _sha256(path)
+            expected = known.get(path.name)
+            if expected is not None and digest != expected:
+                # Listed file failing its integrity check. Keep the
+                # recorded checksum in the healed manifest so the
+                # damaged file stays quarantined on the next load
+                # instead of sneaking back in as "unlisted".
+                checksums[path.name] = expected
                 continue
-            result = _shard_from_json(
-                json.loads(path.read_text(encoding="utf-8")))
+            result = self._load_shard_file(path)
+            if result is None:
+                continue  # unlisted file that does not parse
             completed[result.index] = result
+            checksums[path.name] = digest
+        if completed and checksums != known:
+            # Heal the manifest so the next reader sees every
+            # recovered shard listed with a current checksum.
+            self._write_manifest(checksums)
         return completed
 
     def clear(self) -> None:
-        """Delete all checkpoint files (manifest included)."""
-        if not self._directory.exists():
+        """Delete this campaign's checkpoint files (manifest included).
+
+        Only the namespaced campaign directory — plus any pre-1.3
+        root-level files carrying this campaign's fingerprint, which
+        would otherwise be re-adopted by a later resume — is touched;
+        other campaigns sharing the checkpoint root are left intact.
+        """
+        # Route legacy files through the migration first so clearing
+        # a campaign also retires its pre-1.3 layout.
+        self._adopt_legacy_layout()
+        directory = self.campaign_directory
+        if not directory.exists():
             return
-        for path in self._directory.glob("shard-*.json"):
-            path.unlink()
-        manifest = self._manifest_path()
-        if manifest.exists():
-            manifest.unlink()
+        for pattern in ("shard-*.json", MANIFEST_NAME, "*.tmp-*"):
+            for path in directory.glob(pattern):
+                path.unlink(missing_ok=True)
+        try:
+            directory.rmdir()
+        except OSError:
+            pass  # unexpected extra files: leave them alone

@@ -1,0 +1,681 @@
+"""Distributed campaign execution: a coordinator leasing shards to workers.
+
+The paper's measurement campaign ran as a fleet of remote BQT workers;
+this backend (``RuntimeConfig(backend="distributed")``) gives the
+reproduction that shape over the already process-shaped
+``run_shard(scenario, spec)`` boundary. A *coordinator* owns the shard
+partition and leases one shard at a time to each connected *worker*;
+the worker runs it and streams the completed
+:class:`~repro.runtime.executor.ShardResult` back as a checksummed
+frame, which the coordinator checkpoints on arrival (via the
+executor's ordinary ``on_complete`` path) before leasing the next
+shard. A worker that vanishes mid-lease — socket EOF, a corrupt
+frame, or a lease timeout — has its shard put back on the board and
+re-leased to a surviving worker, so the merged output is the same
+whether or not machines died along the way.
+
+**Wire format.** Every message is a *frame*: a 4-byte big-endian
+payload length, the 32-byte SHA-256 digest of the payload, then the
+payload itself — canonical JSON (sorted keys, no whitespace). Shard
+results reuse the exact JSON codecs of
+:mod:`repro.runtime.checkpoint`, whose records round-trip floats by
+shortest ``repr``; that is what makes the distributed merge
+bit-identical to the serial path, enforced by the fifth column of
+``tests/harness/equivalence.py``. The digest rejects torn or corrupted
+frames (MABS-style batch verification: the receiver checks integrity
+before acting), turning transport damage into a lease reassignment
+instead of silent data corruption.
+
+**Transports.** The protocol functions (:func:`read_frame` /
+:func:`write_frame` and the per-connection service loop) operate on
+plain binary file objects, so any byte stream works. The reference
+transport shipped here — used by the equivalence and chaos tests —
+is local subprocess workers (``repro worker --connect <address>``)
+over a Unix-domain socket, with TCP ``host:port`` addresses also
+accepted so workers can run on other machines.
+
+**Autotuning.** :func:`autotune_runtime_config` is the
+coordinator-side sizing step: run one pilot shard serially, extrapolate
+its query log to the whole campaign, and ask
+:func:`repro.bqt.scheduler.plan_to_target` for the smallest
+``(workers, max_inflight)`` fleet predicted to meet a target
+wall-clock; the CLI exposes it as ``caf-audit run --target-seconds``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import BinaryIO, Callable
+
+from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP, SECONDS_PER_DAY
+from repro.bqt.engine import EngineConfig
+from repro.bqt.logbook import QueryLog
+from repro.bqt.scheduler import plan_to_target
+from repro.core.sampling import SamplingPolicy
+from repro.runtime.checkpoint import _shard_from_json, _shard_to_json
+from repro.runtime.shards import (
+    DEFAULT_ISPS,
+    Q12Cell,
+    ShardSpec,
+    plan_shards,
+)
+from repro.synth.scenario import ScenarioConfig
+from repro.synth.world import World
+
+__all__ = [
+    "AutotunePlan",
+    "FrameError",
+    "autotune_runtime_config",
+    "read_frame",
+    "run_shards_distributed",
+    "run_worker",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+# A lease that produced no frame within this window is presumed lost.
+DEFAULT_LEASE_TIMEOUT = 120.0
+
+# How long the coordinator's accept loop sleeps between liveness checks.
+_ACCEPT_POLL_SECONDS = 0.2
+
+_LENGTH = struct.Struct(">I")
+_DIGEST_BYTES = 32
+
+# The abrupt-death exit code --die-after workers use (chaos testing);
+# distinct from clean exits so tests can assert the death was real.
+WORKER_DEATH_EXIT_CODE = 70
+
+
+# ----------------------------------------------------------------------
+# Frames: length-prefixed, SHA-256-verified JSON messages
+# ----------------------------------------------------------------------
+
+class FrameError(RuntimeError):
+    """A frame arrived damaged (checksum mismatch or malformed JSON)."""
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    # bytearray append is amortized O(1); bytes concatenation would be
+    # quadratic over a multi-megabyte shard-result frame.
+    buffer = bytearray()
+    while len(buffer) < size:
+        chunk = stream.read(size - len(buffer))
+        if not chunk:
+            raise EOFError(
+                f"stream closed {size - len(buffer)} bytes short of a frame")
+        buffer += chunk
+    return bytes(buffer)
+
+
+def write_frame(stream: BinaryIO, message: dict) -> None:
+    """Serialize one message as a checksummed frame and flush it."""
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    stream.write(_LENGTH.pack(len(payload))
+                 + hashlib.sha256(payload).digest()
+                 + payload)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> dict:
+    """Read one frame; raises :class:`FrameError` if it arrived damaged
+    and :class:`EOFError` if the stream ended mid-frame."""
+    (length,) = _LENGTH.unpack(_read_exact(stream, _LENGTH.size))
+    digest = _read_exact(stream, _DIGEST_BYTES)
+    payload = _read_exact(stream, length)
+    if hashlib.sha256(payload).digest() != digest:
+        raise FrameError("frame payload does not match its SHA-256 digest")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"frame payload is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Message codecs (scenario/spec/policy travel as JSON, exactly)
+# ----------------------------------------------------------------------
+
+def _scenario_from_json(data: dict) -> ScenarioConfig:
+    data = dict(data)
+    for key in ("states", "q3_states", "non_caf_fraction_range"):
+        data[key] = tuple(data[key])
+    return ScenarioConfig(**data)
+
+
+def _spec_to_json(spec: ShardSpec) -> dict:
+    return {
+        "index": spec.index,
+        "count": spec.count,
+        "q12_cells": [[c.isp_id, c.state, c.cbg] for c in spec.q12_cells],
+        "q3_blocks": list(spec.q3_blocks),
+    }
+
+
+def _spec_from_json(data: dict) -> ShardSpec:
+    return ShardSpec(
+        index=data["index"],
+        count=data["count"],
+        q12_cells=tuple(Q12Cell(isp_id=isp, state=state, cbg=cbg)
+                        for isp, state, cbg in data["q12_cells"]),
+        q3_blocks=tuple(data["q3_blocks"]),
+    )
+
+
+def _lease_message(
+    scenario: ScenarioConfig,
+    spec: ShardSpec,
+    policy: SamplingPolicy | None,
+    engine_config: EngineConfig | None,
+    max_replacements: int,
+    use_async: bool,
+    max_inflight: int,
+    per_isp_cap: int,
+) -> dict:
+    return {
+        "type": "lease",
+        "protocol": PROTOCOL_VERSION,
+        "scenario": asdict(scenario),
+        "spec": _spec_to_json(spec),
+        "policy": None if policy is None else asdict(policy),
+        "engine_config": (None if engine_config is None
+                          else asdict(engine_config)),
+        "max_replacements": max_replacements,
+        "use_async": use_async,
+        "max_inflight": max_inflight,
+        "per_isp_cap": per_isp_cap,
+    }
+
+
+def _execute_lease(message: dict) -> dict:
+    """Run one leased shard and build its result frame (worker side)."""
+    from repro.runtime.executor import run_shard
+
+    policy = message["policy"]
+    engine_config = message["engine_config"]
+    result = run_shard(
+        _scenario_from_json(message["scenario"]),
+        _spec_from_json(message["spec"]),
+        policy=None if policy is None else SamplingPolicy(**policy),
+        engine_config=(None if engine_config is None
+                       else EngineConfig(**engine_config)),
+        max_replacements=message["max_replacements"],
+        use_async=message["use_async"],
+        max_inflight=message["max_inflight"],
+        per_isp_cap=message["per_isp_cap"],
+    )
+    return {
+        "type": "result",
+        "index": result.index,
+        "shard": _shard_to_json(result),
+        # Politeness watermarks are diagnostic, not checkpointed — but
+        # the coordinator's equivalence evidence needs them, so they
+        # ride next to the shard payload.
+        "politeness": result.politeness,
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+
+def _connect(address: str) -> socket.socket:
+    """Connect to a coordinator address.
+
+    An address containing a path separator or no colon at all is a
+    Unix-domain socket path (the reference local transport); anything
+    else is TCP ``host:port``. A colon-bearing socket *filename* must
+    therefore be spelled with a separator (``./coord:1.sock``).
+    """
+    if os.sep in address or ":" not in address:
+        sock = socket.socket(socket.AF_UNIX)
+        sock.connect(address)
+        return sock
+    host, _, port = address.rpartition(":")
+    if not host:
+        raise ValueError(f"worker address must be HOST:PORT or a socket "
+                         f"path, got {address!r}")
+    return socket.create_connection((host, int(port)))
+
+
+def run_worker(address: str, die_after: int | None = None) -> int:
+    """One worker process: connect, run leases until told to stop.
+
+    ``die_after`` is the chaos-testing hook: after completing that many
+    shards, the worker dies *abruptly* on its next lease — no goodbye
+    frame, just ``os._exit`` — the way a preempted VM or OOM-killed
+    container dies, so the coordinator's reassignment path is exercised
+    for real.
+    """
+    sock = _connect(address)
+    stream = sock.makefile("rwb")
+    completed = 0
+    try:
+        write_frame(stream, {"type": "hello",
+                             "protocol": PROTOCOL_VERSION,
+                             "pid": os.getpid()})
+        while True:
+            try:
+                message = read_frame(stream)
+            except EOFError:
+                return 0  # coordinator is gone; nothing left to do
+            kind = message.get("type")
+            if kind == "shutdown":
+                return 0
+            if kind != "lease":
+                raise FrameError(f"unexpected message type {kind!r}")
+            if die_after is not None and completed >= die_after:
+                os._exit(WORKER_DEATH_EXIT_CODE)
+            write_frame(stream, _execute_lease(message))
+            completed += 1
+    finally:
+        stream.close()
+        sock.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+class _LeaseBoard:
+    """Thread-safe shard board: pending → leased → completed.
+
+    ``deliver`` runs the caller's ``on_complete`` under the board lock,
+    which serializes checkpoint writes and progress callbacks exactly
+    like the single-threaded backends, and makes duplicate delivery
+    (a reassigned shard finishing twice) a no-op. An exception from
+    ``on_complete`` (a failed checkpoint write, say) is captured on
+    :attr:`error` and ends the campaign — the coordinator re-raises it
+    — because the serial and process backends fail loudly there too.
+    """
+
+    def __init__(self, specs: list[ShardSpec],
+                 on_complete: Callable) -> None:
+        self._pending: deque[ShardSpec] = deque(specs)
+        self._leased: dict[int, ShardSpec] = {}
+        self._completed: set[int] = set()
+        self._on_complete = on_complete
+        self._lock = threading.Lock()
+        self.done = threading.Event()
+        self.error: BaseException | None = None
+        if not specs:
+            self.done.set()
+
+    def checkout(self) -> ShardSpec | None:
+        with self._lock:
+            if self.error is not None or not self._pending:
+                return None
+            spec = self._pending.popleft()
+            self._leased[spec.index] = spec
+            return spec
+
+    def requeue(self, spec: ShardSpec) -> None:
+        with self._lock:
+            self._leased.pop(spec.index, None)
+            if spec.index not in self._completed:
+                # Front of the queue: a lost shard is the oldest work.
+                self._pending.appendleft(spec)
+
+    def deliver(self, spec: ShardSpec, result) -> bool:
+        with self._lock:
+            self._leased.pop(spec.index, None)
+            if spec.index in self._completed:
+                return False
+            self._completed.add(spec.index)
+            try:
+                self._on_complete(result)
+            except BaseException as error:  # noqa: BLE001 — re-raised
+                self.error = error
+                self.done.set()
+                return False
+            if not self._pending and not self._leased:
+                self.done.set()
+            return True
+
+    def outstanding(self) -> bool:
+        with self._lock:
+            return bool(self._pending or self._leased)
+
+
+def _serve_connection(
+    conn: socket.socket,
+    board: _LeaseBoard,
+    make_lease: Callable[[ShardSpec], dict],
+    lease_timeout: float,
+    on_abandon: Callable[[int], None] = lambda pid: None,
+) -> None:
+    """Drive one worker connection: lease, await result, repeat.
+
+    Any failure — damaged frame, timeout, EOF, wrong shard index —
+    requeues the outstanding lease and abandons the connection; the
+    surviving fleet (or a respawned worker) picks the shard back up.
+    ``on_abandon`` then receives the worker's hello pid so the
+    transport can put the process down: a wedged-but-alive worker
+    holding a dead connection must not count as fleet capacity, or
+    the coordinator's liveness watch can never respawn around it.
+    """
+    stream = conn.makefile("rwb")
+    spec: ShardSpec | None = None
+    worker_pid: int | None = None
+    try:
+        conn.settimeout(lease_timeout)
+        try:
+            hello = read_frame(stream)
+        except (FrameError, EOFError, OSError):
+            return
+        if hello.get("type") != "hello":
+            return
+        if isinstance(hello.get("pid"), int):
+            worker_pid = hello["pid"]
+        while True:
+            spec = board.checkout()
+            if spec is None:
+                # Nothing leasable right now. If another worker's lease
+                # later fails, the coordinator's liveness loop respawns
+                # capacity, so it is safe to let this worker go.
+                try:
+                    write_frame(stream, {"type": "shutdown"})
+                except OSError:
+                    pass
+                return
+            try:
+                write_frame(stream, make_lease(spec))
+                message = read_frame(stream)
+            except (FrameError, EOFError, OSError):
+                return  # finally-block requeues
+            if (message.get("type") != "result"
+                    or message.get("index") != spec.index):
+                return
+            try:
+                result = _shard_from_json(message["shard"])
+                result.politeness = {
+                    isp: int(peak) for isp, peak
+                    in message.get("politeness", {}).items()}
+            except (KeyError, TypeError, ValueError):
+                # Checksummed but structurally wrong — a worker running
+                # skewed code. Treat like any damaged frame: requeue
+                # (via finally) and abandon this worker.
+                return
+            board.deliver(spec, result)
+            spec = None
+    finally:
+        if spec is not None:
+            board.requeue(spec)
+            if worker_pid is not None:
+                on_abandon(worker_pid)
+        try:
+            stream.close()
+        except OSError:
+            pass
+        conn.close()
+
+
+def _worker_environment() -> dict[str, str]:
+    """Environment for spawned workers: the coordinator's, with this
+    source tree importable whether or not PYTHONPATH was exported."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (f"{src_root}{os.pathsep}{existing}"
+                             if existing else src_root)
+    return env
+
+
+def run_shards_distributed(
+    world: World,
+    pending: list[ShardSpec],
+    policy: SamplingPolicy | None,
+    engine_config: EngineConfig | None,
+    max_replacements: int,
+    config,
+    per_isp_cap: int,
+    on_complete: Callable,
+    lease_timeout: float | None = None,
+    worker_command: tuple[str, ...] | None = None,
+    first_worker_extra_args: tuple[str, ...] = (),
+    max_respawns: int | None = None,
+) -> None:
+    """Run shards on a leased worker fleet (the coordinator side).
+
+    Spawns ``config.effective_workers`` reference-transport workers
+    (``repro worker`` subprocesses on a Unix-domain socket), serves
+    each connection on its own thread, and keeps a liveness watch: if
+    every worker is gone while shards remain, replacements are spawned
+    — up to ``max_respawns`` (default: fleet size + 2) — and past
+    that the campaign fails loudly rather than hanging.
+
+    ``first_worker_extra_args`` is the chaos hook the tests use to
+    hand exactly one worker a ``--die-after`` flag.
+    """
+    specs = list(pending)
+    if not specs:
+        return
+    if lease_timeout is None:
+        lease_timeout = DEFAULT_LEASE_TIMEOUT
+    if lease_timeout <= 0:
+        raise ValueError("lease_timeout must be positive")
+    workers = max(1, min(config.effective_workers, len(specs)))
+    scenario = world.config
+    board = _LeaseBoard(specs, on_complete)
+
+    def make_lease(spec: ShardSpec) -> dict:
+        return _lease_message(scenario, spec, policy, engine_config,
+                              max_replacements, config.uses_async,
+                              config.effective_max_inflight, per_isp_cap)
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-dist-")
+    address = os.path.join(tmpdir, "coordinator.sock")
+    listener = socket.socket(socket.AF_UNIX)
+    procs: list[subprocess.Popen] = []
+    threads: list[threading.Thread] = []
+    respawns_left = (workers + 2) if max_respawns is None else max_respawns
+
+    def spawn(extra_args: tuple[str, ...] = ()) -> None:
+        command = list(worker_command if worker_command is not None
+                       else (sys.executable, "-m", "repro", "worker"))
+        command += ["--connect", address, *extra_args]
+        procs.append(subprocess.Popen(
+            command, env=_worker_environment(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
+
+    def abandon_worker(pid: int) -> None:
+        # A worker whose connection was abandoned (timeout, damaged
+        # frame) may be wedged rather than dead; kill it so the
+        # liveness watch sees real fleet capacity, not a zombie.
+        for proc in procs:
+            if proc.pid == pid and proc.poll() is None:
+                proc.kill()
+
+    try:
+        listener.bind(address)
+        listener.listen(workers * 2)
+        listener.settimeout(_ACCEPT_POLL_SECONDS)
+        spawn(tuple(first_worker_extra_args))
+        for _ in range(workers - 1):
+            spawn()
+        while not board.done.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                conn = None
+            if conn is not None:
+                thread = threading.Thread(
+                    target=_serve_connection,
+                    args=(conn, board, make_lease, lease_timeout,
+                          abandon_worker),
+                    daemon=True)
+                thread.start()
+                threads.append(thread)
+            threads = [t for t in threads if t.is_alive()]
+            if (board.outstanding() and not threads
+                    and all(p.poll() is not None for p in procs)):
+                # Work remains but the whole fleet is dead and nothing
+                # is mid-handshake: reassign onto fresh capacity.
+                if respawns_left <= 0:
+                    raise RuntimeError(
+                        "distributed campaign stalled: every worker died "
+                        "and the respawn budget is exhausted")
+                respawns_left -= 1
+                spawn()
+        for thread in threads:
+            thread.join(timeout=lease_timeout)
+        if board.error is not None:
+            # on_complete failed (checkpoint write, progress callback):
+            # fail as loudly as the serial backend would have.
+            raise board.error
+    finally:
+        listener.close()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side autotuning
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AutotunePlan:
+    """The fleet the autotuner picked for a target wall-clock.
+
+    ``predicted_seconds`` is the interleaved-utilization model's
+    forecast for the *virtual* campaign wall clock (the quantity the
+    paper's fleet arithmetic reasons about) under the chosen fleet; it
+    exceeds ``target_seconds`` only when no fleet under the politeness
+    cap can meet the target.
+    """
+
+    shards: int
+    workers: int
+    max_inflight: int
+    predicted_seconds: float
+    target_seconds: float
+    pilot_shards: int
+    pilot_query_seconds: float
+
+    @property
+    def meets_target(self) -> bool:
+        """Whether the forecast makes the requested wall clock."""
+        return self.predicted_seconds <= self.target_seconds
+
+    def runtime_config(self, **overrides):
+        """The distributed :class:`~repro.runtime.executor
+        .RuntimeConfig` realizing this plan; ``overrides`` pass
+        through (checkpoint/cache/resume flags, typically)."""
+        from repro.runtime.executor import RuntimeConfig
+
+        return RuntimeConfig(
+            shards=self.shards,
+            workers=self.workers,
+            backend="distributed",
+            # max_inflight 1 means sync workers; requesting an event
+            # loop bounded to one session would only add overhead.
+            max_inflight=self.max_inflight if self.max_inflight > 1 else None,
+            **overrides,
+        )
+
+    def render(self) -> str:
+        """One human-readable line for the CLI."""
+        verdict = ("meets" if self.meets_target else
+                   "politeness-bound above")
+        return (f"autotuned fleet: {self.workers} workers x "
+                f"{self.max_inflight} in-flight, {self.shards} shards — "
+                f"predicted {self.predicted_seconds:.1f}s virtual "
+                f"wall-clock ({verdict} the {self.target_seconds:.1f}s "
+                f"target)")
+
+
+def autotune_runtime_config(
+    world: World,
+    target_seconds: float,
+    pilot_shards: int = 8,
+    shard_oversubscription: int = 4,
+    policy: SamplingPolicy | None = None,
+    engine_config: EngineConfig | None = None,
+    max_replacements: int = 2,
+    isps: tuple[str, ...] = DEFAULT_ISPS,
+    states: tuple[str, ...] | None = None,
+    q3_states: tuple[str, ...] | None = None,
+) -> AutotunePlan:
+    """Pick ``workers``/``max_inflight``/``shards`` for a wall-clock target.
+
+    The coordinator-side sizing step: run *one* pilot shard (of a
+    ``pilot_shards``-way partition) serially, extrapolate its query log
+    to the full campaign by replication, and hand the result to
+    :func:`repro.bqt.scheduler.plan_to_target`, which prices candidate
+    fleets with the interleaved-utilization model under the politeness
+    cap. Shards are oversubscribed ``shard_oversubscription``-fold over
+    the worker count so the lease board can rebalance around slow or
+    dead workers at useful granularity.
+    """
+    from repro.runtime.executor import run_shard
+
+    if target_seconds <= 0:
+        raise ValueError("target_seconds must be positive")
+    if pilot_shards < 1:
+        raise ValueError("pilot_shards must be positive")
+    if shard_oversubscription < 1:
+        raise ValueError("shard_oversubscription must be positive")
+    specs = plan_shards(world, pilot_shards, isps=isps, states=states,
+                        q3_states=q3_states)
+    pilot = next((spec for spec in specs if spec.num_units), None)
+    if pilot is None:
+        raise ValueError("campaign has no cells to autotune against")
+    result = run_shard(world.config, pilot, policy=policy,
+                       engine_config=engine_config,
+                       max_replacements=max_replacements, world=world)
+    pilot_log = QueryLog()
+    for records in result.q12_records.values():
+        pilot_log.extend(records)
+    for outcome in result.q3_outcomes.values():
+        if outcome is not None:
+            pilot_log.extend(outcome.records)
+    if not pilot_log.isps():
+        raise ValueError("pilot shard produced no queries; the campaign "
+                         "is too small to autotune")
+    # Round-robin dealing balances shards to within one cell, so the
+    # whole campaign looks like pilot_shards copies of the pilot.
+    full_log = QueryLog()
+    for _ in range(pilot_shards):
+        full_log.extend(pilot_log)
+    # Price candidates with the per-ISP concurrency a fleet of that
+    # size actually achieves: the executor floor-divides the
+    # politeness cap across workers, stranding part of the budget at
+    # non-divisor counts (RuntimeConfig.per_shard_isp_cap_for).
+    schedule = plan_to_target(
+        full_log, target_seconds,
+        cap_for_loops=lambda loops:
+            max(1, MAX_POLITE_WORKERS_PER_ISP // loops) * loops)
+    return AutotunePlan(
+        shards=schedule.loops * shard_oversubscription,
+        workers=schedule.loops,
+        max_inflight=schedule.max_inflight,
+        predicted_seconds=schedule.wall_clock_days * SECONDS_PER_DAY,
+        target_seconds=target_seconds,
+        pilot_shards=pilot_shards,
+        pilot_query_seconds=pilot_log.total_virtual_seconds(),
+    )

@@ -2,10 +2,11 @@
 
 :func:`execute_campaign` turns the audit's two collections into a
 sharded job: plan the shards, run each shard's cells (in process, on a
-``concurrent.futures.ProcessPoolExecutor``, and/or on a per-shard
-asyncio event loop), checkpoint completed shards, and merge the shard
-logs back into campaign results that are bit-identical to the
-sequential loops in :mod:`repro.core.collection`.
+``concurrent.futures.ProcessPoolExecutor``, on a per-shard asyncio
+event loop, and/or on a leased fleet of worker processes — see
+:mod:`repro.runtime.distributed`), checkpoint completed shards, and
+merge the shard logs back into campaign results that are bit-identical
+to the sequential loops in :mod:`repro.core.collection`.
 
 Politeness is enforced the way the paper's fleet enforced it, whatever
 the backend:
@@ -52,13 +53,17 @@ from repro.synth.world import World, build_world
 
 __all__ = ["RuntimeConfig", "ShardResult", "execute_campaign", "run_shard"]
 
-_BACKENDS = ("auto", "serial", "process", "async", "process+async")
+_BACKENDS = ("auto", "serial", "process", "async", "process+async",
+             "distributed")
 
 # One event loop's default concurrent-session bound (async backends).
 DEFAULT_MAX_INFLIGHT = 8
 
-# on_progress callback: (completed shards, total shards, newest result).
-ProgressCallback = Callable[[int, int, "ShardResult"], None]
+# on_progress callback: (completed shards, total shards, newest result,
+# restored) — ``restored`` is True when the shard came back from a
+# checkpoint instead of being executed, so rate/ETA estimators can
+# exclude it.
+ProgressCallback = Callable[[int, int, "ShardResult", bool], None]
 
 
 @dataclass(frozen=True)
@@ -69,14 +74,25 @@ class RuntimeConfig:
     deterministic default tests rely on), ``"process"`` (a process
     pool), ``"async"`` (shards run one at a time, but each shard's
     cells interleave on an asyncio event loop), ``"process+async"``
-    (a process pool whose workers each run an event loop), or
-    ``"auto"`` (process pool exactly when ``workers > 1``).
+    (a process pool whose workers each run an event loop),
+    ``"distributed"`` (a coordinator leases shards to worker
+    processes over sockets — see :mod:`repro.runtime.distributed`;
+    ``workers`` sets the fleet size, and ``max_inflight`` additionally
+    runs each worker's shard on an event loop), or ``"auto"`` (process
+    pool exactly when ``workers > 1``).
 
     ``max_inflight`` bounds one event loop's total concurrent sessions
     across all storefronts. Setting it is a request for the async
     engine: under ``backend="auto"`` it selects an async backend
     (``None``, the default, leaves "auto" resolving to serial/process
     and async backends on ``DEFAULT_MAX_INFLIGHT``).
+
+    ``lease_timeout`` (distributed only) is how long the coordinator
+    waits for a worker's result frame before presuming the worker
+    dead and re-leasing its shard. It must comfortably exceed the
+    slowest single shard's compute time, or healthy workers will be
+    abandoned mid-shard and the campaign can never finish; raise it
+    for big scales. ``None`` uses the distributed module's default.
     """
 
     shards: int = 1
@@ -86,6 +102,7 @@ class RuntimeConfig:
     checkpoint_dir: str | None = None
     resume: bool = False
     cache_dir: str | None = None
+    lease_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -101,6 +118,14 @@ class RuntimeConfig:
                 # An in-flight budget must never be silently ignored.
                 raise ValueError(
                     f"max_inflight requires an async backend, "
+                    f"not {self.backend!r}")
+        if self.lease_timeout is not None:
+            if self.lease_timeout <= 0:
+                raise ValueError("lease_timeout must be positive")
+            if self.backend != "distributed":
+                # A lease timeout must never be silently ignored.
+                raise ValueError(
+                    f"lease_timeout requires the distributed backend, "
                     f"not {self.backend!r}")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume requires a checkpoint_dir")
@@ -144,13 +169,21 @@ class RuntimeConfig:
 
     @property
     def uses_async(self) -> bool:
-        """Whether shards run their cells on an asyncio event loop."""
+        """Whether shards run their cells on an asyncio event loop.
+
+        Distributed workers are sync by default; an explicit
+        ``max_inflight`` asks them to interleave their shard's cells
+        on an event loop, exactly like ``process+async`` workers.
+        """
+        if self.effective_backend == "distributed":
+            return self.max_inflight is not None
         return self.effective_backend in ("async", "process+async")
 
     @property
     def concurrent_shards(self) -> int:
         """Shards in flight at once under the effective backend."""
-        if self.effective_backend in ("process", "process+async"):
+        if self.effective_backend in ("process", "process+async",
+                                      "distributed"):
             return self.effective_workers
         return 1
 
@@ -334,8 +367,10 @@ def execute_campaign(
     shard count and every backend.
 
     ``on_progress`` (when given) fires after each newly completed
-    shard with ``(completed, total, result)`` — the CLI uses it for
-    per-shard progress and ETA lines.
+    shard with ``(completed, total, result, restored)`` — the CLI uses
+    it for per-shard progress and ETA lines. Shards restored from a
+    checkpoint fire with ``restored=True`` (in index order, before any
+    shard executes) so rate estimators can exclude them.
     """
     from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
     from repro.runtime.merge import merge_shard_results
@@ -353,6 +388,9 @@ def execute_campaign(
         store = CheckpointStore(config.checkpoint_dir, fingerprint)
         if config.resume:
             completed = store.load_completed()
+            if on_progress is not None:
+                for position, index in enumerate(sorted(completed), start=1):
+                    on_progress(position, len(specs), completed[index], True)
         else:
             store.clear()
 
@@ -361,13 +399,20 @@ def execute_campaign(
         if store is not None:
             store.save_shard(result)
         if on_progress is not None:
-            on_progress(len(completed), len(specs), result)
+            on_progress(len(completed), len(specs), result, False)
 
     pending = [spec for spec in specs if spec.index not in completed]
     # Budget for the shards actually left to run: a resumed tail gets
     # the politeness headroom its smaller in-flight count allows.
     per_isp_cap = config.per_shard_isp_cap_for(len(pending))
-    if (config.effective_backend in ("process", "process+async")
+    if config.effective_backend == "distributed" and pending:
+        from repro.runtime.distributed import run_shards_distributed
+
+        run_shards_distributed(world, pending, policy, engine_config,
+                               max_replacements, config, per_isp_cap,
+                               on_complete,
+                               lease_timeout=config.lease_timeout)
+    elif (config.effective_backend in ("process", "process+async")
             and len(pending) > 1):
         _run_shards_process(world, pending, policy, engine_config,
                             max_replacements, config, per_isp_cap,

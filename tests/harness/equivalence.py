@@ -1,8 +1,9 @@
 """Differential-equivalence harness for the campaign backends.
 
 "Bit-identical under every backend" is a load-bearing invariant: the
-analyses trust that sharding, process pools, and asyncio interleaving
-are pure execution details that cannot perturb a single record. This
+analyses trust that sharding, process pools, asyncio interleaving,
+and socket-leased distributed workers are pure execution details that
+cannot perturb a single record. This
 harness makes the invariant checkable as a black box: run the *same*
 campaign under several :class:`~repro.runtime.executor.RuntimeConfig`
 backends, serialize each run's merged logbooks to canonical bytes, and
@@ -51,6 +52,8 @@ def backend_matrix(
 
     ``max_inflight`` deliberately defaults *above* the politeness cap
     so the async runs only stay polite if the gate actually works.
+    The distributed entry runs real worker subprocesses leased over
+    local sockets — the reference transport, end to end.
     """
     return (
         RuntimeConfig(shards=shards, backend="serial"),
@@ -59,6 +62,8 @@ def backend_matrix(
                       max_inflight=max_inflight),
         RuntimeConfig(shards=shards, workers=workers,
                       backend="process+async", max_inflight=max_inflight),
+        RuntimeConfig(shards=shards, workers=workers,
+                      backend="distributed"),
     )
 
 
@@ -104,7 +109,8 @@ def run_backend(world: World, config: RuntimeConfig, **subset) -> BackendRun:
     shard_results = []
     collection, q3 = execute_campaign(
         world, config,
-        on_progress=lambda done, total, result: shard_results.append(result),
+        on_progress=lambda done, total, result, restored:
+            shard_results.append(result),
         **subset)
     politeness: dict[str, int] = {}
     shard_record_total = 0

@@ -8,6 +8,7 @@ from repro.bqt.responses import QueryStatus
 from repro.bqt.scheduler import (
     WorkerSchedule,
     _lpt_makespan_seconds,
+    plan_to_target,
     schedule_campaign,
     schedule_interleaved_campaign,
 )
@@ -219,3 +220,74 @@ class TestInterleavedSchedule:
         text = schedule.render()
         assert "2 loops x 4 in-flight" in text
         assert "utilization" in text
+
+
+class TestPlanToTarget:
+    """The autotuner primitive: smallest fleet meeting a wall-clock."""
+
+    def _log(self):
+        log = QueryLog()
+        for isp in ("att", "centurylink"):
+            for i in range(20):
+                log.append(record(isp, f"{isp}-{i}", 100.0))
+        return log
+
+    def test_generous_target_picks_one_slot(self):
+        log = self._log()
+        total = log.total_virtual_seconds()
+        schedule = plan_to_target(log, target_seconds=total * 10)
+        assert schedule.loops == 1
+        assert schedule.max_inflight == 1
+
+    def test_feasible_target_met_with_minimal_slots(self):
+        log = self._log()
+        total = log.total_virtual_seconds()
+        schedule = plan_to_target(log, target_seconds=total / 3)
+        assert schedule.wall_clock_days * 86_400.0 <= total / 3
+        # Any strictly smaller fleet must miss the target.
+        slots = schedule.slots
+        for loops in range(1, schedule.loops + 1):
+            for inflight in (1, 2, 4, 8, 16, 32):
+                if loops * inflight >= slots:
+                    continue
+                worse = schedule_interleaved_campaign(
+                    log, loops=loops, max_inflight=inflight)
+                assert worse.wall_clock_days * 86_400.0 > total / 3
+
+    def test_impossible_target_returns_fastest(self):
+        log = self._log()
+        schedule = plan_to_target(log, target_seconds=1e-6)
+        assert schedule.wall_clock_days * 86_400.0 > 1e-6
+        # Nothing in the search space beats the returned schedule.
+        fastest = min(
+            schedule_interleaved_campaign(log, loops=loops,
+                                          max_inflight=inflight)
+            .wall_clock_days
+            for loops in range(1, MAX_POLITE_WORKERS_PER_ISP + 1)
+            for inflight in (1, 2, 4, 8, 16, 32))
+        assert schedule.wall_clock_days == pytest.approx(fastest)
+
+    def test_cap_for_loops_prices_divided_budget(self):
+        """The distributed executor floor-divides the politeness cap
+        across workers; pricing candidates with the achievable
+        (divided) cap can never predict a faster campaign than the
+        undivided model."""
+        log = self._log()
+        undivided = plan_to_target(log, target_seconds=1e-6)
+        divided = plan_to_target(
+            log, target_seconds=1e-6,
+            cap_for_loops=lambda loops:
+                max(1, MAX_POLITE_WORKERS_PER_ISP // loops) * loops)
+        assert divided.wall_clock_days >= undivided.wall_clock_days - 1e-12
+        # And the divided model's cap is what that fleet can reach.
+        assert divided.per_isp_cap == max(
+            1, MAX_POLITE_WORKERS_PER_ISP // divided.loops) * divided.loops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_to_target(self._log(), target_seconds=0.0)
+        with pytest.raises(ValueError):
+            plan_to_target(self._log(), target_seconds=10.0, max_loops=0)
+        with pytest.raises(ValueError):
+            plan_to_target(self._log(), target_seconds=10.0,
+                           max_inflight_ceiling=0)

@@ -69,7 +69,8 @@ class TestCommands:
                 "--cache-dir", str(tmp_path / "cache")]
         assert main(args) == 0
         first = capsys.readouterr().out
-        assert list((tmp_path / "ckpt").glob("shard-*.json"))
+        # Checkpoints are namespaced per campaign fingerprint.
+        assert list((tmp_path / "ckpt").glob("*/shard-*.json"))
         assert list((tmp_path / "cache").glob("*.pkl"))
         # Second run is a cache hit with identical output.
         assert main(args + ["--resume"]) == 0
@@ -156,6 +157,34 @@ class TestAsyncBackendFlags:
         assert "1/4 shards" in lines[0]
         assert "2/4 shards" in lines[1]
 
+    def test_progress_printer_excludes_restored_from_rate(self):
+        """The resumed-ETA bug this PR fixes: restored checkpoints
+        arrive in microseconds and must not contribute near-zero
+        intervals to the ETA rate."""
+        from io import StringIO
+
+        from repro.cli import _shard_progress_printer
+        from repro.runtime import ShardResult
+
+        stream = StringIO()
+        on_progress = _shard_progress_printer(stream)
+        # Three shards restore instantly, then the first executed
+        # shard completes.
+        for position, index in enumerate((0, 1, 2), start=1):
+            on_progress(position, 5, ShardResult(index=index, count=5),
+                        True)
+        on_progress(4, 5, ShardResult(index=3, count=5), False)
+        lines = stream.getvalue().splitlines()
+        assert all("restored from checkpoint" in line
+                   for line in lines[:3])
+        assert all("ETA" not in line for line in lines[:3])
+        # One executed shard = no interval observed yet: the rate must
+        # be unknown, not the absurd restored-shard rate.
+        assert "ETA pending" in lines[3]
+        # A second executed completion starts the real rate.
+        on_progress(5, 5, ShardResult(index=4, count=5), False)
+        assert "ETA 0.0s" in stream.getvalue().splitlines()[4]
+
     def test_max_inflight_promotes_auto_to_async(self, capsys):
         """An explicit --max-inflight must not be silently ignored:
         auto promotes to an async backend; an explicit serial backend
@@ -190,6 +219,23 @@ class TestAsyncBackendFlags:
         assert captured.out == sequential
         assert captured.err.count("[shard ") == 2
 
+    def test_resume_prints_restored_lines(self, tmp_path, capsys):
+        shard_dir = str(tmp_path / "ckpt")
+        assert main(["run", "--scale", "tiny", "--shards", "3",
+                     "--checkpoint-dir", shard_dir]) == 0
+        first = capsys.readouterr()
+        assert first.err.count("[shard ") == 3
+        assert "restored" not in first.err
+        assert main(["run", "--scale", "tiny", "--shards", "3",
+                     "--checkpoint-dir", shard_dir, "--resume"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert second.err.count("restored from checkpoint") == 3
+        # Restored shards carry no ETA estimate at all.
+        restored_lines = [line for line in second.err.splitlines()
+                          if "restored" in line]
+        assert all("ETA" not in line for line in restored_lines)
+
     def test_malformed_cache_max_bytes_exits_2(self, tmp_path, capsys,
                                                monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1G")
@@ -205,3 +251,85 @@ class TestAsyncBackendFlags:
         monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1G")
         assert main(["list"]) == 0
         assert "figure1" in capsys.readouterr().out
+
+
+class TestDistributedBackendFlags:
+    def test_parser_accepts_distributed(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "distributed", "--workers", "2"])
+        assert args.backend == "distributed"
+        args = build_parser().parse_args(
+            ["run", "--target-seconds", "3600"])
+        assert args.target_seconds == 3600.0
+
+    def test_worker_parser(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "/tmp/coord.sock",
+             "--die-after", "2"])
+        assert args.connect == "/tmp/coord.sock"
+        assert args.die_after == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])  # --connect required
+
+    def test_worker_bad_address_exits_nonzero(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope" / "coord.sock")
+        assert main(["worker", "--connect", missing]) == 1
+        assert "caf-audit worker:" in capsys.readouterr().err
+        assert main(["worker", "--connect", missing,
+                     "--die-after", "-1"]) == 2
+        assert "--die-after" in capsys.readouterr().err
+
+    def test_target_seconds_validation(self, capsys):
+        assert main(["run", "--scale", "tiny",
+                     "--target-seconds", "-5"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+        assert main(["run", "--scale", "tiny", "--backend", "serial",
+                     "--target-seconds", "60"]) == 2
+        assert "distributed" in capsys.readouterr().err
+
+    def test_lease_timeout_requires_distributed(self, capsys):
+        assert main(["run", "--scale", "tiny", "--shards", "2",
+                     "--lease-timeout", "60"]) == 2
+        assert "lease_timeout requires the distributed backend" in \
+            capsys.readouterr().err
+
+    def test_target_seconds_warm_cache_skips_autotune(
+            self, tmp_path, capsys, monkeypatch):
+        """A warm cache must short-circuit before the pilot shard and
+        world build, not after."""
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "--scale", "tiny", "--shards", "2",
+                     "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+
+        import repro.synth.world as world_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("world rebuilt despite cached audit")
+
+        monkeypatch.setattr(world_module, "build_world", forbidden)
+        assert main(["run", "--scale", "tiny", "--cache-dir", cache_dir,
+                     "--target-seconds", "1e9"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "autotuning skipped" in captured.err
+
+    @pytest.mark.chaos
+    def test_run_distributed_matches_sequential(self, capsys):
+        assert main(["run", "--scale", "tiny"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["run", "--scale", "tiny", "--shards", "3",
+                     "--workers", "2", "--backend", "distributed"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == sequential
+        assert captured.err.count("[shard ") == 3
+
+    @pytest.mark.chaos
+    def test_run_autotuned_target_seconds(self, capsys):
+        assert main(["run", "--scale", "tiny"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["run", "--scale", "tiny",
+                     "--target-seconds", "1e9"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == sequential
+        assert "autotuned fleet:" in captured.err

@@ -151,6 +151,25 @@ class TestRuntimeConfig:
         assert RuntimeConfig(shards=4, workers=2).per_shard_isp_cap == 1
         assert RuntimeConfig(shards=4, backend="serial").per_shard_isp_cap == 1
 
+    def test_distributed_backend_config(self):
+        """Distributed workers are sync by default; ``max_inflight``
+        opts each worker's shard onto an event loop, with the
+        politeness budget divided across the fleet as for
+        process+async."""
+        config = RuntimeConfig(shards=8, workers=4, backend="distributed")
+        assert config.effective_backend == "distributed"
+        assert config.concurrent_shards == 4
+        assert not config.uses_async
+        assert config.per_shard_isp_cap == 1
+        interleaved = RuntimeConfig(shards=8, workers=4,
+                                    backend="distributed", max_inflight=6)
+        assert interleaved.uses_async
+        assert interleaved.per_shard_isp_cap == \
+            MAX_POLITE_WORKERS_PER_ISP // 4
+        assert (interleaved.per_shard_isp_cap
+                * interleaved.concurrent_shards
+                <= MAX_POLITE_WORKERS_PER_ISP)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RuntimeConfig(shards=0)
@@ -165,6 +184,17 @@ class TestRuntimeConfig:
             RuntimeConfig(backend="process", max_inflight=4)
         with pytest.raises(ValueError):
             RuntimeConfig(resume=True)  # resume needs a checkpoint_dir
+
+    def test_lease_timeout_validation(self):
+        config = RuntimeConfig(shards=4, workers=2, backend="distributed",
+                               lease_timeout=300.0)
+        assert config.lease_timeout == 300.0
+        with pytest.raises(ValueError):
+            RuntimeConfig(backend="distributed", lease_timeout=0.0)
+        with pytest.raises(ValueError):
+            # A lease timeout must never be silently ignored.
+            RuntimeConfig(shards=4, workers=2, backend="process",
+                          lease_timeout=60.0)
 
 
 class TestEquivalence:
@@ -212,15 +242,37 @@ class TestEquivalence:
         assert log_keys(q3.log) == log_keys(baseline_q3.log)
 
     def test_on_progress_reports_every_shard(self, world):
-        seen: list[tuple[int, int, int]] = []
+        seen: list[tuple[int, int, int, bool]] = []
         execute_campaign(
             world, RuntimeConfig(shards=3, backend="async"),
-            on_progress=lambda done, total, r: seen.append(
-                (done, total, r.index)),
+            on_progress=lambda done, total, r, restored: seen.append(
+                (done, total, r.index, restored)),
             **SUBSET)
-        assert [(done, total) for done, total, _ in seen] == \
+        assert [(done, total) for done, total, _, _ in seen] == \
             [(1, 3), (2, 3), (3, 3)]
-        assert sorted(index for _, _, index in seen) == [0, 1, 2]
+        assert sorted(index for _, _, index, _ in seen) == [0, 1, 2]
+        # Nothing came from a checkpoint: every shard was executed.
+        assert not any(restored for _, _, _, restored in seen)
+
+    def test_on_progress_flags_restored_shards(
+            self, world, tmp_path, monkeypatch):
+        """A resumed run reports checkpointed shards with
+        ``restored=True`` (in index order, before anything executes)
+        so ETA estimators can exclude them from the rate."""
+        shard_dir = str(tmp_path / "ckpt")
+        config = RuntimeConfig(shards=3, backend="serial",
+                               checkpoint_dir=shard_dir)
+        execute_campaign(world, config, **SUBSET)
+
+        seen: list[tuple[int, int, bool]] = []
+        resumed = RuntimeConfig(shards=3, backend="serial",
+                                checkpoint_dir=shard_dir, resume=True)
+        execute_campaign(
+            world, resumed,
+            on_progress=lambda done, total, r, restored: seen.append(
+                (done, r.index, restored)),
+            **SUBSET)
+        assert seen == [(1, 0, True), (2, 1, True), (3, 2, True)]
 
 
 class TestCheckpointResume:
@@ -305,19 +357,27 @@ class TestCheckpointResume:
         assert base != campaign_fingerprint(
             tiny_config, None, ("att",), 4, max_replacements=0)
 
-    def test_truncated_manifest_recomputes(self, world, tmp_path):
+    def test_truncated_manifest_rebuilds_from_shard_files(
+            self, world, tmp_path):
+        """A torn manifest no longer discards intact work: the store
+        rebuilds it from the shard files (see test_checkpoint_crash.py
+        for the full crash matrix)."""
         specs = plan_shards(world, 2, **SUBSET)
         fingerprint = campaign_fingerprint(world.config, None,
                                            SUBSET["isps"], 2)
         store = CheckpointStore(tmp_path, fingerprint)
         store.save_shard(run_shard(world.config, specs[0], world=world))
-        (tmp_path / "checkpoint.json").write_text("{trunc", encoding="utf-8")
-        assert store.load_completed() == {}
+        (store.campaign_directory / "checkpoint.json").write_text(
+            "{trunc", encoding="utf-8")
+        assert set(store.load_completed()) == {0}
         # And saving over the wreckage works.
         store.save_shard(run_shard(world.config, specs[1], world=world))
-        assert set(store.load_completed()) == {1}
+        assert set(store.load_completed()) == {0, 1}
 
-    def test_fingerprint_mismatch_discards_checkpoints(self, world, tmp_path):
+    def test_fingerprint_mismatch_sees_no_foreign_checkpoints(
+            self, world, tmp_path):
+        """Campaigns are namespaced by fingerprint: another campaign
+        sharing the root neither sees nor disturbs this one's work."""
         specs = plan_shards(world, 2, **SUBSET)
         result = run_shard(world.config, specs[0], world=world)
         fingerprint = campaign_fingerprint(world.config, None,
@@ -327,6 +387,9 @@ class TestCheckpointResume:
         assert set(store.load_completed()) == {0}
         other = CheckpointStore(tmp_path, "deadbeef")
         assert other.load_completed() == {}
+        # The foreign store clearing itself leaves this campaign alone.
+        other.clear()
+        assert set(store.load_completed()) == {0}
 
     def test_corrupted_shard_ignored(self, world, tmp_path):
         specs = plan_shards(world, 2, **SUBSET)

@@ -8,6 +8,7 @@ from repro.analysis import (
     carriage,
     collection_figures,
     equity,
+    panel,
     staleness,
     figure1,
     figure2,
@@ -43,10 +44,13 @@ EXPERIMENTS: Mapping[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table4": tables34.run_table4,
     "headline": headline.run,
     # Extensions beyond the paper's figures: §4.2's carriage-value
-    # argument and §2.4's open equity question, quantified.
+    # argument, §2.4's open equity question, and §8.1's staleness
+    # limitation — the latter both as the original two-point drift
+    # check and as a full longitudinal panel.
     "carriage": carriage.run,
     "equity": equity.run,
     "staleness": staleness.run,
+    "panel": panel.run,
 }
 
 

@@ -3,35 +3,37 @@
 The paper queried each address once and argues its non-compliance
 findings remain representative because the CAF II deadline had long
 passed. This experiment measures the staleness bias directly: evolve
-the world by N years of plan churn, re-run the audit, and report how
-the headline metrics drift.
+the world by N years of plan churn, re-audit, and report how the
+headline metrics drift.
+
+Since the longitudinal subsystem landed, the re-audits run as a
+:class:`~repro.longitudinal.campaign.PanelCampaign` with waves at the
+requested horizons — the same worlds and byte-identical records as the
+original two-point implementation (``churned_world`` is a Markov chain
+in the year index), but cells whose world digest did not move between
+horizons are replayed instead of re-queried. For richer trajectories
+(per-ISP churn attribution, reuse accounting, staleness half-life) see
+the ``panel`` experiment (:mod:`repro.analysis.panel`).
 """
 
 from __future__ import annotations
 
 from repro.analysis.context import ExperimentContext
+from repro.analysis.panel import wave_rates
 from repro.analysis.result import ExperimentResult
-from repro.core.audit import AuditDataset, ComplianceStandard
-from repro.core.collection import CollectionCampaign
-from repro.fcc.urban_rate_survey import generate_urban_rate_survey
-from repro.synth.churn import ChurnModel, churned_world
+from repro.longitudinal import PanelCampaign
+from repro.synth.churn import ChurnModel
 from repro.tabular import Table
 
 __all__ = ["run"]
 
 
-def _audit_rates(world) -> tuple[float, float]:
-    campaign = CollectionCampaign(world)
-    collection = campaign.run()
-    survey = generate_urban_rate_survey(seed=world.config.seed)
-    audit = AuditDataset(collection.log, collection.cbg_totals, world=world,
-                         standard=ComplianceStandard(survey=survey))
-    return audit.serviceability_rate(), audit.compliance_rate()
-
-
 def run(context: ExperimentContext,
         years: tuple[int, ...] = (1, 3)) -> ExperimentResult:
     """Audit the same world at snapshot time and after churn."""
+    horizons = tuple(sorted(set(years)))
+    if not horizons or any(h < 1 for h in horizons):
+        raise ValueError("years must be positive horizons")
     base_serviceability = context.report.serviceability.aggregate_rate()
     base_compliance = context.report.compliance.aggregate_rate()
     rows = [{
@@ -41,12 +43,14 @@ def run(context: ExperimentContext,
         "serviceability_drift_pp": 0.0,
         "compliance_drift_pp": 0.0,
     }]
-    model = ChurnModel()
-    for horizon in years:
-        evolved = churned_world(context.world, years=horizon, model=model)
-        serviceability, compliance = _audit_rates(evolved)
+    campaign = PanelCampaign(context.world, model=ChurnModel(),
+                             horizons=horizons)
+    for outcome in campaign.waves():
+        if outcome.wave == 0:
+            continue  # the snapshot row above came from the report
+        serviceability, compliance = wave_rates(outcome)
         rows.append({
-            "years_after_snapshot": horizon,
+            "years_after_snapshot": outcome.horizon_years,
             "serviceability": serviceability,
             "compliance": compliance,
             "serviceability_drift_pp":

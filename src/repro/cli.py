@@ -6,6 +6,8 @@ Usage::
                   [--shards N] [--workers N] [--backend B]
                   [--max-inflight N] [--target-seconds S] [--resume]
                   [--checkpoint-dir DIR] [--cache-dir DIR]
+    caf-audit panel --waves N [--churn-cell-rate P] [--store DIR]
+                    [--scale ...] [runtime flags as for run]
     caf-audit worker --connect ADDRESS [--die-after N]
     caf-audit experiment <id>... [--scale ...]
     caf-audit list
@@ -15,11 +17,13 @@ Usage::
 ``run`` prints the headline audit summary — sharded across worker
 processes, resumable from checkpoints, and served from the
 content-addressed audit cache when the runtime flags are given;
-``worker`` joins a distributed coordinator as one leased shard worker
-(the ``--backend distributed`` coordinator spawns these itself for the
-local reference transport); ``experiment`` renders one or more paper
-tables/figures; ``export`` writes the audit datasets to CSV for
-downstream use.
+``panel`` runs a multi-wave longitudinal audit with delta-aware
+incremental re-collection (only cells whose world changed are
+re-queried); ``worker`` joins a distributed coordinator as one leased
+shard worker (the ``--backend distributed`` coordinator spawns these
+itself for the local reference transport); ``experiment`` renders one
+or more paper tables/figures; ``export`` writes the audit datasets to
+CSV for downstream use.
 """
 
 from __future__ import annotations
@@ -96,6 +100,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR",
         help="content-addressed audit cache directory")
 
+    panel_parser = subparsers.add_parser(
+        "panel", help="run a multi-wave longitudinal audit panel")
+    panel_parser.add_argument("--scale", choices=_SCALE_CHOICES,
+                              default="tiny")
+    panel_parser.add_argument("--seed", type=int, default=0)
+    panel_parser.add_argument(
+        "--waves", type=int, default=3, metavar="N",
+        help="churn waves after the snapshot (default 3)")
+    panel_parser.add_argument(
+        "--years-per-wave", type=int, default=1, metavar="Y",
+        help="years of churn between consecutive waves (default 1)")
+    panel_parser.add_argument(
+        "--churn-cell-rate", type=float, default=0.10, metavar="P",
+        help="probability an (ISP, CBG) cell churns at all in a year "
+             "(default 0.10; plant churn is neighborhood-correlated)")
+    panel_parser.add_argument(
+        "--churn-upgrade-rate", type=float, default=0.10, metavar="P",
+        help="per-address annual upgrade probability inside a churning "
+             "cell (default 0.10)")
+    panel_parser.add_argument(
+        "--churn-deployment-rate", type=float, default=0.03, metavar="P",
+        help="per-address annual new-deployment probability inside a "
+             "churning cell (default 0.03)")
+    panel_parser.add_argument(
+        "--churn-retirement-rate", type=float, default=0.01, metavar="P",
+        help="per-address annual service-retirement probability inside "
+             "a churning cell (default 0.01)")
+    panel_parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="shard each wave's delta collection into N pieces "
+             "(0 = in-process serial)")
+    panel_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for changed-cell collection")
+    panel_parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "process", "async", "process+async",
+                 "distributed"),
+        default="auto",
+        help="delta-collection backend (as for run)")
+    panel_parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="concurrent sessions per async event loop (as for run)")
+    panel_parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write per-wave delta-shard checkpoints under DIR")
+    panel_parser.add_argument(
+        "--resume", action="store_true",
+        help="reload completed waves from --store and completed delta "
+             "shards from --checkpoint-dir")
+    panel_parser.add_argument(
+        "--store", metavar="DIR",
+        help="persist completed wave logbooks under DIR (the panel "
+             "store; enables cross-session --resume)")
+
     experiment_parser = subparsers.add_parser(
         "experiment", help="reproduce paper tables/figures")
     experiment_parser.add_argument("ids", nargs="+", metavar="ID")
@@ -146,17 +205,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    context = ExperimentContext.at_scale(args.scale)
-    scenario = context.scenario
-    if args.seed != scenario.seed:
+def _scenario_at(scale: str, seed: int) -> ScenarioConfig:
+    """The named scale's scenario, reseeded when requested."""
+    scenario = ExperimentContext.at_scale(scale).scenario
+    if seed != scenario.seed:
         scenario = ScenarioConfig(
-            seed=args.seed,
+            seed=seed,
             address_scale=scenario.address_scale,
             cbg_size_median=scenario.cbg_size_median,
             cbg_size_sigma=scenario.cbg_size_sigma,
             max_cbg_size=scenario.max_cbg_size,
         )
+    return scenario
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    scenario = _scenario_at(args.scale, args.seed)
     if args.target_seconds is not None:
         return _run_autotuned(args, scenario)
     parallel = None
@@ -224,7 +288,12 @@ def _run_autotuned(args: argparse.Namespace, scenario) -> int:
         world = cached_world(args.cache_dir, scenario)
     else:
         world = build_world(scenario)
-    plan = autotune_runtime_config(world, args.target_seconds)
+    # Persist the autotune decision next to the checkpoints (or cache):
+    # a repeat or --resume run with the same world and target reloads
+    # the plan instead of re-running the serial pilot shard.
+    plan_dir = args.checkpoint_dir or args.cache_dir
+    plan = autotune_runtime_config(world, args.target_seconds,
+                                   plan_dir=plan_dir)
     print(plan.render(), file=sys.stderr)
     try:
         parallel = plan.runtime_config(
@@ -288,6 +357,94 @@ def _shard_progress_printer(stream=None):
             f"{eta_text}", file=stream)
 
     return on_progress
+
+
+def _command_panel(args: argparse.Namespace) -> int:
+    from repro.analysis.panel import wave_rates
+    from repro.longitudinal import PanelCampaign
+    from repro.synth.churn import ChurnModel
+    from repro.synth.world import build_world
+
+    if args.waves < 1:
+        print("caf-audit panel: --waves must be positive", file=sys.stderr)
+        return 2
+    if args.years_per_wave < 1:
+        print("caf-audit panel: --years-per-wave must be positive",
+              file=sys.stderr)
+        return 2
+    try:
+        model = ChurnModel(
+            cell_rate=args.churn_cell_rate,
+            upgrade_rate=args.churn_upgrade_rate,
+            new_deployment_rate=args.churn_deployment_rate,
+            retirement_rate=args.churn_retirement_rate,
+        )
+    except ValueError as error:
+        print(f"caf-audit panel: {error}", file=sys.stderr)
+        return 2
+    runtime = None
+    wants_runtime = (args.shards or args.workers != 1
+                     or args.backend != "auto"
+                     or args.max_inflight is not None
+                     or args.checkpoint_dir)
+    if wants_runtime:
+        from repro.runtime import RuntimeConfig
+
+        try:
+            runtime = RuntimeConfig(
+                shards=args.shards or max(args.workers, 1),
+                workers=args.workers,
+                backend=args.backend,
+                max_inflight=args.max_inflight,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume and args.checkpoint_dir is not None,
+            )
+        except ValueError as error:
+            print(f"caf-audit panel: {error}", file=sys.stderr)
+            return 2
+    if args.resume and not args.store and not args.checkpoint_dir:
+        # Fail before the (expensive) world build.
+        print("caf-audit panel: --resume requires --store and/or "
+              "--checkpoint-dir", file=sys.stderr)
+        return 2
+    horizons = tuple(args.years_per_wave * wave
+                     for wave in range(1, args.waves + 1))
+    scenario = _scenario_at(args.scale, args.seed)
+    world = build_world(scenario)
+    try:
+        campaign = PanelCampaign(world, model=model, horizons=horizons,
+                                 runtime=runtime, store_dir=args.store,
+                                 resume=args.resume)
+    except ValueError as error:
+        print(f"caf-audit panel: {error}", file=sys.stderr)
+        return 2
+    base_serviceability = base_compliance = None
+    for outcome in campaign.waves():
+        serviceability, compliance = wave_rates(outcome)
+        total = (outcome.fresh_q12 + outcome.replayed_q12
+                 + outcome.fresh_q3 + outcome.replayed_q3)
+        source = ("restored from store" if outcome.restored_from_store
+                  else f"queried in {outcome.collect_seconds:.1f}s")
+        if outcome.wave == 0:
+            base_serviceability, base_compliance = serviceability, compliance
+            print(f"[wave 0] snapshot: {len(outcome.collection.log)} Q1/Q2 "
+                  f"+ {len(outcome.q3.log)} Q3 records across {total} "
+                  f"cells ({source})")
+        else:
+            fresh = outcome.fresh_q12 + outcome.fresh_q3
+            print(f"[wave {outcome.wave}] +{outcome.horizon_years}y: "
+                  f"re-queried {fresh}/{total} cells "
+                  f"({1 - outcome.reuse_fraction:.0%}), replayed "
+                  f"{outcome.replayed_q12 + outcome.replayed_q3} "
+                  f"({source})")
+        drift = ("" if outcome.wave == 0 else
+                 f" ({(serviceability - base_serviceability) * 100:+.2f}pp"
+                 f" / {(compliance - base_compliance) * 100:+.2f}pp)")
+        print(f"         serviceability {serviceability:.2%}, "
+              f"compliance {compliance:.2%}{drift}")
+    if args.store:
+        print(f"panel store: {campaign.store.panel_directory}")
+    return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -391,6 +548,7 @@ def _command_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _command_run,
+    "panel": _command_panel,
     "worker": _command_worker,
     "experiment": _command_experiment,
     "list": _command_list,

@@ -1,0 +1,53 @@
+"""repro.longitudinal — multi-wave panel campaigns over an evolving world.
+
+The paper's audit is a one-shot snapshot; this subsystem re-runs it as
+a *panel*: N churn waves over the same world, each wave planned as a
+delta collection. Per-cell world digests (:mod:`~repro.longitudinal
+.digests`) diff consecutive waves; unchanged (ISP, CBG) cells and Q3
+blocks are replayed from the prior wave's logbook, changed cells are
+re-queried through the ordinary :mod:`repro.runtime` backends, and the
+merge produces wave logbooks byte-identical to from-scratch
+re-collection — at O(churn) query cost instead of O(world). Completed
+waves persist in a :class:`~repro.longitudinal.store.PanelStore` so an
+interrupted panel resumes.
+
+Entry points::
+
+    from repro.longitudinal import PanelCampaign
+    from repro.synth.churn import ChurnModel
+
+    campaign = PanelCampaign(world, model=ChurnModel(cell_rate=0.1),
+                             horizons=(1, 2, 3))
+    for outcome in campaign.waves():
+        print(outcome.wave, outcome.reuse_fraction)
+
+or on the command line: ``caf-audit panel --waves 3``.
+"""
+
+from repro.longitudinal.campaign import (
+    DEFAULT_PANEL_CHURN,
+    PanelCampaign,
+    WaveOutcome,
+)
+from repro.longitudinal.digests import (
+    DeltaPlan,
+    WaveDigests,
+    compute_wave_digests,
+    diff_digests,
+    q12_cell_digest,
+    q3_block_digest,
+)
+from repro.longitudinal.store import PanelStore
+
+__all__ = [
+    "DEFAULT_PANEL_CHURN",
+    "DeltaPlan",
+    "PanelCampaign",
+    "PanelStore",
+    "WaveDigests",
+    "WaveOutcome",
+    "compute_wave_digests",
+    "diff_digests",
+    "q12_cell_digest",
+    "q3_block_digest",
+]

@@ -1,0 +1,133 @@
+"""The panel store: wave manifests + per-cell logbooks on disk.
+
+Each completed wave is published as one JSON document under the
+panel's fingerprint-namespaced directory — the wave's per-cell record
+streams (checkpoint codecs, exact float round-trip), its horizon, its
+fresh/replayed accounting, and a SHA-256 checksum of the cell payload.
+Writes use the shared atomic tmp-then-rename primitive, so a panel
+interrupted mid-wave resumes from the last intact wave; a damaged or
+foreign wave file is a miss (the wave recomputes), never a crash or a
+silent wrong replay.
+
+The layout mirrors :class:`~repro.runtime.checkpoint.CheckpointStore`:
+``root/<fingerprint16>/wave-0003.json``, so several panels can share
+one store root without clobbering each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.runtime.atomicio import atomic_write_text, sweep_stale_tmp_files
+from repro.runtime.checkpoint import _shard_from_json, _shard_to_json
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.executor import ShardResult
+
+__all__ = ["PanelStore"]
+
+FORMAT_VERSION = 1
+_NAMESPACE_DIGITS = 16
+
+
+class PanelStore:
+    """One panel campaign's persisted waves under a directory."""
+
+    def __init__(self, directory: str | Path, fingerprint: str):
+        self._directory = Path(directory)
+        self._fingerprint = fingerprint
+
+    @property
+    def directory(self) -> Path:
+        """The store root (shared across panels)."""
+        return self._directory
+
+    @property
+    def panel_directory(self) -> Path:
+        """This panel's namespaced subdirectory under the root."""
+        return self._directory / self._fingerprint[:_NAMESPACE_DIGITS]
+
+    @property
+    def fingerprint(self) -> str:
+        """The panel fingerprint these waves belong to."""
+        return self._fingerprint
+
+    def wave_path(self, wave: int) -> Path:
+        """Path of one wave's document."""
+        return self.panel_directory / f"wave-{wave:04d}.json"
+
+    def save_wave(
+        self,
+        wave: int,
+        horizon_years: int,
+        cells: "ShardResult",
+        counts: dict[str, int],
+    ) -> Path:
+        """Publish one completed wave atomically."""
+        self.panel_directory.mkdir(parents=True, exist_ok=True)
+        cell_payload = json.dumps(_shard_to_json(cells), sort_keys=True,
+                                  separators=(",", ":"))
+        document = {
+            "format": FORMAT_VERSION,
+            "fingerprint": self._fingerprint,
+            "wave": wave,
+            "horizon_years": horizon_years,
+            "counts": counts,
+            "cells_sha256": hashlib.sha256(
+                cell_payload.encode("utf-8")).hexdigest(),
+            "cells": cell_payload,
+        }
+        path = self.wave_path(wave)
+        atomic_write_text(path, json.dumps(document, sort_keys=True))
+        sweep_stale_tmp_files(self.panel_directory)
+        return path
+
+    def load_wave(
+        self, wave: int
+    ) -> "tuple[ShardResult, dict] | None":
+        """Reload one wave: ``(cells, manifest)`` or ``None``.
+
+        ``None`` covers every way the wave can be unusable — missing,
+        torn, checksum-mismatched, foreign fingerprint, or written by
+        an incompatible format version — so callers simply recompute.
+        """
+        path = self.wave_path(wave)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (not isinstance(document, dict)
+                or document.get("format") != FORMAT_VERSION
+                or document.get("fingerprint") != self._fingerprint
+                or document.get("wave") != wave):
+            return None
+        cell_payload = document.get("cells")
+        if (not isinstance(cell_payload, str)
+                or hashlib.sha256(cell_payload.encode("utf-8")).hexdigest()
+                != document.get("cells_sha256")):
+            return None
+        try:
+            cells = _shard_from_json(json.loads(cell_payload))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+        manifest = {
+            "wave": wave,
+            "horizon_years": document.get("horizon_years"),
+            "counts": dict(document.get("counts", {})),
+        }
+        return cells, manifest
+
+    def waves(self) -> list[int]:
+        """Indices of waves currently stored, sorted."""
+        if not self.panel_directory.exists():
+            return []
+        indices = []
+        for path in sorted(self.panel_directory.glob("wave-*.json")):
+            try:
+                indices.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return indices

@@ -45,6 +45,7 @@ from repro.runtime.distributed import (
 from repro.runtime.executor import (
     RuntimeConfig,
     ShardResult,
+    dispatch_shards,
     execute_campaign,
     run_shard,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "cache_max_bytes_from_environment",
     "world_digest",
     "campaign_fingerprint",
+    "dispatch_shards",
     "enumerate_q12_cells",
     "execute_campaign",
     "merge_shard_results",

@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "AuditCache",
     "audit_digest",
+    "content_digest",
     "world_digest",
     "cache_dir_from_environment",
     "cache_max_bytes_from_environment",
@@ -61,6 +62,19 @@ _PICKLE_LOAD_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError,
                        ImportError, OSError)
 
 
+def content_digest(payload: dict) -> str:
+    """SHA-256 of a payload's canonical JSON form.
+
+    The one fingerprinting idiom every store shares (audit cache,
+    checkpoints, panel store, autotune plans, per-cell wave digests):
+    sorted keys, no whitespace, UTF-8. Canonicalization must never
+    drift between stores — a digest written by one and compared by
+    another would silently stop matching — so it lives only here.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def audit_digest(
     scenario: ScenarioConfig,
     policy: SamplingPolicy | None,
@@ -70,15 +84,13 @@ def audit_digest(
     """Content address of one audit: every input that determines it —
     scenario, policy, ISP set, and the urban-survey toggle."""
     policy = policy or SamplingPolicy()
-    payload = {
+    return content_digest({
         "format": CACHE_FORMAT_VERSION,
         "scenario": asdict(scenario),
         "policy": asdict(policy),
         "isps": sorted(isps),
         "use_urban_survey": use_urban_survey,
-    }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    })
 
 
 def world_digest(scenario: ScenarioConfig) -> str:
@@ -88,12 +100,10 @@ def world_digest(scenario: ScenarioConfig) -> str:
     world is fully determined by the scenario's seed and shape, which
     is what lets audits with different policies share one build.
     """
-    payload = {
+    return content_digest({
         "format": CACHE_FORMAT_VERSION,
         "scenario": asdict(scenario),
-    }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    })
 
 
 def cache_dir_from_environment() -> str | None:

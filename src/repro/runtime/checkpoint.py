@@ -45,6 +45,7 @@ from repro.core.sampling import SamplingPolicy
 from repro.isp.plans import BroadbandPlan
 from repro.persist.store import _sha256
 from repro.runtime.atomicio import atomic_write_text, sweep_stale_tmp_files
+from repro.runtime.cache import content_digest
 from repro.runtime.shards import Q12Cell
 from repro.synth.scenario import ScenarioConfig
 
@@ -71,7 +72,7 @@ def campaign_fingerprint(
     set, state subsets, replacement budget, and shard count.
     """
     policy = policy or SamplingPolicy()
-    payload = {
+    return content_digest({
         "format": FORMAT_VERSION,
         "scenario": asdict(scenario),
         "policy": asdict(policy),
@@ -80,9 +81,7 @@ def campaign_fingerprint(
         "q3_states": list(q3_states or scenario.q3_states),
         "max_replacements": max_replacements,
         "shard_count": shard_count,
-    }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    })
 
 
 # ----------------------------------------------------------------------

@@ -152,7 +152,18 @@ def read_frame(stream: BinaryIO) -> dict:
 # Message codecs (scenario/spec/policy travel as JSON, exactly)
 # ----------------------------------------------------------------------
 
-def _scenario_from_json(data: dict) -> ScenarioConfig:
+def _scenario_from_json(data: dict):
+    if "base" in data:
+        # A longitudinal wave recipe: base scenario + churn model +
+        # horizon (repro.synth.churn.WaveScenario). Workers realize it
+        # instead of building the base world.
+        from repro.synth.churn import ChurnModel, WaveScenario
+
+        return WaveScenario(
+            base=_scenario_from_json(data["base"]),
+            years=data["years"],
+            model=ChurnModel(**data["model"]),
+        )
     data = dict(data)
     for key in ("states", "q3_states", "non_caf_fraction_range"):
         data[key] = tuple(data[key])
@@ -179,7 +190,7 @@ def _spec_from_json(data: dict) -> ShardSpec:
 
 
 def _lease_message(
-    scenario: ScenarioConfig,
+    scenario,
     spec: ShardSpec,
     policy: SamplingPolicy | None,
     engine_config: EngineConfig | None,
@@ -451,6 +462,7 @@ def run_shards_distributed(
     worker_command: tuple[str, ...] | None = None,
     first_worker_extra_args: tuple[str, ...] = (),
     max_respawns: int | None = None,
+    scenario=None,
 ) -> None:
     """Run shards on a leased worker fleet (the coordinator side).
 
@@ -461,8 +473,11 @@ def run_shards_distributed(
     — up to ``max_respawns`` (default: fleet size + 2) — and past
     that the campaign fails loudly rather than hanging.
 
-    ``first_worker_extra_args`` is the chaos hook the tests use to
-    hand exactly one worker a ``--die-after`` flag.
+    ``scenario`` is the world recipe leased to workers (default:
+    ``world.config``; a :class:`~repro.synth.churn.WaveScenario` for
+    evolved panel-wave worlds). ``first_worker_extra_args`` is the
+    chaos hook the tests use to hand exactly one worker a
+    ``--die-after`` flag.
     """
     specs = list(pending)
     if not specs:
@@ -472,7 +487,7 @@ def run_shards_distributed(
     if lease_timeout <= 0:
         raise ValueError("lease_timeout must be positive")
     workers = max(1, min(config.effective_workers, len(specs)))
-    scenario = world.config
+    scenario = scenario if scenario is not None else world.config
     board = _LeaseBoard(specs, on_complete)
 
     def make_lease(spec: ShardSpec) -> dict:
@@ -609,6 +624,49 @@ class AutotunePlan:
                 f"target)")
 
 
+def _autotune_plan_key(
+    world: World,
+    target_seconds: float,
+    pilot_shards: int,
+    shard_oversubscription: int,
+    policy: SamplingPolicy | None,
+    isps: tuple[str, ...],
+    states: tuple[str, ...] | None,
+    q3_states: tuple[str, ...] | None,
+    max_replacements: int,
+) -> str:
+    """Content key of one autotune decision: world digest + target +
+    every sizing input that shapes the pilot or the candidate fleet."""
+    from repro.runtime.cache import content_digest, world_digest
+
+    return content_digest({
+        "world": world_digest(world.config),
+        "target_seconds": target_seconds,
+        "pilot_shards": pilot_shards,
+        "shard_oversubscription": shard_oversubscription,
+        "policy": None if policy is None else asdict(policy),
+        "isps": list(isps),
+        "states": None if states is None else list(states),
+        "q3_states": None if q3_states is None else list(q3_states),
+        "max_replacements": max_replacements,
+    })[:16]
+
+
+def _load_autotune_plan(path: Path) -> AutotunePlan | None:
+    """Parse a persisted plan, or None when missing/damaged/stale."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    fields = {f.name for f in AutotunePlan.__dataclass_fields__.values()}
+    if not isinstance(data, dict) or set(data) != fields:
+        return None
+    try:
+        return AutotunePlan(**data)
+    except (TypeError, ValueError):
+        return None
+
+
 def autotune_runtime_config(
     world: World,
     target_seconds: float,
@@ -620,6 +678,7 @@ def autotune_runtime_config(
     isps: tuple[str, ...] = DEFAULT_ISPS,
     states: tuple[str, ...] | None = None,
     q3_states: tuple[str, ...] | None = None,
+    plan_dir: str | Path | None = None,
 ) -> AutotunePlan:
     """Pick ``workers``/``max_inflight``/``shards`` for a wall-clock target.
 
@@ -631,7 +690,15 @@ def autotune_runtime_config(
     cap. Shards are oversubscribed ``shard_oversubscription``-fold over
     the worker count so the lease board can rebalance around slow or
     dead workers at useful granularity.
+
+    ``plan_dir`` persists the decision: the plan is stored under a
+    content key of (world digest, target, sizing inputs), and a later
+    call with the same key returns the stored plan *without running
+    the pilot shard* — so a ``--resume`` of a fully-checkpointed
+    campaign (or any repeat run) no longer pays a serial pilot whose
+    work the fleet then discards.
     """
+    from repro.runtime.atomicio import atomic_write_text
     from repro.runtime.executor import run_shard
 
     if target_seconds <= 0:
@@ -640,6 +707,15 @@ def autotune_runtime_config(
         raise ValueError("pilot_shards must be positive")
     if shard_oversubscription < 1:
         raise ValueError("shard_oversubscription must be positive")
+    plan_path: Path | None = None
+    if plan_dir is not None:
+        key = _autotune_plan_key(world, target_seconds, pilot_shards,
+                                 shard_oversubscription, policy, isps,
+                                 states, q3_states, max_replacements)
+        plan_path = Path(plan_dir) / f"autotune-{key}.json"
+        stored = _load_autotune_plan(plan_path)
+        if stored is not None:
+            return stored
     specs = plan_shards(world, pilot_shards, isps=isps, states=states,
                         q3_states=q3_states)
     pilot = next((spec for spec in specs if spec.num_units), None)
@@ -670,7 +746,7 @@ def autotune_runtime_config(
         full_log, target_seconds,
         cap_for_loops=lambda loops:
             max(1, MAX_POLITE_WORKERS_PER_ISP // loops) * loops)
-    return AutotunePlan(
+    plan = AutotunePlan(
         shards=schedule.loops * shard_oversubscription,
         workers=schedule.loops,
         max_inflight=schedule.max_inflight,
@@ -679,3 +755,8 @@ def autotune_runtime_config(
         pilot_shards=pilot_shards,
         pilot_query_seconds=pilot_log.total_virtual_seconds(),
     )
+    if plan_path is not None:
+        plan_path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(plan_path, json.dumps(asdict(plan), indent=2,
+                                                sort_keys=True))
+    return plan

@@ -48,10 +48,10 @@ from repro.core.collection import (
 )
 from repro.core.sampling import SamplingPolicy
 from repro.runtime.shards import DEFAULT_ISPS, Q12Cell, ShardSpec, plan_shards
-from repro.synth.scenario import ScenarioConfig
 from repro.synth.world import World, build_world
 
-__all__ = ["RuntimeConfig", "ShardResult", "execute_campaign", "run_shard"]
+__all__ = ["RuntimeConfig", "ShardResult", "dispatch_shards",
+           "execute_campaign", "run_shard"]
 
 _BACKENDS = ("auto", "serial", "process", "async", "process+async",
              "distributed")
@@ -228,18 +228,22 @@ class ShardResult:
 
 # Per-process world cache for pool workers: rebuilding the world is the
 # expensive part of a shard, and every shard of one campaign shares it.
-_WORLD_CACHE: dict[ScenarioConfig, World] = {}
+# Keys are ScenarioConfig or any hashable recipe with a .realize()
+# (repro.synth.churn.WaveScenario — evolved panel-wave worlds).
+_WORLD_CACHE: dict = {}
 
 
-def _world_for(scenario: ScenarioConfig) -> World:
+def _world_for(scenario) -> World:
     if scenario not in _WORLD_CACHE:
         _WORLD_CACHE.clear()  # one campaign's world at a time per worker
-        _WORLD_CACHE[scenario] = build_world(scenario)
+        realize = getattr(scenario, "realize", None)
+        _WORLD_CACHE[scenario] = (realize() if realize is not None
+                                  else build_world(scenario))
     return _WORLD_CACHE[scenario]
 
 
 def run_shard(
-    scenario: ScenarioConfig,
+    scenario,
     spec: ShardSpec,
     policy: SamplingPolicy | None = None,
     engine_config: EngineConfig | None = None,
@@ -310,10 +314,11 @@ def _run_shards_serial(
     config: RuntimeConfig,
     per_isp_cap: int,
     on_complete,
+    scenario,
 ) -> None:
     for spec in pending:
         on_complete(run_shard(
-            world.config, spec, policy=policy, engine_config=engine_config,
+            scenario, spec, policy=policy, engine_config=engine_config,
             max_replacements=max_replacements, world=world,
             use_async=config.uses_async,
             max_inflight=config.effective_max_inflight,
@@ -330,10 +335,11 @@ def _run_shards_process(
     config: RuntimeConfig,
     per_isp_cap: int,
     on_complete,
+    scenario,
 ) -> None:
     with ProcessPoolExecutor(max_workers=config.effective_workers) as pool:
         futures = [
-            pool.submit(run_shard, world.config, spec, policy,
+            pool.submit(run_shard, scenario, spec, policy,
                         engine_config, max_replacements,
                         use_async=config.uses_async,
                         max_inflight=config.effective_max_inflight,
@@ -342,6 +348,54 @@ def _run_shards_process(
         ]
         for future in as_completed(futures):
             on_complete(future.result())
+
+
+def dispatch_shards(
+    world: World,
+    pending: list[ShardSpec],
+    config: RuntimeConfig,
+    on_complete,
+    policy: SamplingPolicy | None = None,
+    engine_config: EngineConfig | None = None,
+    max_replacements: int = 2,
+    scenario=None,
+) -> None:
+    """Run ``pending`` shard specs on the configured backend.
+
+    The execution core shared by :func:`execute_campaign` and the
+    longitudinal delta collector (:mod:`repro.longitudinal.campaign`),
+    which runs arbitrary *subsets* of a campaign's cells. ``scenario``
+    is the world recipe shipped to worker processes; it defaults to
+    ``world.config`` and must be overridden (with a
+    :class:`~repro.synth.churn.WaveScenario`) when ``world`` is an
+    evolved wave world that its config alone cannot rebuild.
+
+    ``on_complete`` fires once per finished shard, serialized, in
+    completion order.
+    """
+    if not pending:
+        return
+    scenario = scenario if scenario is not None else world.config
+    # Budget for the shards actually left to run: a resumed tail gets
+    # the politeness headroom its smaller in-flight count allows.
+    per_isp_cap = config.per_shard_isp_cap_for(len(pending))
+    if config.effective_backend == "distributed":
+        from repro.runtime.distributed import run_shards_distributed
+
+        run_shards_distributed(world, pending, policy, engine_config,
+                               max_replacements, config, per_isp_cap,
+                               on_complete,
+                               lease_timeout=config.lease_timeout,
+                               scenario=scenario)
+    elif (config.effective_backend in ("process", "process+async")
+            and len(pending) > 1):
+        _run_shards_process(world, pending, policy, engine_config,
+                            max_replacements, config, per_isp_cap,
+                            on_complete, scenario)
+    else:
+        _run_shards_serial(world, pending, policy, engine_config,
+                           max_replacements, config, per_isp_cap,
+                           on_complete, scenario)
 
 
 def execute_campaign(
@@ -402,25 +456,9 @@ def execute_campaign(
             on_progress(len(completed), len(specs), result, False)
 
     pending = [spec for spec in specs if spec.index not in completed]
-    # Budget for the shards actually left to run: a resumed tail gets
-    # the politeness headroom its smaller in-flight count allows.
-    per_isp_cap = config.per_shard_isp_cap_for(len(pending))
-    if config.effective_backend == "distributed" and pending:
-        from repro.runtime.distributed import run_shards_distributed
-
-        run_shards_distributed(world, pending, policy, engine_config,
-                               max_replacements, config, per_isp_cap,
-                               on_complete,
-                               lease_timeout=config.lease_timeout)
-    elif (config.effective_backend in ("process", "process+async")
-            and len(pending) > 1):
-        _run_shards_process(world, pending, policy, engine_config,
-                            max_replacements, config, per_isp_cap,
-                            on_complete)
-    else:
-        _run_shards_serial(world, pending, policy, engine_config,
-                           max_replacements, config, per_isp_cap,
-                           on_complete)
+    dispatch_shards(world, pending, config, on_complete, policy=policy,
+                    engine_config=engine_config,
+                    max_replacements=max_replacements)
 
     return merge_shard_results(
         world, specs, completed, policy=policy,

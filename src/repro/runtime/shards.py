@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from repro.core.pipeline import CAF_STUDY_ISP_IDS as DEFAULT_ISPS
 from repro.synth.world import World
 
-__all__ = ["Q12Cell", "ShardSpec", "enumerate_q12_cells", "plan_shards"]
+__all__ = ["Q12Cell", "ShardSpec", "deal_shards", "enumerate_q12_cells",
+           "plan_shards"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,36 @@ def enumerate_q12_cells(
     return cells
 
 
+def deal_shards(
+    q12_cells: list[Q12Cell],
+    q3_blocks: list[str],
+    shard_count: int,
+) -> list[ShardSpec]:
+    """Deal cells round-robin onto ``shard_count`` shards.
+
+    The one partitioning rule every planner shares — the full campaign
+    (:func:`plan_shards`) and the longitudinal delta collector, whose
+    checkpoint fingerprints bake in the shard layout.
+    """
+    if shard_count < 1:
+        raise ValueError("shard count must be positive")
+    q12_by_shard: list[list[Q12Cell]] = [[] for _ in range(shard_count)]
+    q3_by_shard: list[list[str]] = [[] for _ in range(shard_count)]
+    for position, cell in enumerate(q12_cells):
+        q12_by_shard[position % shard_count].append(cell)
+    for position, block in enumerate(q3_blocks):
+        q3_by_shard[position % shard_count].append(block)
+    return [
+        ShardSpec(
+            index=index,
+            count=shard_count,
+            q12_cells=tuple(q12_by_shard[index]),
+            q3_blocks=tuple(q3_by_shard[index]),
+        )
+        for index in range(shard_count)
+    ]
+
+
 def plan_shards(
     world: World,
     shard_count: int,
@@ -92,20 +123,8 @@ def plan_shards(
 
     if shard_count < 1:
         raise ValueError("shard count must be positive")
-    q12 = enumerate_q12_cells(world, isps=isps, states=states)
-    q3 = q3_block_candidates(world, states=q3_states)
-    q12_by_shard: list[list[Q12Cell]] = [[] for _ in range(shard_count)]
-    q3_by_shard: list[list[str]] = [[] for _ in range(shard_count)]
-    for position, cell in enumerate(q12):
-        q12_by_shard[position % shard_count].append(cell)
-    for position, block in enumerate(q3):
-        q3_by_shard[position % shard_count].append(block)
-    return [
-        ShardSpec(
-            index=index,
-            count=shard_count,
-            q12_cells=tuple(q12_by_shard[index]),
-            q3_blocks=tuple(q3_by_shard[index]),
-        )
-        for index in range(shard_count)
-    ]
+    return deal_shards(
+        enumerate_q12_cells(world, isps=isps, states=states),
+        q3_block_candidates(world, states=q3_states),
+        shard_count,
+    )

@@ -15,6 +15,20 @@ one-shot audit can be measured instead of argued about:
 ``churned_world`` returns a *new* world sharing geography and
 certifications but with evolved truth and fresh storefronts, so the
 same audit can run on both and the drift be compared.
+
+Churn comes in two granularities. The per-address rates model
+individual subscribers' plans drifting; ``cell_rate`` additionally
+gates each year's churn to a random subset of (ISP, CBG) *cells* —
+ISPs upgrade plant by neighborhood, not by household, so real drift is
+spatially correlated. Cell-gated churn is what makes longitudinal
+re-audits (:mod:`repro.longitudinal`) an O(churn) problem: a wave in
+which 10% of cells churned invalidates ~10% of the prior wave's
+per-cell results instead of all of them.
+
+The evolution is a proper Markov chain in the year index: for a fixed
+seed, ``churned_world(w, years=k)`` is exactly the state reached by
+continuing ``churned_world(w, years=k - 1)`` one more year, which is
+what lets a panel diff consecutive waves cell by cell.
 """
 
 from __future__ import annotations
@@ -26,23 +40,32 @@ from repro.isp.deployment import GroundTruth, ServiceTruth
 from repro.isp.plans import BroadbandPlan
 from repro.isp.profiles import profile_for
 from repro.stats.distributions import stable_rng
-from repro.synth.world import World
+from repro.synth.scenario import ScenarioConfig
+from repro.synth.world import World, build_world
 
-__all__ = ["ChurnModel", "churned_world"]
+__all__ = ["ChurnModel", "WaveScenario", "churned_world"]
 
 
 @dataclass(frozen=True)
 class ChurnModel:
-    """Annual plan-churn rates."""
+    """Annual plan-churn rates.
+
+    ``cell_rate`` is the probability that one (ISP, CBG) cell churns at
+    all in a given year; within a churning cell the per-address rates
+    apply. The default 1.0 reproduces the original uncorrelated model
+    (every cell eligible every year).
+    """
 
     upgrade_rate: float = 0.10
     new_deployment_rate: float = 0.03
     retirement_rate: float = 0.01
     upgrade_speed_multiplier: float = 2.0
     upgrade_price_multiplier: float = 1.08
+    cell_rate: float = 1.0
 
     def __post_init__(self) -> None:
-        for name in ("upgrade_rate", "new_deployment_rate", "retirement_rate"):
+        for name in ("upgrade_rate", "new_deployment_rate",
+                     "retirement_rate", "cell_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability")
@@ -65,14 +88,39 @@ def _upgraded_plan(plan: BroadbandPlan, model: ChurnModel) -> BroadbandPlan:
     )
 
 
+def _address_cbg(world: World, address_id: str) -> str:
+    """The CBG an address churns with (its cell-gating key)."""
+    address = world.caf_addresses.get(address_id)
+    if address is None and address_id in world.zillow:
+        address = world.zillow.lookup(address_id)
+    return address.block_group_geoid if address is not None else ""
+
+
 def _evolve_truth(
     world: World, model: ChurnModel, years: int, seed: int
 ) -> GroundTruth:
     evolved = GroundTruth()
+    # (isp, cbg, year) → did that cell churn that year. One stable draw
+    # per key, shared by every address in the cell — the spatial
+    # correlation that keeps unchanged cells byte-stable across waves.
+    cell_active: dict[tuple[str, str, int], bool] = {}
+
+    def active(isp_id: str, cbg: str, year: int) -> bool:
+        if model.cell_rate >= 1.0:
+            return True
+        key = (isp_id, cbg, year)
+        if key not in cell_active:
+            roll = stable_rng(seed, "churn-cell", isp_id, cbg, year).random()
+            cell_active[key] = roll < model.cell_rate
+        return cell_active[key]
+
     for (isp_id, address_id) in world.ground_truth.pairs():
         state = world.ground_truth.truth_for(isp_id, address_id)
         rng = stable_rng(seed, "churn", isp_id, address_id)
+        cbg = _address_cbg(world, address_id)
         for _year in range(years):
+            if not active(isp_id, cbg, _year):
+                continue
             if state.serves:
                 roll = rng.random()
                 if roll < model.retirement_rate:
@@ -119,3 +167,47 @@ def churned_world(
         for isp_id in world.websites
     }
     return replace(world, ground_truth=truth, websites=websites)
+
+
+@dataclass(frozen=True)
+class WaveScenario:
+    """One panel wave's world, as a rebuildable recipe.
+
+    The runtime's process and distributed backends rebuild worlds from
+    the scenario they are handed (workers never receive the
+    multi-megabyte world object over the pipe). An evolved wave world
+    keeps its base :class:`~repro.synth.scenario.ScenarioConfig`, which
+    alone cannot reproduce it — so this wrapper carries the full
+    recipe: base scenario, churn model, and the horizon in years.
+    :meth:`realize` replays it deterministically; the executor's
+    per-process world cache calls it exactly like ``build_world``.
+    """
+
+    base: ScenarioConfig
+    years: int = 0
+    model: ChurnModel = ChurnModel()
+
+    def __post_init__(self) -> None:
+        if self.years < 0:
+            raise ValueError("years must be non-negative")
+
+    # Passthroughs so fingerprinting and shard planning code that reads
+    # scenario.{seed,states,q3_states} accepts either scenario kind.
+    @property
+    def seed(self) -> int:
+        return self.base.seed
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        return self.base.states
+
+    @property
+    def q3_states(self) -> tuple[str, ...]:
+        return self.base.q3_states
+
+    def realize(self) -> World:
+        """Build the base world and evolve it to this wave's horizon."""
+        world = build_world(self.base)
+        if self.years == 0:
+            return world
+        return churned_world(world, years=self.years, model=self.model)

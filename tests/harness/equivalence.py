@@ -18,6 +18,13 @@ assert
   stays within its budget, and the fleet-wide product never exceeds
   ``MAX_POLITE_WORKERS_PER_ISP``.
 
+The longitudinal analogue (:func:`assert_panel_replay_equivalent`)
+extends the matrix in the time dimension: a panel wave's merged
+logbook — replayed unchanged cells plus freshly queried changed cells
+— must be byte-identical to a from-scratch re-collection of the same
+evolved world, while actually replaying (the incremental path must
+not degenerate into a quiet full re-query).
+
 The serialization reuses the checkpoint codec, which round-trips
 floats by shortest ``repr`` — so byte equality here really is record
 equality, elapsed-seconds included.
@@ -29,9 +36,12 @@ import json
 from dataclasses import dataclass
 
 from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
+from repro.core.collection import CollectionCampaign, collect_q3_dataset
+from repro.longitudinal import PanelCampaign, WaveOutcome
 from repro.runtime import RuntimeConfig, execute_campaign, enumerate_q12_cells
 from repro.runtime.checkpoint import _record_to_json
 from repro.runtime.shards import DEFAULT_ISPS
+from repro.synth.churn import ChurnModel, churned_world
 from repro.synth.world import World
 
 __all__ = [
@@ -40,6 +50,8 @@ __all__ = [
     "canonical_logbook_bytes",
     "run_backend",
     "assert_backends_equivalent",
+    "assert_panel_replay_equivalent",
+    "scratch_wave_bytes",
 ]
 
 
@@ -172,3 +184,74 @@ def assert_backends_equivalent(
                 f"{run.label} fleet-wide {isp} concurrency could reach "
                 f"{peak * run.config.concurrent_shards}")
     return runs
+
+
+# ----------------------------------------------------------------------
+# Longitudinal: incremental wave == from-scratch re-collection
+# ----------------------------------------------------------------------
+
+def scratch_wave_bytes(
+    world: World,
+    model: ChurnModel,
+    horizon_years: int,
+    isps: tuple[str, ...] = DEFAULT_ISPS,
+    states: tuple[str, ...] | None = None,
+    q3_states: tuple[str, ...] | None = None,
+) -> bytes:
+    """One wave's logbook, re-collected from scratch (the oracle).
+
+    Deliberately bypasses the runtime: the sequential
+    :class:`~repro.core.collection.CollectionCampaign` loops over the
+    independently evolved world, so the panel's replay merge is tested
+    against a path that shares none of its machinery.
+    """
+    evolved = (world if horizon_years == 0
+               else churned_world(world, years=horizon_years, model=model))
+    collection = CollectionCampaign(evolved).run(isps=isps, states=states)
+    q3 = collect_q3_dataset(evolved, states=q3_states)
+    return canonical_logbook_bytes(collection, q3)
+
+
+def assert_panel_replay_equivalent(
+    world: World,
+    model: ChurnModel,
+    horizons: tuple[int, ...] = (1, 2, 3),
+    runtime: RuntimeConfig | None = None,
+    expect_replay: bool = True,
+    **subset,
+) -> list[WaveOutcome]:
+    """Run a panel incrementally and prove each wave against scratch.
+
+    Asserts, per wave: the merged logbook is byte-identical to a
+    from-scratch re-collection of that wave's evolved world; the
+    fresh/replayed accounting conserves the cell count; and (for
+    follow-up waves, when ``expect_replay``) the incremental path
+    actually replayed something — equality of two full re-queries
+    would prove nothing about delta planning.
+    """
+    campaign = PanelCampaign(world, model=model, horizons=horizons,
+                             runtime=runtime, **subset)
+    outcomes = campaign.run()
+    replayed_total = 0
+    for outcome in outcomes:
+        incremental = canonical_logbook_bytes(outcome.collection, outcome.q3)
+        scratch = scratch_wave_bytes(world, model, outcome.horizon_years,
+                                     **subset)
+        assert incremental == scratch, (
+            f"wave {outcome.wave} (+{outcome.horizon_years}y) incremental "
+            f"logbook diverged from from-scratch re-collection")
+        assert (outcome.fresh_q12 + outcome.replayed_q12
+                == outcome.delta.total_q12), (
+            f"wave {outcome.wave} lost Q1/Q2 cells in the fold")
+        assert (outcome.fresh_q3 + outcome.replayed_q3
+                == outcome.delta.total_q3), (
+            f"wave {outcome.wave} lost Q3 blocks in the fold")
+        if outcome.wave > 0:
+            replayed_total += outcome.replayed_q12 + outcome.replayed_q3
+    assert outcomes[0].replayed_q12 == outcomes[0].replayed_q3 == 0, (
+        "the snapshot wave has nothing to replay from")
+    if expect_replay and len(outcomes) > 1:
+        assert replayed_total > 0, (
+            "no cell was ever replayed — the delta planner degenerated "
+            "into full re-collection and the equivalence is vacuous")
+    return outcomes

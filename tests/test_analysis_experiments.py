@@ -18,7 +18,7 @@ class TestRegistry:
     def test_every_paper_artifact_has_an_experiment(self):
         expected = {f"figure{i}" for i in range(1, 13)} | {
             "table1", "table2", "table3", "table4", "headline",
-            "carriage", "equity", "staleness"}
+            "carriage", "equity", "staleness", "panel"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_raises(self, context):

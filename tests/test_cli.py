@@ -333,3 +333,47 @@ class TestDistributedBackendFlags:
         captured = capsys.readouterr()
         assert captured.out == sequential
         assert "autotuned fleet:" in captured.err
+
+
+@pytest.mark.longitudinal
+class TestPanelCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["panel"])
+        assert args.waves == 3
+        assert args.churn_cell_rate == pytest.approx(0.10)
+        assert args.years_per_wave == 1
+
+    def test_panel_runs_and_reports_reuse(self, capsys):
+        assert main(["panel", "--waves", "1",
+                     "--churn-cell-rate", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "[wave 0] snapshot" in out
+        assert "[wave 1] +1y" in out
+        assert "replayed" in out
+        assert "serviceability" in out
+
+    def test_panel_store_resume_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "panel")
+        assert main(["panel", "--waves", "1", "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert main(["panel", "--waves", "1", "--store", store,
+                     "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "restored from store" in resumed
+        # Same drift numbers, whether replayed or re-collected.
+        assert [line.split("(")[0] for line in resumed.splitlines()
+                if "serviceability" in line] == \
+            [line.split("(")[0] for line in first.splitlines()
+             if "serviceability" in line]
+
+    def test_invalid_waves_exit_2(self, capsys):
+        assert main(["panel", "--waves", "0"]) == 2
+        assert "--waves" in capsys.readouterr().err
+
+    def test_invalid_churn_rate_exit_2(self, capsys):
+        assert main(["panel", "--churn-cell-rate", "1.5"]) == 2
+        assert "probability" in capsys.readouterr().err
+
+    def test_resume_without_store_exit_2(self, capsys):
+        assert main(["panel", "--resume"]) == 2
+        assert "resume" in capsys.readouterr().err

@@ -13,11 +13,13 @@ import pytest
 
 from harness.equivalence import (
     assert_backends_equivalent,
+    assert_panel_replay_equivalent,
     backend_matrix,
     run_backend,
 )
 from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
 from repro.runtime import RuntimeConfig
+from repro.synth.churn import ChurnModel
 from repro.synth.scenario import ScenarioConfig
 from repro.synth.world import build_world
 
@@ -84,3 +86,53 @@ def test_equivalence_holds_with_divided_politeness_budget(world):
     ]
     assert runs[0].logbook == runs[1].logbook
     assert runs[1].config.per_shard_isp_cap == MAX_POLITE_WORKERS_PER_ISP // 4
+
+
+# ----------------------------------------------------------------------
+# The longitudinal column of the matrix: incremental panel waves must
+# be byte-identical to from-scratch re-collection of each evolved world.
+# ----------------------------------------------------------------------
+
+@pytest.mark.longitudinal
+def test_panel_replay_equivalent_three_waves(world):
+    """The acceptance scenario: a 3-wave panel at the default sparse
+    churn replays unchanged cells yet reproduces every wave's logbook
+    byte for byte."""
+    outcomes = assert_panel_replay_equivalent(
+        world, model=ChurnModel(cell_rate=0.3), horizons=(1, 2, 3),
+        **SUBSET)
+    # Non-degenerate: real records, and real incremental savings.
+    assert len(outcomes[0].collection.log) > 0
+    assert any(o.fresh_q12 + o.fresh_q3
+               < o.delta.total_q12 + o.delta.total_q3
+               for o in outcomes[1:])
+
+
+@pytest.mark.longitudinal
+def test_panel_replay_equivalent_at_default_churn(world):
+    """The default panel churn model (10% of cells per year), three
+    waves — the configuration `repro panel` ships with."""
+    from repro.longitudinal import DEFAULT_PANEL_CHURN
+
+    assert_panel_replay_equivalent(
+        world, model=DEFAULT_PANEL_CHURN, horizons=(1, 2, 3), **SUBSET)
+
+
+@pytest.mark.longitudinal
+def test_panel_replay_equivalent_under_sharded_runtime(world):
+    """Delta collections routed through the sharded runtime (the same
+    machinery the backend matrix exercises) must merge to the same
+    bytes as from-scratch re-collection."""
+    assert_panel_replay_equivalent(
+        world, model=ChurnModel(cell_rate=0.3), horizons=(1, 2),
+        runtime=RuntimeConfig(shards=3, backend="serial"), **SUBSET)
+
+
+@pytest.mark.longitudinal
+def test_panel_replay_equivalent_under_dense_churn(world):
+    """Per-address (uncorrelated) churn changes nearly every cell —
+    the delta planner must degrade gracefully to ~full re-collection
+    and still be byte-exact."""
+    assert_panel_replay_equivalent(
+        world, model=ChurnModel(), horizons=(1,), expect_replay=False,
+        **SUBSET)

@@ -9,7 +9,7 @@ class TestPublicSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_top_level_exports(self):
         import repro
@@ -20,8 +20,8 @@ class TestPublicSurface:
     @pytest.mark.parametrize("module", [
         "repro.addresses", "repro.analysis", "repro.bead", "repro.bqt",
         "repro.core", "repro.fcc", "repro.geo", "repro.isp",
-        "repro.persist", "repro.stats", "repro.synth", "repro.tabular",
-        "repro.usac",
+        "repro.longitudinal", "repro.persist", "repro.stats",
+        "repro.synth", "repro.tabular", "repro.usac",
     ])
     def test_subpackage_all_exports_resolve(self, module):
         imported = importlib.import_module(module)

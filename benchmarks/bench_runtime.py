@@ -12,14 +12,21 @@ Two speedups matter and both are reported:
   Reported only when the host has the cores to show it (a single-core
   CI box runs the pool at a slowdown, not a speedup).
 
+Like ``bench_longitudinal.py``, the results are also written
+machine-readable — ``benchmarks/BENCH_runtime.json`` — so runtime
+bench trajectories can be tracked across commits; each test merges
+its own section into the artifact.
+
 Run at study scale with ``REPRO_SCALE=small`` (the acceptance
 configuration) or ``paper``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.bqt.logbook import QueryLog
 from repro.bqt.scheduler import schedule_campaign
@@ -28,6 +35,23 @@ from repro.runtime import AuditCache, RuntimeConfig, audit_digest, execute_campa
 
 SHARD_COUNTS = (1, 2, 4, 8)
 WORKER_COUNTS = (1, 2, 4, 8)
+OUTPUT_PATH = Path(__file__).with_name("BENCH_runtime.json")
+
+
+def _merge_results(section: str, payload: dict) -> None:
+    """Merge one test's section into the shared artifact, so the two
+    benchmark tests can run in any order (or alone) without clobbering
+    each other's numbers."""
+    try:
+        results = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+        if not isinstance(results, dict):
+            results = {}
+    except (OSError, json.JSONDecodeError):
+        results = {}
+    results["benchmark"] = "runtime"
+    results[section] = payload
+    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
 
 
 def _merged_log(collection, q3) -> QueryLog:
@@ -75,6 +99,7 @@ def test_shard_speedup_curve(benchmark, context):
     # count at every shard count (merge is bit-identical; see tests).
     assert len(log) > 0
 
+    pool_seconds = distributed_seconds = None
     if (os.cpu_count() or 1) >= 4:
         start = time.perf_counter()
         execute_campaign(world, RuntimeConfig(shards=8, workers=4,
@@ -95,6 +120,26 @@ def test_shard_speedup_curve(benchmark, context):
               f"{distributed_seconds:.2f}s "
               f"(host speedup x{host_seconds[1] / distributed_seconds:.2f}, "
               f"x{pool_seconds / distributed_seconds:.2f} vs process pool)")
+
+    _merge_results("sharding", {
+        "scale": {
+            "seed": world.config.seed,
+            "address_scale": world.config.address_scale,
+        },
+        "host_seconds_by_shards": {
+            str(shards): round(seconds, 4)
+            for shards, seconds in host_seconds.items()
+        },
+        "virtual_speedup_by_workers": {
+            str(workers): round(speedup, 4)
+            for workers, speedup in speedups.items()
+        },
+        "process_pool_seconds": (None if pool_seconds is None
+                                 else round(pool_seconds, 4)),
+        "distributed_seconds": (None if distributed_seconds is None
+                                else round(distributed_seconds, 4)),
+    })
+    print(f"wrote {OUTPUT_PATH}")
 
 
 def test_cache_hit_speedup(benchmark, context, tmp_path):
@@ -120,3 +165,9 @@ def test_cache_hit_speedup(benchmark, context, tmp_path):
     print(f"audit cold: {cold_seconds:.2f}s, cached: {warm_seconds:.2f}s "
           f"(x{cold_seconds / max(warm_seconds, 1e-9):.0f})")
     assert warm_seconds < cold_seconds
+    _merge_results("cache", {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 2),
+    })
+    print(f"wrote {OUTPUT_PATH}")

@@ -18,9 +18,8 @@ from __future__ import annotations
 import math
 
 from repro.analysis.context import ExperimentContext
+from repro.analysis.incremental import WaveRowCache, row_cache_for, wave_analysis
 from repro.analysis.result import ExperimentResult
-from repro.core.audit import AuditDataset, ComplianceStandard
-from repro.fcc.urban_rate_survey import generate_urban_rate_survey
 from repro.longitudinal import DEFAULT_PANEL_CHURN, PanelCampaign, WaveOutcome
 from repro.synth.churn import ChurnModel
 from repro.tabular import Table
@@ -28,18 +27,19 @@ from repro.tabular import Table
 __all__ = ["run", "wave_rates"]
 
 
-def wave_rates(outcome: WaveOutcome) -> tuple[float, float]:
+def wave_rates(outcome: WaveOutcome,
+               cache: WaveRowCache | None = None) -> tuple[float, float]:
     """One wave's (serviceability, compliance) rates.
 
     The same audit the snapshot ran, applied to the wave's merged
-    collection — shared by this experiment and the ``panel`` CLI.
+    collection — shared by this experiment, ``staleness``, and the
+    ``panel`` CLI. Folded from per-cell rows
+    (:mod:`repro.analysis.incremental`): with a ``cache`` carried
+    across waves, only cells whose world digest moved are recomputed,
+    byte-equal to the full-logbook recompute either way.
     """
-    survey = generate_urban_rate_survey(
-        seed=outcome.world.config.seed)
-    audit = AuditDataset(
-        outcome.collection.log, outcome.collection.cbg_totals,
-        world=outcome.world, standard=ComplianceStandard(survey=survey))
-    return audit.serviceability_rate(), audit.compliance_rate()
+    analysis = wave_analysis(outcome, cache=cache)
+    return analysis.serviceability, analysis.compliance
 
 
 def _survival_fraction(base: WaveOutcome, outcome: WaveOutcome) -> float:
@@ -70,9 +70,12 @@ def run(context: ExperimentContext,
     model = model or DEFAULT_PANEL_CHURN
     campaign = PanelCampaign(context.world, model=model,
                              horizons=tuple(range(1, waves + 1)))
+    # One row cache across the panel: each follow-up wave's analysis
+    # recomputes only the cells whose digest moved.
+    rows = row_cache_for(campaign)
     outcomes = campaign.run()
     base = outcomes[0]
-    base_serviceability, base_compliance = wave_rates(base)
+    base_serviceability, base_compliance = wave_rates(base, cache=rows)
 
     trajectory = []
     survival = 1.0
@@ -81,7 +84,7 @@ def run(context: ExperimentContext,
             serviceability, compliance = (base_serviceability,
                                           base_compliance)
         else:
-            serviceability, compliance = wave_rates(outcome)
+            serviceability, compliance = wave_rates(outcome, cache=rows)
             survival = _survival_fraction(base, outcome)
         trajectory.append({
             "wave": outcome.wave,
@@ -132,6 +135,8 @@ def run(context: ExperimentContext,
                 last["serviceability_drift_pp"],
             "compliance_drift_pp_final": last["compliance_drift_pp"],
             "mean_wave_reuse_fraction": mean_reuse,
+            "analysis_row_reuse_fraction":
+                rows.hits / max(1, rows.hits + rows.misses),
             "snapshot_cell_survival_final": last["snapshot_cell_survival"],
             "staleness_half_life_years": half_life,
         },
@@ -143,6 +148,9 @@ def run(context: ExperimentContext,
             "each wave's logbook is byte-identical to a from-scratch "
             "re-collection of the evolved world, but only cells whose "
             "world digest moved were re-queried (O(churn) per wave)",
+            "wave analyses fold digest-keyed per-cell rows: unchanged "
+            "cells reuse their cached audit row, byte-equal to a full "
+            "recompute from the merged logbook",
             "the half-life extrapolates the final wave's snapshot-cell "
             "survival as exponential decay — the horizon past which a "
             "one-shot audit describes less than half the world",

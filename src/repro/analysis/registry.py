@@ -46,7 +46,10 @@ EXPERIMENTS: Mapping[str, Callable[[ExperimentContext], ExperimentResult]] = {
     # Extensions beyond the paper's figures: §4.2's carriage-value
     # argument, §2.4's open equity question, and §8.1's staleness
     # limitation — the latter both as the original two-point drift
-    # check and as a full longitudinal panel.
+    # check and as a full longitudinal panel. Both longitudinal
+    # experiments fold digest-keyed per-cell audit rows
+    # (repro.analysis.incremental), so follow-up waves re-analyze
+    # only the cells whose world actually changed.
     "carriage": carriage.run,
     "equity": equity.run,
     "staleness": staleness.run,

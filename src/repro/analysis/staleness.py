@@ -19,6 +19,7 @@ the ``panel`` experiment (:mod:`repro.analysis.panel`).
 from __future__ import annotations
 
 from repro.analysis.context import ExperimentContext
+from repro.analysis.incremental import row_cache_for
 from repro.analysis.panel import wave_rates
 from repro.analysis.result import ExperimentResult
 from repro.longitudinal import PanelCampaign
@@ -45,10 +46,14 @@ def run(context: ExperimentContext,
     }]
     campaign = PanelCampaign(context.world, model=ChurnModel(),
                              horizons=horizons)
+    row_cache = row_cache_for(campaign)
     for outcome in campaign.waves():
         if outcome.wave == 0:
-            continue  # the snapshot row above came from the report
-        serviceability, compliance = wave_rates(outcome)
+            # The snapshot row above came from the report; still fold
+            # its rows so later horizons analyze incrementally.
+            wave_rates(outcome, cache=row_cache)
+            continue
+        serviceability, compliance = wave_rates(outcome, cache=row_cache)
         rows.append({
             "years_after_snapshot": outcome.horizon_years,
             "serviceability": serviceability,

@@ -8,7 +8,7 @@ Usage::
                   [--checkpoint-dir DIR] [--cache-dir DIR]
     caf-audit panel --waves N [--churn-cell-rate P] [--store DIR]
                     [--scale ...] [runtime flags as for run]
-    caf-audit worker --connect ADDRESS [--die-after N]
+    caf-audit worker --connect ADDRESS [--die-after N] [--wedge-after N]
     caf-audit experiment <id>... [--scale ...]
     caf-audit list
     caf-audit export --out DIR [--scale ...]
@@ -175,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--die-after", type=int, default=None, metavar="N",
         help="chaos testing: die abruptly (no goodbye frame) when the "
              "next lease arrives after completing N shards")
+    worker_parser.add_argument(
+        "--wedge-after", type=int, default=None, metavar="N",
+        help="chaos testing: wedge (stay alive but go silent — no "
+             "heartbeats, no result) on the next lease after "
+             "completing N shards")
 
     export_parser = subparsers.add_parser(
         "export", help="export audit datasets + manifest to a directory")
@@ -360,6 +365,7 @@ def _shard_progress_printer(stream=None):
 
 
 def _command_panel(args: argparse.Namespace) -> int:
+    from repro.analysis.incremental import row_cache_for
     from repro.analysis.panel import wave_rates
     from repro.longitudinal import PanelCampaign
     from repro.synth.churn import ChurnModel
@@ -418,9 +424,15 @@ def _command_panel(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"caf-audit panel: {error}", file=sys.stderr)
         return 2
+    # Per-cell audit rows carried across waves (and, with --store, runs):
+    # each follow-up wave's analysis recomputes only churned cells.
+    rows = row_cache_for(campaign, directory=args.store)
+    live_digests: set[str] = set()
     base_serviceability = base_compliance = None
     for outcome in campaign.waves():
-        serviceability, compliance = wave_rates(outcome)
+        live_digests.update(outcome.digests.q12.values())
+        live_digests.update(outcome.digests.q3.values())
+        serviceability, compliance = wave_rates(outcome, cache=rows)
         total = (outcome.fresh_q12 + outcome.replayed_q12
                  + outcome.fresh_q3 + outcome.replayed_q3)
         source = ("restored from store" if outcome.restored_from_store
@@ -443,6 +455,13 @@ def _command_panel(args: argparse.Namespace) -> int:
         print(f"         serviceability {serviceability:.2%}, "
               f"compliance {compliance:.2%}{drift}")
     if args.store:
+        # Bound the disk-backed row store to the digests this run
+        # actually analyzed — churned cells leave one stale row file
+        # per superseded digest behind otherwise. Keyed to the run's
+        # live digests (not the store's v2 manifests), so resuming a
+        # pre-1.5 panel whose waves are all format-1 documents cannot
+        # wipe the rows it just wrote.
+        rows.sweep_unreferenced(live_digests)
         print(f"panel store: {campaign.store.panel_directory}")
     return 0
 
@@ -477,8 +496,13 @@ def _command_worker(args: argparse.Namespace) -> int:
         print("caf-audit worker: --die-after must be non-negative",
               file=sys.stderr)
         return 2
+    if args.wedge_after is not None and args.wedge_after < 0:
+        print("caf-audit worker: --wedge-after must be non-negative",
+              file=sys.stderr)
+        return 2
     try:
-        return run_worker(args.connect, die_after=args.die_after)
+        return run_worker(args.connect, die_after=args.die_after,
+                          wedge_after=args.wedge_after)
     except (OSError, ValueError, FrameError) as error:
         # OSError covers the whole connect-failure family (refused
         # connections, missing socket paths, DNS failures, timeouts);

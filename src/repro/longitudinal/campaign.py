@@ -167,6 +167,11 @@ class PanelCampaign:
         return self._horizons
 
     @property
+    def world(self) -> World:
+        """The snapshot world the panel evolves."""
+        return self._world
+
+    @property
     def store(self) -> PanelStore | None:
         """The panel store, when one was configured."""
         return self._store
@@ -202,6 +207,13 @@ class PanelCampaign:
             outcome = self._run_wave(wave, horizon, prior)
             yield outcome
             prior = outcome
+        if self._store is not None:
+            # Every wave's manifest is on disk: reclaim CAS entries
+            # nothing references — crash leftovers (cells published,
+            # manifest write never reached) and quarantined damage.
+            # Digests are deterministic per (fingerprint, wave), so a
+            # healthy store sweeps nothing.
+            self._store.sweep_unreferenced_cells()
 
     def run(self) -> list[WaveOutcome]:
         """Run the panel to completion."""
@@ -241,7 +253,7 @@ class PanelCampaign:
                     "replayed_q12": delta.total_q12 - fresh_q12,
                     "fresh_q3": fresh_q3,
                     "replayed_q3": delta.total_q3 - fresh_q3,
-                })
+                }, digests)
         collection, q3 = self._merge(world, digests, cells)
         return WaveOutcome(
             wave=wave,

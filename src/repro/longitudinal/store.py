@@ -1,17 +1,42 @@
-"""The panel store: wave manifests + per-cell logbooks on disk.
+"""The panel store: a digest-keyed cell CAS + thin wave manifests.
 
-Each completed wave is published as one JSON document under the
-panel's fingerprint-namespaced directory — the wave's per-cell record
-streams (checkpoint codecs, exact float round-trip), its horizon, its
-fresh/replayed accounting, and a SHA-256 checksum of the cell payload.
-Writes use the shared atomic tmp-then-rename primitive, so a panel
-interrupted mid-wave resumes from the last intact wave; a damaged or
-foreign wave file is a miss (the wave recomputes), never a crash or a
-silent wrong replay.
+Format 2 splits each wave document in two:
+
+* **cell CAS** — every (ISP, CBG) cell's record stream and every Q3
+  block's outcome is one JSON file under ``cells/``, named by the
+  cell's *world digest* (:mod:`repro.longitudinal.digests`). Digest
+  equality ⟺ record equality, so a cell unchanged across waves is
+  stored once per **digest**, not once per wave: saving a wave writes
+  only the churned cells' files — O(churn) bytes, the storage analogue
+  of delta re-collection.
+* **wave manifests** — ``wave-0003.json`` holds the wave's horizon and
+  accounting plus an ordered list of ``(cell identity, digest)``
+  references; loading a wave reassembles the
+  :class:`~repro.runtime.executor.ShardResult` from the CAS in
+  manifest order.
+
+Every file is integrity-checked on load — cell payloads carry their
+:func:`~repro.runtime.cache.content_digest`, manifests checksum their
+reference list — and any damage (torn file, missing cell, foreign
+fingerprint, skewed format) makes the wave a miss that recomputes,
+never a crash or a silent wrong replay. Writes use the shared atomic
+tmp-then-rename primitive. Format-1 wave documents (the pre-CAS
+layout, whose ``cells`` payload was embedded as one double-encoded
+JSON string) stay loadable read-only, so an existing panel upgrades
+in place; new waves are always written as format 2.
+
+Cell files can be orphaned — a crash between publishing a wave's CAS
+entries and its manifest, a manifest damaged beyond recognition, or a
+quarantined-and-unlinked entry's replacement racing a reader.
+:meth:`PanelStore.sweep_unreferenced_cells` is the refcount-style
+collector — it deletes exactly the cell files no intact manifest
+references, so it is always safe to run, ``--resume`` included.
+(Panels at different horizons have different fingerprints and thus
+disjoint directories; they never share or orphan each other's cells.)
 
 The layout mirrors :class:`~repro.runtime.checkpoint.CheckpointStore`:
-``root/<fingerprint16>/wave-0003.json``, so several panels can share
-one store root without clobbering each other.
+``root/<fingerprint16>/...``, so several panels can share one store
+root without clobbering each other.
 """
 
 from __future__ import annotations
@@ -21,16 +46,65 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.runtime.atomicio import atomic_write_text, sweep_stale_tmp_files
-from repro.runtime.checkpoint import _shard_from_json, _shard_to_json
+from repro.runtime.atomicio import (
+    atomic_write_json,
+    atomic_write_text,
+    sweep_stale_tmp_files,
+)
+from repro.runtime.cache import content_digest
+from repro.runtime.checkpoint import (
+    _record_from_json,
+    _record_to_json,
+    _shard_from_json,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.longitudinal.digests import WaveDigests
     from repro.runtime.executor import ShardResult
 
 __all__ = ["PanelStore"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+# Format-1 documents (one self-contained JSON per wave) load read-only.
+_LEGACY_FORMAT_VERSION = 1
 _NAMESPACE_DIGITS = 16
+_CELLS_SUBDIR = "cells"
+
+
+def _q12_payload(cell, records) -> dict:
+    return {
+        "kind": "q12",
+        "isp_id": cell.isp_id,
+        "state": cell.state,
+        "cbg": cell.cbg,
+        "records": [_record_to_json(r) for r in records],
+    }
+
+
+def _q3_payload(block: str, outcome) -> dict:
+    return {
+        "kind": "q3",
+        "block_geoid": block,
+        "outcome": None if outcome is None else {
+            "incumbent_isp_id": outcome.incumbent_isp_id,
+            "records": [_record_to_json(r) for r in outcome.records],
+            "modes": outcome.modes,
+        },
+    }
+
+
+def _q3_outcome_from_payload(payload: dict):
+    from repro.core.collection import Q3BlockOutcome
+
+    outcome = payload["outcome"]
+    if outcome is None:
+        return None
+    return Q3BlockOutcome(
+        block_geoid=payload["block_geoid"],
+        incumbent_isp_id=outcome["incumbent_isp_id"],
+        records=tuple(_record_from_json(r) for r in outcome["records"]),
+        modes=dict(outcome["modes"]),
+    )
 
 
 class PanelStore:
@@ -51,13 +125,43 @@ class PanelStore:
         return self._directory / self._fingerprint[:_NAMESPACE_DIGITS]
 
     @property
+    def cells_directory(self) -> Path:
+        """The digest-keyed cell CAS under the panel directory."""
+        return self.panel_directory / _CELLS_SUBDIR
+
+    @property
     def fingerprint(self) -> str:
         """The panel fingerprint these waves belong to."""
         return self._fingerprint
 
     def wave_path(self, wave: int) -> Path:
-        """Path of one wave's document."""
+        """Path of one wave's manifest."""
         return self.panel_directory / f"wave-{wave:04d}.json"
+
+    def cell_path(self, digest: str) -> Path:
+        """Path of one cell's CAS entry."""
+        return self.cells_directory / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # saving
+    # ------------------------------------------------------------------
+
+    def _publish_cell(self, digest: str, payload: dict) -> bool:
+        """Write one CAS entry unless its digest is already present.
+
+        Returns whether a file was written — the per-wave write cost
+        is exactly the churned digests.
+        """
+        path = self.cell_path(digest)
+        if path.exists():
+            return False
+        atomic_write_json(path, {
+            "format": FORMAT_VERSION,
+            "digest": digest,
+            "payload_sha256": content_digest(payload),
+            "payload": payload,
+        })
+        return True
 
     def save_wave(
         self,
@@ -65,25 +169,142 @@ class PanelStore:
         horizon_years: int,
         cells: "ShardResult",
         counts: dict[str, int],
+        digests: "WaveDigests",
     ) -> Path:
-        """Publish one completed wave atomically."""
-        self.panel_directory.mkdir(parents=True, exist_ok=True)
-        cell_payload = json.dumps(_shard_to_json(cells), sort_keys=True,
-                                  separators=(",", ":"))
+        """Publish one completed wave: new CAS entries, then the
+        manifest (atomically) — a crash between the two leaves only
+        unreferenced cell files, which the sweep reclaims."""
+        self.cells_directory.mkdir(parents=True, exist_ok=True)
+        q12_refs = []
+        for cell, digest in digests.q12.items():
+            self._publish_cell(digest,
+                               _q12_payload(cell, cells.q12_records[cell]))
+            q12_refs.append([cell.isp_id, cell.state, cell.cbg, digest])
+        q3_refs = []
+        for block, digest in digests.q3.items():
+            self._publish_cell(digest,
+                               _q3_payload(block, cells.q3_outcomes[block]))
+            q3_refs.append([block, digest])
+        refs = {"q12": q12_refs, "q3": q3_refs}
         document = {
             "format": FORMAT_VERSION,
             "fingerprint": self._fingerprint,
             "wave": wave,
             "horizon_years": horizon_years,
             "counts": counts,
-            "cells_sha256": hashlib.sha256(
-                cell_payload.encode("utf-8")).hexdigest(),
-            "cells": cell_payload,
+            "cells_sha256": content_digest(refs),
+            "cells": refs,
         }
         path = self.wave_path(wave)
         atomic_write_text(path, json.dumps(document, sort_keys=True))
         sweep_stale_tmp_files(self.panel_directory)
+        sweep_stale_tmp_files(self.cells_directory)
         return path
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def _load_manifest(self, wave: int) -> dict | None:
+        """One wave's parsed manifest (format 1 or 2), or ``None``."""
+        try:
+            document = json.loads(
+                self.wave_path(wave).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (not isinstance(document, dict)
+                or document.get("format") not in (FORMAT_VERSION,
+                                                  _LEGACY_FORMAT_VERSION)
+                or document.get("fingerprint") != self._fingerprint
+                or document.get("wave") != wave):
+            return None
+        return document
+
+    def _load_cell_payload(self, digest: str) -> dict | None:
+        """One verified CAS payload, or ``None`` on any damage.
+
+        A *present but damaged* entry is quarantined (unlinked) before
+        returning the miss: ``_publish_cell`` skips digests whose file
+        exists, so without the unlink a corrupted referenced entry
+        would survive every recompute and force the wave to re-collect
+        on every later resume, forever. Unlinking makes the usual
+        miss-recompute-republish cycle heal the store instead. The
+        quarantine only fires for files *claiming this format* that
+        fail their checks (and torn non-JSON files, unreadable to any
+        version) — an entry written by a newer format is a plain miss,
+        so a version rollback never deletes the newer store.
+        """
+        path = self.cell_path(digest)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            path.unlink(missing_ok=True)
+            return None
+        if (not isinstance(document, dict)
+                or document.get("format") != FORMAT_VERSION):
+            return None
+        payload = document.get("payload")
+        if (document.get("digest") != digest
+                or not isinstance(payload, dict)
+                or content_digest(payload) != document.get("payload_sha256")):
+            path.unlink(missing_ok=True)
+            return None
+        return payload
+
+    def _assemble_from_cas(self, document: dict) -> "ShardResult | None":
+        from repro.runtime.executor import ShardResult
+        from repro.runtime.shards import Q12Cell
+
+        refs = document.get("cells")
+        if (not isinstance(refs, dict)
+                or content_digest(refs) != document.get("cells_sha256")):
+            return None
+        result = ShardResult(index=0, count=1)
+        try:
+            for isp_id, state, cbg, digest in refs["q12"]:
+                payload = self._load_cell_payload(digest)
+                if payload is None:
+                    return None
+                if (payload.get("kind") != "q12"
+                        or (payload["isp_id"], payload["state"],
+                            payload["cbg"]) != (isp_id, state, cbg)):
+                    # Internally consistent but serving the wrong cell
+                    # for its address: manifest/CAS skew. Quarantine it
+                    # too, or the recompute's republish would skip the
+                    # existing file and the wave could never heal.
+                    self.cell_path(digest).unlink(missing_ok=True)
+                    return None
+                cell = Q12Cell(isp_id=isp_id, state=state, cbg=cbg)
+                result.q12_records[cell] = tuple(
+                    _record_from_json(r) for r in payload["records"])
+            for block, digest in refs["q3"]:
+                payload = self._load_cell_payload(digest)
+                if payload is None:
+                    return None
+                if (payload.get("kind") != "q3"
+                        or payload["block_geoid"] != block):
+                    self.cell_path(digest).unlink(missing_ok=True)
+                    return None
+                result.q3_outcomes[block] = _q3_outcome_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        return result
+
+    @staticmethod
+    def _assemble_legacy(document: dict) -> "ShardResult | None":
+        """Format 1: the whole wave embedded as one JSON *string* (the
+        double-encoded pre-CAS layout), checksummed over those bytes."""
+        cell_payload = document.get("cells")
+        if (not isinstance(cell_payload, str)
+                or hashlib.sha256(cell_payload.encode("utf-8")).hexdigest()
+                != document.get("cells_sha256")):
+            return None
+        try:
+            return _shard_from_json(json.loads(cell_payload))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
 
     def load_wave(
         self, wave: int
@@ -91,30 +312,22 @@ class PanelStore:
         """Reload one wave: ``(cells, manifest)`` or ``None``.
 
         ``None`` covers every way the wave can be unusable — missing,
-        torn, checksum-mismatched, foreign fingerprint, or written by
-        an incompatible format version — so callers simply recompute.
+        torn, checksum-mismatched, foreign fingerprint, a missing or
+        damaged CAS entry, or an unknown format version — so callers
+        simply recompute.
         """
-        path = self.wave_path(wave)
-        try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        document = self._load_manifest(wave)
+        if document is None:
             return None
-        if (not isinstance(document, dict)
-                or document.get("format") != FORMAT_VERSION
-                or document.get("fingerprint") != self._fingerprint
-                or document.get("wave") != wave):
-            return None
-        cell_payload = document.get("cells")
-        if (not isinstance(cell_payload, str)
-                or hashlib.sha256(cell_payload.encode("utf-8")).hexdigest()
-                != document.get("cells_sha256")):
-            return None
-        try:
-            cells = _shard_from_json(json.loads(cell_payload))
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        if document["format"] == _LEGACY_FORMAT_VERSION:
+            cells = self._assemble_legacy(document)
+        else:
+            cells = self._assemble_from_cas(document)
+        if cells is None:
             return None
         manifest = {
             "wave": wave,
+            "format": document["format"],
             "horizon_years": document.get("horizon_years"),
             "counts": dict(document.get("counts", {})),
         }
@@ -131,3 +344,56 @@ class PanelStore:
             except (IndexError, ValueError):
                 continue
         return indices
+
+    # ------------------------------------------------------------------
+    # garbage collection and accounting
+    # ------------------------------------------------------------------
+
+    def referenced_digests(self) -> set[str]:
+        """Every digest some intact wave manifest references."""
+        referenced: set[str] = set()
+        for wave in self.waves():
+            document = self._load_manifest(wave)
+            if document is None or document["format"] != FORMAT_VERSION:
+                continue
+            refs = document.get("cells")
+            if (not isinstance(refs, dict)
+                    or content_digest(refs)
+                    != document.get("cells_sha256")):
+                continue
+            referenced.update(ref[-1] for ref in refs.get("q12", ()))
+            referenced.update(ref[-1] for ref in refs.get("q3", ()))
+        return referenced
+
+    def sweep_unreferenced_cells(self) -> list[str]:
+        """Delete CAS entries no intact manifest references.
+
+        The reference set is recomputed from the manifests on disk at
+        sweep time, so the sweep can never strand a wave a later
+        ``--resume`` will load — a digest is only reclaimed once no
+        manifest (current horizons or not) still names it. Returns the
+        digests removed.
+        """
+        if not self.cells_directory.exists():
+            return []
+        referenced = self.referenced_digests()
+        removed = []
+        for path in sorted(self.cells_directory.glob("*.json")):
+            if path.stem in referenced:
+                continue
+            path.unlink(missing_ok=True)
+            removed.append(path.stem)
+        sweep_stale_tmp_files(self.cells_directory)
+        return removed
+
+    def total_bytes(self) -> int:
+        """On-disk size of this panel's manifests and CAS entries."""
+        if not self.panel_directory.exists():
+            return 0
+        total = 0
+        for path in self.panel_directory.rglob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total

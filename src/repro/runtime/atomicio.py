@@ -17,13 +17,15 @@ lives once here:
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["atomic_write_bytes", "atomic_write_stream",
-           "atomic_write_text", "sweep_stale_tmp_files"]
+__all__ = ["atomic_write_bytes", "atomic_write_json",
+           "atomic_write_stream", "atomic_write_text",
+           "sweep_stale_tmp_files"]
 
 # Live writers publish within seconds; anything older is a crash leak.
 STALE_TMP_SECONDS = 3600.0
@@ -72,6 +74,18 @@ def atomic_write_bytes(path: Path, payload: bytes) -> Path:
 def atomic_write_text(path: Path, text: str) -> Path:
     """Publish UTF-8 ``text`` at ``path`` atomically and durably."""
     return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: Path, payload) -> Path:
+    """Publish ``payload`` as canonical JSON (sorted keys, no
+    whitespace) atomically and durably.
+
+    The canonical form is the same one :func:`repro.runtime.cache
+    .content_digest` hashes, so a document published here can be
+    re-digested byte-for-byte by any reader.
+    """
+    return atomic_write_text(
+        path, json.dumps(payload, sort_keys=True, separators=(",", ":")))
 
 
 def sweep_stale_tmp_files(

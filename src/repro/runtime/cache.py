@@ -291,17 +291,38 @@ class AuditCache:
 
         The just-written ``keep`` entry is never evicted: the bound
         governs what accumulates, not what the caller stored last.
+
+        Sizes and mtimes come from one stat snapshot per entry, and an
+        entry whose stat returns ``None`` — deleted by a concurrent
+        evictor between the listing and the stat — is skipped
+        entirely. Re-stat'ing (as this method once did, separately for
+        the sort key, the running total, and the subtraction) let a
+        racing-deleted path sort as mtime ``0.0``, get "evicted"
+        first, and throw the byte accounting off against entries the
+        other writer had already removed.
         """
         if self._max_bytes is None:
             return
         self._sweep_stale_tmp_files()
-        entries = [p for p in self._entry_paths() if p != keep]
-        entries.sort(key=lambda p: getattr(self._stat_or_none(p),
-                                           "st_mtime", 0.0))
-        total = self.total_bytes()
-        for path in entries:
+        total = 0
+        evictable: list[tuple[float, Path, int]] = []
+        for path in self._entry_paths():
+            stat = self._stat_or_none(path)
+            if stat is None:
+                # Vanished under a concurrent writer's eviction: not
+                # ours to count, and not ours to delete.
+                continue
+            size = stat.st_size
+            sidecar = self._stat_or_none(path.with_suffix(".json"))
+            if sidecar is not None:
+                size += sidecar.st_size
+            total += size
+            if path != keep:
+                evictable.append((stat.st_mtime, path, size))
+        evictable.sort(key=lambda entry: entry[0])
+        for _mtime, path, size in evictable:
             if total <= self._max_bytes:
                 break
-            total -= self._entry_bytes(path)
             path.unlink(missing_ok=True)
             path.with_suffix(".json").unlink(missing_ok=True)
+            total -= size

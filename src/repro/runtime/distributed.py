@@ -54,6 +54,7 @@ import subprocess
 import sys
 import tempfile
 import threading
+import time
 from collections import deque
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -76,7 +77,9 @@ from repro.synth.world import World
 
 __all__ = [
     "AutotunePlan",
+    "DEFAULT_HEARTBEAT_INTERVAL",
     "FrameError",
+    "MISSED_HEARTBEAT_LIMIT",
     "autotune_runtime_config",
     "read_frame",
     "run_shards_distributed",
@@ -88,6 +91,17 @@ PROTOCOL_VERSION = 1
 
 # A lease that produced no frame within this window is presumed lost.
 DEFAULT_LEASE_TIMEOUT = 120.0
+
+# Workers beat this often while computing a lease, so the coordinator
+# can tell "still working" from "silently wedged" *inside* a lease
+# instead of only at frame boundaries.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+# Consecutive missed beats before a silent worker's shard is requeued.
+# The resulting window (interval x this) must stay well under the
+# lease timeout, or heartbeats would add nothing over the old
+# frame-boundary liveness.
+MISSED_HEARTBEAT_LIMIT = 3
 
 # How long the coordinator's accept loop sleeps between liveness checks.
 _ACCEPT_POLL_SECONDS = 0.2
@@ -198,6 +212,7 @@ def _lease_message(
     use_async: bool,
     max_inflight: int,
     per_isp_cap: int,
+    heartbeat_interval: float | None = None,
 ) -> dict:
     return {
         "type": "lease",
@@ -211,6 +226,9 @@ def _lease_message(
         "use_async": use_async,
         "max_inflight": max_inflight,
         "per_isp_cap": per_isp_cap,
+        # None asks the worker not to beat (pre-heartbeat coordinators
+        # simply omit the key, which decodes the same way).
+        "heartbeat_interval": heartbeat_interval,
     }
 
 
@@ -265,14 +283,56 @@ def _connect(address: str) -> socket.socket:
     return socket.create_connection((host, int(port)))
 
 
-def run_worker(address: str, die_after: int | None = None) -> int:
+def _execute_lease_with_heartbeats(stream: BinaryIO, message: dict) -> None:
+    """Run one lease, beating while the shard computes.
+
+    A daemon thread writes a heartbeat frame every
+    ``heartbeat_interval`` seconds until the result is ready; the
+    write lock keeps beat and result frames from interleaving on the
+    stream. A worker that wedges (or is SIGSTOPped) stops beating —
+    which is the whole point: silence, not just EOF, now reads as
+    death on the coordinator side.
+    """
+    interval = message.get("heartbeat_interval")
+    if not interval:
+        write_frame(stream, _execute_lease(message))
+        return
+    index = message["spec"]["index"]
+    done = threading.Event()
+    write_lock = threading.Lock()
+
+    def beat() -> None:
+        while not done.wait(interval):
+            try:
+                with write_lock:
+                    write_frame(stream, {"type": "heartbeat",
+                                         "index": index})
+            except OSError:
+                return  # coordinator hung up; the result write will see it
+
+    beater = threading.Thread(target=beat, daemon=True)
+    beater.start()
+    try:
+        result = _execute_lease(message)
+    finally:
+        done.set()
+        beater.join()
+    with write_lock:
+        write_frame(stream, result)
+
+
+def run_worker(address: str, die_after: int | None = None,
+               wedge_after: int | None = None) -> int:
     """One worker process: connect, run leases until told to stop.
 
     ``die_after`` is the chaos-testing hook: after completing that many
     shards, the worker dies *abruptly* on its next lease — no goodbye
     frame, just ``os._exit`` — the way a preempted VM or OOM-killed
     container dies, so the coordinator's reassignment path is exercised
-    for real.
+    for real. ``wedge_after`` is its quieter sibling: the worker stays
+    *alive* but goes silent on the lease (no heartbeats, no result),
+    the way a deadlocked or swapping process hangs — exercising the
+    missed-heartbeat requeue instead of the EOF path.
     """
     sock = _connect(address)
     stream = sock.makefile("rwb")
@@ -280,7 +340,12 @@ def run_worker(address: str, die_after: int | None = None) -> int:
     try:
         write_frame(stream, {"type": "hello",
                              "protocol": PROTOCOL_VERSION,
-                             "pid": os.getpid()})
+                             "pid": os.getpid(),
+                             # Capability flag: this worker beats while
+                             # computing when the lease asks it to, so
+                             # the coordinator may hold it to the
+                             # missed-heartbeat window.
+                             "heartbeats": True})
         while True:
             try:
                 message = read_frame(stream)
@@ -293,7 +358,10 @@ def run_worker(address: str, die_after: int | None = None) -> int:
                 raise FrameError(f"unexpected message type {kind!r}")
             if die_after is not None and completed >= die_after:
                 os._exit(WORKER_DEATH_EXIT_CODE)
-            write_frame(stream, _execute_lease(message))
+            if wedge_after is not None and completed >= wedge_after:
+                while True:  # wedged: alive but silent
+                    time.sleep(3600)
+            _execute_lease_with_heartbeats(stream, message)
             completed += 1
     finally:
         stream.close()
@@ -370,6 +438,7 @@ def _serve_connection(
     make_lease: Callable[[ShardSpec], dict],
     lease_timeout: float,
     on_abandon: Callable[[int], None] = lambda pid: None,
+    heartbeat_interval: float | None = None,
 ) -> None:
     """Drive one worker connection: lease, await result, repeat.
 
@@ -380,6 +449,20 @@ def _serve_connection(
     transport can put the process down: a wedged-but-alive worker
     holding a dead connection must not count as fleet capacity, or
     the coordinator's liveness watch can never respawn around it.
+
+    With ``heartbeat_interval`` set *and* the worker's hello frame
+    advertising ``"heartbeats": true``, the lease asks the worker to
+    beat while it computes, and the per-read timeout shrinks to the
+    missed-heartbeat window (``interval x MISSED_HEARTBEAT_LIMIT``,
+    never above the lease timeout): a worker that goes *silent*
+    mid-lease is requeued within the window instead of holding its
+    shard for the full lease timeout. The capability gate keeps skewed
+    fleets safe — a pre-heartbeat worker (same wire protocol, no
+    beats) computing a shard longer than the window would otherwise be
+    abandoned while healthy, so it keeps the full lease timeout per
+    read. The lease timeout stays the outer bound either way — a
+    worker that keeps beating but never delivers is still cut off
+    there.
     """
     stream = conn.makefile("rwb")
     spec: ShardSpec | None = None
@@ -394,6 +477,10 @@ def _serve_connection(
             return
         if isinstance(hello.get("pid"), int):
             worker_pid = hello["pid"]
+        if heartbeat_interval and hello.get("heartbeats") is True:
+            conn.settimeout(min(lease_timeout,
+                                heartbeat_interval
+                                * MISSED_HEARTBEAT_LIMIT))
         while True:
             spec = board.checkout()
             if spec is None:
@@ -407,7 +494,15 @@ def _serve_connection(
                 return
             try:
                 write_frame(stream, make_lease(spec))
-                message = read_frame(stream)
+                deadline = time.monotonic() + lease_timeout
+                while True:
+                    message = read_frame(stream)
+                    if message.get("type") != "heartbeat":
+                        break
+                    if time.monotonic() >= deadline:
+                        # Beating but never delivering: the lease
+                        # timeout is still the outer bound.
+                        return
             except (FrameError, EOFError, OSError):
                 return  # finally-block requeues
             if (message.get("type") != "result"
@@ -463,6 +558,7 @@ def run_shards_distributed(
     first_worker_extra_args: tuple[str, ...] = (),
     max_respawns: int | None = None,
     scenario=None,
+    heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
 ) -> None:
     """Run shards on a leased worker fleet (the coordinator side).
 
@@ -477,7 +573,11 @@ def run_shards_distributed(
     ``world.config``; a :class:`~repro.synth.churn.WaveScenario` for
     evolved panel-wave worlds). ``first_worker_extra_args`` is the
     chaos hook the tests use to hand exactly one worker a
-    ``--die-after`` flag.
+    ``--die-after`` / ``--wedge-after`` flag. ``heartbeat_interval``
+    asks workers to beat that often inside each lease, so a silent
+    worker's shard is requeued after the missed-heartbeat window
+    (well under the lease timeout); ``None`` restores the old
+    frame-boundary-only liveness.
     """
     specs = list(pending)
     if not specs:
@@ -486,6 +586,8 @@ def run_shards_distributed(
         lease_timeout = DEFAULT_LEASE_TIMEOUT
     if lease_timeout <= 0:
         raise ValueError("lease_timeout must be positive")
+    if heartbeat_interval is not None and heartbeat_interval <= 0:
+        raise ValueError("heartbeat_interval must be positive")
     workers = max(1, min(config.effective_workers, len(specs)))
     scenario = scenario if scenario is not None else world.config
     board = _LeaseBoard(specs, on_complete)
@@ -493,7 +595,8 @@ def run_shards_distributed(
     def make_lease(spec: ShardSpec) -> dict:
         return _lease_message(scenario, spec, policy, engine_config,
                               max_replacements, config.uses_async,
-                              config.effective_max_inflight, per_isp_cap)
+                              config.effective_max_inflight, per_isp_cap,
+                              heartbeat_interval=heartbeat_interval)
 
     tmpdir = tempfile.mkdtemp(prefix="repro-dist-")
     address = os.path.join(tmpdir, "coordinator.sock")
@@ -534,7 +637,7 @@ def run_shards_distributed(
                 thread = threading.Thread(
                     target=_serve_connection,
                     args=(conn, board, make_lease, lease_timeout,
-                          abandon_worker),
+                          abandon_worker, heartbeat_interval),
                     daemon=True)
                 thread.start()
                 threads.append(thread)

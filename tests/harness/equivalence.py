@@ -24,6 +24,11 @@ logbook — replayed unchanged cells plus freshly queried changed cells
 — must be byte-identical to a from-scratch re-collection of the same
 evolved world, while actually replaying (the incremental path must
 not degenerate into a quiet full re-query).
+:func:`assert_panel_backends_equivalent` crosses the two matrices —
+the same panel's wave logbooks byte-identical under every backend —
+and :func:`assert_incremental_analysis_equivalent` covers the third
+layer: each wave's digest-keyed row-fold *analysis* byte-equal to a
+full recompute from the merged logbook, while actually reusing rows.
 
 The serialization reuses the checkpoint codec, which round-trips
 floats by shortest ``repr`` — so byte equality here really is record
@@ -47,9 +52,12 @@ from repro.synth.world import World
 __all__ = [
     "BackendRun",
     "backend_matrix",
+    "canonical_analysis_bytes",
     "canonical_logbook_bytes",
     "run_backend",
     "assert_backends_equivalent",
+    "assert_incremental_analysis_equivalent",
+    "assert_panel_backends_equivalent",
     "assert_panel_replay_equivalent",
     "scratch_wave_bytes",
 ]
@@ -210,6 +218,96 @@ def scratch_wave_bytes(
     collection = CollectionCampaign(evolved).run(isps=isps, states=states)
     q3 = collect_q3_dataset(evolved, states=q3_states)
     return canonical_logbook_bytes(collection, q3)
+
+
+def canonical_analysis_bytes(analysis) -> bytes:
+    """Canonical byte serialization of one wave's audit aggregations.
+
+    JSON renders floats by shortest round-trip ``repr``, so byte
+    equality here is bit equality of every rate — summation order
+    included.
+    """
+    return json.dumps(analysis.to_payload(), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def assert_incremental_analysis_equivalent(
+    world: World,
+    model: ChurnModel,
+    horizons: tuple[int, ...] = (1, 2),
+    runtime: RuntimeConfig | None = None,
+    expect_reuse: bool = True,
+    **subset,
+) -> list[WaveOutcome]:
+    """Run a panel and prove each wave's incremental analysis against
+    the full recompute.
+
+    Per wave: the digest-keyed row fold
+    (:func:`repro.analysis.incremental.wave_analysis`, rows cached
+    across waves) must serialize byte-identically to the oracle that
+    rebuilds an :class:`~repro.core.audit.AuditDataset` from the
+    entire merged logbook. For follow-up waves (when ``expect_reuse``)
+    the cache must have produced hits — equality of two cold folds
+    would prove nothing about incrementality.
+    """
+    from repro.analysis.incremental import (
+        full_wave_analysis,
+        row_cache_for,
+        wave_analysis,
+    )
+
+    campaign = PanelCampaign(world, model=model, horizons=horizons,
+                             runtime=runtime, **subset)
+    cache = row_cache_for(campaign)
+    outcomes = []
+    hits_before_followups = None
+    for outcome in campaign.waves():
+        if outcome.wave == 1:
+            hits_before_followups = cache.hits
+        incremental = canonical_analysis_bytes(
+            wave_analysis(outcome, cache=cache))
+        full = canonical_analysis_bytes(full_wave_analysis(outcome))
+        assert incremental == full, (
+            f"wave {outcome.wave} (+{outcome.horizon_years}y) incremental "
+            f"analysis diverged from the full-logbook recompute")
+        outcomes.append(outcome)
+    if expect_reuse and len(outcomes) > 1:
+        assert cache.hits > (hits_before_followups or 0), (
+            "no analysis row was ever reused — the incremental fold "
+            "degenerated into full recompute and the equivalence is "
+            "vacuous")
+    return outcomes
+
+
+def assert_panel_backends_equivalent(
+    world: World,
+    model: ChurnModel,
+    horizons: tuple[int, ...] = (1,),
+    configs=None,
+    **subset,
+) -> None:
+    """Every backend's panel produces byte-identical wave logbooks.
+
+    The reference is the in-process panel (``runtime=None`` — the
+    plain sequential fold); each config in the matrix (serial /
+    process / async / process+async / distributed) re-runs the same
+    panel with its delta collections dispatched through that backend.
+    """
+    reference = [
+        canonical_logbook_bytes(outcome.collection, outcome.q3)
+        for outcome in PanelCampaign(world, model=model,
+                                     horizons=horizons, **subset).run()
+    ]
+    configs = configs if configs is not None else backend_matrix()
+    for config in configs:
+        outcomes = PanelCampaign(world, model=model, horizons=horizons,
+                                 runtime=config, **subset).run()
+        for outcome, expected in zip(outcomes, reference):
+            got = canonical_logbook_bytes(outcome.collection, outcome.q3)
+            assert got == expected, (
+                f"wave {outcome.wave} logbook under "
+                f"{config.effective_backend} diverged from the "
+                f"in-process panel")
 
 
 def assert_panel_replay_equivalent(

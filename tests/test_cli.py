@@ -265,9 +265,10 @@ class TestDistributedBackendFlags:
     def test_worker_parser(self):
         args = build_parser().parse_args(
             ["worker", "--connect", "/tmp/coord.sock",
-             "--die-after", "2"])
+             "--die-after", "2", "--wedge-after", "1"])
         assert args.connect == "/tmp/coord.sock"
         assert args.die_after == 2
+        assert args.wedge_after == 1
         with pytest.raises(SystemExit):
             build_parser().parse_args(["worker"])  # --connect required
 
@@ -278,6 +279,9 @@ class TestDistributedBackendFlags:
         assert main(["worker", "--connect", missing,
                      "--die-after", "-1"]) == 2
         assert "--die-after" in capsys.readouterr().err
+        assert main(["worker", "--connect", missing,
+                     "--wedge-after", "-1"]) == 2
+        assert "--wedge-after" in capsys.readouterr().err
 
     def test_target_seconds_validation(self, capsys):
         assert main(["run", "--scale", "tiny",

@@ -232,7 +232,8 @@ class TestLeaseBoard:
 # ----------------------------------------------------------------------
 
 def _serve_against_fake_worker(world, worker_behavior, lease_timeout=5.0,
-                               on_abandon=lambda pid: None):
+                               on_abandon=lambda pid: None,
+                               heartbeat_interval=None):
     """Run _serve_connection against an in-process fake worker."""
     specs = _dummy_specs(world, 2)
     delivered = []
@@ -243,7 +244,7 @@ def _serve_against_fake_worker(world, worker_behavior, lease_timeout=5.0,
                               daemon=True)
     worker.start()
     _serve_connection(coordinator_sock, board, make_lease, lease_timeout,
-                      on_abandon)
+                      on_abandon, heartbeat_interval)
     worker.join(timeout=10)
     return board, delivered
 
@@ -328,6 +329,131 @@ class TestServeConnection:
         board, delivered = _serve_against_fake_worker(world, noisy_worker)
         assert delivered == []
         assert board.checkout().index == 0
+
+    def test_heartbeats_keep_a_slow_worker_leased(self, world):
+        """A worker that beats while computing past the missed-
+        heartbeat window must NOT be abandoned: heartbeats are exactly
+        what distinguishes slow from silent."""
+        def slow_beating_worker(sock):
+            import time
+
+            stream = sock.makefile("rwb")
+            write_frame(stream, {"type": "hello", "pid": 1,
+                                 "heartbeats": True})
+            while True:
+                message = read_frame(stream)
+                if message["type"] == "shutdown":
+                    sock.close()
+                    return
+                # Compute for ~6 missed-heartbeat windows, beating.
+                for _ in range(12):
+                    time.sleep(0.05)
+                    write_frame(stream, {"type": "heartbeat",
+                                         "index": message["index"]})
+                write_frame(stream, {
+                    "type": "result", "index": message["index"],
+                    "shard": {"index": message["index"], "count": 2,
+                              "q12": [], "q3": []},
+                    "politeness": {}})
+
+        board, delivered = _serve_against_fake_worker(
+            world, slow_beating_worker, lease_timeout=30.0,
+            heartbeat_interval=0.1)
+        assert len(delivered) == 2
+        assert board.done.is_set()
+
+    def test_silent_worker_requeued_within_heartbeat_window(self, world):
+        """A worker that takes a lease and goes silent (no beats, no
+        result) loses it after the missed-heartbeat window — a small
+        multiple of the interval, not the full lease timeout."""
+        import time
+
+        abandoned: list[int] = []
+
+        def wedged_worker(sock):
+            stream = sock.makefile("rwb")
+            write_frame(stream, {"type": "hello", "pid": 777,
+                                 "heartbeats": True})
+            read_frame(stream)  # take the lease, then say nothing
+            try:
+                read_frame(stream)  # block until the coordinator hangs up
+            except (EOFError, OSError):
+                pass
+            sock.close()
+
+        started = time.monotonic()
+        board, delivered = _serve_against_fake_worker(
+            world, wedged_worker, lease_timeout=60.0,
+            heartbeat_interval=0.1, on_abandon=abandoned.append)
+        elapsed = time.monotonic() - started
+        assert delivered == []
+        assert board.checkout().index == 0  # the lease came back
+        assert abandoned == [777]
+        assert elapsed < 10.0, (
+            f"silent worker held its lease {elapsed:.1f}s — the missed-"
+            f"heartbeat window should cut it well under the 60s lease "
+            f"timeout")
+
+    def test_legacy_worker_without_capability_keeps_full_timeout(
+            self, world):
+        """A worker whose hello does not advertise ``heartbeats`` (a
+        pre-heartbeat fleet behind the ``worker_command`` hook) must
+        keep the full lease timeout per read: a shard computing longer
+        than the missed-heartbeat window is NOT abandoned while
+        healthy."""
+        def legacy_slow_worker(sock):
+            import time
+
+            stream = sock.makefile("rwb")
+            write_frame(stream, {"type": "hello", "pid": 1})
+            while True:
+                message = read_frame(stream)
+                if message["type"] == "shutdown":
+                    sock.close()
+                    return
+                # Compute well past the 0.3s missed-heartbeat window,
+                # silently — legacy workers never beat.
+                time.sleep(0.8)
+                write_frame(stream, {
+                    "type": "result", "index": message["index"],
+                    "shard": {"index": message["index"], "count": 2,
+                              "q12": [], "q3": []},
+                    "politeness": {}})
+
+        board, delivered = _serve_against_fake_worker(
+            world, legacy_slow_worker, lease_timeout=30.0,
+            heartbeat_interval=0.1)
+        assert len(delivered) == 2
+        assert board.done.is_set()
+
+    def test_beating_forever_still_bounded_by_lease_timeout(self, world):
+        """Heartbeats prove liveness, not progress: a worker that beats
+        forever without delivering is still cut off at the lease
+        timeout, so the campaign cannot be held hostage by a zombie
+        with a working heartbeat thread."""
+        import time
+
+        def beating_zombie(sock):
+            stream = sock.makefile("rwb")
+            write_frame(stream, {"type": "hello", "pid": 1,
+                                 "heartbeats": True})
+            message = read_frame(stream)
+            try:
+                while True:
+                    time.sleep(0.1)
+                    write_frame(stream, {"type": "heartbeat",
+                                         "index": message["index"]})
+            except OSError:
+                sock.close()
+
+        started = time.monotonic()
+        board, delivered = _serve_against_fake_worker(
+            world, beating_zombie, lease_timeout=1.0,
+            heartbeat_interval=0.1)
+        elapsed = time.monotonic() - started
+        assert delivered == []
+        assert board.checkout().index == 0
+        assert 0.9 <= elapsed < 10.0
 
     def test_idle_worker_gets_shutdown(self, world):
         messages = []
@@ -464,6 +590,36 @@ class TestWorkerKillChaos:
             **SUBSET)
         assert seen == [(0, True), (1, True), (2, True), (3, True)]
         assert canonical_logbook_bytes(collection, q3) == serial_reference
+
+    def test_wedged_worker_requeued_by_heartbeat_window(
+            self, world, serial_reference):
+        """The heartbeat acceptance scenario: one worker wedges (alive
+        but silent — ``--wedge-after 0``) under a *long* lease timeout.
+        Before heartbeats its shard sat leased for the full 120s; now
+        the missed-heartbeat window requeues it in seconds, the wedged
+        process is put down, and the merged output is byte-identical."""
+        import time
+
+        config = RuntimeConfig(shards=4, workers=2, backend="distributed")
+        specs = plan_shards(world, 4, **SUBSET)
+        completed = {}
+        started = time.monotonic()
+        run_shards_distributed(
+            world, specs, None, None, 2, config,
+            config.per_shard_isp_cap_for(len(specs)),
+            lambda result: completed.__setitem__(result.index, result),
+            lease_timeout=120.0,
+            heartbeat_interval=0.2,
+            first_worker_extra_args=("--wedge-after", "0"))
+        elapsed = time.monotonic() - started
+        assert sorted(completed) == [0, 1, 2, 3]
+        collection, q3 = merge_shard_results(
+            world, specs, completed, policy=None, **SUBSET)
+        assert canonical_logbook_bytes(collection, q3) == serial_reference
+        assert elapsed < 60.0, (
+            f"campaign took {elapsed:.1f}s around a wedged worker — the "
+            f"missed-heartbeat window should reclaim its shard well "
+            f"under the 120s lease timeout")
 
     def test_wedged_worker_killed_not_waited_on_forever(self, world):
         """A worker that takes a lease and wedges (alive but silent)

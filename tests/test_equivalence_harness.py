@@ -13,6 +13,8 @@ import pytest
 
 from harness.equivalence import (
     assert_backends_equivalent,
+    assert_incremental_analysis_equivalent,
+    assert_panel_backends_equivalent,
     assert_panel_replay_equivalent,
     backend_matrix,
     run_backend,
@@ -126,6 +128,32 @@ def test_panel_replay_equivalent_under_sharded_runtime(world):
     assert_panel_replay_equivalent(
         world, model=ChurnModel(cell_rate=0.3), horizons=(1, 2),
         runtime=RuntimeConfig(shards=3, backend="serial"), **SUBSET)
+
+
+@pytest.mark.longitudinal
+@pytest.mark.parametrize("shape", sorted(SCENARIO_SHAPES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_panel_incremental_analysis_equivalent(shape, seed):
+    """The incremental-analysis acceptance scenario: per-wave
+    digest-keyed row folds byte-equal to full recompute, across two
+    panel scenario shapes and two seeds each, with real row reuse."""
+    world = build_world(SCENARIO_SHAPES[shape](seed))
+    outcomes = assert_incremental_analysis_equivalent(
+        world, model=ChurnModel(cell_rate=0.3), horizons=(1, 2), **SUBSET)
+    # Non-degenerate: real records behind the rates.
+    assert len(outcomes[0].collection.log) > 0
+
+
+@pytest.mark.longitudinal
+@pytest.mark.parametrize("shape", sorted(SCENARIO_SHAPES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_panel_wave_logbooks_identical_across_backends(shape, seed):
+    """Panel wave logbooks must stay byte-identical whichever of the
+    five backends runs the delta collections — the longitudinal column
+    crossed with the full backend matrix."""
+    world = build_world(SCENARIO_SHAPES[shape](seed))
+    assert_panel_backends_equivalent(
+        world, model=ChurnModel(cell_rate=0.3), horizons=(1,), **SUBSET)
 
 
 @pytest.mark.longitudinal

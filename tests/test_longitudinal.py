@@ -228,6 +228,235 @@ class TestWaveResume:
         assert foreign.load_wave(0) is None
 
 
+class TestPanelStoreCAS:
+    """The format-2 store: digest-keyed cell CAS + thin manifests."""
+
+    def _run(self, world, tmp_path, horizons=(1, 2), resume=False):
+        return PanelCampaign(world, model=SPARSE, horizons=horizons,
+                             store_dir=str(tmp_path / "panel"),
+                             resume=resume, **SUBSET)
+
+    def test_unchanged_cells_stored_once_per_digest(self, world, tmp_path):
+        """The storage analogue of delta collection: CAS entries number
+        distinct digests (snapshot cells + churned generations), not
+        waves x cells — and every one is referenced."""
+        campaign = self._run(world, tmp_path)
+        outcomes = campaign.run()
+        store = campaign.store
+        total = outcomes[0].delta.total_q12 + outcomes[0].delta.total_q3
+        churned = sum(o.fresh_q12 + o.fresh_q3 for o in outcomes[1:])
+        cas_files = {p.stem for p in store.cells_directory.glob("*.json")}
+        assert len(cas_files) <= total + churned
+        assert len(cas_files) < len(outcomes) * total, (
+            "CAS stored cells once per wave — no cross-wave sharing")
+        assert cas_files == store.referenced_digests()
+
+    def test_sweep_reclaims_only_orphans(self, world, tmp_path):
+        campaign = self._run(world, tmp_path)
+        campaign.run()
+        store = campaign.store
+        # Nothing referenced may be reclaimed...
+        assert store.sweep_unreferenced_cells() == []
+        # ...while an orphan (e.g. a crash between CAS publish and the
+        # manifest write) is.
+        orphan = "f" * 64
+        store.cell_path(orphan).write_text("{}", encoding="utf-8")
+        assert store.sweep_unreferenced_cells() == [orphan]
+
+    def test_sweep_is_safe_under_resume(self, world, tmp_path,
+                                        monkeypatch):
+        """A sweep between runs must never strand a wave a later
+        ``--resume`` will load: after sweeping, every wave still
+        restores from the store without a single query."""
+        campaign = self._run(world, tmp_path)
+        reference = [canonical_logbook_bytes(o.collection, o.q3)
+                     for o in campaign.run()]
+        campaign.store.sweep_unreferenced_cells()
+
+        def refuse(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("resume re-queried after a sweep")
+
+        monkeypatch.setattr(executor_module, "run_shard", refuse)
+        resumed = self._run(world, tmp_path, resume=True)
+        outcomes = resumed.run()
+        assert [canonical_logbook_bytes(o.collection, o.q3)
+                for o in outcomes] == reference
+        assert all(o.restored_from_store for o in outcomes)
+
+    def test_crash_orphans_reclaimed_by_end_of_run_sweep(
+            self, world, tmp_path):
+        """A crash between publishing a wave's CAS entries and its
+        manifest leaves orphaned cell files; the next completed run's
+        end-of-panel sweep reclaims them (and a healthy store sweeps
+        nothing — CAS files and references coincide exactly)."""
+        campaign = self._run(world, tmp_path, horizons=(1,))
+        campaign.run()
+        store = campaign.store
+        assert ({p.stem for p in store.cells_directory.glob("*.json")}
+                == store.referenced_digests())
+        # Simulate the crash: orphan CAS entries with no manifest.
+        orphans = {"a" * 64, "b" * 64}
+        for digest in orphans:
+            store.cell_path(digest).write_text("{}", encoding="utf-8")
+        rerun = self._run(world, tmp_path, horizons=(1,), resume=True)
+        rerun.run()
+        remaining = {p.stem for p in store.cells_directory.glob("*.json")}
+        assert remaining == store.referenced_digests()
+        assert not (orphans & remaining)
+
+    def test_different_horizons_use_disjoint_panel_directories(
+            self, world, tmp_path):
+        """Horizons feed the panel fingerprint, so panels at different
+        horizons can never share (or sweep) each other's CAS."""
+        one = self._run(world, tmp_path, horizons=(1,))
+        two = self._run(world, tmp_path, horizons=(1, 2))
+        assert one.fingerprint != two.fingerprint
+        assert (one.store.panel_directory
+                != two.store.panel_directory)
+
+    def test_missing_cas_entry_makes_the_wave_a_miss(self, world,
+                                                     tmp_path):
+        campaign = self._run(world, tmp_path, horizons=(1,))
+        campaign.run()
+        store = campaign.store
+        victim = next(iter(store.referenced_digests()))
+        store.cell_path(victim).unlink()
+        affected = [wave for wave in store.waves()
+                    if store.load_wave(wave) is None]
+        assert affected, "some wave referenced the deleted digest"
+        # A resumed panel recomputes the damaged wave(s) and heals the
+        # store, byte-for-byte.
+        healed = self._run(world, tmp_path, horizons=(1,), resume=True)
+        healed.run()
+        assert all(store.load_wave(wave) is not None
+                   for wave in store.waves())
+
+    def test_tampered_cell_payload_rejected_and_healed(self, world,
+                                                       tmp_path):
+        """A corrupted-in-place CAS entry is a miss AND is quarantined,
+        so the recompute's republish actually replaces it — without
+        the unlink, ``_publish_cell``'s exists() skip would leave the
+        damage in place and the wave would re-collect on every resume
+        forever."""
+        campaign = self._run(world, tmp_path, horizons=(1,))
+        campaign.run()
+        store = campaign.store
+        victim = next(iter(store.referenced_digests()))
+        path = store.cell_path(victim)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["payload"]["tampered"] = True
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert store._load_cell_payload(victim) is None
+        assert not path.exists()  # quarantined, not left to fester
+
+        # The resumed run recomputes the affected wave(s) and heals
+        # the store: the entry is republished and every wave loads.
+        self._run(world, tmp_path, horizons=(1,), resume=True).run()
+        assert store._load_cell_payload(victim) is not None
+        assert all(store.load_wave(wave) is not None
+                   for wave in store.waves())
+
+    def test_rollback_never_unlinks_newer_format_entries(
+            self, world, tmp_path):
+        """A CAS entry claiming a *future* format is a plain miss, not
+        quarantine fodder: rolling back a binary must not delete the
+        newer store it cannot read."""
+        campaign = self._run(world, tmp_path, horizons=(1,))
+        campaign.run()
+        store = campaign.store
+        future = store.cell_path("d" * 64)
+        future.write_text(json.dumps({"format": 99, "digest": "d" * 64,
+                                      "payload": {}}), encoding="utf-8")
+        assert store._load_cell_payload("d" * 64) is None
+        assert future.exists()
+
+    def test_v1_wave_document_loads_read_only(self, world, tmp_path):
+        """A format-1 wave file (the pre-CAS layout: the whole cell
+        payload embedded as one double-encoded JSON string) must keep
+        loading byte-for-byte, so existing panels upgrade in place."""
+        import hashlib
+
+        from repro.runtime.checkpoint import _shard_to_json
+
+        campaign = self._run(world, tmp_path, horizons=(1,))
+        outcomes = campaign.run()
+        store = campaign.store
+        reference = store.load_wave(0)
+        assert reference is not None
+
+        # Rewrite wave 0 exactly as the 1.4 store serialized it.
+        cell_payload = json.dumps(_shard_to_json(outcomes[0].cells),
+                                  sort_keys=True, separators=(",", ":"))
+        v1_document = {
+            "format": 1,
+            "fingerprint": store.fingerprint,
+            "wave": 0,
+            "horizon_years": 0,
+            "counts": {"fresh_q12": outcomes[0].fresh_q12,
+                       "replayed_q12": 0,
+                       "fresh_q3": outcomes[0].fresh_q3,
+                       "replayed_q3": 0},
+            "cells_sha256": hashlib.sha256(
+                cell_payload.encode("utf-8")).hexdigest(),
+            "cells": cell_payload,
+        }
+        store.wave_path(0).write_text(json.dumps(v1_document,
+                                                 sort_keys=True),
+                                      encoding="utf-8")
+        loaded = store.load_wave(0)
+        assert loaded is not None
+        cells, manifest = loaded
+        assert manifest["format"] == 1
+        assert _shard_to_json(cells) == _shard_to_json(reference[0])
+
+        # And a resumed panel replays the v1 wave wholesale.
+        resumed = self._run(world, tmp_path, horizons=(1,), resume=True)
+        assert all(o.restored_from_store for o in resumed.run())
+
+    def test_v1_checksum_still_over_the_double_encoded_string(
+            self, world, tmp_path):
+        """The v1 reader must checksum the embedded *string* payload
+        (its historical on-disk form), so real v1 files verify and
+        subtly re-encoded ones do not."""
+        campaign = self._run(world, tmp_path, horizons=(1,))
+        outcomes = campaign.run()
+        store = campaign.store
+        from repro.runtime.checkpoint import _shard_to_json
+
+        cell_payload = json.dumps(_shard_to_json(outcomes[0].cells),
+                                  sort_keys=True, separators=(",", ":"))
+        document = {
+            "format": 1,
+            "fingerprint": store.fingerprint,
+            "wave": 0,
+            "horizon_years": 0,
+            "counts": {},
+            "cells_sha256": "0" * 64,  # wrong checksum
+            "cells": cell_payload,
+        }
+        store.wave_path(0).write_text(json.dumps(document),
+                                      encoding="utf-8")
+        assert store.load_wave(0) is None
+
+    def test_v2_document_is_not_double_encoded(self, world, tmp_path):
+        """The satellite bugfix: manifests and CAS entries store
+        nested JSON objects, not pre-serialized strings."""
+        campaign = self._run(world, tmp_path, horizons=(1,))
+        campaign.run()
+        store = campaign.store
+        document = json.loads(store.wave_path(0).read_text("utf-8"))
+        assert document["format"] == 2
+        assert isinstance(document["cells"], dict)
+        from repro.runtime.cache import content_digest
+
+        assert document["cells_sha256"] == content_digest(
+            document["cells"])
+        digest = document["cells"]["q12"][0][-1]
+        cell = json.loads(store.cell_path(digest).read_text("utf-8"))
+        assert isinstance(cell["payload"], dict)
+        assert cell["payload_sha256"] == content_digest(cell["payload"])
+
+
 class TestWaveScenario:
     def test_realize_matches_direct_evolution(self, world, tiny_config):
         scenario = WaveScenario(base=tiny_config, years=2, model=SPARSE)

@@ -597,6 +597,49 @@ class TestCacheEviction:
         assert not stale.exists()  # crash leak reclaimed
         assert fresh.exists()      # live writer untouched
 
+    def test_two_writer_eviction_skips_vanished_entries(
+            self, report, tmp_path, monkeypatch):
+        """Two processes evicting the same directory: an entry whose
+        stat races a second writer (returns ``None``) must be skipped.
+        The old code sorted such an entry as mtime 0.0, "evicted" it
+        first — deleting the most-recently-used live entry — and
+        subtracted its bytes from a running total that was computed by
+        a *separate* stat pass, so the genuinely-LRU entry survived."""
+        import time
+
+        unbounded = AuditCache(tmp_path)
+        oldest = self._put(unbounded, report, "att")
+        entry_bytes = unbounded.total_bytes()
+
+        cache = AuditCache(tmp_path, max_bytes=int(entry_bytes * 1.5))
+        time.sleep(0.02)
+        recent = self._put(unbounded, report, "frontier")
+        time.sleep(0.02)
+
+        # The second writer races exactly one stat: the first stat of
+        # the *recent* entry observes it "vanished".
+        real_stat = AuditCache._stat_or_none
+        recent_pkl = cache.path_for(recent)
+        raced = []
+
+        def racing_stat(path):
+            if path == recent_pkl and not raced:
+                raced.append(path)
+                return None
+            return real_stat(path)
+
+        monkeypatch.setattr(AuditCache, "_stat_or_none",
+                            staticmethod(racing_stat))
+        third = self._put(cache, report, "centurylink")
+        monkeypatch.undo()
+        assert raced, "the race window was never exercised"
+
+        # The vanished-stat entry is not ours to count or delete: the
+        # LRU `oldest` is evicted, `recent` survives untouched.
+        assert set(cache.entries()) == {recent, third}
+        assert cache.get(recent) is not None
+        assert cache.get(oldest) is None
+
     def test_max_bytes_environment(self, monkeypatch, tmp_path):
         from repro.runtime import cache_max_bytes_from_environment
 

@@ -1,0 +1,164 @@
+"""Service — ingest throughput, restart cost, and read-path QPS.
+
+Three measurements, one per moving part of :mod:`repro.service`:
+
+* **submissions/sec** — framed-socket submissions into a paused
+  service (``start_worker=False``): every acknowledgment is preceded
+  by an fsynced journal entry, so this is the durable ingest rate,
+  not a queueing mirage.
+* **journal replay seconds** — cold-open a journal of
+  :data:`REPLAY_ENTRIES` entries (chain verification included) and
+  fold it into a :class:`~repro.service.journal.CoordinatorState`:
+  the daemon's restart cost, which is the price of having no state
+  but the log.
+* **reader QPS** — panel cells and analysis rows served through
+  :class:`~repro.service.reader.ServiceReader` after a panel job
+  warmed the store: repeated reads are memoized dictionary hits, so
+  this is the rate a dashboard can poll at.
+
+Results are written machine-readable to
+``benchmarks/BENCH_service.json`` (flat keys — the service CI job
+asserts all three are present and the floors hold). Run at study
+scale with ``REPRO_SCALE=small`` or ``paper``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.service import AuditService, Journal, ServiceClient, ServiceReader
+from repro.service.journal import service_fingerprint
+
+REPLAY_ENTRIES = 2000
+SUBMISSIONS = 100
+READER_QUERIES = 2000
+OUTPUT_PATH = Path(__file__).with_name("BENCH_service.json")
+
+# Acceptance floors (tiny scale, single-core CI box, fsync per entry).
+MIN_SUBMISSIONS_PER_SECOND = 10.0
+MAX_REPLAY_SECONDS = 10.0
+MIN_READER_QPS = 500.0
+
+
+def _merge_results(payload: dict) -> None:
+    """Merge one test's keys into the shared artifact (tests run in
+    any order, or alone, without clobbering each other's numbers)."""
+    try:
+        results = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+        if not isinstance(results, dict):
+            results = {}
+    except (OSError, json.JSONDecodeError):
+        results = {}
+    results["benchmark"] = "service"
+    results.update(payload)
+    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+
+
+def _campaign_spec(context) -> dict:
+    from dataclasses import asdict
+
+    return {"kind": "campaign", "scenario": asdict(context.scenario),
+            "shards": 1}
+
+
+def test_submission_throughput(benchmark, context, tmp_path):
+    """Durable ingest rate: fsynced journal entry per acknowledgment."""
+    spec = _campaign_spec(context)
+    with AuditService(tmp_path / "journal", start_worker=False) as service:
+        with ServiceClient(service.address) as client:
+            benchmark.pedantic(client.submit, args=(spec,),
+                               iterations=1, rounds=1)
+            start = time.perf_counter()
+            for _ in range(SUBMISSIONS):
+                client.submit(spec)
+            elapsed = time.perf_counter() - start
+    rate = SUBMISSIONS / elapsed
+    print()
+    print(f"{SUBMISSIONS} submissions in {elapsed:.2f}s "
+          f"({rate:.0f}/s, fsync per entry)")
+    assert rate >= MIN_SUBMISSIONS_PER_SECOND
+    _merge_results({"submissions_per_second": round(rate, 2),
+                    "submissions": SUBMISSIONS})
+    print(f"wrote {OUTPUT_PATH}")
+
+
+def test_journal_replay_seconds(benchmark, tmp_path):
+    """Restart cost: cold-open (chain verification) + state fold."""
+    fingerprint = service_fingerprint("bench")
+    journal = Journal(tmp_path, fingerprint)
+    for index in range(REPLAY_ENTRIES):
+        journal.append({"kind": "submitted", "job": f"job-{index:06d}",
+                        "spec": {"kind": "campaign", "shards": 1}})
+    journal.close()
+
+    def cold_replay():
+        reopened = Journal(tmp_path, fingerprint)
+        try:
+            return reopened.replay()
+        finally:
+            reopened.close()
+
+    state = benchmark.pedantic(cold_replay, iterations=1, rounds=1)
+    assert state.tip_seq == REPLAY_ENTRIES - 1
+    start = time.perf_counter()
+    state = cold_replay()
+    elapsed = time.perf_counter() - start
+    assert len(state.jobs) == REPLAY_ENTRIES
+    print()
+    print(f"replayed {REPLAY_ENTRIES} entries in {elapsed:.3f}s "
+          f"({REPLAY_ENTRIES / elapsed:.0f} entries/s)")
+    assert elapsed <= MAX_REPLAY_SECONDS
+    _merge_results({"journal_replay_seconds": round(elapsed, 4),
+                    "replay_entries": REPLAY_ENTRIES})
+    print(f"wrote {OUTPUT_PATH}")
+
+
+def test_reader_qps(benchmark, context, tmp_path):
+    """Read-path rate over a store warmed by a real panel job."""
+    from dataclasses import asdict
+
+    spec = {"kind": "panel", "scenario": asdict(context.scenario),
+            "shards": 1, "horizons": [1]}
+    journal_dir = tmp_path / "journal"
+    store_dir = tmp_path / "store"
+    with AuditService(journal_dir, store_dir=store_dir) as service:
+        with ServiceClient(service.address) as client:
+            job_id = client.submit(spec)["job"]
+            state = client.wait_for_job(job_id, timeout=600.0)
+    assert state["status"] == "completed", state.get("error")
+    panel = state["result"]["panel_fingerprint"]
+    namespace = state["result"]["rows_namespace"]
+
+    journal = Journal(journal_dir, service_fingerprint("audit"))
+    try:
+        reader = ServiceReader(journal, store_root=store_dir)
+        digests = reader.wave_digests(panel, 0)
+        assert digests and digests["q12"], "panel job left no cells"
+        # A ref is ``[isp, state, cbg, digest]`` — digest last.
+        cells = [ref[-1] for ref in digests["q12"]]
+        requests = [{"what": "cell", "panel": panel,
+                     "digest": cells[i % len(cells)]}
+                    for i in range(READER_QUERIES // 2)]
+        requests += [{"what": "row", "namespace": namespace,
+                      "row_kind": "q12",
+                      "digest": cells[i % len(cells)]}
+                     for i in range(READER_QUERIES - len(requests))]
+        benchmark.pedantic(reader.query, args=(requests[0],),
+                           iterations=1, rounds=1)
+        start = time.perf_counter()
+        hits = sum(1 for message in requests if reader.query(message)[0])
+        elapsed = time.perf_counter() - start
+    finally:
+        journal.close()
+    qps = len(requests) / elapsed
+    print()
+    print(f"{len(requests)} reads in {elapsed:.3f}s ({qps:.0f} QPS, "
+          f"{hits} hits, memo hits={reader.hits} misses={reader.misses})")
+    assert hits == len(requests)
+    assert qps >= MIN_READER_QPS
+    _merge_results({"reader_qps": round(qps, 2),
+                    "reader_queries": len(requests)})
+    print(f"wrote {OUTPUT_PATH}")

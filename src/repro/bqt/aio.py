@@ -174,12 +174,16 @@ async def query_async(
     records the session's lifetime for politeness evidence.
     """
     session = engine.begin(address)
+    # Pacing sleeps happen *here* with an await, never inside step():
+    # a blocking sleep in the state machine would stall every other
+    # storefront's session sharing this event loop.
+    pace = engine._config.pace
     if monitor is not None:
         monitor.enter(engine.isp_id)
     try:
         while not session.done:
-            session.step()
-            await asyncio.sleep(0)
+            took = session.step()
+            await asyncio.sleep(took * pace if pace > 0 and took > 0 else 0)
     finally:
         if monitor is not None:
             monitor.exit(engine.isp_id)

@@ -21,6 +21,7 @@ stream in the same order, so the final record is identical either way.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -57,18 +58,34 @@ _PAGE_ERROR_CATEGORY = {
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Retry and pacing policy for a collection campaign."""
+    """Retry and pacing policy for a collection campaign.
+
+    ``pace`` is the real-time pacing driver: wall-clock seconds slept
+    per *virtual* second a step accrues (0.0, the default, keeps time
+    purely virtual; 1.0 rehearses a campaign wall-clock-faithfully;
+    0.01 rehearses it at 100x). Pacing never touches the RNG stream
+    or the records — the drivers sleep *after* each attempt's draws,
+    so a paced campaign is byte-identical to an unpaced one, just
+    slower. The sleeping lives in the drivers (:meth:`BqtEngine
+    .query` blocks; :func:`repro.bqt.aio.query_async` awaits), never
+    in :meth:`QuerySession.step`, so pacing cannot stall an event
+    loop's other storefront sessions.
+    """
 
     max_attempts: int = 3
     rotate_proxy_on_failure: bool = True
     # Seconds of back-off added per retry (virtual time).
     retry_backoff_seconds: float = 5.0
+    # Wall seconds slept per virtual second (0 = never sleep).
+    pace: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if self.retry_backoff_seconds < 0:
             raise ValueError("backoff must be non-negative")
+        if self.pace < 0:
+            raise ValueError("pace must be non-negative")
 
 
 class QuerySession:
@@ -209,10 +226,13 @@ class BqtEngine:
         return QuerySession(self, address)
 
     def query(self, address: StreetAddress) -> QueryRecord:
-        """Query one address to a final status."""
+        """Query one address to a final status, pacing if configured."""
         session = self.begin(address)
+        pace = self._config.pace
         while not session.done:
-            session.step()
+            took = session.step()
+            if pace > 0 and took > 0:
+                time.sleep(took * pace)
         return session.record
 
     def query_many(self, addresses: list[StreetAddress]) -> list[QueryRecord]:

@@ -6,9 +6,19 @@ Usage::
                   [--shards N] [--workers N] [--backend B]
                   [--max-inflight N] [--target-seconds S] [--resume]
                   [--checkpoint-dir DIR] [--cache-dir DIR]
+                  [--pace none|real|X] [--worker-address ADDR]
     caf-audit panel --waves N [--churn-cell-rate P] [--store DIR]
                     [--scale ...] [runtime flags as for run]
     caf-audit worker --connect ADDRESS [--die-after N] [--wedge-after N]
+    caf-audit serve --journal DIR [--name NAME] [--address ADDR]
+                    [--store DIR]
+    caf-audit submit --connect ADDRESS [--kind campaign|panel]
+                     [--scale ...] [--shards N] [--waves N] [--pace ...]
+                     [--wait]
+    caf-audit follow --connect ADDRESS --journal DIR [--name NAME]
+    caf-audit query --connect ADDRESS --what WHAT [--job ID] [--wave N]
+                    [--panel FP] [--digest D] [--namespace NS]
+                    [--row-kind q12|q3]
     caf-audit experiment <id>... [--scale ...]
     caf-audit list
     caf-audit export --out DIR [--scale ...]
@@ -16,19 +26,26 @@ Usage::
 
 ``run`` prints the headline audit summary — sharded across worker
 processes, resumable from checkpoints, and served from the
-content-addressed audit cache when the runtime flags are given;
+content-addressed audit cache when the runtime flags are given
+(``--pace real`` rehearses the campaign wall-clock-faithfully;
+``--worker-address HOST:PORT`` puts the distributed fleet on TCP);
 ``panel`` runs a multi-wave longitudinal audit with delta-aware
 incremental re-collection (only cells whose world changed are
 re-queried); ``worker`` joins a distributed coordinator as one leased
 shard worker (the ``--backend distributed`` coordinator spawns these
-itself for the local reference transport); ``experiment`` renders one
-or more paper tables/figures; ``export`` writes the audit datasets to
-CSV for downstream use.
+itself for the local reference transport); ``serve`` runs the
+always-on audit service (:mod:`repro.service`) whose hash-chained
+journal is its only durable state; ``submit``/``follow``/``query``
+are its clients — submit a campaign or panel, replicate the journal,
+read served results; ``experiment`` renders one or more paper
+tables/figures; ``export`` writes the audit datasets to CSV for
+downstream use.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 from pathlib import Path
 
@@ -99,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--cache-dir", metavar="DIR",
         help="content-addressed audit cache directory")
+    run_parser.add_argument(
+        "--pace", default="none", metavar="P",
+        help="real-time pacing: 'none' (default, purely virtual time), "
+             "'real' (1 wall second per virtual second), or a float "
+             "factor (0.01 = 100x faster than real time); records are "
+             "byte-identical at any pace")
+    run_parser.add_argument(
+        "--worker-address", default=None, metavar="ADDR",
+        help="distributed backend: where the coordinator listens for "
+             "workers — HOST:PORT for TCP (port 0 picks a free port) "
+             "or a Unix socket path (default: private tempdir socket)")
 
     panel_parser = subparsers.add_parser(
         "panel", help="run a multi-wave longitudinal audit panel")
@@ -181,6 +209,95 @@ def build_parser() -> argparse.ArgumentParser:
              "heartbeats, no result) on the next lease after "
              "completing N shards")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the always-on audit service")
+    serve_parser.add_argument(
+        "--journal", required=True, metavar="DIR",
+        help="journal root directory (the service's only durable "
+             "state; a restart replays it)")
+    serve_parser.add_argument(
+        "--name", default="audit", metavar="NAME",
+        help="logical service name (namespaces the journal; "
+             "default 'audit')")
+    serve_parser.add_argument(
+        "--address", default=None, metavar="ADDR",
+        help="listen address: a Unix socket path or HOST:PORT "
+             "(HOST:0 binds an ephemeral port; default: a fresh Unix "
+             "socket in a tempdir, printed on startup)")
+    serve_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="panel store root (CAS cells + analysis rows) the read "
+             "API serves from; panel jobs persist into it")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a campaign or panel to a running service")
+    submit_parser.add_argument(
+        "--connect", required=True, metavar="ADDRESS",
+        help="service address: a Unix socket path or HOST:PORT")
+    submit_parser.add_argument(
+        "--kind", choices=("campaign", "panel"), default="campaign")
+    submit_parser.add_argument("--scale", choices=_SCALE_CHOICES,
+                               default="tiny")
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard the campaign into N pieces (journal-checkpointed "
+             "per shard)")
+    submit_parser.add_argument(
+        "--waves", type=int, default=3, metavar="N",
+        help="panel jobs: churn waves after the snapshot (default 3)")
+    submit_parser.add_argument(
+        "--years-per-wave", type=int, default=1, metavar="Y",
+        help="panel jobs: years of churn between waves (default 1)")
+    submit_parser.add_argument(
+        "--pace", default="none", metavar="P",
+        help="pacing for the submitted job (as for run)")
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state and report "
+             "its result (exit 1 if it failed)")
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="--wait limit in seconds (default 600)")
+
+    follow_parser = subparsers.add_parser(
+        "follow", help="replicate a service's journal to a local one")
+    follow_parser.add_argument(
+        "--connect", required=True, metavar="ADDRESS",
+        help="service address: a Unix socket path or HOST:PORT")
+    follow_parser.add_argument(
+        "--journal", required=True, metavar="DIR",
+        help="local replica journal root (same namespace as the "
+             "primary's, so the trees are interchangeable)")
+    follow_parser.add_argument(
+        "--name", default="audit", metavar="NAME",
+        help="logical service name (must match the primary's)")
+    follow_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="S",
+        help="seconds to reach the primary's tip (default 60)")
+
+    query_parser = subparsers.add_parser(
+        "query", help="read served results from a running service")
+    query_parser.add_argument(
+        "--connect", required=True, metavar="ADDRESS",
+        help="service address: a Unix socket path or HOST:PORT")
+    query_parser.add_argument(
+        "--what", required=True,
+        choices=("state", "job", "wave-analysis", "wave-digests",
+                 "cell", "row"),
+        help="what to read: coordinator state, one job, a sealed "
+             "wave's analysis, a wave's cell digests, a CAS cell "
+             "payload, or a cached analysis row")
+    query_parser.add_argument("--job", default=None, metavar="ID")
+    query_parser.add_argument("--wave", type=int, default=None, metavar="N")
+    query_parser.add_argument("--panel", default=None, metavar="FP",
+                              help="panel fingerprint")
+    query_parser.add_argument("--digest", default=None, metavar="D")
+    query_parser.add_argument("--namespace", default=None, metavar="NS",
+                              help="row-cache namespace")
+    query_parser.add_argument("--row-kind", choices=("q12", "q3"),
+                              default=None)
+
     export_parser = subparsers.add_parser(
         "export", help="export audit datasets + manifest to a directory")
     export_parser.add_argument("--out", required=True)
@@ -224,15 +341,44 @@ def _scenario_at(scale: str, seed: int) -> ScenarioConfig:
     return scenario
 
 
+def _parse_pace(text: str) -> float:
+    """``--pace`` values: ``none``, ``real``, or a float factor."""
+    if text in ("none", ""):
+        return 0.0
+    if text == "real":
+        return 1.0
+    return float(text)
+
+
+def _engine_config_for_pace(command: str, pace_text: str):
+    """The :class:`~repro.bqt.engine.EngineConfig` a ``--pace`` flag
+    asks for (``None`` when unpaced), or an exit code on junk."""
+    try:
+        pace = _parse_pace(pace_text)
+        if pace == 0:
+            return None
+        from repro.bqt.engine import EngineConfig
+
+        return EngineConfig(pace=pace)
+    except ValueError as error:
+        print(f"caf-audit {command}: invalid --pace {pace_text!r}: {error}",
+              file=sys.stderr)
+        return 2
+
+
 def _command_run(args: argparse.Namespace) -> int:
     scenario = _scenario_at(args.scale, args.seed)
+    engine_config = _engine_config_for_pace("run", args.pace)
+    if engine_config == 2:
+        return 2
     if args.target_seconds is not None:
-        return _run_autotuned(args, scenario)
+        return _run_autotuned(args, scenario, engine_config)
     parallel = None
     wants_runtime = (args.shards or args.workers != 1 or args.resume
                      or args.backend != "auto"
                      or args.max_inflight is not None
                      or args.lease_timeout is not None
+                     or args.worker_address is not None
                      or args.checkpoint_dir or args.cache_dir)
     if wants_runtime:
         from repro.runtime import RuntimeConfig
@@ -250,18 +396,21 @@ def _command_run(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 cache_dir=args.cache_dir,
                 lease_timeout=args.lease_timeout,
+                worker_address=args.worker_address,
             )
         except ValueError as error:
             print(f"caf-audit run: {error}", file=sys.stderr)
             return 2
     on_progress = _shard_progress_printer() if parallel is not None else None
     report = run_full_audit(scenario=scenario, parallel=parallel,
-                            on_progress=on_progress)
+                            on_progress=on_progress,
+                            engine_config=engine_config)
     print("\n".join(report.summary_lines()))
     return 0
 
 
-def _run_autotuned(args: argparse.Namespace, scenario) -> int:
+def _run_autotuned(args: argparse.Namespace, scenario,
+                   engine_config=None) -> int:
     """``run --target-seconds``: size the distributed fleet, then run."""
     if args.backend not in ("auto", "distributed"):
         print(f"caf-audit run: --target-seconds autotunes the distributed "
@@ -280,9 +429,12 @@ def _run_autotuned(args: argparse.Namespace, scenario) -> int:
         # and world build, or a warm cache still pays minutes of
         # autotuning work it is about to throw away. Both lookups are
         # the exact ones run_full_audit performs (shared helpers).
+        # A paced run never takes it: serving a rehearsal from cache
+        # would skip the rehearsal (pacing is part of the digest).
         from repro.core.pipeline import cached_audit_report, cached_world
 
-        cached = cached_audit_report(args.cache_dir, scenario)
+        cached = (cached_audit_report(args.cache_dir, scenario)
+                  if engine_config is None else None)
         if cached is not None:
             print("audit served from cache; autotuning skipped",
                   file=sys.stderr)
@@ -311,7 +463,8 @@ def _run_autotuned(args: argparse.Namespace, scenario) -> int:
         print(f"caf-audit run: {error}", file=sys.stderr)
         return 2
     report = run_full_audit(world=world, parallel=parallel,
-                            on_progress=_shard_progress_printer())
+                            on_progress=_shard_progress_printer(),
+                            engine_config=engine_config)
     print("\n".join(report.summary_lines()))
     return 0
 
@@ -511,6 +664,131 @@ def _command_worker(args: argparse.Namespace) -> int:
         return 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import AuditService
+
+    try:
+        service = AuditService(args.journal, name=args.name,
+                               address=args.address, store_dir=args.store)
+        service.start()
+    except (OSError, ValueError) as error:
+        print(f"caf-audit serve: {error}", file=sys.stderr)
+        return 1
+    # The bound address on stdout (scripts capture it; TCP port 0 and
+    # the default tempdir socket are only known post-bind), status on
+    # stderr like the rest of the CLI.
+    print(service.address, flush=True)
+    print(f"service {args.name!r} listening at {service.address} "
+          f"(journal tip seq {service.journal.tip_seq})", file=sys.stderr)
+    try:
+        service._stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def _build_submission_spec(args: argparse.Namespace, engine_config) -> dict:
+    from dataclasses import asdict
+
+    scenario = _scenario_at(args.scale, args.seed)
+    spec: dict = {"kind": args.kind, "scenario": asdict(scenario),
+                  "shards": args.shards}
+    if args.kind == "panel":
+        if args.waves < 1 or args.years_per_wave < 1:
+            raise ValueError("--waves and --years-per-wave must be positive")
+        spec["horizons"] = [args.years_per_wave * wave
+                            for wave in range(1, args.waves + 1)]
+    if engine_config is not None:
+        spec["engine_config"] = asdict(engine_config)
+    return spec
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.runtime.distributed import FrameError
+    from repro.service import ServiceClient
+
+    engine_config = _engine_config_for_pace("submit", args.pace)
+    if engine_config == 2:
+        return 2
+    try:
+        spec = _build_submission_spec(args, engine_config)
+    except ValueError as error:
+        print(f"caf-audit submit: {error}", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(args.connect) as client:
+            response = client.submit(spec)
+            print(f"accepted {response['job']} "
+                  f"(seq {response['seq']}, "
+                  f"digest {response['digest'][:16]}…)")
+            if not args.wait:
+                return 0
+            state = client.wait_for_job(response["job"],
+                                        timeout=args.timeout)
+    except (OSError, FrameError, RuntimeError, TimeoutError) as error:
+        print(f"caf-audit submit: {error}", file=sys.stderr)
+        return 1
+    if state.get("status") == "completed":
+        print(f"completed: {_json.dumps(state.get('result'), sort_keys=True)}")
+        return 0
+    print(f"failed: {state.get('error')}", file=sys.stderr)
+    return 1
+
+
+def _command_follow(args: argparse.Namespace) -> int:
+    from repro.runtime.distributed import FrameError
+    from repro.service import JournalError, follow
+
+    follower = follow(args.connect, args.journal, name=args.name)
+    try:
+        replicated = follower.catch_up(timeout=args.timeout)
+        journal = follower.journal
+        print(f"replicated {replicated} entries; tip seq "
+              f"{journal.tip_seq}, digest {journal.tip_digest[:16]}…")
+        return 0
+    except (OSError, FrameError, JournalError, TimeoutError) as error:
+        print(f"caf-audit follow: {error}", file=sys.stderr)
+        return 1
+    finally:
+        follower.close()
+        follower.journal.close()
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.runtime.distributed import FrameError
+    from repro.service import ServiceClient
+
+    message = {"what": args.what}
+    for key, value in (("job", args.job), ("wave", args.wave),
+                       ("panel", args.panel), ("digest", args.digest),
+                       ("namespace", args.namespace),
+                       ("row_kind", args.row_kind)):
+        if value is not None:
+            message[key] = value
+    try:
+        with ServiceClient(args.connect) as client:
+            response = client.query(**message)
+    except (OSError, FrameError) as error:
+        print(f"caf-audit query: {error}", file=sys.stderr)
+        return 1
+    if response.get("type") != "result":
+        print(f"caf-audit query: {response.get('error', response)}",
+              file=sys.stderr)
+        return 2
+    try:
+        print(_json.dumps(response.get("payload"), indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # Downstream (a pager, `head`) closed the pipe after reading
+        # what it wanted; swap in devnull so interpreter shutdown
+        # doesn't trip over the dead stdout.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if response.get("hit") else 1
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     for experiment_id in sorted(EXPERIMENTS):
         print(experiment_id)
@@ -574,6 +852,10 @@ _COMMANDS = {
     "run": _command_run,
     "panel": _command_panel,
     "worker": _command_worker,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "follow": _command_follow,
+    "query": _command_query,
     "experiment": _command_experiment,
     "list": _command_list,
     "export": _command_export,

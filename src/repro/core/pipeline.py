@@ -32,6 +32,7 @@ from repro.synth.world import World, build_world
 from repro.synth.scenario import ScenarioConfig
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.bqt.engine import EngineConfig
     from repro.runtime.executor import RuntimeConfig
 
 __all__ = ["AuditReport", "run_full_audit"]
@@ -131,6 +132,7 @@ def run_full_audit(
     use_urban_survey: bool = True,
     parallel: "RuntimeConfig | None" = None,
     on_progress=None,
+    engine_config: "EngineConfig | None" = None,
 ) -> AuditReport:
     """Run the complete study and return every analysis object.
 
@@ -143,6 +145,9 @@ def run_full_audit(
     world store, so e.g. policy sweeps rebuild only the campaigns.
     ``on_progress`` (sharded runs only) fires per completed shard with
     ``(completed, total, shard_result, restored)``.
+    ``engine_config`` overrides the retry/pacing policy for both
+    campaigns; a non-default one is part of the cache address (see
+    :func:`repro.runtime.cache.audit_digest`).
     """
     cache = digest = None
     if parallel is not None and parallel.cache_dir is not None:
@@ -152,6 +157,7 @@ def run_full_audit(
         digest = audit_digest(
             world.config if world is not None else (scenario or ScenarioConfig()),
             policy, CAF_STUDY_ISP_IDS, use_urban_survey=use_urban_survey,
+            engine_config=engine_config,
         )
         cached = cache.get(digest)
         if cached is not None:
@@ -167,11 +173,12 @@ def run_full_audit(
 
         collection, q3_collection = execute_campaign(
             world, parallel, policy=policy, isps=CAF_STUDY_ISP_IDS,
-            on_progress=on_progress)
+            engine_config=engine_config, on_progress=on_progress)
     else:
-        campaign = CollectionCampaign(world, policy=policy)
+        campaign = CollectionCampaign(world, policy=policy,
+                                      engine_config=engine_config)
         collection = campaign.run(isps=CAF_STUDY_ISP_IDS)
-        q3_collection = collect_q3_dataset(world)
+        q3_collection = collect_q3_dataset(world, engine_config=engine_config)
     survey = (generate_urban_rate_survey(seed=world.config.seed)
               if use_urban_survey else None)
     standard = ComplianceStandard(survey=survey)

@@ -57,6 +57,7 @@ from repro.runtime.checkpoint import (
     _record_to_json,
     _shard_from_json,
 )
+from repro.runtime.storebase import FingerprintNamespacedStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.longitudinal.digests import WaveDigests
@@ -67,7 +68,6 @@ __all__ = ["PanelStore"]
 FORMAT_VERSION = 2
 # Format-1 documents (one self-contained JSON per wave) load read-only.
 _LEGACY_FORMAT_VERSION = 1
-_NAMESPACE_DIGITS = 16
 _CELLS_SUBDIR = "cells"
 
 
@@ -107,32 +107,18 @@ def _q3_outcome_from_payload(payload: dict):
     )
 
 
-class PanelStore:
+class PanelStore(FingerprintNamespacedStore):
     """One panel campaign's persisted waves under a directory."""
-
-    def __init__(self, directory: str | Path, fingerprint: str):
-        self._directory = Path(directory)
-        self._fingerprint = fingerprint
-
-    @property
-    def directory(self) -> Path:
-        """The store root (shared across panels)."""
-        return self._directory
 
     @property
     def panel_directory(self) -> Path:
         """This panel's namespaced subdirectory under the root."""
-        return self._directory / self._fingerprint[:_NAMESPACE_DIGITS]
+        return self.namespace_directory
 
     @property
     def cells_directory(self) -> Path:
         """The digest-keyed cell CAS under the panel directory."""
         return self.panel_directory / _CELLS_SUBDIR
-
-    @property
-    def fingerprint(self) -> str:
-        """The panel fingerprint these waves belong to."""
-        return self._fingerprint
 
     def wave_path(self, wave: int) -> Path:
         """Path of one wave's manifest."""
@@ -207,15 +193,10 @@ class PanelStore:
 
     def _load_manifest(self, wave: int) -> dict | None:
         """One wave's parsed manifest (format 1 or 2), or ``None``."""
-        try:
-            document = json.loads(
-                self.wave_path(wave).read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            return None
-        if (not isinstance(document, dict)
+        document = self._owned_document(self.wave_path(wave))
+        if (document is None
                 or document.get("format") not in (FORMAT_VERSION,
                                                   _LEGACY_FORMAT_VERSION)
-                or document.get("fingerprint") != self._fingerprint
                 or document.get("wave") != wave):
             return None
         return document

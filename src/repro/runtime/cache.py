@@ -80,17 +80,31 @@ def audit_digest(
     policy: SamplingPolicy | None,
     isps: tuple[str, ...],
     use_urban_survey: bool = True,
+    engine_config=None,
 ) -> str:
     """Content address of one audit: every input that determines it —
-    scenario, policy, ISP set, and the urban-survey toggle."""
+    scenario, policy, ISP set, and the urban-survey toggle.
+
+    ``engine_config`` participates only when it differs from the
+    default :class:`~repro.bqt.engine.EngineConfig` — an omitted or
+    default config hashes exactly as before, preserving every digest
+    already in a cache. A non-default config (fewer retries, pacing)
+    gets its own address: retry policy changes the records, and a
+    paced rehearsal that hit the cache would never actually pace.
+    """
+    from repro.bqt.engine import EngineConfig
+
     policy = policy or SamplingPolicy()
-    return content_digest({
+    payload = {
         "format": CACHE_FORMAT_VERSION,
         "scenario": asdict(scenario),
         "policy": asdict(policy),
         "isps": sorted(isps),
         "use_urban_survey": use_urban_survey,
-    })
+    }
+    if engine_config is not None and engine_config != EngineConfig():
+        payload["engine_config"] = asdict(engine_config)
+    return content_digest(payload)
 
 
 def world_digest(scenario: ScenarioConfig) -> str:

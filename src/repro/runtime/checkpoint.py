@@ -47,6 +47,7 @@ from repro.persist.store import _sha256
 from repro.runtime.atomicio import atomic_write_text, sweep_stale_tmp_files
 from repro.runtime.cache import content_digest
 from repro.runtime.shards import Q12Cell
+from repro.runtime.storebase import FingerprintNamespacedStore
 from repro.synth.scenario import ScenarioConfig
 
 __all__ = ["CheckpointStore", "campaign_fingerprint"]
@@ -191,38 +192,20 @@ def _shard_from_json(data: dict) -> "ShardResult":
 # The store
 # ----------------------------------------------------------------------
 
-class CheckpointStore:
+class CheckpointStore(FingerprintNamespacedStore):
     """One campaign's shard checkpoints under a directory.
 
     ``directory`` is the shared checkpoint *root*; this campaign's
-    files live in :attr:`campaign_directory`, a subdirectory named by
-    a prefix of the fingerprint. Namespacing (rather than a
+    files live in :attr:`campaign_directory` (the base class's
+    fingerprint-namespaced subdirectory). Namespacing (rather than a
     fingerprint check that deletes on mismatch) means campaigns that
     share a root can never destroy each other's checkpoints.
     """
 
-    # Enough hex digits that distinct campaigns practically never
-    # collide, short enough to keep paths readable.
-    _NAMESPACE_DIGITS = 16
-
-    def __init__(self, directory: str | Path, fingerprint: str):
-        self._directory = Path(directory)
-        self._fingerprint = fingerprint
-
-    @property
-    def directory(self) -> Path:
-        """The checkpoint root (shared across campaigns)."""
-        return self._directory
-
     @property
     def campaign_directory(self) -> Path:
         """This campaign's namespaced subdirectory under the root."""
-        return self._directory / self._fingerprint[:self._NAMESPACE_DIGITS]
-
-    @property
-    def fingerprint(self) -> str:
-        """The campaign fingerprint these checkpoints belong to."""
-        return self._fingerprint
+        return self.namespace_directory
 
     def shard_path(self, index: int) -> Path:
         """Path of one shard's checkpoint file."""
@@ -232,19 +215,11 @@ class CheckpointStore:
         return self.campaign_directory / MANIFEST_NAME
 
     def _load_manifest(self) -> dict | None:
-        path = self._manifest_path()
-        if not path.exists():
-            return None
-        try:
-            manifest = json.loads(path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError):
-            # A kill mid-write cannot truncate the manifest any more
-            # (writes are atomic), but a manifest written by older code
-            # or damaged externally is still recoverable: rebuild from
-            # the shard files instead of crashing.
-            return None
-        # Valid JSON that is not an object is damage too.
-        return manifest if isinstance(manifest, dict) else None
+        # A kill mid-write cannot truncate the manifest any more
+        # (writes are atomic), but a manifest written by older code or
+        # damaged externally is still recoverable: ``None`` lets the
+        # caller rebuild from the shard files instead of crashing.
+        return self._read_json_document(self._manifest_path())
 
     def _write_manifest(self, checksums: dict[str, str]) -> None:
         payload = {
@@ -323,12 +298,10 @@ class CheckpointStore:
         legacy_manifest = self._directory / MANIFEST_NAME
         if not legacy_manifest.exists():
             return
-        try:
-            legacy = json.loads(legacy_manifest.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError):
-            return  # unrecognizable: not ours to clean up
-        if (not isinstance(legacy, dict)
-                or legacy.get("fingerprint") != self._fingerprint):
+        # Unrecognizable or another campaign's legacy data: not ours
+        # to clean up.
+        legacy = self._owned_document(legacy_manifest)
+        if legacy is None:
             return
         self.campaign_directory.mkdir(parents=True, exist_ok=True)
         for name, expected in legacy.get("checksums", {}).items():

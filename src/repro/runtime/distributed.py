@@ -598,9 +598,31 @@ def run_shards_distributed(
                               config.effective_max_inflight, per_isp_cap,
                               heartbeat_interval=heartbeat_interval)
 
-    tmpdir = tempfile.mkdtemp(prefix="repro-dist-")
-    address = os.path.join(tmpdir, "coordinator.sock")
-    listener = socket.socket(socket.AF_UNIX)
+    # Where the fleet meets: the default is a Unix socket in a private
+    # temp directory; ``config.worker_address`` overrides it with a
+    # caller-chosen Unix path or a TCP ``host:port`` (port 0 picks a
+    # free port, resolved after bind so spawned workers get the real
+    # one) for cross-host fleets or hosts without Unix sockets.
+    worker_address = getattr(config, "worker_address", None)
+    tmpdir = None
+    tcp_endpoint = None
+    if worker_address is None:
+        tmpdir = tempfile.mkdtemp(prefix="repro-dist-")
+        address = os.path.join(tmpdir, "coordinator.sock")
+        listener = socket.socket(socket.AF_UNIX)
+    elif os.sep in worker_address or ":" not in worker_address:
+        address = worker_address
+        listener = socket.socket(socket.AF_UNIX)
+    else:
+        host, _, port_text = worker_address.rpartition(":")
+        try:
+            tcp_endpoint = (host, int(port_text))
+        except ValueError:
+            raise ValueError(
+                f"worker_address {worker_address!r} has a non-numeric port")
+        address = worker_address  # refined to the bound port below
+        listener = socket.socket(socket.AF_INET)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     procs: list[subprocess.Popen] = []
     threads: list[threading.Thread] = []
     respawns_left = (workers + 2) if max_respawns is None else max_respawns
@@ -622,7 +644,12 @@ def run_shards_distributed(
                 proc.kill()
 
     try:
-        listener.bind(address)
+        if tcp_endpoint is not None:
+            listener.bind(tcp_endpoint)
+            bound_port = listener.getsockname()[1]
+            address = f"{tcp_endpoint[0] or '127.0.0.1'}:{bound_port}"
+        else:
+            listener.bind(address)
         listener.listen(workers * 2)
         listener.settimeout(_ACCEPT_POLL_SECONDS)
         spawn(tuple(first_worker_extra_args))
@@ -669,7 +696,15 @@ def run_shards_distributed(
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait()
-        shutil.rmtree(tmpdir, ignore_errors=True)
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        elif tcp_endpoint is None:
+            # Caller-provided Unix path: remove the socket file, keep
+            # the caller's directory.
+            try:
+                os.unlink(address)
+            except OSError:
+                pass
 
 
 # ----------------------------------------------------------------------

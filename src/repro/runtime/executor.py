@@ -93,6 +93,13 @@ class RuntimeConfig:
     slowest single shard's compute time, or healthy workers will be
     abandoned mid-shard and the campaign can never finish; raise it
     for big scales. ``None`` uses the distributed module's default.
+
+    ``worker_address`` (distributed only) is where the coordinator
+    listens for workers: ``"host:port"`` binds a TCP socket (port 0
+    picks a free port), anything else is a Unix socket path. ``None``,
+    the default, uses a Unix socket in a private temp directory —
+    right for spawned local fleets; give an address when workers join
+    from other hosts or when Unix sockets are unavailable.
     """
 
     shards: int = 1
@@ -103,6 +110,7 @@ class RuntimeConfig:
     resume: bool = False
     cache_dir: str | None = None
     lease_timeout: float | None = None
+    worker_address: str | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -127,6 +135,14 @@ class RuntimeConfig:
                 raise ValueError(
                     f"lease_timeout requires the distributed backend, "
                     f"not {self.backend!r}")
+        if self.worker_address is not None:
+            if self.backend != "distributed":
+                # A listen address must never be silently ignored.
+                raise ValueError(
+                    f"worker_address requires the distributed backend, "
+                    f"not {self.backend!r}")
+            if not self.worker_address:
+                raise ValueError("worker_address must be non-empty")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume requires a checkpoint_dir")
 

@@ -1,0 +1,42 @@
+"""repro.service — the always-on audit service.
+
+The serving layer over the one-shot runtime: a daemon
+(:mod:`~repro.service.daemon`) accepting campaign/panel submissions
+and queries over the distributed runtime's framed-socket protocol, an
+append-only hash-chained journal (:mod:`~repro.service.journal`)
+whose deterministic ``replay()`` *is* the coordinator's durable
+state, a follower feed (:mod:`~repro.service.follower`) replicating
+that journal to standby and read-only nodes, and a cache-backed read
+API (:mod:`~repro.service.reader`).
+"""
+
+from repro.service.daemon import AuditService, ServiceClient, validate_spec
+from repro.service.follower import JournalFollower, follow
+from repro.service.journal import (
+    CoordinatorState,
+    GENESIS_DIGEST,
+    Journal,
+    JournalEntry,
+    JournalError,
+    JobState,
+    entry_digest,
+    service_fingerprint,
+)
+from repro.service.reader import ServiceReader
+
+__all__ = [
+    "AuditService",
+    "CoordinatorState",
+    "GENESIS_DIGEST",
+    "Journal",
+    "JournalEntry",
+    "JournalError",
+    "JournalFollower",
+    "JobState",
+    "ServiceClient",
+    "ServiceReader",
+    "entry_digest",
+    "follow",
+    "service_fingerprint",
+    "validate_spec",
+]

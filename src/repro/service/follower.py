@@ -1,0 +1,131 @@
+"""Journal replication: standby and read-only nodes follow the feed.
+
+A follower replicates a coordinator's journal *over the frame
+protocol* instead of sharing its disk — the replica shape of classic
+always-on services. The feed is offset-based catch-up: the follower
+asks for entries from its local tip (``pull`` requests, long-polling
+when caught up), verifies each entry's digest and chain link against
+its *own* journal (:meth:`~repro.service.journal.Journal
+.append_replicated` — never trusting the wire beyond its checksums),
+and persists it. Verification is cumulative: once the local tip
+digest equals the coordinator's, the entire replicated history is
+authenticated, which is the hash chain's point — a follower that
+subscribes mid-campaign still converges to the same digest chain,
+because entries 0..n are pulled and verified in order regardless of
+when the subscription started.
+
+The replica is a full :class:`~repro.service.journal.Journal`, so a
+standby coordinator can ``replay()`` it into the same state bytes the
+primary would recover, and a read-only analysis node can serve the
+:mod:`~repro.service.reader` API from it.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.service.daemon import ServiceClient
+from repro.service.journal import Journal, JournalError, service_fingerprint
+
+__all__ = ["JournalFollower", "follow"]
+
+
+class JournalFollower:
+    """Replicates one coordinator's journal into a local journal."""
+
+    def __init__(self, address: str, journal: Journal):
+        self._address = address
+        self._journal = journal
+        self._client: ServiceClient | None = None
+        self.replicated = 0  # entries appended by this follower
+
+    @property
+    def journal(self) -> Journal:
+        return self._journal
+
+    def _ensure_client(self) -> ServiceClient:
+        if self._client is None:
+            self._client = ServiceClient(self._address)
+        return self._client
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def __enter__(self) -> "JournalFollower":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def sync_once(self, wait: float = 0.0,
+                  max_entries: int | None = None) -> int:
+        """One pull from the local tip; returns entries replicated.
+
+        Raises :class:`~repro.service.journal.JournalError` if the
+        feed fails verification — a diverged or tampered upstream must
+        stop the replica, not corrupt it.
+        """
+        client = self._ensure_client()
+        response = client.pull(self._journal.tip_seq + 1,
+                               max_entries=max_entries, wait=wait)
+        if response.get("type") != "entries":
+            raise JournalError(
+                f"unexpected feed response: {response.get('error', response)}")
+        appended = 0
+        for data in response.get("entries", ()):
+            self._journal.append_replicated(data)
+            appended += 1
+        self.replicated += appended
+        return appended
+
+    def catch_up(self, timeout: float = 30.0) -> int:
+        """Pull until the local tip matches the coordinator's.
+
+        Convergence check is by *digest*, not just sequence: matching
+        tips prove the whole replicated chain is the coordinator's.
+        """
+        deadline = time.monotonic() + timeout
+        total = 0
+        while True:
+            total += self.sync_once()
+            response = self._ensure_client().ping()
+            if (response.get("tip_seq") == self._journal.tip_seq
+                    and response.get("tip_digest")
+                    == self._journal.tip_digest):
+                return total
+            if (response.get("tip_seq") == self._journal.tip_seq
+                    and response.get("tip_digest")
+                    != self._journal.tip_digest):
+                raise JournalError(
+                    "replica tip diverged from the coordinator at equal "
+                    "sequence — histories are incompatible")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"follower still behind after {timeout}s "
+                    f"(local tip {self._journal.tip_seq}, upstream "
+                    f"{response.get('tip_seq')})")
+
+    def follow_until(self, predicate, timeout: float = 60.0,
+                     wait: float = 1.0) -> None:
+        """Live-tail the feed until ``predicate(journal)`` is true.
+
+        The standby loop: long-poll pulls keep the replica within one
+        round-trip of the primary's tip.
+        """
+        deadline = time.monotonic() + timeout
+        while not predicate(self._journal):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"condition not reached after {timeout}s")
+            self.sync_once(wait=wait)
+
+
+def follow(address: str, directory: str | Path,
+           name: str = "audit") -> JournalFollower:
+    """A follower replicating service ``name`` at ``address`` into a
+    local journal under ``directory`` (same fingerprint namespace as
+    the primary's, so the directory trees are interchangeable)."""
+    journal = Journal(directory, service_fingerprint(name))
+    return JournalFollower(address, journal)

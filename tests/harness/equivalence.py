@@ -44,7 +44,7 @@ from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
 from repro.core.collection import CollectionCampaign, collect_q3_dataset
 from repro.longitudinal import PanelCampaign, WaveOutcome
 from repro.runtime import RuntimeConfig, execute_campaign, enumerate_q12_cells
-from repro.runtime.checkpoint import _record_to_json
+from repro.runtime.checkpoint import _record_to_json, _shard_to_json
 from repro.runtime.shards import DEFAULT_ISPS
 from repro.synth.churn import ChurnModel, churned_world
 from repro.synth.world import World
@@ -54,9 +54,11 @@ __all__ = [
     "backend_matrix",
     "canonical_analysis_bytes",
     "canonical_logbook_bytes",
+    "canonical_shard_state_bytes",
     "run_backend",
     "assert_backends_equivalent",
     "assert_incremental_analysis_equivalent",
+    "assert_journal_replay_equivalent",
     "assert_panel_backends_equivalent",
     "assert_panel_replay_equivalent",
     "scratch_wave_bytes",
@@ -192,6 +194,49 @@ def assert_backends_equivalent(
                 f"{run.label} fleet-wide {isp} concurrency could reach "
                 f"{peak * run.config.concurrent_shards}")
     return runs
+
+
+# ----------------------------------------------------------------------
+# Service: journal replay == checkpoint-store resume
+# ----------------------------------------------------------------------
+
+def canonical_shard_state_bytes(shards: dict) -> bytes:
+    """Canonical byte serialization of a completed-shard state — the
+    thing a resume (journal replay *or* checkpoint load) reconstructs.
+
+    Uses the checkpoint codec's shortest-repr float round-trip, so
+    byte equality is bit equality of every record in every shard.
+    """
+    payload = {str(index): _shard_to_json(result)
+               for index, result in sorted(shards.items())}
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def assert_journal_replay_equivalent(journal, fingerprint: str,
+                                     store) -> dict:
+    """The service journal's replayed shard state byte-equals a
+    :class:`~repro.runtime.checkpoint.CheckpointStore` resume.
+
+    ``journal`` is a :class:`~repro.service.journal.Journal` holding a
+    (possibly interrupted) campaign's ``shard-completed`` entries;
+    ``store`` is a checkpoint store for the *same* campaign
+    fingerprint, interrupted at the same point. The two durability
+    designs — state-as-replayable-log and manifest-of-checksums files
+    — must reconstruct identical completed-shard maps, byte for byte.
+    Returns the journal-side map for further assertions.
+    """
+    replayed = journal.completed_shard_results(fingerprint)
+    resumed = store.load_completed()
+    assert set(replayed) == set(resumed), (
+        f"journal replay found shards {sorted(replayed)} but the "
+        f"checkpoint store resumed {sorted(resumed)}")
+    journal_bytes = canonical_shard_state_bytes(replayed)
+    store_bytes = canonical_shard_state_bytes(resumed)
+    assert journal_bytes == store_bytes, (
+        "journal-replayed shard state diverged from the checkpoint "
+        "store's resume state for the same campaign prefix")
+    return replayed
 
 
 # ----------------------------------------------------------------------

@@ -184,6 +184,49 @@ class TestEngine:
             EngineConfig(retry_backoff_seconds=-1.0)
 
 
+class TestPacing:
+    """``EngineConfig.pace`` stretches wall clock, never the records."""
+
+    def test_pace_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(pace=-0.1)
+        assert EngineConfig(pace=0.0) == EngineConfig()
+
+    def test_paced_records_are_byte_identical(self, block):
+        import time
+
+        addresses = AddressGenerator(seed=0).generate_for_block(
+            block, 3, True, "caf")
+        unpaced = build_engine("att", addresses).query_many(addresses)
+        site_truth = GroundTruth()
+        plan = BroadbandPlan("p", 25.0, 2.5, 50.0)
+        for address in addresses:
+            site_truth.set_truth("att", address.address_id, ServiceTruth(
+                serves=True, plans=(plan,), tier_label=plan.tier_label))
+        site = build_website("att", site_truth, seed=0)
+        engine = BqtEngine(site, config=EngineConfig(pace=0.001), seed=0)
+        start = time.perf_counter()
+        paced = engine.query_many(addresses)
+        wall = time.perf_counter() - start
+        assert [vars(r) for r in paced] == [vars(r) for r in unpaced]
+        virtual = sum(r.elapsed_seconds for r in paced)
+        # The driver slept ~pace seconds per virtual second (margin
+        # for scheduler jitter, none for a missing sleep).
+        assert wall >= virtual * 0.001 * 0.5
+
+    def test_non_default_config_gets_its_own_cache_address(
+            self, tiny_config):
+        from repro.runtime.cache import audit_digest
+
+        base = audit_digest(tiny_config, None, ("att",))
+        # Default configs hash exactly as before — a cache of digests
+        # minted prior to pacing stays valid.
+        assert audit_digest(tiny_config, None, ("att",),
+                            engine_config=EngineConfig()) == base
+        assert audit_digest(tiny_config, None, ("att",),
+                            engine_config=EngineConfig(pace=1.0)) != base
+
+
 class TestQueryLog:
     def _record(self, status=QueryStatus.SERVICEABLE, isp="att",
                 address_id="a-1", **kwargs):

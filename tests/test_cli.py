@@ -381,3 +381,62 @@ class TestPanelCommand:
     def test_resume_without_store_exit_2(self, capsys):
         assert main(["panel", "--resume"]) == 2
         assert "resume" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    """Parsing and fast error paths for serve/submit/follow/query (the
+    daemon itself is exercised end to end in test_service_daemon.py
+    and test_service_chaos.py)."""
+
+    def test_parser_accepts_service_commands(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--journal", "j"])
+        assert serve.journal == "j" and serve.name == "audit"
+        submit = parser.parse_args(
+            ["submit", "--connect", "host:9", "--kind", "panel",
+             "--waves", "2", "--wait"])
+        assert submit.kind == "panel" and submit.wait
+        follow = parser.parse_args(
+            ["follow", "--connect", "host:9", "--journal", "replica"])
+        assert follow.journal == "replica"
+        query = parser.parse_args(
+            ["query", "--connect", "host:9", "--what", "wave-analysis",
+             "--job", "job-1", "--wave", "0"])
+        assert query.what == "wave-analysis" and query.wave == 0
+
+    def test_serve_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_query_rejects_unknown_what(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--connect", "h:9", "--what", "horoscope"])
+
+    def test_pace_parsing(self):
+        from repro.cli import _parse_pace
+
+        assert _parse_pace("none") == 0.0
+        assert _parse_pace("real") == 1.0
+        assert _parse_pace("0.25") == 0.25
+        with pytest.raises(ValueError):
+            _parse_pace("banana")
+        # Negative paces parse but are refused by EngineConfig — the
+        # command helper turns that into exit code 2.
+        from repro.cli import _engine_config_for_pace
+
+        assert _engine_config_for_pace("run", "-1") == 2
+
+    def test_run_bad_pace_exits_2(self, capsys):
+        assert main(["run", "--pace", "banana"]) == 2
+        assert "--pace" in capsys.readouterr().err
+
+    def test_submit_bad_pace_exits_2_before_connecting(self, capsys):
+        # The bogus --connect address proves no connection is attempted.
+        assert main(["submit", "--connect", "nowhere.invalid:1",
+                     "--pace", "-3"]) == 2
+        assert "--pace" in capsys.readouterr().err
+
+    def test_run_worker_address_requires_distributed(self, capsys):
+        assert main(["run", "--worker-address", "127.0.0.1:0"]) == 2
+        assert "worker_address" in capsys.readouterr().err

@@ -1,0 +1,338 @@
+"""The hash-chained journal: chain integrity, crash recovery, replay.
+
+Staged wrecks mirror ``test_checkpoint_crash.py`` one layer up: a
+writer killed mid-append leaves a torn tail (truncate), mid-file
+corruption leaves unverifiable suffix entries (quarantine), and a
+spliced or reordered chain must never replay. Determinism tests pin
+the property everything else rests on: same journal bytes, same
+replayed state bytes, whichever process folds them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.journal import (
+    GENESIS_DIGEST,
+    CoordinatorState,
+    Journal,
+    JournalEntry,
+    JournalError,
+    entry_digest,
+    service_fingerprint,
+)
+
+pytestmark = pytest.mark.service
+
+FP = service_fingerprint("test")
+
+
+def make_journal(tmp_path, events=(), name="test") -> Journal:
+    journal = Journal(tmp_path, service_fingerprint(name))
+    for event in events:
+        journal.append(event)
+    return journal
+
+
+def simple_events(count: int) -> list[dict]:
+    return [{"kind": "submitted", "job": f"job-{i:04d}",
+             "spec": {"kind": "campaign", "shards": 1}}
+            for i in range(count)]
+
+
+class TestChain:
+    def test_appends_link_and_advance_the_tip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        assert journal.tip_seq == -1
+        assert journal.tip_digest == GENESIS_DIGEST
+        first = journal.append({"kind": "submitted", "job": "a", "spec": {}})
+        second = journal.append({"kind": "started", "job": "a"})
+        assert first.prev == GENESIS_DIGEST
+        assert second.prev == first.digest
+        assert journal.tip_seq == 1
+        assert journal.tip_digest == second.digest
+        assert len(journal) == 2
+
+    def test_digest_is_positional(self):
+        event = {"kind": "started", "job": "a"}
+        assert (entry_digest(0, GENESIS_DIGEST, event)
+                != entry_digest(1, GENESIS_DIGEST, event))
+        assert (entry_digest(0, GENESIS_DIGEST, event)
+                != entry_digest(0, "f" * 64, event))
+
+    def test_from_json_rejects_tampered_event(self):
+        entry = JournalEntry(
+            seq=0, prev=GENESIS_DIGEST,
+            digest=entry_digest(0, GENESIS_DIGEST, {"kind": "x"}),
+            event={"kind": "x"})
+        data = entry.to_json()
+        data["event"] = {"kind": "y"}
+        with pytest.raises(JournalError):
+            JournalEntry.from_json(data)
+
+    def test_from_json_rejects_structural_junk(self):
+        for junk in (None, [], {"seq": True, "prev": "", "digest": "",
+                               "event": {}},
+                     {"seq": -1, "prev": "", "digest": "", "event": {}},
+                     {"seq": 0, "prev": 0, "digest": "", "event": {}}):
+            with pytest.raises(JournalError):
+                JournalEntry.from_json(junk)
+
+    def test_reopen_preserves_and_extends_the_chain(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(5))
+        tip = journal.tip_digest
+        journal.close()
+        reopened = Journal(tmp_path, FP)
+        assert reopened.tip_seq == 4
+        assert reopened.tip_digest == tip
+        entry = reopened.append({"kind": "started", "job": "job-0000"})
+        assert entry.prev == tip
+        reopened.close()
+
+    def test_two_journals_share_a_root_without_interference(self, tmp_path):
+        left = make_journal(tmp_path, simple_events(3), name="left")
+        right = make_journal(tmp_path, simple_events(1), name="right")
+        assert left.tip_seq == 2
+        assert right.tip_seq == 0
+        assert left.tip_digest != right.tip_digest
+        left.close()
+        right.close()
+        assert Journal(tmp_path, service_fingerprint("left")).tip_seq == 2
+
+
+class TestReplay:
+    def test_replay_is_deterministic(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(10))
+        journal.append({"kind": "started", "job": "job-0000"})
+        journal.append({"kind": "completed", "job": "job-0000",
+                        "result": {"ok": 1}})
+        first = journal.replay().canonical_bytes()
+        second = journal.replay().canonical_bytes()
+        journal.close()
+        reopened = Journal(tmp_path, FP)
+        third = reopened.replay().canonical_bytes()
+        assert first == second == third
+
+    def test_replay_folds_the_lifecycle(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"kind": "submitted", "job": "j",
+                        "spec": {"kind": "campaign", "shards": 2}})
+        journal.append({"kind": "started", "job": "j"})
+        journal.append({"kind": "campaign-planned", "job": "j",
+                        "fingerprint": "f" * 64, "shards": 2})
+        journal.append({"kind": "shard-completed", "job": "j",
+                        "fingerprint": "f" * 64, "index": 0,
+                        "shard": {"x": 1}, "shard_sha256": "s"})
+        state = journal.replay()
+        job = state.jobs["j"]
+        assert job.status == "running"
+        assert job.shards_total == 2
+        assert job.shards_completed == 1
+        assert state.completed_shards("f" * 64) == {0: "s"}
+        journal.append({"kind": "failed", "job": "j", "error": "boom"})
+        state = journal.replay()
+        assert state.jobs["j"].status == "failed"
+        assert state.jobs["j"].error == "boom"
+
+    def test_unknown_event_kinds_fold_to_nothing(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(1))
+        entry = journal.append({"kind": "from-the-future", "job": "j"})
+        state = journal.replay()
+        assert state.tip_seq == entry.seq
+        assert list(state.jobs) == ["job-0000"]
+
+    def test_wave_sealed_collects_analyses(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"kind": "submitted", "job": "p",
+                        "spec": {"kind": "panel"}})
+        journal.append({"kind": "wave-sealed", "job": "p", "wave": 0,
+                        "analysis": {"serviceability": 0.5}})
+        state = journal.replay()
+        assert state.analyses[("p", 0)] == {"serviceability": 0.5}
+        assert state.jobs["p"].waves_sealed == 1
+
+    def test_apply_matches_replay_incrementally(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(6))
+        state = CoordinatorState()
+        for entry in journal.entries():
+            state.apply(entry)
+        assert state.canonical_bytes() == journal.replay().canonical_bytes()
+        assert state.tip_digest == journal.tip_digest
+
+
+class TestCrashRecovery:
+    def segment(self, tmp_path):
+        return tmp_path / FP[:16] / "segment-00000000.jsonl"
+
+    def test_torn_tail_truncates_silently(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(4))
+        tip = journal.tip_digest
+        journal.close()
+        with self.segment(tmp_path).open("ab") as handle:
+            handle.write(b'{"seq": 4, "prev": "')  # killed mid-append
+        recovered = Journal(tmp_path, FP)
+        assert recovered.tip_seq == 3
+        assert recovered.tip_digest == tip
+        assert not list(tmp_path.glob("**/*.quarantine*"))
+        # The file itself was healed: a further reopen is clean.
+        recovered.close()
+        assert Journal(tmp_path, FP).tip_seq == 3
+
+    def test_torn_tail_without_newline_variant(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(3))
+        journal.close()
+        path = self.segment(tmp_path)
+        path.write_bytes(path.read_bytes()[:-10])  # tail ripped off
+        recovered = Journal(tmp_path, FP)
+        assert recovered.tip_seq == 1
+        assert not list(tmp_path.glob("**/*.quarantine*"))
+
+    def test_midfile_corruption_quarantines_the_suffix(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(5))
+        journal.close()
+        path = self.segment(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = b'{"garbage": true}\n'
+        path.write_bytes(b"".join(lines))
+        recovered = Journal(tmp_path, FP)
+        # Entries 0-1 verified; 2 damaged; 3-4 unverifiable (their
+        # prev links dangle) and preserved for post-mortem.
+        assert recovered.tip_seq == 1
+        quarantined = list(tmp_path.glob("**/*.quarantine"))
+        assert len(quarantined) == 1
+        remainder = quarantined[0].read_bytes()
+        assert b'"garbage"' in remainder
+        assert b'"seq":3' in remainder and b'"seq":4' in remainder
+        # The journal resumes cleanly from the verified prefix.
+        recovered.append({"kind": "submitted", "job": "fresh", "spec": {}})
+        assert recovered.tip_seq == 2
+
+    def test_spliced_chain_is_damage(self, tmp_path):
+        """An entry that is self-consistent but links to the wrong
+        predecessor (a splice from another history) must not verify."""
+        journal = make_journal(tmp_path, simple_events(3))
+        journal.close()
+        path = self.segment(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        foreign_prev = "e" * 64
+        event = {"kind": "submitted", "job": "evil", "spec": {}}
+        spliced = {"seq": 2, "prev": foreign_prev,
+                   "digest": entry_digest(2, foreign_prev, event),
+                   "event": event}
+        lines[2] = (json.dumps(spliced, sort_keys=True,
+                               separators=(",", ":")) + "\n").encode()
+        path.write_bytes(b"".join(lines))
+        recovered = Journal(tmp_path, FP)
+        assert recovered.tip_seq == 1
+        assert all("evil" not in str(e.event) for e in recovered.entries())
+
+    def test_repeated_recoveries_never_overwrite_evidence(self, tmp_path):
+        for _ in range(2):
+            journal = Journal(tmp_path, FP)
+            journal.append({"kind": "submitted", "job": "a", "spec": {}})
+            journal.append({"kind": "submitted", "job": "b", "spec": {}})
+            journal.close()
+            path = self.segment(tmp_path)
+            lines = path.read_bytes().splitlines(keepends=True)
+            lines[-1] = b'{"rot": 1}\n' + b'{"also": "junk"}\n'
+            path.write_bytes(b"".join(lines))
+            Journal(tmp_path, FP).close()
+        names = sorted(p.name for p in tmp_path.glob("**/*.quarantine*"))
+        assert len(names) == 2 and names[0] != names[1]
+
+    def test_fully_corrupt_segment_is_removed(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(2))
+        journal.close()
+        path = self.segment(tmp_path)
+        path.write_bytes(b"not json at all\nmore junk\n")
+        recovered = Journal(tmp_path, FP)
+        assert recovered.tip_seq == -1
+        assert not path.exists()
+        assert list(tmp_path.glob("**/*.quarantine"))
+
+
+class TestSegments:
+    def test_rotation_and_cross_restart_continuity(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setattr("repro.service.journal.SEGMENT_ENTRIES", 4)
+        journal = make_journal(tmp_path, simple_events(10))
+        segments = sorted(p.name for p in
+                          (tmp_path / FP[:16]).glob("segment-*.jsonl"))
+        assert segments == ["segment-00000000.jsonl",
+                            "segment-00000004.jsonl",
+                            "segment-00000008.jsonl"]
+        journal.close()
+        reopened = Journal(tmp_path, FP)
+        assert reopened.tip_seq == 9
+        # Restart honors the rotation bound: two appends fill the tail
+        # segment, the third rotates.
+        for _ in range(3):
+            reopened.append({"kind": "noted", "job": "x"})
+        segments = sorted(p.name for p in
+                          (tmp_path / FP[:16]).glob("segment-*.jsonl"))
+        assert segments[-1] == "segment-00000012.jsonl"
+        reopened.close()
+
+    def test_damage_in_earlier_segment_quarantines_later_ones(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.service.journal.SEGMENT_ENTRIES", 3)
+        journal = make_journal(tmp_path, simple_events(7))
+        journal.close()
+        first = tmp_path / FP[:16] / "segment-00000000.jsonl"
+        lines = first.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"rot": true}\n'
+        first.write_bytes(b"".join(lines))
+        recovered = Journal(tmp_path, FP)
+        assert recovered.tip_seq == 0
+        remaining = sorted(p.name for p in
+                           (tmp_path / FP[:16]).glob("segment-*.jsonl"))
+        assert remaining == ["segment-00000000.jsonl"]
+        assert len(list(tmp_path.glob("**/*.quarantine*"))) >= 2
+
+
+class TestReplication:
+    def test_replica_accepts_a_verified_feed(self, tmp_path):
+        primary = make_journal(tmp_path / "a", simple_events(5))
+        replica = Journal(tmp_path / "b", FP)
+        for entry in primary.entries():
+            replica.append_replicated(entry.to_json())
+        assert replica.tip_digest == primary.tip_digest
+        assert (replica.replay().canonical_bytes()
+                == primary.replay().canonical_bytes())
+
+    def test_replica_rejects_tampered_entries(self, tmp_path):
+        primary = make_journal(tmp_path / "a", simple_events(2))
+        replica = Journal(tmp_path / "b", FP)
+        data = primary.entries()[0].to_json()
+        data["event"] = {"kind": "submitted", "job": "evil", "spec": {}}
+        with pytest.raises(JournalError):
+            replica.append_replicated(data)
+        assert replica.tip_seq == -1
+
+    def test_replica_rejects_gaps_and_wrong_links(self, tmp_path):
+        primary = make_journal(tmp_path / "a", simple_events(3))
+        replica = Journal(tmp_path / "b", FP)
+        entries = primary.entries()
+        with pytest.raises(JournalError):
+            replica.append_replicated(entries[1].to_json())  # gap
+        replica.append_replicated(entries[0].to_json())
+        # A diverged replica: same seq, different local history.
+        divergent = Journal(tmp_path / "c", FP)
+        divergent.append({"kind": "submitted", "job": "other", "spec": {}})
+        with pytest.raises(JournalError):
+            divergent.append_replicated(entries[1].to_json())
+
+    def test_wait_for_unblocks_on_append(self, tmp_path):
+        journal = make_journal(tmp_path, simple_events(1))
+        assert journal.wait_for(0, timeout=0.01) is True
+        assert journal.wait_for(1, timeout=0.01) is False
+        timer = threading.Timer(
+            0.05, lambda: journal.append({"kind": "noted", "job": "x"}))
+        timer.start()
+        try:
+            assert journal.wait_for(1, timeout=5.0) is True
+        finally:
+            timer.cancel()

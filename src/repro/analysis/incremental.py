@@ -24,9 +24,12 @@ O(total records). Equality with the full recompute is enforced by
 ``assert_incremental_analysis_equivalent`` in
 ``tests/harness/equivalence.py``.
 
-Rows are plain JSON dicts: floats round-trip by shortest ``repr``, so
-a row reloaded from the disk-backed cache is byte-equal to the row
-that was stored.
+Rows are plain dicts; on disk each row is one compact binary column
+document (:mod:`repro.tabular.colio`, ``CACHE_FILE_FORMAT`` 2) whose
+typed buffers restore every float bit-exactly, so a row reloaded from
+the disk-backed cache is byte-equal to the row that was stored. The
+legacy format-1 JSON-per-cell files are still readable, so caches
+persisted before the format change stay warm.
 """
 
 from __future__ import annotations
@@ -40,14 +43,19 @@ import numpy as np
 from repro.bqt.responses import QueryStatus
 from repro.core.audit import AuditDataset, ComplianceStandard
 from repro.fcc.urban_rate_survey import generate_urban_rate_survey
-from repro.runtime.atomicio import atomic_write_json, sweep_stale_tmp_files
+from repro.runtime.atomicio import (atomic_write_bytes,
+                                    sweep_stale_tmp_files)
 from repro.runtime.cache import content_digest
 from repro.stats.weighted import weighted_mean
+from repro.tabular.colio import decode_row_document, encode_row_document
+from repro.tabular.frame import factorize
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.longitudinal.campaign import PanelCampaign, WaveOutcome
 
 __all__ = [
+    "CACHE_FILE_FORMAT",
+    "ROW_FORMAT_VERSION",
     "WaveAnalysis",
     "WaveRowCache",
     "full_wave_analysis",
@@ -59,7 +67,13 @@ __all__ = [
     "wave_analysis",
 ]
 
+# Versions the row *schema* — it keys every cache namespace digest, so
+# bumping it orphans all persisted rows. The on-disk file layout is
+# versioned separately by CACHE_FILE_FORMAT.
 ROW_FORMAT_VERSION = 1
+# On-disk layout: 2 = binary column documents (tabular.colio, one .col
+# file per row); 1 = the legacy JSON-per-cell files, still readable.
+CACHE_FILE_FORMAT = 2
 _NAMESPACE_DIGITS = 16
 
 # Sentinel distinguishing "not cached" from a cached None row (a cell
@@ -157,41 +171,66 @@ class WaveAnalysis:
         }
 
 
-def _weighted(rows: list[dict], rate_key: str) -> float:
-    return weighted_mean([row[rate_key] for row in rows],
-                         [row["weight"] for row in rows])
-
-
 def reduce_rows(q12_rows: list[dict], q3_rows: list[dict]) -> WaveAnalysis:
     """Fold per-cell rows (canonical cell order, ``None`` rows already
-    dropped) into the wave's aggregations."""
+    dropped) into the wave's aggregations.
+
+    The fold is a vectorized pass over column buffers extracted once
+    from the row dicts. Per-ISP slices come from a stable argsort of
+    the factorized ISP column, which keeps each ISP's rows in original
+    row order — the exact operand order the per-row fold used — so
+    every ``np.dot`` reproduces the historical result bit for bit.
+    """
     if not q12_rows:
         raise ValueError("audit dataset is empty — no conclusive records")
-    # One pass groups rows per ISP in first-seen order (the same order
-    # a filter would preserve, so the bitwise summation-order contract
-    # holds) instead of rescanning all rows once per ISP.
-    rows_by_isp: dict[str, list[dict]] = {}
-    for row in q12_rows:
-        rows_by_isp.setdefault(row["isp_id"], []).append(row)
+    count = len(q12_rows)
+    served = np.fromiter((row["served_rate"] for row in q12_rows),
+                         dtype=float, count=count)
+    compliant = np.fromiter((row["compliant_rate"] for row in q12_rows),
+                            dtype=float, count=count)
+    # weighted_mean casts weights to float anyway; extracting them as
+    # float up front produces the same operands.
+    weights = np.fromiter((row["weight"] for row in q12_rows),
+                          dtype=float, count=count)
+    queried = np.fromiter((row["queried"] for row in q12_rows),
+                          dtype=np.int64, count=count)
+    isps = np.fromiter((row["isp_id"] for row in q12_rows),
+                       dtype=object, count=count)
+    codes, _ = factorize(isps)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.intp), boundaries))
+    ends = np.concatenate((boundaries,
+                           np.asarray([count], dtype=np.intp)))
+    segments = {
+        isps[order[start]]: order[start:end]
+        for start, end in zip(starts.tolist(), ends.tolist())
+    }
     by_isp = {
         isp: {
-            "serviceability": _weighted(rows_by_isp[isp], "served_rate"),
-            "compliance": _weighted(rows_by_isp[isp], "compliant_rate"),
+            "serviceability": weighted_mean(served[rows], weights[rows]),
+            "compliance": weighted_mean(compliant[rows], weights[rows]),
         }
-        for isp in sorted(rows_by_isp)
+        for isp, rows in sorted(segments.items())
     }
     mode_counts: dict[str, int] = {}
     for row in q3_rows:
-        for mode, count in row["modes"].items():
-            mode_counts[mode] = mode_counts.get(mode, 0) + count
+        for mode, mode_count in row["modes"].items():
+            mode_counts[mode] = mode_counts.get(mode, 0) + mode_count
+    q3_count = len(q3_rows)
+    analyzed = np.fromiter((row["analyzed"] for row in q3_rows),
+                           dtype=bool, count=q3_count)
+    records = np.fromiter((row["records"] for row in q3_rows),
+                          dtype=np.int64, count=q3_count)
     return WaveAnalysis(
-        serviceability=_weighted(q12_rows, "served_rate"),
-        compliance=_weighted(q12_rows, "compliant_rate"),
+        serviceability=weighted_mean(served, weights),
+        compliance=weighted_mean(compliant, weights),
         by_isp=by_isp,
-        q12_cells=len(q12_rows),
-        q12_queried=sum(row["queried"] for row in q12_rows),
-        q3_analyzed_blocks=sum(1 for row in q3_rows if row["analyzed"]),
-        q3_records=sum(row["records"] for row in q3_rows),
+        q12_cells=count,
+        q12_queried=int(queried.sum()),
+        q3_analyzed_blocks=int(np.count_nonzero(analyzed)),
+        q3_records=int(records.sum()),
         q3_mode_counts=dict(sorted(mode_counts.items())),
     )
 
@@ -204,12 +243,16 @@ class WaveRowCache:
     """Per-cell analysis rows keyed by the cells' world digests.
 
     In-memory always; give ``directory`` to additionally persist each
-    row as one JSON file under ``directory/<namespace16>/rows/`` (the
-    atomic-publish idiom every durable store here shares), so a
-    resumed panel's analysis is warm across processes. ``namespace``
-    must digest everything *besides* the cell digest that shapes a row
-    — the panel fingerprint (scenario, policy, replacement budget) and
-    the compliance standard — or two panels could exchange rows.
+    row as one binary column document (``tabular.colio``, format 2)
+    under ``directory/<namespace16>/rows/`` (the atomic-publish idiom
+    every durable store here shares), so a resumed panel's analysis is
+    warm across processes. Format-1 caches — the legacy JSON-per-cell
+    files — remain readable: a lookup falls back to the ``.json`` file
+    when no ``.col`` exists, and the next ``put`` writes format 2.
+    ``namespace`` must digest everything *besides* the cell digest
+    that shapes a row — the panel fingerprint (scenario, policy,
+    replacement budget) and the compliance standard — or two panels
+    could exchange rows.
     """
 
     def __init__(self, namespace: str, directory: str | Path | None = None):
@@ -231,6 +274,11 @@ class WaveRowCache:
         return self._directory
 
     def _path_for(self, kind: str, digest: str) -> Path:
+        """The format-2 binary column document for one row."""
+        return self._directory / f"{kind}-{digest}.col"
+
+    def _legacy_path_for(self, kind: str, digest: str) -> Path:
+        """The format-1 JSON file (read-only upgrade path)."""
         return self._directory / f"{kind}-{digest}.json"
 
     def get(self, kind: str, digest: str):
@@ -260,26 +308,61 @@ class WaveRowCache:
         self._rows[(kind, digest)] = row
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
-            atomic_write_json(self._path_for(kind, digest), {
-                "format": ROW_FORMAT_VERSION,
+            payload = encode_row_document(row, {
+                "format": CACHE_FILE_FORMAT,
                 "namespace": self._namespace,
                 "digest": digest,
                 # Wrapped so a cached None row checksums cleanly.
                 "row_sha256": content_digest({"row": row}),
-                "row": row,
             })
+            atomic_write_bytes(self._path_for(kind, digest), payload)
 
     def _load(self, kind: str, digest: str):
-        """Parse one verified persisted row; damage is a miss.
+        """Load one verified persisted row; damage is a miss.
 
-        Like every durable store here, the payload is checksummed —
-        a corrupted-but-parseable row folded into a wave's weighted
-        rates would silently break the byte-equality contract. A
-        failing file is unlinked so the recompute's re-put replaces it.
+        Tries the format-2 column document first, then the legacy
+        format-1 JSON file. Like every durable store here, the payload
+        is checksummed — a corrupted-but-parseable row folded into a
+        wave's weighted rates would silently break the byte-equality
+        contract. A failing file is unlinked so the recompute's re-put
+        replaces it.
         """
+        row = self._load_col(kind, digest)
+        if row is not _MISS:
+            return row
+        return self._load_legacy_json(kind, digest)
+
+    def _load_col(self, kind: str, digest: str):
+        path = self._path_for(kind, digest)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return _MISS
+        try:
+            meta, row = decode_row_document(payload)
+        except ValueError:
+            # Structurally damaged (torn write, truncation): quarantine
+            # so the re-put replaces it.
+            path.unlink(missing_ok=True)
+            return _MISS
+        if (not isinstance(meta, dict)
+                or meta.get("format") != CACHE_FILE_FORMAT
+                or meta.get("namespace") != self._namespace):
+            # A newer file format, or another panel sharing the 16-hex
+            # directory prefix: not ours to judge, never unlinked.
+            return _MISS
+        if (meta.get("digest") != digest
+                or content_digest({"row": row}) != meta.get("row_sha256")):
+            # Claims our format and namespace but fails its checks:
+            # damage. Quarantine so the re-put replaces it.
+            path.unlink(missing_ok=True)
+            return _MISS
+        return row
+
+    def _load_legacy_json(self, kind: str, digest: str):
         import json
 
-        path = self._path_for(kind, digest)
+        path = self._legacy_path_for(kind, digest)
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
         except OSError:
@@ -290,15 +373,11 @@ class WaveRowCache:
         if (not isinstance(document, dict)
                 or document.get("format") != ROW_FORMAT_VERSION
                 or document.get("namespace") != self._namespace):
-            # A newer row format, or another panel sharing the 16-hex
-            # directory prefix: not ours to judge, never unlinked.
             return _MISS
         if (document.get("digest") != digest
                 or "row" not in document
                 or content_digest({"row": document["row"]})
                 != document.get("row_sha256")):
-            # Claims our format and namespace but fails its checks:
-            # damage. Quarantine so the re-put replaces it.
             path.unlink(missing_ok=True)
             return _MISS
         return document["row"]
@@ -320,8 +399,10 @@ class WaveRowCache:
         """
         if self._directory is None or not self._directory.exists():
             return []
-        removed = []
-        for path in sorted(self._directory.glob("*.json")):
+        removed: list[str] = []
+        paths = [*self._directory.glob("*.col"),
+                 *self._directory.glob("*.json")]
+        for path in sorted(paths):
             digest = path.stem.split("-", 1)[-1]
             if digest in referenced:
                 continue

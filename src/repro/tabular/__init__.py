@@ -7,15 +7,25 @@ pipeline needs:
 * :class:`repro.tabular.Table` — an immutable-ish column store with
   filtering, projection, sorting, derived columns and vectorized access.
 * :mod:`repro.tabular.groupby` — split/apply/combine with named
-  aggregations (the paper's per-CBG → per-state/ISP rollups).
+  aggregations (the paper's per-CBG → per-state/ISP rollups), built on
+  a factorize + stable-argsort segment index.
 * :mod:`repro.tabular.join` — inner/left hash joins (CBG metadata joins,
-  USAC ↔ BQT merges).
+  USAC ↔ BQT merges) with a vectorized ``searchsorted`` probe.
 * :mod:`repro.tabular.tableio` — CSV and JSON-lines persistence.
+* :mod:`repro.tabular.colio` — compact binary column serialization
+  (typed buffers + validity masks + a JSON header); backs the analysis
+  row cache's format-2 files.
 * :mod:`repro.tabular.render` — fixed-width text rendering used by the
   benchmark harness to print the paper's tables.
 """
 
-from repro.tabular.frame import Column, Table
+from repro.tabular.colio import (
+    decode_columns,
+    decode_row_document,
+    encode_columns,
+    encode_row_document,
+)
+from repro.tabular.frame import Column, Table, factorize, group_codes
 from repro.tabular.groupby import GroupBy
 from repro.tabular.join import join
 from repro.tabular.pivot import pivot
@@ -31,6 +41,12 @@ __all__ = [
     "Column",
     "GroupBy",
     "Table",
+    "decode_columns",
+    "decode_row_document",
+    "encode_columns",
+    "encode_row_document",
+    "factorize",
+    "group_codes",
     "join",
     "pivot",
     "read_csv",

@@ -1,0 +1,242 @@
+"""Compact binary column serialization.
+
+The on-disk format backing :class:`~repro.analysis.incremental
+.WaveRowCache` format 2, and a general codec for column data: a small
+JSON header describing the layout, followed by raw typed buffers —
+numbers as fixed-width little-endian machine words instead of decimal
+text, strings as one UTF-8 blob with an offsets array, and a packed
+validity bitmask wherever ``None`` appears. Values that fit none of
+those (dicts, mixed types, oversized ints) fall back to an embedded
+JSON column, so any JSON-representable value round-trips.
+
+Layout::
+
+    MAGIC (8 bytes) | header length (uint32 LE) | header JSON (UTF-8)
+    | column buffers, concatenated in header order
+
+Per column the buffers are ``[validity bitmask]`` (only when the spec
+says so), then kind-specific data: the value buffer for ``"buffer"``
+columns, an ``int64 × (length + 1)`` offsets array plus the UTF-8 blob
+for ``"utf8"`` columns, or a JSON array for ``"json"`` columns. The
+decoder restores plain Python values (``int``/``float``/``bool``/
+``str``/``None``/...), bit-exact for floats, so a decoded row hashes
+identically to the row that was encoded.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "decode_columns",
+    "decode_row_document",
+    "encode_columns",
+    "encode_row_document",
+]
+
+MAGIC = b"RPCOLv2\n"
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+_BUFFER_DTYPES = {"<i8": np.dtype("<i8"), "<f8": np.dtype("<f8"),
+                  "|b1": np.dtype("|b1")}
+
+
+def _pack_validity(valid: Sequence[bool]) -> bytes:
+    return np.packbits(np.asarray(valid, dtype=bool)).tobytes()
+
+
+def _unpack_validity(buffer: bytes, length: int) -> np.ndarray:
+    bits = np.unpackbits(np.frombuffer(buffer, dtype=np.uint8),
+                         count=length)
+    return bits.astype(bool)
+
+
+def _classify(values: list[Any]) -> str:
+    """Pick the tightest storable dtype for a list of Python values."""
+    present = [value for value in values if value is not None]
+    if not present:
+        return "<i8"  # all-None column: any buffer dtype works
+    if all(type(value) is bool for value in present):
+        return "|b1"
+    if all(type(value) is int for value in present):
+        if all(_INT64_MIN <= value <= _INT64_MAX for value in present):
+            return "<i8"
+        return "json"
+    if all(type(value) is float for value in present):
+        return "<f8"
+    if all(type(value) is str for value in present):
+        return "utf8"
+    return "json"
+
+
+def _as_value_list(column: Any) -> list[Any]:
+    if isinstance(column, np.ndarray):
+        return column.tolist()
+    return list(column)
+
+
+def encode_columns(columns: Mapping[str, Iterable[Any]], length: int,
+                   meta: Any = None) -> bytes:
+    """Serialize named columns (all of ``length`` values) to bytes.
+
+    Columns may be numpy arrays or plain sequences; ``meta`` is any
+    JSON-serializable value stored in the header and returned verbatim
+    by :func:`decode_columns`.
+    """
+    specs: list[dict[str, Any]] = []
+    buffers: list[bytes] = []
+    for name, column in columns.items():
+        values = _as_value_list(column)
+        if len(values) != length:
+            raise ValueError(
+                f"column {name!r} has {len(values)} values, expected {length}")
+        kind = _classify(values)
+        valid = [value is not None for value in values]
+        has_validity = not all(valid)
+        spec: dict[str, Any] = {"name": name}
+        if kind == "json":
+            payload = json.dumps(values, ensure_ascii=False,
+                                 separators=(",", ":")).encode("utf-8")
+            spec.update(kind="json", nbytes=len(payload))
+            buffers.append(payload)
+        elif kind == "utf8":
+            spec.update(kind="utf8", validity=has_validity)
+            if has_validity:
+                buffers.append(_pack_validity(valid))
+            encoded = [b"" if value is None else value.encode("utf-8")
+                       for value in values]
+            sizes = np.fromiter((len(piece) for piece in encoded),
+                                dtype="<i8", count=length)
+            offsets = np.zeros(length + 1, dtype="<i8")
+            np.cumsum(sizes, out=offsets[1:])
+            buffers.append(offsets.tobytes())
+            buffers.append(b"".join(encoded))
+        else:
+            spec.update(kind="buffer", dtype=kind, validity=has_validity)
+            if has_validity:
+                buffers.append(_pack_validity(valid))
+            dtype = _BUFFER_DTYPES[kind]
+            filler = False if kind == "|b1" else 0
+            dense = [filler if value is None else value for value in values]
+            buffers.append(np.asarray(dense, dtype=dtype).tobytes())
+        specs.append(spec)
+    header = json.dumps(
+        {"meta": meta, "length": length, "columns": specs},
+        ensure_ascii=False, separators=(",", ":")).encode("utf-8")
+    return b"".join([MAGIC, struct.pack("<I", len(header)), header, *buffers])
+
+
+def _take(data: bytes, offset: int, nbytes: int) -> tuple[bytes, int]:
+    end = offset + nbytes
+    if end > len(data):
+        raise ValueError("column payload truncated")
+    return data[offset:end], end
+
+
+def decode_columns(data: bytes) -> tuple[Any, int, dict[str, list[Any]]]:
+    """Inverse of :func:`encode_columns`: ``(meta, length, columns)``.
+
+    Columns come back as lists of plain Python values. Raises
+    ``ValueError`` on any structural damage (bad magic, truncation,
+    malformed header).
+    """
+    if data[:len(MAGIC)] != MAGIC:
+        raise ValueError("not a column payload (bad magic)")
+    offset = len(MAGIC)
+    raw_len, offset = _take(data, offset, 4)
+    header_bytes, offset = _take(data, offset, struct.unpack("<I", raw_len)[0])
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed column header: {exc}") from exc
+    if (not isinstance(header, dict)
+            or not isinstance(header.get("length"), int)
+            or not isinstance(header.get("columns"), list)):
+        raise ValueError("malformed column header")
+    length = header["length"]
+    columns: dict[str, list[Any]] = {}
+    for spec in header["columns"]:
+        if not isinstance(spec, dict) or not isinstance(spec.get("name"), str):
+            raise ValueError("malformed column spec")
+        name, kind = spec["name"], spec.get("kind")
+        valid: np.ndarray | None = None
+        if spec.get("validity"):
+            mask_bytes, offset = _take(data, offset, (length + 7) // 8)
+            valid = _unpack_validity(mask_bytes, length)
+        if kind == "json":
+            nbytes = spec.get("nbytes")
+            if not isinstance(nbytes, int) or nbytes < 0:
+                raise ValueError("malformed json column spec")
+            payload, offset = _take(data, offset, nbytes)
+            try:
+                values = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ValueError(f"malformed json column: {exc}") from exc
+            if not isinstance(values, list) or len(values) != length:
+                raise ValueError("json column length mismatch")
+        elif kind == "utf8":
+            raw_offsets, offset = _take(data, offset, 8 * (length + 1))
+            offsets = np.frombuffer(raw_offsets, dtype="<i8")
+            if (offsets[0] != 0 or np.any(np.diff(offsets) < 0)):
+                raise ValueError("malformed utf8 offsets")
+            blob, offset = _take(data, offset, int(offsets[-1]))
+            try:
+                values = [
+                    blob[offsets[i]:offsets[i + 1]].decode("utf-8")
+                    for i in range(length)
+                ]
+            except UnicodeDecodeError as exc:
+                raise ValueError(f"malformed utf8 column: {exc}") from exc
+        elif kind == "buffer":
+            dtype = _BUFFER_DTYPES.get(spec.get("dtype"))
+            if dtype is None:
+                raise ValueError(f"unknown buffer dtype {spec.get('dtype')!r}")
+            raw, offset = _take(data, offset, dtype.itemsize * length)
+            values = np.frombuffer(raw, dtype=dtype).tolist()
+        else:
+            raise ValueError(f"unknown column kind {kind!r}")
+        if valid is not None:
+            values = [value if ok else None
+                      for value, ok in zip(values, valid.tolist())]
+        columns[name] = values
+    if offset != len(data):
+        raise ValueError("trailing bytes after column payload")
+    return header.get("meta"), length, columns
+
+
+# ----------------------------------------------------------------------
+# Row documents — one record (or its absence) per payload
+# ----------------------------------------------------------------------
+
+def encode_row_document(row: Mapping[str, Any] | None,
+                        meta: Any = None) -> bytes:
+    """Serialize one row dict (or ``None``) with attached metadata.
+
+    Each field becomes a length-1 column, so numbers are stored as
+    machine words, not decimal text. A ``None`` row — a real cached
+    value, distinct from a cache miss — is encoded with zero columns.
+    """
+    if row is None:
+        return encode_columns({}, 0, {"row": None, "meta": meta})
+    columns = {name: [value] for name, value in row.items()}
+    return encode_columns(columns, 1, {"row": "present", "meta": meta})
+
+
+def decode_row_document(data: bytes) -> tuple[Any, dict[str, Any] | None]:
+    """Inverse of :func:`encode_row_document`: ``(meta, row_or_None)``."""
+    wrapper, length, columns = decode_columns(data)
+    if not isinstance(wrapper, dict) or "row" not in wrapper:
+        raise ValueError("not a row document")
+    if wrapper["row"] is None:
+        if length != 0 or columns:
+            raise ValueError("malformed None-row document")
+        return wrapper.get("meta"), None
+    if wrapper["row"] != "present" or length != 1:
+        raise ValueError("malformed row document")
+    return wrapper.get("meta"), {name: values[0]
+                                 for name, values in columns.items()}

@@ -14,13 +14,64 @@ create a new list object and leave the original alone").
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["Column", "Table"]
+__all__ = ["Column", "Table", "factorize", "group_codes"]
 
 Column = np.ndarray
+
+# Keep combined group codes comfortably inside int64 when merging key
+# columns; past this bound the codes are re-compacted first.
+_CODE_COMPACT_BOUND = np.int64(2) ** 62
+
+
+def factorize(column: np.ndarray) -> tuple[np.ndarray, int]:
+    """Integer equality codes for a column.
+
+    Returns ``(codes, bound)``: ``codes[i]`` is a non-negative int64
+    with ``codes[i] == codes[j]`` iff the values compare equal, and
+    every code is ``< bound``. Code *order* is unspecified (sorted
+    rank for typed columns, first-occurrence row for object columns)
+    — callers needing first-seen group order derive it from the first
+    occurrence rows. NaN values share one code (``np.unique``
+    semantics).
+    """
+    if column.dtype.kind == "O":
+        # Hashing beats sorting for object cells: ``dict.setdefault``
+        # via ``map`` stays in C, and the default iterator hands each
+        # first occurrence its row index — monotone in first-seen
+        # order, bounded by the row count.
+        seen: dict[Any, int] = {}
+        codes = np.fromiter(
+            map(seen.setdefault, column.tolist(), count()),
+            dtype=np.int64, count=column.size,
+        )
+        return codes, column.size
+    uniques, inverse = np.unique(column, return_inverse=True)
+    return inverse.astype(np.int64, copy=False).reshape(-1), len(uniques)
+
+
+def group_codes(columns: Sequence[np.ndarray], length: int) -> np.ndarray:
+    """One int64 code per row, equal iff the rows' key tuples are equal.
+
+    Multi-column keys are merged arithmetically (``code * bound +
+    next``), re-compacting through :func:`factorize` whenever the
+    combined bound would overflow int64.
+    """
+    if not columns:
+        return np.zeros(length, dtype=np.int64)
+    codes, bound = factorize(columns[0])
+    for column in columns[1:]:
+        nxt, nxt_bound = factorize(column)
+        nxt_bound = max(nxt_bound, 1)
+        if bound > int(_CODE_COMPACT_BOUND) // nxt_bound:
+            codes, bound = factorize(codes)
+        codes = codes * nxt_bound + nxt
+        bound = max(bound, 1) * nxt_bound
+    return codes
 
 
 def _normalize_column(name: str, values: Any, length: int | None) -> np.ndarray:
@@ -159,6 +210,13 @@ class Table:
         return f"Table({self._length} rows: {cols})"
 
     def __eq__(self, other: object) -> bool:
+        """Exact, NaN-aware equality.
+
+        Float columns compare value-exact (NaN == NaN, no tolerance) —
+        this codebase's oracles are byte-equality, and a tolerance here
+        would let real float regressions hide inside tests. Callers
+        that genuinely want tolerance use :meth:`approx_equal`.
+        """
         if not isinstance(other, Table):
             return NotImplemented
         if self.column_names != other.column_names or len(self) != len(other):
@@ -166,7 +224,30 @@ class Table:
         for name in self.column_names:
             left, right = self._columns[name], other._columns[name]
             if left.dtype.kind == "f" and right.dtype.kind == "f":
-                if not np.allclose(left, right, equal_nan=True):
+                if not np.array_equal(left, right, equal_nan=True):
+                    return False
+            elif not np.array_equal(left, right):
+                return False
+        return True
+
+    def approx_equal(self, other: "Table", rtol: float = 1e-5,
+                     atol: float = 1e-8) -> bool:
+        """Tolerance-based equality for float columns.
+
+        Same schema/length/NaN-position rules as ``==``, but float
+        columns compare through ``np.allclose``. For recomputed rates
+        that legitimately differ in the last bits; never for oracle
+        comparisons.
+        """
+        if not isinstance(other, Table):
+            raise TypeError(f"cannot compare Table with {type(other).__name__}")
+        if self.column_names != other.column_names or len(self) != len(other):
+            return False
+        for name in self.column_names:
+            left, right = self._columns[name], other._columns[name]
+            if left.dtype.kind == "f" and right.dtype.kind == "f":
+                if not np.allclose(left, right, rtol=rtol, atol=atol,
+                                   equal_nan=True):
                     return False
             elif not np.array_equal(left, right):
                 return False
@@ -245,18 +326,45 @@ class Table:
             mask &= self[name] == value
         return self.mask(mask)
 
-    def sort_by(self, names: str | Sequence[str], descending: bool = False) -> "Table":
-        """Stable sort by one or more columns."""
+    def sort_by(
+        self,
+        names: str | Sequence[str],
+        descending: bool | Sequence[bool] = False,
+    ) -> "Table":
+        """Stable sort by one or more columns.
+
+        ``descending`` is a single flag applied to every key, or one
+        flag per key. Direction is applied *per key inside* the
+        lexsort loop, so tied rows always keep their first-seen order
+        and a multi-key sort can mix directions — reversing the
+        ascending permutation after the fact would reverse ties and
+        flip every key at once.
+        """
         keys = [names] if isinstance(names, str) else list(names)
         if not keys:
             raise ValueError("sort_by needs at least one column")
+        if isinstance(descending, bool):
+            flags = [descending] * len(keys)
+        else:
+            flags = [bool(flag) for flag in descending]
+            if len(flags) != len(keys):
+                raise ValueError(
+                    f"descending has {len(flags)} flags for {len(keys)} keys"
+                )
         order = np.arange(self._length)
         # np.lexsort sorts by the *last* key first; apply keys in reverse.
-        for name in reversed(keys):
+        for name, flag in zip(reversed(keys), reversed(flags)):
             column = self[name][order]
-            order = order[np.argsort(column, kind="stable")]
-        if descending:
-            order = order[::-1]
+            if flag:
+                # Descending with stable ties: sort the *negated sorted
+                # ranks* ascending (rank arithmetic works for any
+                # comparable dtype, strings included).
+                uniques, inverse = np.unique(column, return_inverse=True)
+                ranks = inverse.astype(np.int64, copy=False).reshape(-1)
+                order = order[np.argsort(len(uniques) - 1 - ranks,
+                                         kind="stable")]
+            else:
+                order = order[np.argsort(column, kind="stable")]
         return self.take(order)
 
     def head(self, n: int) -> "Table":

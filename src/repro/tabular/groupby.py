@@ -5,6 +5,26 @@ rows by census block group, compute a rate per group, then roll the
 groups up by state or ISP". :class:`GroupBy` supports both steps:
 named-aggregation via :meth:`agg` and arbitrary per-group reduction via
 :meth:`apply`.
+
+Index construction is vectorized: key columns are factorized
+(:func:`~repro.tabular.frame.group_codes`), one stable argsort lays
+every group out as a contiguous segment with rows in original order,
+and segment boundaries come from a single ``diff`` — no per-row Python
+loop, no tuple hashing. Groups are numbered in **first-seen order**
+(the order the old dict index produced), so every downstream fold —
+and therefore every audit metric — sees byte-identical operand order.
+
+:meth:`agg` accepts two kinds of reducer:
+
+* a **callable** (``np.sum``, a lambda) — invoked once per group on
+  the group's contiguous column slice, values in original row order,
+  bitwise-identical to the historical per-group behavior;
+* a **kernel name** (``"sum"``, ``"mean"``, ``"count"``, ``"min"``,
+  ``"max"``, ``"first"``, ``"last"``, ``"any"``, ``"all"``) — computed
+  for *all* groups at once with ``ufunc.reduceat`` segment reductions.
+  Kernel sums accumulate left-to-right per segment (not numpy's
+  pairwise ``np.sum``), so prefer kernels for speed and callables when
+  bit-compatibility with a per-group ``np.sum`` matters.
 """
 
 from __future__ import annotations
@@ -13,11 +33,24 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.tabular.frame import Table
+from repro.tabular.frame import Table, group_codes
 
 __all__ = ["GroupBy"]
 
-Aggregation = tuple[str, Callable[[np.ndarray], Any]]
+Aggregation = tuple[str, Callable[[np.ndarray], Any] | str]
+
+# Segment kernels: name -> (values_for_all_groups)(gathered, starts, ends).
+_KERNELS: dict[str, Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda g, s, e: np.add.reduceat(g, s),
+    "mean": lambda g, s, e: np.add.reduceat(g, s) / (e - s),
+    "count": lambda g, s, e: (e - s).astype(np.int64),
+    "min": lambda g, s, e: np.minimum.reduceat(g, s),
+    "max": lambda g, s, e: np.maximum.reduceat(g, s),
+    "first": lambda g, s, e: g[s],
+    "last": lambda g, s, e: g[e - 1],
+    "any": lambda g, s, e: np.logical_or.reduceat(g, s).astype(bool),
+    "all": lambda g, s, e: np.logical_and.reduceat(g, s).astype(bool),
+}
 
 
 class GroupBy:
@@ -31,23 +64,69 @@ class GroupBy:
                 raise KeyError(f"no column {key!r} to group by")
         self._table = table
         self._keys = list(keys)
-        self._index = self._build_index()
+        self._build_segments()
+        # key tuple -> segment position, built only if group() is used.
+        self._lookup: dict[tuple[Any, ...], int] | None = None
 
-    def _build_index(self) -> dict[tuple[Any, ...], np.ndarray]:
-        """Map each key tuple to the row indices holding it."""
+    def _build_segments(self) -> None:
+        """Factorize the keys into contiguous per-group segments.
+
+        ``_row_order`` holds every row index, grouped; ``_starts`` /
+        ``_ends`` bound segment ``g`` (in first-seen group order), and
+        ``_first_rows[g]`` is the group's first-occurrence row. The
+        stable argsort keeps each segment's rows in original order.
+        """
+        table_len = len(self._table)
         columns = [self._table[key] for key in self._keys]
-        buckets: dict[tuple[Any, ...], list[int]] = {}
-        for row_index in range(len(self._table)):
-            key = tuple(column[row_index] for column in columns)
-            buckets.setdefault(key, []).append(row_index)
-        return {
-            key: np.asarray(indices, dtype=np.intp)
-            for key, indices in buckets.items()
-        }
+        codes = group_codes(columns, table_len)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        if table_len:
+            change = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+        else:
+            change = np.empty(0, dtype=np.intp)
+        starts = np.concatenate((np.zeros(1, dtype=np.intp), change))
+        ends = np.concatenate((change,
+                               np.asarray([table_len], dtype=np.intp)))
+        if table_len == 0:
+            starts = starts[:0]
+            ends = ends[:0]
+        # The stable sort puts each group's minimal row first, so
+        # sorting groups by their first row recovers first-seen order.
+        firsts = (order[starts] if table_len
+                  else np.empty(0, dtype=np.intp))
+        seen = np.argsort(firsts, kind="stable")
+        self._row_order = order
+        # Sorted-order boundaries (monotonic — what ufunc.reduceat
+        # needs) and the permutation into first-seen group order.
+        self._sorted_starts = starts
+        self._sorted_ends = ends
+        self._seen = seen
+        self._starts = starts[seen]
+        self._ends = ends[seen]
+        self._first_rows = firsts[seen]
+
+    def _group_rows(self, position: int) -> np.ndarray:
+        """Row indices of one group (original row order)."""
+        return self._row_order[self._starts[position]:self._ends[position]]
+
+    def _key_tuple(self, position: int, columns: list[np.ndarray]
+                   ) -> tuple[Any, ...]:
+        first = self._first_rows[position]
+        return tuple(column[first] for column in columns)
+
+    def _key_lookup(self) -> dict[tuple[Any, ...], int]:
+        if self._lookup is None:
+            columns = [self._table[key] for key in self._keys]
+            self._lookup = {
+                self._key_tuple(position, columns): position
+                for position in range(len(self))
+            }
+        return self._lookup
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._index)
+        return int(self._starts.size)
 
     @property
     def keys(self) -> tuple[str, ...]:
@@ -56,63 +135,108 @@ class GroupBy:
 
     def groups(self) -> Iterator[tuple[tuple[Any, ...], Table]]:
         """Iterate ``(key_tuple, sub_table)`` pairs in first-seen order."""
-        for key, indices in self._index.items():
-            yield key, self._table.take(indices)
+        columns = [self._table[key] for key in self._keys]
+        for position in range(len(self)):
+            yield (self._key_tuple(position, columns),
+                   self._table.take(self._group_rows(position)))
 
     def group(self, *key: Any) -> Table:
         """Return the sub-table for one key tuple."""
         lookup = tuple(key)
-        if lookup not in self._index:
+        positions = self._key_lookup()
+        if lookup not in positions:
             raise KeyError(f"no group {lookup!r}")
-        return self._table.take(self._index[lookup])
+        return self._table.take(self._group_rows(positions[lookup]))
+
+    def _key_columns(self) -> dict[str, np.ndarray]:
+        """The key columns of the output table, one row per group."""
+        return {key: self._table[key][self._first_rows]
+                for key in self._keys}
 
     def size(self) -> Table:
         """Return a table of group sizes (columns: keys + ``count``)."""
-        rows = []
-        for key, indices in self._index.items():
-            row = dict(zip(self._keys, key))
-            row["count"] = int(indices.size)
-            rows.append(row)
-        return Table.from_rows(rows, columns=[*self._keys, "count"])
+        columns = self._key_columns()
+        columns["count"] = (self._ends - self._starts).astype(np.int64)
+        return Table(columns)
 
     def agg(self, **aggregations: Aggregation) -> Table:
         """Aggregate columns per group.
 
         Each keyword is an output column name mapped to a
-        ``(source_column, reducer)`` pair::
+        ``(source_column, reducer)`` pair, where the reducer is a
+        callable or a kernel name::
 
             table.group_by("state").agg(
-                served=("is_served", np.sum),
-                queried=("is_served", len),
+                served=("is_served", "sum"),      # segment kernel
+                queried=("is_served", len),       # per-group callable
             )
         """
         if not aggregations:
             raise ValueError("agg needs at least one aggregation")
-        for name, (source, _) in aggregations.items():
+        for name, (source, reducer) in aggregations.items():
             if source not in self._table:
                 raise KeyError(f"aggregation {name!r} reads missing column {source!r}")
-        rows = []
-        for key, indices in self._index.items():
-            row: dict[str, Any] = dict(zip(self._keys, key))
-            for name, (source, reducer) in aggregations.items():
-                row[name] = reducer(self._table[source][indices])
-            rows.append(row)
-        return Table.from_rows(rows, columns=[*self._keys, *aggregations])
+            if isinstance(reducer, str) and reducer not in _KERNELS:
+                raise ValueError(
+                    f"aggregation {name!r} names unknown kernel {reducer!r}; "
+                    f"available: {sorted(_KERNELS)}"
+                )
+        columns: dict[str, Any] = self._key_columns()
+        starts, ends = self._starts, self._ends
+        gathered: dict[str, np.ndarray] = {}
+        for name, (source, reducer) in aggregations.items():
+            if source not in gathered:
+                gathered[source] = self._table[source][self._row_order]
+            values = gathered[source]
+            if isinstance(reducer, str):
+                if values.dtype.kind == "b" and reducer in ("sum", "mean"):
+                    # np.add.reduceat on bool is logical-or; count, not.
+                    values = values.astype(np.int64)
+                if starts.size:
+                    # Kernels need reduceat's monotonic boundaries, so
+                    # reduce in sorted-group order and permute the
+                    # per-group results into first-seen order.
+                    columns[name] = _KERNELS[reducer](
+                        values, self._sorted_starts,
+                        self._sorted_ends)[self._seen]
+                else:
+                    columns[name] = _KERNELS["count"](values, starts, ends)
+            else:
+                columns[name] = [
+                    reducer(values[start:end])
+                    for start, end in zip(starts, ends)
+                ]
+        return Table(columns)
 
     def apply(self, func: Callable[[Table], Mapping[str, Any]]) -> Table:
-        """Reduce each group with ``func`` returning a dict of outputs."""
-        rows = []
+        """Reduce each group with ``func`` returning a dict of outputs.
+
+        Every group's result must expose the same output keys as the
+        first group's — heterogeneous keys would leave holes in the
+        output columns and raise ``ValueError`` naming the offending
+        group.
+        """
         output_names: list[str] | None = None
-        for key, indices in self._index.items():
-            result = dict(func(self._table.take(indices)))
+        buffers: dict[str, list[Any]] = {}
+        key_columns = [self._table[key] for key in self._keys]
+        for position in range(len(self)):
+            result = dict(func(self._table.take(self._group_rows(position))))
             overlap = set(result) & set(self._keys)
             if overlap:
                 raise ValueError(f"apply result overwrites key columns {sorted(overlap)}")
             if output_names is None:
                 output_names = list(result)
-            row: dict[str, Any] = dict(zip(self._keys, key))
-            row.update(result)
-            rows.append(row)
+                buffers = {name: [] for name in output_names}
+            elif set(result) != set(output_names):
+                key = self._key_tuple(position, key_columns)
+                raise ValueError(
+                    f"apply result for group {key!r} has keys "
+                    f"{sorted(result)}, expected {sorted(output_names)}"
+                )
+            for name in output_names:
+                buffers[name].append(result[name])
         if output_names is None:
             return Table({key: [] for key in self._keys})
-        return Table.from_rows(rows, columns=[*self._keys, *output_names])
+        columns: dict[str, Any] = self._key_columns()
+        columns.update(buffers)
+        return Table(columns)

@@ -3,15 +3,23 @@
 Used to attach census-block-group metadata (population density, rural
 flag, state) to per-address audit rows, and to merge USAC certification
 records with BQT query results.
+
+The probe is vectorized: both sides' key columns are factorized over
+their concatenation (equal keys get equal codes regardless of side),
+the right side's codes are stable-argsorted, and every left row finds
+its match run with one ``np.searchsorted`` pair — no per-row Python
+loop or tuple hashing. Output row order is identical to the historical
+dict probe: left rows in order, each fanning out over its right
+matches in ascending right-row order.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.tabular.frame import Table
+from repro.tabular.frame import Table, group_codes
 
 __all__ = ["join"]
 
@@ -27,8 +35,10 @@ def join(
 
     ``how`` is ``"inner"`` or ``"left"``. Non-key columns of ``right``
     that collide with ``left`` names are suffixed. For a left join with
-    no match, numeric right columns become NaN and object columns become
-    ``None``. Right rows matching multiple left rows fan out as in SQL.
+    no match, right object columns fill with ``None`` and right numeric
+    columns fill with NaN — which promotes int/bool right columns to
+    float64 in the output, since NaN is only representable there. Right
+    rows matching multiple left rows fan out as in SQL.
     """
     keys = [on] if isinstance(on, str) else list(on)
     if how not in ("inner", "left"):
@@ -39,28 +49,38 @@ def join(
         if key not in right:
             raise KeyError(f"right table lacks join key {key!r}")
 
-    right_index: dict[tuple[Any, ...], list[int]] = {}
-    right_key_columns = [right[key] for key in keys]
-    for row_index in range(len(right)):
-        key = tuple(column[row_index] for column in right_key_columns)
-        right_index.setdefault(key, []).append(row_index)
+    n_left, n_right = len(left), len(right)
+    merged_keys = [
+        np.concatenate((left[key], right[key])) for key in keys
+    ]
+    codes = group_codes(merged_keys, n_left + n_right)
+    left_codes, right_codes = codes[:n_left], codes[n_left:]
 
-    left_key_columns = [left[key] for key in keys]
-    left_rows: list[int] = []
-    right_rows: list[int] = []  # -1 encodes "no match" for left joins
-    for row_index in range(len(left)):
-        key = tuple(column[row_index] for column in left_key_columns)
-        matches = right_index.get(key)
-        if matches:
-            for match in matches:
-                left_rows.append(row_index)
-                right_rows.append(match)
-        elif how == "left":
-            left_rows.append(row_index)
-            right_rows.append(-1)
+    # Sort the right side's codes once; each left row's matches are
+    # then a contiguous run found by binary search. The stable sort
+    # keeps equal-key right rows in ascending original order.
+    right_order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[right_order]
+    lo = np.searchsorted(sorted_right, left_codes, side="left")
+    hi = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = hi - lo
 
-    left_take = np.asarray(left_rows, dtype=np.intp)
-    right_take = np.asarray(right_rows, dtype=np.intp)
+    if how == "inner":
+        out_counts = counts
+    else:
+        out_counts = np.maximum(counts, 1)
+    total = int(out_counts.sum())
+    left_take = np.repeat(np.arange(n_left, dtype=np.intp), out_counts)
+    # Per-output-slot offset within its left row's fan-out run.
+    slot_starts = np.concatenate(
+        (np.zeros(1, dtype=np.intp), np.cumsum(out_counts)[:-1])
+    ) if n_left else np.empty(0, dtype=np.intp)
+    within = np.arange(total, dtype=np.intp) - np.repeat(slot_starts, out_counts)
+    right_take = np.full(total, -1, dtype=np.intp)
+    matched_slots = np.repeat(counts > 0, out_counts)
+    if total:
+        probe = (np.repeat(lo, out_counts) + within)[matched_slots]
+        right_take[matched_slots] = right_order[probe]
     matched = right_take >= 0
 
     columns: dict[str, np.ndarray] = {}

@@ -3,15 +3,43 @@
 The paper's Table 1 is a *wide* layout — one column pair per ISP, one
 row per speed tier — while the analysis produces the same data long
 (one row per (ISP, tier)). ``pivot`` performs that reshape generically.
+
+The reshape is vectorized: the index and column keys are factorized
+once (:func:`~repro.tabular.frame.factorize`), output row positions
+come from array indexing rather than per-row dict lookups, and
+duplicate (index, column) cells are detected from one segment pass
+over the combined key codes.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.tabular.frame import Table
+import numpy as np
+
+from repro.tabular.frame import Table, factorize, group_codes
 
 __all__ = ["pivot"]
+
+
+def _first_seen_positions(column: np.ndarray) -> tuple[list[Any], np.ndarray]:
+    """Map a column to its first-seen distinct values.
+
+    Returns ``(values, positions)`` where ``values`` lists the distinct
+    cell values in order of first appearance and ``positions[i]`` is the
+    index into ``values`` for row ``i``.
+    """
+    length = column.shape[0]
+    codes, _ = factorize(column)
+    uniques, inverse = np.unique(codes, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    first_rows = np.full(uniques.shape[0], length, dtype=np.intp)
+    np.minimum.at(first_rows, inverse, np.arange(length, dtype=np.intp))
+    seen_order = np.argsort(first_rows, kind="stable")
+    rank = np.empty(uniques.shape[0], dtype=np.intp)
+    rank[seen_order] = np.arange(uniques.shape[0], dtype=np.intp)
+    values = [column[row] for row in first_rows[seen_order]]
+    return values, rank[inverse]
 
 
 def pivot(
@@ -32,21 +60,25 @@ def pivot(
         if name not in table:
             raise KeyError(f"no column {name!r} to pivot on")
 
-    column_values = sorted(set(table[columns]))
-    index_values: list[Any] = []
-    seen_index: set[Any] = set()
-    cells: dict[tuple[Any, Any, str], Any] = {}
-    for row in table.iter_rows():
-        idx, col = row[index], row[columns]
-        if idx not in seen_index:
-            seen_index.add(idx)
-            index_values.append(idx)
-        for name in value_names:
-            key = (idx, col, name)
-            if key in cells:
-                raise ValueError(
-                    f"duplicate cell for ({idx!r}, {col!r}, {name!r})")
-            cells[key] = row[name]
+    table_len = len(table)
+    index_column = table[index]
+    columns_column = table[columns]
+    column_values = sorted(set(columns_column))
+    index_values, row_positions = _first_seen_positions(index_column)
+
+    # Duplicate detection: any (index, column) pair seen twice. Report
+    # the earliest second occurrence, as the row scan used to.
+    pair_codes = group_codes([index_column, columns_column], table_len)
+    pair_order = np.argsort(pair_codes, kind="stable")
+    sorted_pairs = pair_codes[pair_order]
+    if table_len:
+        same_as_prev = np.flatnonzero(sorted_pairs[1:] == sorted_pairs[:-1]) + 1
+        if same_as_prev.size:
+            dup_row = int(pair_order[same_as_prev].min())
+            raise ValueError(
+                f"duplicate cell for ({index_column[dup_row]!r}, "
+                f"{columns_column[dup_row]!r}, {value_names[0]!r})"
+            )
 
     def out_name(col: Any, name: str) -> str:
         if len(value_names) == 1:
@@ -54,9 +86,13 @@ def pivot(
         return f"{col}_{name}"
 
     data: dict[str, list[Any]] = {index: index_values}
+    n_index = len(index_values)
     for col in column_values:
+        rows = np.flatnonzero(columns_column == col)
+        positions = row_positions[rows].tolist()
         for name in value_names:
-            data[out_name(col, name)] = [
-                cells.get((idx, col, name), fill) for idx in index_values
-            ]
+            cells = [fill] * n_index
+            for position, value in zip(positions, table[name][rows].tolist()):
+                cells[position] = value
+            data[out_name(col, name)] = cells
     return Table(data)

@@ -39,8 +39,36 @@ def write_csv(table: Table, path: str | Path) -> None:
             writer.writerow([_plain(column[row_index]) for column in columns])
 
 
+def _has_leading_zero(cell: str) -> bool:
+    """True for numerals like ``"01001"`` whose leading zero is data.
+
+    Census FIPS/CBG codes are fixed-width digit strings; parsing them
+    numerically drops the zero and corrupts every geo join key. Plain
+    ``"0"``, ``"0.5"``, and ``"0e5"`` are unaffected — only a zero
+    followed by another digit disqualifies the cell.
+    """
+    digits = cell.strip().lstrip("+-")
+    return len(digits) > 1 and digits[0] == "0" and digits[1].isdigit()
+
+
+def _parse_int(cell: str) -> int:
+    if _has_leading_zero(cell):
+        raise ValueError(f"leading-zero numeral {cell!r} is not an int")
+    return int(cell)
+
+
+def _parse_float(cell: str) -> float:
+    if _has_leading_zero(cell):
+        raise ValueError(f"leading-zero numeral {cell!r} is not a float")
+    return float(cell)
+
+
 def _coerce_csv_column(raw: list[str]) -> list[Any]:
-    """Parse a CSV column as int, then float, then bool, else string."""
+    """Parse a CSV column as int, then float, then bool, else string.
+
+    Leading-zero numerals ("01001") stay strings — see
+    :func:`_has_leading_zero`.
+    """
     def try_parse(parser: Any) -> list[Any] | None:
         parsed = []
         for cell in raw:
@@ -50,7 +78,8 @@ def _coerce_csv_column(raw: list[str]) -> list[Any]:
                 return None
         return parsed
 
-    for parser in (int, float, {"True": True, "False": False}.__getitem__):
+    for parser in (_parse_int, _parse_float,
+                   {"True": True, "False": False}.__getitem__):
         parsed = try_parse(parser)
         if parsed is not None:
             return parsed
@@ -78,11 +107,21 @@ def read_csv(path: str | Path) -> Table:
     )
 
 
+# A zero-row table has no rows to carry its column names, so write_jsonl
+# emits this one-key schema marker instead; read_jsonl recognizes (and
+# otherwise skips) it, keeping the empty round trip schema-preserving.
+_SCHEMA_KEY = "__tabular_schema__"
+
+
 def write_jsonl(table: Table, path: str | Path) -> None:
-    """Write one JSON object per row."""
+    """Write one JSON object per row (a schema marker if no rows)."""
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
     with destination.open("w", encoding="utf-8") as handle:
+        if len(table) == 0:
+            handle.write(json.dumps({_SCHEMA_KEY: list(table.column_names)}))
+            handle.write("\n")
+            return
         for row in table.iter_rows():
             handle.write(json.dumps({k: _plain(v) for k, v in row.items()}))
             handle.write("\n")
@@ -91,13 +130,20 @@ def write_jsonl(table: Table, path: str | Path) -> None:
 def read_jsonl(path: str | Path) -> Table:
     """Read a JSONL file written by :func:`write_jsonl`."""
     rows = []
+    schema: list[str] | None = None
     with Path(path).open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                rows.append(json.loads(line))
+                row = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(f"{path}:{line_number}: invalid JSON: {error}") from None
+            if isinstance(row, dict) and set(row) == {_SCHEMA_KEY}:
+                schema = [str(name) for name in row[_SCHEMA_KEY]]
+                continue
+            rows.append(row)
+    if not rows and schema is not None:
+        return Table({name: [] for name in schema})
     return Table.from_rows(rows)

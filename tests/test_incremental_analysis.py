@@ -130,8 +130,8 @@ class TestDiskBackedRows:
                                  **SUBSET)
         cache = row_cache_for(campaign, directory=tmp_path)
         wave_analysis(panel_outcomes[0], cache=cache)
-        victim = next(cache.directory.glob("q12-*.json"))
-        victim.write_text("{torn", encoding="utf-8")
+        victim = next(cache.directory.glob("q12-*.col"))
+        victim.write_bytes(victim.read_bytes()[:10])  # torn write
         digest = victim.stem.split("-", 1)[1]
         fresh = row_cache_for(campaign, directory=tmp_path)
         assert not fresh.lookup("q12", digest)[0]
@@ -145,11 +145,14 @@ class TestDiskBackedRows:
                                  **SUBSET)
         cache = row_cache_for(campaign, directory=tmp_path)
         wave_analysis(panel_outcomes[0], cache=cache)
-        victim = next(p for p in cache.directory.glob("q12-*.json")
-                      if json.loads(p.read_text("utf-8"))["row"])
-        document = json.loads(victim.read_text("utf-8"))
-        document["row"]["weight"] += 1  # still valid JSON
-        victim.write_text(json.dumps(document), encoding="utf-8")
+        from repro.tabular.colio import decode_row_document
+
+        victim = next(p for p in cache.directory.glob("q12-*.col")
+                      if decode_row_document(p.read_bytes())[1])
+        payload = bytearray(victim.read_bytes())
+        payload[-1] ^= 0xFF  # flip a bit in the last value buffer
+        victim.write_bytes(bytes(payload))
+        assert decode_row_document(bytes(payload))[1]  # still parseable
         digest = victim.stem.split("-", 1)[1]
         fresh = row_cache_for(campaign, directory=tmp_path)
         assert not fresh.lookup("q12", digest)[0]
@@ -176,6 +179,34 @@ class TestDiskBackedRows:
         fresh = WaveRowCache("a" * 64, directory=tmp_path)
         hit, row = fresh.lookup("q12", "b" * 64)
         assert hit and row is None
+
+    def test_format1_json_cache_still_readable(self, tmp_path):
+        """A cache persisted before the binary format: its format-1
+        JSON files must stay warm, the loaded row must be byte-equal
+        to what format 2 round-trips, and a re-put must upgrade the
+        file to format 2."""
+        from repro.runtime.cache import content_digest
+
+        namespace, digest = "a" * 64, "b" * 64
+        row = {"isp_id": "frontier", "state": "VT", "cbg": "500019601001",
+               "served_rate": 0.625, "compliant_rate": 1 / 3,
+               "queried": 8, "weight": 12}
+        cache = WaveRowCache(namespace, directory=tmp_path)
+        legacy = cache.directory / f"q12-{digest}.json"
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text(json.dumps({
+            "format": 1, "namespace": namespace, "digest": digest,
+            "row_sha256": content_digest({"row": row}), "row": row,
+        }), encoding="utf-8")
+
+        hit, loaded = cache.lookup("q12", digest)
+        assert hit and _row_bytes(loaded) == _row_bytes(row)
+
+        cache.put("q12", digest, loaded)
+        assert (cache.directory / f"q12-{digest}.col").exists()
+        fresh = WaveRowCache(namespace, directory=tmp_path)
+        hit, upgraded = fresh.lookup("q12", digest)
+        assert hit and _row_bytes(upgraded) == _row_bytes(row)
 
     def test_sweep_unreferenced_rows(self, tmp_path):
         """Churned cells strand one row file per superseded digest;

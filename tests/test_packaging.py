@@ -9,7 +9,7 @@ class TestPublicSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_top_level_exports(self):
         import repro

@@ -1,0 +1,179 @@
+"""Unit tests for repro.tabular.colio — the binary column codec."""
+
+import json
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import content_digest
+from repro.tabular.colio import (
+    MAGIC,
+    decode_columns,
+    decode_row_document,
+    encode_columns,
+    encode_row_document,
+)
+
+
+def _round_trip(columns, length, meta=None):
+    meta_back, length_back, columns_back = decode_columns(
+        encode_columns(columns, length, meta))
+    assert length_back == length
+    return meta_back, columns_back
+
+
+class TestColumnRoundTrips:
+    def test_typed_columns(self):
+        columns = {
+            "count": [3, -7, 0],
+            "rate": [0.5, 1 / 3, -2.25],
+            "ok": [True, False, True],
+            "isp": ["att", "frontier", "cl"],
+        }
+        _, back = _round_trip(columns, 3)
+        assert back == columns
+        # Python types, not numpy scalars, come back out.
+        assert all(type(v) is int for v in back["count"])
+        assert all(type(v) is float for v in back["rate"])
+        assert all(type(v) is bool for v in back["ok"])
+
+    def test_floats_bit_exact(self):
+        values = [0.1 + 0.2, 1e-308, math.inf, -math.inf, math.nan,
+                  -0.0]
+        _, back = _round_trip({"x": values}, len(values))
+        for original, decoded in zip(values, back["x"]):
+            assert struct.pack("<d", original) == struct.pack("<d", decoded)
+
+    def test_numpy_array_input(self):
+        columns = {
+            "i": np.asarray([1, 2, 3], dtype=np.int64),
+            "f": np.asarray([0.5, 1.5, 2.5]),
+            "b": np.asarray([True, False, True]),
+            "s": np.asarray(["a", "bb", "ccc"], dtype=object),
+        }
+        _, back = _round_trip(columns, 3)
+        assert back["i"] == [1, 2, 3]
+        assert back["f"] == [0.5, 1.5, 2.5]
+        assert back["b"] == [True, False, True]
+        assert back["s"] == ["a", "bb", "ccc"]
+
+    def test_none_values_use_validity_masks(self):
+        columns = {
+            "maybe_int": [1, None, 3],
+            "maybe_str": ["a", None, None],
+            "maybe_float": [None, 2.5, None],
+        }
+        _, back = _round_trip(columns, 3)
+        assert back == columns
+
+    def test_all_none_column(self):
+        _, back = _round_trip({"x": [None, None]}, 2)
+        assert back["x"] == [None, None]
+
+    def test_json_fallback_for_dicts_and_mixed(self):
+        columns = {
+            "modes": [{"fiber": 2, "dsl": 1}, {}],
+            "mixed": [1, "two"],
+            "big": [2 ** 70, 0],
+        }
+        _, back = _round_trip(columns, 2)
+        assert back == columns
+
+    def test_unicode_strings(self):
+        values = ["café", "näive", "ελληνικά", ""]
+        _, back = _round_trip({"s": values}, 4)
+        assert back["s"] == values
+
+    def test_meta_and_zero_length(self):
+        meta = {"namespace": "a" * 64, "format": 2}
+        meta_back, back = _round_trip({"x": [], "y": []}, 0, meta)
+        assert meta_back == meta
+        assert back == {"x": [], "y": []}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            encode_columns({"x": [1]}, 2)
+
+
+class TestDamage:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            decode_columns(b"NOTCOLIO" + b"\x00" * 16)
+
+    def test_truncation_everywhere(self):
+        payload = encode_columns(
+            {"i": [1, 2], "s": ["ab", "c"], "m": [None, {"k": 1}]}, 2)
+        for cut in range(len(payload)):
+            with pytest.raises(ValueError):
+                decode_columns(payload[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_columns({"i": [1]}, 1)
+        with pytest.raises(ValueError, match="trailing"):
+            decode_columns(payload + b"\x00")
+
+    def test_header_not_json(self):
+        header = b"{not json"
+        payload = MAGIC + struct.pack("<I", len(header)) + header
+        with pytest.raises(ValueError, match="header"):
+            decode_columns(payload)
+
+
+class TestRowDocuments:
+    Q12_ROW = {
+        "isp_id": "frontier",
+        "state": "VT",
+        "cbg": "500019601001",
+        "served_rate": 0.625,
+        "compliant_rate": 1 / 3,
+        "queried": 8,
+        "weight": 12,
+    }
+
+    def test_row_round_trip_hashes_identically(self):
+        meta, row = decode_row_document(
+            encode_row_document(self.Q12_ROW, {"digest": "d" * 64}))
+        assert meta == {"digest": "d" * 64}
+        assert row == self.Q12_ROW
+        assert content_digest({"row": row}) == \
+            content_digest({"row": self.Q12_ROW})
+        # Canonical JSON byte-equality: the strongest round-trip claim.
+        assert json.dumps(row, sort_keys=True) == \
+            json.dumps(self.Q12_ROW, sort_keys=True)
+
+    def test_none_row_distinct_from_missing(self):
+        meta, row = decode_row_document(encode_row_document(None))
+        assert row is None
+        assert meta is None
+
+    def test_q3_row_with_mode_dict(self):
+        q3 = {"analyzed": True, "records": 41,
+              "modes": {"fiber": 3, "fixed_wireless": 1}}
+        _, row = decode_row_document(encode_row_document(q3))
+        assert row == q3
+        assert type(row["analyzed"]) is bool
+
+    def test_binary_smaller_than_json_at_column_scale(self):
+        """Machine words beat decimal text once a column has real
+        length (the one-row cache documents pay a fixed header and
+        break even; the bulk wins are columnar)."""
+        n = 1000
+        columns = {
+            "cbg": [f"{500019601000 + i:012d}" for i in range(n)],
+            "served_rate": [(i % 97) / 97 for i in range(n)],
+            "compliant_rate": [(i % 89) / 89 for i in range(n)],
+            "queried": list(range(n)),
+            "weight": [i * 3 + 1 for i in range(n)],
+        }
+        rows = [{name: columns[name][i] for name in columns}
+                for i in range(n)]
+        json_size = sum(len(json.dumps(row).encode()) + 1 for row in rows)
+        col_size = len(encode_columns(columns, n))
+        assert col_size < 0.8 * json_size
+
+    def test_not_a_row_document(self):
+        payload = encode_columns({"x": [1]}, 1, {"unrelated": True})
+        with pytest.raises(ValueError, match="row document"):
+            decode_row_document(payload)

@@ -196,3 +196,68 @@ class TestTransformations:
     def test_equality(self, sample: Table):
         assert sample == sample.take(range(4))
         assert sample != sample.head(2)
+
+class TestSortStability:
+    def test_descending_keeps_ties_in_first_seen_order(self):
+        """Regression: descending used to reverse the ascending
+        permutation wholesale, which also reversed tied rows."""
+        table = Table({
+            "speed": [10.0, 25.0, 10.0, 25.0, 10.0],
+            "row": [0, 1, 2, 3, 4],
+        })
+        ordered = table.sort_by("speed", descending=True)
+        assert list(ordered["speed"]) == [25.0, 25.0, 10.0, 10.0, 10.0]
+        assert list(ordered["row"]) == [1, 3, 0, 2, 4]
+
+    def test_descending_multi_key(self):
+        table = Table({"a": [1, 2, 1, 2], "b": ["x", "y", "w", "z"]})
+        ordered = table.sort_by(["a", "b"], descending=True)
+        assert list(ordered["a"]) == [2, 2, 1, 1]
+        assert list(ordered["b"]) == ["z", "y", "x", "w"]
+
+    def test_per_key_descending_flags(self):
+        table = Table({
+            "isp": ["att", "cl", "att", "cl"],
+            "speed": [10.0, 25.0, 100.0, 10.0],
+        })
+        ordered = table.sort_by(["isp", "speed"],
+                                descending=[False, True])
+        assert list(ordered["isp"]) == ["att", "att", "cl", "cl"]
+        assert list(ordered["speed"]) == [100.0, 10.0, 25.0, 10.0]
+
+    def test_descending_flags_length_checked(self):
+        table = Table({"a": [1], "b": [2]})
+        with pytest.raises(ValueError, match="descending"):
+            table.sort_by(["a", "b"], descending=[True])
+
+    def test_descending_strings(self):
+        table = Table({"isp": ["att", "frontier", "cl"]})
+        ordered = table.sort_by("isp", descending=True)
+        assert list(ordered["isp"]) == ["frontier", "cl", "att"]
+
+
+class TestExactEquality:
+    def test_tiny_float_drift_breaks_equality(self):
+        """Regression: __eq__ used np.allclose(rtol=1e-5), masking
+        exactly the float regressions the byte-equality oracles exist
+        to catch."""
+        left = Table({"rate": [0.1, 0.2]})
+        right = Table({"rate": [0.1, 0.2 + 1e-9]})
+        assert left != right
+        assert left.approx_equal(right)
+
+    def test_nan_equal_to_nan(self):
+        left = Table({"rate": [float("nan"), 1.0]})
+        right = Table({"rate": [float("nan"), 1.0]})
+        assert left == right
+        assert left.approx_equal(right)
+
+    def test_approx_equal_tolerances(self):
+        left = Table({"rate": [1.0]})
+        assert left.approx_equal(Table({"rate": [1.0 + 1e-9]}))
+        assert not left.approx_equal(Table({"rate": [1.1]}))
+        assert left.approx_equal(Table({"rate": [1.1]}), atol=0.2)
+
+    def test_approx_equal_requires_table(self):
+        with pytest.raises(TypeError):
+            Table({"a": [1]}).approx_equal({"a": [1]})

@@ -131,3 +131,128 @@ class TestJoin:
         result = join(left, right, on="k")
         assert len(result) == 0
         assert result.column_names == ("k", "a", "b")
+
+class TestGroupByKernels:
+    def test_string_kernels_match_callables(self, audit_like: Table):
+        grouped = audit_like.group_by(["isp"])
+        fast = grouped.agg(
+            total=("served", "sum"),
+            rate=("served", "mean"),
+            n=("served", "count"),
+            lo=("served", "min"),
+            hi=("served", "max"),
+            first=("cbg", "first"),
+            last=("cbg", "last"),
+        )
+        slow = grouped.agg(
+            total=("served", np.sum),
+            rate=("served", np.mean),
+            n=("served", len),
+            lo=("served", np.min),
+            hi=("served", np.max),
+            first=("cbg", lambda values: values[0]),
+            last=("cbg", lambda values: values[-1]),
+        )
+        assert fast == slow
+
+    def test_bool_kernels(self):
+        table = Table({
+            "isp": ["att", "att", "cl", "cl"],
+            "ok": [True, False, True, True],
+        })
+        result = table.group_by(["isp"]).agg(
+            any_ok=("ok", "any"), all_ok=("ok", "all"),
+            n_ok=("ok", "sum"), frac=("ok", "mean"))
+        assert list(result["any_ok"]) == [True, True]
+        assert list(result["all_ok"]) == [False, True]
+        assert list(result["n_ok"]) == [1, 2]
+        assert list(result["frac"]) == [0.5, 1.0]
+
+    def test_unknown_kernel_raises(self, audit_like: Table):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            audit_like.group_by(["isp"]).agg(x=("served", "median"))
+
+
+class TestGroupByEdgeCases:
+    def test_empty_table_groupby(self):
+        table = Table({"isp": [], "served": []})
+        grouped = table.group_by(["isp"])
+        assert len(grouped) == 0
+        sizes = grouped.size()
+        assert sizes.column_names == ("isp", "count")
+        assert len(sizes) == 0
+        agg = grouped.agg(total=("served", "sum"))
+        assert agg.column_names == ("isp", "total") and len(agg) == 0
+        applied = grouped.apply(lambda t: {"n": len(t)})
+        assert len(applied) == 0
+
+    def test_object_dtype_mixed_type_keys(self):
+        table = Table({
+            "key": np.asarray(["a", 1, "a", (2, 3), 1], dtype=object),
+            "x": [1.0, 2.0, 3.0, 4.0, 5.0],
+        })
+        grouped = table.group_by(["key"])
+        assert len(grouped) == 3
+        result = grouped.agg(total=("x", np.sum))
+        assert list(result["key"]) == ["a", 1, (2, 3)]
+        assert list(result["total"]) == [4.0, 7.0, 4.0]
+
+    def test_apply_heterogeneous_output_keys_raise(self, audit_like: Table):
+        def uneven(group: Table):
+            if group["isp"][0] == "att":
+                return {"n": len(group)}
+            return {"m": len(group)}
+
+        with pytest.raises(ValueError, match="expected"):
+            audit_like.group_by(["isp"]).apply(uneven)
+
+    def test_agg_first_seen_group_order(self):
+        table = Table({"k": ["z", "a", "z", "m", "a"],
+                       "v": [1, 2, 3, 4, 5]})
+        result = table.group_by(["k"]).agg(total=("v", "sum"))
+        assert list(result["k"]) == ["z", "a", "m"]
+        assert list(result["total"]) == [4, 7, 4]
+
+
+class TestJoinEdgeCases:
+    def test_left_join_promotes_int_columns_to_float(self):
+        """An unmatched left row fills the right int column with NaN,
+        which forces the whole output column to float64 — the dtype
+        change the join docstring documents."""
+        left = Table({"cbg": ["c1", "c2"]})
+        right = Table({"cbg": ["c1"], "pop": [120]})
+        result = join(left, right, on="cbg", how="left")
+        assert result["pop"].dtype == np.dtype(float)
+        assert result["pop"][0] == 120.0
+        assert np.isnan(result["pop"][1])
+
+    def test_join_empty_left(self):
+        left = Table({"cbg": [], "x": []})
+        right = Table({"cbg": ["c1"], "pop": [120]})
+        result = join(left, right, on="cbg")
+        assert result.column_names == ("cbg", "x", "pop")
+        assert len(result) == 0
+
+    def test_join_empty_right(self):
+        left = Table({"cbg": ["c1"], "x": [1.0]})
+        right = Table({"cbg": [], "pop": []})
+        assert len(join(left, right, on="cbg")) == 0
+        kept = join(left, right, on="cbg", how="left")
+        assert len(kept) == 1
+        assert np.isnan(kept["pop"][0])
+
+    def test_join_object_dtype_keys(self):
+        left = Table({"key": np.asarray([1, "a", None], dtype=object),
+                      "x": [1.0, 2.0, 3.0]})
+        right = Table({"key": np.asarray(["a", None, 1], dtype=object),
+                       "y": [10.0, 20.0, 30.0]})
+        result = join(left, right, on="key")
+        assert list(result["x"]) == [1.0, 2.0, 3.0]
+        assert list(result["y"]) == [30.0, 10.0, 20.0]
+
+    def test_left_join_output_order_is_left_then_right_scan(self):
+        left = Table({"k": ["b", "a", "b"], "i": [0, 1, 2]})
+        right = Table({"k": ["b", "a", "b"], "j": [10, 20, 30]})
+        result = join(left, right, on="k", how="left")
+        assert list(result["i"]) == [0, 0, 1, 2, 2]
+        assert list(result["j"]) == [10, 30, 20, 10, 30]

@@ -106,3 +106,50 @@ class TestRender:
     def test_integers_have_thousand_separators(self):
         table = Table({"n": [1_234_567]})
         assert "1,234,567" in render_table(table)
+
+class TestCsvTypeInferenceGuards:
+    def test_leading_zero_fips_codes_stay_strings(self, tmp_path):
+        """Regression: "01001" (an Alabama county FIPS) used to parse
+        as the int 1001, corrupting every geo join key on a CSV round
+        trip."""
+        table = Table({"fips": ["01001", "06037", "48201"]})
+        path = tmp_path / "fips.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert list(back["fips"]) == ["01001", "06037", "48201"]
+        assert back == table
+
+    def test_leading_zero_blocks_float_parse_too(self, tmp_path):
+        path = tmp_path / "codes.csv"
+        path.write_text("cbg\n010010201002\n0.5\n", encoding="utf-8")
+        assert list(read_csv(path)["cbg"]) == ["010010201002", "0.5"]
+
+    def test_plain_zero_values_still_numeric(self, tmp_path):
+        path = tmp_path / "zeros.csv"
+        path.write_text("a,b,c\n0,0.5,0e5\n10,-0.25,1e2\n",
+                        encoding="utf-8")
+        table = read_csv(path)
+        assert list(table["a"]) == [0, 10]
+        assert list(table["b"]) == [0.5, -0.25]
+        assert list(table["c"]) == [0.0, 100.0]
+
+    def test_negative_leading_zero_stays_string(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("a\n-01\n-02\n", encoding="utf-8")
+        assert list(read_csv(path)["a"]) == ["-01", "-02"]
+
+
+class TestEmptyTableRoundTrips:
+    def test_empty_jsonl_round_trip_preserves_schema(self, tmp_path):
+        table = Table({"isp": [], "speed": []})
+        path = tmp_path / "empty.jsonl"
+        write_jsonl(table, path)
+        back = read_jsonl(path)
+        assert back.column_names == ("isp", "speed")
+        assert len(back) == 0
+
+    def test_nonempty_jsonl_has_no_schema_marker(self, sample, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(sample, path)
+        assert "__tabular_schema__" not in path.read_text("utf-8")
+        assert read_jsonl(path) == sample

@@ -324,6 +324,24 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--out", required=True)
     report_parser.add_argument("--scale", choices=_SCALE_CHOICES,
                                default="tiny")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="statically check the determinism & durability "
+                     "contracts (DET/DUR/CONC/PROTO rule packs)")
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text", dest="output_format")
+    lint_parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="subtract the committed exceptions in FILE before failing")
+    lint_parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write the current findings to FILE and exit 0")
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
     return parser
 
 
@@ -848,6 +866,38 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (apply_baseline, load_baseline,
+                            render_json, render_rule_catalog,
+                            render_text, scan_paths, write_baseline)
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    try:
+        findings = scan_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"caf-audit lint: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} findings to {args.write_baseline}")
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"caf-audit lint: bad baseline: {error}", file=sys.stderr)
+            return 2
+        fresh = apply_baseline(findings, baseline)
+        baselined = len(findings) - len(fresh)
+        findings = fresh
+    renderer = render_json if args.output_format == "json" else render_text
+    print(renderer(findings, baselined))
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "run": _command_run,
     "panel": _command_panel,
@@ -863,6 +913,7 @@ _COMMANDS = {
     "campaign": _command_campaign,
     "validate": _command_validate,
     "report": _command_report,
+    "lint": _command_lint,
 }
 
 

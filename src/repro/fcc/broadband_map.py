@@ -80,7 +80,9 @@ class BroadbandMap:
         """Return blocks where the two datasets *disagree* on the
         provider set (empty means fully consistent)."""
         disagreements = []
-        for block in set(self._by_block) | set(form477.blocks()):
+        # Iterate the union in sorted order: set iteration order varies
+        # with PYTHONHASHSEED, and output order must not.
+        for block in sorted(set(self._by_block) | set(form477.blocks())):
             if self.providers_in_block(block) != form477.providers_in_block(block):
                 disagreements.append(block)
-        return sorted(disagreements)
+        return disagreements

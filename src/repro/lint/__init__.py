@@ -1,0 +1,33 @@
+"""repro.lint — the determinism & durability static analyzer.
+
+Statically enforces the byte-equivalence contract the equivalence and
+chaos harnesses check dynamically: no ambient randomness, no
+hash-ordered iteration into ordered outputs, no wall-clock leaks, no
+non-atomic writes in durable stores, no unjoinable threads, and
+matched, versioned, canonical codecs.
+
+Usage::
+
+    PYTHONPATH=src python -m repro lint [--format text|json]
+        [--baseline lint.baseline.json] [paths...]
+
+Suppress one site with ``# repro-lint: disable=RULE`` on the flagged
+line, or a whole file with ``# repro-lint: disable-file=RULE``.
+"""
+
+from repro.lint.model import Finding, Rule, RULES, rules_by_pack
+from repro.lint.engine import scan_paths, scan_file
+from repro.lint.baseline import (apply_baseline, load_baseline,
+                                 write_baseline)
+from repro.lint.report import (render_json, render_rule_catalog,
+                               render_text)
+
+# Importing the packs registers their rules.
+from repro.lint import conc, det, dur, proto  # noqa: F401  (registration)
+
+__all__ = [
+    "Finding", "Rule", "RULES", "rules_by_pack",
+    "scan_paths", "scan_file",
+    "apply_baseline", "load_baseline", "write_baseline",
+    "render_json", "render_rule_catalog", "render_text",
+]

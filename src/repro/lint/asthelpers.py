@@ -1,0 +1,78 @@
+"""Small AST utilities shared by the rule packs."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["dotted_name", "call_name", "keyword_value", "iter_scopes",
+           "is_unordered"]
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Render a Name/Attribute chain as ``"np.random.default_rng"``.
+
+    Anything that is not a plain dotted chain (a call result, a
+    subscript) renders its non-name part as ``"?"`` so callers can
+    still match on the trailing attributes.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{dotted_name(node.value)}.{node.attr}"
+    return "?"
+
+
+def call_name(call: ast.Call) -> str:
+    """The dotted name a call targets (empty for computed callees)."""
+    name = dotted_name(call.func)
+    return "" if name.startswith("?") else name
+
+
+def keyword_value(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield the module plus every (async) function definition."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# Set-producing method names: calling one of these *on a set* yields
+# another set, so the chain stays unordered.
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+# Binary operators that combine sets into sets.
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def is_unordered(node: ast.expr) -> bool:
+    """True when ``node`` syntactically evaluates to a ``set``.
+
+    Deliberately shallow — it follows literal sets, ``set()`` /
+    ``frozenset()`` calls, set operators, and set-method chains, but
+    not assignments, because a name-level dataflow would need whole-
+    module type inference for little gain: the hazardous pattern in
+    this codebase is the inline union (``set(a) | set(b)``).
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id in ("set", "frozenset"):
+            return True
+        if (isinstance(callee, ast.Attribute)
+                and callee.attr in _SET_METHODS
+                and is_unordered(callee.value)):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return is_unordered(node.left) or is_unordered(node.right)
+    return False

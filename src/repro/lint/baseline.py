@@ -1,0 +1,66 @@
+"""The committed-exception store.
+
+A baseline is a JSON file enumerating findings the project has decided
+to live with. ``repro lint --baseline FILE`` subtracts them from the
+scan; anything left fails the run. The workflow is a ratchet: new code
+must scan clean, old accepted findings stay documented in one reviewed
+file, and deleting the offending code automatically invalidates its
+entry (matching keys on the stripped source line, not line numbers).
+
+This project's policy is stricter still: DET and DUR findings are
+never baselined — determinism and durability bugs get fixed, and the
+acceptance test pins the committed baseline to zero entries from those
+packs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.model import Finding
+from repro.runtime.atomicio import atomic_write_text
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+FORMAT = 1
+
+
+def load_baseline(path: str | Path) -> list[Finding]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: unsupported baseline format {payload.get('format')!r}")
+    return [Finding.from_json(entry) for entry in payload["findings"]]
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "format": FORMAT,
+        "findings": [f.to_json() for f in
+                     sorted(findings, key=Finding.sort_key)],
+    }
+    atomic_write_text(
+        Path(path),
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Sequence[Finding]) -> list[Finding]:
+    """Subtract baselined findings, respecting multiplicity.
+
+    Two identical violations on different lines of one file share a
+    baseline key; a baseline with one such entry excuses exactly one
+    of them, so a copy-pasted second offense still fails the scan.
+    """
+    budget = Counter(f.baseline_key() for f in baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -1,0 +1,195 @@
+"""CONC pack — concurrency rules.
+
+The daemon and the distributed coordinator are the only places this
+codebase spawns threads, and both have to shut down cleanly for the
+chaos tests' crash/resume equivalence to mean anything. These rules
+flag unlocked cross-thread attribute mutation and threads that nobody
+can join.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import call_name, iter_scopes, keyword_value
+from repro.lint.model import Finding, ModuleContext, rule
+
+
+def _is_thread_call(call: ast.Call) -> bool:
+    return call_name(call).split(".")[-1] == "Thread"
+
+
+def _self_target_name(call: ast.Call) -> str | None:
+    """``"_serve"`` for ``Thread(target=self._serve, ...)``."""
+    target = keyword_value(call, "target")
+    if isinstance(target, ast.Attribute) \
+            and isinstance(target.value, ast.Name) \
+            and target.value.id == "self":
+        return target.attr
+    return None
+
+
+class _MutationCollector(ast.NodeVisitor):
+    """Collect self-attribute writes, tracking lock context."""
+
+    def __init__(self) -> None:
+        self.mutations: list[tuple[str, ast.AST, bool]] = []
+        self._lock_depth = 0
+
+    def _record(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            self.mutations.append(
+                (target.attr, node, self._lock_depth > 0))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        held = any("lock" in call_name_of(item.context_expr).lower()
+                   for item in node.items)
+        self._lock_depth += held
+        self.generic_visit(node)
+        self._lock_depth -= held
+
+    # Nested defs get their own collector pass; don't descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+
+def call_name_of(expr: ast.expr) -> str:
+    """Dotted name of a with-item's context expression."""
+    from repro.lint.asthelpers import dotted_name
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    return dotted_name(expr)
+
+
+def _method_mutations(method: ast.FunctionDef | ast.AsyncFunctionDef):
+    collector = _MutationCollector()
+    for statement in method.body:
+        collector.visit(statement)
+    return collector.mutations
+
+
+@rule(
+    "CONC301", "CONC",
+    summary="attribute mutated across threads without a lock",
+    rationale="an attribute written both inside a Thread target and "
+              "from other methods races unless every write holds "
+              "`with self._lock`; torn state corrupts shutdown and "
+              "journal ordering",
+)
+def conc301_unlocked_shared_mutation(ctx: ModuleContext) -> Iterator[Finding]:
+    for klass in ast.walk(ctx.tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        target_names = {
+            name
+            for node in ast.walk(klass)
+            if isinstance(node, ast.Call) and _is_thread_call(node)
+            for name in [_self_target_name(node)]
+            if name is not None
+        }
+        if not target_names:
+            continue
+        methods = [node for node in klass.body
+                   if isinstance(node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))]
+        inside: dict[str, list[tuple[ast.AST, bool]]] = {}
+        outside: dict[str, list[tuple[ast.AST, bool]]] = {}
+        for method in methods:
+            if method.name == "__init__":
+                continue  # construction happens before any thread runs
+            bucket = inside if method.name in target_names else outside
+            for attr, node, locked in _method_mutations(method):
+                bucket.setdefault(attr, []).append((node, locked))
+        for attr in sorted(set(inside) & set(outside)):
+            for node, locked in inside[attr] + outside[attr]:
+                if not locked:
+                    yield ctx.finding(
+                        "CONC301", node,
+                        f"self.{attr} is written both in thread target"
+                        f"(s) {sorted(target_names)} and outside; this "
+                        "write does not hold self._lock")
+
+
+def _registered(scope: ast.AST, name: str) -> bool:
+    """True if thread ``name`` is appended, joined, or stored."""
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "append" and any(
+                    isinstance(arg, ast.Name) and arg.id == name
+                    for arg in node.args):
+                return True
+            if node.func.attr == "join" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == name:
+                return True
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == name \
+                and any(isinstance(t, (ast.Attribute, ast.Subscript))
+                        for t in node.targets):
+            return True
+    return False
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function defs."""
+    stack: list[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue  # its own scope; visited by iter_scopes
+            stack.append(child)
+
+
+def _binding_name(scope: ast.AST, call: ast.Call) -> str | None:
+    """The simple name a thread call is assigned to, if any."""
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Assign) and node.value is call:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    return target.id
+    return None
+
+
+@rule(
+    "CONC302", "CONC",
+    summary="daemon thread spawned without registration",
+    rationale="a daemon thread nobody tracks cannot be joined at "
+              "shutdown, so it can die mid-write after the main "
+              "thread thinks the process quiesced",
+)
+def conc302_unregistered_daemon(ctx: ModuleContext) -> Iterator[Finding]:
+    for scope in iter_scopes(ctx.tree):
+        for node in _scope_walk(scope):
+            if not isinstance(node, ast.Call) or not _is_thread_call(node):
+                continue
+            daemon = keyword_value(node, "daemon")
+            if not (isinstance(daemon, ast.Constant)
+                    and daemon.value is True):
+                continue
+            bound = _binding_name(scope, node)
+            if bound is None or not _registered(scope, bound):
+                yield ctx.finding(
+                    "CONC302", node,
+                    "daemon thread is never appended to a joinable "
+                    "list (or joined); register it so shutdown can "
+                    "wait for it")

@@ -1,0 +1,105 @@
+"""DUR pack — durability rules.
+
+Crash-safety here means one thing: at every instruction boundary the
+durable state on disk is either the old bytes or the new bytes. The
+atomic publish helpers in :mod:`repro.runtime.atomicio` provide that;
+these rules catch code in the durable-store modules that bypasses
+them, and journal writes that are not fsynced before the append is
+acknowledged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import call_name, iter_scopes, keyword_value
+from repro.lint.model import Finding, ModuleContext, rule
+
+# Modules that own durable state. Anything else may write scratch
+# files however it likes.
+_DURABLE_TOKENS = ("checkpoint", "store", "journal", "cache",
+                   "tableio", "colio", "persist")
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The literal mode of an open()/Path.open() call, if spelled."""
+    mode = keyword_value(call, "mode")
+    if mode is None and len(call.args) >= 2 \
+            and isinstance(call.func, ast.Name):
+        mode = call.args[1]  # open(path, "w")
+    if mode is None and len(call.args) >= 1 \
+            and isinstance(call.func, ast.Attribute):
+        mode = call.args[0]  # path.open("w")
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@rule(
+    "DUR201", "DUR",
+    summary="non-atomic write in a durable-store module",
+    rationale="a truncating write (open 'w', write_text, json.dump) "
+              "killed mid-flight leaves a torn file; durable stores "
+              "must publish through runtime/atomicio.py "
+              "(tmp + fsync + rename)",
+    path_tokens=_DURABLE_TOKENS,
+    exclude_basenames=("atomicio",),
+)
+def dur201_raw_write(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open" \
+                or isinstance(func, ast.Attribute) and func.attr == "open":
+            mode = _open_mode(node)
+            if mode and mode[0] in ("w", "x"):
+                yield ctx.finding(
+                    "DUR201", node,
+                    f"open(mode={mode!r}) truncates in place; use "
+                    "atomic_write_bytes/text/stream from "
+                    "runtime/atomicio.py")
+        elif isinstance(func, ast.Attribute) \
+                and func.attr in ("write_text", "write_bytes"):
+            yield ctx.finding(
+                "DUR201", node,
+                f".{func.attr}() truncates in place; use "
+                "atomic_write_text/bytes from runtime/atomicio.py")
+        elif call_name(node) == "json.dump":
+            yield ctx.finding(
+                "DUR201", node,
+                "json.dump() streams into a live file; use "
+                "atomic_write_json from runtime/atomicio.py")
+
+
+def _calls_in(scope: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@rule(
+    "DUR202", "DUR",
+    summary="journal append without fsync in the same function",
+    rationale="an acked journal append that is not fsynced can vanish "
+              "on power loss, splitting the hash chain between "
+              "primary and followers",
+    path_tokens=("journal",),
+)
+def dur202_append_without_fsync(ctx: ModuleContext) -> Iterator[Finding]:
+    for scope in iter_scopes(ctx.tree):
+        if isinstance(scope, ast.Module):
+            continue
+        writes = [call for call in _calls_in(scope)
+                  if isinstance(call.func, ast.Attribute)
+                  and call.func.attr == "write"]
+        if not writes:
+            continue
+        fsynced = any(call_name(call) == "os.fsync"
+                      for call in _calls_in(scope))
+        if not fsynced:
+            yield ctx.finding(
+                "DUR202", writes[0],
+                f"{scope.name}() writes to a handle but never calls "
+                "os.fsync; a crash can lose the acked append")

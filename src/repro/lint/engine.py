@@ -1,0 +1,120 @@
+"""Scan driver: walk paths, parse modules, run rules, apply suppressions.
+
+The engine never imports the code it scans — everything is ``ast``
+over source text, so fixture files full of deliberate violations are
+safe to keep in the tree and scanning is immune to import-time side
+effects.
+
+Suppressions come in two shapes, both comment-anchored so they travel
+with the code they excuse:
+
+- ``# repro-lint: disable=DET102`` on the flagged line silences the
+  named rule(s) for that line only;
+- ``# repro-lint: disable-file=DET102,DUR201`` anywhere in the file
+  silences them for the whole module.
+
+Multiple rule IDs are comma-separated. Unknown IDs are tolerated (a
+suppression must not start failing when the rule it names is retired).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.model import Finding, ModuleContext, RULES
+
+__all__ = ["scan_paths", "scan_file", "iter_python_files"]
+
+# Rule id reserved for files the engine itself cannot parse.
+SYNTAX_RULE = "LINT000"
+
+_INLINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9_,\s]+)")
+_FILEWIDE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9_,\s]+)")
+
+
+def _split_ids(blob: str) -> set[str]:
+    return {part.strip() for part in blob.split(",") if part.strip()}
+
+
+def _suppressions(lines: Sequence[str]) -> tuple[set[str], dict[int, set[str]]]:
+    """Return (file-wide rule ids, per-line rule ids keyed by lineno)."""
+    filewide: set[str] = set()
+    per_line: dict[int, set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if "repro-lint" not in line:
+            continue
+        for match in _FILEWIDE.finditer(line):
+            filewide |= _split_ids(match.group(1))
+        for match in _INLINE.finditer(line):
+            per_line.setdefault(lineno, set()).update(
+                _split_ids(match.group(1)))
+    return filewide, per_line
+
+
+def _relpath(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def scan_file(path: Path, root: Path | None = None) -> list[Finding]:
+    """Run every applicable rule over one module."""
+    relpath = _relpath(path, root)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [Finding(rule=SYNTAX_RULE, path=relpath,
+                        line=error.lineno or 1, col=error.offset or 0,
+                        message=f"file does not parse: {error.msg}",
+                        context="")]
+    ctx = ModuleContext(path=path, relpath=relpath, source=source,
+                        tree=tree, lines=lines)
+    filewide, per_line = _suppressions(lines)
+    findings: list[Finding] = []
+    for registered in RULES.values():
+        if registered.id in filewide or not registered.applies_to(ctx):
+            continue
+        for found in registered.check(ctx):
+            if found.rule in per_line.get(found.line, ()):  # inline
+                continue
+            findings.append(found)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def iter_python_files(targets: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: set[Path] = set()
+    for target in targets:
+        if target.is_dir():
+            seen.update(p for p in target.rglob("*.py")
+                        if "__pycache__" not in p.parts)
+        elif target.suffix == ".py":
+            seen.add(target)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {target}")
+    return sorted(seen, key=lambda p: p.as_posix())
+
+
+def scan_paths(targets: Iterable[str | Path],
+               root: Path | None = None) -> list[Finding]:
+    """Scan files and directory trees; findings come back path-sorted.
+
+    ``root`` (default: the current directory) anchors the relative
+    paths recorded in findings, keeping baselines machine-portable.
+    """
+    if root is None:
+        root = Path.cwd()
+    files = iter_python_files(Path(t) for t in targets)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(scan_file(path, root=root))
+    return findings

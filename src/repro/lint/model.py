@@ -1,0 +1,165 @@
+"""Findings, rules, and the rule registry.
+
+A *rule* is one named, suppressible check over a parsed module; a
+*finding* is one place a rule fired. Rules carry their pack (DET, DUR,
+CONC, PROTO), a one-line summary, and the rationale tying them to the
+byte-equivalence contract — the CLI's ``--list-rules`` and the README
+catalog render straight from this metadata, so the docs cannot drift
+from the code.
+
+Rule applicability is *path-scoped*: a rule may declare
+``path_tokens`` (substrings of the module's posix path — e.g. DUR
+rules only police store/journal/checkpoint modules) and
+``exclude_basenames`` (the allowlist — e.g. ``atomicio`` is the one
+module licensed to consult the wall clock, for its stale-tmp sweep).
+Scoping lives in the rule, not in per-site suppressions, so an
+allowlisted module never accretes inline noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+__all__ = ["Finding", "ModuleContext", "Rule", "RULES", "rule",
+           "rules_by_pack"]
+
+# Every rule pack, in catalog order.
+PACKS = ("DET", "DUR", "CONC", "PROTO")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One place a rule fired."""
+
+    rule: str
+    path: str  # posix, relative to the scan invocation when possible
+    line: int
+    col: int
+    message: str
+    context: str  # the stripped source line, the baseline's anchor
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Line numbers shift with every unrelated edit, so the baseline
+        anchors on ``(rule, path, stripped source line)`` instead — an
+        entry survives reformatting around it but dies with the code
+        it describes.
+        """
+        return (self.rule, self.path, self.context)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            line=int(data.get("line", 0)),
+            col=int(data.get("col", 0)),
+            message=data.get("message", ""),
+            context=data.get("context", ""),
+        )
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module handed to every applicable rule."""
+
+    path: Path
+    relpath: str  # posix form used in findings and scoping
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def basename(self) -> str:
+        """Module stem (``journal`` for ``.../service/journal.py``)."""
+        return self.path.stem
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule_id,
+            path=self.relpath,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            context=self.line_text(lineno),
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named check and the scope it polices."""
+
+    id: str
+    pack: str
+    summary: str
+    rationale: str
+    check: Callable[[ModuleContext], Iterable[Finding]]
+    # Any-of substrings of the module's posix path; empty = every file.
+    path_tokens: tuple[str, ...] = ()
+    # Module stems the rule never applies to (the allowlist).
+    exclude_basenames: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if ctx.basename in self.exclude_basenames:
+            return False
+        if not self.path_tokens:
+            return True
+        return any(token in ctx.relpath for token in self.path_tokens)
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    id: str,
+    pack: str,
+    summary: str,
+    rationale: str,
+    path_tokens: tuple[str, ...] = (),
+    exclude_basenames: tuple[str, ...] = (),
+):
+    """Register one rule; the decorated function is its checker."""
+    if pack not in PACKS:
+        raise ValueError(f"unknown rule pack {pack!r}; packs: {PACKS}")
+    if id in RULES:
+        raise ValueError(f"duplicate rule id {id!r}")
+
+    def decorate(check: Callable) -> Callable:
+        RULES[id] = Rule(id=id, pack=pack, summary=summary,
+                         rationale=rationale, check=check,
+                         path_tokens=path_tokens,
+                         exclude_basenames=exclude_basenames)
+        return check
+
+    return decorate
+
+
+def rules_by_pack() -> dict[str, list[Rule]]:
+    """The catalog, grouped by pack in registration order."""
+    grouped: dict[str, list[Rule]] = {pack: [] for pack in PACKS}
+    for registered in RULES.values():
+        grouped[registered.pack].append(registered)
+    return grouped

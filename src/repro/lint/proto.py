@@ -1,0 +1,147 @@
+"""PROTO pack — wire/codec contract rules.
+
+Frames on the socket and entries in the journal are covered by
+digests, so the encode side and the decode side must agree byte for
+byte forever. These rules keep codecs honest: every encoder has a
+decoder (and vice versa), frame-speaking modules carry a version
+constant, and protocol JSON is canonical (sorted keys) so digests are
+reproducible from either end.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.asthelpers import call_name, keyword_value
+from repro.lint.model import Finding, ModuleContext, rule
+
+_TO_JSON = re.compile(r"^(_?)(?P<stem>\w+)_to_json$")
+_FROM_JSON = re.compile(r"^(_?)(?P<stem>\w+)_from_json$")
+
+
+def _module_codec_names(ctx: ModuleContext) -> tuple[set[str], set[str],
+                                                     dict[str, ast.AST]]:
+    """(encoder stems, decoder stems, defined name → def node).
+
+    Imported codec halves count toward presence — a module may
+    legitimately encode with a helper whose decoder lives next to the
+    dataclass — but only locally *defined* halves are flagged.
+    """
+    encoders: set[str] = set()
+    decoders: set[str] = set()
+    defined: dict[str, ast.AST] = {}
+    for node in ctx.tree.body:
+        names: list[tuple[str, ast.AST]] = []
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.append((node.name, node))
+            defined[node.name] = node
+        elif isinstance(node, ast.ImportFrom):
+            names.extend((alias.asname or alias.name, node)
+                         for alias in node.names)
+        for name, _ in names:
+            match = _TO_JSON.match(name)
+            if match:
+                encoders.add(match.group("stem"))
+            match = _FROM_JSON.match(name)
+            if match:
+                decoders.add(match.group("stem"))
+    return encoders, decoders, defined
+
+
+@rule(
+    "PROTO401", "PROTO",
+    summary="codec function or method without its inverse",
+    rationale="a *_to_json without *_from_json (or vice versa) means "
+              "one side of the wire/journal format is unreviewed; "
+              "every frame and event type needs a matched pair",
+)
+def proto401_unpaired_codec(ctx: ModuleContext) -> Iterator[Finding]:
+    encoders, decoders, defined = _module_codec_names(ctx)
+    for name, node in defined.items():
+        match = _TO_JSON.match(name)
+        if match and match.group("stem") not in decoders:
+            yield ctx.finding(
+                "PROTO401", node,
+                f"{name}() has no matching "
+                f"{match.group('stem')}_from_json; name it after its "
+                "purpose if it is not a codec")
+        match = _FROM_JSON.match(name)
+        if match and match.group("stem") not in encoders:
+            yield ctx.finding(
+                "PROTO401", node,
+                f"{name}() has no matching "
+                f"{match.group('stem')}_to_json; decoders without "
+                "encoders drift from the real wire bytes")
+    # Classes: to_json/from_json must come in pairs too.
+    for klass in ast.walk(ctx.tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        methods = {node.name: node for node in klass.body
+                   if isinstance(node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        if "to_json" in methods and "from_json" not in methods:
+            yield ctx.finding(
+                "PROTO401", methods["to_json"],
+                f"{klass.name}.to_json has no {klass.name}.from_json")
+        if "from_json" in methods and "to_json" not in methods:
+            yield ctx.finding(
+                "PROTO401", methods["from_json"],
+                f"{klass.name}.from_json has no {klass.name}.to_json")
+
+
+@rule(
+    "PROTO402", "PROTO",
+    summary="frame-speaking module without a protocol version",
+    rationale="a module that emits frames but never references a "
+              "*_VERSION constant cannot negotiate or reject "
+              "mismatched peers; version every wire format",
+)
+def proto402_missing_version(ctx: ModuleContext) -> Iterator[Finding]:
+    frame_calls = [node for node in ast.walk(ctx.tree)
+                   if isinstance(node, ast.Call)
+                   and call_name(node).split(".")[-1] == "write_frame"]
+    if not frame_calls:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Name) and node.id.endswith("_VERSION"):
+            return
+        if isinstance(node, ast.Attribute) \
+                and node.attr.endswith("_VERSION"):
+            return
+    yield ctx.finding(
+        "PROTO402", frame_calls[0],
+        "module calls write_frame but never references a *_VERSION "
+        "constant; peers cannot detect format skew")
+
+
+# Modules whose json.dumps output feeds digests, frames, or durable
+# documents — canonical (sorted-keys) form is mandatory there. The
+# binary column codec (colio) frames its own bytes and is excluded.
+_CANONICAL_TOKENS = ("distributed", "journal", "daemon", "follower",
+                     "checkpoint", "storebase", "cache", "persist")
+
+
+@rule(
+    "PROTO403", "PROTO",
+    summary="json.dumps without sort_keys=True in a protocol module",
+    rationale="dict insertion order is an implementation detail; "
+              "digests and frame payloads must serialize canonically "
+              "(sort_keys=True) or byte-equivalence breaks on "
+              "refactors that reorder fields",
+    path_tokens=_CANONICAL_TOKENS,
+    exclude_basenames=("colio",),
+)
+def proto403_non_canonical_json(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) \
+                or call_name(node) != "json.dumps":
+            continue
+        sort_keys = keyword_value(node, "sort_keys")
+        if not (isinstance(sort_keys, ast.Constant)
+                and sort_keys.value is True):
+            yield ctx.finding(
+                "PROTO403", node,
+                "json.dumps without sort_keys=True; protocol and "
+                "store JSON must be canonical")

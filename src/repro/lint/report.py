@@ -1,0 +1,45 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.model import Finding, rules_by_pack
+
+__all__ = ["render_text", "render_json", "render_rule_catalog"]
+
+
+def render_text(findings: Sequence[Finding],
+                baselined: int = 0) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}"
+        + (f"\n    {f.context}" if f.context else "")
+        for f in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    summary = f"{len(findings)} {noun}"
+    if baselined:
+        summary += f" ({baselined} baselined, not shown)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
+    payload = {
+        "findings": [f.to_json() for f in findings],
+        "count": len(findings),
+        "baselined": baselined,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """The rule table for ``--list-rules`` (and the README)."""
+    lines = []
+    for pack, rules in rules_by_pack().items():
+        lines.append(f"{pack}:")
+        for registered in rules:
+            lines.append(f"  {registered.id}  {registered.summary}")
+            lines.append(f"      {registered.rationale}")
+    return "\n".join(lines)

@@ -42,7 +42,9 @@ __all__ = [
 ]
 
 
-def _truth_to_json(truth: ServiceTruth) -> dict:
+def _truth_digest_payload(truth: ServiceTruth) -> dict:
+    # One-way by design: this feeds content_digest, nothing decodes it
+    # (hence not named *_to_json — there is deliberately no inverse).
     return {
         "serves": truth.serves,
         "plans": [_plan_to_json(plan) for plan in truth.plans],
@@ -67,7 +69,7 @@ def q12_cell_digest(world: World, cell: Q12Cell, addresses=None) -> str:
         "cbg": cell.cbg,
         "truths": [
             [address.address_id,
-             _truth_to_json(truth.truth_for(cell.isp_id, address.address_id))]
+             _truth_digest_payload(truth.truth_for(cell.isp_id, address.address_id))]
             for address in addresses
         ],
     }
@@ -94,12 +96,12 @@ def q3_block_digest(world: World, block_geoid: str) -> str:
         "cable": cable,
         "incumbent_truths": [
             [address.address_id,
-             _truth_to_json(truth.truth_for(incumbent, address.address_id))]
+             _truth_digest_payload(truth.truth_for(incumbent, address.address_id))]
             for address in (*caf, *non_caf)
         ],
         "cable_truths": [
             [address.address_id,
-             _truth_to_json(truth.truth_for(cable, address.address_id))]
+             _truth_digest_payload(truth.truth_for(cable, address.address_id))]
             for address in non_caf
         ] if cable is not None else [],
     }

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.pipeline import AuditReport
+from repro.runtime.atomicio import atomic_write_text
 from repro.tabular import Table, read_csv, write_csv
 
 __all__ = ["StudyManifest", "StudyStore"]
@@ -101,8 +102,8 @@ class StudyStore:
             headline=report.headline(),
             checksums=checksums,
         )
-        (self._directory / MANIFEST_NAME).write_text(manifest.to_json(),
-                                                     encoding="utf-8")
+        atomic_write_text(self._directory / MANIFEST_NAME,
+                          manifest.to_json())
         return manifest
 
     def load_manifest(self) -> StudyManifest:

@@ -34,7 +34,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.sampling import SamplingPolicy
-from repro.runtime.atomicio import atomic_write_stream, sweep_stale_tmp_files
+from repro.runtime.atomicio import (atomic_write_stream, atomic_write_text,
+                                    sweep_stale_tmp_files)
 from repro.synth.scenario import ScenarioConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -197,8 +198,9 @@ class AuditCache:
             "q12_records": len(report.collection.log),
             "q3_records": len(report.q3_collection.log),
         }
-        path.with_suffix(".json").write_text(
-            json.dumps(sidecar, indent=2, sort_keys=True), encoding="utf-8")
+        atomic_write_text(
+            path.with_suffix(".json"),
+            json.dumps(sidecar, indent=2, sort_keys=True))
         self._evict(keep=path)
         return path
 

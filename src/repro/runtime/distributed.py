@@ -166,6 +166,16 @@ def read_frame(stream: BinaryIO) -> dict:
 # Message codecs (scenario/spec/policy travel as JSON, exactly)
 # ----------------------------------------------------------------------
 
+def _scenario_to_json(scenario) -> dict:
+    """Inverse of :func:`_scenario_from_json`.
+
+    ``asdict`` recurses through ``WaveScenario.base`` / ``.model``
+    exactly the way the decoder rebuilds them; tuples become JSON
+    arrays, which the decoder re-tuples.
+    """
+    return asdict(scenario)
+
+
 def _scenario_from_json(data: dict):
     if "base" in data:
         # A longitudinal wave recipe: base scenario + churn model +
@@ -217,7 +227,7 @@ def _lease_message(
     return {
         "type": "lease",
         "protocol": PROTOCOL_VERSION,
-        "scenario": asdict(scenario),
+        "scenario": _scenario_to_json(scenario),
         "spec": _spec_to_json(spec),
         "policy": None if policy is None else asdict(policy),
         "engine_config": (None if engine_config is None

@@ -244,7 +244,7 @@ class AuditService:
         if self._listener is not None:
             self._listener.close()
             self._listener = None
-        for thread in self._threads:
+        for thread in list(self._threads):
             thread.join(timeout=5)
         self._threads.clear()
         self._journal.close()
@@ -273,8 +273,14 @@ class AuditService:
             except OSError:
                 return  # listener closed under us: shutting down
             thread = threading.Thread(target=self._serve_client,
-                                      args=(conn,), daemon=True)
+                                      args=(conn,), daemon=True,
+                                      name="service-client")
             thread.start()
+            # Register so close() can join instead of abandoning the
+            # client mid-frame; prune finished handles so a long-lived
+            # daemon doesn't accumulate them.
+            self._threads.append(thread)
+            self._threads[:] = [t for t in self._threads if t.is_alive()]
 
     def _serve_client(self, conn: socket.socket) -> None:
         stream = conn.makefile("rwb")

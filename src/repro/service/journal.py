@@ -51,6 +51,7 @@ import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.runtime.atomicio import atomic_write_bytes
 from repro.runtime.cache import content_digest
 from repro.runtime.storebase import FingerprintNamespacedStore
 
@@ -381,7 +382,7 @@ class Journal(FingerprintNamespacedStore):
         while path.exists():
             counter += 1
             path = base.with_name(f"{base.name}.{counter}")
-        path.write_bytes(remainder)
+        atomic_write_bytes(path, remainder)
 
     # ------------------------------------------------------------------
     # appending

@@ -9,6 +9,7 @@ data portal uses; JSONL round-trips types exactly.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Any
@@ -16,6 +17,14 @@ from typing import Any
 import numpy as np
 
 from repro.tabular.frame import Table
+
+
+def _atomic_write_text(path: Path, text: str) -> Path:
+    # Imported lazily: repro.tabular loads during repro.bqt's own
+    # import, before repro.runtime's package init can complete.
+    from repro.runtime.atomicio import atomic_write_text
+
+    return atomic_write_text(path, text)
 
 __all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
 
@@ -28,15 +37,21 @@ def _plain(value: Any) -> Any:
 
 
 def write_csv(table: Table, path: str | Path) -> None:
-    """Write ``table`` to ``path`` as UTF-8 CSV with a header row."""
+    """Write ``table`` to ``path`` as UTF-8 CSV with a header row.
+
+    The file is published atomically (tmp + fsync + rename via
+    :mod:`repro.runtime.atomicio`): a writer killed mid-serialization
+    leaves the previous table intact, never a torn one.
+    """
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
-    with destination.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(table.column_names)
-        columns = [table[name] for name in table.column_names]
-        for row_index in range(len(table)):
-            writer.writerow([_plain(column[row_index]) for column in columns])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.column_names)
+    columns = [table[name] for name in table.column_names]
+    for row_index in range(len(table)):
+        writer.writerow([_plain(column[row_index]) for column in columns])
+    _atomic_write_text(destination, buffer.getvalue())
 
 
 def _has_leading_zero(cell: str) -> bool:
@@ -114,17 +129,18 @@ _SCHEMA_KEY = "__tabular_schema__"
 
 
 def write_jsonl(table: Table, path: str | Path) -> None:
-    """Write one JSON object per row (a schema marker if no rows)."""
+    """Write one JSON object per row (a schema marker if no rows).
+
+    Published atomically, like :func:`write_csv`.
+    """
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
-    with destination.open("w", encoding="utf-8") as handle:
-        if len(table) == 0:
-            handle.write(json.dumps({_SCHEMA_KEY: list(table.column_names)}))
-            handle.write("\n")
-            return
-        for row in table.iter_rows():
-            handle.write(json.dumps({k: _plain(v) for k, v in row.items()}))
-            handle.write("\n")
+    if len(table) == 0:
+        lines = [json.dumps({_SCHEMA_KEY: list(table.column_names)})]
+    else:
+        lines = [json.dumps({k: _plain(v) for k, v in row.items()})
+                 for row in table.iter_rows()]
+    _atomic_write_text(destination, "\n".join(lines) + "\n")
 
 
 def read_jsonl(path: str | Path) -> Table:

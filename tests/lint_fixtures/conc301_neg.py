@@ -1,0 +1,21 @@
+"""CONC301 negative: every cross-thread write holds the lock."""
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def start(self):
+        thread = threading.Thread(target=self._run)
+        thread.start()
+        thread.join()
+
+    def _run(self):
+        with self._lock:
+            self._count += 1
+
+    def reset(self):
+        with self._lock:
+            self._count = 0

@@ -1,0 +1,20 @@
+"""CONC301 positive: a counter written by the thread target and by
+a public method, neither holding the lock."""
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def start(self):
+        thread = threading.Thread(target=self._run)
+        thread.start()
+        thread.join()
+
+    def _run(self):
+        self._count += 1
+
+    def reset(self):
+        self._count = 0

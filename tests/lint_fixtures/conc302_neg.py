@@ -1,0 +1,9 @@
+"""CONC302 negative: the daemon thread is registered for joining."""
+import threading
+
+
+def spawn(worker, registry):
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    registry.append(thread)
+    return thread

@@ -1,0 +1,7 @@
+"""CONC302 positive: a daemon thread nobody can join."""
+import threading
+
+
+def spawn(worker):
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()

@@ -1,0 +1,10 @@
+"""DET101 negative: every RNG is explicitly seeded."""
+import random
+
+import numpy as np
+
+
+def sample(seed: int):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random() + float(gen.random())

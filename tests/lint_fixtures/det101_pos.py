@@ -1,0 +1,12 @@
+"""DET101 positive: ambient randomness, four ways."""
+import random
+
+import numpy as np
+
+
+def sample():
+    rng = random.Random()
+    gen = np.random.default_rng()
+    jitter = random.random()
+    legacy = np.random.rand(3)
+    return rng, gen, jitter, legacy

@@ -1,0 +1,13 @@
+"""DET102 negative: the union is sorted before iteration."""
+
+
+def merged(a, b):
+    out = []
+    for item in sorted(set(a) | set(b)):
+        out.append(item)
+    return out
+
+
+def membership(a, b):
+    # Sets used as sets (membership, not iteration) are fine.
+    return set(a) <= set(b)

@@ -1,0 +1,12 @@
+"""DET102 positive: hash-ordered iteration escapes into a list."""
+
+
+def merged(a, b):
+    out = []
+    for item in set(a) | set(b):
+        out.append(item)
+    return out
+
+
+def materialized(a):
+    return list({x for x in a})

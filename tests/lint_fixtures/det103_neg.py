@@ -1,0 +1,6 @@
+"""DET103 negative: monotonic clocks are fine for pacing."""
+import time
+
+
+def pace(started: float) -> float:
+    return time.monotonic() - started

@@ -1,0 +1,7 @@
+"""DET103 positive: wall-clock reads."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now()

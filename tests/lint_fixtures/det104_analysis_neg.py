@@ -1,0 +1,5 @@
+"""DET104 negative: summation order pinned by sorting first."""
+
+
+def total(values):
+    return sum(sorted(set(values)))

@@ -1,0 +1,8 @@
+"""DET104 positive: float sum over a hash-ordered operand.
+
+(The filename carries the ``analysis`` path token the rule scopes to.)
+"""
+
+
+def total(values):
+    return sum(set(values))

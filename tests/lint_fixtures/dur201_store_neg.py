@@ -1,0 +1,16 @@
+"""DUR201 negative: publishes through the atomic helpers."""
+from repro.runtime.atomicio import atomic_write_json, atomic_write_text
+
+
+def save(path, payload):
+    atomic_write_json(path, payload)
+
+
+def save_note(path, text):
+    atomic_write_text(path, text)
+
+
+def load(path):
+    # Reads never torn-write; read mode is not flagged.
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()

@@ -1,0 +1,14 @@
+"""DUR201 positive: truncating writes in a store module.
+
+(The filename carries the ``store`` path token the rule scopes to.)
+"""
+import json
+
+
+def save(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def save_note(path, text):
+    path.write_text(text, encoding="utf-8")

@@ -1,0 +1,8 @@
+"""DUR202 negative: write, flush, fsync — then ack."""
+import os
+
+
+def append_entry(handle, payload: bytes) -> None:
+    handle.write(payload)
+    handle.flush()
+    os.fsync(handle.fileno())

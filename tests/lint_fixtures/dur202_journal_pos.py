@@ -1,0 +1,9 @@
+"""DUR202 positive: an acked append with no fsync.
+
+(The filename carries the ``journal`` path token the rule scopes to.)
+"""
+
+
+def append_entry(handle, payload: bytes) -> None:
+    handle.write(payload)
+    handle.flush()

@@ -1,0 +1,21 @@
+"""PROTO401 negative: every codec half has its inverse."""
+
+
+def _frame_to_json(frame):
+    return {"kind": frame.kind}
+
+
+def _frame_from_json(data):
+    return data["kind"]
+
+
+class Event:
+    def __init__(self, name):
+        self.name = name
+
+    def to_json(self):
+        return {"name": self.name}
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(data["name"])

@@ -1,0 +1,10 @@
+"""PROTO401 positive: encoders with no decoders."""
+
+
+def _frame_to_json(frame):
+    return {"kind": frame.kind}
+
+
+class Event:
+    def to_json(self):
+        return {"name": self.name}

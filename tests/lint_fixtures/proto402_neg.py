@@ -1,0 +1,7 @@
+"""PROTO402 negative: every frame carries the protocol version."""
+
+PROTOCOL_VERSION = 3
+
+
+def send(stream, write_frame, message):
+    write_frame(stream, dict(message, protocol=PROTOCOL_VERSION))

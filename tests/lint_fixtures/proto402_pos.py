@@ -1,0 +1,5 @@
+"""PROTO402 positive: emits frames, never mentions a version."""
+
+
+def send(stream, write_frame, message):
+    write_frame(stream, message)

@@ -1,0 +1,7 @@
+"""PROTO403 negative: canonical (sorted-keys) JSON."""
+import json
+
+
+def encode(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,9 @@
+"""PROTO403 positive: non-canonical JSON in a protocol module.
+
+(The filename carries the ``journal`` path token the rule scopes to.)
+"""
+import json
+
+
+def encode(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")

@@ -160,3 +160,53 @@ class TestBroadbandMap:
         inconsistent = BroadbandMap(
             [FabricRecord("loc-1", "060371234561001", ("frontier",))])
         assert inconsistent.consistent_with_form477(form) == ["060371234561001"]
+
+
+class TestConsistencyOrderDeterminism:
+    """The union-iteration at broadband_map.py must not leak hash
+    order: output is identical under different PYTHONHASHSEED values
+    (satellite of ISSUE 8)."""
+
+    _SCRIPT = (
+        "import json\n"
+        "from repro.fcc.broadband_map import BroadbandMap, FabricRecord\n"
+        "from repro.fcc.form477 import AvailabilityRecord, Form477\n"
+        "blocks = ['0603712345610%02d' % i for i in range(40)]\n"
+        "nbm = BroadbandMap([FabricRecord('loc-%d' % i, b, ('att',))\n"
+        "                    for i, b in enumerate(blocks[:30])])\n"
+        "form = Form477([AvailabilityRecord(isp_id='frontier',\n"
+        "                                   block_geoid=b,\n"
+        "                                   technology='dsl',\n"
+        "                                   max_download_mbps=25.0,\n"
+        "                                   max_upload_mbps=3.0)\n"
+        "                for b in blocks[10:]])\n"
+        "print(json.dumps(nbm.consistent_with_form477(form)))\n"
+    )
+
+    def _run(self, hashseed: str) -> str:
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        src = os.fspath(
+            pathlib.Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = hashseed
+        proc = subprocess.run([sys.executable, "-c", self._SCRIPT],
+                              env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_output_order_stable_across_hash_seeds(self):
+        import json
+
+        first = self._run("0")
+        second = self._run("1")
+        third = self._run("42")
+        assert first == second == third
+        # Every block disagrees (att-only, att-vs-frontier, or
+        # frontier-only), so the result is the full sorted union.
+        expected = sorted("0603712345610%02d" % i for i in range(40))
+        assert json.loads(first) == expected

@@ -1,0 +1,236 @@
+"""The lint suite's own tests: fixture corpus, suppressions, baseline
+workflow, CLI, and the self-scan that keeps ``src/`` clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (RULES, apply_baseline, load_baseline, scan_file,
+                        scan_paths, write_baseline)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+BASELINE = REPO_ROOT / "lint.baseline.json"
+
+# rule id -> fixture stem (the stem carries any path token the rule
+# scopes to, e.g. det104's "analysis").
+FIXTURE_STEMS = {
+    "DET101": "det101",
+    "DET102": "det102",
+    "DET103": "det103",
+    "DET104": "det104_analysis",
+    "DUR201": "dur201_store",
+    "DUR202": "dur202_journal",
+    "CONC301": "conc301",
+    "CONC302": "conc302",
+    "PROTO401": "proto401",
+    "PROTO402": "proto402",
+    "PROTO403": "proto403_journal",
+}
+
+
+def test_every_rule_has_a_fixture_pair():
+    assert set(FIXTURE_STEMS) == set(RULES)
+    for stem in FIXTURE_STEMS.values():
+        assert (FIXTURES / f"{stem}_pos.py").is_file()
+        assert (FIXTURES / f"{stem}_neg.py").is_file()
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_STEMS))
+def test_rule_fires_on_positive_fixture(rule_id):
+    findings = scan_file(FIXTURES / f"{FIXTURE_STEMS[rule_id]}_pos.py")
+    fired = {f.rule for f in findings}
+    # Fires, and nothing *else* fires — fixtures stay single-purpose.
+    assert fired == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_STEMS))
+def test_rule_quiet_on_negative_fixture(rule_id):
+    findings = scan_file(FIXTURES / f"{FIXTURE_STEMS[rule_id]}_neg.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+def test_inline_suppression_silences_one_line(tmp_path):
+    source = FIXTURES / "det103_pos.py"
+    target = tmp_path / "det103_case.py"
+    patched = source.read_text(encoding="utf-8").replace(
+        "return time.time(), datetime.now()",
+        "return time.time(), datetime.now()"
+        "  # repro-lint: disable=DET103")
+    target.write_text(patched, encoding="utf-8")
+    assert scan_file(target) == []
+
+
+def test_inline_suppression_is_rule_specific(tmp_path):
+    target = tmp_path / "det103_case.py"
+    target.write_text(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # repro-lint: disable=DET101\n",
+        encoding="utf-8")
+    assert [f.rule for f in scan_file(target)] == ["DET103"]
+
+
+def test_filewide_suppression(tmp_path):
+    target = tmp_path / "det103_case.py"
+    target.write_text(
+        "# repro-lint: disable-file=DET103\n"
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "def stamp2():\n"
+        "    return time.time()\n",
+        encoding="utf-8")
+    assert scan_file(target) == []
+
+
+# ----------------------------------------------------------------------
+# baseline workflow
+# ----------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    findings = scan_file(FIXTURES / "det102_pos.py")
+    assert findings
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    loaded = load_baseline(baseline_path)
+    assert [f.baseline_key() for f in loaded] == \
+        [f.baseline_key() for f in findings]
+    assert apply_baseline(findings, loaded) == []
+
+
+def test_baseline_respects_multiplicity(tmp_path):
+    target = tmp_path / "det103_case.py"
+    target.write_text(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n",
+        encoding="utf-8")
+    one = scan_file(target)
+    assert len(one) == 1
+    # Duplicate the offending line: same baseline key, twice.
+    target.write_text(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "def stamp2():\n"
+        "    return time.time()\n",
+        encoding="utf-8")
+    two = scan_file(target)
+    assert len(two) == 2
+    # A baseline holding ONE occurrence excuses exactly one.
+    assert len(apply_baseline(two, one)) == 1
+
+
+def test_baseline_survives_line_renumbering(tmp_path):
+    target = tmp_path / "det103_case.py"
+    target.write_text(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n",
+        encoding="utf-8")
+    baseline = scan_file(target)
+    # Insert unrelated lines above: linenos shift, keys don't.
+    target.write_text(
+        "import time\n"
+        "\n"
+        "UNRELATED = 1\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n",
+        encoding="utf-8")
+    assert apply_baseline(scan_file(target), baseline) == []
+
+
+# ----------------------------------------------------------------------
+# self-scan: src/ stays clean modulo the committed baseline
+# ----------------------------------------------------------------------
+
+def test_self_scan_of_src_is_clean():
+    findings = scan_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    baseline = load_baseline(BASELINE)
+    fresh = apply_baseline(findings, baseline)
+    assert fresh == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in fresh)
+
+
+def test_committed_baseline_has_no_det_or_dur_entries():
+    # The acceptance bar: determinism/durability findings get FIXED,
+    # never baselined.
+    baseline = load_baseline(BASELINE)
+    offending = [f for f in baseline if f.rule.startswith(("DET", "DUR"))]
+    assert offending == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_clean_scan_exits_zero(capsys):
+    rc = main(["lint", str(FIXTURES / "det101_neg.py")])
+    assert rc == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one_text(capsys):
+    rc = main(["lint", str(FIXTURES / "det101_pos.py")])
+    assert rc == 1
+    assert "DET101" in capsys.readouterr().out
+
+
+def test_cli_json_format(capsys):
+    rc = main(["lint", "--format", "json",
+               str(FIXTURES / "det102_pos.py")])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["findings"]) > 0
+    assert {f["rule"] for f in payload["findings"]} == {"DET102"}
+
+
+def test_cli_baseline_subtracts(tmp_path, capsys):
+    fixture = str(FIXTURES / "det102_pos.py")
+    baseline_path = tmp_path / "b.json"
+    assert main(["lint", "--write-baseline", str(baseline_path),
+                 fixture]) == 0
+    capsys.readouterr()
+    rc = main(["lint", "--baseline", str(baseline_path), fixture])
+    assert rc == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_cli_missing_path_exits_two(tmp_path, capsys):
+    rc = main(["lint", str(tmp_path / "nope.txt")])
+    assert rc == 2
+    assert "lint" in capsys.readouterr().err
+
+
+def test_unparseable_file_reports_lint000(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n", encoding="utf-8")
+    findings = scan_file(target)
+    assert [f.rule for f in findings] == ["LINT000"]
+
+
+# ----------------------------------------------------------------------
+# docs stay in sync
+# ----------------------------------------------------------------------
+
+def test_readme_catalogs_every_rule():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for rule_id in RULES:
+        assert rule_id in readme, f"README rule catalog misses {rule_id}"

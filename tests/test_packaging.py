@@ -9,7 +9,7 @@ class TestPublicSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_top_level_exports(self):
         import repro
@@ -20,6 +20,7 @@ class TestPublicSurface:
     @pytest.mark.parametrize("module", [
         "repro.addresses", "repro.analysis", "repro.bead", "repro.bqt",
         "repro.core", "repro.fcc", "repro.geo", "repro.isp",
+        "repro.lint",
         "repro.longitudinal", "repro.persist", "repro.stats",
         "repro.synth", "repro.tabular", "repro.usac",
     ])

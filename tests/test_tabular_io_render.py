@@ -153,3 +153,75 @@ class TestEmptyTableRoundTrips:
         write_jsonl(sample, path)
         assert "__tabular_schema__" not in path.read_text("utf-8")
         assert read_jsonl(path) == sample
+
+
+class TestAtomicPublish:
+    """A writer killed (or failing) mid-write never tears the table on
+    disk: the previous bytes survive intact (satellite of ISSUE 8)."""
+
+    def test_kill_during_csv_publish_preserves_old_table(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        target = tmp_path / "table.csv"
+        original = Table({"a": [1, 2], "b": ["x", "y"]})
+        write_csv(original, target)
+        before = target.read_bytes()
+
+        # The subprocess dies inside atomicio's fsync — after the tmp
+        # file is fully written, before the rename can publish it.
+        script = (
+            "import os, sys\n"
+            "from pathlib import Path\n"
+            "import repro.runtime.atomicio as atomicio\n"
+            "from repro.tabular import Table, write_csv\n"
+            "atomicio.os.fsync = lambda fd: os._exit(9)\n"
+            "write_csv(Table({'a': [9, 9, 9], 'b': ['q', 'q', 'q']}),\n"
+            "          Path(sys.argv[1]))\n"
+            "os._exit(0)\n"
+        )
+        src = os.fspath(
+            __import__("pathlib").Path(__file__).resolve().parent.parent
+            / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", script,
+                               os.fspath(target)], env=env)
+        assert proc.returncode == 9
+        assert target.read_bytes() == before
+        assert read_csv(target) == original
+
+    def test_failed_csv_publish_preserves_old_table(self, tmp_path,
+                                                    monkeypatch):
+        import repro.runtime.atomicio as atomicio
+
+        target = tmp_path / "table.csv"
+        original = Table({"a": [1, 2]})
+        write_csv(original, target)
+        before = target.read_bytes()
+
+        def boom(fd):
+            raise OSError("injected fsync failure")
+
+        monkeypatch.setattr(atomicio.os, "fsync", boom)
+        with pytest.raises(OSError):
+            write_csv(Table({"a": [3, 4, 5]}), target)
+        assert target.read_bytes() == before
+
+    def test_failed_jsonl_publish_preserves_old_table(self, tmp_path,
+                                                      monkeypatch):
+        import repro.runtime.atomicio as atomicio
+
+        target = tmp_path / "table.jsonl"
+        original = Table({"a": [1, 2]})
+        write_jsonl(original, target)
+        before = target.read_bytes()
+
+        def boom(fd):
+            raise OSError("injected fsync failure")
+
+        monkeypatch.setattr(atomicio.os, "fsync", boom)
+        with pytest.raises(OSError):
+            write_jsonl(Table({"a": [3, 4, 5]}), target)
+        assert target.read_bytes() == before

@@ -1,0 +1,134 @@
+"""Observability overhead — the bench that keeps repro.obs honest.
+
+Two numbers gate the obs subsystem (the ISSUE 9 acceptance bars), both
+written to ``benchmarks/BENCH_obs.json``:
+
+* **campaign overhead** — the same sharded serial campaign timed with
+  tracing+metrics fully on (``REPRO_TRACE=1`` + a sidecar dir) vs off
+  must cost at most 5% extra wall clock. Runs are interleaved and the
+  per-arm minimum over several rounds is compared, so thermal drift
+  hits both arms alike.
+* **trace growth** — the published sidecar must stay bounded per
+  shard: a handful of spans each, never a per-query firehose.
+
+Before any timing, the bench re-proves the byte contract: the traced
+campaign's canonical logbook bytes equal the untraced campaign's.
+
+Run at study scale with ``REPRO_SCALE=small`` (the acceptance
+configuration) or ``paper``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TraceStore, drain_spans
+from repro.runtime import RuntimeConfig, execute_campaign
+
+SHARDS = 4
+ROUNDS = 5
+OVERHEAD_CEILING = 0.05      # the <=5% acceptance bar
+TRACE_BYTES_PER_SHARD = 4096  # sidecar growth bound
+OUTPUT_PATH = Path(__file__).with_name("BENCH_obs.json")
+
+
+def _canonical_bytes(collection, q3) -> bytes:
+    # Dataclass reprs in merge order: enough to catch any traced-run
+    # divergence here (the full canonical proof lives in the
+    # equivalence suite).
+    return (repr(list(collection.log))
+            + repr(list(q3.log))).encode("utf-8")
+
+
+def _run(world):
+    return execute_campaign(
+        world, RuntimeConfig(shards=SHARDS, backend="serial"))
+
+
+def test_tracing_overhead_and_sidecar_growth(context, tmp_path):
+    world = context.world
+    trace_dir = tmp_path / "traces"
+
+    def untraced():
+        os.environ.pop("REPRO_TRACE", None)
+        os.environ.pop("REPRO_TRACE_DIR", None)
+        return _run(world)
+
+    def traced():
+        os.environ["REPRO_TRACE"] = "1"
+        os.environ["REPRO_TRACE_DIR"] = str(trace_dir)
+        try:
+            return _run(world)
+        finally:
+            os.environ.pop("REPRO_TRACE", None)
+            os.environ.pop("REPRO_TRACE_DIR", None)
+
+    # The byte contract first: tracing must not move a single output
+    # byte. (Also warms every cache, so round 1 isn't a cold outlier.)
+    baseline_bytes = _canonical_bytes(*untraced())
+    assert _canonical_bytes(*traced()) == baseline_bytes
+
+    off_seconds, on_seconds = [], []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        untraced()
+        off_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        traced()
+        on_seconds.append(time.perf_counter() - start)
+    drain_spans()  # leave the process buffer clean for other benches
+
+    best_off, best_on = min(off_seconds), min(on_seconds)
+    overhead = best_on / best_off - 1.0
+
+    [namespace] = [p for p in trace_dir.iterdir() if p.is_dir()]
+    store = TraceStore(trace_dir, namespace.name)
+    sidecar_bytes = sum(
+        path.stat().st_size
+        for path in namespace.glob("trace-*.jsonl"))
+    spans = store.load_spans()
+    runs_traced = 1 + ROUNDS  # the equivalence run plus the timed ones
+    bytes_per_shard = sidecar_bytes / (SHARDS * runs_traced)
+
+    snapshot = REGISTRY.snapshot()
+    names = {entry["name"] for entry in snapshot["metrics"]}
+
+    print()
+    print(f"campaign off: {best_off:.3f}s  on: {best_on:.3f}s  "
+          f"overhead {overhead * 100:+.2f}% (ceiling "
+          f"{OVERHEAD_CEILING * 100:.0f}%)")
+    print(f"sidecar: {sidecar_bytes} bytes, {len(spans)} spans over "
+          f"{runs_traced} traced runs = {bytes_per_shard:.0f} "
+          f"bytes/shard (bound {TRACE_BYTES_PER_SHARD})")
+    print(f"registry carries {len(names)} instruments")
+
+    assert overhead <= OVERHEAD_CEILING, (
+        f"tracing+metrics overhead {overhead * 100:.2f}% exceeds the "
+        f"{OVERHEAD_CEILING * 100:.0f}% ceiling")
+    assert spans, "traced runs must publish spans to the sidecar"
+    assert bytes_per_shard <= TRACE_BYTES_PER_SHARD, (
+        f"{bytes_per_shard:.0f} trace bytes/shard exceeds the "
+        f"{TRACE_BYTES_PER_SHARD} bound — span spam in a hot path?")
+    assert "shards_completed_total" in names
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "benchmark": "obs",
+        "scale": {
+            "seed": world.config.seed,
+            "address_scale": world.config.address_scale,
+        },
+        "shards": SHARDS,
+        "rounds": ROUNDS,
+        "campaign_seconds_off": round(best_off, 4),
+        "campaign_seconds_on": round(best_on, 4),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "sidecar_bytes": sidecar_bytes,
+        "sidecar_spans": len(spans),
+        "trace_bytes_per_shard": round(bytes_per_shard, 1),
+        "trace_bytes_per_shard_bound": TRACE_BYTES_PER_SHARD,
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")

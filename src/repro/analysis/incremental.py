@@ -43,6 +43,7 @@ import numpy as np
 from repro.bqt.responses import QueryStatus
 from repro.core.audit import AuditDataset, ComplianceStandard
 from repro.fcc.urban_rate_survey import generate_urban_rate_survey
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.runtime.atomicio import (atomic_write_bytes,
                                     sweep_stale_tmp_files)
 from repro.runtime.cache import content_digest
@@ -263,6 +264,9 @@ class WaveRowCache:
         self._rows: dict[tuple[str, str], dict | None] = {}
         self.hits = 0
         self.misses = 0
+        # Sidecar telemetry mirrors of the public counters above.
+        self._metric_hits = _METRICS.counter("wave_row_cache_hits_total")
+        self._metric_misses = _METRICS.counter("wave_row_cache_misses_total")
 
     @property
     def namespace(self) -> str:
@@ -287,14 +291,17 @@ class WaveRowCache:
         key = (kind, digest)
         if key in self._rows:
             self.hits += 1
+            self._metric_hits.inc()
             return self._rows[key]
         if self._directory is not None:
             row = self._load(kind, digest)
             if row is not _MISS:
                 self._rows[key] = row
                 self.hits += 1
+                self._metric_hits.inc()
                 return row
         self.misses += 1
+        self._metric_misses.inc()
         return _MISS
 
     def lookup(self, kind: str, digest: str) -> tuple[bool, dict | None]:

@@ -30,6 +30,7 @@ backend.
 from __future__ import annotations
 
 import asyncio
+import time
 from contextlib import asynccontextmanager
 
 from repro.addresses.models import StreetAddress
@@ -46,6 +47,7 @@ from repro.core.collection import (
     settle_q3_mode,
 )
 from repro.core.sampling import SamplePlan, SamplingPolicy
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.synth.world import World
 
 __all__ = [
@@ -116,6 +118,11 @@ class PolitenessGate:
         self._watermarks: dict[str, int] = {}
         self._trace: list[tuple[str, str, int]] | None = (
             [] if record_trace else None)
+        # Sidecar telemetry: how long sessions wait on politeness
+        # tokens. Monotonic deltas only — never written to logbooks.
+        self._wait_hist = _METRICS.histogram(
+            "politeness_gate_wait_seconds")
+        self._sessions = _METRICS.counter("politeness_gate_sessions_total")
 
     @property
     def per_isp_cap(self) -> int:
@@ -144,7 +151,10 @@ class PolitenessGate:
     async def session(self, isp_id: str):
         """Hold one of the ISP's session tokens for the block's body."""
         semaphore = self._semaphore(isp_id)
+        waited_from = time.monotonic()
         await semaphore.acquire()
+        self._wait_hist.observe(time.monotonic() - waited_from)
+        self._sessions.inc()
         self._inflight[isp_id] += 1
         self._watermarks[isp_id] = max(
             self._watermarks[isp_id], self._inflight[isp_id])

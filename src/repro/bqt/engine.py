@@ -33,6 +33,7 @@ from repro.bqt.proxy import ProxyPool
 from repro.bqt.responses import PageKind, QueryStatus, WebsiteResponse
 from repro.bqt.websites import CenturyLinkWebsite, IspWebsite
 from repro.isp.registry import isp_by_id
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.stats.distributions import stable_rng
 
 __all__ = ["EngineConfig", "BqtEngine", "QuerySession"]
@@ -223,6 +224,9 @@ class BqtEngine:
 
     def begin(self, address: StreetAddress) -> QuerySession:
         """Open a resumable session for one address."""
+        # Sidecar count only; the session's record bytes are untouched.
+        _METRICS.counter("bqt_sessions_total",
+                         isp=self._website.isp_id).inc()
         return QuerySession(self, address)
 
     def query(self, address: StreetAddress) -> QueryRecord:

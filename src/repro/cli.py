@@ -19,6 +19,9 @@ Usage::
     caf-audit query --connect ADDRESS --what WHAT [--job ID] [--wave N]
                     [--panel FP] [--digest D] [--namespace NS]
                     [--row-kind q12|q3]
+    caf-audit trace show|tree|critical-path [--dir DIR]
+                    [--fingerprint FP] [--connect ADDRESS] [--top K]
+    caf-audit metrics [--connect ADDRESS] [--format prom|json]
     caf-audit experiment <id>... [--scale ...]
     caf-audit list
     caf-audit export --out DIR [--scale ...]
@@ -298,6 +301,39 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--row-kind", choices=("q12", "q3"),
                               default=None)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="render a published campaign trace (repro.obs)")
+    trace_parser.add_argument(
+        "action", choices=("show", "tree", "critical-path"),
+        help="show: flat span listing; tree: the stitched span tree "
+             "with per-stage self time; critical-path: top-k spans on "
+             "the longest root-to-leaf chain")
+    trace_parser.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="trace sidecar root (default: $REPRO_TRACE_DIR)")
+    trace_parser.add_argument(
+        "--fingerprint", default=None, metavar="FP",
+        help="campaign/panel fingerprint naming the trace namespace "
+             "(default: the root's only namespace)")
+    trace_parser.add_argument(
+        "--connect", default=None, metavar="ADDRESS",
+        help="fetch spans from a running service instead of a "
+             "sidecar directory")
+    trace_parser.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="critical-path: how many spans to print (default 5)")
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="expose the metrics registry (repro.obs)")
+    metrics_parser.add_argument(
+        "--connect", default=None, metavar="ADDRESS",
+        help="read a running service's registry instead of this "
+             "process's (which is empty unless a run preceded it)")
+    metrics_parser.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        dest="output_format",
+        help="Prometheus text exposition (default) or canonical JSON")
+
     export_parser = subparsers.add_parser(
         "export", help="export audit datasets + manifest to a directory")
     export_parser.add_argument("--out", required=True)
@@ -490,25 +526,31 @@ def _run_autotuned(args: argparse.Namespace, scenario,
 def _shard_progress_printer(stream=None):
     """A per-shard progress callback printing status + ETA lines.
 
-    The ETA rate is measured between *executed* shard completions of
-    this run: the clock starts at the first executed shard, and shards
-    restored from a checkpoint (``restored=True``) are reported but
-    excluded from the rate entirely — a restored shard arrives in
-    microseconds, and counting it would make a resumed run's ETA
-    wildly optimistic. The first executed line (no rate observed yet)
-    reports the ETA as pending. Rough, but it turns a previously
-    silent ``--shards`` run into a live progress feed on stderr.
+    The ETA rate is measured in *cells* (Q1/Q2 records + Q3 outcomes)
+    between executed shard completions of this run: the clock starts
+    at the first executed shard, and shards restored from a checkpoint
+    (``restored=True``) are reported but excluded from the rate
+    entirely — a restored shard arrives in microseconds, and counting
+    its units would make a resumed run's ETA wildly optimistic. The
+    remaining work is projected from the mean executed-shard size, so
+    a resume where the restored shards were the big ones no longer
+    skews the estimate the way shard-count extrapolation did. The
+    first executed line (no rate observed yet) reports the ETA as
+    pending. Rough, but it turns a previously silent ``--shards`` run
+    into a live progress feed on stderr.
     """
     import time
 
     stream = stream if stream is not None else sys.stderr
     started = time.monotonic()
     first_done_at: float | None = None
-    ran_since_first = 0
+    live_shards = 0       # executed (non-restored) shards seen
+    live_units = 0        # their cells, the mean-shard-size basis
+    units_since_first = 0  # cells completed inside the rate window
 
     def on_progress(completed: int, total: int, result,
                     restored: bool = False) -> None:
-        nonlocal first_done_at, ran_since_first
+        nonlocal first_done_at, live_shards, live_units, units_since_first
         now = time.monotonic()
         units = len(result.q12_records) + len(result.q3_outcomes)
         if restored:
@@ -517,13 +559,17 @@ def _shard_progress_printer(stream=None):
                 f"({units} units) — {completed}/{total} shards",
                 file=stream)
             return
+        live_shards += 1
+        live_units += units
         if first_done_at is None:
             first_done_at = now
         else:
-            ran_since_first += 1
+            units_since_first += units
         remaining = total - completed
-        if ran_since_first:
-            eta = (now - first_done_at) / ran_since_first * remaining
+        window = now - first_done_at
+        if units_since_first and window > 0:
+            unit_rate = units_since_first / window
+            eta = remaining * (live_units / live_shards) / unit_rate
             eta_text = f"ETA {eta:.1f}s"
         else:
             eta_text = "ETA pending"
@@ -795,6 +841,12 @@ def _command_query(args: argparse.Namespace) -> int:
         print(f"caf-audit query: {response.get('error', response)}",
               file=sys.stderr)
         return 2
+    if not response.get("hit") and response.get("empty"):
+        # The typed empty state: nothing sealed yet, not a damaged
+        # request — explain instead of dumping a bare null.
+        reason = response.get("reason") or "service is empty"
+        print(f"caf-audit query: {reason}", file=sys.stderr)
+        return 1
     try:
         print(_json.dumps(response.get("payload"), indent=2, sort_keys=True))
     except BrokenPipeError:
@@ -805,6 +857,106 @@ def _command_query(args: argparse.Namespace) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0 if response.get("hit") else 1
+
+
+def _trace_records(args: argparse.Namespace) -> list | int:
+    """The spans ``caf-audit trace`` renders, or an exit code."""
+    if args.connect:
+        from repro.runtime.distributed import FrameError
+        from repro.service import ServiceClient
+
+        try:
+            with ServiceClient(args.connect) as client:
+                response = client.trace(args.fingerprint)
+        except (OSError, FrameError) as error:
+            print(f"caf-audit trace: {error}", file=sys.stderr)
+            return 1
+        if response.get("type") != "trace":
+            print(f"caf-audit trace: {response.get('error', response)}",
+                  file=sys.stderr)
+            return 2
+        return list(response.get("spans") or [])
+    from repro.obs.trace import TraceStore, trace_dir_from_environment
+
+    root = Path(args.dir) if args.dir else trace_dir_from_environment()
+    if root is None:
+        print("caf-audit trace: give --dir, --connect, or set "
+              "REPRO_TRACE_DIR", file=sys.stderr)
+        return 2
+    fingerprint = args.fingerprint
+    if fingerprint is None:
+        namespaces = sorted(
+            entry.name for entry in root.iterdir()
+            if entry.is_dir() and any(entry.glob("trace-*.jsonl"))
+        ) if root.is_dir() else []
+        if len(namespaces) != 1:
+            print(f"caf-audit trace: {root} holds "
+                  f"{len(namespaces)} trace namespaces "
+                  f"({', '.join(namespaces) or 'none'}); pick one with "
+                  "--fingerprint", file=sys.stderr)
+            return 2
+        fingerprint = namespaces[0]
+    return TraceStore(root, fingerprint).load_spans()
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import (build_tree, critical_path,
+                                  render_tree, self_seconds)
+
+    records = _trace_records(args)
+    if isinstance(records, int):
+        return records
+    if not records:
+        print("caf-audit trace: no spans found", file=sys.stderr)
+        return 1
+    if args.action == "show":
+        for record in sorted(records, key=lambda r: (
+                r.get("site", ""), r.get("start", 0.0))):
+            print(_json.dumps(record, sort_keys=True))
+        return 0
+    if args.action == "tree":
+        print(render_tree(records))
+        return 0
+    _roots, children = build_tree(records)
+    top = critical_path(records, top=max(1, args.top))
+    print(f"critical path (top {len(top)} by self time):")
+    for record in top:
+        self_ms = self_seconds(record, children) * 1000.0
+        total_ms = record.get("duration", 0.0) * 1000.0
+        print(f"  {record.get('name')} [{record.get('site', 'main')}]  "
+              f"self {self_ms:.1f}ms of {total_ms:.1f}ms")
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+    if args.connect:
+        from repro.runtime.distributed import FrameError
+        from repro.service import ServiceClient
+
+        try:
+            with ServiceClient(args.connect) as client:
+                response = client.metrics()
+        except (OSError, FrameError) as error:
+            print(f"caf-audit metrics: {error}", file=sys.stderr)
+            return 1
+        if response.get("type") != "metrics":
+            print(f"caf-audit metrics: {response.get('error', response)}",
+                  file=sys.stderr)
+            return 2
+        if args.output_format == "prom":
+            print(response.get("prometheus", ""), end="")
+            return 0
+        registry = MetricsRegistry()
+        registry.merge(response.get("snapshot"))
+        print(registry.render_json())
+        return 0
+    if args.output_format == "prom":
+        print(REGISTRY.render_prometheus(), end="")
+    else:
+        print(REGISTRY.render_json())
+    return 0
 
 
 def _command_list(_args: argparse.Namespace) -> int:
@@ -906,6 +1058,8 @@ _COMMANDS = {
     "submit": _command_submit,
     "follow": _command_follow,
     "query": _command_query,
+    "trace": _command_trace,
+    "metrics": _command_metrics,
     "experiment": _command_experiment,
     "list": _command_list,
     "export": _command_export,

@@ -23,7 +23,7 @@ from repro.lint.report import (render_json, render_rule_catalog,
                                render_text)
 
 # Importing the packs registers their rules.
-from repro.lint import conc, det, dur, proto  # noqa: F401  (registration)
+from repro.lint import conc, det, dur, obs, proto  # noqa: F401  (registration)
 
 __all__ = [
     "Finding", "Rule", "RULES", "rules_by_pack",

@@ -127,6 +127,9 @@ _WALL_CLOCK = {
               "timeout/eviction code (monotonic clocks, atomicio's "
               "stale-tmp sweep) may consult the clock",
     exclude_basenames=("atomicio",),
+    # The observability sidecar timestamps its published trace files;
+    # those bytes never reach a logbook, journal, or digest.
+    exclude_path_tokens=("obs/",),
 )
 def det103_wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
     for node in ast.walk(ctx.tree):

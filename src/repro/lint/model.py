@@ -27,7 +27,7 @@ __all__ = ["Finding", "ModuleContext", "Rule", "RULES", "rule",
            "rules_by_pack"]
 
 # Every rule pack, in catalog order.
-PACKS = ("DET", "DUR", "CONC", "PROTO")
+PACKS = ("DET", "DUR", "CONC", "PROTO", "OBS")
 
 
 @dataclass(frozen=True)
@@ -121,9 +121,15 @@ class Rule:
     path_tokens: tuple[str, ...] = ()
     # Module stems the rule never applies to (the allowlist).
     exclude_basenames: tuple[str, ...] = ()
+    # Path substrings the rule never applies to (the directory-wide
+    # allowlist — e.g. DET103 licenses all of ``obs/`` to timestamp
+    # its sidecar trace files).
+    exclude_path_tokens: tuple[str, ...] = ()
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         if ctx.basename in self.exclude_basenames:
+            return False
+        if any(token in ctx.relpath for token in self.exclude_path_tokens):
             return False
         if not self.path_tokens:
             return True
@@ -140,6 +146,7 @@ def rule(
     rationale: str,
     path_tokens: tuple[str, ...] = (),
     exclude_basenames: tuple[str, ...] = (),
+    exclude_path_tokens: tuple[str, ...] = (),
 ):
     """Register one rule; the decorated function is its checker."""
     if pack not in PACKS:
@@ -151,7 +158,8 @@ def rule(
         RULES[id] = Rule(id=id, pack=pack, summary=summary,
                          rationale=rationale, check=check,
                          path_tokens=path_tokens,
-                         exclude_basenames=exclude_basenames)
+                         exclude_basenames=exclude_basenames,
+                         exclude_path_tokens=exclude_path_tokens)
         return check
 
     return decorate

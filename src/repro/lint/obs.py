@@ -1,0 +1,53 @@
+"""OBS pack — observability-contract rules.
+
+The tracing layer (:mod:`repro.obs.trace`) hands out spans as context
+managers: a span's record is only emitted when its ``with`` block
+exits, and the per-thread span stack only pops there. These rules
+keep instrumentation honest — a span that is constructed but never
+entered silently drops its timing *and* corrupts nothing, which is
+exactly why it would survive review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import call_name
+from repro.lint.model import Finding, ModuleContext, rule
+
+
+def _with_managed_calls(tree: ast.Module) -> set[int]:
+    """Identities of every Call node used as a ``with`` context."""
+    managed: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    managed.add(id(item.context_expr))
+    return managed
+
+
+@rule(
+    "OBS501", "OBS",
+    summary="span constructed outside a with statement",
+    rationale="a span context manager that is never entered never "
+              "closes: its record is silently dropped and the "
+              "thread-local span stack no longer matches the code — "
+              "always write `with span(...)`",
+    # trace.py is the defining module: its convenience wrappers
+    # construct and return spans for callers to enter.
+    exclude_basenames=("trace",),
+)
+def obs501_unentered_span(ctx: ModuleContext) -> Iterator[Finding]:
+    managed = _with_managed_calls(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or id(node) in managed:
+            continue
+        name = call_name(node)
+        if not name or name.split(".")[-1] != "span":
+            continue
+        yield ctx.finding(
+            "OBS501", node,
+            f"{name}(...) builds a span context manager but never "
+            "enters it; wrap the call in a `with` statement")

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Iterator
 
 from repro.bqt.engine import EngineConfig
@@ -49,6 +50,14 @@ from repro.longitudinal.digests import (
     diff_digests,
 )
 from repro.longitudinal.store import PanelStore
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import (
+    configure_tracing,
+    publish_trace,
+    span,
+    trace_dir_from_environment,
+    tracing_enabled,
+)
 from repro.runtime.cache import content_digest
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.executor import (
@@ -202,11 +211,15 @@ class PanelCampaign:
     # ------------------------------------------------------------------
     def waves(self) -> Iterator[WaveOutcome]:
         """Run the panel, yielding each wave as it completes."""
+        if tracing_enabled():
+            configure_tracing(self.fingerprint, site="coordinator")
         prior: WaveOutcome | None = None
         for wave, horizon in enumerate((0, *self._horizons)):
             outcome = self._run_wave(wave, horizon, prior)
             yield outcome
             prior = outcome
+        if tracing_enabled():
+            self._publish_trace()
         if self._store is not None:
             # Every wave's manifest is on disk: reclaim CAS entries
             # nothing references — crash leftovers (cells published,
@@ -221,18 +234,29 @@ class PanelCampaign:
 
     def _run_wave(self, wave: int, horizon: int,
                   prior: WaveOutcome | None) -> WaveOutcome:
+        with span("panel.wave", wave=wave, horizon=horizon):
+            return self._run_wave_inner(wave, horizon, prior)
+
+    def _run_wave_inner(self, wave: int, horizon: int,
+                        prior: WaveOutcome | None) -> WaveOutcome:
         started = time.perf_counter()
-        if horizon == 0:
-            world = self._world
-        else:
-            world = churned_world(self._world, years=horizon,
-                                  model=self._model)
+        with span("wave.evolve", wave=wave):
+            if horizon == 0:
+                world = self._world
+            else:
+                world = churned_world(self._world, years=horizon,
+                                      model=self._model)
         evolved_at = time.perf_counter()
-        digests = compute_wave_digests(world, isps=self._isps,
-                                       states=self._states,
-                                       q3_states=self._q3_states)
-        delta = diff_digests(prior.digests if prior else None, digests)
+        with span("wave.digest", wave=wave):
+            digests = compute_wave_digests(world, isps=self._isps,
+                                           states=self._states,
+                                           q3_states=self._q3_states)
+            delta = diff_digests(prior.digests if prior else None, digests)
         digested_at = time.perf_counter()
+        changed = len(delta.changed_q12) + len(delta.changed_q3)
+        _METRICS.counter("panel_cells_changed_total").inc(changed)
+        _METRICS.counter("panel_cells_replayed_total").inc(
+            (delta.total_q12 + delta.total_q3) - changed)
 
         restored = None
         if self._store is not None and self._resume:
@@ -242,8 +266,10 @@ class PanelCampaign:
             counts = manifest["counts"]
             fresh_q12 = int(counts.get("fresh_q12", 0))
             fresh_q3 = int(counts.get("fresh_q3", 0))
+            _METRICS.counter("panel_waves_restored_total").inc()
         else:
-            fresh = self._collect_delta(world, wave, horizon, delta)
+            with span("wave.collect", wave=wave, changed=changed):
+                fresh = self._collect_delta(world, wave, horizon, delta)
             cells = self._fold(digests, delta, fresh, prior)
             fresh_q12 = len(delta.changed_q12)
             fresh_q3 = len(delta.changed_q3)
@@ -254,7 +280,8 @@ class PanelCampaign:
                     "fresh_q3": fresh_q3,
                     "replayed_q3": delta.total_q3 - fresh_q3,
                 }, digests)
-        collection, q3 = self._merge(world, digests, cells)
+        with span("wave.merge", wave=wave):
+            collection, q3 = self._merge(world, digests, cells)
         return WaveOutcome(
             wave=wave,
             horizon_years=horizon,
@@ -273,6 +300,21 @@ class PanelCampaign:
             digest_seconds=digested_at - evolved_at,
             collect_seconds=time.perf_counter() - digested_at,
         )
+
+    def _publish_trace(self) -> None:
+        """Publish the panel's spans to the trace sidecar store.
+
+        The root is ``REPRO_TRACE_DIR`` when set, else the runtime's
+        checkpoint directory, else the panel store directory — spans
+        land in a ``traces/`` sidecar, never in wave manifests.
+        """
+        root = trace_dir_from_environment()
+        if root is None and self._runtime is not None \
+                and self._runtime.checkpoint_dir is not None:
+            root = Path(self._runtime.checkpoint_dir) / "traces"
+        if root is None and self._store is not None:
+            root = self._store.directory / "traces"
+        publish_trace(root, self.fingerprint)
 
     def _wave_scenario(self, horizon: int):
         """The world recipe shipped to worker processes for one wave."""

@@ -1,0 +1,58 @@
+"""repro.obs — zero-dependency observability for the audit stack.
+
+Three coupled layers, all sidecar-only (nothing here ever changes a
+logbook, checkpoint, journal, or digest byte — the equivalence
+harness proves runs with ``REPRO_TRACE=1`` byte-identical to runs
+without):
+
+* :mod:`repro.obs.trace` — deterministic-id spans, per-process
+  buffering, frame-borne cross-process stitching, and the
+  fingerprint-namespaced JSONL :class:`~repro.obs.trace.TraceStore`
+  sidecar;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with fixed
+  log-scale buckets, commutative snapshot merging across worker
+  frames, and Prometheus-text + canonical-JSON expositions;
+* :mod:`repro.obs.report` — span-tree assembly, per-stage self-time
+  rendering, and critical-path extraction for the CLI ops surface.
+"""
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, REGISTRY, SNAPSHOT_VERSION,
+                               Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.report import (build_tree, critical_path, render_tree,
+                              self_seconds)
+from repro.obs.trace import (BUFFER, TRACE_CONTEXT_VERSION, TRACE_ENV_DIR,
+                             TRACE_ENV_FLAG, Span, TraceBuffer, TraceStore,
+                             adopt_trace_context, configure_tracing,
+                             current_trace_context, drain_spans,
+                             ingest_spans, publish_trace, span,
+                             trace_dir_from_environment, tracing_enabled)
+
+__all__ = [
+    "BUFFER",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SNAPSHOT_VERSION",
+    "Span",
+    "TRACE_CONTEXT_VERSION",
+    "TRACE_ENV_DIR",
+    "TRACE_ENV_FLAG",
+    "TraceBuffer",
+    "TraceStore",
+    "adopt_trace_context",
+    "build_tree",
+    "configure_tracing",
+    "critical_path",
+    "current_trace_context",
+    "drain_spans",
+    "ingest_spans",
+    "publish_trace",
+    "render_tree",
+    "self_seconds",
+    "span",
+    "trace_dir_from_environment",
+    "tracing_enabled",
+]

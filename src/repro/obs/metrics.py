@@ -1,0 +1,291 @@
+"""repro.obs.metrics — counters, gauges, and deterministic histograms.
+
+The registry is a plain in-process map of named instruments. Three
+properties make it safe to wire into the hot paths:
+
+* **zero dependencies** — stdlib only, so any module (including the
+  cache and the journal) can instrument itself without import cycles;
+* **sidecar-only** — snapshots ride *beside* checkpoint payloads on
+  the existing result frames (like the politeness peaks do) and are
+  rendered to their own exposition files; nothing here ever enters a
+  logbook, journal entry, or digest, so the byte contract is untouched;
+* **deterministic merge** — histograms use fixed log-scale bucket
+  boundaries, counters add, and gauges combine by ``max``, so merging
+  worker snapshots is commutative and associative: the merged view is
+  identical no matter which shard's frame lands first.
+
+Instrument handles are cheap to hold (``counter(...)`` get-or-creates
+once, then ``inc()`` is an attribute add), which keeps the overhead of
+an instrumented hot path within the bench_obs budget.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SNAPSHOT_VERSION",
+]
+
+# Versions the snapshot shape riding the result frames; readers ignore
+# snapshots from a future version instead of misparsing them.
+SNAPSHOT_VERSION = 1
+
+# Fixed log-scale boundaries: powers of two from ~1 microsecond to
+# ~17 minutes. Shared, immutable boundaries are what make merged
+# histograms deterministic — every process buckets identically.
+DEFAULT_BUCKETS = tuple(2.0 ** exponent for exponent in range(-20, 11))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def payload(self) -> dict:
+        return {"value": self.value}
+
+    def absorb(self, payload: dict) -> None:
+        self.value += int(payload.get("value", 0))
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time level (queue depth, inflight sessions)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def payload(self) -> dict:
+        return {"value": self.value}
+
+    def absorb(self, payload: dict) -> None:
+        # ``max`` keeps the merge commutative across arbitrary frame
+        # arrival orders (a last-write-wins gauge would depend on which
+        # worker's snapshot landed last).
+        self.value = max(self.value, float(payload.get("value", 0.0)))
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A distribution over fixed log-scale buckets.
+
+    ``bounds[i]`` is the inclusive upper edge of bucket ``i``; the
+    final bucket is +Inf. Fixed boundaries mean two histograms of the
+    same name merge by plain per-bucket addition.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def payload(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    def absorb(self, payload: dict) -> None:
+        counts = payload.get("counts")
+        if not isinstance(counts, list) or len(counts) != len(self.counts):
+            return  # foreign boundary scheme; refuse a lossy merge
+        for index, bucket in enumerate(counts):
+            self.counts[index] += int(bucket)
+        self.total += float(payload.get("sum", 0.0))
+        self.count += int(payload.get("count", 0))
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """The per-process instrument map, with snapshot/merge/render."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # instrument handles
+    # ------------------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = self._instruments[key] = cls(**kwargs)
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).kind}, not {cls.kind}")
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # ------------------------------------------------------------------
+    # snapshot / drain / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as one canonical-ordering JSON document."""
+        with self._lock:
+            entries = [
+                {
+                    "name": name,
+                    "labels": {k: v for k, v in label_key},
+                    "kind": instrument.kind,
+                    **instrument.payload(),
+                }
+                for (name, label_key), instrument
+                in sorted(self._instruments.items())
+            ]
+        return {"version": SNAPSHOT_VERSION, "metrics": entries}
+
+    def drain(self) -> dict:
+        """Snapshot, then zero every instrument — the worker-side half
+        of frame-borne merging (each result frame carries only the
+        deltas since the previous one, so the coordinator never
+        double-counts)."""
+        snapshot = self.snapshot()
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument.reset()
+        return snapshot
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Absorb a snapshot from another process (or an older drain).
+
+        Unknown versions, kinds, and malformed entries are skipped —
+        a telemetry frame must never be able to crash the coordinator.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            return
+        for entry in snapshot.get("metrics", []):
+            if not isinstance(entry, dict):
+                continue
+            cls = _KINDS.get(entry.get("kind"))
+            name = entry.get("name")
+            labels = entry.get("labels", {})
+            if cls is None or not isinstance(name, str) \
+                    or not isinstance(labels, dict):
+                continue
+            kwargs = {}
+            if cls is Histogram:
+                bounds = entry.get("bounds")
+                if not isinstance(bounds, list):
+                    continue
+                kwargs["bounds"] = tuple(float(b) for b in bounds)
+            try:
+                instrument = self._get(cls, name, labels, **kwargs)
+            except TypeError:
+                continue  # kind collision: keep the local instrument
+            instrument.absorb(entry)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and benches start clean)."""
+        with self._lock:
+            self._instruments.clear()
+
+    # ------------------------------------------------------------------
+    # expositions
+    # ------------------------------------------------------------------
+
+    def render_json(self) -> str:
+        """Canonical-JSON exposition (sorted keys, no whitespace)."""
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the current snapshot."""
+        lines: list[str] = []
+        for entry in self.snapshot()["metrics"]:
+            name = entry["name"]
+            labels = entry["labels"]
+            kind = entry["kind"]
+            lines.append(f"# TYPE {name} {kind}")
+            if kind == "histogram":
+                cumulative = 0
+                bounds = list(entry["bounds"]) + ["+Inf"]
+                for bound, bucket in zip(bounds, entry["counts"]):
+                    cumulative += bucket
+                    le = bound if isinstance(bound, str) else repr(bound)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_text(labels, le=le)} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_label_text(labels)} {entry['sum']}")
+                lines.append(
+                    f"{name}_count{_label_text(labels)} {entry['count']}")
+            else:
+                lines.append(f"{name}{_label_text(labels)} {entry['value']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _label_text(labels: dict, **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+# The per-process registry every instrumented module shares.
+REGISTRY = MetricsRegistry()

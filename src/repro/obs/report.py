@@ -1,0 +1,114 @@
+"""repro.obs.report — span-tree assembly, rendering, critical path.
+
+Operates on the plain span records :mod:`repro.obs.trace` produces
+(buffered, frame-borne, or loaded back from a :class:`TraceStore`
+sidecar). Monotonic starts are only comparable *within* a site, so
+ordering falls back to (site, start, span id) — deterministic for a
+recorded trace, and parent links (the part that matters for the tree
+and the critical path) are site-independent.
+"""
+
+from __future__ import annotations
+
+__all__ = ["build_tree", "critical_path", "render_tree", "self_seconds"]
+
+
+def _sort_key(record: dict) -> tuple:
+    return (str(record.get("site", "")),
+            float(record.get("start", 0.0)),
+            str(record.get("span_id", "")))
+
+
+def build_tree(records: list[dict]):
+    """``(roots, children)`` — children keyed by parent span id.
+
+    A span whose parent is unknown (lost frame, killed worker) becomes
+    a root rather than disappearing: a damaged trace degrades to a
+    forest, never to silence.
+    """
+    ordered = sorted((r for r in records
+                      if isinstance(r, dict) and r.get("span_id")),
+                     key=_sort_key)
+    known = {record["span_id"] for record in ordered}
+    roots: list[dict] = []
+    children: dict[str, list[dict]] = {}
+    for record in ordered:
+        parent = record.get("parent_id") or ""
+        if parent and parent in known:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+    return roots, children
+
+
+def self_seconds(record: dict, children: dict[str, list[dict]]) -> float:
+    """Duration minus direct children's durations, floored at zero
+    (children on another site can overlap their parent's clock)."""
+    duration = float(record.get("duration", 0.0))
+    nested = sum(float(child.get("duration", 0.0))
+                 for child in children.get(record["span_id"], []))
+    return max(0.0, duration - nested)
+
+
+def _format_span(record: dict, children) -> str:
+    name = record.get("name", "?")
+    site = record.get("site", "")
+    duration = float(record.get("duration", 0.0))
+    self_time = self_seconds(record, children)
+    attrs = record.get("attrs") or {}
+    attr_text = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    parts = [f"{name} [{site}]",
+             f"{duration * 1000:.1f}ms",
+             f"self {self_time * 1000:.1f}ms"]
+    if attr_text:
+        parts.append(attr_text)
+    if record.get("error"):
+        parts.append("ERROR")
+    return "  ".join(parts)
+
+
+def render_tree(records: list[dict]) -> str:
+    """The stitched span forest as an indented text tree."""
+    roots, children = build_tree(records)
+    if not roots:
+        return "(no spans)"
+    lines: list[str] = []
+
+    def walk(record: dict, prefix: str, connector: str) -> None:
+        lines.append(prefix + connector + _format_span(record, children))
+        if connector == "├─ ":
+            child_prefix = prefix + "│  "
+        elif connector == "└─ ":
+            child_prefix = prefix + "   "
+        else:
+            child_prefix = prefix
+        kids = children.get(record["span_id"], [])
+        for index, child in enumerate(kids):
+            walk(child, child_prefix,
+                 "└─ " if index == len(kids) - 1 else "├─ ")
+
+    for root in roots:
+        walk(root, "", "")
+    return "\n".join(lines)
+
+
+def critical_path(records: list[dict], top: int = 5) -> list[dict]:
+    """The top-``top`` spans of the dominant root-to-leaf chain.
+
+    Descends from the longest root through each level's
+    longest-duration child, then ranks the chain's spans by self-time
+    — "where did the campaign actually spend its wall clock".
+    """
+    roots, children = build_tree(records)
+    if not roots:
+        return []
+    path: list[dict] = []
+    node = max(roots, key=lambda r: float(r.get("duration", 0.0)))
+    while node is not None:
+        path.append(node)
+        kids = children.get(node["span_id"], [])
+        node = max(kids, key=lambda r: float(r.get("duration", 0.0))) \
+            if kids else None
+    ranked = sorted(path, key=lambda r: self_seconds(r, children),
+                    reverse=True)
+    return ranked[:max(1, top)]

@@ -1,0 +1,438 @@
+"""repro.obs.trace — deterministic spans and the sidecar TraceStore.
+
+Tracing is **off by default** and enabled with ``REPRO_TRACE=1``; when
+off, :func:`span` returns a shared no-op context manager and the hot
+paths pay one env lookup. When on, every entered span records:
+
+* a **deterministic identity** — trace ids derive from the campaign
+  fingerprint and span ids from (trace id, parent id, name, sibling
+  ordinal), never from the wall clock or ``random``, so re-running the
+  same campaign yields the same tree shape with the same ids;
+* **monotonic timing** — ``time.monotonic()`` start/duration, never
+  wall-clock, so DET103 stays satisfied at every instrumentation site;
+* a **site** label (coordinator / worker / daemon) so a stitched tree
+  shows which process ran each stage.
+
+Spans live in a per-process :class:`TraceBuffer` and are published as
+JSONL sidecar files through :mod:`repro.runtime.atomicio` into a
+fingerprint-namespaced :class:`TraceStore` — never into checkpoints,
+journals, or digests, which is what keeps logbook bytes identical with
+tracing on or off (the equivalence harness proves it).
+
+Cross-process stitching rides the existing frames: a *versioned*
+``trace_context`` (``{"version", "trace_id", "span_id"}``) travels in
+lease and submit messages as an optional key, workers adopt it, and
+their drained spans return beside the checkpoint payload on result
+frames — exactly the backward-compatible optional-key upgrade the
+heartbeat and politeness fields already use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "BUFFER",
+    "Span",
+    "TraceBuffer",
+    "TraceStore",
+    "TRACE_CONTEXT_VERSION",
+    "TRACE_ENV_DIR",
+    "TRACE_ENV_FLAG",
+    "adopt_trace_context",
+    "configure_tracing",
+    "current_trace_context",
+    "drain_spans",
+    "ingest_spans",
+    "publish_trace",
+    "span",
+    "trace_dir_from_environment",
+    "tracing_enabled",
+]
+
+# Versions the trace_context field on lease/submit frames; a reader
+# refuses contexts from a future version rather than misstitching.
+TRACE_CONTEXT_VERSION = 1
+TRACE_ENV_FLAG = "REPRO_TRACE"
+TRACE_ENV_DIR = "REPRO_TRACE_DIR"
+
+
+def tracing_enabled() -> bool:
+    """True when ``REPRO_TRACE=1`` — checked per span so tests can
+    flip the flag without reimports."""
+    return os.environ.get(TRACE_ENV_FLAG) == "1"
+
+
+def trace_dir_from_environment() -> Path | None:
+    """The sidecar root from ``REPRO_TRACE_DIR``, if set."""
+    value = os.environ.get(TRACE_ENV_DIR)
+    return Path(value) if value else None
+
+
+def _digest(payload: dict) -> str:
+    # Local canonical-JSON digest: obs stays dependency-free so any
+    # module (including runtime.cache itself) can import it.
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def derive_trace_id(fingerprint: str) -> str:
+    return _digest({"kind": "trace", "fingerprint": fingerprint})[:32]
+
+
+def derive_span_id(trace_id: str, parent_id: str, name: str,
+                   ordinal: int) -> str:
+    return _digest({"kind": "span", "trace": trace_id,
+                    "parent": parent_id, "name": name,
+                    "ordinal": ordinal})[:16]
+
+
+class Span:
+    """One traced operation.
+
+    A span only becomes real when *entered* — identity, parenting, and
+    timing are assigned in ``__enter__`` so the sibling ordinal counts
+    entered spans only. Creating one without ``with`` therefore leaks
+    an un-closed, never-recorded span; lint rule OBS501 flags it.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id",
+                 "_buffer", "_start")
+
+    def __init__(self, buffer: "TraceBuffer", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = ""
+        self.parent_id = ""
+        self._buffer = buffer
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._buffer._enter(self)
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.monotonic() - self._start
+        self._buffer._exit(self, duration, failed=exc_type is not None)
+        return False
+
+
+class _NoopSpan:
+    """The disabled-path span: enter/exit do nothing, attrs accepted."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self) -> None:
+        self.attrs: dict = {}
+
+    span_id = ""
+    parent_id = ""
+    name = ""
+
+    def __enter__(self) -> "_NoopSpan":
+        self.attrs.clear()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class TraceBuffer:
+    """The per-process span accumulator.
+
+    Holds the trace identity (fingerprint → trace id, or an adopted
+    remote context), a per-thread span stack for parenting, and the
+    finished-span records until they are drained onto a result frame
+    or published to the :class:`TraceStore`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._records: list[dict] = []
+        self._ordinals: dict[str, int] = {}
+        self.trace_id: str | None = None
+        self.fingerprint: str | None = None
+        self.site = "main"
+        self._adopted_parent: str | None = None
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    def configure(self, fingerprint: str, site: str | None = None) -> None:
+        """Bind the buffer to a campaign fingerprint.
+
+        A *new* fingerprint resets the span state (records, ordinals)
+        so back-to-back campaigns in one process don't bleed spans
+        into each other's sidecars. An adopted remote context survives
+        configuration — the daemon adopts a submitter's context first,
+        then the executor configures the campaign fingerprint, and the
+        spans must still stitch under the submitter's trace.
+        """
+        with self._lock:
+            if fingerprint != self.fingerprint:
+                self._records.clear()
+                self._ordinals.clear()
+                self.fingerprint = fingerprint
+                if self._adopted_parent is None:
+                    self.trace_id = derive_trace_id(fingerprint)
+            if site is not None:
+                self.site = site
+
+    def adopt(self, context: dict | None) -> bool:
+        """Join a remote trace described by a ``trace_context`` field.
+
+        Unknown shapes and future versions are ignored (the frame
+        still decodes — the span tree just doesn't stitch), mirroring
+        how old frames without the field keep working. A missing or
+        invalid context also *clears* any prior adoption, so a stale
+        parent from an earlier lease can never mis-stitch later spans.
+        """
+        valid = (isinstance(context, dict)
+                 and context.get("version") == TRACE_CONTEXT_VERSION
+                 and isinstance(context.get("trace_id"), str)
+                 and isinstance(context.get("span_id"), str))
+        with self._lock:
+            if valid:
+                self.trace_id = context["trace_id"]
+                self._adopted_parent = context["span_id"]
+            else:
+                self._adopted_parent = None
+                if self.fingerprint:
+                    self.trace_id = derive_trace_id(self.fingerprint)
+        return bool(valid)
+
+    def current_context(self) -> dict | None:
+        """The versioned context a frame should carry right now."""
+        if self.trace_id is None:
+            return None
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else (self._adopted_parent or "")
+        return {"version": TRACE_CONTEXT_VERSION,
+                "trace_id": self.trace_id, "span_id": parent}
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, *, parent_id: str | None = None, **attrs):
+        """A context-manager span, or the shared no-op when tracing is
+        disabled or the buffer has no identity yet."""
+        if not tracing_enabled() or self.trace_id is None:
+            return _NOOP
+        span_ = Span(self, name, attrs)
+        if parent_id is not None:
+            span_.parent_id = parent_id
+        return span_
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _enter(self, span_: Span) -> None:
+        stack = self._stack()
+        if not span_.parent_id:
+            if stack:
+                span_.parent_id = stack[-1].span_id
+            elif self._adopted_parent:
+                span_.parent_id = self._adopted_parent
+        with self._lock:
+            ordinal = self._ordinals.get(span_.parent_id, 0)
+            self._ordinals[span_.parent_id] = ordinal + 1
+        span_.span_id = derive_span_id(self.trace_id or "",
+                                       span_.parent_id, span_.name, ordinal)
+        stack.append(span_)
+
+    def _exit(self, span_: Span, duration: float, failed: bool) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span_:
+            stack.pop()
+        record = {
+            "trace_id": self.trace_id,
+            "span_id": span_.span_id,
+            "parent_id": span_.parent_id,
+            "name": span_.name,
+            "site": self.site,
+            "start": span_._start,
+            "duration": duration,
+        }
+        if span_.attrs:
+            record["attrs"] = dict(span_.attrs)
+        if failed:
+            record["error"] = True
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # movement
+    # ------------------------------------------------------------------
+
+    def drain(self) -> list[dict]:
+        """Take (and clear) the finished spans — the worker-side half
+        of frame-borne trace stitching."""
+        with self._lock:
+            records = self._records
+            self._records = []
+        return records
+
+    def ingest(self, records) -> None:
+        """Absorb spans drained from another process's frames."""
+        if not isinstance(records, list):
+            return
+        with self._lock:
+            self._records.extend(
+                record for record in records
+                if isinstance(record, dict) and record.get("span_id"))
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return list(self._records)
+
+
+class TraceStore:
+    """The trace sidecar: one JSONL file per publishing site, living
+    in the campaign fingerprint's namespace under the trace root.
+
+    Strictly a sidecar — nothing here is read back into any campaign
+    output. The header line carries a wall-clock ``published_at`` for
+    operators (licensed by the DET103 ``obs/`` allowlist; it never
+    touches a digest).
+
+    Deliberately *not* a :class:`~repro.runtime.storebase
+    .FingerprintNamespacedStore` subclass, though it follows the same
+    ``<root>/<fingerprint16>/`` layout: obs must be importable from
+    the bottom of the stack (``runtime.cache`` and ``bqt.engine``
+    import it), so it cannot import the runtime package at module
+    scope. The atomic writer is borrowed lazily at publish time.
+    """
+
+    _NAMESPACE_DIGITS = 16
+
+    def __init__(self, directory: str | Path, fingerprint: str):
+        self._directory = Path(directory)
+        self._fingerprint = fingerprint
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def namespace_directory(self) -> Path:
+        return self._directory / self._fingerprint[:self._NAMESPACE_DIGITS]
+
+    def _site_path(self, site: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_" else "-"
+                       for c in site) or "site"
+        return self.namespace_directory / f"trace-{safe}.jsonl"
+
+    def save_trace(self, site: str, records: list[dict]) -> Path:
+        """Publish ``records`` for ``site``, merged with any spans the
+        site already published (so a resumed campaign accumulates)."""
+        from repro.runtime.atomicio import atomic_write_text
+
+        path = self._site_path(site)
+        combined = self._load_file(path) + list(records)
+        header = {
+            "fingerprint": self.fingerprint,
+            "site": site,
+            "spans": len(combined),
+            "published_at": time.time(),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True)
+                     for record in combined)
+        self.namespace_directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, "\n".join(lines) + "\n")
+        return path
+
+    @staticmethod
+    def _load_file(path: Path) -> list[dict]:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records: list[dict] = []
+        for index, line in enumerate(text.splitlines()):
+            if index == 0:
+                continue  # header
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail or damage: keep what parses
+            if isinstance(record, dict) and record.get("span_id"):
+                records.append(record)
+        return records
+
+    def load_spans(self) -> list[dict]:
+        """Every span every site published for this fingerprint."""
+        if not self.namespace_directory.is_dir():
+            return []
+        records: list[dict] = []
+        for path in sorted(self.namespace_directory.glob("trace-*.jsonl")):
+            records.extend(self._load_file(path))
+        return records
+
+
+# The per-process buffer every instrumented module shares.
+BUFFER = TraceBuffer()
+
+
+def span(name: str, *, parent_id: str | None = None, **attrs):
+    """Module-level convenience over :attr:`BUFFER`."""
+    return BUFFER.span(name, parent_id=parent_id, **attrs)
+
+
+def configure_tracing(fingerprint: str, site: str | None = None) -> None:
+    BUFFER.configure(fingerprint, site=site)
+
+
+def current_trace_context() -> dict | None:
+    if not tracing_enabled():
+        return None
+    return BUFFER.current_context()
+
+
+def adopt_trace_context(context: dict | None) -> bool:
+    if not tracing_enabled():
+        return False
+    return BUFFER.adopt(context)
+
+
+def drain_spans() -> list[dict]:
+    return BUFFER.drain()
+
+
+def ingest_spans(records) -> None:
+    BUFFER.ingest(records)
+
+
+def publish_trace(directory: str | Path | None = None,
+                  fingerprint: str | None = None) -> Path | None:
+    """Drain the buffer into the sidecar store, if there is anywhere
+    to publish: an explicit directory, else ``REPRO_TRACE_DIR``."""
+    root = Path(directory) if directory else trace_dir_from_environment()
+    fingerprint = fingerprint or BUFFER.fingerprint
+    if root is None or not fingerprint:
+        return None
+    records = BUFFER.drain()
+    if not records:
+        return None
+    store = TraceStore(root, fingerprint)
+    return store.save_trace(BUFFER.site, records)

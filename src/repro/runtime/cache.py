@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.sampling import SamplingPolicy
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.runtime.atomicio import (atomic_write_stream, atomic_write_text,
                                     sweep_stale_tmp_files)
 from repro.synth.scenario import ScenarioConfig
@@ -157,6 +158,11 @@ class AuditCache:
                            else cache_max_bytes_from_environment())
         if self._max_bytes is not None and self._max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
+        # Sidecar telemetry only — counts never touch cached bytes.
+        self._metric_hits = _METRICS.counter("audit_cache_hits_total")
+        self._metric_misses = _METRICS.counter("audit_cache_misses_total")
+        self._metric_evictions = _METRICS.counter(
+            "audit_cache_evictions_total")
 
     @property
     def directory(self) -> Path:
@@ -186,7 +192,10 @@ class AuditCache:
         filesystem without atomic rename) counts as a miss, not a
         crash — the caller recomputes and overwrites it.
         """
-        return self._load_pickle(self.path_for(digest))
+        report = self._load_pickle(self.path_for(digest))
+        (self._metric_hits if report is not None
+         else self._metric_misses).inc()
+        return report
 
     def put(self, digest: str, report: "AuditReport") -> Path:
         """Store a report under its digest; returns the pickle path."""
@@ -215,7 +224,10 @@ class AuditCache:
     # ------------------------------------------------------------------
     def get_world(self, digest: str) -> "World | None":
         """Load the cached world for a scenario digest (None on miss)."""
-        return self._load_pickle(self.world_path_for(digest))
+        world = self._load_pickle(self.world_path_for(digest))
+        (self._metric_hits if world is not None
+         else self._metric_misses).inc()
+        return world
 
     def put_world(self, digest: str, world: "World") -> Path:
         """Store a world build under its scenario digest."""
@@ -342,3 +354,4 @@ class AuditCache:
             path.unlink(missing_ok=True)
             path.with_suffix(".json").unlink(missing_ok=True)
             total -= size
+            self._metric_evictions.inc()

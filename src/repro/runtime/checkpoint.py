@@ -43,6 +43,7 @@ from repro.bqt.responses import QueryStatus
 from repro.core.collection import Q3BlockOutcome
 from repro.core.sampling import SamplingPolicy
 from repro.isp.plans import BroadbandPlan
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.persist.store import _sha256
 from repro.runtime.atomicio import atomic_write_text, sweep_stale_tmp_files
 from repro.runtime.cache import content_digest
@@ -271,6 +272,7 @@ class CheckpointStore(FingerprintNamespacedStore):
             payload.encode("utf-8")).hexdigest()
         self._write_manifest(checksums)
         sweep_stale_tmp_files(self.campaign_directory)
+        _METRICS.counter("checkpoint_shards_saved_total").inc()
         return path
 
     def _load_shard_file(self, path: Path) -> "ShardResult | None":

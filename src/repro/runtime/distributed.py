@@ -65,6 +65,10 @@ from repro.bqt.engine import EngineConfig
 from repro.bqt.logbook import QueryLog
 from repro.bqt.scheduler import plan_to_target
 from repro.core.sampling import SamplingPolicy
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import (BUFFER as _TRACE_BUFFER, adopt_trace_context,
+                             current_trace_context, drain_spans,
+                             ingest_spans, span, tracing_enabled)
 from repro.runtime.checkpoint import _shard_from_json, _shard_to_json
 from repro.runtime.shards import (
     DEFAULT_ISPS,
@@ -223,6 +227,7 @@ def _lease_message(
     max_inflight: int,
     per_isp_cap: int,
     heartbeat_interval: float | None = None,
+    trace_context: dict | None = None,
 ) -> dict:
     return {
         "type": "lease",
@@ -239,6 +244,10 @@ def _lease_message(
         # None asks the worker not to beat (pre-heartbeat coordinators
         # simply omit the key, which decodes the same way).
         "heartbeat_interval": heartbeat_interval,
+        # Versioned span-stitching context (repro.obs.trace); None when
+        # tracing is off, and pre-obs coordinators simply omit the key
+        # — either decodes the same way on any worker.
+        "trace_context": trace_context,
     }
 
 
@@ -246,6 +255,10 @@ def _execute_lease(message: dict) -> dict:
     """Run one leased shard and build its result frame (worker side)."""
     from repro.runtime.executor import run_shard
 
+    if tracing_enabled():
+        # Join (or, for an old coordinator's context-free lease, leave)
+        # the coordinator's trace so this shard's spans stitch under it.
+        adopt_trace_context(message.get("trace_context"))
     policy = message["policy"]
     engine_config = message["engine_config"]
     result = run_shard(
@@ -259,7 +272,7 @@ def _execute_lease(message: dict) -> dict:
         max_inflight=message["max_inflight"],
         per_isp_cap=message["per_isp_cap"],
     )
-    return {
+    frame = {
         "type": "result",
         "index": result.index,
         "shard": _shard_to_json(result),
@@ -267,7 +280,16 @@ def _execute_lease(message: dict) -> dict:
         # the coordinator's equivalence evidence needs them, so they
         # ride next to the shard payload.
         "politeness": result.politeness,
+        # Metric deltas since the previous result frame; merged into
+        # the coordinator's registry, never into the shard payload.
+        "metrics": _METRICS.drain(),
     }
+    if tracing_enabled():
+        # Spans ride beside the shard payload the same way politeness
+        # does: the coordinator ingests them into its trace buffer and
+        # the checkpointed `shard` bytes stay untouched.
+        frame["spans"] = drain_spans()
+    return frame
 
 
 # ----------------------------------------------------------------------
@@ -347,6 +369,11 @@ def run_worker(address: str, die_after: int | None = None,
     sock = _connect(address)
     stream = sock.makefile("rwb")
     completed = 0
+    if tracing_enabled():
+        # Label this process's spans so the stitched tree shows which
+        # worker ran each shard. The trace id itself arrives with the
+        # first lease's trace_context.
+        _TRACE_BUFFER.site = f"worker-{os.getpid()}"
     try:
         write_frame(stream, {"type": "hello",
                              "protocol": PROTOCOL_VERSION,
@@ -449,6 +476,7 @@ def _serve_connection(
     lease_timeout: float,
     on_abandon: Callable[[int], None] = lambda pid: None,
     heartbeat_interval: float | None = None,
+    on_reassign: Callable[[ShardSpec], None] = lambda spec: None,
 ) -> None:
     """Drive one worker connection: lease, await result, repeat.
 
@@ -528,11 +556,17 @@ def _serve_connection(
                 # skewed code. Treat like any damaged frame: requeue
                 # (via finally) and abandon this worker.
                 return
+            # Sidecar telemetry riding the frame: absorbed before the
+            # shard is delivered, never written into checkpoints.
+            # Pre-obs workers omit both keys and decode the same way.
+            _METRICS.merge(message.get("metrics"))
+            ingest_spans(message.get("spans") or [])
             board.deliver(spec, result)
             spec = None
     finally:
         if spec is not None:
             board.requeue(spec)
+            on_reassign(spec)
             if worker_pid is not None:
                 on_abandon(worker_pid)
         try:
@@ -602,11 +636,46 @@ def run_shards_distributed(
     scenario = scenario if scenario is not None else world.config
     board = _LeaseBoard(specs, on_complete)
 
+    # Span-stitching state. The dispatch-time context (the enclosing
+    # campaign.dispatch / wave span) parents every first lease; when a
+    # lease is abandoned the shard's parent becomes the lease.reassign
+    # span recorded below, so the retried shard's worker spans hang off
+    # the reassignment in the stitched tree.
+    dispatch_context = current_trace_context()
+    shard_parents: dict[int, str] = {}
+    parents_lock = threading.Lock()
+    reassignments = _METRICS.counter("lease_reassignments_total")
+    leases_granted = _METRICS.counter("leases_granted_total")
+
     def make_lease(spec: ShardSpec) -> dict:
+        trace_context = None
+        if dispatch_context is not None:
+            trace_context = dict(dispatch_context)
+            with parents_lock:
+                parent = shard_parents.get(spec.index)
+            if parent is not None:
+                trace_context["span_id"] = parent
+        leases_granted.inc()
         return _lease_message(scenario, spec, policy, engine_config,
                               max_replacements, config.uses_async,
                               config.effective_max_inflight, per_isp_cap,
-                              heartbeat_interval=heartbeat_interval)
+                              heartbeat_interval=heartbeat_interval,
+                              trace_context=trace_context)
+
+    def note_reassign(spec: ShardSpec) -> None:
+        reassignments.inc()
+        if dispatch_context is None or not tracing_enabled():
+            return
+        with parents_lock:
+            parent = shard_parents.get(spec.index,
+                                       dispatch_context["span_id"])
+        # Runs on a connection thread, so the parent is explicit rather
+        # than taken from the (empty) thread-local span stack.
+        with span("lease.reassign", parent_id=parent,
+                  shard=spec.index) as marker:
+            pass
+        with parents_lock:
+            shard_parents[spec.index] = marker.span_id
 
     # Where the fleet meets: the default is a Unix socket in a private
     # temp directory; ``config.worker_address`` overrides it with a
@@ -674,7 +743,8 @@ def run_shards_distributed(
                 thread = threading.Thread(
                     target=_serve_connection,
                     args=(conn, board, make_lease, lease_timeout,
-                          abandon_worker, heartbeat_interval),
+                          abandon_worker, heartbeat_interval,
+                          note_reassign),
                     daemon=True)
                 thread.start()
                 threads.append(thread)

@@ -36,6 +36,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable
 
+from pathlib import Path
+
 from repro.bqt.campaign import MAX_POLITE_WORKERS_PER_ISP
 from repro.bqt.engine import EngineConfig
 from repro.bqt.logbook import QueryRecord
@@ -47,6 +49,9 @@ from repro.core.collection import (
     run_q3_block,
 )
 from repro.core.sampling import SamplingPolicy
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import (configure_tracing, publish_trace, span,
+                             trace_dir_from_environment, tracing_enabled)
 from repro.runtime.shards import DEFAULT_ISPS, Q12Cell, ShardSpec, plan_shards
 from repro.synth.world import World, build_world
 
@@ -279,46 +284,49 @@ def run_shard(
     producing the same records, reassembled in canonical cell order.
     """
     world = world if world is not None else _world_for(scenario)
-    if use_async:
-        from repro.bqt.aio import run_cells_async
+    with span("shard.run", index=spec.index,
+              cells=len(spec.q12_cells) + len(spec.q3_blocks)):
+        if use_async:
+            from repro.bqt.aio import run_cells_async
 
-        q12_records, q3_outcomes, watermarks = asyncio.run(run_cells_async(
-            world, spec.q12_cells, spec.q3_blocks,
-            policy=policy, engine_config=engine_config,
-            max_replacements=max_replacements,
-            max_inflight=max_inflight, per_isp_cap=per_isp_cap,
-        ))
-        result = ShardResult(index=spec.index, count=spec.count,
-                             politeness=watermarks)
-        # Completion order is nondeterministic; store canonically.
+            q12_records, q3_outcomes, watermarks = asyncio.run(
+                run_cells_async(
+                    world, spec.q12_cells, spec.q3_blocks,
+                    policy=policy, engine_config=engine_config,
+                    max_replacements=max_replacements,
+                    max_inflight=max_inflight, per_isp_cap=per_isp_cap,
+                ))
+            result = ShardResult(index=spec.index, count=spec.count,
+                                 politeness=watermarks)
+            # Completion order is nondeterministic; store canonically.
+            for cell in spec.q12_cells:
+                result.q12_records[cell] = q12_records[cell]
+            for block_geoid in spec.q3_blocks:
+                result.q3_outcomes[block_geoid] = q3_outcomes[block_geoid]
+            return result
+        result = ShardResult(index=spec.index, count=spec.count)
+        # caf_addresses_by_cbg regroups a whole (ISP, state) footprint
+        # per call; cache the grouping across this shard's cells.
+        grouped: dict[tuple[str, str], dict] = {}
         for cell in spec.q12_cells:
-            result.q12_records[cell] = q12_records[cell]
+            key = (cell.isp_id, cell.state)
+            if key not in grouped:
+                grouped[key] = world.caf_addresses_by_cbg(*key)
+            addresses = grouped[key][cell.cbg]
+            _plan, records = run_q12_cell(
+                world, cell.isp_id, cell.cbg, addresses,
+                policy=policy, engine_config=engine_config,
+                max_replacements=max_replacements,
+            )
+            result.q12_records[cell] = tuple(records)
+            result.politeness[cell.isp_id] = 1
         for block_geoid in spec.q3_blocks:
-            result.q3_outcomes[block_geoid] = q3_outcomes[block_geoid]
+            outcome = run_q3_block(world, block_geoid, engine_config)
+            result.q3_outcomes[block_geoid] = outcome
+            if outcome is not None:
+                for record in outcome.records:
+                    result.politeness[record.isp_id] = 1
         return result
-    result = ShardResult(index=spec.index, count=spec.count)
-    # caf_addresses_by_cbg regroups a whole (ISP, state) footprint per
-    # call; cache the grouping across this shard's cells.
-    grouped: dict[tuple[str, str], dict] = {}
-    for cell in spec.q12_cells:
-        key = (cell.isp_id, cell.state)
-        if key not in grouped:
-            grouped[key] = world.caf_addresses_by_cbg(*key)
-        addresses = grouped[key][cell.cbg]
-        _plan, records = run_q12_cell(
-            world, cell.isp_id, cell.cbg, addresses,
-            policy=policy, engine_config=engine_config,
-            max_replacements=max_replacements,
-        )
-        result.q12_records[cell] = tuple(records)
-        result.politeness[cell.isp_id] = 1
-    for block_geoid in spec.q3_blocks:
-        outcome = run_q3_block(world, block_geoid, engine_config)
-        result.q3_outcomes[block_geoid] = outcome
-        if outcome is not None:
-            for record in outcome.records:
-                result.politeness[record.isp_id] = 1
-    return result
 
 
 def _run_shards_serial(
@@ -445,38 +453,61 @@ def execute_campaign(
     from repro.runtime.checkpoint import CheckpointStore, campaign_fingerprint
     from repro.runtime.merge import merge_shard_results
 
-    specs = plan_shards(world, config.shards, isps=isps, states=states,
-                        q3_states=q3_states)
-    completed: dict[int, ShardResult] = {}
+    fingerprint = campaign_fingerprint(
+        world.config, policy, isps, config.shards,
+        states=states, q3_states=q3_states,
+        max_replacements=max_replacements)
+    if tracing_enabled():
+        configure_tracing(fingerprint, site="coordinator")
 
-    store: CheckpointStore | None = None
-    if config.checkpoint_dir is not None:
-        fingerprint = campaign_fingerprint(
-            world.config, policy, isps, config.shards,
-            states=states, q3_states=q3_states,
-            max_replacements=max_replacements)
-        store = CheckpointStore(config.checkpoint_dir, fingerprint)
-        if config.resume:
-            completed = store.load_completed()
+    with span("campaign", backend=config.effective_backend,
+              shards=config.shards):
+        with span("campaign.plan"):
+            specs = plan_shards(world, config.shards, isps=isps,
+                                states=states, q3_states=q3_states)
+        completed: dict[int, ShardResult] = {}
+
+        store: CheckpointStore | None = None
+        if config.checkpoint_dir is not None:
+            store = CheckpointStore(config.checkpoint_dir, fingerprint)
+            if config.resume:
+                with span("campaign.restore"):
+                    completed = store.load_completed()
+                _METRICS.counter("shards_restored_total").inc(len(completed))
+                if on_progress is not None:
+                    for position, index in enumerate(sorted(completed),
+                                                     start=1):
+                        on_progress(position, len(specs),
+                                    completed[index], True)
+            else:
+                store.clear()
+
+        completions = _METRICS.counter("shards_completed_total")
+
+        def on_complete(result: ShardResult) -> None:
+            completed[result.index] = result
+            if store is not None:
+                store.save_shard(result)
+            completions.inc()
             if on_progress is not None:
-                for position, index in enumerate(sorted(completed), start=1):
-                    on_progress(position, len(specs), completed[index], True)
-        else:
-            store.clear()
+                on_progress(len(completed), len(specs), result, False)
 
-    def on_complete(result: ShardResult) -> None:
-        completed[result.index] = result
-        if store is not None:
-            store.save_shard(result)
-        if on_progress is not None:
-            on_progress(len(completed), len(specs), result, False)
+        pending = [spec for spec in specs if spec.index not in completed]
+        _METRICS.counter("shards_dispatched_total").inc(len(pending))
+        with span("campaign.dispatch", shards=len(pending)):
+            dispatch_shards(world, pending, config, on_complete,
+                            policy=policy, engine_config=engine_config,
+                            max_replacements=max_replacements)
 
-    pending = [spec for spec in specs if spec.index not in completed]
-    dispatch_shards(world, pending, config, on_complete, policy=policy,
-                    engine_config=engine_config,
-                    max_replacements=max_replacements)
+        with span("campaign.merge"):
+            merged = merge_shard_results(
+                world, specs, completed, policy=policy,
+                isps=isps, states=states, q3_states=q3_states,
+            )
 
-    return merge_shard_results(
-        world, specs, completed, policy=policy,
-        isps=isps, states=states, q3_states=q3_states,
-    )
+    if tracing_enabled():
+        trace_root = trace_dir_from_environment()
+        if trace_root is None and config.checkpoint_dir is not None:
+            trace_root = Path(config.checkpoint_dir) / "traces"
+        publish_trace(trace_root, fingerprint)
+    return merged

@@ -39,6 +39,13 @@ connections are persistent):
     The follower feed: journal entries from an offset, long-polling
     up to ``wait`` seconds when the requested offset is past the tip
     (see :mod:`repro.service.follower`).
+``metrics``
+    The live ops surface: the daemon's metrics registry as canonical
+    JSON plus Prometheus text (:mod:`repro.obs.metrics`). Read-only —
+    the journal is untouched.
+``trace``
+    The daemon's span buffer (and, given a ``fingerprint``, the
+    published trace sidecar) for ``repro trace`` to stitch and render.
 ``shutdown``
     Stop the service loop (the daemon's clean exit; SIGKILL is the
     tested one).
@@ -53,6 +60,16 @@ import tempfile
 import threading
 from pathlib import Path
 
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import (
+    BUFFER as _TRACE_BUFFER,
+    adopt_trace_context,
+    configure_tracing,
+    current_trace_context,
+    span,
+    trace_dir_from_environment,
+    tracing_enabled,
+)
 from repro.runtime.cache import content_digest
 from repro.runtime.distributed import (
     PROTOCOL_VERSION,
@@ -155,6 +172,8 @@ class AuditService:
         self._state = self._journal.replay()
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
+        if tracing_enabled():
+            configure_tracing(service_fingerprint(name), site="daemon")
 
     # ------------------------------------------------------------------
     # state + journal (the only mutation path)
@@ -336,6 +355,10 @@ class AuditService:
                              for job in self._state.jobs.values()]}
         if kind == "query":
             return self._handle_query(message)
+        if kind == "metrics":
+            return self._handle_metrics()
+        if kind == "trace":
+            return self._handle_trace(message)
         if kind == "pull":
             return self._handle_pull(message)
         if kind == "shutdown":
@@ -347,6 +370,11 @@ class AuditService:
             spec = validate_spec(message.get("spec"))
         except ValueError as error:
             return {"type": "error", "error": str(error)}
+        if tracing_enabled():
+            # Stitch this daemon's job spans under the submitter's
+            # campaign trace; an absent/invalid context re-roots at
+            # the daemon's own fingerprint-derived trace instead.
+            adopt_trace_context(message.get("trace_context"))
         with self._lock:
             # Deterministic ids — a job is its submission position plus
             # its content, so a replayed journal names the same jobs.
@@ -364,7 +392,40 @@ class AuditService:
             hit, payload = self._reader.query(message)
         except ValueError as error:
             return {"type": "error", "error": str(error)}
-        return {"type": "result", "hit": hit, "payload": payload}
+        response = {"type": "result", "hit": hit, "payload": payload}
+        if not hit and not any(
+                job.status == "completed"
+                for job in self._state.jobs.values()):
+            # A miss against a service with nothing sealed yet is an
+            # expected state, not damage: say so in a typed field the
+            # client can render instead of an opaque miss.
+            response["empty"] = True
+            response["reason"] = ("service has no completed jobs yet; "
+                                  "nothing is served until one seals")
+        return response
+
+    def _handle_metrics(self) -> dict:
+        """The live ops surface (read-only; the journal is untouched)."""
+        return {"type": "metrics",
+                "snapshot": _METRICS.snapshot(),
+                "prometheus": _METRICS.render_prometheus()}
+
+    def _handle_trace(self, message: dict) -> dict:
+        """Serve spans: the live buffer, or a published sidecar trace."""
+        fingerprint = message.get("fingerprint")
+        if isinstance(fingerprint, str) and fingerprint:
+            from repro.obs.trace import TraceStore
+
+            root = trace_dir_from_environment()
+            if root is None and self._store_dir is not None:
+                root = self._store_dir / "traces"
+            if root is None or not fingerprint.isalnum():
+                return {"type": "trace", "trace_id": None, "spans": []}
+            store = TraceStore(root, fingerprint)
+            return {"type": "trace", "trace_id": None,
+                    "spans": store.load_spans()}
+        return {"type": "trace", "trace_id": _TRACE_BUFFER.trace_id,
+                "spans": _TRACE_BUFFER.snapshot()}
 
     def _handle_pull(self, message: dict) -> dict:
         start = message.get("from", 0)
@@ -399,10 +460,11 @@ class AuditService:
                 continue
             self._record({"kind": "started", "job": job_id})
             try:
-                if job.kind == "panel":
-                    result = self._run_panel(job_id, job.spec)
-                else:
-                    result = self._run_campaign(job_id, job.spec)
+                with span("service.job", job=job_id, kind=job.kind):
+                    if job.kind == "panel":
+                        result = self._run_panel(job_id, job.spec)
+                    else:
+                        result = self._run_campaign(job_id, job.spec)
             except Exception as error:  # noqa: BLE001 — journaled
                 self._record({"kind": "failed", "job": job_id,
                               "error": f"{type(error).__name__}: {error}"})
@@ -565,7 +627,13 @@ class ServiceClient:
         return self.request({"type": "ping"})
 
     def submit(self, spec: dict) -> dict:
-        response = self.request({"type": "submit", "spec": spec})
+        frame = {"type": "submit", "spec": spec}
+        context = current_trace_context()
+        if context is not None:
+            # Versioned span-stitching context; pre-obs daemons ignore
+            # the extra key and decode the frame unchanged.
+            frame["trace_context"] = context
+        response = self.request(frame)
         if response.get("type") != "accepted":
             raise RuntimeError(
                 f"submission refused: {response.get('error', response)}")
@@ -579,6 +647,15 @@ class ServiceClient:
 
     def query(self, **what) -> dict:
         return self.request({"type": "query", **what})
+
+    def metrics(self) -> dict:
+        return self.request({"type": "metrics"})
+
+    def trace(self, fingerprint: str | None = None) -> dict:
+        frame: dict = {"type": "trace"}
+        if fingerprint is not None:
+            frame["fingerprint"] = fingerprint
+        return self.request(frame)
 
     def pull(self, start: int, max_entries: int | None = None,
              wait: float = 0.0) -> dict:

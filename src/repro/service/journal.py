@@ -48,9 +48,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.runtime.atomicio import atomic_write_bytes
 from repro.runtime.cache import content_digest
 from repro.runtime.storebase import FingerprintNamespacedStore
@@ -442,9 +444,15 @@ class Journal(FingerprintNamespacedStore):
         self._ensure_handle()
         line = json.dumps(entry.to_json(), sort_keys=True,
                           separators=(",", ":")) + "\n"
+        # Monotonic latency of the durability hot path (write + flush +
+        # fsync); observed into the sidecar registry, never journaled.
+        persisted_from = time.monotonic()
         self._handle.write(line.encode("utf-8"))
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        _METRICS.histogram("journal_append_fsync_seconds").observe(
+            time.monotonic() - persisted_from)
+        _METRICS.counter("journal_appends_total").inc()
         self._handle_entries += 1
         self._entries.append(entry)
         self.appended.notify_all()

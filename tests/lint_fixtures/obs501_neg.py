@@ -1,0 +1,9 @@
+"""OBS501 negative: every span is entered with ``with``."""
+
+from repro.obs.trace import span
+
+
+def traced_dispatch() -> None:
+    with span("campaign.dispatch", shards=4):
+        with span("campaign.merge") as merge_span:
+            assert merge_span is not None

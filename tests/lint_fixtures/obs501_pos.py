@@ -1,0 +1,11 @@
+"""OBS501 positive: a span constructed but never entered.
+
+The record is silently dropped — the span only publishes when its
+``with`` block exits.
+"""
+
+from repro.obs.trace import span
+
+
+def leak_a_span() -> None:
+    span("campaign.dispatch", shards=4)

@@ -173,7 +173,9 @@ class TestAsyncBackendFlags:
         for position, index in enumerate((0, 1, 2), start=1):
             on_progress(position, 5, ShardResult(index=index, count=5),
                         True)
-        on_progress(4, 5, ShardResult(index=3, count=5), False)
+        cells = {"VT|consolidated": (), "NH|consolidated": ()}
+        on_progress(4, 5, ShardResult(index=3, count=5,
+                                      q12_records=dict(cells)), False)
         lines = stream.getvalue().splitlines()
         assert all("restored from checkpoint" in line
                    for line in lines[:3])
@@ -181,8 +183,9 @@ class TestAsyncBackendFlags:
         # One executed shard = no interval observed yet: the rate must
         # be unknown, not the absurd restored-shard rate.
         assert "ETA pending" in lines[3]
-        # A second executed completion starts the real rate.
-        on_progress(5, 5, ShardResult(index=4, count=5), False)
+        # A second executed completion starts the real cell rate.
+        on_progress(5, 5, ShardResult(index=4, count=5,
+                                      q12_records=dict(cells)), False)
         assert "ETA 0.0s" in stream.getvalue().splitlines()[4]
 
     def test_max_inflight_promotes_auto_to_async(self, capsys):

@@ -30,7 +30,36 @@ FIXTURE_STEMS = {
     "PROTO401": "proto401",
     "PROTO402": "proto402",
     "PROTO403": "proto403_journal",
+    "OBS501": "obs501",
 }
+
+
+def test_obs501_quiet_inside_trace_module(tmp_path):
+    # The defining module is allowlisted: its convenience wrappers
+    # construct spans for callers to enter.
+    target = tmp_path / "trace.py"
+    target.write_text(
+        "def span(name):\n"
+        "    return object()\n"
+        "def convenience(name):\n"
+        "    return span(name)\n",
+        encoding="utf-8")
+    assert scan_file(target) == []
+
+
+def test_det103_allowlists_obs_directory(tmp_path):
+    # obs/ modules may timestamp their sidecar trace files; the same
+    # source outside obs/ still fires.
+    source = ("import time\n"
+              "def publish_stamp():\n"
+              "    return time.time()\n")
+    inside = tmp_path / "obs" / "trace.py"
+    inside.parent.mkdir()
+    inside.write_text(source, encoding="utf-8")
+    outside = tmp_path / "elsewhere.py"
+    outside.write_text(source, encoding="utf-8")
+    assert scan_file(inside) == []
+    assert [f.rule for f in scan_file(outside)] == ["DET103"]
 
 
 def test_every_rule_has_a_fixture_pair():

@@ -9,7 +9,7 @@ class TestPublicSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_top_level_exports(self):
         import repro
@@ -21,7 +21,7 @@ class TestPublicSurface:
         "repro.addresses", "repro.analysis", "repro.bead", "repro.bqt",
         "repro.core", "repro.fcc", "repro.geo", "repro.isp",
         "repro.lint",
-        "repro.longitudinal", "repro.persist", "repro.stats",
+        "repro.longitudinal", "repro.obs", "repro.persist", "repro.stats",
         "repro.synth", "repro.tabular", "repro.usac",
     ])
     def test_subpackage_all_exports_resolve(self, module):

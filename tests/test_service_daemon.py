@@ -321,3 +321,77 @@ class TestRestartResume:
                                              timeout=300.0)
         assert final["status"] == "completed", final.get("error")
         assert final["job_id"] == accepted["job"]
+
+
+class TestOpsSurface:
+    """The PR 9 read-only ops frames: metrics and trace ride the same
+    socket, never the journal."""
+
+    def test_metrics_frame_snapshot_and_prometheus(self, client,
+                                                   campaign_job):
+        response = client.metrics()
+        assert response["type"] == "metrics"
+        snapshot = response["snapshot"]
+        assert snapshot["version"] == 1
+        names = {entry["name"] for entry in snapshot["metrics"]}
+        # The journal fsync instrumentation fired for every append the
+        # campaign job produced.
+        assert "journal_appends_total" in names
+        assert "journal_append_fsync_seconds" in names
+        assert "# TYPE journal_appends_total counter" \
+            in response["prometheus"]
+        assert "journal_append_fsync_seconds_bucket" \
+            in response["prometheus"]
+
+    def test_metrics_frame_leaves_journal_untouched(self, client,
+                                                    service):
+        before = service.journal.tip_seq
+        client.metrics()
+        client.trace()
+        assert service.journal.tip_seq == before
+
+    def test_trace_frame_serves_live_buffer_shape(self, client):
+        response = client.trace()
+        assert response["type"] == "trace"
+        assert isinstance(response["spans"], list)
+
+    def test_trace_frame_hostile_fingerprint_is_empty_not_error(
+            self, client):
+        response = client.trace("../../etc")
+        assert response == {"type": "trace", "trace_id": None,
+                            "spans": []}
+
+    def test_miss_after_completed_job_is_not_flagged_empty(
+            self, client, campaign_job):
+        miss = client.query(what="job", job="f" * 16)
+        assert miss["type"] == "result" and not miss["hit"]
+        assert "empty" not in miss
+
+
+class TestEmptyService:
+    """The PR 9 query fix: a miss against a service with nothing
+    sealed is a typed empty state, not an opaque null."""
+
+    def test_query_before_any_completed_job_is_typed_empty(
+            self, tmp_path):
+        with AuditService(tmp_path / "journal",
+                          store_dir=tmp_path / "store",
+                          start_worker=False) as fresh:
+            with ServiceClient(fresh.address) as probe:
+                response = probe.query(what="job", job="f" * 16)
+        assert response["type"] == "result"
+        assert not response["hit"]
+        assert response["empty"] is True
+        assert "no completed jobs" in response["reason"]
+
+    def test_cli_query_renders_the_empty_state(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with AuditService(tmp_path / "journal",
+                          store_dir=tmp_path / "store",
+                          start_worker=False) as fresh:
+            rc = main(["query", "--connect", str(fresh.address),
+                       "--what", "job", "--job", "f" * 16])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "no completed jobs" in err

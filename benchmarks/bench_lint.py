@@ -1,0 +1,83 @@
+"""Lint engine throughput — cold scan vs warm fact-cache re-scan.
+
+The whole-program pass added a per-module fact cache keyed by source
+digest: a warm re-scan skips parsing (and the module rules) for every
+unchanged file and rebuilds the project view from cached facts alone.
+This bench times both arms over the real ``src/`` tree and writes
+``benchmarks/BENCH_lint.json``:
+
+* **cold seconds** — full scan with an empty cache (parse everything);
+* **warm seconds** — same scan against the populated cache (parse
+  nothing), which must clear the ``WARM_SPEEDUP_FLOOR``;
+* the warm arm must report every module as a cache hit, and both arms
+  must agree finding-for-finding — a cache that changes the answer is
+  worse than no cache.
+
+Interleaved best-of-N, like the other benches, so thermal drift hits
+both arms alike.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.lint import run_scan
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCAN_ROOT = REPO_ROOT / "src"
+ROUNDS = 3
+WARM_SPEEDUP_FLOOR = 1.5
+OUTPUT_PATH = Path(__file__).with_name("BENCH_lint.json")
+
+
+def test_warm_fact_cache_speedup(tmp_path):
+    cache = tmp_path / "facts.json"
+
+    # Populate the cache (and sanity-check the tree scans clean —
+    # the committed baseline is empty, so src/ must be too).
+    seeded = run_scan([SCAN_ROOT], root=REPO_ROOT, cache_path=cache)
+    assert seeded.findings == []
+    module_count = seeded.scanned_modules
+
+    cold_seconds, warm_seconds = [], []
+    cold_cache = tmp_path / "cold.json"
+    for _ in range(ROUNDS):
+        cold_cache.unlink(missing_ok=True)
+        start = time.perf_counter()
+        cold = run_scan([SCAN_ROOT], root=REPO_ROOT,
+                        cache_path=cold_cache)
+        cold_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        warm = run_scan([SCAN_ROOT], root=REPO_ROOT, cache_path=cache)
+        warm_seconds.append(time.perf_counter() - start)
+        # The cache must be invisible in the answer and total in its
+        # coverage: zero modules parsed warm, all of them cold.
+        assert warm.findings == cold.findings
+        assert (cold.scanned_modules, cold.cached_modules) \
+            == (module_count, 0)
+        assert (warm.scanned_modules, warm.cached_modules) \
+            == (0, module_count)
+
+    best_cold, best_warm = min(cold_seconds), min(warm_seconds)
+    speedup = best_cold / best_warm
+
+    print()
+    print(f"{module_count} modules: cold {best_cold:.3f}s, "
+          f"warm {best_warm:.3f}s, speedup x{speedup:.2f} "
+          f"(floor x{WARM_SPEEDUP_FLOOR})")
+
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm re-scan only x{speedup:.2f} over cold — the fact cache "
+        f"is not pulling its weight (floor x{WARM_SPEEDUP_FLOOR})")
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "benchmark": "lint",
+        "modules": module_count,
+        "rounds": ROUNDS,
+        "cold_seconds": round(best_cold, 4),
+        "warm_seconds": round(best_warm, 4),
+        "warm_speedup": round(speedup, 2),
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")

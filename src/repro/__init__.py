@@ -28,7 +28,7 @@ from repro.runtime.executor import RuntimeConfig
 from repro.synth.scenario import ScenarioConfig
 from repro.synth.world import World, build_world
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AuditReport",

@@ -363,11 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_parser = subparsers.add_parser(
         "lint", help="statically check the determinism & durability "
-                     "contracts (DET/DUR/CONC/PROTO rule packs)")
+                     "contracts (module rule packs plus the "
+                     "whole-program FLOW/PROTO/CONC pass)")
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to scan (default: src)")
-    lint_parser.add_argument("--format", choices=("text", "json"),
+    lint_parser.add_argument("--format",
+                             choices=("text", "json", "sarif"),
                              default="text", dest="output_format")
     lint_parser.add_argument(
         "--baseline", metavar="FILE",
@@ -378,6 +380,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
+    lint_parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip the whole-program pass (module rules only)")
+    lint_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse cold modules in N worker processes")
+    lint_parser.add_argument(
+        "--cache", metavar="FILE",
+        help="fact-cache file; unchanged modules skip parsing")
+    lint_parser.add_argument(
+        "--fix-suppressions", action="store_true",
+        help="delete suppression comments that silence nothing "
+             "(the LINT001 findings) and rescan")
     return parser
 
 
@@ -1019,18 +1034,34 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_lint(args: argparse.Namespace) -> int:
-    from repro.lint import (apply_baseline, load_baseline,
-                            render_json, render_rule_catalog,
-                            render_text, scan_paths, write_baseline)
+    from pathlib import Path
+
+    from repro.lint import (apply_baseline, fix_suppressions,
+                            load_baseline, render_json,
+                            render_rule_catalog, render_sarif,
+                            render_text, run_scan, write_baseline)
 
     if args.list_rules:
         print(render_rule_catalog())
         return 0
+    scan_kwargs = dict(
+        project=not args.no_project,
+        jobs=max(args.jobs, 1),
+        cache_path=Path(args.cache) if args.cache else None,
+    )
     try:
-        findings = scan_paths(args.paths)
+        result = run_scan(args.paths, **scan_kwargs)
     except FileNotFoundError as error:
         print(f"caf-audit lint: {error}", file=sys.stderr)
         return 2
+    if args.fix_suppressions and result.unused_suppressions:
+        rewritten = fix_suppressions(result.unused_suppressions)
+        print(f"removed dead suppressions in {len(rewritten)} file(s)",
+              file=sys.stderr)
+        # The edits invalidate their cache entries; rescan for the
+        # report the caller actually asked for.
+        result = run_scan(args.paths, **scan_kwargs)
+    findings = result.findings
     if args.write_baseline:
         write_baseline(args.write_baseline, findings)
         print(f"wrote {len(findings)} findings to {args.write_baseline}")
@@ -1045,7 +1076,9 @@ def _command_lint(args: argparse.Namespace) -> int:
         fresh = apply_baseline(findings, baseline)
         baselined = len(findings) - len(fresh)
         findings = fresh
-    renderer = render_json if args.output_format == "json" else render_text
+    renderer = {"json": render_json,
+                "sarif": render_sarif}.get(args.output_format,
+                                           render_text)
     print(renderer(findings, baselined))
     return 1 if findings else 0
 

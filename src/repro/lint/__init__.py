@@ -6,28 +6,38 @@ hash-ordered iteration into ordered outputs, no wall-clock leaks, no
 non-atomic writes in durable stores, no unjoinable threads, and
 matched, versioned, canonical codecs.
 
+The scan runs in two phases: module rules over each file, then the
+whole-program pass — taint propagated along the call graph (FLOW),
+frame keys matched writer-against-reader across modules (PROTO404),
+class-level lock discipline and lock-order cycles (CONC303/304).
+
 Usage::
 
-    PYTHONPATH=src python -m repro lint [--format text|json]
-        [--baseline lint.baseline.json] [paths...]
+    PYTHONPATH=src python -m repro lint [--format text|json|sarif]
+        [--baseline lint.baseline.json] [--jobs N] [--cache PATH]
+        [--fix-suppressions] [--no-project] [paths...]
 
 Suppress one site with ``# repro-lint: disable=RULE`` on the flagged
-line, or a whole file with ``# repro-lint: disable-file=RULE``.
+line, or a whole file with ``# repro-lint: disable-file=RULE``; a
+suppression that matches nothing is itself reported (LINT001).
 """
 
 from repro.lint.model import Finding, Rule, RULES, rules_by_pack
-from repro.lint.engine import scan_paths, scan_file
+from repro.lint.engine import (ModuleScan, ScanResult, Suppression,
+                               fix_suppressions, run_scan, scan_file,
+                               scan_paths)
 from repro.lint.baseline import (apply_baseline, load_baseline,
                                  write_baseline)
 from repro.lint.report import (render_json, render_rule_catalog,
-                               render_text)
+                               render_sarif, render_text)
 
 # Importing the packs registers their rules.
-from repro.lint import conc, det, dur, obs, proto  # noqa: F401  (registration)
+from repro.lint import conc, det, dur, flow, obs, proto  # noqa: F401  (registration)
 
 __all__ = [
     "Finding", "Rule", "RULES", "rules_by_pack",
-    "scan_paths", "scan_file",
+    "ModuleScan", "ScanResult", "Suppression",
+    "scan_paths", "scan_file", "run_scan", "fix_suppressions",
     "apply_baseline", "load_baseline", "write_baseline",
-    "render_json", "render_rule_catalog", "render_text",
+    "render_json", "render_rule_catalog", "render_sarif", "render_text",
 ]

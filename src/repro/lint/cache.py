@@ -1,0 +1,62 @@
+"""Fact cache: warm re-scans skip every unchanged module.
+
+One JSON document maps ``relpath -> {digest, scan}``, where ``scan``
+is the full phase-1 output (:class:`~repro.lint.engine.ModuleScan` as
+JSON: raw findings, suppression records, module facts). A warm hit
+means no read-for-parse, no AST, no module rules — the project pass
+rebuilds its cross-module views from the cached facts alone, which is
+the payoff of keeping facts AST-free.
+
+The digest is over source *bytes*, so any edit — including one that
+only touches a suppression comment — invalidates exactly that module.
+The file is published with the same atomic-rename idiom every durable
+store in this codebase uses; a torn cache is indistinguishable from a
+cold one (load failures just start empty).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runtime.atomicio import atomic_write_json
+
+__all__ = ["FactCache"]
+
+_FORMAT = 1
+
+
+class FactCache:
+    """Digest-keyed store of per-module scan results."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._modules: dict[str, dict] = {}
+        self._dirty = False
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if isinstance(data, dict) and data.get("format") == _FORMAT:
+            modules = data.get("modules")
+            if isinstance(modules, dict):
+                self._modules = modules
+
+    def get(self, relpath: str, digest: str) -> dict | None:
+        """The cached scan JSON for an unchanged module, else None."""
+        entry = self._modules.get(relpath)
+        if entry is not None and entry.get("digest") == digest:
+            return entry.get("scan")
+        return None
+
+    def put(self, relpath: str, digest: str, scan: dict) -> None:
+        self._modules[relpath] = {"digest": digest, "scan": scan}
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(self.path,
+                          {"format": _FORMAT, "modules": self._modules})
+        self._dirty = False

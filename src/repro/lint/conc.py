@@ -2,9 +2,18 @@
 
 The daemon and the distributed coordinator are the only places this
 codebase spawns threads, and both have to shut down cleanly for the
-chaos tests' crash/resume equivalence to mean anything. These rules
-flag unlocked cross-thread attribute mutation and threads that nobody
-can join.
+chaos tests' crash/resume equivalence to mean anything. The module
+rules flag unlocked cross-thread attribute mutation (CONC301) and
+threads that nobody can join (CONC302); the project rules add the
+class-level view — inconsistent lock discipline across *all* of a
+class's methods (CONC303) and lock-acquisition-order cycles across
+modules (CONC304).
+
+Lock recognition is shared with the fact extractor: an attribute is a
+lock if ``__init__`` assigns it a ``threading`` lock type (``Lock``,
+``RLock``, ``Condition``, semaphores) *or* its name contains "lock",
+and the held set is tracked as a stack so nested ``with`` blocks
+(sync or async) release in the right order.
 """
 
 from __future__ import annotations
@@ -13,74 +22,15 @@ import ast
 from typing import Iterator
 
 from repro.lint.asthelpers import call_name, iter_scopes, keyword_value
+from repro.lint.facts import (class_lock_names, method_attribute_writes,
+                              thread_target_names)
 from repro.lint.model import Finding, ModuleContext, rule
+from repro.lint.project import (ProjectContext, build_lock_graph,
+                                find_lock_cycles)
 
 
 def _is_thread_call(call: ast.Call) -> bool:
     return call_name(call).split(".")[-1] == "Thread"
-
-
-def _self_target_name(call: ast.Call) -> str | None:
-    """``"_serve"`` for ``Thread(target=self._serve, ...)``."""
-    target = keyword_value(call, "target")
-    if isinstance(target, ast.Attribute) \
-            and isinstance(target.value, ast.Name) \
-            and target.value.id == "self":
-        return target.attr
-    return None
-
-
-class _MutationCollector(ast.NodeVisitor):
-    """Collect self-attribute writes, tracking lock context."""
-
-    def __init__(self) -> None:
-        self.mutations: list[tuple[str, ast.AST, bool]] = []
-        self._lock_depth = 0
-
-    def _record(self, target: ast.expr, node: ast.AST) -> None:
-        if isinstance(target, ast.Attribute) \
-                and isinstance(target.value, ast.Name) \
-                and target.value.id == "self":
-            self.mutations.append(
-                (target.attr, node, self._lock_depth > 0))
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._record(target, node)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._record(node.target, node)
-        self.generic_visit(node)
-
-    def visit_With(self, node: ast.With) -> None:
-        held = any("lock" in call_name_of(item.context_expr).lower()
-                   for item in node.items)
-        self._lock_depth += held
-        self.generic_visit(node)
-        self._lock_depth -= held
-
-    # Nested defs get their own collector pass; don't descend.
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        pass
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        pass
-
-
-def call_name_of(expr: ast.expr) -> str:
-    """Dotted name of a with-item's context expression."""
-    from repro.lint.asthelpers import dotted_name
-    if isinstance(expr, ast.Call):
-        expr = expr.func
-    return dotted_name(expr)
-
-
-def _method_mutations(method: ast.FunctionDef | ast.AsyncFunctionDef):
-    collector = _MutationCollector()
-    for statement in method.body:
-        collector.visit(statement)
-    return collector.mutations
 
 
 @rule(
@@ -95,15 +45,10 @@ def conc301_unlocked_shared_mutation(ctx: ModuleContext) -> Iterator[Finding]:
     for klass in ast.walk(ctx.tree):
         if not isinstance(klass, ast.ClassDef):
             continue
-        target_names = {
-            name
-            for node in ast.walk(klass)
-            if isinstance(node, ast.Call) and _is_thread_call(node)
-            for name in [_self_target_name(node)]
-            if name is not None
-        }
+        target_names = thread_target_names(klass)
         if not target_names:
             continue
+        lock_names = class_lock_names(klass)
         methods = [node for node in klass.body
                    if isinstance(node, (ast.FunctionDef,
                                         ast.AsyncFunctionDef))]
@@ -113,7 +58,8 @@ def conc301_unlocked_shared_mutation(ctx: ModuleContext) -> Iterator[Finding]:
             if method.name == "__init__":
                 continue  # construction happens before any thread runs
             bucket = inside if method.name in target_names else outside
-            for attr, node, locked in _method_mutations(method):
+            for attr, node, locked in method_attribute_writes(
+                    method, lock_names):
                 bucket.setdefault(attr, []).append((node, locked))
         for attr in sorted(set(inside) & set(outside)):
             for node, locked in inside[attr] + outside[attr]:
@@ -193,3 +139,73 @@ def conc302_unregistered_daemon(ctx: ModuleContext) -> Iterator[Finding]:
                     "daemon thread is never appended to a joinable "
                     "list (or joined); register it so shutdown can "
                     "wait for it")
+
+
+@rule(
+    "CONC303", "CONC",
+    summary="attribute locked in one method, bare in another",
+    rationale="taking the lock for *some* writes documents that the "
+              "attribute is shared; the writes that skip it race "
+              "anyway — CONC301 only sees thread-target-vs-rest, "
+              "this sees inconsistent discipline across the whole "
+              "class (e.g. two methods both called from serve "
+              "threads)",
+    scope="project",
+)
+def conc303_inconsistent_lock_discipline(
+        project: ProjectContext) -> Iterator[Finding]:
+    for relpath in sorted(project.modules):
+        facts = project.modules[relpath]
+        for klass in facts.classes.values():
+            if not klass.thread_targets:
+                continue  # no concurrency inside the class at all
+            by_attr: dict[str, list] = {}
+            for write in klass.writes:
+                by_attr.setdefault(write.attr, []).append(write)
+            for attr in sorted(by_attr):
+                writes = by_attr[attr]
+                if attr in klass.lock_attrs:
+                    continue  # (re)binding the lock itself: CONC's
+                    # shutdown idiom, not data it guards
+                locked = [w for w in writes if w.locked]
+                bare = [w for w in writes if not w.locked]
+                if not locked or not bare:
+                    continue
+                methods = {w.method for w in writes}
+                targets = set(klass.thread_targets)
+                if methods & targets and methods - targets:
+                    continue  # CONC301's domain; don't double-fire
+                for write in bare:
+                    yield Finding(
+                        rule="CONC303", path=relpath, line=write.line,
+                        col=write.col, context=write.context,
+                        message=(f"self.{attr} is written under a "
+                                 f"lock in {sorted(w.method for w in locked)} "
+                                 f"but bare here in {write.method}(); "
+                                 "either every write holds the lock "
+                                 "or none needs to"))
+
+
+@rule(
+    "CONC304", "CONC",
+    summary="lock-acquisition-order cycle across the call graph",
+    rationale="thread A holding daemon._lock while calling into the "
+              "journal, and thread B holding journal._lock while "
+              "calling back into the daemon, deadlocks under load; "
+              "a cycle in the acquisition-order graph is the static "
+              "signature of that hang",
+    scope="project",
+)
+def conc304_lock_order_cycle(
+        project: ProjectContext) -> Iterator[Finding]:
+    graph = build_lock_graph(project)
+    for cycle in find_lock_cycles(graph):
+        first, second = cycle[0], cycle[1 % len(cycle)]
+        witness = graph[first][second]
+        yield Finding(
+            rule="CONC304", path=witness["relpath"],
+            line=witness["line"], col=0, context=witness["context"],
+            message=("lock acquisition order forms a cycle: "
+                     + " -> ".join(cycle + [cycle[0]])
+                     + "; impose one global order (or drop a lock) "
+                     "to make the deadlock impossible"))

@@ -1,9 +1,24 @@
-"""Scan driver: walk paths, parse modules, run rules, apply suppressions.
+"""Scan driver: parse, run module rules, join the project pass,
+apply suppressions, report the dead ones.
 
 The engine never imports the code it scans — everything is ``ast``
 over source text, so fixture files full of deliberate violations are
 safe to keep in the tree and scanning is immune to import-time side
 effects.
+
+A scan now has two phases. Phase 1 visits each file once: parse, run
+the module-scoped rules, and distill the tree into AST-free
+:class:`~repro.lint.facts.ModuleFacts`. Phase 2 builds the
+:class:`~repro.lint.project.ProjectContext` over all facts and runs
+the project-scoped rules (FLOW/PROTO404/CONC303/CONC304), whose
+findings land back in individual modules and obey the same path
+scoping and suppressions as everything else.
+
+Because phase 1's output is plain data, two engine features fall out:
+``--jobs N`` parses in worker processes, and a fact cache keyed by
+source digest lets a warm re-scan skip parsing (and module rules) for
+every unchanged file — the project pass then runs over a mix of
+cached and fresh facts.
 
 Suppressions come in two shapes, both comment-anchored so they travel
 with the code they excuse:
@@ -13,20 +28,31 @@ with the code they excuse:
 - ``# repro-lint: disable-file=DET102,DUR201`` anywhere in the file
   silences them for the whole module.
 
-Multiple rule IDs are comma-separated. Unknown IDs are tolerated (a
-suppression must not start failing when the rule it names is retired).
+Multiple rule IDs are comma-separated. Unknown IDs are tolerated in
+the sense that they never *error* — but a suppression that matches no
+finding (unknown rule or not) is itself a finding now: LINT001, and
+``--fix-suppressions`` deletes it.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import re
+import tokenize
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.lint.model import Finding, ModuleContext, RULES
+from repro.lint.facts import (ModuleFacts, extract_facts, facts_from_json,
+                              facts_to_json)
+from repro.lint.model import Finding, ModuleContext, RULES, rule
+from repro.lint.project import build_project
 
-__all__ = ["scan_paths", "scan_file", "iter_python_files"]
+__all__ = ["scan_paths", "scan_file", "iter_python_files", "run_scan",
+           "ScanResult", "ModuleScan", "Suppression", "fix_suppressions"]
 
 # Rule id reserved for files the engine itself cannot parse.
 SYNTAX_RULE = "LINT000"
@@ -35,23 +61,134 @@ _INLINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9_,\s]+)")
 _FILEWIDE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9_,\s]+)")
 
 
-def _split_ids(blob: str) -> set[str]:
-    return {part.strip() for part in blob.split(",") if part.strip()}
+@rule(
+    "LINT001", "LINT",
+    summary="suppression comment that silences nothing",
+    rationale="a dead `# repro-lint: disable=` outlives the code it "
+              "excused and will swallow the next real finding on its "
+              "line; the engine tracks which suppressions matched "
+              "this scan and reports the rest (`--fix-suppressions` "
+              "deletes them)",
+)
+def lint001_unused_suppression(ctx: ModuleContext):
+    # The engine emits LINT001 itself — only it knows which
+    # suppressions matched; this registration carries the catalog row.
+    return ()
 
 
-def _suppressions(lines: Sequence[str]) -> tuple[set[str], dict[int, set[str]]]:
-    """Return (file-wide rule ids, per-line rule ids keyed by lineno)."""
-    filewide: set[str] = set()
-    per_line: dict[int, set[str]] = {}
-    for lineno, line in enumerate(lines, start=1):
-        if "repro-lint" not in line:
+def _split_ids(blob: str) -> list[str]:
+    seen: list[str] = []
+    for part in blob.split(","):
+        part = part.strip()
+        if part and part not in seen:
+            seen.append(part)
+    return seen
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One rule id named by one suppression comment."""
+
+    line: int  # the comment's line, even for file-wide directives
+    rule: str
+    filewide: bool
+    context: str  # the stripped source line holding the comment
+
+    def to_json(self) -> dict:
+        return {"line": self.line, "rule": self.rule,
+                "filewide": self.filewide, "context": self.context}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Suppression":
+        return cls(line=int(data["line"]), rule=data["rule"],
+                   filewide=bool(data["filewide"]),
+                   context=data.get("context", ""))
+
+
+def _suppression_records(source: str,
+                         lines: Sequence[str]) -> list[Suppression]:
+    """Directives found in actual COMMENT tokens.
+
+    Tokenizing (rather than regexing raw lines) keeps a docstring that
+    *describes* the suppression syntax from counting as a suppression
+    — which LINT001 would then report as dead forever.
+    """
+    records: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return records
+    for token in tokens:
+        if token.type != tokenize.COMMENT \
+                or "repro-lint" not in token.string:
             continue
-        for match in _FILEWIDE.finditer(line):
-            filewide |= _split_ids(match.group(1))
-        for match in _INLINE.finditer(line):
-            per_line.setdefault(lineno, set()).update(
-                _split_ids(match.group(1)))
-    return filewide, per_line
+        lineno = token.start[0]
+        context = lines[lineno - 1].strip() if lineno <= len(lines) \
+            else token.string
+        for match in _FILEWIDE.finditer(token.string):
+            records.extend(
+                Suppression(line=lineno, rule=rid, filewide=True,
+                            context=context)
+                for rid in _split_ids(match.group(1)))
+        for match in _INLINE.finditer(token.string):
+            records.extend(
+                Suppression(line=lineno, rule=rid, filewide=False,
+                            context=context)
+                for rid in _split_ids(match.group(1)))
+    return records
+
+
+@dataclass
+class ModuleScan:
+    """Phase-1 output for one file: raw findings, facts, suppressions.
+
+    ``findings`` are *pre-suppression* — suppression matching happens
+    at assembly, after the project pass, so the engine can tell which
+    suppressions earned their keep.
+    """
+
+    path: str  # absolute posix path (the fixer writes here)
+    relpath: str
+    digest: str
+    findings: list[Finding]
+    suppressions: list[Suppression]
+    facts: ModuleFacts | None  # None when the file does not parse
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "relpath": self.relpath,
+            "digest": self.digest,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressions": [s.to_json() for s in self.suppressions],
+            "facts": facts_to_json(self.facts)
+                if self.facts is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ModuleScan":
+        return cls(
+            path=data["path"],
+            relpath=data["relpath"],
+            digest=data["digest"],
+            findings=[Finding.from_json(f) for f in data["findings"]],
+            suppressions=[Suppression.from_json(s)
+                          for s in data["suppressions"]],
+            facts=facts_from_json(data["facts"])
+                if data["facts"] is not None else None,
+        )
+
+
+@dataclass
+class ScanResult:
+    """Everything a scan learned, beyond the findings themselves."""
+
+    findings: list[Finding]
+    # absolute path -> suppressions that matched nothing there.
+    unused_suppressions: dict[str, list[Suppression]]
+    scanned_modules: int  # parsed this run
+    cached_modules: int  # reused from the fact cache
 
 
 def _relpath(path: Path, root: Path | None) -> str:
@@ -63,31 +200,137 @@ def _relpath(path: Path, root: Path | None) -> str:
     return path.as_posix()
 
 
-def scan_file(path: Path, root: Path | None = None) -> list[Finding]:
-    """Run every applicable rule over one module."""
-    relpath = _relpath(path, root)
-    source = path.read_text(encoding="utf-8")
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _scan_module(path: Path, relpath: str, source: str,
+                 digest: str) -> ModuleScan:
+    """Phase 1 for one file: parse, module rules, facts."""
     lines = source.splitlines()
+    abspath = path.resolve().as_posix()
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
-        return [Finding(rule=SYNTAX_RULE, path=relpath,
-                        line=error.lineno or 1, col=error.offset or 0,
-                        message=f"file does not parse: {error.msg}",
-                        context="")]
+        return ModuleScan(
+            path=abspath, relpath=relpath, digest=digest,
+            findings=[Finding(rule=SYNTAX_RULE, path=relpath,
+                              line=error.lineno or 1,
+                              col=error.offset or 0,
+                              message=f"file does not parse: {error.msg}",
+                              context="")],
+            suppressions=[], facts=None)
     ctx = ModuleContext(path=path, relpath=relpath, source=source,
                         tree=tree, lines=lines)
-    filewide, per_line = _suppressions(lines)
     findings: list[Finding] = []
     for registered in RULES.values():
-        if registered.id in filewide or not registered.applies_to(ctx):
+        if registered.scope != "module" or not registered.applies_to(ctx):
             continue
-        for found in registered.check(ctx):
-            if found.rule in per_line.get(found.line, ()):  # inline
-                continue
-            findings.append(found)
-    findings.sort(key=Finding.sort_key)
+        findings.extend(registered.check(ctx))
+    return ModuleScan(
+        path=abspath, relpath=relpath, digest=digest,
+        findings=findings,
+        suppressions=_suppression_records(source, lines),
+        facts=extract_facts(ctx))
+
+
+def _scan_worker(payload: tuple[str, str]) -> dict:
+    """Process-pool entry point: scan one file, return plain JSON."""
+    path_str, relpath = payload
+    path = Path(path_str)
+    source = path.read_text(encoding="utf-8")
+    return _scan_module(path, relpath, source,
+                        source_digest(source)).to_json()
+
+
+def _project_findings(scans: Sequence[ModuleScan]) -> list[Finding]:
+    """Phase 2: the project pass over every module that parsed."""
+    facts = {scan.relpath: scan.facts for scan in scans
+             if scan.facts is not None}
+    if not facts:
+        return []
+    project = build_project(facts)
+    findings: list[Finding] = []
+    for registered in RULES.values():
+        if registered.scope != "project":
+            continue
+        findings.extend(
+            found for found in registered.check(project)
+            if registered.applies_to_path(found.path))
     return findings
+
+
+def _apply_suppressions(
+    scan: ModuleScan, raw: list[Finding],
+) -> tuple[list[Finding], list[Suppression]]:
+    """(surviving findings incl. LINT001, unused suppressions)."""
+    filewide: dict[str, list[Suppression]] = {}
+    inline: dict[tuple[int, str], list[Suppression]] = {}
+    for record in scan.suppressions:
+        if record.filewide:
+            filewide.setdefault(record.rule, []).append(record)
+        else:
+            inline.setdefault((record.line, record.rule),
+                              []).append(record)
+    used: set[Suppression] = set()
+    kept: list[Finding] = []
+    for finding in raw:
+        if finding.rule in filewide:
+            used.update(filewide[finding.rule])
+            continue
+        matches = inline.get((finding.line, finding.rule))
+        if matches:
+            used.update(matches)
+            continue
+        kept.append(finding)
+    # Dead suppressions become LINT001 findings — themselves
+    # suppressible, and a suppression that suppresses a LINT001 counts
+    # as used (so `disable=LINT001` never reports itself).
+    lint001_filewide = filewide.get("LINT001", [])
+    unused: list[Suppression] = []
+    for record in scan.suppressions:
+        if record in used or record.rule == "LINT001":
+            continue
+        if lint001_filewide:
+            used.update(lint001_filewide)
+            continue
+        shields = inline.get((record.line, "LINT001"))
+        if shields:
+            # Explicitly acknowledged dead suppression: not reported,
+            # and the fixer leaves it alone.
+            used.update(shields)
+            continue
+        unused.append(record)
+        where = "file-wide suppression" if record.filewide \
+            else "suppression"
+        kept.append(Finding(
+            rule="LINT001", path=scan.relpath, line=record.line, col=0,
+            message=f"{where} of {record.rule} matches no finding; "
+                    "delete it (or run lint --fix-suppressions)",
+            context=record.context))
+    return kept, unused
+
+
+def _assemble(scans: Sequence[ModuleScan],
+              project: bool = True) -> ScanResult:
+    raw_by_module: dict[str, list[Finding]] = {
+        scan.relpath: list(scan.findings) for scan in scans}
+    if project:
+        for finding in _project_findings(scans):
+            raw_by_module.setdefault(finding.path, []).append(finding)
+    findings: list[Finding] = []
+    unused_suppressions: dict[str, list[Suppression]] = {}
+    for scan in scans:
+        kept, unused = _apply_suppressions(
+            scan, sorted(raw_by_module.get(scan.relpath, []),
+                         key=Finding.sort_key))
+        findings.extend(kept)
+        if unused:
+            unused_suppressions[scan.path] = unused
+    findings.sort(key=Finding.sort_key)
+    return ScanResult(findings=findings,
+                      unused_suppressions=unused_suppressions,
+                      scanned_modules=0, cached_modules=0)
 
 
 def iter_python_files(targets: Iterable[Path]) -> list[Path]:
@@ -104,17 +347,133 @@ def iter_python_files(targets: Iterable[Path]) -> list[Path]:
     return sorted(seen, key=lambda p: p.as_posix())
 
 
-def scan_paths(targets: Iterable[str | Path],
-               root: Path | None = None) -> list[Finding]:
-    """Scan files and directory trees; findings come back path-sorted.
+def run_scan(targets: Iterable[str | Path],
+             root: Path | None = None,
+             *,
+             project: bool = True,
+             jobs: int = 1,
+             cache_path: Path | None = None) -> ScanResult:
+    """The full two-phase scan with caching and parallel parsing.
 
     ``root`` (default: the current directory) anchors the relative
     paths recorded in findings, keeping baselines machine-portable.
+    ``cache_path`` names the fact-cache file; unchanged modules (by
+    source digest) skip phase 1 entirely. ``jobs`` > 1 parses cold
+    modules in worker processes.
     """
     if root is None:
         root = Path.cwd()
     files = iter_python_files(Path(t) for t in targets)
-    findings: list[Finding] = []
+
+    cache = None
+    if cache_path is not None:
+        from repro.lint.cache import FactCache
+        cache = FactCache(cache_path)
+
+    scans: dict[str, ModuleScan] = {}
+    cold: list[tuple[Path, str, str, str]] = []
+    cached = 0
     for path in files:
-        findings.extend(scan_file(path, root=root))
-    return findings
+        relpath = _relpath(path, root)
+        source = path.read_text(encoding="utf-8")
+        digest = source_digest(source)
+        hit = cache.get(relpath, digest) if cache is not None else None
+        if hit is not None:
+            scans[relpath] = ModuleScan.from_json(hit)
+            cached += 1
+        else:
+            cold.append((path, relpath, source, digest))
+
+    if jobs > 1 and len(cold) > 1:
+        payloads = [(str(path), relpath) for path, relpath, _, _ in cold]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for data in pool.map(_scan_worker, payloads):
+                scans[data["relpath"]] = ModuleScan.from_json(data)
+    else:
+        for path, relpath, source, digest in cold:
+            scans[relpath] = _scan_module(path, relpath, source, digest)
+
+    if cache is not None:
+        for _, relpath, _, _ in cold:
+            scan = scans[relpath]
+            cache.put(relpath, scan.digest, scan.to_json())
+        cache.save()
+
+    ordered = [scans[relpath] for relpath in sorted(scans)]
+    result = _assemble(ordered, project=project)
+    result.scanned_modules = len(cold)
+    result.cached_modules = cached
+    return result
+
+
+def scan_paths(targets: Iterable[str | Path],
+               root: Path | None = None,
+               *,
+               project: bool = True,
+               jobs: int = 1,
+               cache_path: Path | None = None) -> list[Finding]:
+    """Scan files and directory trees; findings come back path-sorted."""
+    return run_scan(targets, root, project=project, jobs=jobs,
+                    cache_path=cache_path).findings
+
+
+def scan_file(path: Path, root: Path | None = None) -> list[Finding]:
+    """Run every applicable rule over one module.
+
+    The project pass runs too, with a one-module project — so the
+    class-level CONC rules and frame-key analysis still work on a
+    single file, they just cannot see across it.
+    """
+    return scan_paths([path], root=root)
+
+
+# ----------------------------------------------------------------------
+# the suppression fixer
+# ----------------------------------------------------------------------
+
+def _rewrite_directive(line: str, dead: set[str],
+                       pattern: re.Pattern, prefix: str) -> str:
+    def replace(match: re.Match) -> str:
+        kept = [rid for rid in _split_ids(match.group(1))
+                if rid not in dead]
+        if kept:
+            return f"# repro-lint: {prefix}={','.join(kept)}"
+        return ""
+
+    return pattern.sub(replace, line)
+
+
+def fix_suppressions(
+        unused: dict[str, list[Suppression]]) -> list[str]:
+    """Delete dead suppressions in place; returns rewritten paths.
+
+    A directive naming several rules keeps its live ids; one whose ids
+    are all dead vanishes, and a line left holding only whitespace
+    goes with it.
+    """
+    rewritten: list[str] = []
+    for path_str in sorted(unused):
+        dead_inline: dict[int, set] = {}
+        dead_filewide: dict[int, set] = {}
+        for record in unused[path_str]:
+            bucket = dead_filewide if record.filewide else dead_inline
+            bucket.setdefault(record.line, set()).add(record.rule)
+        path = Path(path_str)
+        lines = path.read_text(encoding="utf-8").split("\n")
+        out: list[str] = []
+        for lineno, line in enumerate(lines, start=1):
+            before = line
+            if lineno in dead_inline:
+                line = _rewrite_directive(line, dead_inline[lineno],
+                                          _INLINE, "disable")
+            if lineno in dead_filewide:
+                line = _rewrite_directive(line, dead_filewide[lineno],
+                                          _FILEWIDE, "disable-file")
+            if line != before:
+                line = line.rstrip()
+                if not line:
+                    continue  # the directive was the whole line
+            out.append(line)
+        path.write_text("\n".join(out), encoding="utf-8")
+        rewritten.append(path_str)
+    return rewritten

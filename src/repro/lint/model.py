@@ -27,7 +27,7 @@ __all__ = ["Finding", "ModuleContext", "Rule", "RULES", "rule",
            "rules_by_pack"]
 
 # Every rule pack, in catalog order.
-PACKS = ("DET", "DUR", "CONC", "PROTO", "OBS")
+PACKS = ("DET", "DUR", "CONC", "PROTO", "OBS", "FLOW", "LINT")
 
 
 @dataclass(frozen=True)
@@ -110,13 +110,23 @@ class ModuleContext:
 
 @dataclass(frozen=True)
 class Rule:
-    """One named check and the scope it polices."""
+    """One named check and the scope it polices.
+
+    ``scope`` separates the two analysis phases: a ``"module"`` rule's
+    checker receives one :class:`ModuleContext` at a time; a
+    ``"project"`` rule's checker receives the whole-program
+    :class:`~repro.lint.project.ProjectContext` once per scan and may
+    report findings in any scanned module. Path scoping applies to a
+    module rule before it runs, and to a project rule's *findings*
+    (each finding lands in some module; the scope decides whether it
+    survives there).
+    """
 
     id: str
     pack: str
     summary: str
     rationale: str
-    check: Callable[[ModuleContext], Iterable[Finding]]
+    check: Callable[..., Iterable[Finding]]
     # Any-of substrings of the module's posix path; empty = every file.
     path_tokens: tuple[str, ...] = ()
     # Module stems the rule never applies to (the allowlist).
@@ -125,15 +135,21 @@ class Rule:
     # allowlist — e.g. DET103 licenses all of ``obs/`` to timestamp
     # its sidecar trace files).
     exclude_path_tokens: tuple[str, ...] = ()
+    # "module" (phase 1, per file) or "project" (phase 2, whole program).
+    scope: str = "module"
 
-    def applies_to(self, ctx: ModuleContext) -> bool:
-        if ctx.basename in self.exclude_basenames:
+    def applies_to_path(self, relpath: str) -> bool:
+        basename = relpath.rsplit("/", 1)[-1].removesuffix(".py")
+        if basename in self.exclude_basenames:
             return False
-        if any(token in ctx.relpath for token in self.exclude_path_tokens):
+        if any(token in relpath for token in self.exclude_path_tokens):
             return False
         if not self.path_tokens:
             return True
-        return any(token in ctx.relpath for token in self.path_tokens)
+        return any(token in relpath for token in self.path_tokens)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return self.applies_to_path(ctx.relpath)
 
 
 RULES: dict[str, Rule] = {}
@@ -147,19 +163,23 @@ def rule(
     path_tokens: tuple[str, ...] = (),
     exclude_basenames: tuple[str, ...] = (),
     exclude_path_tokens: tuple[str, ...] = (),
+    scope: str = "module",
 ):
     """Register one rule; the decorated function is its checker."""
     if pack not in PACKS:
         raise ValueError(f"unknown rule pack {pack!r}; packs: {PACKS}")
     if id in RULES:
         raise ValueError(f"duplicate rule id {id!r}")
+    if scope not in ("module", "project"):
+        raise ValueError(f"unknown rule scope {scope!r}")
 
     def decorate(check: Callable) -> Callable:
         RULES[id] = Rule(id=id, pack=pack, summary=summary,
                          rationale=rationale, check=check,
                          path_tokens=path_tokens,
                          exclude_basenames=exclude_basenames,
-                         exclude_path_tokens=exclude_path_tokens)
+                         exclude_path_tokens=exclude_path_tokens,
+                         scope=scope)
         return check
 
     return decorate

@@ -1,0 +1,469 @@
+"""Whole-program context: phase 2 of the analyzer.
+
+:class:`ProjectContext` joins every scanned module's
+:class:`~repro.lint.facts.ModuleFacts` into the cross-module views the
+project-scoped rules consume:
+
+* **import graph** — absolute and ``from`` imports resolved to scanned
+  modules by dotted-suffix match (``repro.service.daemon`` finds
+  ``src/repro/service/daemon.py`` no matter where the scan root sits);
+* **call graph** — module-level functions, class methods, ``self.``
+  dispatch, instance attributes typed in ``__init__``
+  (``self._journal.append`` resolves into ``Journal.append``), and
+  locally-typed variables (``client = ServiceClient(...)``);
+* **return taint** — per-function impurity facts propagated along
+  in-return call edges to a fixpoint, each tainted node carrying a
+  witness chain for the eventual finding message;
+* **frame dataflow** — which local names and parameters hold decoded
+  frames, propagated through calls and returns;
+* **lock graph** — canonical lock identities (``Condition(self._lock)``
+  aliases its wrapped lock) with acquisition-order edges from lexical
+  nesting and from calls made while holding a lock.
+
+Everything here is derived from facts — no ASTs — so warm scans can
+rebuild the project view from cached facts without reparsing a single
+unchanged file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.facts import FunctionFacts, ModuleFacts
+
+__all__ = ["ProjectContext", "FunctionNode", "build_project"]
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One call-graph node: a function or method in a scanned module."""
+
+    relpath: str
+    qualname: str  # "fn" or "Class.method"
+
+    @property
+    def key(self) -> str:
+        return f"{self.relpath}::{self.qualname}"
+
+
+@dataclass
+class ProjectContext:
+    """The cross-module views handed to every project-scoped rule."""
+
+    modules: dict[str, ModuleFacts]  # keyed by relpath
+    by_dotted: dict[str, str] = field(default_factory=dict)
+    # caller node key -> list of (CallSite, callee FunctionNode)
+    call_edges: dict[str, list] = field(default_factory=dict)
+    # node key -> {impurity kind: witness chain (list of str)}
+    return_taint: dict[str, dict[str, list[str]]] = field(
+        default_factory=dict)
+    # node key -> True when the function (transitively) returns a
+    # decoded frame.
+    returns_frame: dict[str, bool] = field(default_factory=dict)
+    # node key -> parameter names holding frames (interprocedural).
+    frame_params: dict[str, set] = field(default_factory=dict)
+
+    # -- module / symbol resolution ------------------------------------
+
+    def resolve_module(self, name: str, importer: str) -> str | None:
+        """Relpath of the scanned module an import names, or None.
+
+        ``name`` may be relative (leading dots); ``importer`` is the
+        importing module's relpath. Absolute names match any scanned
+        module whose dotted path equals or dotted-suffix-matches them,
+        so scan roots never have to line up with package roots.
+        """
+        if name.startswith("."):
+            level = len(name) - len(name.lstrip("."))
+            remainder = name.lstrip(".")
+            base = self.modules[importer].dotted.split(".")
+            base = base[:len(base) - level]  # level 1 = current package
+            dotted = ".".join(base + ([remainder] if remainder else []))
+            return self.by_dotted.get(dotted)
+        hit = self.by_dotted.get(name)
+        if hit is not None:
+            return hit
+        suffix = "." + name
+        matches = [relpath for dotted, relpath in self.by_dotted.items()
+                   if dotted.endswith(suffix)]
+        return matches[0] if len(matches) == 1 else None
+
+    def resolve_symbol(self, relpath: str,
+                       name: str) -> tuple[str, str, str] | None:
+        """``(kind, relpath, qualname)`` for a name in a module.
+
+        Kind is ``"function"``, ``"class"``, or ``"module"`` (the last
+        for ``from package import submodule``). Follows one level of
+        from-import re-export.
+        """
+        facts = self.modules.get(relpath)
+        if facts is None:
+            return None
+        if name in facts.functions and "." not in name:
+            return ("function", relpath, name)
+        if name in facts.classes:
+            return ("class", relpath, name)
+        submodule = self.by_dotted.get(f"{facts.dotted}.{name}")
+        if submodule is not None:
+            return ("module", submodule, "")
+        via = facts.from_imports.get(name)
+        if via is not None:
+            source = self.resolve_module(via[0], relpath)
+            if source is not None and source != relpath:
+                facts_src = self.modules[source]
+                if via[1] in facts_src.functions:
+                    return ("function", source, via[1])
+                if via[1] in facts_src.classes:
+                    return ("class", source, via[1])
+        return None
+
+    def resolve_class(self, relpath: str,
+                      dotted: str) -> tuple[str, str] | None:
+        """``(relpath, class name)`` for a dotted class reference."""
+        facts = self.modules[relpath]
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            resolved = self.resolve_symbol(relpath, parts[0])
+            if resolved is not None and resolved[0] == "class":
+                return (resolved[1], resolved[2])
+            return None
+        # module_alias.ClassName
+        target = facts.module_imports.get(parts[0])
+        if target is None:
+            via = self.resolve_symbol(relpath, parts[0])
+            if via is not None and via[0] == "module":
+                target_relpath = via[1]
+            else:
+                return None
+        else:
+            target_relpath = self.resolve_module(target, relpath)
+        if target_relpath is None:
+            return None
+        if parts[-1] in self.modules[target_relpath].classes:
+            return (target_relpath, parts[-1])
+        return None
+
+    def resolve_call(self, relpath: str, caller: FunctionFacts,
+                     name: str) -> FunctionNode | None:
+        """The scanned function a call-site name dispatches to."""
+        facts = self.modules[relpath]
+        parts = name.split(".")
+
+        def method_node(owner: tuple[str, str],
+                        method: str) -> FunctionNode | None:
+            owner_relpath, class_name = owner
+            qualname = f"{class_name}.{method}"
+            if qualname in self.modules[owner_relpath].functions:
+                return FunctionNode(owner_relpath, qualname)
+            return None
+
+        if len(parts) == 1:
+            if parts[0] in facts.functions:
+                return FunctionNode(relpath, parts[0])
+            resolved = self.resolve_symbol(relpath, parts[0])
+            if resolved is None:
+                return None
+            kind, target, qualname = resolved
+            if kind == "function":
+                return FunctionNode(target, qualname)
+            if kind == "class":  # ClassName(...) -> __init__
+                return method_node((target, qualname), "__init__")
+            return None
+
+        if parts[0] == "self" and caller.class_name is not None:
+            klass = facts.classes.get(caller.class_name)
+            if klass is None:
+                return None
+            if len(parts) == 2:
+                return method_node((relpath, caller.class_name), parts[1])
+            if len(parts) == 3:
+                attr_type = klass.attr_types.get(parts[1])
+                if attr_type is None:
+                    return None
+                owner = self.resolve_class(relpath, attr_type)
+                if owner is None:
+                    return None
+                return method_node(owner, parts[2])
+            return None
+
+        if parts[0] in caller.instance_types and len(parts) == 2:
+            owner = self.resolve_class(relpath,
+                                       caller.instance_types[parts[0]])
+            if owner is None:
+                return None
+            return method_node(owner, parts[1])
+
+        # module_alias.fn / module_alias.Class / module_alias.Class.method
+        target = None
+        if parts[0] in facts.module_imports:
+            target = self.resolve_module(facts.module_imports[parts[0]],
+                                         relpath)
+        else:
+            via = self.resolve_symbol(relpath, parts[0])
+            if via is not None and via[0] == "module":
+                target = via[1]
+            elif via is not None and via[0] == "class" and len(parts) == 2:
+                return method_node((via[1], via[2]), parts[1])
+        if target is None:
+            return None
+        target_facts = self.modules[target]
+        if len(parts) == 2:
+            if parts[1] in target_facts.functions:
+                return FunctionNode(target, parts[1])
+            if parts[1] in target_facts.classes:
+                return method_node((target, parts[1]), "__init__")
+        elif len(parts) == 3 and parts[1] in target_facts.classes:
+            return method_node((target, parts[1]), parts[2])
+        return None
+
+    # -- convenience iterators -----------------------------------------
+
+    def iter_functions(self):
+        """(relpath, qualname, FunctionFacts) over every module."""
+        for relpath in sorted(self.modules):
+            for qualname, fn in self.modules[relpath].functions.items():
+                yield relpath, qualname, fn
+
+    def function(self, node: FunctionNode) -> FunctionFacts:
+        return self.modules[node.relpath].functions[node.qualname]
+
+    def taint_of_call(self, relpath: str, caller: FunctionFacts,
+                      name: str) -> dict[str, list[str]]:
+        """Transitive return-taint of the function a call names."""
+        node = self.resolve_call(relpath, caller, name)
+        if node is None:
+            return {}
+        return self.return_taint.get(node.key, {})
+
+    def imported_modules(self, relpath: str) -> list[str]:
+        """Relpaths of every scanned module this one imports."""
+        facts = self.modules[relpath]
+        seen: list[str] = []
+        names = list(facts.module_imports.values()) \
+            + [source for source, _ in facts.from_imports.values()]
+        for name in names:
+            resolved = self.resolve_module(name, relpath)
+            if resolved is not None and resolved != relpath \
+                    and resolved not in seen:
+                seen.append(resolved)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+def _build_call_edges(project: ProjectContext) -> None:
+    for relpath, qualname, fn in project.iter_functions():
+        edges = []
+        for call in fn.calls:
+            callee = project.resolve_call(relpath, fn, call.name)
+            if callee is not None:
+                edges.append((call, callee))
+        if edges:
+            project.call_edges[FunctionNode(relpath, qualname).key] = edges
+
+
+def _propagate_return_taint(project: ProjectContext) -> None:
+    """Fixpoint: a function is tainted when impurity reaches its return
+    value locally, or an in-return call dispatches to a tainted one."""
+    taint = project.return_taint
+    for relpath, qualname, fn in project.iter_functions():
+        if fn.return_impurity:
+            taint[FunctionNode(relpath, qualname).key] = {
+                kind: [f"{qualname} ({kind.replace('_', ' ')})"]
+                for kind in fn.return_impurity}
+    changed = True
+    while changed:
+        changed = False
+        for relpath, qualname, fn in project.iter_functions():
+            node_key = FunctionNode(relpath, qualname).key
+            for call, callee in project.call_edges.get(node_key, ()):
+                if not call.in_return:
+                    continue
+                callee_taint = taint.get(callee.key)
+                if not callee_taint:
+                    continue
+                mine = taint.setdefault(node_key, {})
+                for kind, chain in callee_taint.items():
+                    if kind not in mine:
+                        mine[kind] = [qualname] + chain
+                        changed = True
+
+
+def _propagate_frames(project: ProjectContext) -> None:
+    """Which functions return frames; which parameters receive them."""
+    returns = project.returns_frame
+    params = project.frame_params
+    for relpath, qualname, fn in project.iter_functions():
+        node_key = FunctionNode(relpath, qualname).key
+        returns[node_key] = fn.returns_read_frame
+        params[node_key] = set()
+    changed = True
+    while changed:
+        changed = False
+        for relpath, qualname, fn in project.iter_functions():
+            node_key = FunctionNode(relpath, qualname).key
+            frame_locals = frame_local_names(project, relpath, fn)
+            for call, callee in project.call_edges.get(node_key, ()):
+                # Return propagation: returning a frame-returning call.
+                if call.in_return and returns.get(callee.key) \
+                        and not returns[node_key]:
+                    returns[node_key] = True
+                    changed = True
+                # Parameter propagation: passing a frame-holding name.
+                callee_fn = project.function(callee)
+                offset = 1 if callee_fn.params[:1] == ["self"] else 0
+                for position, arg_name in call.arg_names:
+                    if arg_name not in frame_locals:
+                        continue
+                    index = position + offset
+                    if index < len(callee_fn.params):
+                        param = callee_fn.params[index]
+                        if param not in params[callee.key]:
+                            params[callee.key].add(param)
+                            changed = True
+
+
+def frame_local_names(project: ProjectContext, relpath: str,
+                      fn: FunctionFacts) -> set:
+    """Names holding decoded frames inside one function body."""
+    node_key = FunctionNode(
+        relpath, fn.qualname).key
+    names = set(fn.frame_names)
+    names |= project.frame_params.get(node_key, set())
+    for local, callee_names in fn.assigned_calls.items():
+        for callee_name in callee_names:
+            callee = project.resolve_call(relpath, fn, callee_name)
+            if callee is not None \
+                    and project.returns_frame.get(callee.key):
+                names.add(local)
+                break
+    return names
+
+
+def build_project(modules: dict[str, ModuleFacts]) -> ProjectContext:
+    """Assemble the whole-program view from per-module facts."""
+    project = ProjectContext(modules=dict(modules))
+    for relpath, facts in modules.items():
+        project.by_dotted[facts.dotted] = relpath
+    _build_call_edges(project)
+    _propagate_return_taint(project)
+    _propagate_frames(project)
+    return project
+
+
+# ----------------------------------------------------------------------
+# lock graph (consumed by CONC304)
+# ----------------------------------------------------------------------
+
+def canonical_lock(facts: ModuleFacts, class_name: str | None,
+                   attr: str) -> str:
+    """Stable identity for a lock attribute.
+
+    ``Condition(self._lock)`` wraps and therefore *is* ``_lock`` for
+    ordering purposes; the alias map collapses the two.
+    """
+    if class_name is not None:
+        klass = facts.classes.get(class_name)
+        if klass is not None:
+            attr = klass.lock_aliases.get(attr, attr)
+    owner = class_name or "<module>"
+    return f"{facts.dotted}:{owner}.{attr}"
+
+
+def transitive_locks(project: ProjectContext, node_key: str,
+                     cache: dict, trail: set) -> set:
+    """Every canonical lock a function acquires, directly or through
+    its callees (cycle-safe via the visiting trail)."""
+    if node_key in cache:
+        return cache[node_key]
+    if node_key in trail:
+        return set()
+    trail.add(node_key)
+    relpath, qualname = node_key.split("::", 1)
+    fn = project.modules[relpath].functions[qualname]
+    acquired = {canonical_lock(project.modules[relpath], fn.class_name,
+                               attr)
+                for attr in fn.locks_acquired}
+    for _, callee in project.call_edges.get(node_key, ()):
+        acquired |= transitive_locks(project, callee.key, cache, trail)
+    trail.discard(node_key)
+    cache[node_key] = acquired
+    return acquired
+
+
+def build_lock_graph(project: ProjectContext) -> dict[str, dict]:
+    """Acquisition-order edges: ``outer lock -> {inner lock: witness}``.
+
+    Edges come from lexical nesting inside one function and from calls
+    made while holding a lock into callees that (transitively) acquire
+    their own.
+    """
+    graph: dict[str, dict] = {}
+    cache: dict = {}
+
+    def add_edge(outer: str, inner: str, witness: dict) -> None:
+        if outer == inner:
+            return
+        graph.setdefault(outer, {})
+        if inner not in graph[outer]:
+            graph[outer][inner] = witness
+
+    for relpath, qualname, fn in project.iter_functions():
+        facts = project.modules[relpath]
+        node_key = FunctionNode(relpath, qualname).key
+        for outer_attr, inner_attr in fn.lock_nestings:
+            outer = canonical_lock(facts, fn.class_name, outer_attr)
+            inner = canonical_lock(facts, fn.class_name, inner_attr)
+            site = fn.locks_acquired.get(inner_attr, [])
+            witness = {"relpath": relpath, "qualname": qualname,
+                       "line": site[0].line if site else fn.lineno,
+                       "context": site[0].context if site else ""}
+            add_edge(outer, inner, witness)
+        for call, callee in project.call_edges.get(node_key, ()):
+            if not call.held_locks:
+                continue
+            inner_locks = transitive_locks(project, callee.key, cache,
+                                           set())
+            for held_attr in call.held_locks:
+                outer = canonical_lock(facts, fn.class_name, held_attr)
+                for inner in sorted(inner_locks):
+                    add_edge(outer, inner, {
+                        "relpath": relpath, "qualname": qualname,
+                        "line": call.line, "context": call.context})
+    return graph
+
+
+def find_lock_cycles(graph: dict[str, dict]) -> list[list[str]]:
+    """Deterministic elementary cycles in the lock-order graph.
+
+    DFS from each node in sorted order; a cycle is reported once, from
+    its lexicographically smallest member, so findings are stable
+    across runs.
+    """
+    cycles: list[list[str]] = []
+    seen_keys: set = set()
+
+    def walk(start: str, node: str, path: list[str],
+             on_path: set) -> None:
+        for succ in sorted(graph.get(node, ())):
+            if succ == start:
+                cycle = path[:]
+                smallest = min(cycle)
+                rotated = cycle[cycle.index(smallest):] \
+                    + cycle[:cycle.index(smallest)]
+                key = tuple(rotated)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(rotated)
+            elif succ not in on_path and succ > start:
+                # Only explore nodes sorting after the start: each
+                # cycle is found exactly once, from its smallest node.
+                on_path.add(succ)
+                walk(start, succ, path + [succ], on_path)
+                on_path.discard(succ)
+
+    for start in sorted(graph):
+        walk(start, start, [start], {start})
+    return cycles

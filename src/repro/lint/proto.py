@@ -16,6 +16,7 @@ from typing import Iterator
 
 from repro.lint.asthelpers import call_name, keyword_value
 from repro.lint.model import Finding, ModuleContext, rule
+from repro.lint.project import ProjectContext, frame_local_names
 
 _TO_JSON = re.compile(r"^(_?)(?P<stem>\w+)_to_json$")
 _FROM_JSON = re.compile(r"^(_?)(?P<stem>\w+)_from_json$")
@@ -145,3 +146,95 @@ def proto403_non_canonical_json(ctx: ModuleContext) -> Iterator[Finding]:
                 "PROTO403", node,
                 "json.dumps without sort_keys=True; protocol and "
                 "store JSON must be canonical")
+
+
+@rule(
+    "PROTO404", "PROTO",
+    summary="frame key written but never read (or read but never "
+            "written) across the whole scan",
+    rationale="a key one side of the wire emits and no side decodes "
+              "is dead payload at best and a silently-dropped field "
+              "at worst; only a scan that sees writer and reader "
+              "together can tell, one file at a time both look fine",
+    scope="project",
+)
+def proto404_frame_key_skew(
+        project: ProjectContext) -> Iterator[Finding]:
+    # Every constant key any module ever reads, off any base — the
+    # *broad* read set the write-only direction matches against (a
+    # frame hop through an intermediate dict must not cause a lie).
+    broad_reads: set[str] = set()
+    for relpath, _, fn in project.iter_functions():
+        for reads in fn.key_reads.values():
+            broad_reads.update(read["key"] for read in reads)
+
+    writes: dict[str, list] = {}
+    any_dynamic = False
+    for relpath in sorted(project.modules):
+        facts = project.modules[relpath]
+        any_dynamic = any_dynamic or facts.frame_keys_dynamic
+        for key, sites in facts.frame_keys_written.items():
+            for site in sites:
+                writes.setdefault(key, []).append((relpath, site))
+
+    for key in sorted(writes):
+        if key in broad_reads:
+            continue
+        relpath, site = writes[key][0]
+        yield Finding(
+            rule="PROTO404", path=relpath, line=site["line"],
+            col=site["col"], context=site["context"],
+            message=(f"frame key {key!r} is written here but no "
+                     "scanned module ever reads it; dead payload or "
+                     "a decoder that silently drops the field"))
+
+    # Read-only direction uses the *strict* frame dataflow (names
+    # assigned from read_frame, propagated through params and
+    # returns) so plain dict lookups don't drown it — and it stands
+    # down entirely when any frame write uses ** expansion, because
+    # then the written-key universe is open.
+    if not any_dynamic:
+        for relpath, _, fn in project.iter_functions():
+            frame_bases = frame_local_names(project, relpath, fn)
+            for base, reads in fn.key_reads.items():
+                if base not in frame_bases:
+                    continue
+                for read in reads:
+                    if read["key"] in writes:
+                        continue
+                    yield Finding(
+                        rule="PROTO404", path=relpath,
+                        line=read["line"], col=read["col"],
+                        context=read["context"],
+                        message=(f"frame key {read['key']!r} is read "
+                                 "from a decoded frame but no scanned "
+                                 "module ever writes it; the lookup "
+                                 "can only miss"))
+
+    # Reader-side version check: PROTO402 already polices writers
+    # file-locally; a *decoder* module is fine as long as it or a
+    # module it imports carries the version constant.
+    for relpath in sorted(project.modules):
+        facts = project.modules[relpath]
+        if not facts.has_read_frame or facts.references_version:
+            continue
+        if any(project.modules[imported].references_version
+               for imported in project.imported_modules(relpath)):
+            continue
+        reads = [(fn.qualname, read)
+                 for fn in facts.functions.values()
+                 for base, key_reads in sorted(fn.key_reads.items())
+                 if base in frame_local_names(
+                     project, relpath, fn)
+                 for read in key_reads]
+        if not reads:
+            continue
+        _, first = min(reads, key=lambda pair: (pair[1]["line"],
+                                                pair[1]["col"]))
+        yield Finding(
+            rule="PROTO404", path=relpath, line=first["line"],
+            col=first["col"], context=first["context"],
+            message=("module decodes frames but neither it nor any "
+                     "module it imports references a *_VERSION "
+                     "constant; the reader cannot detect format "
+                     "skew"))

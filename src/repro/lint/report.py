@@ -1,13 +1,14 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF for CI."""
 
 from __future__ import annotations
 
 import json
 from typing import Sequence
 
-from repro.lint.model import Finding, rules_by_pack
+from repro.lint.model import Finding, RULES, rules_by_pack
 
-__all__ = ["render_text", "render_json", "render_rule_catalog"]
+__all__ = ["render_text", "render_json", "render_sarif",
+           "render_rule_catalog"]
 
 
 def render_text(findings: Sequence[Finding],
@@ -30,6 +31,61 @@ def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
         "findings": [f.to_json() for f in findings],
         "count": len(findings),
         "baselined": baselined,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: Sequence[Finding], baselined: int = 0) -> str:
+    """SARIF 2.1.0 — the format CI annotation surfaces ingest.
+
+    The driver advertises every registered rule (plus LINT000, the
+    engine's own parse-failure id) so viewers can show summaries and
+    rationales next to each result.
+    """
+    rule_ids = list(RULES)
+    for finding in findings:
+        if finding.rule not in rule_ids:
+            rule_ids.append(finding.rule)
+    rules = []
+    for rule_id in rule_ids:
+        registered = RULES.get(rule_id)
+        rules.append({
+            "id": rule_id,
+            "shortDescription": {
+                "text": registered.summary if registered
+                else "file does not parse"},
+            "fullDescription": {
+                "text": registered.rationale if registered
+                else "the engine could not build an AST for this file"},
+        })
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(f.line, 1),
+                               "startColumn": f.col + 1},
+                },
+            }],
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro-lint",
+                "rules": rules,
+            }},
+            "results": results,
+            "properties": {"baselined": baselined},
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

@@ -393,6 +393,13 @@ def run_worker(address: str, die_after: int | None = None,
                 return 0
             if kind != "lease":
                 raise FrameError(f"unexpected message type {kind!r}")
+            # Pre-versioning coordinators omit the key; a *different*
+            # version is a hard refusal — mixed codecs corrupt shards.
+            peer = message.get("protocol", PROTOCOL_VERSION)
+            if peer != PROTOCOL_VERSION:
+                raise FrameError(
+                    f"protocol skew: coordinator speaks {peer!r}, "
+                    f"this worker speaks {PROTOCOL_VERSION!r}")
             if die_after is not None and completed >= die_after:
                 os._exit(WORKER_DEATH_EXIT_CODE)
             if wedge_after is not None and completed >= wedge_after:
@@ -513,6 +520,8 @@ def _serve_connection(
             return
         if hello.get("type") != "hello":
             return
+        if hello.get("protocol", PROTOCOL_VERSION) != PROTOCOL_VERSION:
+            return  # version-skewed worker; its shards stay leasable
         if isinstance(hello.get("pid"), int):
             worker_pid = hello["pid"]
         if heartbeat_interval and hello.get("heartbeats") is True:

@@ -624,7 +624,14 @@ class ServiceClient:
     # convenience wrappers ------------------------------------------------
 
     def ping(self) -> dict:
-        return self.request({"type": "ping"})
+        response = self.request({"type": "ping"})
+        # Daemons that predate versioned pongs omit the key.
+        peer = response.get("protocol", PROTOCOL_VERSION)
+        if peer != PROTOCOL_VERSION:
+            raise RuntimeError(
+                f"protocol skew: daemon speaks {peer!r}, this client "
+                f"speaks {PROTOCOL_VERSION!r}")
+        return response
 
     def submit(self, spec: dict) -> dict:
         frame = {"type": "submit", "spec": spec}

@@ -99,8 +99,9 @@ class JournalFollower:
             if (response.get("tip_seq") == self._journal.tip_seq
                     and response.get("tip_digest")
                     != self._journal.tip_digest):
+                upstream = response.get("service") or "coordinator"
                 raise JournalError(
-                    "replica tip diverged from the coordinator at equal "
+                    f"replica tip diverged from {upstream!r} at equal "
                     "sequence — histories are incompatible")
             if time.monotonic() >= deadline:
                 raise TimeoutError(

@@ -1,0 +1,23 @@
+"""CONC303 negative: every write to the shared attribute holds the
+same lock, whichever method performs it."""
+
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self._worker = threading.Thread(target=self._run)
+
+    def _run(self):
+        while self._items:
+            pass
+
+    def add(self, item):
+        with self._lock:
+            self._items = self._items + [item]
+
+    def clear(self):
+        with self._lock:
+            self._items = []

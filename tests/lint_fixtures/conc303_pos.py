@@ -1,0 +1,26 @@
+"""CONC303 positive: one method locks the write, another doesn't.
+
+CONC301 stays silent here — the thread target never writes the
+attribute — but the class-level view sees ``add`` treat ``_items`` as
+shared (it takes the lock) while ``clear`` mutates it bare.
+"""
+
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self._worker = threading.Thread(target=self._run)
+
+    def _run(self):
+        while self._items:
+            pass
+
+    def add(self, item):
+        with self._lock:
+            self._items = self._items + [item]
+
+    def clear(self):
+        self._items = []

@@ -1,0 +1,33 @@
+"""CONC304 negative: the notifier finishes with its own lock before
+calling into the journal, so every thread acquires journal-then-wake
+in the same global order."""
+
+import threading
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._owner = Notifier()
+        self.entries = []
+
+    def append(self, entry):
+        with self._lock:
+            self.entries.append(entry)
+            self._owner.wake(entry)
+
+
+class Notifier:
+    def __init__(self):
+        self._wake_lock = threading.Lock()
+        self._journal = Journal()
+        self.pending = None
+
+    def wake(self, entry):
+        with self._wake_lock:
+            self.pending = entry
+
+    def drain(self):
+        with self._wake_lock:
+            entry = self.pending
+        self._journal.append(entry)

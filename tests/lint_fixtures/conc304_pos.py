@@ -1,0 +1,37 @@
+"""CONC304 positive: two classes acquire each other's locks in
+opposite orders through the call graph.
+
+``Journal.append`` holds the journal lock and calls into the
+notifier (which takes its own lock); ``Notifier.drain`` holds the
+notifier lock and calls back into the journal. Thread A in one and
+thread B in the other deadlock.
+"""
+
+import threading
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._owner = Notifier()
+        self.entries = []
+
+    def append(self, entry):
+        with self._lock:
+            self.entries.append(entry)
+            self._owner.wake(entry)
+
+
+class Notifier:
+    def __init__(self):
+        self._wake_lock = threading.Lock()
+        self._journal = Journal()
+        self.pending = None
+
+    def wake(self, entry):
+        with self._wake_lock:
+            self.pending = entry
+
+    def drain(self):
+        with self._wake_lock:
+            self._journal.append(self.pending)

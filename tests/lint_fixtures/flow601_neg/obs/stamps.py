@@ -1,0 +1,10 @@
+"""Helper module: consults the clock but never *returns* it — the
+poll counter is deterministic given the same call sequence."""
+
+import time
+
+
+def poll_count(counter):
+    if time.time() > 0:
+        counter["polls"] += 1
+    return counter["polls"]

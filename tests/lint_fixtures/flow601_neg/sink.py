@@ -1,0 +1,11 @@
+"""FLOW601 negative: the helper touches the clock for control flow
+only; its return value is pure, so no taint reaches the frame."""
+
+from obs.stamps import poll_count
+
+WIRE_VERSION = 1
+
+
+def publish(stream, write_frame, counter):
+    polls = poll_count(counter)
+    write_frame(stream, {"polls": polls, "v": WIRE_VERSION})

@@ -1,0 +1,7 @@
+"""Helper module: wraps the wall clock (allowlisted here in obs/)."""
+
+import time
+
+
+def fresh_stamp():
+    return time.time()

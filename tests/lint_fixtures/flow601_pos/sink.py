@@ -1,0 +1,15 @@
+"""FLOW601 positive: the clock hides one module away.
+
+DET103 cannot fire — ``time.time()`` lives in an allowlisted obs/
+helper — but the value still lands in a frame, and the call-graph
+taint sees it cross the boundary.
+"""
+
+from obs.stamps import fresh_stamp
+
+WIRE_VERSION = 1
+
+
+def publish(stream, write_frame):
+    stamp = fresh_stamp()
+    write_frame(stream, {"stamp": stamp, "v": WIRE_VERSION})

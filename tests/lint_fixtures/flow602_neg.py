@@ -1,0 +1,13 @@
+"""FLOW602 negative: the generator is seeded from the caller's spec,
+so the digest is reproducible and the taint never starts."""
+
+import hashlib
+import random
+
+
+def draw(seed):
+    return random.Random(seed).random()
+
+
+def fingerprint(seed):
+    return hashlib.sha256(str(draw(seed)).encode("utf-8")).hexdigest()

@@ -1,0 +1,17 @@
+"""FLOW602 positive: an unseeded draw reaches a digest via a helper.
+
+The draw itself is suppressed (so only the *flow* rule speaks), which
+also exercises suppression-use tracking: the disable below matches a
+DET101 finding every scan, so LINT001 stays quiet.
+"""
+
+import hashlib
+import random
+
+
+def draw():
+    return random.random()  # repro-lint: disable=DET101
+
+
+def fingerprint():
+    return hashlib.sha256(str(draw()).encode("utf-8")).hexdigest()

@@ -1,0 +1,7 @@
+"""LINT001 negative: the suppression earns its keep every scan."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable=DET103

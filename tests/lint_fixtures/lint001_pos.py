@@ -1,0 +1,5 @@
+"""LINT001 positive: a suppression that excuses nothing."""
+
+
+def compute():
+    return 1  # repro-lint: disable=DET103

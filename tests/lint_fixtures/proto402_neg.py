@@ -5,3 +5,10 @@ PROTOCOL_VERSION = 3
 
 def send(stream, write_frame, message):
     write_frame(stream, dict(message, protocol=PROTOCOL_VERSION))
+
+
+def receive(stream, read_frame):
+    frame = read_frame(stream)
+    if frame.get("protocol") != PROTOCOL_VERSION:
+        raise ValueError("protocol skew")
+    return frame

@@ -1,0 +1,13 @@
+"""PROTO404 negative (reader side): reads exactly what the writer
+writes, version-checked."""
+
+WIRE_VERSION = 2
+
+
+def receive(stream, read_frame):
+    frame = read_frame(stream)
+    if frame.get("version") != WIRE_VERSION:
+        raise ValueError("protocol skew")
+    if frame.get("type") != "blob":
+        return None
+    return frame.get("payload")

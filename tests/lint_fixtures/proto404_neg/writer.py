@@ -1,0 +1,9 @@
+"""PROTO404 negative (writer side): every key written is decoded by
+the reader module."""
+
+WIRE_VERSION = 2
+
+
+def send(stream, write_frame, payload):
+    write_frame(stream, {"type": "blob", "version": WIRE_VERSION,
+                         "payload": payload})

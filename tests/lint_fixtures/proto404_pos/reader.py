@@ -1,0 +1,13 @@
+"""PROTO404 positive (reader side): decodes everything but the
+orphan — which is exactly the point."""
+
+WIRE_VERSION = 2
+
+
+def receive(stream, read_frame):
+    frame = read_frame(stream)
+    if frame.get("version") != WIRE_VERSION:
+        raise ValueError("protocol skew")
+    if frame.get("type") != "blob":
+        return None
+    return frame.get("payload")

@@ -1,0 +1,9 @@
+"""PROTO404 positive (writer side): ``orphan_key`` goes on the wire
+and no scanned module ever looks at it."""
+
+WIRE_VERSION = 2
+
+
+def send(stream, write_frame, payload):
+    write_frame(stream, {"type": "blob", "version": WIRE_VERSION,
+                         "payload": payload, "orphan_key": 1})

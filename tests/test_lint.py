@@ -17,7 +17,8 @@ FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 BASELINE = REPO_ROOT / "lint.baseline.json"
 
 # rule id -> fixture stem (the stem carries any path token the rule
-# scopes to, e.g. det104's "analysis").
+# scopes to, e.g. det104's "analysis"). Single-file fixtures; the
+# project rules that need more than one module live in FIXTURE_DIRS.
 FIXTURE_STEMS = {
     "DET101": "det101",
     "DET102": "det102",
@@ -27,10 +28,22 @@ FIXTURE_STEMS = {
     "DUR202": "dur202_journal",
     "CONC301": "conc301",
     "CONC302": "conc302",
+    "CONC303": "conc303",
+    "CONC304": "conc304",
     "PROTO401": "proto401",
     "PROTO402": "proto402",
     "PROTO403": "proto403_journal",
     "OBS501": "obs501",
+    "FLOW602": "flow602",
+    "LINT001": "lint001",
+}
+
+# rule id -> fixture *directory* stem: these project rules only show
+# their teeth across a module boundary (a taint source hidden in an
+# allowlisted helper; a writer and reader pair).
+FIXTURE_DIRS = {
+    "FLOW601": "flow601",
+    "PROTO404": "proto404",
 }
 
 
@@ -63,10 +76,14 @@ def test_det103_allowlists_obs_directory(tmp_path):
 
 
 def test_every_rule_has_a_fixture_pair():
-    assert set(FIXTURE_STEMS) == set(RULES)
+    assert set(FIXTURE_STEMS) | set(FIXTURE_DIRS) == set(RULES)
+    assert not set(FIXTURE_STEMS) & set(FIXTURE_DIRS)
     for stem in FIXTURE_STEMS.values():
         assert (FIXTURES / f"{stem}_pos.py").is_file()
         assert (FIXTURES / f"{stem}_neg.py").is_file()
+    for stem in FIXTURE_DIRS.values():
+        assert (FIXTURES / f"{stem}_pos").is_dir()
+        assert (FIXTURES / f"{stem}_neg").is_dir()
 
 
 @pytest.mark.parametrize("rule_id", sorted(FIXTURE_STEMS))
@@ -81,6 +98,19 @@ def test_rule_fires_on_positive_fixture(rule_id):
 def test_rule_quiet_on_negative_fixture(rule_id):
     findings = scan_file(FIXTURES / f"{FIXTURE_STEMS[rule_id]}_neg.py")
     assert findings == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_DIRS))
+def test_project_rule_fires_on_positive_fixture_dir(rule_id):
+    target = FIXTURES / f"{FIXTURE_DIRS[rule_id]}_pos"
+    findings = scan_paths([target], root=target)
+    assert {f.rule for f in findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_DIRS))
+def test_project_rule_quiet_on_negative_fixture_dir(rule_id):
+    target = FIXTURES / f"{FIXTURE_DIRS[rule_id]}_neg"
+    assert scan_paths([target], root=target) == []
 
 
 # ----------------------------------------------------------------------
@@ -105,7 +135,9 @@ def test_inline_suppression_is_rule_specific(tmp_path):
         "def stamp():\n"
         "    return time.time()  # repro-lint: disable=DET101\n",
         encoding="utf-8")
-    assert [f.rule for f in scan_file(target)] == ["DET103"]
+    # The wrong-rule suppression doesn't silence DET103 — and is
+    # itself dead, which LINT001 now says out loud.
+    assert {f.rule for f in scan_file(target)} == {"DET103", "LINT001"}
 
 
 def test_filewide_suppression(tmp_path):

@@ -1,0 +1,291 @@
+"""Whole-program analyzer tests: project-context resolution, taint
+propagation, the fact cache, SARIF output, and the new CLI flags."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import render_sarif, run_scan, scan_paths
+from repro.lint.engine import _scan_module, source_digest
+from repro.lint.project import FunctionNode, build_project
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def _project(tmp_path, files: dict[str, str]):
+    """Write sources, run phase 1 on each, build the project view."""
+    modules = {}
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        scan = _scan_module(path, relpath, source, source_digest(source))
+        assert scan.facts is not None, relpath
+        modules[relpath] = scan.facts
+    return build_project(modules)
+
+
+# ----------------------------------------------------------------------
+# import-graph resolution
+# ----------------------------------------------------------------------
+
+def test_resolve_module_by_dotted_suffix(tmp_path):
+    # The scan root sits above the package root: "app.io" must still
+    # find src/app/io.py even though its dotted path is "src.app.io".
+    project = _project(tmp_path, {
+        "src/app/io.py": "def save(x):\n    return x\n",
+        "src/app/main.py": "import app.io\n",
+    })
+    assert project.resolve_module("app.io", "src/app/main.py") \
+        == "src/app/io.py"
+    assert project.resolve_module("src.app.io", "src/app/main.py") \
+        == "src/app/io.py"
+    assert project.resolve_module("app.nope", "src/app/main.py") is None
+
+
+def test_resolve_module_relative_import(tmp_path):
+    project = _project(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from .b import helper\n",
+        "pkg/b.py": "def helper():\n    return 1\n",
+    })
+    assert project.resolve_module(".b", "pkg/a.py") == "pkg/b.py"
+    resolved = project.resolve_symbol("pkg/a.py", "helper")
+    assert resolved == ("function", "pkg/b.py", "helper")
+
+
+def test_ambiguous_suffix_resolves_to_nothing(tmp_path):
+    # Two scanned modules both end in ".util": refusing to guess beats
+    # attributing taint to the wrong file.
+    project = _project(tmp_path, {
+        "one/util.py": "def f():\n    return 1\n",
+        "two/util.py": "def f():\n    return 2\n",
+        "main.py": "import util\n",
+    })
+    assert project.resolve_module("util", "main.py") is None
+
+
+# ----------------------------------------------------------------------
+# call-graph dispatch
+# ----------------------------------------------------------------------
+
+def test_resolve_call_self_method_dispatch(tmp_path):
+    project = _project(tmp_path, {
+        "svc.py": ("class Service:\n"
+                   "    def run(self):\n"
+                   "        return self.helper()\n"
+                   "    def helper(self):\n"
+                   "        return 1\n"),
+    })
+    caller = project.modules["svc.py"].functions["Service.run"]
+    node = project.resolve_call("svc.py", caller, "self.helper")
+    assert node == FunctionNode("svc.py", "Service.helper")
+
+
+def test_resolve_call_through_typed_attribute(tmp_path):
+    # __init__ types self._journal; self._journal.append then
+    # dispatches into Journal.append across the module boundary.
+    project = _project(tmp_path, {
+        "journal.py": ("class Journal:\n"
+                       "    def append(self, entry):\n"
+                       "        return entry\n"),
+        "svc.py": ("from journal import Journal\n"
+                   "class Service:\n"
+                   "    def __init__(self):\n"
+                   "        self._journal = Journal()\n"
+                   "    def record(self, entry):\n"
+                   "        return self._journal.append(entry)\n"),
+    })
+    caller = project.modules["svc.py"].functions["Service.record"]
+    node = project.resolve_call("svc.py", caller, "self._journal.append")
+    assert node == FunctionNode("journal.py", "Journal.append")
+
+
+def test_return_taint_propagates_across_modules(tmp_path):
+    project = _project(tmp_path, {
+        "clock.py": ("import time\n"
+                     "def now():\n"
+                     "    return time.time()\n"),
+        "use.py": ("from clock import now\n"
+                   "def stamp():\n"
+                   "    return now()\n"
+                   "def control_flow_only():\n"
+                   "    if now() > 0:\n"
+                   "        return 1\n"
+                   "    return 0\n"),
+    })
+    tainted = project.return_taint[
+        FunctionNode("use.py", "stamp").key]
+    assert "wall_clock" in tainted
+    # The witness chain names every hop for the finding message.
+    assert tainted["wall_clock"][0] == "stamp"
+    assert "now" in tainted["wall_clock"][1]
+    # Clock used only for control flow never taints the return value.
+    assert FunctionNode("use.py", "control_flow_only").key \
+        not in project.return_taint
+
+
+# ----------------------------------------------------------------------
+# fact cache
+# ----------------------------------------------------------------------
+
+def _write_tree(tmp_path) -> Path:
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "a.py").write_text("A = 1\n", encoding="utf-8")
+    (tree / "b.py").write_text("B = 2\n", encoding="utf-8")
+    (tree / "c.py").write_text("C = 3\n", encoding="utf-8")
+    return tree
+
+
+def test_fact_cache_warm_rescan_skips_parsing(tmp_path):
+    tree = _write_tree(tmp_path)
+    cache = tmp_path / "facts.json"
+    cold = run_scan([tree], root=tree, cache_path=cache)
+    assert (cold.scanned_modules, cold.cached_modules) == (3, 0)
+    warm = run_scan([tree], root=tree, cache_path=cache)
+    assert (warm.scanned_modules, warm.cached_modules) == (0, 3)
+    assert warm.findings == cold.findings
+
+
+def test_fact_cache_invalidates_on_edit(tmp_path):
+    tree = _write_tree(tmp_path)
+    cache = tmp_path / "facts.json"
+    run_scan([tree], root=tree, cache_path=cache)
+    (tree / "b.py").write_text(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n", encoding="utf-8")
+    warm = run_scan([tree], root=tree, cache_path=cache)
+    # Only the edited module went cold — and its new finding surfaces.
+    assert (warm.scanned_modules, warm.cached_modules) == (1, 2)
+    assert [f.rule for f in warm.findings] == ["DET103"]
+
+
+def test_corrupt_cache_degrades_to_cold_scan(tmp_path):
+    tree = _write_tree(tmp_path)
+    cache = tmp_path / "facts.json"
+    cache.write_text("{not json", encoding="utf-8")
+    result = run_scan([tree], root=tree, cache_path=cache)
+    assert (result.scanned_modules, result.cached_modules) == (3, 0)
+
+
+def test_parallel_scan_matches_serial(tmp_path):
+    # Findings (and their order) are identical whether phase 1 runs
+    # inline or across worker processes.
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    for stem in ("det101", "det103", "obs501"):
+        source = (FIXTURES / f"{stem}_pos.py").read_text(encoding="utf-8")
+        (tree / f"{stem}.py").write_text(source, encoding="utf-8")
+    serial = scan_paths([tree], root=tree, jobs=1)
+    parallel = scan_paths([tree], root=tree, jobs=2)
+    assert serial == parallel
+    assert serial
+
+
+def test_no_project_skips_project_rules():
+    target = FIXTURES / "proto404_pos"
+    assert {f.rule for f in scan_paths([target], root=target)} \
+        == {"PROTO404"}
+    assert scan_paths([target], root=target, project=False) == []
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+def test_sarif_shape_and_content():
+    findings = scan_paths([FIXTURES / "det102_pos.py"])
+    assert findings
+    payload = json.loads(render_sarif(findings, baselined=2))
+    assert payload["version"] == "2.1.0"
+    assert payload["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = {entry["id"] for entry in driver["rules"]}
+    assert "DET102" in rule_ids
+    for entry in driver["rules"]:
+        assert entry["shortDescription"]["text"]
+        assert entry["fullDescription"]["text"]
+    assert run["properties"]["baselined"] == 2
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        (location,) = result["locations"]
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+        assert location["physicalLocation"]["artifactLocation"]["uri"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_sarif_format(capsys):
+    rc = main(["lint", "--format", "sarif",
+               str(FIXTURES / "det102_pos.py")])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    fired = {r["ruleId"] for r in payload["runs"][0]["results"]}
+    assert fired == {"DET102"}
+
+
+def test_cli_fix_suppressions_rewrites_and_rescans(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "X = 1  # repro-lint: disable=DET101\n"
+        "Y = 2\n", encoding="utf-8")
+    # Without the fixer: the dead suppression is a finding.
+    assert main(["lint", str(target)]) == 1
+    assert "LINT001" in capsys.readouterr().out
+    # With it: the directive is deleted and the rescan comes back clean.
+    rc = main(["lint", "--fix-suppressions", str(target)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "removed dead suppressions in 1 file(s)" in captured.err
+    assert target.read_text(encoding="utf-8") == "X = 1\nY = 2\n"
+
+
+def test_cli_fix_suppressions_keeps_live_ids(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()"
+        "  # repro-lint: disable=DET103,DET101\n", encoding="utf-8")
+    # DET103 is earning its keep; only the dead DET101 goes.
+    rc = main(["lint", "--fix-suppressions", str(target)])
+    assert rc == 0
+    assert "disable=DET103" in target.read_text(encoding="utf-8")
+    assert "DET101" not in target.read_text(encoding="utf-8")
+
+
+def test_cli_no_project_flag(capsys):
+    target = str(FIXTURES / "proto404_pos")
+    assert main(["lint", target]) == 1
+    capsys.readouterr()
+    assert main(["lint", "--no-project", target]) == 0
+
+
+def test_cli_cache_flag_round_trip(tmp_path, capsys):
+    tree = _write_tree(tmp_path)
+    cache = tmp_path / "facts.json"
+    argv = ["lint", "--cache", str(cache), str(tree)]
+    assert main(argv) == 0
+    assert cache.is_file()
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_jobs_flag(tmp_path, capsys):
+    tree = _write_tree(tmp_path)
+    assert main(["lint", "--jobs", "2", str(tree)]) == 0
+    assert "0 findings" in capsys.readouterr().out

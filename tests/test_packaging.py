@@ -9,7 +9,7 @@ class TestPublicSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_top_level_exports(self):
         import repro
